@@ -1,0 +1,74 @@
+// bench_ablation_fanout - ablation of DESIGN.md decision #1: the tree
+// fan-out used for RM launch and the daemon bootstrap fabric. Sweeps the
+// degree at fixed scale; launchAndSpawn time is the metric.
+//
+// Expected shape: very low fan-outs suffer deep trees (latency-dominated);
+// very high fan-outs serialize at each parent (fan-out-dominated); the
+// minimum sits in between - the reason SLURM-like RMs default to a few
+// dozen.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "core/fe_api.hpp"
+
+namespace lmon {
+namespace {
+
+double run_once(int ndaemons, std::uint32_t fanout) {
+  bench::TestCluster tc(ndaemons);
+  bool done = false;
+  Status status;
+  sim::Time started = 0;
+  sim::Time finished = 0;
+  std::shared_ptr<core::FrontEnd> fe;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    (void)fe->init();
+    auto sid = fe->create_session();
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    cfg.fabric_fanout = fanout;
+    rm::JobSpec job{ndaemons, 8, "mpi_app", {}};
+    started = self.sim().now();
+    fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
+      status = st;
+      finished = self.sim().now();
+      done = true;
+    });
+  });
+  tc.run_until([&] { return done; }, sim::seconds(900));
+  if (!done || !status.is_ok()) return -1.0;
+  return sim::to_seconds(finished - started);
+}
+
+}  // namespace
+}  // namespace lmon
+
+int main() {
+  using namespace lmon;
+  bench::print_title(
+      "Ablation: launch/fabric tree fan-out (launchAndSpawn seconds)");
+  std::printf("%8s |", "daemons");
+  for (std::uint32_t k : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    std::printf("  k=%-5u", k);
+  }
+  std::printf("\n");
+  for (int n : {64, 256, 512}) {
+    std::printf("%8d |", n);
+    for (std::uint32_t k : {1, 2, 4, 8, 16, 32, 64, 128}) {
+      const double secs = run_once(n, k);
+      if (secs < 0) {
+        std::printf("   FAIL ");
+      } else {
+        std::printf(" %7.3f", secs);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape: deep trees (k=1,2) pay per-level latency; flat trees "
+      "(k>=64) serialize at the root;\nthe sweet spot sits at moderate "
+      "degree, which is why the RM defaults to k=32.\n");
+  return 0;
+}

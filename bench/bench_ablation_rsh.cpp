@@ -1,0 +1,163 @@
+// bench_ablation_rsh - ablation of the two ad hoc launching strategies the
+// paper describes in §2: "Most implementations have the tool front end
+// spawn each remote daemon sequentially; others employ a tree-based
+// protocol allowing daemons that the tool front end launches to spawn
+// children daemons".
+//
+// Serial cost is ~(session cost) x N; a k-ary rsh tree parallelizes
+// subtrees but each agent still pays k serialized sessions per level, and
+// both remain far slower than the RM-native launch (printed for reference).
+#include <cstdio>
+#include <memory>
+
+#include "apps/test_programs.hpp"
+#include "bench/bench_util.hpp"
+#include "core/fe_api.hpp"
+#include "rsh/launchers.hpp"
+
+namespace lmon {
+namespace {
+
+/// FE program that forwards tree-agent reports to the launcher facade.
+class RshBenchFe : public cluster::Program {
+ public:
+  using Go = std::function<void(cluster::Process&)>;
+  explicit RshBenchFe(Go go) : go_(std::move(go)) {}
+  [[nodiscard]] std::string_view name() const override { return "rsh_fe"; }
+  void on_start(cluster::Process& self) override { go_(self); }
+  void on_message(cluster::Process& self, const cluster::ChannelPtr&,
+                  cluster::Message msg) override {
+    (void)rsh::TreeRshLauncher::handle_report(self, msg);
+  }
+
+ private:
+  Go go_;
+};
+
+double run_serial(int n) {
+  bench::TestCluster tc(n);
+  bool done = false;
+  Status status;
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+  std::vector<cluster::ChannelPtr> keep;
+
+  std::vector<rsh::LaunchTarget> targets;
+  for (int i = 0; i < n; ++i) {
+    targets.push_back(
+        rsh::LaunchTarget{tc.machine.compute_node(i).hostname(), "sleeperd",
+                          {}});
+  }
+  cluster::SpawnOptions opts;
+  opts.executable = "rsh_fe";
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<RshBenchFe>([&](cluster::Process& self) {
+        t0 = self.sim().now();
+        rsh::SerialRshLauncher::launch(
+            self, targets, [&](rsh::LaunchOutcome out) {
+              status = out.status;
+              keep = std::move(out.sessions);
+              t1 = self.sim().now();
+              done = true;
+            });
+      }),
+      std::move(opts));
+  if (!res.is_ok()) return -1;
+  tc.run_until([&] { return done; }, sim::seconds(3600));
+  if (!done || !status.is_ok()) return -1.0;
+  return sim::to_seconds(t1 - t0);
+}
+
+double run_tree(int n, int fanout) {
+  bench::TestCluster tc(n);
+  bool done = false;
+  Status status;
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+  std::size_t launched = 0;
+
+  std::vector<std::string> hosts;
+  for (int i = 0; i < n; ++i) {
+    hosts.push_back(tc.machine.compute_node(i).hostname());
+  }
+  cluster::SpawnOptions opts;
+  opts.executable = "rsh_fe";
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<RshBenchFe>([&](cluster::Process& self) {
+        t0 = self.sim().now();
+        rsh::TreeRshLauncher::launch(
+            self, hosts, "sleeperd", {}, fanout,
+            [&](rsh::LaunchOutcome out) {
+              status = out.status;
+              launched = out.daemons.size();
+              t1 = self.sim().now();
+              done = true;
+            });
+      }),
+      std::move(opts));
+  if (!res.is_ok()) return -1;
+  tc.run_until([&] { return done; }, sim::seconds(3600));
+  if (!done || !status.is_ok() || launched != static_cast<std::size_t>(n)) {
+    return -1.0;
+  }
+  return sim::to_seconds(t1 - t0);
+}
+
+double run_rm(int n) {
+  bench::TestCluster tc(n);
+  bool done = false;
+  Status status;
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+  std::shared_ptr<core::FrontEnd> fe;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    (void)fe->init();
+    auto sid = fe->create_session();
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    rm::JobSpec job{n, 1, "mpi_app", {}};
+    t0 = self.sim().now();
+    fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
+      status = st;
+      t1 = self.sim().now();
+      done = true;
+    });
+  });
+  tc.run_until([&] { return done; }, sim::seconds(900));
+  if (!done || !status.is_ok()) return -1.0;
+  return sim::to_seconds(t1 - t0);
+}
+
+void print_cell(double secs) {
+  if (secs < 0) {
+    std::printf(" %9s", "FAIL");
+  } else {
+    std::printf(" %8.2fs", secs);
+  }
+}
+
+}  // namespace
+}  // namespace lmon
+
+int main() {
+  using namespace lmon;
+  bench::print_title("Ablation: ad hoc rsh strategies vs RM-native launch");
+  std::printf("%8s | %9s %9s %9s %9s | %9s\n", "daemons", "serial",
+              "tree k=2", "tree k=8", "tree k=32", "LaunchMON");
+  for (int n : {4, 16, 64, 128, 256}) {
+    std::printf("%8d |", n);
+    print_cell(run_serial(n));
+    print_cell(run_tree(n, 2));
+    print_cell(run_tree(n, 8));
+    print_cell(run_tree(n, 32));
+    std::printf(" |");
+    print_cell(run_rm(n));
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape: serial rsh is linear (~0.24 s/daemon); rsh trees amortize "
+      "depth but still pay k sessions\nper level; the RM-native LaunchMON "
+      "path beats both by an order of magnitude and scales flattest.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// bench_fig6_stat - reproduces paper Figure 6: "STAT Start-up Performance",
+// MRNet-native (serial rsh) vs LaunchMON daemon launch + TBON connect time
+// over a 1-deep (1-to-N) topology, 8 MPI tasks per daemon.
+//
+// Paper anchors: 0.77 s (MRNet) vs 0.46 s (LaunchMON) at 4 nodes;
+// 60.8 s vs 3.57 s at 256 nodes (0.77 s of the 3.57 s in MRNet's
+// handshake); the ad hoc approach consistently fails forking rsh at 512
+// nodes (would extrapolate to ~2 minutes), while LaunchMON takes 5.6 s.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "tbon/comm_node.hpp"
+#include "tools/stat/stat_be.hpp"
+#include "tools/stat/stat_fe.hpp"
+
+namespace lmon {
+namespace {
+
+struct Point {
+  bool ok = false;
+  bool done = false;
+  std::string error;
+  double launch_connect = 0;
+  double handshake = 0;
+};
+
+Point run_once(int ndaemons, int tpn, tools::stat::StartupMode mode) {
+  bench::TestCluster tc(ndaemons);
+  tools::stat::StatBe::install(tc.machine);
+  tbon::AdHocCommNode::install(tc.machine);
+  tbon::LmonCommNode::install(tc.machine);
+
+  Point pt;
+  const cluster::Pid launcher = bench::start_plain_job(tc, ndaemons, tpn);
+  if (launcher == cluster::kInvalidPid) return pt;
+
+  tools::stat::StatConfig cfg;
+  cfg.mode = mode;
+  cfg.launcher_pid = launcher;
+  cfg.take_sample = false;  // Fig. 6 measures launch+connect only
+  if (mode == tools::stat::StartupMode::AdHocRsh) {
+    for (int i = 0; i < ndaemons; ++i) {
+      cfg.adhoc_hosts.push_back(tc.machine.compute_node(i).hostname());
+    }
+  }
+  tools::stat::StatOutcome out;
+  cluster::SpawnOptions opts;
+  opts.executable = "stat_fe";
+  opts.image_mb = 12.0;
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<tools::stat::StatFe>(std::move(cfg), &out),
+      std::move(opts));
+  if (!res.is_ok()) return pt;
+  tc.run_until([&] { return out.done; }, sim::seconds(1800));
+  pt.done = out.done;
+  if (!out.done) {
+    pt.error = "timeout";
+    return pt;
+  }
+  if (!out.status.is_ok()) {
+    pt.error = out.status.to_string();
+    return pt;
+  }
+  pt.ok = true;
+  pt.launch_connect = out.launch_connect_seconds();
+  pt.handshake = out.handshake_seconds();
+  return pt;
+}
+
+}  // namespace
+}  // namespace lmon
+
+int main() {
+  using namespace lmon;
+  bench::print_title(
+      "Figure 6: STAT launch+connect, MRNet (serial rsh) vs LaunchMON, "
+      "1-deep topology");
+  std::printf("%8s | %18s | %14s %14s\n", "daemons", "MRNet 1-deep",
+              "LaunchMON", "(TBON hshake)");
+
+  const int tpn = 8;
+  double slope = 0;  // fitted serial-rsh per-node cost for extrapolation
+  int last_ok_n = 0;
+  double last_ok_t = 0;
+  for (int n : {4, 16, 64, 128, 256, 512}) {
+    const Point adhoc = run_once(n, tpn, tools::stat::StartupMode::AdHocRsh);
+    const Point lmon = run_once(n, tpn, tools::stat::StartupMode::LaunchMon);
+
+    char adhoc_col[64];
+    if (adhoc.ok) {
+      std::snprintf(adhoc_col, sizeof adhoc_col, "%13.2fs", adhoc.launch_connect);
+      if (last_ok_n > 0) {
+        slope = (adhoc.launch_connect - last_ok_t) / (n - last_ok_n);
+      }
+      last_ok_n = n;
+      last_ok_t = adhoc.launch_connect;
+    } else {
+      // The paper's 512-node behaviour: "consistently fails when forking an
+      // rsh process. If it had succeeded ... approximately two minutes."
+      const double extrapolated = last_ok_t + slope * (n - last_ok_n);
+      std::snprintf(adhoc_col, sizeof adhoc_col, "FAIL (~%.0fs est)",
+                    extrapolated);
+    }
+    if (lmon.ok) {
+      std::printf("%8d | %18s | %13.2fs %13.2fs\n", n, adhoc_col,
+                  lmon.launch_connect, lmon.handshake);
+    } else {
+      std::printf("%8d | %18s | FAILED: %s\n", n, adhoc_col,
+                  lmon.error.c_str());
+    }
+  }
+  std::printf(
+      "\npaper anchors: 0.77 s vs 0.46 s at 4 nodes; 60.8 s vs 3.57 s at "
+      "256; rsh fork failure at 512\n(extrapolating to ~2 minutes) while "
+      "LaunchMON launches all daemons in 5.6 s.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// bench_platforms - the paper's §4 BlueGene/L port observation:
+//
+// "Our experiments on that platform demonstrate that LaunchMON has similar
+//  overheads on it. However, we found that the time for spawning the job
+//  tasks and tool daemons (i.e., T(job) and T(daemon)) by mpirun, the RM on
+//  that system, were significantly higher."
+//
+// Runs the instrumented launchAndSpawn on the Atlas-like and the
+// BlueGene-like platform profiles and prints the region split: the RM
+// regions differ strongly, LaunchMON's own costs do not - the portability
+// payoff of the engine's platform-adaptation layer.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "core/fe_api.hpp"
+#include "simkernel/stats.hpp"
+
+namespace lmon {
+namespace {
+
+struct Split {
+  bool ok = false;
+  double total = 0;
+  double rm_regions = 0;    // T(job) + T(daemon) + setup + collective
+  double launchmon = 0;     // tracing + rpdtab + other
+};
+
+Split run_once(int ndaemons, const cluster::CostModel& costs) {
+  bench::TestCluster tc(ndaemons, 0, costs);
+  sim::Timeline timeline;
+  sim::CostLedger ledger;
+  tc.machine.set_timeline(&timeline);
+  tc.machine.set_ledger(&ledger);
+
+  bool done = false;
+  Status status;
+  std::shared_ptr<core::FrontEnd> fe;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    (void)fe->init();
+    auto sid = fe->create_session();
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    rm::JobSpec job{ndaemons, 8, "mpi_app", {}};
+    fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
+      status = st;
+      done = true;
+    });
+  });
+  tc.run_until([&] { return done; }, sim::seconds(900));
+  Split s;
+  if (!done || !status.is_ok()) return s;
+  s.ok = true;
+  s.total = sim::to_seconds(timeline.between("e0_fe_call", "e11_return"));
+  s.rm_regions =
+      sim::to_seconds(timeline.between("t_job_begin", "t_job_end")) +
+      sim::to_seconds(timeline.between("t_daemon_begin", "t_daemon_end")) +
+      sim::to_seconds(
+          timeline.between("be_e8_setup_begin", "be_e9_setup_done")) +
+      sim::to_seconds(timeline.between("be_t_collective_begin",
+                                       "be_t_collective_end"));
+  s.launchmon = sim::to_seconds(ledger.total("tracing")) +
+                sim::to_seconds(ledger.total("rpdtab_fetch")) +
+                sim::to_seconds(ledger.total("other"));
+  return s;
+}
+
+}  // namespace
+}  // namespace lmon
+
+int main() {
+  using namespace lmon;
+  bench::print_title(
+      "Platform comparison (paper §4): Atlas-like vs BlueGene-like RM");
+  std::printf("%8s | %26s | %26s\n", "", "Atlas-like (slurm)",
+              "BlueGene-like (mpirun)");
+  std::printf("%8s | %8s %8s %8s | %8s %8s %8s\n", "daemons", "total",
+              "RM", "LMON", "total", "RM", "LMON");
+  const cluster::CostModel atlas;
+  const cluster::CostModel bgl = cluster::CostModel::bluegene_like();
+  for (int n : {16, 64, 128}) {
+    const Split a = run_once(n, atlas);
+    const Split b = run_once(n, bgl);
+    if (!a.ok || !b.ok) {
+      std::printf("%8d | FAIL\n", n);
+      continue;
+    }
+    std::printf("%8d | %7.3fs %7.3fs %7.3fs | %7.3fs %7.3fs %7.3fs\n", n,
+                a.total, a.rm_regions, a.launchmon, b.total, b.rm_regions,
+                b.launchmon);
+  }
+  std::printf(
+      "\nshape: the mpirun-like platform's RM regions (T(job)+T(daemon)+"
+      "setup+collective) are several\ntimes Atlas's, while LaunchMON's own "
+      "contribution is identical on both - 'similar overheads',\nas the "
+      "paper reports for its BG/L port. (BG/L also runs no rshd: the ad "
+      "hoc baseline does not\nexist there at all.)\n");
+  return 0;
+}

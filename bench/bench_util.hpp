@@ -1,0 +1,36 @@
+// bench_util.hpp - shared harness pieces for the figure/table benches.
+//
+// These benches drive the simulated cluster, so the numbers they print are
+// simulated seconds (deterministic across runs and machines). They
+// reproduce the *shape* of the paper's results: who wins, by what factor,
+// and where the crossovers/failures fall.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.hpp"
+
+namespace lmon::bench {
+
+using testing::TestCluster;
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Starts a plain (untraced) job and runs the simulation until the job's
+/// tasks are up. Returns the launcher pid.
+inline cluster::Pid start_plain_job(TestCluster& tc, int nnodes, int tpn) {
+  auto res = rm::run_job(tc.machine, rm::JobSpec{nnodes, tpn, "mpi_app", {}});
+  if (!res.is_ok()) {
+    std::fprintf(stderr, "job start failed: %s\n",
+                 res.status.to_string().c_str());
+    return cluster::kInvalidPid;
+  }
+  tc.simulator.run(tc.simulator.now() + sim::seconds(10));
+  return res.value;
+}
+
+}  // namespace lmon::bench

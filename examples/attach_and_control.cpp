@@ -1,0 +1,126 @@
+// attach_and_control - session lifecycle walkthrough.
+//
+// Demonstrates the control surface beyond launchAndSpawn: attaching to a
+// running job, exchanging tool data with the daemon fleet (piggybacked and
+// post-startup), the BE collectives, and the two teardown modes (detach
+// leaves the job running; kill reaps everything).
+#include <cstdio>
+#include <memory>
+
+#include "core/be_api.hpp"
+#include "core/fe_api.hpp"
+#include "tests/test_util.hpp"
+
+using namespace lmon;
+
+namespace {
+
+/// A daemon that reports its host back over a gather when poked.
+class RollCallDaemon : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "rollcall"; }
+  void on_start(cluster::Process& self) override {
+    be_ = std::make_unique<core::BackEnd>(self);
+    core::BackEnd::Callbacks cbs;
+    cbs.on_init = [](const core::Rpdtab&, const Bytes&,
+                     std::function<void(Status)> done) { done(Status::ok()); };
+    cbs.on_usrdata = [this](const Bytes&) {
+      // FE poked the master: fan the roll-call command out to the fleet.
+      (void)be_->broadcast_command(Bytes{1});
+    };
+    cbs.on_command = [this, &self](const Bytes&) {
+      // Every daemon (master included) contributes to the roll call.
+      ByteWriter w;
+      w.str(self.node().hostname());
+      w.u32(static_cast<std::uint32_t>(be_->my_entries().size()));
+      be_->gather(std::move(w).take(), [this](auto entries) {
+        std::string report;
+        for (auto& [rank, data] : entries) {
+          ByteReader r(data);
+          const auto host = r.str();    // reader calls must be sequenced
+          const auto ntasks = r.u32();
+          if (!host || !ntasks) continue;
+          report += "  daemon " + std::to_string(rank) + " on " + *host +
+                    " watches " + std::to_string(*ntasks) + " tasks\n";
+        }
+        (void)be_->send_usrdata_fe(Bytes(report.begin(), report.end()));
+      });
+    };
+    if (!be_->init(std::move(cbs)).is_ok()) self.exit(1);
+  }
+  static void install(cluster::Machine& machine) {
+    cluster::ProgramImage image;
+    image.image_mb = 2.0;
+    image.factory = [](const std::vector<std::string>&) {
+      return std::make_unique<RollCallDaemon>();
+    };
+    machine.install_program("rollcall", std::move(image));
+  }
+
+ private:
+  std::unique_ptr<core::BackEnd> be_;
+};
+
+}  // namespace
+
+int main() {
+  testing::TestCluster cluster(8);
+  RollCallDaemon::install(cluster.machine);
+
+  auto job = rm::run_job(cluster.machine, rm::JobSpec{8, 4, "mpi_app", {}});
+  cluster.simulator.run(cluster.simulator.now() + sim::seconds(2));
+  std::printf("attached target: launcher pid %lld\n",
+              static_cast<long long>(job.value));
+
+  std::shared_ptr<core::FrontEnd> fe;
+  int sid = -1;
+  std::string roll_call;
+  bool detached = false;
+
+  cluster.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    (void)fe->init();
+    sid = fe->create_session().value;
+
+    fe->set_be_usrdata_handler(sid, [&](const Bytes& data) {
+      roll_call.assign(data.begin(), data.end());
+      // Done with the daemons: detach, leaving the job running.
+      fe->detach(sid, [&](Status) { detached = true; });
+    });
+
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "rollcall";
+    fe->attach_and_spawn(sid, job.value, cfg, [&](Status st) {
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "attach failed: %s\n", st.to_string().c_str());
+        return;
+      }
+      std::printf("session ready: %zu tasks, %zu daemons\n",
+                  fe->proctable(sid)->size(),
+                  fe->daemon_table(sid)->size());
+      // Poke the master to start the roll call.
+      (void)fe->send_usrdata_be(sid, Bytes{0});
+    });
+  });
+
+  cluster.run_until([&] { return detached; });
+  std::printf("\nroll call via ICCL gather:\n%s", roll_call.c_str());
+
+  cluster.simulator.run(cluster.simulator.now() + sim::seconds(1));
+  cluster::Process* launcher = cluster.machine.find_process(job.value);
+  std::printf("\nafter detach: job launcher is %s\n",
+              launcher->state() == cluster::ProcState::Running
+                  ? "still running (detach leaves the job alone)"
+                  : "gone (unexpected!)");
+
+  int live_daemons = 0;
+  for (int i = 0; i < cluster.machine.num_compute_nodes(); ++i) {
+    for (cluster::Process* p :
+         cluster.machine.compute_node(i).live_processes()) {
+      if (p->options().executable == "rollcall") ++live_daemons;
+    }
+  }
+  std::printf("tool daemons remaining: %d (session teardown reaped them)\n",
+              live_daemons);
+  return 0;
+}

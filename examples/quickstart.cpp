@@ -1,0 +1,86 @@
+// quickstart - the smallest complete LaunchMON tool.
+//
+// Boots a simulated 8-node cluster with the SLURM-like RM, launches a
+// 64-task MPI job under tool control with one back-end daemon co-located
+// per node (launchAndSpawn), and prints the RPDTAB and daemon table the
+// session produced. Start here to see the whole API surface in ~80 lines.
+#include <cstdio>
+#include <memory>
+
+#include "core/fe_api.hpp"
+#include "tests/test_util.hpp"
+
+using namespace lmon;
+
+int main() {
+  // A booted cluster: 8 compute nodes, RM installed, images registered.
+  testing::TestCluster cluster(8);
+
+  bool done = false;
+  Status status;
+  std::shared_ptr<core::FrontEnd> fe;
+  int sid = -1;
+
+  // Tool front ends are event-driven processes on the front-end node.
+  cluster.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+
+    // 1. Initialize the FE runtime (binds the LMONP port).
+    Status st = fe->init();
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "init failed: %s\n", st.to_string().c_str());
+      return;
+    }
+
+    // 2. Create a session: the handle that binds job + daemons together.
+    auto session = fe->create_session();
+    sid = session.value;
+
+    // 3. launchAndSpawn: start the job under tool control and co-locate
+    //    one "hello_be" daemon with its tasks on every node.
+    rm::JobSpec job;
+    job.nnodes = 8;
+    job.tasks_per_node = 8;
+    job.executable = "mpi_app";
+
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+
+    fe->launch_and_spawn(sid, job, cfg, [&](Status result) {
+      status = result;
+      done = true;
+    });
+  });
+
+  // Drive the simulation until the session is ready.
+  cluster.run_until([&] { return done; });
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "launchAndSpawn failed: %s\n",
+                 status.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("launchAndSpawn completed in %.3f simulated seconds\n\n",
+              sim::to_seconds(cluster.simulator.now()));
+
+  const core::Rpdtab* proctable = fe->proctable(sid);
+  std::printf("RPDTAB (%zu tasks):\n", proctable->size());
+  for (const auto& e : proctable->entries()) {
+    if (e.rank < 4 || e.rank >= static_cast<int>(proctable->size()) - 2) {
+      std::printf("  rank %3d  host %-8s pid %lld  exe %s\n", e.rank,
+                  e.host.c_str(), static_cast<long long>(e.pid),
+                  e.executable.c_str());
+    } else if (e.rank == 4) {
+      std::printf("  ...\n");
+    }
+  }
+
+  const core::Rpdtab* daemons = fe->daemon_table(sid);
+  std::printf("\ntool daemons (%zu, one per node):\n", daemons->size());
+  for (const auto& d : daemons->entries()) {
+    std::printf("  daemon %2d  host %-8s pid %lld\n", d.rank, d.host.c_str(),
+                static_cast<long long>(d.pid));
+  }
+  std::printf("\nquickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "apps/test_programs.hpp"
+
+#include "cluster/machine.hpp"
+
+namespace lmon::apps {
+
+void SleeperDaemon::install(cluster::Machine& machine, double image_mb) {
+  cluster::ProgramImage image;
+  image.image_mb = image_mb;
+  image.factory = [](const std::vector<std::string>&) {
+    return std::make_unique<SleeperDaemon>();
+  };
+  machine.install_program("sleeperd", std::move(image));
+}
+
+void HelloBeDaemon::on_start(cluster::Process& self) {
+  be_ = std::make_unique<core::BackEnd>(self);
+  core::BackEnd::Callbacks cbs;
+  cbs.on_init = [](const core::Rpdtab&, const Bytes&,
+                   std::function<void(Status)> done) {
+    done(Status::ok());
+  };
+  cbs.on_ready = [](Status) {};
+  const Status st = be_->init(std::move(cbs));
+  if (!st.is_ok()) self.exit(1);
+}
+
+void HelloBeDaemon::install(cluster::Machine& machine) {
+  cluster::ProgramImage image;
+  image.image_mb = machine.costs().tool_daemon_image_mb;
+  image.factory = [](const std::vector<std::string>&) {
+    return std::make_unique<HelloBeDaemon>();
+  };
+  machine.install_program("hello_be", std::move(image));
+}
+
+}  // namespace lmon::apps

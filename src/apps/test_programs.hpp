@@ -1,0 +1,52 @@
+// test_programs.hpp - small daemon/tool programs shared by tests, examples
+// and benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/process.hpp"
+#include "core/be_api.hpp"
+
+namespace lmon::apps {
+
+/// A daemon that does nothing but exist (ad hoc launch target).
+class SleeperDaemon : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "sleeperd"; }
+  void on_start(cluster::Process& self) override { (void)self; }
+
+  static void install(cluster::Machine& machine, double image_mb = 4.0);
+};
+
+/// A minimal LaunchMON back-end daemon: initializes the BE API and reports
+/// ready. The quickstart example and many integration tests use it.
+class HelloBeDaemon : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "hello_be"; }
+  void on_start(cluster::Process& self) override;
+
+  static void install(cluster::Machine& machine);
+
+ private:
+  std::unique_ptr<core::BackEnd> be_;
+};
+
+/// Generic scripted tool front end: tests drive it with a callback run in
+/// on_start, so each test writes its FE logic inline.
+class ScriptedFrontEnd : public cluster::Program {
+ public:
+  using Script = std::function<void(cluster::Process&)>;
+  explicit ScriptedFrontEnd(Script script) : script_(std::move(script)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "tool_fe"; }
+  void on_start(cluster::Process& self) override {
+    if (script_) script_(self);
+  }
+
+ private:
+  Script script_;
+};
+
+}  // namespace lmon::apps

@@ -1,0 +1,84 @@
+#include "cluster/channel.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "cluster/machine.hpp"
+#include "cluster/process.hpp"
+
+namespace lmon::cluster {
+
+Channel::Channel(Id id, Machine& machine, Pid a, NodeId a_node, Pid b,
+                 NodeId b_node)
+    : id_(id), machine_(machine) {
+  a_.pid = a;
+  a_.node = a_node;
+  b_.pid = b;
+  b_.node = b_node;
+}
+
+Pid Channel::peer_of(Pid self) const {
+  return self == a_.pid ? b_.pid : a_.pid;
+}
+
+Channel::End& Channel::end_for(Pid pid) {
+  assert(pid == a_.pid || pid == b_.pid);
+  return pid == a_.pid ? a_ : b_;
+}
+
+Channel::End& Channel::other_end(Pid pid) {
+  assert(pid == a_.pid || pid == b_.pid);
+  return pid == a_.pid ? b_ : a_;
+}
+
+void Channel::send(Pid self, Message msg) {
+  if (!open_) return;
+  End& src = end_for(self);
+  End& dst = other_end(self);
+
+  sim::Simulator& simulator = machine_.sim();
+  sim::Time arrival =
+      simulator.now() +
+      machine_.network().transfer_time(src.node, dst.node, msg.size());
+  // Per-direction FIFO: a later send never overtakes an earlier one even if
+  // its jittered latency came out smaller.
+  if (arrival <= dst.last_arrival) arrival = dst.last_arrival + 1;
+  dst.last_arrival = arrival;
+
+  auto self_ptr = shared_from_this();
+  const Pid dst_pid = dst.pid;
+  simulator.schedule_at(
+      arrival, [self_ptr, dst_pid, m = std::move(msg)]() mutable {
+        if (!self_ptr->open_) return;
+        Process* peer = self_ptr->machine_.find_process(dst_pid);
+        if (peer == nullptr || peer->state() == ProcState::Exited) return;
+        peer->deliver([self_ptr, peer, m = std::move(m)]() mutable {
+          peer->dispatch_message(self_ptr, std::move(m));
+        });
+      });
+}
+
+void Channel::close(Pid closer) {
+  if (!open_) return;
+  open_ = false;
+
+  End& src = end_for(closer);
+  End& dst = other_end(closer);
+  auto self_ptr = shared_from_this();
+  const Pid dst_pid = dst.pid;
+
+  machine_.sim().schedule(
+      machine_.network().transfer_time(src.node, dst.node, 0),
+      [self_ptr, dst_pid] {
+        Process* peer = self_ptr->machine_.find_process(dst_pid);
+        if (peer == nullptr || peer->state() == ProcState::Exited) return;
+        peer->forget_channel(self_ptr->id());
+        peer->deliver(
+            [self_ptr, peer] { peer->dispatch_closed(self_ptr); });
+      });
+
+  Process* me = machine_.find_process(closer);
+  if (me != nullptr) me->forget_channel(id_);
+}
+
+}  // namespace lmon::cluster

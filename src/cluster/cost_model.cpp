@@ -1,0 +1,6 @@
+#include "cluster/cost_model.hpp"
+
+// CostModel is a plain aggregate; this TU exists so the library has a home
+// for future non-inline calibration helpers and to anchor the vtable-free
+// type for ODR purposes.
+namespace lmon::cluster {}  // namespace lmon::cluster

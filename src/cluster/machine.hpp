@@ -1,0 +1,140 @@
+// machine.hpp - the whole simulated cluster: nodes + network + pid space.
+//
+// Layout mirrors the paper's Atlas testbed: one front-end/login node whose
+// software stack matches the compute nodes, plus N compute nodes; tool front
+// ends and RM launchers run on the front-end node, applications and daemons
+// on compute nodes. Extra "service" nodes can be reserved for TBON
+// communication daemons (the paper's middleware partition).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/network.hpp"
+#include "cluster/node.hpp"
+#include "simkernel/simulator.hpp"
+#include "simkernel/stats.hpp"
+
+namespace lmon::cluster {
+
+/// An installed binary: how to instantiate its behaviour and how big its
+/// image is (exec cost, DPCL parse cost). The registry stands in for the
+/// cluster's shared filesystem - the RM's node daemons and rshd exec
+/// programs by name.
+struct ProgramImage {
+  std::function<std::unique_ptr<Program>(const std::vector<std::string>&)>
+      factory;
+  double image_mb = 4.0;
+};
+
+struct MachineConfig {
+  int num_compute_nodes = 16;
+  /// Nodes reserved for middleware (TBON comm processes); allocated from the
+  /// tail of the compute range by the RM when a tool requests them.
+  int num_middleware_nodes = 0;
+  std::string host_prefix = "atlas";
+  CostModel costs;
+};
+
+class Machine {
+ public:
+  Machine(sim::Simulator& simulator, MachineConfig config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] const CostModel& costs() const noexcept {
+    return config_.costs;
+  }
+  [[nodiscard]] NetworkModel& network() noexcept { return network_; }
+  [[nodiscard]] const MachineConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Total node count: 1 front end + compute + middleware.
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] int num_compute_nodes() const noexcept {
+    return config_.num_compute_nodes;
+  }
+  [[nodiscard]] int num_middleware_nodes() const noexcept {
+    return config_.num_middleware_nodes;
+  }
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] Node& front_end() { return *nodes_.front(); }
+  /// i in [0, num_compute_nodes).
+  [[nodiscard]] Node& compute_node(int i) { return *nodes_.at(1 + i); }
+  /// i in [0, num_middleware_nodes).
+  [[nodiscard]] Node& middleware_node(int i) {
+    return *nodes_.at(1 + config_.num_compute_nodes + i);
+  }
+
+  [[nodiscard]] Node* find_host(std::string_view hostname);
+  [[nodiscard]] Process* find_process(Pid pid);
+
+  /// Charged fork/exec jitter draws and per-subsystem rng streams.
+  [[nodiscard]] sim::Rng fork_rng() { return sim_.rng().fork(); }
+
+  /// Applies multiplicative jitter from the cost model's proc_jitter.
+  [[nodiscard]] sim::Time jittered(sim::Time base);
+
+  Pid alloc_pid() noexcept { return next_pid_++; }
+  Channel::Id alloc_channel_id() noexcept { return next_channel_++; }
+
+  /// Establishes a connection from `from` to host:port (async; see
+  /// Process::connect). Charges connect time; fails if no listener.
+  void open_connection(Process& from, const std::string& host, Port port,
+                       ConnectCallback cb);
+
+  // --- program registry (shared filesystem stand-in) -----------------------
+  void install_program(const std::string& name, ProgramImage image) {
+    programs_[name] = std::move(image);
+  }
+  [[nodiscard]] const ProgramImage* find_program(const std::string& name) const {
+    auto it = programs_.find(name);
+    return it == programs_.end() ? nullptr : &it->second;
+  }
+
+  // --- instrumentation hooks (benches/tests only) --------------------------
+  /// When set, components mark critical-path events (e0..e11 of the paper's
+  /// §4 model) and charge component costs; this models the "instrumented
+  /// version of LaunchMON" the authors used to fit their model.
+  [[nodiscard]] sim::Timeline* timeline() noexcept { return timeline_; }
+  void set_timeline(sim::Timeline* t) noexcept { timeline_ = t; }
+  [[nodiscard]] sim::CostLedger* ledger() noexcept { return ledger_; }
+  void set_ledger(sim::CostLedger* l) noexcept { ledger_ = l; }
+  void mark(const std::string& label) {
+    if (timeline_ != nullptr) timeline_->mark(label, sim_.now());
+  }
+  void charge(const std::string& label, sim::Time amount) {
+    if (ledger_ != nullptr) ledger_->charge(label, amount);
+  }
+
+  // Bookkeeping used by Process/Node internals.
+  void index_process(Pid pid, Process* p) { pid_index_[pid] = p; }
+  void deindex_process(Pid pid) { pid_index_.erase(pid); }
+
+ private:
+  sim::Simulator& sim_;
+  MachineConfig config_;
+  NetworkModel network_;
+  sim::Rng jitter_rng_{0};
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::string, Node*> host_index_;
+  std::unordered_map<Pid, Process*> pid_index_;
+  std::unordered_map<std::string, ProgramImage> programs_;
+  sim::Timeline* timeline_ = nullptr;
+  sim::CostLedger* ledger_ = nullptr;
+  Pid next_pid_ = 1000;
+  Channel::Id next_channel_ = 1;
+};
+
+}  // namespace lmon::cluster

@@ -1,0 +1,21 @@
+// message.hpp - unit of transfer on a simulated channel.
+#pragma once
+
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace lmon::cluster {
+
+/// An opaque, already-serialized frame. The network charges transfer time by
+/// size() so protocols pay for exactly the bytes they encode.
+struct Message {
+  lmon::Bytes bytes;
+
+  Message() = default;
+  explicit Message(lmon::Bytes b) : bytes(std::move(b)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes.size(); }
+};
+
+}  // namespace lmon::cluster

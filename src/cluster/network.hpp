@@ -1,0 +1,39 @@
+// network.hpp - latency/bandwidth model for the simulated interconnect.
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/types.hpp"
+#include "simkernel/rng.hpp"
+#include "simkernel/time.hpp"
+
+namespace lmon::cluster {
+
+/// Computes message transfer and connection-establishment times.
+///
+/// The model is the classic alpha-beta (latency + size/bandwidth) form with
+/// multiplicative jitter; intra-node traffic uses a lower loopback latency.
+/// This is intentionally contention-free: the paper's launch protocols are
+/// latency- and serialization-bound, not bandwidth-bound, and a contention
+/// model would add noise without changing any of the reported shapes.
+class NetworkModel {
+ public:
+  NetworkModel(const CostModel& costs, sim::Rng rng)
+      : costs_(costs), rng_(rng) {}
+
+  /// One-way time for `bytes` from node `a` to node `b`.
+  sim::Time transfer_time(NodeId a, NodeId b, std::size_t bytes);
+
+  /// Time to establish a new connection (handshake RTT + accept cost).
+  sim::Time connect_time(NodeId a, NodeId b);
+
+ private:
+  sim::Time base_latency(NodeId a, NodeId b) const;
+  sim::Time jitter(sim::Time base);
+
+  const CostModel& costs_;
+  sim::Rng rng_;
+};
+
+}  // namespace lmon::cluster

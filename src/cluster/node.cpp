@@ -1,0 +1,108 @@
+#include "cluster/node.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "cluster/machine.hpp"
+#include "simkernel/log.hpp"
+
+namespace lmon::cluster {
+
+Node::Node(Machine& machine, NodeId id, std::string hostname)
+    : machine_(machine), id_(id), host_(std::move(hostname)) {}
+
+Result<Pid> Node::spawn(std::unique_ptr<Program> program, SpawnOptions opts) {
+  return spawn_internal(std::move(program), std::move(opts), kInvalidPid);
+}
+
+Result<Pid> Node::spawn_internal(std::unique_ptr<Program> program,
+                                 SpawnOptions opts, Pid parent) {
+  assert(program != nullptr);
+  const CostModel& c = machine_.costs();
+  const sim::Time cost = machine_.jittered(
+      c.fork_cost + c.exec_base_cost +
+      static_cast<sim::Time>(opts.image_mb *
+                             static_cast<double>(c.exec_per_mb)) +
+      c.sched_latency);
+
+  const Pid pid = machine_.alloc_pid();
+  auto proc = std::make_unique<Process>(machine_, *this, pid, parent,
+                                        std::move(program), std::move(opts));
+  Process* p = proc.get();
+  procs_.emplace(pid, std::move(proc));
+  machine_.index_process(pid, p);
+
+  if (parent != kInvalidPid) {
+    Process* pp = machine_.find_process(parent);
+    if (pp != nullptr) pp->children_.push_back(pid);
+  }
+
+  sim::LogLine(sim::LogLevel::Debug, machine_.sim().now(), "spawn")
+      << host_ << " pid " << pid << " (" << p->program().name() << ")";
+
+  Machine& m = machine_;
+  m.sim().schedule(cost, [&m, pid] {
+    Process* child = m.find_process(pid);
+    if (child == nullptr || child->state() == ProcState::Exited) return;
+    child->set_state(ProcState::Running);
+    child->program().on_start(*child);
+    child->flush_deferred();
+    if (child->options().started_callback) {
+      auto cb = child->options().started_callback;
+      Process* pp = m.find_process(child->parent());
+      if (pp != nullptr && pp->state() != ProcState::Exited) {
+        pp->deliver([cb, pid] { cb(pid); });
+      }
+    }
+  });
+  return {Status::ok(), pid};
+}
+
+Process* Node::find(Pid pid) {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+const Process* Node::find(Pid pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Process*> Node::live_processes() {
+  std::vector<Process*> out;
+  out.reserve(procs_.size());
+  for (auto& [pid, p] : procs_) {
+    if (p->state() != ProcState::Exited) out.push_back(p.get());
+  }
+  return out;
+}
+
+int Node::live_process_count() const {
+  int n = 0;
+  for (const auto& [pid, p] : procs_) {
+    if (p->state() != ProcState::Exited) ++n;
+  }
+  return n;
+}
+
+Status Node::register_listener(Port port, Pid pid,
+                               Process::AcceptHandler on_accept) {
+  auto [it, inserted] =
+      listeners_.emplace(port, Listener{pid, std::move(on_accept)});
+  if (!inserted) {
+    return Status(Rc::Esys, "bind: address already in use on " + host_);
+  }
+  return Status::ok();
+}
+
+void Node::unregister_listener(Port port, Pid pid) {
+  auto it = listeners_.find(port);
+  if (it != listeners_.end() && it->second.pid == pid) listeners_.erase(it);
+}
+
+const Node::Listener* Node::listener(Port port) const {
+  auto it = listeners_.find(port);
+  return it == listeners_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lmon::cluster

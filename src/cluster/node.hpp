@@ -1,0 +1,64 @@
+// node.hpp - one host of the simulated cluster.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/process.hpp"
+#include "cluster/types.hpp"
+
+namespace lmon::cluster {
+
+class Machine;
+
+class Node {
+ public:
+  Node(Machine& machine, NodeId id, std::string hostname);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& hostname() const noexcept { return host_; }
+  [[nodiscard]] Machine& machine() noexcept { return machine_; }
+
+  /// Spawns a top-level process (no parent) on this node, charging fork/exec
+  /// costs before the program's on_start runs.
+  Result<Pid> spawn(std::unique_ptr<Program> program, SpawnOptions opts);
+
+  [[nodiscard]] Process* find(Pid pid);
+  [[nodiscard]] const Process* find(Pid pid) const;
+
+  /// All live (non-exited) processes - the /proc directory listing, which is
+  /// what Jobsnap back ends scan.
+  [[nodiscard]] std::vector<Process*> live_processes();
+  [[nodiscard]] int live_process_count() const;
+
+  // Listener table (used via Process::listen).
+  struct Listener {
+    Pid pid = kInvalidPid;
+    Process::AcceptHandler on_accept;
+  };
+  Status register_listener(Port port, Pid pid,
+                           Process::AcceptHandler on_accept = nullptr);
+  void unregister_listener(Port port, Pid pid);
+  [[nodiscard]] const Listener* listener(Port port) const;
+
+ private:
+  friend class Process;
+  friend class Machine;
+
+  /// Spawn with explicit parent; Process::spawn_child routes here.
+  Result<Pid> spawn_internal(std::unique_ptr<Program> program,
+                             SpawnOptions opts, Pid parent);
+
+  Machine& machine_;
+  NodeId id_;
+  std::string host_;
+  std::unordered_map<Pid, std::unique_ptr<Process>> procs_;
+  std::unordered_map<Port, Listener> listeners_;
+};
+
+}  // namespace lmon::cluster

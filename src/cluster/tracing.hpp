@@ -1,0 +1,78 @@
+// tracing.hpp - ptrace-like debugger primitives.
+//
+// The LaunchMON engine's defining trick (paper §3.1) is to trace the RM's
+// launcher process: catch its MPIR_Breakpoint stop, read the proctable out
+// of its address space, and drive it onward. This header models exactly the
+// primitives that requires - attach, stop/continue, symbol-addressed memory
+// reads with size-proportional cost, and asynchronous debug events.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cluster/types.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace lmon::cluster {
+
+class Machine;
+class Process;
+
+enum class DebugEventType : std::uint8_t {
+  Attached,  ///< target stopped after trace_attach
+  Stopped,   ///< target hit a breakpoint (symbol names it)
+  Exited,    ///< target terminated
+};
+
+struct DebugEvent {
+  DebugEventType type;
+  Pid target = kInvalidPid;
+  std::string symbol;  ///< breakpoint symbol for Stopped events
+  int exit_code = 0;   ///< for Exited events
+};
+
+/// One tracer-to-target attachment. Owned by the tracer Process; all
+/// operations are asynchronous and charge the cost model's trace costs.
+class TraceSession {
+ public:
+  TraceSession(Machine& machine, Pid tracer, Pid target,
+               std::function<void(const DebugEvent&)> handler);
+
+  [[nodiscard]] Pid target() const noexcept { return target_; }
+  [[nodiscard]] Pid tracer() const noexcept { return tracer_; }
+  [[nodiscard]] bool attached() const noexcept { return attached_; }
+
+  /// Reads a named symbol from the (stopped or running) target's address
+  /// space. Cost: mem_read_base + size * mem_read_per_kb. The callback gets
+  /// Rc::Einval if the symbol does not exist, Rc::Edead if the target died.
+  void read_symbol(const std::string& name,
+                   std::function<void(Status, Bytes)> cb);
+
+  /// Writes a named symbol into the target (e.g. MPIR_being_debugged).
+  void write_symbol(const std::string& name, Bytes data,
+                    std::function<void(Status)> cb);
+
+  /// Resumes a target stopped at a breakpoint or by attach.
+  void continue_target();
+
+  /// Detaches; the target resumes if stopped and the session goes dead.
+  void detach();
+
+  /// Kills the target outright.
+  void kill_target();
+
+ private:
+  friend class Process;
+
+  void emit(const DebugEvent& ev);  // schedules handler in tracer context
+  Process* live_target() const;
+
+  Machine& machine_;
+  Pid tracer_;
+  Pid target_;
+  std::function<void(const DebugEvent&)> handler_;
+  bool attached_ = true;
+};
+
+}  // namespace lmon::cluster

@@ -1,0 +1,52 @@
+// types.hpp - basic identifiers for the simulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lmon::cluster {
+
+/// Process id, unique across the whole simulated machine (not per node, which
+/// keeps RPDTAB entries unambiguous without (host, pid) pairs in tests).
+using Pid = std::int64_t;
+inline constexpr Pid kInvalidPid = -1;
+
+/// Index of a node within its Machine.
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// TCP-like port number on a node.
+using Port = std::uint16_t;
+
+/// Well-known ports used by the substrates (values are arbitrary but stable).
+inline constexpr Port kRmControllerPort = 6817;   // SLURM-like slurmctld
+inline constexpr Port kRmNodeDaemonPort = 6818;   // SLURM-like slurmd
+inline constexpr Port kRshDaemonPort = 514;       // rshd
+inline constexpr Port kToolFabricBasePort = 9000; // RM-provided daemon fabric
+                                                  // (64 FEs x 64 sessions x 8
+                                                  //  ports => 9000..41767)
+inline constexpr Port kTbonBasePort = 48000;      // TBON comm-node listeners
+
+/// Process lifecycle states.
+enum class ProcState : std::uint8_t {
+  Spawning,  ///< fork/exec cost still being charged; on_start not yet run
+  Running,
+  Stopped,   ///< stopped by a tracer (breakpoint or attach)
+  Exited,
+};
+
+/// /proc-style per-process statistics, the data Jobsnap gathers (paper Sec. 5.1:
+/// personality, state, pc, thread count, memory statistics, rusage counters).
+struct ProcStats {
+  char state = 'R';                ///< R/S/T/Z like /proc/<pid>/stat
+  std::uint64_t program_counter = 0;
+  std::uint32_t num_threads = 1;
+  std::uint64_t vm_hwm_kb = 0;     ///< virtual memory high watermark
+  std::uint64_t vm_rss_kb = 0;
+  std::uint64_t vm_lck_kb = 0;     ///< locked memory
+  std::uint64_t utime_ms = 0;      ///< user CPU time
+  std::uint64_t stime_ms = 0;      ///< system CPU time
+  std::uint64_t maj_faults = 0;    ///< major page faults
+};
+
+}  // namespace lmon::cluster

@@ -1,0 +1,64 @@
+// argparse.hpp - minimal "--key=value" argv helpers.
+//
+// The simulated processes receive argv-style string vectors (daemon
+// bootstrap parameters travel as real argv, like SLURM passes them), so
+// several programs need the same tiny lookup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmon {
+
+/// Returns the value of "--key=value" for key "--key=", or nullopt.
+inline std::optional<std::string> arg_value(
+    const std::vector<std::string>& args, std::string_view key_eq) {
+  for (const auto& a : args) {
+    if (a.size() > key_eq.size() &&
+        std::string_view(a).substr(0, key_eq.size()) == key_eq) {
+      return a.substr(key_eq.size());
+    }
+  }
+  return std::nullopt;
+}
+
+inline std::optional<std::int64_t> arg_int(
+    const std::vector<std::string>& args, std::string_view key_eq) {
+  auto v = arg_value(args, key_eq);
+  if (!v) return std::nullopt;
+  try {
+    return std::stoll(*v);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// True when the exact flag (e.g. "--verbose") is present.
+inline bool arg_flag(const std::vector<std::string>& args,
+                     std::string_view flag) {
+  for (const auto& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+/// Splits a comma-separated list ("host1,host2,host3").
+inline std::vector<std::string> split_csv(std::string_view csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    if (comma == std::string_view::npos) {
+      if (start < csv.size()) out.emplace_back(csv.substr(start));
+      break;
+    }
+    if (comma > start) out.emplace_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace lmon

@@ -1,0 +1,155 @@
+// bytes.hpp - little-endian wire serialization helpers.
+//
+// Every protocol in this repository (LMONP, the RM control protocol, the
+// TBON packet format, tool payloads) serializes to real byte buffers so that
+// message *sizes* are faithful: the simulated network charges transfer time
+// proportional to the encoded size, which is what makes the paper's
+// region-B/region-C linear terms (RPDTAB fetch, handshake payloads)
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmon {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values and length-prefixed containers to a byte buffer.
+///
+/// All integers are encoded little-endian with fixed width. Strings and blobs
+/// are prefixed with a u32 length. The writer never fails; size is available
+/// at any time for cost accounting.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    append_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  /// u32 length prefix + raw bytes.
+  void blob(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b);
+  }
+
+  /// Raw bytes, no prefix (caller knows the framing).
+  void raw(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+
+  /// Overwrites previously written bytes at `offset` (e.g. to patch a length
+  /// field after the payload is known). `offset + 4` must be <= size().
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buf_;
+};
+
+/// Consumes primitive values from a byte buffer written by ByteWriter.
+///
+/// Every accessor returns std::optional; decoding a malformed buffer yields
+/// nullopt instead of UB, so protocol handlers can reject bad frames
+/// (exercised by the fuzz-ish property tests).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ByteReader(const Bytes& data) : data_(data.data(), data.size()) {}
+
+  std::optional<std::uint8_t> u8() { return take_le<std::uint8_t>(); }
+  std::optional<std::uint16_t> u16() { return take_le<std::uint16_t>(); }
+  std::optional<std::uint32_t> u32() { return take_le<std::uint32_t>(); }
+  std::optional<std::uint64_t> u64() { return take_le<std::uint64_t>(); }
+  std::optional<std::int32_t> i32() {
+    auto v = take_le<std::uint32_t>();
+    if (!v) return std::nullopt;
+    return static_cast<std::int32_t>(*v);
+  }
+  std::optional<std::int64_t> i64() {
+    auto v = take_le<std::uint64_t>();
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(*v);
+  }
+  std::optional<double> f64() {
+    auto bits = take_le<std::uint64_t>();
+    if (!bits) return std::nullopt;
+    double v;
+    std::memcpy(&v, &*bits, sizeof v);
+    return v;
+  }
+  std::optional<bool> boolean() {
+    auto v = u8();
+    if (!v) return std::nullopt;
+    return *v != 0;
+  }
+
+  std::optional<std::string> str();
+  std::optional<Bytes> blob();
+
+  /// Raw bytes of exactly `n`, no prefix.
+  std::optional<Bytes> raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  std::optional<T> take_le() {
+    if (remaining() < sizeof(T)) return std::nullopt;
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: byte span view of a string.
+inline std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Hex encoding, for smuggling binary blobs through argv (the ad hoc TBON
+/// startup passes its topology this way, like MRNet's topology file).
+std::string to_hex(const Bytes& b);
+std::optional<Bytes> from_hex(std::string_view s);
+
+}  // namespace lmon

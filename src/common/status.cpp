@@ -1,0 +1,31 @@
+#include "common/status.hpp"
+
+namespace lmon {
+
+std::string_view to_string(Rc rc) noexcept {
+  switch (rc) {
+    case Rc::Ok: return "Ok";
+    case Rc::Einval: return "Einval";
+    case Rc::Ebdarg: return "Ebdarg";
+    case Rc::Esubcom: return "Esubcom";
+    case Rc::Esys: return "Esys";
+    case Rc::Etout: return "Etout";
+    case Rc::Enomem: return "Enomem";
+    case Rc::Enosession: return "Enosession";
+    case Rc::Ebusy: return "Ebusy";
+    case Rc::Edead: return "Edead";
+    case Rc::Eunsupported: return "Eunsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out(lmon::to_string(rc_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace lmon

@@ -1,0 +1,61 @@
+// status.hpp - error/result codes used across the LaunchMON reproduction.
+//
+// Mirrors the spirit of the real LaunchMON `lmon_rc_e` return-code enum:
+// every public API call returns a Status rather than throwing, because tool
+// front ends must be able to degrade gracefully (e.g. fall back to an ad hoc
+// launcher) when an RM service is missing.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace lmon {
+
+/// Return codes for public LaunchMON-style APIs.
+enum class Rc {
+  Ok = 0,            ///< success (LMON_OK)
+  Einval,            ///< invalid argument (LMON_EINVAL)
+  Ebdarg,            ///< bad argument contents (LMON_EBDARG)
+  Esubcom,           ///< error in a communication subsystem (LMON_ESUBCOM)
+  Esys,              ///< (simulated) system error, e.g. fork failure (LMON_ESYS)
+  Etout,             ///< timed out (LMON_ETOUT)
+  Enomem,            ///< resource exhaustion (LMON_ENOMEM)
+  Enosession,        ///< unknown session handle
+  Ebusy,             ///< session already has an operation in flight
+  Edead,             ///< target job/daemon exited unexpectedly
+  Eunsupported,      ///< operation not supported by this RM adaptation
+};
+
+/// Human-readable name for a return code ("Ok", "Esys", ...).
+std::string_view to_string(Rc rc) noexcept;
+
+/// A return code plus an optional diagnostic message.
+///
+/// Cheap to copy when ok (empty message); carries context on failure.
+class Status {
+ public:
+  Status() noexcept : rc_(Rc::Ok) {}
+  Status(Rc rc) noexcept : rc_(rc) {}  // NOLINT: implicit by design
+  Status(Rc rc, std::string message) : rc_(rc), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return rc_ == Rc::Ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Rc rc() const noexcept { return rc_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "Ok" or "Esys: fork failed on node 3".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.rc_ == b.rc_;
+  }
+
+ private:
+  Rc rc_;
+  std::string message_;
+};
+
+}  // namespace lmon

@@ -1,0 +1,27 @@
+// be_api.hpp - the LaunchMON Back-End API (paper §3.3).
+//
+// A tool daemon program constructs a BackEnd in its on_start and calls
+// init(); once on_ready fires the daemon knows its rank, the job RPDTAB,
+// the tasks co-located with it, and can use the minimal collectives
+// (barrier / broadcast / gather / scatter) for tool coordination.
+//
+// Real-LaunchMON correspondence:
+//   LMON_be_init / LMON_be_handshake / LMON_be_ready  -> BackEnd::init
+//   LMON_be_getMyProctabSize / ..MyProctab            -> my_entries()
+//   LMON_be_amIMaster                                  -> is_master()
+//   LMON_be_barrier / broadcast / gather / scatter     -> same names
+//   LMON_be_sendUsrData / recvUsrData                  -> send_usrdata_fe /
+//                                                         Callbacks::on_usrdata
+#pragma once
+
+#include "core/daemon_runtime.hpp"
+
+namespace lmon::core {
+
+class BackEnd : public DaemonRuntime {
+ public:
+  explicit BackEnd(cluster::Process& self)
+      : DaemonRuntime(self, MsgClass::FeBe) {}
+};
+
+}  // namespace lmon::core

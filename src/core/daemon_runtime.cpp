@@ -1,0 +1,317 @@
+#include "core/daemon_runtime.hpp"
+
+#include <cassert>
+
+#include "cluster/machine.hpp"
+#include "common/argparse.hpp"
+#include "core/payloads.hpp"
+#include "simkernel/log.hpp"
+
+namespace lmon::core {
+
+DaemonRuntime::DaemonRuntime(cluster::Process& self, MsgClass cls)
+    : self_(self), cls_(cls) {
+  assert(cls == MsgClass::FeBe || cls == MsgClass::FeMw);
+}
+
+DaemonRuntime::~DaemonRuntime() = default;
+
+Status DaemonRuntime::init(Callbacks callbacks) {
+  cbs_ = std::move(callbacks);
+  auto params = Iccl::params_from_args(self_.args());
+  if (!params) {
+    return Status(Rc::Einval,
+                  "daemon not launched by LaunchMON (missing --lmon-* argv)");
+  }
+  fe_host_ = arg_value(self_.args(), "--lmon-fe-host=").value_or("");
+  fe_port_ = static_cast<cluster::Port>(
+      arg_int(self_.args(), "--lmon-fe-port=").value_or(0));
+
+  iccl_ = std::make_unique<Iccl>(self_, std::move(*params));
+  iccl_->set_bcast_handler(
+      [this](std::uint32_t tag, const Bytes& data) { dispatch_bcast(tag, data); });
+  iccl_->set_gather_handler(
+      [this](std::uint32_t tag,
+             std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+        on_internal_gather(tag, std::move(entries));
+      });
+  iccl_->set_scatter_handler([this](std::uint32_t tag, const Bytes& data) {
+    auto it = scatter_waiters_.find(tag);
+    if (it == scatter_waiters_.end()) return;
+    auto fn = std::move(it->second);
+    scatter_waiters_.erase(it);
+    fn(data);
+  });
+
+  // The master's handshake with the FE begins immediately (paper e7) while
+  // the fabric wires underneath (e8..e9).
+  if (iccl_->is_root()) {
+    self_.machine().mark(mark_prefix() + "e8_setup_begin");
+    connect_fe();
+  }
+  iccl_->start([this](Status st) { on_fabric_ready(st); });
+  return Status::ok();
+}
+
+void DaemonRuntime::connect_fe() {
+  if (fe_host_.empty() || fe_port_ == 0) {
+    fail(Status(Rc::Einval, "no FE endpoint in bootstrap argv"));
+    return;
+  }
+  self_.connect(
+      fe_host_, fe_port_, [this](Status st, cluster::ChannelPtr ch) {
+        if (!st.is_ok()) {
+          fail(Status(Rc::Esubcom, "master cannot reach FE: " + st.message()));
+          return;
+        }
+        fe_channel_ = ch;
+        self_.set_channel_handler(
+            ch,
+            [this](const cluster::ChannelPtr& c, cluster::Message m) {
+              on_fe_message(c, std::move(m));
+            },
+            [this](const cluster::ChannelPtr&) {
+              // FE went away: tear the session down.
+              if (cbs_.on_shutdown) {
+                cbs_.on_shutdown();
+              } else {
+                self_.exit(0);
+              }
+            });
+        payload::Hello hello;
+        hello.session = iccl_->params().session;
+        hello.rank = iccl_->rank();
+        hello.pid = self_.pid();
+        hello.host = self_.node().hostname();
+        self_.send(ch, LmonpMessage::fe_daemon(cls_, FeDaemonMsg::Hello,
+                                               hello.encode())
+                           .encode());
+      });
+}
+
+void DaemonRuntime::on_fabric_ready(Status st) {
+  if (!st.is_ok()) {
+    fail(st);
+    return;
+  }
+  fabric_ready_ = true;
+  if (iccl_->is_root()) {
+    self_.machine().mark(mark_prefix() + "e9_setup_done");
+    maybe_run_handshake();
+  }
+}
+
+void DaemonRuntime::on_fe_message(const cluster::ChannelPtr& ch,
+                                  cluster::Message m) {
+  (void)ch;
+  auto msg = LmonpMessage::decode(m);
+  if (!msg || msg->msg_class != cls_) return;
+  switch (static_cast<FeDaemonMsg>(msg->type)) {
+    case FeDaemonMsg::HandshakeInit: {
+      auto init = payload::HandshakeInit::decode(msg->lmon_payload);
+      if (!init) return;
+      buffered_rpdtab_ = std::move(init->rpdtab);
+      buffered_usr_ = std::move(msg->usr_payload);
+      handshake_buffered_ = true;
+      maybe_run_handshake();
+      break;
+    }
+    case FeDaemonMsg::UsrData:
+      if (cbs_.on_usrdata) cbs_.on_usrdata(msg->usr_payload);
+      break;
+    case FeDaemonMsg::Detach:
+      iccl_->broadcast(kTagShutdown, {});
+      break;
+    default:
+      break;
+  }
+}
+
+void DaemonRuntime::maybe_run_handshake() {
+  if (!iccl_->is_root() || !fabric_ready_ || !handshake_buffered_ ||
+      handshake_done_) {
+    return;
+  }
+  handshake_done_ = true;
+  self_.machine().mark(mark_prefix() + "t_collective_begin");
+  // Distribute the RPDTAB + piggybacked tool data down the fabric.
+  ByteWriter w;
+  w.blob(buffered_rpdtab_);
+  w.blob(buffered_usr_);
+  iccl_->broadcast(kTagHandshake, std::move(w).take());
+}
+
+void DaemonRuntime::on_handshake_bcast(const Bytes& data) {
+  ByteReader r(data);
+  auto table = r.blob();
+  auto usr = r.blob();
+  if (!table || !usr) {
+    fail(Status(Rc::Esubcom, "malformed handshake broadcast"));
+    return;
+  }
+  auto rpdtab = Rpdtab::unpack(*table);
+  if (!rpdtab) {
+    fail(Status(Rc::Esubcom, "bad RPDTAB in handshake"));
+    return;
+  }
+  proctable_ = std::move(*rpdtab);
+  usrdata_ = std::move(*usr);
+
+  auto ack = [this](Status st) {
+    ByteWriter w;
+    w.boolean(st.is_ok());
+    w.str(st.message());
+    iccl_->contribute(kTagReadyAck, std::move(w).take());
+    if (cbs_.on_ready && !iccl_->is_root()) cbs_.on_ready(st);
+  };
+  if (cbs_.on_init) {
+    cbs_.on_init(proctable_, usrdata_, ack);
+  } else {
+    ack(Status::ok());
+  }
+}
+
+void DaemonRuntime::on_internal_gather(
+    std::uint32_t tag, std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+  if (tag == kTagReadyAck) {
+    // Master: all daemons initialized (or reported failure).
+    bool all_ok = entries.size() == iccl_->size();
+    std::string error;
+    for (const auto& [rank, data] : entries) {
+      ByteReader r(data);
+      auto ok_f = r.boolean();
+      auto msg = r.str();
+      if (!ok_f || !*ok_f) {
+        all_ok = false;
+        if (error.empty() && msg && !msg->empty()) error = *msg;
+      }
+    }
+    self_.machine().mark(mark_prefix() + "t_collective_end");
+
+    payload::Ready ready;
+    ready.ok = all_ok;
+    ready.error = error;
+    ready.ndaemons = static_cast<std::uint32_t>(entries.size());
+    if (fe_channel_ != nullptr) {
+      self_.machine().mark(mark_prefix() + "e10_ready");
+      self_.send(fe_channel_,
+                 LmonpMessage::fe_daemon(cls_, FeDaemonMsg::Ready,
+                                         ready.encode(), ready_usr_)
+                     .encode());
+    }
+    if (cbs_.on_ready) {
+      cbs_.on_ready(all_ok ? Status::ok() : Status(Rc::Esubcom, error));
+    }
+    return;
+  }
+  // User-level gather round.
+  auto it = gather_waiters_.find(tag);
+  if (it == gather_waiters_.end()) return;
+  auto fn = std::move(it->second);
+  gather_waiters_.erase(it);
+  if (fn) fn(std::move(entries));
+}
+
+void DaemonRuntime::dispatch_bcast(std::uint32_t tag, const Bytes& data) {
+  if (tag == kTagHandshake) {
+    on_handshake_bcast(data);
+    return;
+  }
+  if (tag == kTagShutdown) {
+    if (cbs_.on_shutdown) {
+      cbs_.on_shutdown();
+    } else {
+      self_.exit(0);
+    }
+    return;
+  }
+  if (tag == kTagCommand) {
+    if (cbs_.on_command) cbs_.on_command(data);
+    return;
+  }
+  auto it = bcast_waiters_.find(tag);
+  if (it == bcast_waiters_.end()) return;
+  auto fn = std::move(it->second);
+  bcast_waiters_.erase(it);
+  if (fn) fn(data);
+}
+
+std::vector<rm::TaskDesc> DaemonRuntime::my_entries() const {
+  return proctable_.entries_for_host(self_.node().hostname());
+}
+
+Status DaemonRuntime::send_usrdata_fe(Bytes b) {
+  if (!is_master()) {
+    return Status(Rc::Einval, "only the master daemon talks to the FE");
+  }
+  if (fe_channel_ == nullptr) return Status(Rc::Esubcom, "no FE link");
+  self_.send(fe_channel_, LmonpMessage::fe_daemon(cls_, FeDaemonMsg::UsrData,
+                                                  {}, std::move(b))
+                              .encode());
+  return Status::ok();
+}
+
+Status DaemonRuntime::broadcast_command(Bytes data) {
+  if (!is_master()) {
+    return Status(Rc::Einval, "only the master broadcasts commands");
+  }
+  iccl_->broadcast(kTagCommand, std::move(data));
+  return Status::ok();
+}
+
+void DaemonRuntime::barrier(std::function<void()> done) {
+  const std::uint32_t tag = kUserBarrier + barrier_count_++;
+  // Barrier = gather(empty) at master + broadcast(release).
+  bcast_waiters_[tag] = [done = std::move(done)](const Bytes&) {
+    if (done) done();
+  };
+  if (is_master()) {
+    gather_waiters_[tag] = [this, tag](auto) { iccl_->broadcast(tag, {}); };
+  }
+  iccl_->contribute(tag, {});
+}
+
+void DaemonRuntime::gather(
+    Bytes contribution,
+    std::function<void(std::vector<std::pair<std::uint32_t, Bytes>>)>
+        at_master) {
+  const std::uint32_t tag = kUserGather + gather_count_++;
+  if (is_master()) gather_waiters_[tag] = std::move(at_master);
+  iccl_->contribute(tag, std::move(contribution));
+}
+
+void DaemonRuntime::broadcast(Bytes data,
+                              std::function<void(const Bytes&)> delivered) {
+  const std::uint32_t tag = kUserBcast + bcast_count_++;
+  bcast_waiters_[tag] = std::move(delivered);
+  if (is_master()) iccl_->broadcast(tag, std::move(data));
+}
+
+void DaemonRuntime::scatter(std::vector<Bytes> parts,
+                            std::function<void(const Bytes&)> delivered) {
+  const std::uint32_t tag = kUserScatter + scatter_count_++;
+  scatter_waiters_[tag] = std::move(delivered);
+  if (is_master()) {
+    assert(parts.size() == iccl_->size());
+    iccl_->scatter(tag, std::move(parts));
+  }
+}
+
+void DaemonRuntime::fail(Status st) {
+  if (failed_) return;
+  failed_ = true;
+  sim::LogLine(sim::LogLevel::Warn, self_.sim().now(), "lmon_daemon")
+      << "rank " << (iccl_ ? iccl_->rank() : 0)
+      << " session failure: " << st.to_string();
+  if (is_master() && fe_channel_ != nullptr) {
+    payload::Ready ready;
+    ready.ok = false;
+    ready.error = st.message();
+    self_.send(fe_channel_, LmonpMessage::fe_daemon(cls_, FeDaemonMsg::Ready,
+                                                    ready.encode())
+                                .encode());
+  }
+  if (cbs_.on_ready) cbs_.on_ready(st);
+}
+
+}  // namespace lmon::core

@@ -1,0 +1,152 @@
+// daemon_runtime.hpp - shared implementation of the BE and MW APIs.
+//
+// The paper's BE (§3.3) and MW (§3.4) APIs have deliberately parallel
+// requirements: consume the RM-provided bootstrap parameters, wire the
+// ICCL fabric, handshake with the front end through one master
+// representative, distribute the RPDTAB, and expose minimal collectives.
+// DaemonRuntime implements that machinery once; lmon::core::BackEnd and
+// lmon::core::MiddleWare (be_api.hpp / mw_api.hpp) bind it to the FeBe and
+// FeMw LMONP message classes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/process.hpp"
+#include "core/iccl.hpp"
+#include "core/lmonp.hpp"
+#include "core/rpdtab.hpp"
+
+namespace lmon::core {
+
+class DaemonRuntime {
+ public:
+  struct Callbacks {
+    /// Local tool initialization, invoked on every daemon once the RPDTAB
+    /// and piggybacked tool data arrive. Call `done` when the daemon is
+    /// operational; the master reports Ready to the FE only after all
+    /// daemons have done so.
+    std::function<void(const Rpdtab& proctable, const Bytes& usrdata,
+                       std::function<void(Status)> done)>
+        on_init;
+    /// Session became ready (every daemon) or failed (status not ok).
+    std::function<void(Status)> on_ready;
+    /// Master only: tool data sent by the FE outside the startup exchange.
+    std::function<void(const Bytes&)> on_usrdata;
+    /// Every daemon: a command the master fanned out with
+    /// broadcast_command(). Unlike broadcast(), commands need no matching
+    /// call on the receivers, so the master can initiate fleet-wide actions
+    /// (e.g. relaying an FE request) at any time.
+    std::function<void(const Bytes&)> on_command;
+    /// FE asked the session to shut down (default: exit(0)).
+    std::function<void()> on_shutdown;
+  };
+
+  /// `cls` selects the LMONP pair: FeBe for back ends, FeMw for middleware.
+  DaemonRuntime(cluster::Process& self, MsgClass cls);
+  ~DaemonRuntime();
+
+  /// Parses the RM-provided argv, wires the fabric and runs the handshake.
+  /// Fails fast (Einval) when the argv lacks the bootstrap parameters,
+  /// which is what a daemon started outside LaunchMON sees.
+  Status init(Callbacks callbacks);
+
+  // --- identity ("personality" in MW terms) --------------------------------
+  [[nodiscard]] std::uint32_t rank() const { return iccl_->rank(); }
+  [[nodiscard]] std::uint32_t size() const { return iccl_->size(); }
+  [[nodiscard]] bool is_master() const { return iccl_->is_root(); }
+  [[nodiscard]] const std::string& session() const {
+    return iccl_->params().session;
+  }
+
+  // --- data from the handshake ------------------------------------------------
+  [[nodiscard]] const Rpdtab& proctable() const { return proctable_; }
+  /// RPDTAB entries co-located with this daemon.
+  [[nodiscard]] std::vector<rm::TaskDesc> my_entries() const;
+  [[nodiscard]] const Bytes& usrdata() const { return usrdata_; }
+
+  // --- FE communication (master's representative link) --------------------------
+  /// Master only: user payload piggybacked onto the Ready message.
+  void set_ready_usr_payload(Bytes b) { ready_usr_ = std::move(b); }
+  /// Master only: sends tool data to the FE after startup.
+  Status send_usrdata_fe(Bytes b);
+
+  /// Master only: delivers `data` to every daemon's on_command callback
+  /// (including the master's own).
+  Status broadcast_command(Bytes data);
+
+  // --- minimal collectives (§3.3: "we only support simple barriers,
+  // broadcasts, gathers and scatters") -----------------------------------------
+  /// SPMD discipline: every daemon must invoke the same sequence of
+  /// collective calls; rounds are matched by per-primitive counters.
+  void barrier(std::function<void()> done);
+  /// All ranks contribute; `at_master` fires on the master only, with the
+  /// contributions in rank order.
+  void gather(Bytes contribution,
+              std::function<void(std::vector<std::pair<std::uint32_t, Bytes>>)>
+                  at_master);
+  /// Master passes data; everyone's `delivered` fires with it.
+  void broadcast(Bytes data, std::function<void(const Bytes&)> delivered);
+  /// Master passes size() parts; everyone's `delivered` fires with its own.
+  void scatter(std::vector<Bytes> parts,
+               std::function<void(const Bytes&)> delivered);
+
+  [[nodiscard]] Iccl& iccl() { return *iccl_; }
+
+ private:
+  // Internal collective tags.
+  static constexpr std::uint32_t kTagHandshake = 1;
+  static constexpr std::uint32_t kTagReadyAck = 2;
+  static constexpr std::uint32_t kTagShutdown = 3;
+  static constexpr std::uint32_t kTagCommand = 4;
+  static constexpr std::uint32_t kUserBarrier = 0x1000'0000;
+  static constexpr std::uint32_t kUserGather = 0x2000'0000;
+  static constexpr std::uint32_t kUserBcast = 0x3000'0000;
+  static constexpr std::uint32_t kUserScatter = 0x4000'0000;
+
+  void on_fabric_ready(Status st);
+  void connect_fe();
+  void on_fe_message(const cluster::ChannelPtr& ch, cluster::Message m);
+  void maybe_run_handshake();
+  void on_handshake_bcast(const Bytes& data);
+  void on_internal_gather(
+      std::uint32_t tag,
+      std::vector<std::pair<std::uint32_t, Bytes>> entries);
+  void dispatch_bcast(std::uint32_t tag, const Bytes& data);
+  void fail(Status st);
+  [[nodiscard]] std::string mark_prefix() const {
+    return cls_ == MsgClass::FeBe ? "be_" : "mw_";
+  }
+
+  cluster::Process& self_;
+  MsgClass cls_;
+  Callbacks cbs_;
+  std::unique_ptr<Iccl> iccl_;
+  std::string fe_host_;
+  cluster::Port fe_port_ = 0;
+  cluster::ChannelPtr fe_channel_;  ///< master only
+  Rpdtab proctable_;
+  Bytes usrdata_;
+  Bytes ready_usr_;
+  bool fabric_ready_ = false;
+  bool handshake_buffered_ = false;
+  Bytes buffered_rpdtab_;
+  Bytes buffered_usr_;
+  bool handshake_done_ = false;
+  bool failed_ = false;
+
+  std::map<std::uint32_t, std::function<void(const Bytes&)>> bcast_waiters_;
+  std::map<std::uint32_t,
+           std::function<void(std::vector<std::pair<std::uint32_t, Bytes>>)>>
+      gather_waiters_;
+  std::map<std::uint32_t, std::function<void(const Bytes&)>> scatter_waiters_;
+  std::uint32_t barrier_count_ = 0;
+  std::uint32_t gather_count_ = 0;
+  std::uint32_t bcast_count_ = 0;
+  std::uint32_t scatter_count_ = 0;
+};
+
+}  // namespace lmon::core

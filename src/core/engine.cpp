@@ -1,0 +1,349 @@
+#include "core/engine.hpp"
+
+#include <cassert>
+
+#include "cluster/machine.hpp"
+#include "common/argparse.hpp"
+#include "core/payloads.hpp"
+#include "rm/apai.hpp"
+#include "simkernel/log.hpp"
+
+namespace lmon::core {
+
+cluster::DebugEvent EventManager::pop() {
+  assert(!queue_.empty());
+  cluster::DebugEvent ev = std::move(queue_.front());
+  queue_.pop_front();
+  return ev;
+}
+
+LmonEvent EventDecoder::decode(const cluster::DebugEvent& native) const {
+  LmonEvent ev;
+  ev.native = native;
+  switch (native.type) {
+    case cluster::DebugEventType::Stopped:
+      ev.type = native.symbol == rm::apai::kBreakpoint
+                    ? LmonEventType::JobStoppedAtBreakpoint
+                    : LmonEventType::Ignored;
+      break;
+    case cluster::DebugEventType::Attached:
+      ev.type = LmonEventType::AttachComplete;
+      break;
+    case cluster::DebugEventType::Exited:
+      ev.type = LmonEventType::JobExited;
+      break;
+  }
+  return ev;
+}
+
+void EngineProgram::on_start(cluster::Process& self) {
+  const auto& args = self.args();
+  session_ = arg_value(args, "--session=").value_or("s0");
+  fe_host_ = arg_value(args, "--fe-host=").value_or("");
+  fe_port_ =
+      static_cast<cluster::Port>(arg_int(args, "--fe-port=").value_or(0));
+  attach_mode_ = arg_value(args, "--op=").value_or("launch") == "attach";
+
+  adapter_ = adapter_factory_ ? adapter_factory_()
+                              : std::make_unique<SlurmAdapter>();
+
+  self.machine().mark("e1_engine_start");
+  // Scale-independent engine bookkeeping ("all other LaunchMON costs").
+  const sim::Time fixed = self.machine().costs().engine_fixed_cost;
+  self.machine().charge("other", fixed);
+  self.post(fixed, [this, &self] {
+    self.connect(fe_host_, fe_port_,
+                 [this, &self](Status st, cluster::ChannelPtr ch) {
+                   if (!st.is_ok()) {
+                     self.exit(1);  // nothing to report to
+                     return;
+                   }
+                   fe_channel_ = ch;
+                   self.set_channel_handler(
+                       ch,
+                       [this, &self](const cluster::ChannelPtr& c,
+                                     cluster::Message m) {
+                         on_fe_message(self, c, std::move(m));
+                       },
+                       [this, &self](const cluster::ChannelPtr&) {
+                         // FE died: clean up the session.
+                         adapter_->kill_daemons(nullptr);
+                         adapter_->detach_job();
+                         self.exit(0);
+                       });
+                   payload::Hello hello;
+                   hello.session = session_;
+                   hello.pid = self.pid();
+                   hello.host = self.node().hostname();
+                   send_fe(self, LmonpMessage::fe_engine(FeEngineMsg::Hello,
+                                                         hello.encode()));
+                   start_operation(self);
+                 });
+  });
+}
+
+void EngineProgram::start_operation(cluster::Process& self) {
+  phase_ = Phase::WaitingForJob;
+  auto handler = [this, &self](const cluster::DebugEvent& ev) {
+    event_manager_.push(ev);
+    drive(self);
+  };
+
+  if (attach_mode_) {
+    const auto target = arg_int(self.args(), "--target-pid=");
+    if (!target) {
+      send_error(self, "attach", "no --target-pid");
+      return;
+    }
+    launcher_pid_ = static_cast<cluster::Pid>(*target);
+    self.machine().mark("e2_rm_launcher");
+    Status st = adapter_->attach_job(self, launcher_pid_, handler);
+    if (!st.is_ok()) send_error(self, "attach", st.message());
+    return;
+  }
+
+  rm::JobSpec spec;
+  spec.nnodes = static_cast<int>(
+      arg_int(self.args(), "--nnodes=").value_or(1));
+  spec.tasks_per_node =
+      static_cast<int>(arg_int(self.args(), "--tpn=").value_or(1));
+  spec.executable = arg_value(self.args(), "--exe=").value_or("mpi_app");
+  for (const auto& a : self.args()) {
+    constexpr std::string_view kAppArg = "--app-arg=";
+    if (a.rfind(kAppArg, 0) == 0) {
+      spec.app_args.push_back(a.substr(kAppArg.size()));
+    }
+  }
+  self.machine().mark("e2_rm_launcher");
+  auto res = adapter_->launch_job(self, spec, handler);
+  if (!res.is_ok()) {
+    send_error(self, "launch", res.status.message());
+    return;
+  }
+  launcher_pid_ = res.value;
+}
+
+void EngineProgram::drive(cluster::Process& self) {
+  while (!event_manager_.empty()) {
+    const LmonEvent ev = decoder_.decode(event_manager_.pop());
+    handle_event(self, ev);
+  }
+}
+
+void EngineProgram::handle_event(cluster::Process& self,
+                                 const LmonEvent& ev) {
+  switch (ev.type) {
+    case LmonEventType::JobStoppedAtBreakpoint:
+    case LmonEventType::AttachComplete:
+      if (phase_ == Phase::WaitingForJob) handle_job_stopped(self);
+      break;
+    case LmonEventType::JobExited:
+      handle_job_exited(self, ev.native.exit_code);
+      break;
+    case LmonEventType::Ignored:
+      break;
+  }
+}
+
+void EngineProgram::handle_job_stopped(cluster::Process& self) {
+  phase_ = Phase::FetchingTable;
+  // Total event-handling cost across the RM trace: #debug events times the
+  // average handler cost (paper: "18 ms at any scale" on SLURM, because a
+  // well designed RM has no events that grow with job size).
+  const auto& costs = self.machine().costs();
+  const sim::Time tracing =
+      static_cast<sim::Time>(costs.rm_debug_events) *
+      costs.engine_handler_cost;
+  if (!tracing_cost_charged_) {
+    tracing_cost_charged_ = true;
+    self.machine().charge("tracing", tracing);
+  }
+  self.post(tracing, [this, &self] {
+    self.machine().mark("e3_mpir_breakpoint");
+    fetch_and_ship_proctable(self);
+  });
+}
+
+void EngineProgram::fetch_and_ship_proctable(cluster::Process& self) {
+  const sim::Time fetch_begin = self.sim().now();
+  adapter_->fetch_proctable([this, &self, fetch_begin](Status st,
+                                                       Bytes blob) {
+    if (!st.is_ok()) {
+      send_error(self, "rpdtab-fetch", st.message());
+      return;
+    }
+    self.machine().mark("e4_rpdtab_fetched");
+    self.machine().charge("rpdtab_fetch", self.sim().now() - fetch_begin);
+    auto table = Rpdtab::from_proctable_blob(blob);
+    if (!table) {
+      send_error(self, "rpdtab-fetch", "malformed proctable");
+      return;
+    }
+    proctable_ = std::move(*table);
+    send_fe(self, LmonpMessage::fe_engine(FeEngineMsg::ProctableData,
+                                          proctable_.pack()));
+    // Recover the job id (totalview_jobid convention) for `srun --jobid`-
+    // style co-location, then launch the daemons.
+    adapter_->fetch_jobid([this, &self](Status jst, rm::JobId jobid) {
+      if (!jst.is_ok()) {
+        send_error(self, "jobid-fetch", jst.message());
+        return;
+      }
+      jobid_ = jobid;
+      co_spawn_daemons(self);
+    });
+  });
+}
+
+void EngineProgram::co_spawn_daemons(cluster::Process& self) {
+  phase_ = Phase::Spawning;
+  const auto& args = self.args();
+  RmAdapter::CoSpawnConfig cfg;
+  cfg.jobid = jobid_;
+  cfg.daemon_exe = arg_value(args, "--daemon-exe=").value_or("");
+  for (const auto& a : args) {
+    constexpr std::string_view kDaemonArg = "--daemon-arg=";
+    if (a.rfind(kDaemonArg, 0) == 0) {
+      cfg.daemon_args.push_back(a.substr(kDaemonArg.size()));
+    }
+  }
+  cfg.fabric.port = static_cast<cluster::Port>(
+      arg_int(args, "--fabric-port=").value_or(cluster::kToolFabricBasePort));
+  cfg.fabric.fanout =
+      static_cast<std::uint32_t>(arg_int(args, "--fabric-fanout=").value_or(2));
+  cfg.fabric.fe_host = fe_host_;
+  cfg.fabric.fe_port = fe_port_;
+  cfg.fabric.session = session_;
+  cfg.report_host = self.node().hostname();
+  cfg.report_port = static_cast<cluster::Port>(
+      arg_int(args, "--report-port=").value_or(0));
+
+  if (cfg.daemon_exe.empty()) {
+    // Pure job-control session (no daemons requested): job is usable now.
+    phase_ = Phase::Running;
+    adapter_->continue_job();
+    payload::DaemonsSpawned spawned;
+    spawned.ok = true;
+    send_fe(self, LmonpMessage::fe_engine(FeEngineMsg::DaemonsSpawned,
+                                          spawned.encode()));
+    return;
+  }
+
+  self.machine().mark("e5_cospawn_invoked");
+  Status st = adapter_->co_spawn(
+      self, cfg, [this, &self](rm::LaunchDone done) {
+        self.machine().mark("e6_daemons_spawned");
+        jobid_ = done.jobid;
+        payload::DaemonsSpawned spawned;
+        spawned.ok = done.ok;
+        spawned.error = done.error;
+        spawned.daemon_table = Rpdtab(done.daemons).pack();
+        send_fe(self, LmonpMessage::fe_engine(FeEngineMsg::DaemonsSpawned,
+                                              spawned.encode()));
+        phase_ = Phase::Running;
+        // Release the job: the tool daemons are in place.
+        adapter_->continue_job();
+      });
+  if (!st.is_ok()) send_error(self, "co-spawn", st.message());
+}
+
+void EngineProgram::handle_job_exited(cluster::Process& self, int code) {
+  if (phase_ == Phase::WaitingForJob || phase_ == Phase::FetchingTable) {
+    send_error(self, "job", "RM launcher exited before daemon launch");
+    return;
+  }
+  payload::StatusEvent ev;
+  ev.kind = payload::StatusEvent::JobExited;
+  ev.code = code;
+  send_fe(self,
+          LmonpMessage::fe_engine(FeEngineMsg::StatusEvent, ev.encode()));
+}
+
+void EngineProgram::on_fe_message(cluster::Process& self,
+                                  const cluster::ChannelPtr& ch,
+                                  cluster::Message m) {
+  (void)ch;
+  auto msg = LmonpMessage::decode(m);
+  if (!msg || msg->msg_class != MsgClass::FeEngine) return;
+  switch (static_cast<FeEngineMsg>(msg->type)) {
+    case FeEngineMsg::DetachReq:
+      adapter_->kill_daemons(nullptr);
+      adapter_->detach_job();
+      self.post(sim::ms(1), [&self] { self.exit(0); });
+      break;
+    case FeEngineMsg::KillReq:
+      adapter_->kill_daemons(nullptr);
+      adapter_->kill_tasks(self, jobid_, proctable_.hosts());
+      adapter_->kill_job();
+      // Give the kill requests time to leave before tearing down.
+      self.post(sim::ms(50), [&self] { self.exit(0); });
+      break;
+    case FeEngineMsg::ShutdownReq:
+      adapter_->detach_job();
+      self.exit(0);
+      break;
+    case FeEngineMsg::LaunchMwReq:
+      handle_launch_mw(self, msg->lmon_payload);
+      break;
+    default:
+      break;
+  }
+}
+
+void EngineProgram::handle_launch_mw(cluster::Process& self,
+                                     const Bytes& b) {
+  auto req = payload::LaunchMwReq::decode(b);
+  if (!req) return;
+  RmAdapter::CoSpawnConfig cfg;
+  cfg.alloc_nodes = req->nnodes;
+  cfg.middleware_partition = true;
+  cfg.daemon_exe = req->daemon_exe;
+  cfg.daemon_args = req->daemon_args;
+  cfg.fabric.port = req->fabric_port;
+  cfg.fabric.fanout = req->fabric_fanout;
+  cfg.fabric.fe_host = fe_host_;
+  cfg.fabric.fe_port = fe_port_;
+  cfg.fabric.session = session_ + "-mw" + std::to_string(mw_sessions_);
+  cfg.report_host = self.node().hostname();
+  // Distinct report port per MW launch, next to the BE report port.
+  const auto base = arg_int(self.args(), "--report-port=").value_or(0);
+  cfg.report_port =
+      static_cast<cluster::Port>(base + 1 + mw_sessions_);
+  mw_sessions_ += 1;
+
+  Status st = adapter_->co_spawn(self, cfg, [this, &self](rm::LaunchDone done) {
+    payload::DaemonsSpawned spawned;
+    spawned.ok = done.ok;
+    spawned.error = done.error;
+    spawned.daemon_table = Rpdtab(done.daemons).pack();
+    send_fe(self, LmonpMessage::fe_engine(FeEngineMsg::MwSpawned,
+                                          spawned.encode()));
+  });
+  if (!st.is_ok()) send_error(self, "mw-spawn", st.message());
+}
+
+void EngineProgram::on_child_exit(cluster::Process& self, cluster::Pid child,
+                                  int exit_code) {
+  (void)self;
+  (void)child;
+  (void)exit_code;
+  // Co-spawn launchers report over their channel; exits are routine.
+}
+
+void EngineProgram::send_fe(cluster::Process& self, LmonpMessage msg) {
+  if (fe_channel_ != nullptr) self.send(fe_channel_, msg.encode());
+}
+
+void EngineProgram::send_error(cluster::Process& self,
+                               const std::string& stage,
+                               const std::string& error) {
+  sim::LogLine(sim::LogLevel::Warn, self.sim().now(), "lmon_engine")
+      << stage << " failed: " << error;
+  payload::EngineError err;
+  err.stage = stage;
+  err.error = error;
+  send_fe(self,
+          LmonpMessage::fe_engine(FeEngineMsg::EngineError, err.encode()));
+}
+
+}  // namespace lmon::core

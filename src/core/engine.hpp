@@ -1,0 +1,126 @@
+// engine.hpp - the LaunchMON Engine (paper §3.1).
+//
+// The engine is a separate process, co-locatable with the RM launcher it
+// traces, acting as the FE's proxy toward the RM. Its internals follow the
+// paper's modular decomposition:
+//
+//   * EventManager  - "polling the target RM process via an OS interface":
+//                     receives native debug events and queues them.
+//   * EventDecoder  - converts native events into LaunchMON events.
+//   * EventHandlerTable - per-event handlers.
+//   * Driver        - organizes the main loop: pump EventManager, decode,
+//                     dispatch.
+//   * RmAdapter     - platform adaptation (see rm_adapter.hpp).
+//
+// Argv (assembled by the FE runtime):
+//   --op=launch|attach --session=S --fe-host=H --fe-port=P
+//   launch: --nnodes=N --tpn=T --exe=NAME [--app-arg=...]
+//   attach: --target-pid=P
+//   daemons: --daemon-exe=NAME [--daemon-arg=...] --fabric-port=P
+//            --fabric-fanout=K --report-port=P
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cluster/process.hpp"
+#include "cluster/tracing.hpp"
+#include "core/lmonp.hpp"
+#include "core/rm_adapter.hpp"
+#include "core/rpdtab.hpp"
+
+namespace lmon::core {
+
+/// LaunchMON-level events, decoded from native debug events.
+enum class LmonEventType {
+  JobStoppedAtBreakpoint,  ///< launcher hit MPIR_Breakpoint
+  AttachComplete,          ///< attach stop delivered
+  JobExited,               ///< launcher terminated
+  Ignored,                 ///< benign native event (signals etc.)
+};
+
+struct LmonEvent {
+  LmonEventType type = LmonEventType::Ignored;
+  cluster::DebugEvent native;
+};
+
+/// Queues native debug events (the "OS interface poll" results).
+class EventManager {
+ public:
+  void push(cluster::DebugEvent ev) { queue_.push_back(std::move(ev)); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  cluster::DebugEvent pop();
+
+ private:
+  std::deque<cluster::DebugEvent> queue_;
+};
+
+/// Maps native debug events to LaunchMON events.
+class EventDecoder {
+ public:
+  [[nodiscard]] LmonEvent decode(const cluster::DebugEvent& native) const;
+};
+
+class EngineProgram : public cluster::Program {
+ public:
+  /// Factory for tests that want a custom adapter (e.g. a fault-injecting
+  /// one); default builds a SlurmAdapter.
+  using AdapterFactory = std::function<std::unique_ptr<RmAdapter>()>;
+
+  EngineProgram() = default;
+  explicit EngineProgram(AdapterFactory factory)
+      : adapter_factory_(std::move(factory)) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "lmon_engine";
+  }
+  void on_start(cluster::Process& self) override;
+  void on_child_exit(cluster::Process& self, cluster::Pid child,
+                     int exit_code) override;
+
+ private:
+  enum class Phase {
+    Init,
+    WaitingForJob,   ///< launch/attach issued, waiting for the stop event
+    FetchingTable,
+    Spawning,        ///< co-spawn in flight
+    Running,         ///< daemons up, proxying
+    Dead,
+  };
+
+  // Driver loop: pump -> decode -> dispatch (paper's central Driver class).
+  void drive(cluster::Process& self);
+  void handle_event(cluster::Process& self, const LmonEvent& ev);
+  void handle_job_stopped(cluster::Process& self);
+  void handle_job_exited(cluster::Process& self, int code);
+
+  void start_operation(cluster::Process& self);
+  void fetch_and_ship_proctable(cluster::Process& self);
+  void co_spawn_daemons(cluster::Process& self);
+  void on_fe_message(cluster::Process& self, const cluster::ChannelPtr& ch,
+                     cluster::Message m);
+  void handle_launch_mw(cluster::Process& self, const Bytes& payload);
+  void send_fe(cluster::Process& self, LmonpMessage msg);
+  void send_error(cluster::Process& self, const std::string& stage,
+                  const std::string& error);
+
+  AdapterFactory adapter_factory_;
+  std::unique_ptr<RmAdapter> adapter_;
+  EventManager event_manager_;
+  EventDecoder decoder_;
+  Phase phase_ = Phase::Init;
+  bool attach_mode_ = false;
+  std::string session_;
+  std::string fe_host_;
+  cluster::Port fe_port_ = 0;
+  cluster::ChannelPtr fe_channel_;
+  cluster::Pid launcher_pid_ = cluster::kInvalidPid;
+  rm::JobId jobid_ = rm::kInvalidJob;
+  Rpdtab proctable_;
+  bool tracing_cost_charged_ = false;
+  int mw_sessions_ = 0;
+};
+
+}  // namespace lmon::core

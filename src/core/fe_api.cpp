@@ -1,0 +1,497 @@
+#include "core/fe_api.hpp"
+
+#include <cassert>
+
+#include "cluster/machine.hpp"
+#include "core/engine.hpp"
+#include "core/payloads.hpp"
+#include "simkernel/log.hpp"
+
+namespace lmon::core {
+
+namespace {
+constexpr cluster::Port kFePortBase = 7050;
+constexpr int kFePortSpan = 64;
+/// Per-session port block: fabric, engine-report, MW fabric, MW reports.
+constexpr int kPortsPerSession = 8;
+}  // namespace
+
+FrontEnd::FrontEnd(cluster::Process& self) : self_(self) {}
+
+FrontEnd::~FrontEnd() = default;
+
+Status FrontEnd::init() {
+  for (int i = 0; i < kFePortSpan; ++i) {
+    const cluster::Port candidate =
+        static_cast<cluster::Port>(kFePortBase + i);
+    Status st = self_.listen(
+        candidate, [this](cluster::ChannelPtr ch) { on_accept(ch); });
+    if (st.is_ok()) {
+      port_ = candidate;
+      return Status::ok();
+    }
+  }
+  return Status(Rc::Esys, "no free FE port");
+}
+
+cluster::Result<int> FrontEnd::create_session() {
+  if (port_ == 0) return {Status(Rc::Einval, "FrontEnd::init not called"), -1};
+  if (static_cast<int>(sessions_.size()) >= kMaxSessions) {
+    return {Status(Rc::Enomem, "session table full"), -1};
+  }
+  const int sid = next_session_++;
+  Session s;
+  s.id = sid;
+  s.cookie = "s" + std::to_string(sid) + "p" + std::to_string(self_.pid());
+  // Each FE instance owns a disjoint block of fabric/report ports derived
+  // from its own LMONP port, so several tool front ends can share a login
+  // node without their engines or daemon fabrics colliding.
+  const int fe_index = static_cast<int>(port_) - kFePortBase;
+  s.fabric_port = static_cast<cluster::Port>(
+      cluster::kToolFabricBasePort +
+      fe_index * kMaxSessions * kPortsPerSession + sid * kPortsPerSession);
+  s.report_port = static_cast<cluster::Port>(s.fabric_port + 4);
+  s.mw_fabric_port = static_cast<cluster::Port>(s.fabric_port + 2);
+  sessions_.emplace(sid, std::move(s));
+  return {Status::ok(), sid};
+}
+
+FrontEnd::Session* FrontEnd::find(int sid) {
+  auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const FrontEnd::Session* FrontEnd::find(int sid) const {
+  auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+FrontEnd::Session* FrontEnd::find_by_cookie(const std::string& cookie) {
+  for (auto& [sid, s] : sessions_) {
+    if (s.cookie == cookie) return &s;
+  }
+  return nullptr;
+}
+
+void FrontEnd::launch_and_spawn(int sid, const rm::JobSpec& job,
+                                SpawnConfig cfg, Done done) {
+  start_operation(sid, /*attach=*/false, &job, cluster::kInvalidPid,
+                  std::move(cfg), std::move(done));
+}
+
+void FrontEnd::attach_and_spawn(int sid, cluster::Pid launcher_pid,
+                                SpawnConfig cfg, Done done) {
+  start_operation(sid, /*attach=*/true, nullptr, launcher_pid, std::move(cfg),
+                  std::move(done));
+}
+
+void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
+                               cluster::Pid target, SpawnConfig cfg,
+                               Done done) {
+  Session* s = find(sid);
+  if (s == nullptr) {
+    if (done) done(Status(Rc::Enosession, "unknown session"));
+    return;
+  }
+  if (s->state != SessionState::Idle) {
+    if (done) done(Status(Rc::Ebusy, "session already used"));
+    return;
+  }
+  self_.machine().mark("e0_fe_call");
+  s->state = SessionState::EngineStarting;
+  s->cfg = std::move(cfg);
+  s->done = std::move(done);
+
+  cluster::SpawnOptions opts;
+  opts.executable = "lmon_engine";
+  opts.image_mb = 9.0;
+  opts.args.push_back(attach ? "--op=attach" : "--op=launch");
+  opts.args.push_back("--session=" + s->cookie);
+  opts.args.push_back("--fe-host=" + self_.node().hostname());
+  opts.args.push_back("--fe-port=" + std::to_string(port_));
+  if (attach) {
+    opts.args.push_back("--target-pid=" + std::to_string(target));
+  } else {
+    assert(job != nullptr);
+    opts.args.push_back("--nnodes=" + std::to_string(job->nnodes));
+    opts.args.push_back("--tpn=" + std::to_string(job->tasks_per_node));
+    opts.args.push_back("--exe=" + job->executable);
+    for (const auto& a : job->app_args) {
+      opts.args.push_back("--app-arg=" + a);
+    }
+  }
+  opts.args.push_back("--daemon-exe=" + s->cfg.daemon_exe);
+  for (const auto& a : s->cfg.daemon_args) {
+    opts.args.push_back("--daemon-arg=" + a);
+  }
+  const std::uint32_t fanout =
+      s->cfg.fabric_fanout != 0
+          ? s->cfg.fabric_fanout
+          : static_cast<std::uint32_t>(
+                self_.machine().costs().rm_launch_fanout);
+  opts.args.push_back("--fabric-port=" + std::to_string(s->fabric_port));
+  opts.args.push_back("--fabric-fanout=" + std::to_string(fanout));
+  opts.args.push_back("--report-port=" + std::to_string(s->report_port));
+
+  auto res = self_.spawn_child(std::make_unique<EngineProgram>(),
+                               std::move(opts));
+  if (!res.is_ok()) {
+    finish(*s, res.status);
+    return;
+  }
+  s->engine_pid = res.value;
+}
+
+void FrontEnd::on_accept(cluster::ChannelPtr ch) {
+  // Every inbound LMONP connection (engine, BE master, MW master)
+  // identifies itself with a Hello carrying the session cookie.
+  self_.set_channel_handler(
+      ch,
+      [this](const cluster::ChannelPtr& c, cluster::Message m) {
+        auto msg = LmonpMessage::decode(m);
+        if (!msg) return;
+        auto hello = payload::Hello::decode(msg->lmon_payload);
+        if (!hello) return;
+        // MW sessions use "<cookie>-mwN" cookies.
+        std::string cookie = hello->session;
+        const auto mw_pos = cookie.find("-mw");
+        if (mw_pos != std::string::npos) cookie = cookie.substr(0, mw_pos);
+        Session* s = find_by_cookie(cookie);
+        if (s == nullptr) {
+          self_.close_channel(const_cast<cluster::ChannelPtr&>(c));
+          return;
+        }
+        switch (msg->msg_class) {
+          case MsgClass::FeEngine:
+            bind_engine_channel(*s, c);
+            break;
+          case MsgClass::FeBe:
+          case MsgClass::FeMw:
+            bind_daemon_channel(*s, c, msg->msg_class);
+            break;
+        }
+      },
+      nullptr);
+}
+
+void FrontEnd::bind_engine_channel(Session& s, const cluster::ChannelPtr& ch) {
+  s.engine_ch = ch;
+  const int sid = s.id;
+  self_.set_channel_handler(
+      ch,
+      [this, sid](const cluster::ChannelPtr&, cluster::Message m) {
+        Session* sp = find(sid);
+        if (sp == nullptr) return;
+        auto msg = LmonpMessage::decode(m);
+        if (msg) on_engine_message(*sp, *msg);
+      },
+      [this, sid](const cluster::ChannelPtr&) {
+        Session* sp = find(sid);
+        if (sp == nullptr) return;
+        sp->engine_ch = nullptr;
+        if (sp->teardown_done) {
+          sp->state = SessionState::Torn;
+          auto cb = std::move(sp->teardown_done);
+          sp->teardown_done = nullptr;
+          cb(Status::ok());
+        } else if (sp->state != SessionState::Ready &&
+                   sp->state != SessionState::Torn &&
+                   sp->state != SessionState::Failed) {
+          finish(*sp, Status(Rc::Edead, "engine exited unexpectedly"));
+        }
+      });
+}
+
+void FrontEnd::bind_daemon_channel(Session& s, const cluster::ChannelPtr& ch,
+                                   MsgClass cls) {
+  const int sid = s.id;
+  if (cls == MsgClass::FeBe) {
+    s.be_ch = ch;
+    self_.machine().mark("e7_handshake_begin");
+  } else {
+    s.mw_ch = ch;
+  }
+  self_.set_channel_handler(
+      ch,
+      [this, sid, cls](const cluster::ChannelPtr&, cluster::Message m) {
+        Session* sp = find(sid);
+        if (sp == nullptr) return;
+        auto msg = LmonpMessage::decode(m);
+        if (msg) on_daemon_message(*sp, cls, *msg);
+      },
+      [this, sid, cls](const cluster::ChannelPtr&) {
+        Session* sp = find(sid);
+        if (sp == nullptr) return;
+        if (cls == MsgClass::FeBe) {
+          sp->be_ch = nullptr;
+        } else {
+          sp->mw_ch = nullptr;
+        }
+      });
+
+  // Kick off the handshake: RPDTAB plus (optionally piggybacked) tool data.
+  const SpawnConfig& cfg = cls == MsgClass::FeBe ? s.cfg : s.mw_cfg;
+  payload::HandshakeInit init;
+  init.rpdtab = s.proctable.pack();
+  Bytes usr;
+  if (cfg.piggyback) {
+    usr = cfg.fe_data_provider ? cfg.fe_data_provider() : cfg.fe_to_be_data;
+  }
+  self_.send(ch, LmonpMessage::fe_daemon(cls, FeDaemonMsg::HandshakeInit,
+                                         init.encode(), std::move(usr))
+                     .encode());
+  if (s.state == SessionState::Spawning && cls == MsgClass::FeBe) {
+    s.state = SessionState::Handshaking;
+  }
+}
+
+void FrontEnd::on_engine_message(Session& s, const LmonpMessage& msg) {
+  switch (static_cast<FeEngineMsg>(msg.type)) {
+    case FeEngineMsg::Hello:
+      break;  // channel already bound
+    case FeEngineMsg::ProctableData: {
+      auto table = Rpdtab::unpack(msg.lmon_payload);
+      if (table) {
+        s.proctable = std::move(*table);
+        s.have_proctable = true;
+        s.state = SessionState::Spawning;
+        self_.machine().mark("fe_proctable_received");
+      }
+      break;
+    }
+    case FeEngineMsg::DaemonsSpawned: {
+      auto spawned = payload::DaemonsSpawned::decode(msg.lmon_payload);
+      if (!spawned) break;
+      if (!spawned->ok) {
+        finish(s, Status(Rc::Esys, "daemon spawn failed: " + spawned->error));
+        break;
+      }
+      auto table = Rpdtab::unpack(spawned->daemon_table);
+      if (table) s.daemon_table = std::move(*table);
+      s.daemons_spawned = true;
+      break;
+    }
+    case FeEngineMsg::MwSpawned: {
+      auto spawned = payload::DaemonsSpawned::decode(msg.lmon_payload);
+      if (!spawned) break;
+      if (!spawned->ok) {
+        finish_mw(s, Status(Rc::Esys, "MW spawn failed: " + spawned->error));
+        break;
+      }
+      auto table = Rpdtab::unpack(spawned->daemon_table);
+      if (table) s.mw_table = std::move(*table);
+      break;
+    }
+    case FeEngineMsg::EngineError: {
+      auto err = payload::EngineError::decode(msg.lmon_payload);
+      const std::string detail =
+          err ? err->stage + ": " + err->error : "unknown engine error";
+      if (s.mw_done) {
+        finish_mw(s, Status(Rc::Esys, detail));
+      } else {
+        finish(s, Status(Rc::Esys, detail));
+      }
+      break;
+    }
+    case FeEngineMsg::StatusEvent:
+      break;  // job exit notifications; tools may poll state
+    default:
+      break;
+  }
+}
+
+void FrontEnd::on_daemon_message(Session& s, MsgClass cls,
+                                 const LmonpMessage& msg) {
+  switch (static_cast<FeDaemonMsg>(msg.type)) {
+    case FeDaemonMsg::Ready: {
+      auto ready = payload::Ready::decode(msg.lmon_payload);
+      if (!ready) break;
+      if (cls == MsgClass::FeBe) {
+        s.ready_usr = msg.usr_payload;
+        if (!ready->ok) {
+          finish(s, Status(Rc::Esubcom, "daemons failed: " + ready->error));
+          break;
+        }
+        // Non-piggybacked tool data goes out as a separate round trip now.
+        if (!s.cfg.piggyback && !s.cfg.fe_to_be_data.empty()) {
+          self_.send(s.be_ch,
+                     LmonpMessage::fe_daemon(cls, FeDaemonMsg::UsrData, {},
+                                             s.cfg.fe_to_be_data)
+                         .encode());
+        }
+        finish(s, Status::ok());
+      } else {
+        if (!ready->ok) {
+          finish_mw(s, Status(Rc::Esubcom, "MW failed: " + ready->error));
+          break;
+        }
+        if (!s.mw_cfg.piggyback && !s.mw_cfg.fe_to_be_data.empty()) {
+          self_.send(s.mw_ch,
+                     LmonpMessage::fe_daemon(cls, FeDaemonMsg::UsrData, {},
+                                             s.mw_cfg.fe_to_be_data)
+                         .encode());
+        }
+        finish_mw(s, Status::ok());
+      }
+      break;
+    }
+    case FeDaemonMsg::UsrData: {
+      auto& handler =
+          cls == MsgClass::FeBe ? s.be_usr_handler : s.mw_usr_handler;
+      if (handler) handler(msg.usr_payload);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void FrontEnd::finish(Session& s, Status st) {
+  if (st.is_ok()) {
+    s.state = SessionState::Ready;
+    self_.machine().mark("e11_return");
+  } else {
+    s.state = SessionState::Failed;
+    sim::LogLine(sim::LogLevel::Warn, self_.sim().now(), "lmon_fe")
+        << "session " << s.id << " failed: " << st.to_string();
+  }
+  if (s.done) {
+    auto cb = std::move(s.done);
+    s.done = nullptr;
+    cb(st);
+  }
+}
+
+void FrontEnd::finish_mw(Session& s, Status st) {
+  if (s.mw_done) {
+    auto cb = std::move(s.mw_done);
+    s.mw_done = nullptr;
+    cb(st);
+  }
+}
+
+void FrontEnd::launch_mw_daemons(int sid, std::uint32_t nnodes,
+                                 SpawnConfig cfg, Done done) {
+  Session* s = find(sid);
+  if (s == nullptr) {
+    if (done) done(Status(Rc::Enosession, "unknown session"));
+    return;
+  }
+  if (s->engine_ch == nullptr) {
+    if (done) done(Status(Rc::Einval, "no engine for session"));
+    return;
+  }
+  if (s->mw_done) {
+    if (done) done(Status(Rc::Ebusy, "MW launch already in flight"));
+    return;
+  }
+  s->mw_cfg = std::move(cfg);
+  s->mw_done = std::move(done);
+
+  payload::LaunchMwReq req;
+  req.nnodes = nnodes;
+  req.daemon_exe = s->mw_cfg.daemon_exe;
+  req.daemon_args = s->mw_cfg.daemon_args;
+  req.fabric_port = s->mw_fabric_port;
+  req.fabric_fanout =
+      s->mw_cfg.fabric_fanout != 0 ? s->mw_cfg.fabric_fanout : 2;
+  self_.send(s->engine_ch,
+             LmonpMessage::fe_engine(FeEngineMsg::LaunchMwReq, req.encode())
+                 .encode());
+}
+
+FrontEnd::SessionState FrontEnd::state(int sid) const {
+  const Session* s = find(sid);
+  return s == nullptr ? SessionState::Torn : s->state;
+}
+
+const Rpdtab* FrontEnd::proctable(int sid) const {
+  const Session* s = find(sid);
+  return (s != nullptr && s->have_proctable) ? &s->proctable : nullptr;
+}
+
+const Rpdtab* FrontEnd::daemon_table(int sid) const {
+  const Session* s = find(sid);
+  return (s != nullptr && s->daemons_spawned) ? &s->daemon_table : nullptr;
+}
+
+const Rpdtab* FrontEnd::mw_table(int sid) const {
+  const Session* s = find(sid);
+  return s != nullptr ? &s->mw_table : nullptr;
+}
+
+const Bytes* FrontEnd::ready_usrdata(int sid) const {
+  const Session* s = find(sid);
+  return s != nullptr ? &s->ready_usr : nullptr;
+}
+
+Status FrontEnd::send_usrdata_be(int sid, Bytes data) {
+  Session* s = find(sid);
+  if (s == nullptr) return Status(Rc::Enosession, "unknown session");
+  if (s->be_ch == nullptr) return Status(Rc::Esubcom, "no BE master link");
+  self_.send(s->be_ch,
+             LmonpMessage::fe_daemon(MsgClass::FeBe, FeDaemonMsg::UsrData, {},
+                                     std::move(data))
+                 .encode());
+  return Status::ok();
+}
+
+Status FrontEnd::send_usrdata_mw(int sid, Bytes data) {
+  Session* s = find(sid);
+  if (s == nullptr) return Status(Rc::Enosession, "unknown session");
+  if (s->mw_ch == nullptr) return Status(Rc::Esubcom, "no MW master link");
+  self_.send(s->mw_ch,
+             LmonpMessage::fe_daemon(MsgClass::FeMw, FeDaemonMsg::UsrData, {},
+                                     std::move(data))
+                 .encode());
+  return Status::ok();
+}
+
+void FrontEnd::set_be_usrdata_handler(int sid, UsrDataHandler h) {
+  Session* s = find(sid);
+  if (s != nullptr) s->be_usr_handler = std::move(h);
+}
+
+void FrontEnd::set_mw_usrdata_handler(int sid, UsrDataHandler h) {
+  Session* s = find(sid);
+  if (s != nullptr) s->mw_usr_handler = std::move(h);
+}
+
+void FrontEnd::detach(int sid, Done done) {
+  Session* s = find(sid);
+  if (s == nullptr) {
+    if (done) done(Status(Rc::Enosession, "unknown session"));
+    return;
+  }
+  if (s->engine_ch == nullptr) {
+    s->state = SessionState::Torn;
+    if (done) done(Status::ok());
+    return;
+  }
+  s->teardown_done = std::move(done);
+  self_.send(s->engine_ch,
+             LmonpMessage::fe_engine(FeEngineMsg::DetachReq).encode());
+}
+
+void FrontEnd::kill(int sid, Done done) {
+  Session* s = find(sid);
+  if (s == nullptr) {
+    if (done) done(Status(Rc::Enosession, "unknown session"));
+    return;
+  }
+  if (s->engine_ch == nullptr) {
+    s->state = SessionState::Torn;
+    if (done) done(Status::ok());
+    return;
+  }
+  s->teardown_done = std::move(done);
+  self_.send(s->engine_ch,
+             LmonpMessage::fe_engine(FeEngineMsg::KillReq).encode());
+}
+
+cluster::Port FrontEnd::fabric_port_of(int sid) const {
+  const Session* s = find(sid);
+  return s == nullptr ? 0 : s->fabric_port;
+}
+
+}  // namespace lmon::core

@@ -1,0 +1,171 @@
+// fe_api.hpp - the LaunchMON Front-End API (paper §3.2).
+//
+// The FE runtime lives inside a tool front-end process and provides the
+// seven capabilities the paper derives for FE APIs:
+//   1. launch or attach to an RM process        -> launch_and_spawn /
+//                                                  attach_and_spawn
+//   2. co-locate back-end daemons               -> same calls (combined "by
+//                                                  design": the paper keeps
+//                                                  attachAndSpawn and
+//                                                  launchAndSpawn fused)
+//   3. launch middleware daemons                -> launch_mw_daemons
+//   4. fetch data such as the RPDTAB            -> proctable()
+//   5. transfer tool data FE<->daemons          -> piggybacked handshake
+//                                                  payloads + send_usrdata_*
+//   6. control a job or daemons                 -> detach / kill
+//   7. bind commands to a job/daemon group      -> the session handle every
+//                                                  call takes
+//
+// All operations are asynchronous (completion callbacks) because the tool
+// front end is an event-driven simulated process; the real library's
+// blocking calls map 1:1 onto these.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/process.hpp"
+#include "core/lmonp.hpp"
+#include "core/rpdtab.hpp"
+#include "rm/types.hpp"
+
+namespace lmon::core {
+
+class FrontEnd {
+ public:
+  /// How daemons should be spawned and what rides along.
+  struct SpawnConfig {
+    std::string daemon_exe;
+    std::vector<std::string> daemon_args;
+    /// Bootstrap-fabric tree degree; 0 uses the cost model's RM fan-out.
+    std::uint32_t fabric_fanout = 0;
+    /// Tool data piggybacked on the FE->master handshake (paper §3.2:
+    /// "enables piggybacking of the tool's data with the LaunchMON front
+    /// end's handshaking exchanges").
+    Bytes fe_to_be_data;
+    /// Ablation knob: when false the tool data travels in a separate
+    /// UsrData round trip after Ready instead of piggybacking.
+    bool piggyback = true;
+    /// The paper's LMON_fe_regPackForFeToBe: when set, invoked at
+    /// handshake time (after the RPDTAB is known) to produce the
+    /// piggybacked tool data; overrides fe_to_be_data. STAT uses this to
+    /// pack a TBON topology built over the proctable's hosts.
+    std::function<Bytes()> fe_data_provider;
+  };
+
+  using Done = std::function<void(Status)>;
+  using UsrDataHandler = std::function<void(const Bytes&)>;
+
+  enum class SessionState {
+    Idle,
+    EngineStarting,
+    Spawning,
+    Handshaking,
+    Ready,
+    Failed,
+    Torn,
+  };
+
+  explicit FrontEnd(cluster::Process& self);
+  ~FrontEnd();
+
+  FrontEnd(const FrontEnd&) = delete;
+  FrontEnd& operator=(const FrontEnd&) = delete;
+
+  /// Binds the FE's LMONP listening port. Call once before any session.
+  Status init();
+  [[nodiscard]] cluster::Port port() const noexcept { return port_; }
+
+  /// Creates a session descriptor (LMON_fe_createSession).
+  cluster::Result<int> create_session();
+
+  /// Launches a new job under tool control and co-locates daemons with it
+  /// (LMON_fe_launchAndSpawnDaemons).
+  void launch_and_spawn(int sid, const rm::JobSpec& job, SpawnConfig cfg,
+                        Done done);
+
+  /// Attaches to a running job via its RM launcher pid and co-locates
+  /// daemons (LMON_fe_attachAndSpawnDaemons).
+  void attach_and_spawn(int sid, cluster::Pid launcher_pid, SpawnConfig cfg,
+                        Done done);
+
+  /// Launches `nnodes` middleware daemons onto a fresh allocation
+  /// (LMON_fe_launchMwDaemons). Requires a session whose engine is up.
+  void launch_mw_daemons(int sid, std::uint32_t nnodes, SpawnConfig cfg,
+                         Done done);
+
+  // --- session data -----------------------------------------------------------
+  [[nodiscard]] SessionState state(int sid) const;
+  [[nodiscard]] const Rpdtab* proctable(int sid) const;
+  [[nodiscard]] const Rpdtab* daemon_table(int sid) const;
+  [[nodiscard]] const Rpdtab* mw_table(int sid) const;
+  /// Tool data the BE master piggybacked on Ready.
+  [[nodiscard]] const Bytes* ready_usrdata(int sid) const;
+
+  // --- tool data transfer ---------------------------------------------------------
+  Status send_usrdata_be(int sid, Bytes data);
+  Status send_usrdata_mw(int sid, Bytes data);
+  void set_be_usrdata_handler(int sid, UsrDataHandler h);
+  void set_mw_usrdata_handler(int sid, UsrDataHandler h);
+
+  // --- control ---------------------------------------------------------------------
+  /// Detach: daemons torn down, job left running (LMON_fe_detach).
+  void detach(int sid, Done done);
+  /// Kill: daemons and job torn down (LMON_fe_kill).
+  void kill(int sid, Done done);
+
+  /// Ports used by a session (exposed for tests).
+  [[nodiscard]] cluster::Port fabric_port_of(int sid) const;
+
+ private:
+  struct Session {
+    int id = -1;
+    std::string cookie;
+    SessionState state = SessionState::Idle;
+    SpawnConfig cfg;
+    SpawnConfig mw_cfg;
+    cluster::Pid engine_pid = cluster::kInvalidPid;
+    cluster::ChannelPtr engine_ch;
+    cluster::ChannelPtr be_ch;
+    cluster::ChannelPtr mw_ch;
+    Rpdtab proctable;
+    Rpdtab daemon_table;
+    Rpdtab mw_table;
+    Bytes ready_usr;
+    bool have_proctable = false;
+    bool daemons_spawned = false;
+    Done done;
+    Done mw_done;
+    Done teardown_done;
+    UsrDataHandler be_usr_handler;
+    UsrDataHandler mw_usr_handler;
+    cluster::Port fabric_port = 0;
+    cluster::Port report_port = 0;
+    cluster::Port mw_fabric_port = 0;
+  };
+
+  void start_operation(int sid, bool attach, const rm::JobSpec* job,
+                       cluster::Pid target, SpawnConfig cfg, Done done);
+  void on_accept(cluster::ChannelPtr ch);
+  void bind_engine_channel(Session& s, const cluster::ChannelPtr& ch);
+  void bind_daemon_channel(Session& s, const cluster::ChannelPtr& ch,
+                           MsgClass cls);
+  void on_engine_message(Session& s, const LmonpMessage& msg);
+  void on_daemon_message(Session& s, MsgClass cls, const LmonpMessage& msg);
+  void finish(Session& s, Status st);
+  void finish_mw(Session& s, Status st);
+  Session* find(int sid);
+  [[nodiscard]] const Session* find(int sid) const;
+  Session* find_by_cookie(const std::string& cookie);
+
+  cluster::Process& self_;
+  cluster::Port port_ = 0;
+  std::map<int, Session> sessions_;
+  int next_session_ = 0;
+  static constexpr int kMaxSessions = 64;
+};
+
+}  // namespace lmon::core

@@ -1,0 +1,143 @@
+// iccl.hpp - the Internal Collective Communication Layer (paper §3.3).
+//
+// "We leverage native communication subsystems that the RM sets up if
+//  possible; our layered approach encapsulates interactions with native
+//  communication subsystems in the Internal Collective Communication Layer
+//  (ICCL). ICCL maps native interfaces to our back-end collective calls;
+//  hence it is the only layer with significant platform dependencies."
+//
+// Here the "RM-provided fabric" is the bootstrap information slurmd hands
+// every tool daemon on its argv (rank, size, fanout, per-session port, full
+// host list). ICCL wires a k-ary tree over it and offers exactly the
+// minimal collectives the paper commits to: barrier, broadcast, gather,
+// scatter - deliberately *not* a general TBON (tools needing more should
+// stack MRNet on top, which src/tbon does).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/process.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace lmon::core {
+
+class Iccl {
+ public:
+  struct Params {
+    std::uint32_t rank = 0;
+    std::uint32_t size = 1;
+    std::uint32_t fanout = 2;
+    cluster::Port port = 0;
+    std::string session;
+    std::vector<std::string> hosts;  ///< daemon host list in rank order
+  };
+
+  /// Parses the RM-provided "--lmon-*" daemon argv.
+  static std::optional<Params> params_from_args(
+      const std::vector<std::string>& args);
+
+  using BcastHandler = std::function<void(std::uint32_t tag, const Bytes&)>;
+  /// Root-side gather completion: contributions sorted by rank.
+  using GatherHandler = std::function<void(
+      std::uint32_t tag, std::vector<std::pair<std::uint32_t, Bytes>>)>;
+  using ScatterHandler = std::function<void(std::uint32_t tag, const Bytes&)>;
+
+  Iccl(cluster::Process& self, Params params);
+
+  Iccl(const Iccl&) = delete;
+  Iccl& operator=(const Iccl&) = delete;
+
+  [[nodiscard]] std::uint32_t rank() const noexcept { return params_.rank; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return params_.size; }
+  [[nodiscard]] bool is_root() const noexcept { return params_.rank == 0; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+  /// Wires this node into the fabric tree: listens on the session port,
+  /// connects to the parent daemon (with refused-connection retries - the
+  /// parent may still be starting). `subtree_ready` fires once this node's
+  /// *entire subtree* is connected; at the root that means the whole fabric
+  /// is up (the paper's e9).
+  void start(std::function<void(Status)> subtree_ready);
+
+  // --- collectives -------------------------------------------------------
+  /// Root only: delivers (tag, data) to every daemon's bcast handler,
+  /// including the root's own.
+  void broadcast(std::uint32_t tag, Bytes data);
+
+  /// Gather contribution; every rank must call once per round. The root's
+  /// gather handler fires when all `size` contributions arrived.
+  void contribute(std::uint32_t tag, Bytes data);
+
+  /// Root only: parts[i] goes to rank i's scatter handler.
+  void scatter(std::uint32_t tag, std::vector<Bytes> parts);
+
+  void set_bcast_handler(BcastHandler h) { on_bcast_ = std::move(h); }
+  void set_gather_handler(GatherHandler h) { on_gather_ = std::move(h); }
+  void set_scatter_handler(ScatterHandler h) { on_scatter_ = std::move(h); }
+
+  /// Direct children ranks of `rank` in a `fanout`-ary tree of `size`.
+  static std::vector<std::uint32_t> children_of(std::uint32_t rank,
+                                                std::uint32_t size,
+                                                std::uint32_t fanout);
+  static std::optional<std::uint32_t> parent_of(std::uint32_t rank,
+                                                std::uint32_t fanout);
+  /// All ranks in the subtree rooted at `rank` (includes `rank`).
+  static std::vector<std::uint32_t> subtree_of(std::uint32_t rank,
+                                               std::uint32_t size,
+                                               std::uint32_t fanout);
+
+ private:
+  enum class Kind : std::uint8_t {
+    Register = 1,  ///< child -> parent: {rank}
+    SetupUp,       ///< child -> parent: subtree fully wired
+    Bcast,         ///< parent -> child: {tag, data}
+    GatherUp,      ///< child -> parent: {tag, [(rank, data)...]}
+    Scatter,       ///< parent -> child: {tag, [(rank, data)...]}
+  };
+
+  struct GatherState {
+    bool own_done = false;
+    int children_pending = 0;
+    std::vector<std::pair<std::uint32_t, Bytes>> acc;
+  };
+
+  void connect_parent(int attempts_left);
+  void on_fabric_message(const cluster::ChannelPtr& ch, cluster::Message m);
+  void handle_register(const cluster::ChannelPtr& ch, std::uint32_t rank);
+  void handle_setup_up();
+  void handle_bcast(std::uint32_t tag, Bytes data);
+  void handle_gather_up(std::uint32_t tag,
+                        std::vector<std::pair<std::uint32_t, Bytes>> entries);
+  void handle_scatter(std::uint32_t tag,
+                      std::vector<std::pair<std::uint32_t, Bytes>> entries);
+  void maybe_subtree_ready();
+  void flush_gather(std::uint32_t tag);
+  void send_up(cluster::Message m);
+  void send_to_child(std::uint32_t child_rank, cluster::Message m);
+  GatherState& gather_state(std::uint32_t tag);
+
+  cluster::Process& self_;
+  Params params_;
+  cluster::ChannelPtr parent_;
+  std::map<std::uint32_t, cluster::ChannelPtr> children_;  ///< rank -> link
+  std::vector<std::uint32_t> expected_children_;
+  int setups_pending_ = 0;  ///< SetupUp messages still expected
+  bool parent_linked_ = false;
+  bool ready_fired_ = false;
+  std::function<void(Status)> subtree_ready_;
+  BcastHandler on_bcast_;
+  GatherHandler on_gather_;
+  ScatterHandler on_scatter_;
+  std::map<std::uint32_t, GatherState> gathers_;
+
+  static constexpr int kConnectRetries = 40;
+  static constexpr sim::Time kRetryDelay = sim::ms(3);
+};
+
+}  // namespace lmon::core

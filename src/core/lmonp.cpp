@@ -1,0 +1,76 @@
+#include "core/lmonp.hpp"
+
+namespace lmon::core {
+
+cluster::Message LmonpMessage::encode() const {
+  ByteWriter w(kHeaderSize + lmon_payload.size() + usr_payload.size());
+  const std::uint8_t class_bits =
+      static_cast<std::uint8_t>(msg_class) & 0x07u;
+  const std::uint8_t version_bits =
+      static_cast<std::uint8_t>(kLmonpVersion << 3);
+  w.u8(static_cast<std::uint8_t>(class_bits | version_bits));
+  w.u8(type);
+  w.u16(flags);
+  w.u32(static_cast<std::uint32_t>(lmon_payload.size()));
+  w.u32(static_cast<std::uint32_t>(usr_payload.size()));
+  w.u32(seq);
+  w.raw(lmon_payload);
+  w.raw(usr_payload);
+  return cluster::Message(std::move(w).take());
+}
+
+std::optional<LmonpMessage> LmonpMessage::decode(const cluster::Message& m) {
+  ByteReader r(m.bytes);
+  auto b0 = r.u8();
+  auto type = r.u8();
+  auto flags = r.u16();
+  auto lmon_len = r.u32();
+  auto usr_len = r.u32();
+  auto seq = r.u32();
+  if (!b0 || !type || !flags || !lmon_len || !usr_len || !seq) {
+    return std::nullopt;
+  }
+  const std::uint8_t version = static_cast<std::uint8_t>(*b0 >> 3);
+  const std::uint8_t cls = static_cast<std::uint8_t>(*b0 & 0x07u);
+  if (version != kLmonpVersion) return std::nullopt;
+  if (cls > static_cast<std::uint8_t>(MsgClass::FeMw)) {
+    return std::nullopt;  // reserved pair encodings
+  }
+  if (r.remaining() != *lmon_len + *usr_len) return std::nullopt;
+
+  LmonpMessage out;
+  out.msg_class = static_cast<MsgClass>(cls);
+  out.type = *type;
+  out.flags = *flags;
+  out.seq = *seq;
+  auto lmon = r.raw(*lmon_len);
+  auto usr = r.raw(*usr_len);
+  if (!lmon || !usr) return std::nullopt;
+  out.lmon_payload = std::move(*lmon);
+  out.usr_payload = std::move(*usr);
+  return out;
+}
+
+LmonpMessage LmonpMessage::make(MsgClass cls, std::uint8_t type,
+                                Bytes lmon_payload, Bytes usr_payload) {
+  LmonpMessage m;
+  m.msg_class = cls;
+  m.type = type;
+  m.lmon_payload = std::move(lmon_payload);
+  m.usr_payload = std::move(usr_payload);
+  return m;
+}
+
+LmonpMessage LmonpMessage::fe_engine(FeEngineMsg type, Bytes lmon_payload,
+                                     Bytes usr_payload) {
+  return make(MsgClass::FeEngine, static_cast<std::uint8_t>(type),
+              std::move(lmon_payload), std::move(usr_payload));
+}
+
+LmonpMessage LmonpMessage::fe_daemon(MsgClass cls, FeDaemonMsg type,
+                                     Bytes lmon_payload, Bytes usr_payload) {
+  return make(cls, static_cast<std::uint8_t>(type), std::move(lmon_payload),
+              std::move(usr_payload));
+}
+
+}  // namespace lmon::core

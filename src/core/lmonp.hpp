@@ -1,0 +1,98 @@
+// lmonp.hpp - the LMONP application-layer protocol (paper §3.5).
+//
+// "LMONP has a 16 Byte header and two variably sized payload sections: one
+//  for LaunchMON data and one for user data. Besides a message tag and
+//  payload attributes, such as length, the header also includes a three bit
+//  msg class field that encodes a communication pair."
+//
+// Header layout (little-endian), 16 bytes:
+//
+//   byte  0      : msg class (low 3 bits) | protocol version (high 5 bits)
+//   byte  1      : message type tag (meaning depends on class)
+//   bytes 2-3    : flags (u16)
+//   bytes 4-7    : LaunchMON payload length (u32)
+//   bytes 8-11   : user payload length (u32)
+//   bytes 12-15  : sequence number (u32)
+//
+// Only point-to-point pairs between component *representatives* are
+// supported: (front end, engine), (front end, BE master), (front end, MW
+// master). The remaining five class encodings are reserved, exactly as the
+// paper leaves them for future (middleware, middleware) links.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cluster/message.hpp"
+#include "common/bytes.hpp"
+
+namespace lmon::core {
+
+inline constexpr std::uint8_t kLmonpVersion = 1;
+inline constexpr std::size_t kHeaderSize = 16;
+
+/// The three currently assigned communication pairs (3-bit field).
+enum class MsgClass : std::uint8_t {
+  FeEngine = 0,
+  FeBe = 1,
+  FeMw = 2,
+  // 3..7 reserved (e.g. future MW-MW bridging across allocations)
+};
+
+/// Message tags for the (front end, engine) pair.
+enum class FeEngineMsg : std::uint8_t {
+  Hello = 1,        ///< engine -> FE: back-connect identification
+  ProctableData,    ///< engine -> FE: RPDTAB fetched from the RM
+  DaemonsSpawned,   ///< engine -> FE: co-spawn finished (daemon table)
+  EngineError,      ///< engine -> FE: operation failed
+  DetachReq,        ///< FE -> engine: detach from job, leave daemons
+  KillReq,          ///< FE -> engine: kill daemons (and job if launched)
+  ShutdownReq,      ///< FE -> engine: engine should exit
+  StatusEvent,      ///< engine -> FE: job status change (exit, abort)
+  LaunchMwReq,      ///< FE -> engine: launch middleware daemons
+  MwSpawned,        ///< engine -> FE: middleware co-spawn finished
+};
+
+/// Message tags for the (front end, BE master) and (front end, MW master)
+/// pairs; the two classes share tag semantics.
+enum class FeDaemonMsg : std::uint8_t {
+  Hello = 1,      ///< master -> FE: identification {session}
+  HandshakeInit,  ///< FE -> master: RPDTAB + piggybacked tool data
+  Ready,          ///< master -> FE: all daemons initialized (+ tool data)
+  UsrData,        ///< either direction: tool payload outside startup
+  Detach,         ///< FE -> master: tear down daemon-side session
+};
+
+/// A decoded LMONP message. Encoding produces the 16-byte header followed by
+/// the LaunchMON payload then the user payload; sizes on the wire are what
+/// the simulated network charges for.
+struct LmonpMessage {
+  MsgClass msg_class = MsgClass::FeEngine;
+  std::uint8_t type = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t seq = 0;
+  Bytes lmon_payload;
+  Bytes usr_payload;
+
+  [[nodiscard]] cluster::Message encode() const;
+
+  /// Returns nullopt on malformed frames (bad version, truncated payloads,
+  /// reserved class values).
+  static std::optional<LmonpMessage> decode(const cluster::Message& m);
+
+  /// Total encoded size without re-encoding.
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return kHeaderSize + lmon_payload.size() + usr_payload.size();
+  }
+
+  // Convenience constructors.
+  static LmonpMessage make(MsgClass cls, std::uint8_t type,
+                           Bytes lmon_payload = {}, Bytes usr_payload = {});
+  static LmonpMessage fe_engine(FeEngineMsg type, Bytes lmon_payload = {},
+                                Bytes usr_payload = {});
+  static LmonpMessage fe_daemon(MsgClass cls, FeDaemonMsg type,
+                                Bytes lmon_payload = {},
+                                Bytes usr_payload = {});
+};
+
+}  // namespace lmon::core

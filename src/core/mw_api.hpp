@@ -1,0 +1,22 @@
+// mw_api.hpp - the LaunchMON Middleware API (paper §3.4).
+//
+// For TBON communication daemons launched onto additional nodes beyond the
+// job's allocation. Each daemon receives a unique "personality handle"
+// (rank(), "similar to an MPI rank"), the bootstrap fabric for collective
+// and point-to-point startup traffic, and the job's RPDTAB so it can locate
+// the target program and back-end daemons. Tool-specific bootstrap data can
+// be piggybacked on the FE<->MW-master handshake, which is how src/tbon
+// distributes its tree topology.
+#pragma once
+
+#include "core/daemon_runtime.hpp"
+
+namespace lmon::core {
+
+class MiddleWare : public DaemonRuntime {
+ public:
+  explicit MiddleWare(cluster::Process& self)
+      : DaemonRuntime(self, MsgClass::FeMw) {}
+};
+
+}  // namespace lmon::core

@@ -1,0 +1,146 @@
+#include "core/payloads.hpp"
+
+namespace lmon::core::payload {
+
+Bytes Hello::encode() const {
+  ByteWriter w;
+  w.str(session);
+  w.u32(rank);
+  w.i64(pid);
+  w.str(host);
+  return std::move(w).take();
+}
+
+std::optional<Hello> Hello::decode(const Bytes& b) {
+  ByteReader r(b);
+  Hello out;
+  auto session = r.str();
+  auto rank = r.u32();
+  auto pid = r.i64();
+  auto host = r.str();
+  if (!session || !rank || !pid || !host) return std::nullopt;
+  out.session = std::move(*session);
+  out.rank = *rank;
+  out.pid = *pid;
+  out.host = std::move(*host);
+  return out;
+}
+
+Bytes DaemonsSpawned::encode() const {
+  ByteWriter w;
+  w.boolean(ok);
+  w.str(error);
+  w.blob(daemon_table);
+  return std::move(w).take();
+}
+
+std::optional<DaemonsSpawned> DaemonsSpawned::decode(const Bytes& b) {
+  ByteReader r(b);
+  DaemonsSpawned out;
+  auto ok_f = r.boolean();
+  auto err = r.str();
+  auto table = r.blob();
+  if (!ok_f || !err || !table) return std::nullopt;
+  out.ok = *ok_f;
+  out.error = std::move(*err);
+  out.daemon_table = std::move(*table);
+  return out;
+}
+
+Bytes EngineError::encode() const {
+  ByteWriter w;
+  w.str(stage);
+  w.str(error);
+  return std::move(w).take();
+}
+
+std::optional<EngineError> EngineError::decode(const Bytes& b) {
+  ByteReader r(b);
+  auto stage = r.str();
+  auto error = r.str();
+  if (!stage || !error) return std::nullopt;
+  return EngineError{std::move(*stage), std::move(*error)};
+}
+
+Bytes HandshakeInit::encode() const {
+  ByteWriter w;
+  w.blob(rpdtab);
+  return std::move(w).take();
+}
+
+std::optional<HandshakeInit> HandshakeInit::decode(const Bytes& b) {
+  ByteReader r(b);
+  auto table = r.blob();
+  if (!table) return std::nullopt;
+  return HandshakeInit{std::move(*table)};
+}
+
+Bytes Ready::encode() const {
+  ByteWriter w;
+  w.boolean(ok);
+  w.str(error);
+  w.u32(ndaemons);
+  return std::move(w).take();
+}
+
+std::optional<Ready> Ready::decode(const Bytes& b) {
+  ByteReader r(b);
+  auto ok_f = r.boolean();
+  auto err = r.str();
+  auto n = r.u32();
+  if (!ok_f || !err || !n) return std::nullopt;
+  return Ready{*ok_f, std::move(*err), *n};
+}
+
+Bytes LaunchMwReq::encode() const {
+  ByteWriter w;
+  w.u32(nnodes);
+  w.str(daemon_exe);
+  w.u32(static_cast<std::uint32_t>(daemon_args.size()));
+  for (const auto& a : daemon_args) w.str(a);
+  w.u16(fabric_port);
+  w.u32(fabric_fanout);
+  return std::move(w).take();
+}
+
+std::optional<LaunchMwReq> LaunchMwReq::decode(const Bytes& b) {
+  ByteReader r(b);
+  LaunchMwReq out;
+  auto n = r.u32();
+  auto exe = r.str();
+  auto nargs = r.u32();
+  if (!n || !exe || !nargs) return std::nullopt;
+  out.nnodes = *n;
+  out.daemon_exe = std::move(*exe);
+  for (std::uint32_t i = 0; i < *nargs; ++i) {
+    auto a = r.str();
+    if (!a) return std::nullopt;
+    out.daemon_args.push_back(std::move(*a));
+  }
+  auto port = r.u16();
+  auto fanout = r.u32();
+  if (!port || !fanout) return std::nullopt;
+  out.fabric_port = *port;
+  out.fabric_fanout = *fanout;
+  return out;
+}
+
+Bytes StatusEvent::encode() const {
+  ByteWriter w;
+  w.u8(kind);
+  w.i32(code);
+  return std::move(w).take();
+}
+
+std::optional<StatusEvent> StatusEvent::decode(const Bytes& b) {
+  ByteReader r(b);
+  auto kind = r.u8();
+  auto code = r.i32();
+  if (!kind || !code) return std::nullopt;
+  StatusEvent out;
+  out.kind = *kind;
+  out.code = *code;
+  return out;
+}
+
+}  // namespace lmon::core::payload

@@ -1,0 +1,89 @@
+// payloads.hpp - LaunchMON-payload schemas carried inside LMONP messages.
+//
+// These occupy the "LaunchMON data" section of an LMONP frame; tool data
+// rides in the separate user section (piggybacking, paper §3.2/§3.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/types.hpp"
+#include "common/bytes.hpp"
+
+namespace lmon::core::payload {
+
+/// Engine or daemon-master identification on back-connect.
+struct Hello {
+  std::string session;
+  std::uint32_t rank = 0;
+  cluster::Pid pid = cluster::kInvalidPid;
+  std::string host;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<Hello> decode(const Bytes& b);
+};
+
+/// engine -> FE after co-spawn: the daemon table (a packed RPDTAB of
+/// daemons) or the failure reason.
+struct DaemonsSpawned {
+  bool ok = false;
+  std::string error;
+  Bytes daemon_table;  ///< packed Rpdtab of the spawned daemons
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<DaemonsSpawned> decode(const Bytes& b);
+};
+
+/// engine -> FE on any failed stage.
+struct EngineError {
+  std::string stage;
+  std::string error;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<EngineError> decode(const Bytes& b);
+};
+
+/// FE -> daemon master: everything daemons need to initialize. The user
+/// payload of the same LMONP frame carries the piggybacked tool data.
+struct HandshakeInit {
+  Bytes rpdtab;  ///< packed job RPDTAB
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<HandshakeInit> decode(const Bytes& b);
+};
+
+/// daemon master -> FE: all daemons initialized.
+struct Ready {
+  bool ok = false;
+  std::string error;
+  std::uint32_t ndaemons = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<Ready> decode(const Bytes& b);
+};
+
+/// FE -> engine: launch middleware daemons onto a fresh allocation.
+struct LaunchMwReq {
+  std::uint32_t nnodes = 0;
+  std::string daemon_exe;
+  std::vector<std::string> daemon_args;
+  cluster::Port fabric_port = 0;
+  std::uint32_t fabric_fanout = 2;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<LaunchMwReq> decode(const Bytes& b);
+};
+
+/// engine -> FE: job status transition (exit/abort), for tool awareness.
+struct StatusEvent {
+  enum Kind : std::uint8_t { JobExited = 0, JobAborted = 1 };
+  std::uint8_t kind = JobExited;
+  std::int32_t code = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<StatusEvent> decode(const Bytes& b);
+};
+
+}  // namespace lmon::core::payload

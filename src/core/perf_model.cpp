@@ -1,0 +1,109 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmon::core {
+
+PerfModel::PerfModel(const cluster::CostModel& costs, std::uint32_t fanout)
+    : costs_(costs), fanout_(fanout == 0 ? 2 : fanout) {}
+
+int PerfModel::depth(int n) const {
+  if (n <= 1) return 0;
+  // Contiguous chunk splitting with degree k: level l reaches ~k^l nodes.
+  int levels = 0;
+  double reached = 1.0;
+  while (reached < static_cast<double>(n)) {
+    reached *= static_cast<double>(fanout_);
+    levels += 1;
+  }
+  return levels;
+}
+
+double PerfModel::spawn_cost(double image_mb) const {
+  return seconds(costs_.fork_cost + costs_.exec_base_cost +
+                 static_cast<sim::Time>(
+                     image_mb * static_cast<double>(costs_.exec_per_mb)) +
+                 costs_.sched_latency);
+}
+
+double PerfModel::connect_cost() const {
+  return seconds(3 * costs_.net_latency + costs_.connect_cost);
+}
+
+double PerfModel::transfer_cost(double bytes) const {
+  return seconds(costs_.net_latency) +
+         bytes / costs_.bandwidth_bytes_per_sec;
+}
+
+LaunchSpawnPrediction PerfModel::predict(int ndaemons,
+                                         int tasks_per_daemon) const {
+  LaunchSpawnPrediction p;
+  const double n = static_cast<double>(ndaemons);
+  const double ntasks = n * static_cast<double>(tasks_per_daemon);
+  const int d = depth(ndaemons);
+  const double dd = static_cast<double>(d);
+
+  // Per-level tree-launch request size is dominated by the host list.
+  const double hostlist_bytes = 16.0 * n;
+  const double launch_hop =
+      connect_cost() + transfer_cost(hostlist_bytes) +
+      seconds(costs_.rm_slurmd_handle);
+  const double quadratic =
+      costs_.rm_quadratic_ns_per_node2 * n * n * 1e-9;
+  const double per_node_bookkeeping =
+      n * seconds(costs_.rm_launcher_per_node) + quadratic;
+
+  // --- T(job): allocate + tree-launch the application tasks ----------------
+  const double task_ack_bytes = kRpdtabEntryBytes * ntasks;
+  p.t_job = seconds(costs_.rm_launcher_startup) + connect_cost() +
+            seconds(costs_.rm_controller_rpc + costs_.rm_allocate_cost) +
+            per_node_bookkeeping + dd * launch_hop +
+            static_cast<double>(tasks_per_daemon) *
+                seconds(costs_.rm_task_setup) +
+            spawn_cost(costs_.app_image_mb) +
+            dd * (transfer_cost(task_ack_bytes) +
+                  seconds(costs_.rm_slurmd_handle));
+
+  // --- T(daemon): co-spawn launcher + tree-launch one daemon per node -------
+  const double daemon_ack_bytes = kRpdtabEntryBytes * n;
+  p.t_daemon = spawn_cost(costs_.launcher_image_mb) +
+               seconds(costs_.rm_launcher_startup) + connect_cost() +
+               seconds(costs_.rm_controller_rpc) + per_node_bookkeeping +
+               dd * launch_hop + seconds(costs_.rm_task_setup) +
+               spawn_cost(costs_.tool_daemon_image_mb) +
+               dd * (transfer_cost(daemon_ack_bytes) +
+                     seconds(costs_.rm_slurmd_handle));
+
+  // --- T(setup): daemon fabric wiring (register wave down, SetupUp wave up)
+  p.t_setup = seconds(costs_.fabric_endpoint_init) +
+              dd * (connect_cost() + seconds(costs_.iccl_msg_handle)) +
+              dd * (transfer_cost(24.0) + seconds(costs_.iccl_msg_handle));
+
+  // --- T(collective): RPDTAB broadcast down + ready-ack gather up -----------
+  // Fan-out sends serialize per level (k message quanta at each internal
+  // node) and each level receives fanout_ gathered acks.
+  const double rpdtab_bytes = kRpdtabEntryBytes * ntasks;
+  const double per_level_fanout =
+      static_cast<double>(std::min<std::uint32_t>(
+          fanout_, ndaemons > 1 ? static_cast<std::uint32_t>(ndaemons - 1)
+                                : 1)) *
+      seconds(costs_.iccl_msg_handle);
+  p.t_collective =
+      dd * (transfer_cost(rpdtab_bytes) + per_level_fanout) +
+      dd * (transfer_cost(16.0 * n) + per_level_fanout);
+
+  // --- LaunchMON terms -------------------------------------------------------
+  p.tracing = static_cast<double>(costs_.rm_debug_events) *
+              seconds(costs_.engine_handler_cost);
+  p.rpdtab_fetch =
+      seconds(costs_.mem_read_base) +
+      rpdtab_bytes / 1024.0 * seconds(costs_.mem_read_per_kb);
+  p.handshake = connect_cost() + transfer_cost(rpdtab_bytes) +
+                transfer_cost(64.0) + transfer_cost(64.0);
+  p.other = seconds(costs_.engine_fixed_cost) + spawn_cost(9.0) +
+            connect_cost();
+  return p;
+}
+
+}  // namespace lmon::core

@@ -1,0 +1,71 @@
+// perf_model.hpp - the analytic launchAndSpawn model of paper §4.
+//
+// The paper decomposes the critical path e0..e11 into regions:
+//   Region A (RM dominant): T(job), T(daemon)+T(setup), T(collective),
+//                           plus LaunchMON's tracing cost
+//   Region B: RPDTAB fetching (linear in task count)
+//   Region C: FE<->master handshaking (linear in daemon count)
+//   Other:    scale-independent LaunchMON costs
+//
+// PerfModel computes each term from the CostModel constants the same way
+// the simulated implementation spends them, so bench_fig3 can print modeled
+// vs measured stacks and the model-validation tests can assert agreement.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cost_model.hpp"
+
+namespace lmon::core {
+
+struct LaunchSpawnPrediction {
+  // All values in (simulated) seconds.
+  double t_job = 0;         ///< Region A: spawning the job tasks
+  double t_daemon = 0;      ///< Region A: spawning the tool daemons
+  double t_setup = 0;       ///< Region A: inter-daemon fabric setup
+  double t_collective = 0;  ///< Region A: handshake bcast/gather collectives
+  double tracing = 0;       ///< Region A: LaunchMON tracing cost
+  double rpdtab_fetch = 0;  ///< Region B
+  double handshake = 0;     ///< Region C
+  double other = 0;         ///< scale-independent LaunchMON costs
+
+  [[nodiscard]] double total() const {
+    return t_job + t_daemon + t_setup + t_collective + tracing +
+           rpdtab_fetch + handshake + other;
+  }
+  /// LaunchMON's own share (everything but the RM terms), as the paper
+  /// reports "about 5.2% of that total time" at 128 nodes.
+  [[nodiscard]] double launchmon_share() const {
+    return (tracing + rpdtab_fetch + handshake + other) / total();
+  }
+};
+
+class PerfModel {
+ public:
+  /// `fanout` is the RM launch/fabric tree degree in effect.
+  PerfModel(const cluster::CostModel& costs, std::uint32_t fanout);
+
+  /// Predicts launchAndSpawn for `ndaemons` nodes with `tasks_per_daemon`
+  /// MPI tasks per node (the paper sweeps 16..128 daemons at 8 tasks each).
+  [[nodiscard]] LaunchSpawnPrediction predict(int ndaemons,
+                                              int tasks_per_daemon) const;
+
+  /// Tree depth of the RM launch / fabric tree over n nodes.
+  [[nodiscard]] int depth(int n) const;
+
+  /// Approximate encoded RPDTAB entry size (bytes) for payload terms.
+  static constexpr double kRpdtabEntryBytes = 44.0;
+
+ private:
+  [[nodiscard]] double seconds(sim::Time t) const {
+    return sim::to_seconds(t);
+  }
+  [[nodiscard]] double spawn_cost(double image_mb) const;
+  [[nodiscard]] double connect_cost() const;
+  [[nodiscard]] double transfer_cost(double bytes) const;
+
+  cluster::CostModel costs_;
+  std::uint32_t fanout_;
+};
+
+}  // namespace lmon::core

@@ -1,0 +1,174 @@
+#include "core/rm_adapter.hpp"
+
+#include <cassert>
+
+#include "cluster/machine.hpp"
+#include "rm/apai.hpp"
+#include "rm/launcher.hpp"
+#include "rm/resource_manager.hpp"
+#include "simkernel/log.hpp"
+
+namespace lmon::core {
+
+cluster::Result<cluster::Pid> SlurmAdapter::launch_job(
+    cluster::Process& engine, const rm::JobSpec& spec,
+    cluster::DebugEventHandler handler) {
+  engine_ = &engine;
+  const cluster::ProgramImage* image =
+      engine.machine().find_program(rm::Launcher::kImageName);
+  if (image == nullptr) {
+    return {Status(Rc::Esys, "no srun image installed"), cluster::kInvalidPid};
+  }
+  cluster::SpawnOptions opts;
+  opts.executable = rm::Launcher::kImageName;
+  opts.image_mb = image->image_mb;
+  opts.args = rm::job_args(spec);
+  auto res = engine.spawn_traced(image->factory(opts.args), std::move(opts),
+                                 std::move(handler));
+  if (!res.is_ok()) return {res.status, cluster::kInvalidPid};
+  session_ = res.value.second;
+  return {Status::ok(), res.value.first};
+}
+
+Status SlurmAdapter::attach_job(cluster::Process& engine,
+                                cluster::Pid launcher,
+                                cluster::DebugEventHandler handler) {
+  engine_ = &engine;
+  auto res = engine.trace_attach(launcher, std::move(handler));
+  if (!res.is_ok()) return res.status;
+  session_ = res.value;
+  return Status::ok();
+}
+
+void SlurmAdapter::fetch_proctable(std::function<void(Status, Bytes)> cb) {
+  assert(session_ != nullptr && "fetch_proctable before attach/launch");
+  session_->read_symbol(rm::apai::kProctable, std::move(cb));
+}
+
+void SlurmAdapter::fetch_jobid(std::function<void(Status, rm::JobId)> cb) {
+  assert(session_ != nullptr && "fetch_jobid before attach/launch");
+  session_->read_symbol(
+      rm::apai::kJobId, [cb = std::move(cb)](Status st, Bytes data) {
+        if (!st.is_ok()) {
+          cb(st, rm::kInvalidJob);
+          return;
+        }
+        ByteReader r(data);
+        auto jobid = r.u64();
+        if (!jobid) {
+          cb(Status(Rc::Esubcom, "bad totalview_jobid"), rm::kInvalidJob);
+          return;
+        }
+        cb(Status::ok(), *jobid);
+      });
+}
+
+void SlurmAdapter::continue_job() {
+  if (session_ != nullptr) session_->continue_target();
+}
+
+void SlurmAdapter::detach_job() {
+  if (session_ != nullptr) {
+    session_->detach();
+    session_ = nullptr;
+  }
+}
+
+void SlurmAdapter::kill_job() {
+  if (session_ != nullptr) {
+    session_->kill_target();
+    session_ = nullptr;
+  }
+}
+
+void SlurmAdapter::kill_tasks(cluster::Process& engine, rm::JobId jobid,
+                              const std::vector<std::string>& hosts) {
+  if (hosts.empty()) return;
+  rm::TreeKillReq req;
+  req.jobid = jobid;
+  req.seq = 99;
+  req.mode = rm::LaunchMode::Tasks;
+  req.session = "";  // job-mode spawns register under the empty session
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    req.nodes.push_back(
+        rm::AllocatedNode{hosts[i], static_cast<std::uint32_t>(i)});
+  }
+  engine.connect(hosts.front(), cluster::kRmNodeDaemonPort,
+                 [&engine, req = std::move(req)](Status st,
+                                                 cluster::ChannelPtr ch) {
+                   if (!st.is_ok()) return;  // node gone: nothing to kill
+                   engine.send(ch, req.encode());
+                   // Ack is informational; the channel closes with the
+                   // engine's exit.
+                 });
+}
+
+Status SlurmAdapter::co_spawn(cluster::Process& engine,
+                              const CoSpawnConfig& cfg,
+                              std::function<void(rm::LaunchDone)> cb) {
+  engine_ = &engine;
+  const cluster::ProgramImage* image =
+      engine.machine().find_program(rm::Launcher::kImageName);
+  if (image == nullptr) {
+    return Status(Rc::Esys, "no srun image installed");
+  }
+
+  // Accept the co-spawn launcher's report connection.
+  const Status lst = engine.listen(
+      cfg.report_port, [this, &engine, cb](cluster::ChannelPtr ch) {
+        cospawn_channel_ = ch;
+        engine.set_channel_handler(
+            ch,
+            [this, cb](const cluster::ChannelPtr&, cluster::Message m) {
+              auto done = rm::LaunchDone::decode(m);
+              if (done) cb(std::move(*done));
+            },
+            [this](const cluster::ChannelPtr&) {
+              cospawn_channel_ = nullptr;
+              if (kill_cb_) {
+                auto k = std::move(kill_cb_);
+                kill_cb_ = nullptr;
+                k(Status::ok());
+              }
+            });
+      });
+  if (!lst.is_ok()) return lst;
+
+  cluster::SpawnOptions opts;
+  opts.executable = rm::Launcher::kImageName;
+  opts.image_mb = image->image_mb;
+  opts.args.push_back("--mode=cospawn");
+  if (cfg.jobid != rm::kInvalidJob) {
+    opts.args.push_back("--jobid=" + std::to_string(cfg.jobid));
+  } else {
+    opts.args.push_back("--alloc-nodes=" + std::to_string(cfg.alloc_nodes));
+    if (cfg.middleware_partition) {
+      opts.args.push_back("--alloc-partition=mw");
+    }
+  }
+  opts.args.push_back("--exe=" + cfg.daemon_exe);
+  opts.args.push_back("--report-host=" + engine.node().hostname());
+  opts.args.push_back("--report-port=" + std::to_string(cfg.report_port));
+  opts.args.push_back("--fabric-port=" + std::to_string(cfg.fabric.port));
+  opts.args.push_back("--fabric-fanout=" +
+                      std::to_string(cfg.fabric.fanout));
+  opts.args.push_back("--fe-host=" + cfg.fabric.fe_host);
+  opts.args.push_back("--fe-port=" + std::to_string(cfg.fabric.fe_port));
+  opts.args.push_back("--session=" + cfg.fabric.session);
+  for (const auto& a : cfg.daemon_args) {
+    opts.args.push_back("--daemon-arg=" + a);
+  }
+  auto res = engine.spawn_child(image->factory(opts.args), std::move(opts));
+  return res.status;
+}
+
+void SlurmAdapter::kill_daemons(std::function<void(Status)> cb) {
+  if (cospawn_channel_ == nullptr || engine_ == nullptr) {
+    if (cb) cb(Status(Rc::Edead, "no co-spawned daemons"));
+    return;
+  }
+  kill_cb_ = std::move(cb);
+  engine_->send(cospawn_channel_, rm::KillDaemons{}.encode());
+}
+
+}  // namespace lmon::core

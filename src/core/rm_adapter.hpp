@@ -1,0 +1,115 @@
+// rm_adapter.hpp - the engine's platform adaptation layer.
+//
+// Paper §3.1: "The LaunchMON engine is designed using a modular class
+// hierarchy that encapsulates all key components as separate abstract
+// entities. We can use this to port it to new platforms by simply
+// parameterizing and inheriting key abstract classes." RmAdapter is that
+// abstraction: everything the engine needs from a resource manager, behind
+// virtuals. SlurmAdapter binds it to the SLURM-like RM in src/rm; a port to
+// another RM (the paper's BlueGene mpirun) would subclass this only.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/process.hpp"
+#include "cluster/tracing.hpp"
+#include "rm/protocol.hpp"
+#include "rm/types.hpp"
+
+namespace lmon::core {
+
+class RmAdapter {
+ public:
+  virtual ~RmAdapter() = default;
+
+  [[nodiscard]] virtual std::string_view rm_name() const = 0;
+
+  /// Starts the RM's parallel launcher under the engine's trace control
+  /// (paper e2). Debug events flow to `handler`.
+  virtual cluster::Result<cluster::Pid> launch_job(
+      cluster::Process& engine, const rm::JobSpec& spec,
+      cluster::DebugEventHandler handler) = 0;
+
+  /// Attaches to an already-running launcher.
+  virtual Status attach_job(cluster::Process& engine, cluster::Pid launcher,
+                            cluster::DebugEventHandler handler) = 0;
+
+  /// Reads the RPDTAB (MPIR proctable) from the traced launcher's address
+  /// space; cost is linear in job size (Region B).
+  virtual void fetch_proctable(
+      std::function<void(Status, Bytes)> cb) = 0;
+
+  /// Reads the job id exported by the launcher (totalview_jobid).
+  virtual void fetch_jobid(std::function<void(Status, rm::JobId)> cb) = 0;
+
+  /// Resumes the launcher stopped at MPIR_Breakpoint.
+  virtual void continue_job() = 0;
+
+  /// Detaches from the launcher, leaving the job running.
+  virtual void detach_job() = 0;
+
+  /// Kills the launcher (and thereby the job).
+  virtual void kill_job() = 0;
+
+  /// Kills the job's application tasks through the RM's node daemons
+  /// (scancel-like); the launcher alone cannot reap them since the tasks
+  /// are children of the node daemons.
+  virtual void kill_tasks(cluster::Process& engine, rm::JobId jobid,
+                          const std::vector<std::string>& hosts) = 0;
+
+  struct CoSpawnConfig {
+    rm::JobId jobid = rm::kInvalidJob;  ///< co-locate with this job, or...
+    std::uint32_t alloc_nodes = 0;      ///< ...allocate fresh nodes (MW case)
+    bool middleware_partition = false;  ///< fresh nodes from the MW pool
+    std::string daemon_exe;
+    std::vector<std::string> daemon_args;
+    rm::FabricSpec fabric;
+    std::string report_host;
+    cluster::Port report_port = 0;
+  };
+
+  /// Launches tool daemons through the RM's scalable mechanism (paper e5);
+  /// `cb` fires with the RM's aggregated result (e6).
+  virtual Status co_spawn(cluster::Process& engine, const CoSpawnConfig& cfg,
+                          std::function<void(rm::LaunchDone)> cb) = 0;
+
+  /// Tears down daemons previously co-spawned.
+  virtual void kill_daemons(std::function<void(Status)> cb) = 0;
+};
+
+/// Adapter for the SLURM-like RM in src/rm.
+class SlurmAdapter final : public RmAdapter {
+ public:
+  [[nodiscard]] std::string_view rm_name() const override {
+    return "slurm-like";
+  }
+
+  cluster::Result<cluster::Pid> launch_job(
+      cluster::Process& engine, const rm::JobSpec& spec,
+      cluster::DebugEventHandler handler) override;
+  Status attach_job(cluster::Process& engine, cluster::Pid launcher,
+                    cluster::DebugEventHandler handler) override;
+  void fetch_proctable(std::function<void(Status, Bytes)> cb) override;
+  void fetch_jobid(std::function<void(Status, rm::JobId)> cb) override;
+  void continue_job() override;
+  void detach_job() override;
+  void kill_job() override;
+  void kill_tasks(cluster::Process& engine, rm::JobId jobid,
+                  const std::vector<std::string>& hosts) override;
+  Status co_spawn(cluster::Process& engine, const CoSpawnConfig& cfg,
+                  std::function<void(rm::LaunchDone)> cb) override;
+  void kill_daemons(std::function<void(Status)> cb) override;
+
+ private:
+  cluster::TraceSession* session_ = nullptr;
+  cluster::Process* engine_ = nullptr;
+  cluster::ChannelPtr cospawn_channel_;   ///< link to the co-spawn launcher
+  std::function<void(Status)> kill_cb_;
+  int report_ports_in_use_ = 0;
+};
+
+}  // namespace lmon::core

@@ -1,0 +1,39 @@
+#include "core/rpdtab.hpp"
+
+#include <set>
+
+#include "rm/apai.hpp"
+
+namespace lmon::core {
+
+std::vector<std::string> Rpdtab::hosts() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& e : entries_) {
+    if (seen.insert(e.host).second) out.push_back(e.host);
+  }
+  return out;
+}
+
+std::vector<rm::TaskDesc> Rpdtab::entries_for_host(
+    const std::string& host) const {
+  std::vector<rm::TaskDesc> out;
+  for (const auto& e : entries_) {
+    if (e.host == host) out.push_back(e);
+  }
+  return out;
+}
+
+Bytes Rpdtab::pack() const { return rm::apai::encode_proctable(entries_); }
+
+std::optional<Rpdtab> Rpdtab::unpack(const Bytes& data) {
+  auto entries = rm::apai::decode_proctable(data);
+  if (!entries) return std::nullopt;
+  return Rpdtab(std::move(*entries));
+}
+
+std::optional<Rpdtab> Rpdtab::from_proctable_blob(const Bytes& blob) {
+  return unpack(blob);
+}
+
+}  // namespace lmon::core

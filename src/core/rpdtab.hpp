@@ -1,0 +1,55 @@
+// rpdtab.hpp - the Remote Process Descriptor Table.
+//
+// LaunchMON's portable view of "which task runs where": hostname, executable
+// and pid per MPI task (paper §2). Fetched by the engine from the RM
+// launcher's address space, shipped FE-ward over LMONP, broadcast to daemons
+// during the handshake. Its linear size in job tasks is the paper's Region B
+// term, so pack() produces real bytes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "rm/types.hpp"
+
+namespace lmon::core {
+
+class Rpdtab {
+ public:
+  Rpdtab() = default;
+  explicit Rpdtab(std::vector<rm::TaskDesc> entries)
+      : entries_(std::move(entries)) {}
+
+  [[nodiscard]] const std::vector<rm::TaskDesc>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Unique hosts in first-appearance (rank) order: the node set a tool
+  /// needs daemons on.
+  [[nodiscard]] std::vector<std::string> hosts() const;
+
+  /// Entries co-located on `host` - what a back-end daemon should attach to.
+  [[nodiscard]] std::vector<rm::TaskDesc> entries_for_host(
+      const std::string& host) const;
+
+  [[nodiscard]] Bytes pack() const;
+  static std::optional<Rpdtab> unpack(const Bytes& data);
+
+  /// The proctable blob format used in the launcher's address space is the
+  /// same; these adapt to/from the APAI layer.
+  static std::optional<Rpdtab> from_proctable_blob(const Bytes& blob);
+
+  friend bool operator==(const Rpdtab& a, const Rpdtab& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<rm::TaskDesc> entries_;
+};
+
+}  // namespace lmon::core

@@ -1,0 +1,114 @@
+#include "rm/controller.hpp"
+
+#include "cluster/machine.hpp"
+#include "simkernel/log.hpp"
+
+namespace lmon::rm {
+
+void Controller::on_start(cluster::Process& self) {
+  const Status st = self.listen(cluster::kRmControllerPort);
+  (void)st;  // the installer guarantees the port is free
+}
+
+void Controller::on_message(cluster::Process& self,
+                            const cluster::ChannelPtr& ch,
+                            cluster::Message msg) {
+  auto type = peek_type(msg);
+  if (!type) return;  // malformed frame: drop, like a real server would log+drop
+
+  const sim::Time rpc_cost = self.machine().costs().rm_controller_rpc;
+  switch (*type) {
+    case MsgType::AllocReq: {
+      auto req = AllocReq::decode(msg);
+      if (!req) return;
+      // Allocation is the expensive controller operation.
+      self.post(rpc_cost + self.machine().costs().rm_allocate_cost,
+                [this, &self, ch, req = *req] { handle_alloc(self, ch, req); });
+      break;
+    }
+    case MsgType::JobInfoReq: {
+      auto req = JobInfoReq::decode(msg);
+      if (!req) return;
+      self.post(rpc_cost, [this, &self, ch, req = *req] {
+        handle_job_info(self, ch, req);
+      });
+      break;
+    }
+    case MsgType::JobFreeReq: {
+      auto req = JobFreeReq::decode(msg);
+      if (!req) return;
+      self.post(rpc_cost, [this, req = *req] { handle_job_free(req); });
+      break;
+    }
+    default:
+      break;  // not a controller message
+  }
+}
+
+void Controller::handle_alloc(cluster::Process& self,
+                              const cluster::ChannelPtr& ch,
+                              const AllocReq& req) {
+  cluster::Machine& machine = self.machine();
+  AllocResp resp;
+
+  std::vector<std::string> free_hosts;
+  if (req.middleware) {
+    for (int i = 0; i < machine.num_middleware_nodes(); ++i) {
+      const std::string& host = machine.middleware_node(i).hostname();
+      if (busy_hosts_.count(host) == 0) free_hosts.push_back(host);
+    }
+  } else {
+    for (int i = 0; i < machine.num_compute_nodes(); ++i) {
+      const std::string& host = machine.compute_node(i).hostname();
+      if (busy_hosts_.count(host) == 0) free_hosts.push_back(host);
+    }
+  }
+  if (req.nnodes == 0 ||
+      free_hosts.size() < static_cast<std::size_t>(req.nnodes)) {
+    resp.ok = false;
+    resp.error = "allocation failed: insufficient free nodes";
+    self.send(ch, resp.encode());
+    return;
+  }
+
+  JobRecord rec;
+  rec.jobid = next_job_++;
+  for (std::uint32_t i = 0; i < req.nnodes; ++i) {
+    busy_hosts_.insert(free_hosts[i]);
+    rec.nodes.push_back(AllocatedNode{free_hosts[i], i});
+  }
+  jobs_[rec.jobid] = rec;
+
+  resp.ok = true;
+  resp.jobid = rec.jobid;
+  resp.nodes = rec.nodes;
+  sim::LogLine(sim::LogLevel::Info, self.sim().now(), "slurmctld")
+      << "allocated job " << rec.jobid << " on " << rec.nodes.size()
+      << " nodes";
+  self.send(ch, resp.encode());
+}
+
+void Controller::handle_job_info(cluster::Process& self,
+                                 const cluster::ChannelPtr& ch,
+                                 const JobInfoReq& req) {
+  JobInfoResp resp;
+  auto it = jobs_.find(req.jobid);
+  if (it == jobs_.end() || !it->second.active) {
+    resp.ok = false;
+    resp.error = "no such job";
+  } else {
+    resp.ok = true;
+    resp.jobid = req.jobid;
+    resp.nodes = it->second.nodes;
+  }
+  self.send(ch, resp.encode());
+}
+
+void Controller::handle_job_free(const JobFreeReq& req) {
+  auto it = jobs_.find(req.jobid);
+  if (it == jobs_.end() || !it->second.active) return;
+  it->second.active = false;
+  for (const auto& n : it->second.nodes) busy_hosts_.erase(n.host);
+}
+
+}  // namespace lmon::rm

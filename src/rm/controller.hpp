@@ -1,0 +1,47 @@
+// controller.hpp - the RM's central daemon (slurmctld-like).
+//
+// Tracks node allocation state and job records. The scheduling policy is
+// deliberately trivial (first-fit over free compute nodes): in the paper's
+// environment Moab has already made the reservation decision and the
+// controller merely materializes it, so a richer scheduler would not change
+// any launch-path measurement.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/process.hpp"
+#include "rm/protocol.hpp"
+#include "rm/types.hpp"
+
+namespace lmon::rm {
+
+class Controller : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "slurmctld"; }
+
+  void on_start(cluster::Process& self) override;
+  void on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
+                  cluster::Message msg) override;
+
+  struct JobRecord {
+    JobId jobid = kInvalidJob;
+    std::vector<AllocatedNode> nodes;
+    bool active = true;
+  };
+
+ private:
+  void handle_alloc(cluster::Process& self, const cluster::ChannelPtr& ch,
+                    const AllocReq& req);
+  void handle_job_info(cluster::Process& self, const cluster::ChannelPtr& ch,
+                       const JobInfoReq& req);
+  void handle_job_free(const JobFreeReq& req);
+
+  std::map<JobId, JobRecord> jobs_;
+  std::set<std::string> busy_hosts_;  ///< compute hosts in use
+  JobId next_job_ = 1;
+};
+
+}  // namespace lmon::rm

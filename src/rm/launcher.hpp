@@ -1,0 +1,85 @@
+// launcher.hpp - the RM's parallel launcher (srun-like).
+//
+// Two modes, selected by argv:
+//
+//   --mode=job      Launch a parallel job: allocate nodes, tree-launch the
+//                   tasks, publish the MPIR proctable, stop at
+//                   MPIR_Breakpoint if traced. This is the process the
+//                   LaunchMON engine runs under its control (paper e2..e6).
+//
+//   --mode=cospawn  `srun --jobid=<id>`-style: launch one tool daemon per
+//                   node of an *existing* job's allocation, passing each
+//                   daemon its RM-provided bootstrap parameters, then report
+//                   to the tool engine over a local channel.
+//
+// Argv reference (job):     --nnodes=N --tpn=T --exe=NAME [--fanout=K]
+//                           [--app-arg=... repeated]
+// Argv reference (cospawn): --jobid=J --exe=NAME --report-host=H
+//                           --report-port=P --fabric-port=P --fabric-fanout=K
+//                           --fe-host=H --fe-port=P --session=S
+//                           [--daemon-arg=... repeated]
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/process.hpp"
+#include "rm/protocol.hpp"
+
+namespace lmon::rm {
+
+class Launcher : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "srun"; }
+
+  void on_start(cluster::Process& self) override;
+  void on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
+                  cluster::Message msg) override;
+  void on_channel_closed(cluster::Process& self,
+                         const cluster::ChannelPtr& ch) override;
+
+  /// Image name under which the facade registers this program.
+  static constexpr const char* kImageName = "srun";
+
+ private:
+  enum class Mode { Job, CoSpawn };
+  enum class Phase {
+    Init,
+    Allocating,
+    Launching,
+    RunningJob,     ///< job mode: past MPIR_Breakpoint
+    ReportingDone,  ///< cospawn: connecting/reporting to the engine
+    HoldingDaemons, ///< cospawn: daemons up, waiting for kill/exit
+    Killing,
+  };
+
+  void start_job(cluster::Process& self);
+  void start_cospawn(cluster::Process& self);
+  void send_tree_launch(cluster::Process& self);
+  void on_alloc_resp(cluster::Process& self, const AllocResp& resp);
+  void on_job_info_resp(cluster::Process& self, const JobInfoResp& resp);
+  void on_launch_ack(cluster::Process& self, const TreeLaunchAck& ack);
+  void report_done(cluster::Process& self, bool ok, const std::string& error);
+  void kill_daemons(cluster::Process& self);
+
+  [[nodiscard]] sim::Time per_node_overhead(cluster::Process& self,
+                                            std::size_t nnodes) const;
+
+  Mode mode_ = Mode::Job;
+  Phase phase_ = Phase::Init;
+  JobId jobid_ = kInvalidJob;
+  std::vector<AllocatedNode> allocation_;
+  std::vector<TaskDesc> launched_;
+  cluster::ChannelPtr ctrl_channel_;
+  cluster::ChannelPtr tree_channel_;
+  cluster::ChannelPtr report_channel_;
+  std::uint32_t tpn_ = 1;
+  std::string exe_;
+  std::vector<std::string> extra_args_;
+  FabricSpec fabric_;
+  std::string report_host_;
+  std::uint16_t report_port_ = 0;
+  std::uint32_t launch_fanout_ = 0;
+};
+
+}  // namespace lmon::rm

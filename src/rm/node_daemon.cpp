@@ -1,0 +1,355 @@
+#include "rm/node_daemon.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cluster/machine.hpp"
+#include "simkernel/log.hpp"
+
+namespace lmon::rm {
+
+void NodeDaemon::on_start(cluster::Process& self) {
+  (void)self.listen(cluster::kRmNodeDaemonPort);
+}
+
+std::string NodeDaemon::spawn_group(JobId jobid, LaunchMode mode,
+                                    const std::string& session) {
+  return std::to_string(jobid) + "/" +
+         (mode == LaunchMode::Tasks ? "t" : "d") + "/" + session;
+}
+
+void NodeDaemon::on_message(cluster::Process& self,
+                            const cluster::ChannelPtr& ch,
+                            cluster::Message msg) {
+  auto type = peek_type(msg);
+  if (!type) return;
+  const sim::Time handle_cost = self.machine().costs().rm_slurmd_handle;
+
+  switch (*type) {
+    case MsgType::TreeLaunchReq: {
+      auto req = TreeLaunchReq::decode(msg);
+      if (!req) return;
+      self.post(handle_cost, [this, &self, ch, req = std::move(*req)] {
+        handle_launch(self, ch, req);
+      });
+      break;
+    }
+    case MsgType::TreeKillReq: {
+      auto req = TreeKillReq::decode(msg);
+      if (!req) return;
+      self.post(handle_cost, [this, &self, ch, req = std::move(*req)] {
+        handle_kill(self, ch, req);
+      });
+      break;
+    }
+    case MsgType::TreeLaunchAck: {
+      auto ack = TreeLaunchAck::decode(msg);
+      if (!ack) return;
+      auto it = child_seq_to_key_.find(ack->seq);
+      if (it == child_seq_to_key_.end()) return;
+      const Key key = it->second;
+      child_seq_to_key_.erase(it);
+      channel_to_key_.erase(ch->id());
+      self.close_channel(const_cast<cluster::ChannelPtr&>(ch));
+      auto pit = pending_.find(key);
+      if (pit == pending_.end()) return;
+      Pending& p = pit->second;
+      p.awaiting_children -= 1;
+      if (!ack->ok) {
+        p.failed = true;
+        if (p.error.empty()) p.error = ack->error;
+      }
+      p.entries.insert(p.entries.end(), ack->entries.begin(),
+                       ack->entries.end());
+      maybe_complete(self, key);
+      break;
+    }
+    case MsgType::TreeKillAck: {
+      auto ack = TreeKillAck::decode(msg);
+      if (!ack) return;
+      auto it = child_seq_to_key_.find(ack->seq);
+      if (it == child_seq_to_key_.end()) return;
+      const Key key = it->second;
+      child_seq_to_key_.erase(it);
+      channel_to_key_.erase(ch->id());
+      self.close_channel(const_cast<cluster::ChannelPtr&>(ch));
+      auto pit = pending_.find(key);
+      if (pit == pending_.end()) return;
+      Pending& p = pit->second;
+      p.awaiting_children -= 1;
+      p.killed += ack->killed;
+      if (!ack->ok) p.failed = true;
+      maybe_complete(self, key);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void NodeDaemon::on_channel_closed(cluster::Process& self,
+                                   const cluster::ChannelPtr& ch) {
+  auto it = channel_to_key_.find(ch->id());
+  if (it == channel_to_key_.end()) return;
+  const Key key = it->second;
+  channel_to_key_.erase(it);
+  child_failed(self, key, "subtree node daemon connection lost");
+}
+
+std::vector<std::vector<AllocatedNode>> NodeDaemon::split_subtrees(
+    const std::vector<AllocatedNode>& nodes, std::uint32_t fanout) {
+  std::vector<std::vector<AllocatedNode>> chunks;
+  if (nodes.size() <= 1) return chunks;
+  const std::size_t rest = nodes.size() - 1;
+  const std::size_t nchunks = std::min<std::size_t>(fanout == 0 ? 1 : fanout,
+                                                    rest);
+  chunks.resize(nchunks);
+  const std::size_t base = rest / nchunks;
+  const std::size_t extra = rest % nchunks;
+  std::size_t pos = 1;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    chunks[c].assign(nodes.begin() + static_cast<std::ptrdiff_t>(pos),
+                     nodes.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return chunks;
+}
+
+void NodeDaemon::handle_launch(cluster::Process& self,
+                               const cluster::ChannelPtr& ch,
+                               const TreeLaunchReq& req) {
+  const Key key = next_key_++;
+  Pending& p = pending_[key];
+  p.reply_seq = req.seq;
+  p.reply_to = ch;
+
+  const cluster::CostModel& costs = self.machine().costs();
+  cluster::Machine& machine = self.machine();
+  assert(!req.nodes.empty());
+  const AllocatedNode& local = req.nodes.front();
+
+  const cluster::ProgramImage* image = machine.find_program(req.executable);
+  if (image == nullptr) {
+    p.failed = true;
+    p.error = "no such executable: " + req.executable;
+    maybe_complete(self, key);
+    return;
+  }
+
+  const int nlocal =
+      req.mode == LaunchMode::Tasks ? static_cast<int>(req.tasks_per_node) : 1;
+  p.awaiting_local = nlocal;
+  const std::string group = spawn_group(req.jobid, req.mode, req.fabric.session);
+
+  for (int i = 0; i < nlocal; ++i) {
+    const std::int32_t rank =
+        req.mode == LaunchMode::Tasks
+            ? static_cast<std::int32_t>(local.index * req.tasks_per_node) + i
+            : static_cast<std::int32_t>(local.index);
+
+    cluster::SpawnOptions opts;
+    opts.executable = req.executable;
+    opts.image_mb = image->image_mb;
+    if (req.mode == LaunchMode::Daemons) {
+      opts.args.push_back("--lmon-rank=" + std::to_string(rank));
+      opts.args.push_back("--lmon-size=" + std::to_string(req.fabric.total));
+      opts.args.push_back("--lmon-fanout=" +
+                          std::to_string(req.fabric.fanout));
+      opts.args.push_back("--lmon-port=" + std::to_string(req.fabric.port));
+      opts.args.push_back("--lmon-session=" + req.fabric.session);
+      opts.args.push_back("--lmon-fe-host=" + req.fabric.fe_host);
+      opts.args.push_back("--lmon-fe-port=" +
+                          std::to_string(req.fabric.fe_port));
+      std::string hosts;
+      for (const auto& h : req.all_hosts) {
+        if (!hosts.empty()) hosts += ',';
+        hosts += h;
+      }
+      opts.args.push_back("--lmon-hosts=" + hosts);
+    } else {
+      opts.args.push_back("--rank=" + std::to_string(rank));
+      opts.args.push_back(
+          "--size=" +
+          std::to_string(req.all_hosts.size() * req.tasks_per_node));
+    }
+    opts.args.insert(opts.args.end(), req.extra_args.begin(),
+                     req.extra_args.end());
+    opts.started_callback = [this, &self, key](cluster::Pid) {
+      auto it = pending_.find(key);
+      if (it == pending_.end()) return;
+      it->second.awaiting_local -= 1;
+      maybe_complete(self, key);
+    };
+
+    // Per-task setup (credentials, cgroups, I/O plumbing) serializes in the
+    // node daemon; the fork/exec itself then overlaps.
+    const std::string exe = req.executable;
+    const std::string host = local.host;
+    auto factory = image->factory;
+    self.post(static_cast<sim::Time>(i) * costs.rm_task_setup,
+              [this, &self, key, exe, host, rank, group, factory,
+               opts = std::move(opts)]() mutable {
+                auto prog = factory(opts.args);
+                auto res = self.spawn_child(std::move(prog), std::move(opts));
+                auto it = pending_.find(key);
+                if (it == pending_.end()) return;
+                if (!res.is_ok()) {
+                  it->second.failed = true;
+                  it->second.error = res.status.message();
+                  it->second.awaiting_local -= 1;
+                  maybe_complete(self, key);
+                  return;
+                }
+                spawned_[group].push_back(res.value);
+                it->second.entries.push_back(
+                    TaskDesc{host, exe, res.value, rank});
+              });
+  }
+
+  forward_subtrees(self, key, req);
+  arm_timeout(self, key);
+  // In case there is nothing to do at all (defensive; nlocal >= 1 always).
+  maybe_complete(self, key);
+}
+
+void NodeDaemon::forward_subtrees(cluster::Process& self, Key key,
+                                  const TreeLaunchReq& req) {
+  auto chunks = split_subtrees(req.nodes, req.fabric.fanout != 0
+                                              ? req.fabric.fanout
+                                              : static_cast<std::uint32_t>(
+                                                    self.machine()
+                                                        .costs()
+                                                        .rm_launch_fanout));
+  auto it = pending_.find(key);
+  assert(it != pending_.end());
+  it->second.awaiting_children = static_cast<int>(chunks.size());
+
+  for (auto& chunk : chunks) {
+    TreeLaunchReq sub = req;
+    sub.nodes = std::move(chunk);
+    sub.seq = next_seq_++;
+    child_seq_to_key_[sub.seq] = key;
+    const std::string target = sub.nodes.front().host;
+    self.connect(target, cluster::kRmNodeDaemonPort,
+                 [this, &self, key, sub = std::move(sub)](
+                     Status st, cluster::ChannelPtr child_ch) {
+                   if (!st.is_ok() || child_ch == nullptr) {
+                     child_seq_to_key_.erase(sub.seq);
+                     child_failed(self, key,
+                                  "connect to subtree failed: " + st.message());
+                     return;
+                   }
+                   channel_to_key_[child_ch->id()] = key;
+                   self.send(child_ch, sub.encode());
+                 });
+  }
+}
+
+void NodeDaemon::handle_kill(cluster::Process& self,
+                             const cluster::ChannelPtr& ch,
+                             const TreeKillReq& req) {
+  const Key key = next_key_++;
+  Pending& p = pending_[key];
+  p.reply_seq = req.seq;
+  p.reply_to = ch;
+  p.is_kill = true;
+
+  const std::string group = spawn_group(req.jobid, req.mode, req.session);
+  auto sit = spawned_.find(group);
+  if (sit != spawned_.end()) {
+    for (cluster::Pid pid : sit->second) {
+      cluster::Process* child = self.machine().find_process(pid);
+      if (child != nullptr && child->state() != cluster::ProcState::Exited) {
+        child->exit(9);
+        p.killed += 1;
+      }
+    }
+    spawned_.erase(sit);
+  }
+  forward_kill_subtrees(self, key, req);
+  arm_timeout(self, key);
+  maybe_complete(self, key);
+}
+
+void NodeDaemon::forward_kill_subtrees(cluster::Process& self, Key key,
+                                       const TreeKillReq& req) {
+  auto chunks = split_subtrees(
+      req.nodes,
+      static_cast<std::uint32_t>(self.machine().costs().rm_launch_fanout));
+  auto it = pending_.find(key);
+  assert(it != pending_.end());
+  it->second.awaiting_children = static_cast<int>(chunks.size());
+
+  for (auto& chunk : chunks) {
+    TreeKillReq sub = req;
+    sub.nodes = std::move(chunk);
+    sub.seq = next_seq_++;
+    child_seq_to_key_[sub.seq] = key;
+    const std::string target = sub.nodes.front().host;
+    self.connect(target, cluster::kRmNodeDaemonPort,
+                 [this, &self, key, sub = std::move(sub)](
+                     Status st, cluster::ChannelPtr child_ch) {
+                   if (!st.is_ok() || child_ch == nullptr) {
+                     child_seq_to_key_.erase(sub.seq);
+                     child_failed(self, key, "kill forward failed");
+                     return;
+                   }
+                   channel_to_key_[child_ch->id()] = key;
+                   self.send(child_ch, sub.encode());
+                 });
+  }
+}
+
+void NodeDaemon::child_failed(cluster::Process& self, Key key,
+                              const std::string& why) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  p.failed = true;
+  if (p.error.empty()) p.error = why;
+  p.awaiting_children -= 1;
+  maybe_complete(self, key);
+}
+
+void NodeDaemon::arm_timeout(cluster::Process& self, Key key) {
+  self.post(kSubtreeTimeout, [this, &self, key] {
+    auto it = pending_.find(key);
+    if (it == pending_.end() || it->second.done) return;
+    it->second.failed = true;
+    if (it->second.error.empty()) it->second.error = "subtree launch timeout";
+    it->second.awaiting_local = 0;
+    it->second.awaiting_children = 0;
+    maybe_complete(self, key);
+  });
+}
+
+void NodeDaemon::maybe_complete(cluster::Process& self, Key key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.done || p.awaiting_local > 0 || p.awaiting_children > 0) return;
+  p.done = true;
+
+  if (p.is_kill) {
+    TreeKillAck ack;
+    ack.seq = p.reply_seq;
+    ack.ok = !p.failed;
+    ack.killed = p.killed;
+    if (p.reply_to != nullptr && p.reply_to->is_open()) {
+      self.send(p.reply_to, ack.encode());
+    }
+  } else {
+    TreeLaunchAck ack;
+    ack.seq = p.reply_seq;
+    ack.ok = !p.failed;
+    ack.error = p.error;
+    ack.entries = std::move(p.entries);
+    if (p.reply_to != nullptr && p.reply_to->is_open()) {
+      self.send(p.reply_to, ack.encode());
+    }
+  }
+  pending_.erase(it);
+}
+
+}  // namespace lmon::rm

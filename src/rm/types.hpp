@@ -1,0 +1,45 @@
+// types.hpp - resource-manager-level data types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/types.hpp"
+
+namespace lmon::rm {
+
+using JobId = std::uint64_t;
+inline constexpr JobId kInvalidJob = 0;
+
+/// One task/daemon descriptor: the unit of the MPIR proctable (and of
+/// LaunchMON's RPDTAB, which mirrors it). Paper §2: "RPDTAB ... includes the
+/// host name, the executable name and the process ID of each MPI task".
+struct TaskDesc {
+  std::string host;
+  std::string executable;
+  cluster::Pid pid = cluster::kInvalidPid;
+  std::int32_t rank = -1;
+
+  friend bool operator==(const TaskDesc& a, const TaskDesc& b) {
+    return a.host == b.host && a.executable == b.executable &&
+           a.pid == b.pid && a.rank == b.rank;
+  }
+};
+
+/// What a tool asks the RM to run (srun-style).
+struct JobSpec {
+  int nnodes = 1;
+  int tasks_per_node = 1;
+  std::string executable = "mpi_app";
+  std::vector<std::string> app_args;
+};
+
+/// An allocated node, with its index within the job's allocation. The index
+/// determines task ranks (block distribution) and daemon fabric positions.
+struct AllocatedNode {
+  std::string host;
+  std::uint32_t index = 0;
+};
+
+}  // namespace lmon::rm

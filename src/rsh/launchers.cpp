@@ -1,0 +1,325 @@
+#include "rsh/launchers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "cluster/machine.hpp"
+#include "common/argparse.hpp"
+#include "simkernel/log.hpp"
+
+namespace lmon::rsh {
+
+// --- serial -----------------------------------------------------------------
+
+struct SerialRshLauncher::State {
+  std::vector<LaunchTarget> targets;
+  std::size_t next_index = 0;
+  LaunchOutcome outcome;
+  Callback cb;
+};
+
+void SerialRshLauncher::launch(cluster::Process& self,
+                               std::vector<LaunchTarget> targets,
+                               Callback cb) {
+  auto st = std::make_shared<State>();
+  st->targets = std::move(targets);
+  st->cb = std::move(cb);
+  st->outcome.status = Status::ok();
+  next(self, std::move(st));
+}
+
+void SerialRshLauncher::next(cluster::Process& self,
+                             std::shared_ptr<State> st) {
+  if (st->next_index >= st->targets.size()) {
+    st->cb(std::move(st->outcome));
+    return;
+  }
+  const LaunchTarget& t = st->targets[st->next_index];
+  RshSession::run(self, t.host, t.executable, t.args,
+                  [&self, st](RemoteExec res) mutable {
+                    if (!res.status.is_ok()) {
+                      // One failed fork aborts the whole ad hoc launch; the
+                      // already-started daemons stay up (leaked), exactly the
+                      // unpleasant failure mode the paper describes.
+                      st->outcome.status = res.status;
+                      st->cb(std::move(st->outcome));
+                      return;
+                    }
+                    st->outcome.daemons.emplace_back(
+                        st->targets[st->next_index].host, res.remote_pid);
+                    st->outcome.sessions.push_back(res.session);
+                    st->next_index += 1;
+                    next(self, st);
+                  });
+}
+
+// --- tree -----------------------------------------------------------------------
+
+namespace {
+
+/// Splits hosts[1..] (or hosts[0..] at the root) into up to `fanout`
+/// contiguous chunks.
+std::vector<std::vector<std::string>> chunk_hosts(
+    const std::vector<std::string>& hosts, std::size_t begin, int fanout) {
+  std::vector<std::vector<std::string>> chunks;
+  if (begin >= hosts.size()) return chunks;
+  const std::size_t rest = hosts.size() - begin;
+  const std::size_t nchunks =
+      std::min<std::size_t>(fanout <= 0 ? 1 : static_cast<std::size_t>(fanout),
+                            rest);
+  chunks.resize(nchunks);
+  const std::size_t base = rest / nchunks;
+  const std::size_t extra = rest % nchunks;
+  std::size_t pos = begin;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    chunks[c].assign(hosts.begin() + static_cast<std::ptrdiff_t>(pos),
+                     hosts.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return chunks;
+}
+
+std::string join_csv(const std::vector<std::string>& v) {
+  std::string out;
+  for (const auto& s : v) {
+    if (!out.empty()) out += ',';
+    out += s;
+  }
+  return out;
+}
+
+/// Launches agents for each chunk sequentially via rsh and wires their acks
+/// into completion bookkeeping shared by the FE facade and TreeAgent.
+struct SubtreeLauncher {
+  static void launch_chunks(
+      cluster::Process& self,
+      std::vector<std::vector<std::string>> chunks, const std::string& exe,
+      const std::vector<std::string>& daemon_args, int fanout,
+      const std::string& report_host, cluster::Port report_port,
+      std::vector<cluster::ChannelPtr>* sessions,
+      std::function<void(Status)> on_spawned) {
+    auto remaining = std::make_shared<int>(static_cast<int>(chunks.size()));
+    auto failed = std::make_shared<bool>(false);
+    if (chunks.empty()) {
+      on_spawned(Status::ok());
+      return;
+    }
+    for (auto& chunk : chunks) {
+      std::vector<std::string> agent_args;
+      agent_args.push_back("--exe=" + exe);
+      agent_args.push_back("--fanout=" + std::to_string(fanout));
+      agent_args.push_back("--report-host=" + report_host);
+      agent_args.push_back("--report-port=" + std::to_string(report_port));
+      agent_args.push_back("--hosts=" + join_csv(chunk));
+      for (const auto& a : daemon_args) {
+        agent_args.push_back("--daemon-arg=" + a);
+      }
+      RshSession::run(
+          self, chunk.front(), "rsh_tree_agent", std::move(agent_args),
+          [sessions, remaining, failed, on_spawned](RemoteExec res) {
+            if (!res.status.is_ok()) {
+              *failed = true;
+            } else if (sessions != nullptr) {
+              sessions->push_back(res.session);
+            }
+            *remaining -= 1;
+            if (*remaining == 0) {
+              on_spawned(*failed ? Status(Rc::Esubcom,
+                                          "tree agent launch failed")
+                                 : Status::ok());
+            }
+          });
+    }
+  }
+};
+
+}  // namespace
+
+/// FE-side collector: listens for TreeAcks from the root agents. Declared at
+/// namespace scope (not anonymous) so the registry below can name it.
+struct TreeCollector {
+  cluster::Process& self;
+  int expected;
+  TreeRshLauncher::Callback cb;
+  LaunchOutcome outcome;
+  int received = 0;
+  bool finished = false;
+
+  explicit TreeCollector(cluster::Process& s) : self(s), expected(0) {}
+
+  void on_ack(const TreeAck& ack) {
+    if (finished) return;
+    received += 1;
+    if (!ack.ok && outcome.status.is_ok()) {
+      outcome.status = Status(Rc::Esubcom, ack.error);
+    }
+    for (const auto& d : ack.daemons) outcome.daemons.push_back(d);
+    if (received == expected) finish();
+  }
+
+  void fail(Status st) {
+    if (finished) return;
+    outcome.status = st;
+    finish();
+  }
+
+  void finish() {
+    finished = true;
+    self.stop_listening(kTreeReportPort);
+    cb(std::move(outcome));
+  }
+};
+
+namespace {
+/// Per-process collector registry: lets the owning program hand incoming
+/// report messages to the launcher with one handle_report() call.
+std::map<cluster::Pid, std::shared_ptr<TreeCollector>>& collector_registry() {
+  static std::map<cluster::Pid, std::shared_ptr<TreeCollector>> reg;
+  return reg;
+}
+}  // namespace
+
+void TreeRshLauncher::launch(cluster::Process& self,
+                             std::vector<std::string> hosts,
+                             std::string daemon_exe,
+                             std::vector<std::string> daemon_args, int fanout,
+                             Callback cb) {
+  if (hosts.empty()) {
+    cb(LaunchOutcome{Status::ok(), {}, {}});
+    return;
+  }
+  auto collector = std::make_shared<TreeCollector>(self);
+  collector->cb = std::move(cb);
+
+  Status lst = self.listen(kTreeReportPort);
+  if (!lst.is_ok()) {
+    collector->cb(LaunchOutcome{lst, {}, {}});
+    return;
+  }
+  auto chunks = chunk_hosts(hosts, 0, fanout);
+  collector->expected = static_cast<int>(chunks.size());
+  collector_registry()[self.pid()] = collector;
+
+  SubtreeLauncher::launch_chunks(
+      self, std::move(chunks), daemon_exe, daemon_args, fanout,
+      self.node().hostname(), kTreeReportPort, &collector->outcome.sessions,
+      [collector](Status st) {
+        if (!st.is_ok()) collector->fail(st);
+      });
+}
+
+bool TreeRshLauncher::handle_report(cluster::Process& self,
+                                    const cluster::Message& msg) {
+  auto it = collector_registry().find(self.pid());
+  if (it == collector_registry().end() || it->second == nullptr ||
+      it->second->finished) {
+    return false;
+  }
+  auto ack = TreeAck::decode(msg);
+  if (!ack) return false;
+  it->second->on_ack(*ack);
+  if (it->second->finished) collector_registry().erase(self.pid());
+  return true;
+}
+
+// --- tree agent program ------------------------------------------------------------
+
+void TreeAgent::on_start(cluster::Process& self) {
+  const auto& args = self.args();
+  const std::string exe = arg_value(args, "--exe=").value_or("");
+  const int fanout = static_cast<int>(arg_int(args, "--fanout=").value_or(2));
+  report_host_ = arg_value(args, "--report-host=").value_or("");
+  report_port_ = static_cast<cluster::Port>(
+      arg_int(args, "--report-port=").value_or(kTreeReportPort));
+  auto hosts = split_csv(arg_value(args, "--hosts=").value_or(""));
+  std::vector<std::string> daemon_args;
+  for (const auto& a : args) {
+    constexpr std::string_view kDaemonArg = "--daemon-arg=";
+    if (a.rfind(kDaemonArg, 0) == 0) {
+      daemon_args.push_back(a.substr(kDaemonArg.size()));
+    }
+  }
+  ack_.ok = true;
+
+  // Spawn the local daemon.
+  const cluster::ProgramImage* image =
+      exe.empty() ? nullptr : self.machine().find_program(exe);
+  if (image == nullptr) {
+    ack_.ok = false;
+    ack_.error = "tree agent: no such daemon executable: " + exe;
+    local_done_ = true;
+    maybe_report(self);
+    return;
+  }
+  cluster::SpawnOptions opts;
+  opts.executable = exe;
+  opts.image_mb = image->image_mb;
+  opts.args = daemon_args;
+  auto prog = image->factory(opts.args);
+  auto res = self.spawn_child(std::move(prog), std::move(opts));
+  if (!res.is_ok()) {
+    ack_.ok = false;
+    ack_.error = res.status.message();
+  } else {
+    ack_.daemons.emplace_back(self.node().hostname(), res.value);
+  }
+  local_done_ = true;
+
+  // Recurse into the subtree.
+  auto chunks = chunk_hosts(hosts, 1, fanout);
+  awaiting_children_ = static_cast<int>(chunks.size());
+  if (awaiting_children_ > 0) {
+    (void)self.listen(kTreeAgentPort);
+    SubtreeLauncher::launch_chunks(
+        self, std::move(chunks), exe, daemon_args, fanout,
+        self.node().hostname(), kTreeAgentPort, &child_sessions_,
+        [this, &self](Status st) {
+          if (!st.is_ok()) {
+            ack_.ok = false;
+            if (ack_.error.empty()) ack_.error = st.message();
+            awaiting_children_ = 0;
+            maybe_report(self);
+          }
+        });
+  }
+  maybe_report(self);
+}
+
+void TreeAgent::on_message(cluster::Process& self,
+                           const cluster::ChannelPtr& ch,
+                           cluster::Message msg) {
+  auto ack = TreeAck::decode(msg);
+  (void)ch;
+  if (!ack) return;
+  if (!ack->ok) {
+    ack_.ok = false;
+    if (ack_.error.empty()) ack_.error = ack->error;
+  }
+  for (const auto& d : ack->daemons) ack_.daemons.push_back(d);
+  awaiting_children_ -= 1;
+  maybe_report(self);
+}
+
+void TreeAgent::maybe_report(cluster::Process& self) {
+  if (reported_ || !local_done_ || awaiting_children_ > 0) return;
+  reported_ = true;
+  if (report_host_.empty()) return;
+  self.connect(report_host_, report_port_,
+               [this, &self](Status st, cluster::ChannelPtr ch) {
+                 if (!st.is_ok()) return;
+                 self.send(ch, ack_.encode());
+               });
+}
+
+void install_tree_agent(cluster::Machine& machine) {
+  cluster::ProgramImage image;
+  image.image_mb = 2.0;
+  image.factory = [](const std::vector<std::string>&) {
+    return std::make_unique<TreeAgent>();
+  };
+  machine.install_program("rsh_tree_agent", std::move(image));
+}
+
+}  // namespace lmon::rsh

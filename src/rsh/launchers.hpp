@@ -1,0 +1,98 @@
+// launchers.hpp - ad hoc daemon launching strategies (the paper's baseline).
+//
+// Two strategies from §2: "Most implementations have the tool front end
+// spawn each remote daemon sequentially; others employ a tree-based protocol
+// allowing daemons that the tool front end launches to spawn children
+// daemons, and so on."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/process.hpp"
+#include "rsh/client.hpp"
+
+namespace lmon::rsh {
+
+inline constexpr cluster::Port kTreeAgentPort = 516;
+inline constexpr cluster::Port kTreeReportPort = 517;
+
+struct LaunchTarget {
+  std::string host;
+  std::string executable;
+  std::vector<std::string> args;
+};
+
+struct LaunchOutcome {
+  Status status;
+  /// (host, pid) for each daemon that was started.
+  std::vector<std::pair<std::string, cluster::Pid>> daemons;
+  /// Open rsh sessions keeping serial-launched daemons alive. The caller
+  /// owns these; dropping/closing them kills the daemons.
+  std::vector<cluster::ChannelPtr> sessions;
+};
+
+/// Sequential front-end rsh launch: one blocking rsh per target, in order.
+/// Cost is ~(session cost) x (target count); a fork failure aborts the whole
+/// launch, reproducing the paper's hard failure at 512 nodes.
+class SerialRshLauncher {
+ public:
+  using Callback = std::function<void(LaunchOutcome)>;
+  static void launch(cluster::Process& self,
+                     std::vector<LaunchTarget> targets, Callback cb);
+
+ private:
+  struct State;
+  static void next(cluster::Process& self, std::shared_ptr<State> st);
+};
+
+/// Tree-based ad hoc launch: the front end rsh-starts up to `fanout` agents,
+/// each agent starts the local daemon and recursively rsh-starts agents for
+/// its subtree, reporting aggregated (host, pid) lists upward.
+class TreeRshLauncher {
+ public:
+  using Callback = std::function<void(LaunchOutcome)>;
+
+  /// `self` must be able to listen on kTreeReportPort, and its Program must
+  /// forward unrecognized messages to handle_report() (agents connect back
+  /// to the front end and deliver one TreeAck each). All daemons get the
+  /// same executable/args.
+  static void launch(cluster::Process& self, std::vector<std::string> hosts,
+                     std::string daemon_exe,
+                     std::vector<std::string> daemon_args, int fanout,
+                     Callback cb);
+
+  /// Returns true if the message was a TreeAck consumed by a launch in
+  /// progress on `self`.
+  static bool handle_report(cluster::Process& self,
+                            const cluster::Message& msg);
+};
+
+/// The recursive launch agent; registered as program image "rsh_tree_agent".
+class TreeAgent : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "rsh_tree_agent";
+  }
+  void on_start(cluster::Process& self) override;
+  void on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
+                  cluster::Message msg) override;
+
+ private:
+  void maybe_report(cluster::Process& self);
+
+  int awaiting_children_ = 0;
+  bool local_done_ = false;
+  bool reported_ = false;
+  TreeAck ack_;
+  std::string report_host_;
+  cluster::Port report_port_ = 0;
+  std::vector<cluster::ChannelPtr> child_sessions_;
+};
+
+/// Registers the tree-agent image with the machine's program registry.
+void install_tree_agent(cluster::Machine& machine);
+
+}  // namespace lmon::rsh

@@ -1,0 +1,49 @@
+// protocol.hpp - wire messages for the rsh substrate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/message.hpp"
+#include "cluster/types.hpp"
+#include "common/bytes.hpp"
+
+namespace lmon::rsh {
+
+enum class MsgType : std::uint32_t {
+  ExecReq = 100,
+  ExecResp,
+  TreeAck,
+};
+
+std::optional<MsgType> peek_type(const cluster::Message& msg);
+
+/// "rsh <host> <exe> <args...>": asks the remote rshd to spawn a command.
+struct ExecReq {
+  std::string executable;
+  std::vector<std::string> args;
+  [[nodiscard]] cluster::Message encode() const;
+  static std::optional<ExecReq> decode(const cluster::Message& m);
+};
+
+struct ExecResp {
+  bool ok = false;
+  std::string error;
+  cluster::Pid pid = cluster::kInvalidPid;
+  [[nodiscard]] cluster::Message encode() const;
+  static std::optional<ExecResp> decode(const cluster::Message& m);
+};
+
+/// Aggregated subtree result reported upward by tree-launch agents.
+struct TreeAck {
+  bool ok = false;
+  std::string error;
+  /// (host, pid) of every daemon in the reporting subtree.
+  std::vector<std::pair<std::string, cluster::Pid>> daemons;
+  [[nodiscard]] cluster::Message encode() const;
+  static std::optional<TreeAck> decode(const cluster::Message& m);
+};
+
+}  // namespace lmon::rsh

@@ -1,0 +1,36 @@
+// rshd.hpp - remote shell daemon, one per node.
+//
+// The substrate behind "ad hoc" tool daemon launching (paper §2): tools
+// combine rsh-like remote access with manual protocols. rshd accepts one
+// exec request per session, spawns the command, and ties the command's
+// lifetime to the session (closing the rsh connection kills the remote
+// process, like losing the controlling terminal).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cluster/process.hpp"
+#include "rsh/protocol.hpp"
+
+namespace lmon::rsh {
+
+class Rshd : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "rshd"; }
+
+  void on_start(cluster::Process& self) override;
+  void on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
+                  cluster::Message msg) override;
+  void on_channel_closed(cluster::Process& self,
+                         const cluster::ChannelPtr& ch) override;
+
+ private:
+  /// Session channel -> remote command it spawned.
+  std::map<cluster::Channel::Id, cluster::Pid> sessions_;
+};
+
+/// Installs an rshd on every node (compute + middleware + front end).
+Status install(cluster::Machine& machine);
+
+}  // namespace lmon::rsh

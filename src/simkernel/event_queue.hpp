@@ -1,0 +1,60 @@
+// event_queue.hpp - the pending-event set of the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "simkernel/time.hpp"
+
+namespace lmon::sim {
+
+/// Opaque handle to a scheduled event; used to cancel timers.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+};
+
+/// Min-heap of timestamped callbacks with stable FIFO ordering for equal
+/// timestamps. Cancellation is lazy: cancelled ids are skipped at pop time,
+/// which keeps cancel O(1) and is safe because event ids are never reused.
+class EventQueue {
+ public:
+  EventId push(Time when, std::function<void()> fn);
+
+  /// Marks an event so it will be skipped when popped. Cancelling an already
+  /// fired or unknown event is a no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Timestamp of the next live event; only valid when !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Removes and returns the next live event's callback, advancing past any
+  /// cancelled entries. Precondition: !empty().
+  std::pair<Time, std::function<void()>> pop();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    // Heap entries hold an index into pending_ rather than the callback so
+    // that cancel() can drop the closure immediately.
+    bool operator>(const Entry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_map<std::uint64_t, std::function<void()>> pending_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace lmon::sim

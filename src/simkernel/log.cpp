@@ -1,0 +1,45 @@
+#include "simkernel/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lmon::sim {
+
+namespace {
+
+LogLevel g_level = [] {
+  const char* env = std::getenv("LMON_SIM_LOG");
+  if (env == nullptr) return LogLevel::Off;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  return LogLevel::Off;
+}();
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel lv) { g_level = lv; }
+
+void Log::write(LogLevel, Time now, std::string_view component,
+                std::string_view message) {
+  std::fprintf(stderr, "[%12.6fs] %-14.*s %.*s\n", to_seconds(now),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds(t));
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_ms(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(t / kMicrosecond));
+  }
+  return buf;
+}
+
+}  // namespace lmon::sim

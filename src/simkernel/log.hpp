@@ -1,0 +1,53 @@
+// log.hpp - simulation trace logging.
+//
+// Off by default so benches run quietly; enable with LMON_SIM_LOG=debug (or
+// info/warn) to watch protocol traffic with simulated timestamps, which is
+// the main debugging aid for distributed-protocol issues in this repo.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "simkernel/time.hpp"
+
+namespace lmon::sim {
+
+enum class LogLevel { Off = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Global log configuration (read once from the environment, overridable in
+/// tests). The simulator is single-threaded so no synchronization is needed.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lv);
+
+  /// Emits "[ 1.234567s] <component> message" to stderr if `lv` is enabled.
+  static void write(LogLevel lv, Time now, std::string_view component,
+                    std::string_view message);
+
+  static bool enabled(LogLevel lv) { return lv <= level(); }
+};
+
+/// Streaming helper: LMON_SIM_LOG_AT(Debug, now, "rm") << "launching " << n;
+class LogLine {
+ public:
+  LogLine(LogLevel lv, Time now, std::string_view component)
+      : lv_(lv), now_(now), component_(component) {}
+  ~LogLine() {
+    if (Log::enabled(lv_)) Log::write(lv_, now_, component_, oss_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Log::enabled(lv_)) oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lv_;
+  Time now_;
+  std::string component_;
+  std::ostringstream oss_;
+};
+
+}  // namespace lmon::sim

@@ -1,0 +1,33 @@
+#include "simkernel/rng.hpp"
+
+namespace lmon::sim {
+
+std::uint64_t Rng::next() noexcept {
+  state_ += kGamma;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Modulo bias is negligible for the small bounds used here.
+  return next() % bound;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::normal(double mean, double sigma) noexcept {
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) sum += next_double();
+  return mean + sigma * (sum - 6.0);
+}
+
+}  // namespace lmon::sim

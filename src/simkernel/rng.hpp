@@ -1,0 +1,41 @@
+// rng.hpp - deterministic pseudo-random numbers (splitmix64 core).
+//
+// Used for the stochastic components of the cost model (fork jitter, network
+// jitter) and for the synthetic workloads (simulated stack traces, /proc
+// statistics). Deliberately not <random>: identical streams across platforms
+// and standard-library versions matter more than statistical sophistication.
+#pragma once
+
+#include <cstdint>
+
+namespace lmon::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) noexcept : state_(seed + kGamma) {}
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound); bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Approximately normal(mean, sigma) via the sum of uniforms (Irwin-Hall,
+  /// n=12); tails are clipped to +/- 6 sigma which is fine for cost jitter.
+  double normal(double mean, double sigma) noexcept;
+
+  /// Derives an independent stream (e.g. one per node) from this one.
+  Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t state_;
+};
+
+}  // namespace lmon::sim

@@ -1,0 +1,46 @@
+#include "simkernel/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lmon::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::schedule(Time delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  return queue_.push(when, std::move(fn));
+}
+
+std::size_t Simulator::run(Time until) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [when, fn] = queue_.pop();
+    assert(when >= now_ && "time must be monotonic");
+    now_ = when;
+    fn();
+    ++count;
+    ++executed_;
+    if (event_limit_ != 0 && count > event_limit_) {
+      throw std::runtime_error(
+          "Simulator event limit exceeded: likely a protocol livelock");
+    }
+  }
+  return count;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [when, fn] = queue_.pop();
+  now_ = when;
+  fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace lmon::sim

@@ -1,0 +1,61 @@
+#include "simkernel/stats.hpp"
+
+#include <cmath>
+
+namespace lmon::sim {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Timeline::mark(const std::string& name, Time when) {
+  marks_[name] = when;
+}
+
+bool Timeline::has(const std::string& name) const {
+  return marks_.count(name) != 0;
+}
+
+Time Timeline::at(const std::string& name) const {
+  auto it = marks_.find(name);
+  return it == marks_.end() ? 0 : it->second;
+}
+
+Time Timeline::between(const std::string& a, const std::string& b) const {
+  if (!has(a) || !has(b)) return 0;
+  return at(b) - at(a);
+}
+
+void CostLedger::charge(const std::string& name, Time amount) {
+  auto& e = entries_[name];
+  e.first += amount;
+  e.second += 1;
+}
+
+Time CostLedger::total(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.first;
+}
+
+std::size_t CostLedger::events(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.second;
+}
+
+}  // namespace lmon::sim

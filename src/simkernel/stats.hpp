@@ -1,0 +1,76 @@
+// stats.hpp - small statistics accumulators used by the bench harnesses and
+// by the instrumented LaunchMON engine (region cost attribution).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simkernel/time.hpp"
+
+namespace lmon::sim {
+
+/// Streaming min/max/mean/stddev accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Named timestamps recorded along an operation's critical path.
+///
+/// The instrumented engine marks the paper's events e0..e11 on a Timeline;
+/// bench_fig3 then reads the region durations straight off of it.
+class Timeline {
+ public:
+  void mark(const std::string& name, Time when);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] Time at(const std::string& name) const;
+
+  /// at(b) - at(a); returns 0 and flags missing marks via has().
+  [[nodiscard]] Time between(const std::string& a, const std::string& b) const;
+
+  [[nodiscard]] const std::map<std::string, Time>& marks() const {
+    return marks_;
+  }
+  void clear() { marks_.clear(); }
+
+ private:
+  std::map<std::string, Time> marks_;
+};
+
+/// Named duration counters, e.g. accumulated debug-event handler time.
+class CostLedger {
+ public:
+  void charge(const std::string& name, Time amount);
+  [[nodiscard]] Time total(const std::string& name) const;
+  [[nodiscard]] std::size_t events(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::pair<Time, std::size_t>>&
+  entries() const {
+    return entries_;
+  }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::map<std::string, std::pair<Time, std::size_t>> entries_;
+};
+
+}  // namespace lmon::sim

@@ -1,0 +1,39 @@
+// time.hpp - simulated time.
+//
+// All durations in the simulation are integral nanoseconds. Integral time
+// keeps event ordering exact and runs identical on every host, which is the
+// property that makes the benchmark harnesses deterministic (a re-run of any
+// experiment reproduces the same microsecond-level numbers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lmon::sim {
+
+/// Simulated time or duration, in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// 1.5ms -> ms(1.5); fractional arguments are fine, result is truncated to ns.
+constexpr Time ns(double v) { return static_cast<Time>(v); }
+constexpr Time us(double v) { return static_cast<Time>(v * kMicrosecond); }
+constexpr Time ms(double v) { return static_cast<Time>(v * kMillisecond); }
+constexpr Time seconds(double v) { return static_cast<Time>(v * kSecond); }
+
+/// Duration expressed in (floating) seconds, for reporting.
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double to_ms(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// "1.234s" / "5.6ms" / "780us" - human-readable rendering for logs.
+std::string format_time(Time t);
+
+}  // namespace lmon::sim

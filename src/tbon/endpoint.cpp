@@ -1,0 +1,270 @@
+#include "tbon/endpoint.hpp"
+
+#include <cassert>
+
+#include "cluster/machine.hpp"
+#include "simkernel/log.hpp"
+
+namespace lmon::tbon {
+
+bool subtree_has_backend(const Topology& topo, int index) {
+  const auto& nodes = topo.nodes();
+  if (nodes[static_cast<std::size_t>(index)].is_backend) return true;
+  for (int c : topo.children_of(index)) {
+    if (subtree_has_backend(topo, c)) return true;
+  }
+  return false;
+}
+
+TbonEndpoint::TbonEndpoint(cluster::Process& self, Topology topology,
+                           int my_index, Callbacks callbacks)
+    : self_(self),
+      topo_(std::move(topology)),
+      my_index_(my_index),
+      cbs_(std::move(callbacks)) {
+  for (int c : topo_.children_of(my_index_)) {
+    if (subtree_has_backend(topo_, c)) {
+      expected_children_.push_back(c);
+      subtree_up_pending_.insert(c);
+    }
+  }
+}
+
+void TbonEndpoint::start() {
+  const TopoNode& me = topo_.nodes()[static_cast<std::size_t>(my_index_)];
+  if (!expected_children_.empty()) {
+    assert(me.port != 0 && "internal TBON nodes need a listening port");
+    const Status st = self_.listen(me.port, [this](cluster::ChannelPtr ch) {
+      self_.set_channel_handler(
+          ch,
+          [this](const cluster::ChannelPtr& c, cluster::Message m) {
+            on_packet(c, std::move(m));
+          },
+          [this](const cluster::ChannelPtr&) {
+            if (!ready_fired_) fail(Status(Rc::Esubcom, "TBON child lost"));
+          });
+    });
+    if (!st.is_ok()) {
+      fail(st);
+      return;
+    }
+  }
+  if (is_root()) {
+    parent_linked_ = true;
+    maybe_tree_ready();
+  } else {
+    connect_parent(kConnectRetries);
+  }
+}
+
+void TbonEndpoint::connect_parent(int attempts_left) {
+  const TopoNode& me = topo_.nodes()[static_cast<std::size_t>(my_index_)];
+  const TopoNode& parent =
+      topo_.nodes()[static_cast<std::size_t>(me.parent)];
+  self_.connect(
+      parent.host, parent.port,
+      [this, attempts_left](Status st, cluster::ChannelPtr ch) {
+        if (!st.is_ok()) {
+          if (attempts_left > 0) {
+            self_.post(kRetryDelay, [this, attempts_left] {
+              connect_parent(attempts_left - 1);
+            });
+          } else {
+            fail(Status(Rc::Esubcom, "cannot reach TBON parent"));
+          }
+          return;
+        }
+        parent_ = ch;
+        self_.set_channel_handler(
+            ch,
+            [this](const cluster::ChannelPtr& c, cluster::Message m) {
+              on_packet(c, std::move(m));
+            },
+            [this](const cluster::ChannelPtr&) {
+              parent_ = nullptr;  // overlay teardown
+            });
+        Packet hello;
+        hello.kind = PacketKind::Hello;
+        hello.node_index = my_index_;
+        self_.send(ch, hello.encode());
+        parent_linked_ = true;
+        maybe_tree_ready();
+      });
+}
+
+void TbonEndpoint::on_packet(const cluster::ChannelPtr& ch,
+                             cluster::Message m) {
+  auto packet = Packet::decode(m);
+  if (!packet) return;
+  self_.post(self_.machine().costs().iccl_msg_handle,
+             [this, ch, p = std::move(*packet)]() mutable {
+               switch (p.kind) {
+                 case PacketKind::Hello:
+                   handle_hello(ch, p.node_index);
+                   break;
+                 case PacketKind::SubtreeUp:
+                   handle_subtree_up(p.node_index);
+                   break;
+                 case PacketKind::NewStream:
+                 case PacketKind::Down:
+                   handle_down(p);
+                   break;
+                 case PacketKind::Up:
+                   handle_up(p.node_index, std::move(p));
+                   break;
+               }
+             });
+}
+
+void TbonEndpoint::handle_hello(const cluster::ChannelPtr& ch,
+                                int child_index) {
+  // Child registration serializes at the parent (accept + validation +
+  // routing update). A 1-deep root registers every back end itself, which
+  // is the "MRNet handshaking" component of Fig. 6's startup time.
+  const sim::Time cost = self_.machine().costs().tbon_register_cost;
+  const sim::Time now = self_.sim().now();
+  if (register_busy_until_ < now) register_busy_until_ = now;
+  register_busy_until_ += cost;
+  const sim::Time delay = register_busy_until_ - now;
+  self_.post(delay, [this, ch, child_index] {
+    children_[child_index] = ch;
+    maybe_tree_ready();
+  });
+}
+
+void TbonEndpoint::handle_subtree_up(int child_index) {
+  subtree_up_pending_.erase(child_index);
+  maybe_tree_ready();
+}
+
+void TbonEndpoint::maybe_tree_ready() {
+  if (ready_fired_ || !parent_linked_) return;
+  if (children_.size() != expected_children_.size()) return;
+  // Leaves of the wave: BE children report implicitly via Hello; comm
+  // children must additionally confirm their subtree.
+  for (int c : expected_children_) {
+    const bool child_is_backend =
+        topo_.nodes()[static_cast<std::size_t>(c)].is_backend;
+    if (!child_is_backend && subtree_up_pending_.count(c) != 0) return;
+  }
+  ready_fired_ = true;
+  if (!is_root() && parent_ != nullptr) {
+    Packet up;
+    up.kind = PacketKind::SubtreeUp;
+    up.node_index = my_index_;
+    self_.send(parent_, up.encode());
+  }
+  if (cbs_.on_tree_ready) cbs_.on_tree_ready(Status::ok());
+}
+
+std::uint32_t TbonEndpoint::new_stream(std::uint32_t filter_id) {
+  assert(is_root());
+  const std::uint32_t stream = next_stream_++;
+  stream_filters_[stream] = filter_id;
+  Packet p;
+  p.kind = PacketKind::NewStream;
+  p.stream = stream;
+  p.filter = filter_id;
+  handle_down(p);
+  return stream;
+}
+
+std::uint32_t TbonEndpoint::filter_of(std::uint32_t stream) const {
+  auto it = stream_filters_.find(stream);
+  return it == stream_filters_.end() ? kFilterConcat : it->second;
+}
+
+void TbonEndpoint::send_down(std::uint32_t stream, std::uint32_t tag,
+                             Bytes data) {
+  assert(is_root());
+  Packet p;
+  p.kind = PacketKind::Down;
+  p.stream = stream;
+  p.tag = tag;
+  p.data = std::move(data);
+  handle_down(p);
+}
+
+void TbonEndpoint::handle_down(const Packet& p) {
+  if (p.kind == PacketKind::NewStream) {
+    stream_filters_[p.stream] = p.filter;
+  }
+  for (auto& [idx, ch] : children_) {
+    self_.send(ch, p.encode());
+  }
+  const bool is_leaf = expected_children_.empty();
+  if (p.kind == PacketKind::Down && (is_leaf || !is_root()) && cbs_.on_down) {
+    cbs_.on_down(p.stream, p.tag, p.data);
+  }
+}
+
+void TbonEndpoint::send_up(std::uint32_t stream, std::uint32_t tag,
+                           Bytes data) {
+  const TopoNode& me = topo_.nodes()[static_cast<std::size_t>(my_index_)];
+  Packet p;
+  p.kind = PacketKind::Up;
+  p.stream = stream;
+  p.tag = tag;
+  p.node_index = my_index_;
+  if (me.is_backend) {
+    p.ranks.push_back(static_cast<std::uint32_t>(me.be_rank));
+    // Framed filters (concat, structured merges) expect leaf payloads
+    // wrapped; raw reductions (sum/max) operate on the bytes directly.
+    p.data = FilterRegistry::instance().framed(filter_of(stream))
+                 ? wrap_leaf_payload(data)
+                 : std::move(data);
+  } else {
+    p.data = std::move(data);
+  }
+  if (parent_ != nullptr) {
+    self_.send(parent_, p.encode());
+  } else if (is_root() && cbs_.on_up) {
+    cbs_.on_up(stream, tag, p.data, p.ranks);
+  }
+}
+
+void TbonEndpoint::handle_up(int child_index, Packet p) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(p.stream) << 32) | p.tag;
+  auto it = rounds_.find(key);
+  if (it == rounds_.end()) {
+    Round round;
+    for (int c : expected_children_) round.pending_children.insert(c);
+    it = rounds_.emplace(key, std::move(round)).first;
+  }
+  Round& round = it->second;
+  round.pending_children.erase(child_index);
+  round.payloads.push_back(std::move(p.data));
+  round.ranks.insert(round.ranks.end(), p.ranks.begin(), p.ranks.end());
+  if (!round.pending_children.empty()) return;
+
+  // All child subtrees contributed: reduce and pass upward (or deliver).
+  const Bytes reduced =
+      FilterRegistry::instance().apply(filter_of(p.stream), round.payloads);
+  std::vector<std::uint32_t> ranks = std::move(round.ranks);
+  std::sort(ranks.begin(), ranks.end());
+  rounds_.erase(it);
+
+  if (is_root()) {
+    if (cbs_.on_up) cbs_.on_up(p.stream, p.tag, reduced, ranks);
+    return;
+  }
+  Packet up;
+  up.kind = PacketKind::Up;
+  up.stream = p.stream;
+  up.tag = p.tag;
+  up.node_index = my_index_;
+  up.ranks = std::move(ranks);
+  up.data = reduced;
+  if (parent_ != nullptr) self_.send(parent_, up.encode());
+}
+
+void TbonEndpoint::fail(Status st) {
+  if (ready_fired_) return;
+  ready_fired_ = true;
+  sim::LogLine(sim::LogLevel::Warn, self_.sim().now(), "tbon")
+      << "node " << my_index_ << ": " << st.to_string();
+  if (cbs_.on_tree_ready) cbs_.on_tree_ready(st);
+}
+
+}  // namespace lmon::tbon

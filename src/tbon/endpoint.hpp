@@ -1,0 +1,107 @@
+// endpoint.hpp - per-process TBON node runtime.
+//
+// One TbonEndpoint embeds a process into the overlay tree at a given
+// topology index: the tool FE at the root, communication daemons at
+// internal positions, tool back ends at the leaves. It handles link
+// establishment (children dial parents), the bottom-up "subtree connected"
+// wave, stream management, downstream broadcast and upstream filtered
+// aggregation with per-(stream, tag) round synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "cluster/process.hpp"
+#include "common/status.hpp"
+#include "tbon/filter.hpp"
+#include "tbon/packet.hpp"
+#include "tbon/topology.hpp"
+
+namespace lmon::tbon {
+
+class TbonEndpoint {
+ public:
+  struct Callbacks {
+    /// Fires when this node's subtree is fully connected. At the root this
+    /// means the whole overlay network is up.
+    std::function<void(Status)> on_tree_ready;
+    /// Root: an aggregated upstream wave completed for (stream, tag).
+    std::function<void(std::uint32_t stream, std::uint32_t tag,
+                       const Bytes& data,
+                       const std::vector<std::uint32_t>& ranks)>
+        on_up;
+    /// Leaves (and comm nodes, for control): downstream packet arrived.
+    std::function<void(std::uint32_t stream, std::uint32_t tag,
+                       const Bytes& data)>
+        on_down;
+  };
+
+  TbonEndpoint(cluster::Process& self, Topology topology, int my_index,
+               Callbacks callbacks);
+
+  TbonEndpoint(const TbonEndpoint&) = delete;
+  TbonEndpoint& operator=(const TbonEndpoint&) = delete;
+
+  /// Wires this endpoint: comm/root nodes listen, non-roots dial their
+  /// parent (with retries while the parent boots).
+  void start();
+
+  [[nodiscard]] bool is_root() const { return my_index_ == 0; }
+  [[nodiscard]] int index() const { return my_index_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  // --- root API -------------------------------------------------------------
+  /// Creates a stream bound to an upstream filter; announced down-tree.
+  std::uint32_t new_stream(std::uint32_t filter_id);
+  /// Broadcasts (stream, tag, data) to every back end.
+  void send_down(std::uint32_t stream, std::uint32_t tag, Bytes data);
+
+  // --- leaf API --------------------------------------------------------------
+  /// Sends this back end's contribution for (stream, tag) toward the root;
+  /// internal nodes aggregate with the stream's filter.
+  void send_up(std::uint32_t stream, std::uint32_t tag, Bytes data);
+
+ private:
+  struct Round {
+    std::set<int> pending_children;  ///< topology child indices outstanding
+    std::vector<Bytes> payloads;
+    std::vector<std::uint32_t> ranks;
+  };
+
+  void connect_parent(int attempts_left);
+  void on_packet(const cluster::ChannelPtr& ch, cluster::Message m);
+  void handle_hello(const cluster::ChannelPtr& ch, int child_index);
+  void handle_subtree_up(int child_index);
+  void handle_down(const Packet& p);
+  void handle_up(int child_index, Packet p);
+  void flush_round(std::uint32_t stream, std::uint32_t tag);
+  void maybe_tree_ready();
+  void fail(Status st);
+  [[nodiscard]] std::uint32_t filter_of(std::uint32_t stream) const;
+
+  cluster::Process& self_;
+  Topology topo_;
+  int my_index_;
+  Callbacks cbs_;
+  cluster::ChannelPtr parent_;
+  std::map<int, cluster::ChannelPtr> children_;   ///< topo index -> link
+  std::vector<int> expected_children_;            ///< children with backends
+  std::set<int> subtree_up_pending_;
+  bool parent_linked_ = false;
+  bool ready_fired_ = false;
+  std::map<std::uint32_t, std::uint32_t> stream_filters_;
+  std::uint32_t next_stream_ = 1;
+  std::map<std::uint64_t, Round> rounds_;  ///< (stream<<32|tag) -> round
+  sim::Time register_busy_until_ = 0;      ///< serialized child registration
+
+  static constexpr int kConnectRetries = 60;
+  static constexpr sim::Time kRetryDelay = sim::ms(4);
+};
+
+/// True when the subtree rooted at `index` contains a back end.
+bool subtree_has_backend(const Topology& topo, int index);
+
+}  // namespace lmon::tbon

@@ -1,0 +1,135 @@
+#include "tbon/filter.hpp"
+
+#include <algorithm>
+
+namespace lmon::tbon {
+
+Bytes concat_payloads(const std::vector<Bytes>& inputs) {
+  // Flatten nested concat frames: inputs that are themselves concat frames
+  // are spliced so the root sees one flat list regardless of tree shape.
+  ByteWriter w;
+  std::uint32_t total = 0;
+  std::vector<Bytes> flat;
+  for (const auto& in : inputs) {
+    auto parts = split_concat(in);
+    if (!parts.empty()) {
+      for (auto& p : parts) flat.push_back(std::move(p));
+    }
+  }
+  w.u32(0);  // patched below
+  for (const auto& p : flat) {
+    w.blob(p);
+    ++total;
+  }
+  w.patch_u32(0, total);
+  return std::move(w).take();
+}
+
+std::vector<Bytes> split_concat(const Bytes& data) {
+  ByteReader r(data);
+  auto count = r.u32();
+  std::vector<Bytes> out;
+  if (!count) return out;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto b = r.blob();
+    if (!b) return {};
+    out.push_back(std::move(*b));
+  }
+  if (!r.exhausted()) return {};
+  return out;
+}
+
+/// Wraps a raw leaf payload into a single-element concat frame.
+static Bytes wrap_leaf(const Bytes& payload) {
+  ByteWriter w;
+  w.u32(1);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+namespace {
+
+Bytes elementwise_u64(const std::vector<Bytes>& inputs, bool take_max) {
+  std::vector<std::uint64_t> acc;
+  for (const auto& in : inputs) {
+    ByteReader r(in);
+    std::size_t i = 0;
+    while (r.remaining() >= 8) {
+      auto v = r.u64();
+      if (!v) break;
+      if (i >= acc.size()) {
+        acc.push_back(*v);
+      } else if (take_max) {
+        acc[i] = std::max(acc[i], *v);
+      } else {
+        acc[i] += *v;
+      }
+      ++i;
+    }
+  }
+  ByteWriter w;
+  for (std::uint64_t v : acc) w.u64(v);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+FilterRegistry::FilterRegistry() {
+  filters_.push_back(Entry{kFilterConcat,
+                           [](const std::vector<Bytes>& in) {
+                             return concat_payloads(in);
+                           },
+                           true});
+  filters_.push_back(Entry{kFilterSumU64,
+                           [](const std::vector<Bytes>& in) {
+                             return elementwise_u64(in, /*take_max=*/false);
+                           },
+                           false});
+  filters_.push_back(Entry{kFilterMaxU64,
+                           [](const std::vector<Bytes>& in) {
+                             return elementwise_u64(in, /*take_max=*/true);
+                           },
+                           false});
+}
+
+FilterRegistry& FilterRegistry::instance() {
+  static FilterRegistry reg;
+  return reg;
+}
+
+void FilterRegistry::register_filter(std::uint32_t id, FilterFn fn,
+                                     bool framed) {
+  for (auto& e : filters_) {
+    if (e.id == id) {
+      e.fn = std::move(fn);
+      e.framed = framed;
+      return;
+    }
+  }
+  filters_.push_back(Entry{id, std::move(fn), framed});
+}
+
+const FilterFn* FilterRegistry::find(std::uint32_t id) const {
+  for (const auto& e : filters_) {
+    if (e.id == id) return &e.fn;
+  }
+  return nullptr;
+}
+
+bool FilterRegistry::framed(std::uint32_t id) const {
+  for (const auto& e : filters_) {
+    if (e.id == id) return e.framed;
+  }
+  return true;  // unknown ids fall back to concat, which is framed
+}
+
+Bytes FilterRegistry::apply(std::uint32_t id,
+                            const std::vector<Bytes>& inputs) const {
+  const FilterFn* fn = find(id);
+  if (fn == nullptr) return concat_payloads(inputs);
+  return (*fn)(inputs);
+}
+
+Bytes wrap_leaf_payload(const Bytes& payload) { return wrap_leaf(payload); }
+
+}  // namespace lmon::tbon

@@ -1,0 +1,61 @@
+// filter.hpp - TBON upstream reduction filters.
+//
+// MRNet's defining feature: data flowing toward the root is reduced at each
+// internal node by a filter, so the FE sees aggregate state instead of N
+// raw messages. Filters are pure functions over byte payloads, registered
+// globally by id so comm-node daemons can look them up (real MRNet loads
+// them from shared objects).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace lmon::tbon {
+
+/// Combines several upstream payloads into one.
+using FilterFn = std::function<Bytes(const std::vector<Bytes>&)>;
+
+// Built-in filter ids.
+inline constexpr std::uint32_t kFilterConcat = 0;  ///< length-prefixed concat
+inline constexpr std::uint32_t kFilterSumU64 = 1;  ///< element-wise u64 sum
+inline constexpr std::uint32_t kFilterMaxU64 = 2;  ///< element-wise u64 max
+// Tool-registered filters start here (STAT registers its merge at 100).
+inline constexpr std::uint32_t kFilterUserBase = 100;
+
+class FilterRegistry {
+ public:
+  static FilterRegistry& instance();
+
+  /// `framed`: whether the filter operates on concat frames (leaf payloads
+  /// get wrapped before entering the stream; concat-style and structured
+  /// merge filters want this) or on raw payloads (element-wise reductions
+  /// like sum/max).
+  void register_filter(std::uint32_t id, FilterFn fn, bool framed = true);
+  [[nodiscard]] const FilterFn* find(std::uint32_t id) const;
+  [[nodiscard]] bool framed(std::uint32_t id) const;
+
+  /// Applies filter `id`; unknown ids fall back to concat (safe default).
+  [[nodiscard]] Bytes apply(std::uint32_t id,
+                            const std::vector<Bytes>& inputs) const;
+
+ private:
+  struct Entry {
+    std::uint32_t id;
+    FilterFn fn;
+    bool framed;
+  };
+  FilterRegistry();
+  std::vector<Entry> filters_;
+};
+
+/// Concat encoding helpers (the default filter frames inputs so they can be
+/// split again at the root).
+Bytes concat_payloads(const std::vector<Bytes>& inputs);
+std::vector<Bytes> split_concat(const Bytes& data);
+/// Leaf payloads must be wrapped before entering a concat-filtered stream.
+Bytes wrap_leaf_payload(const Bytes& payload);
+
+}  // namespace lmon::tbon

@@ -1,0 +1,167 @@
+#include "tbon/topology.hpp"
+
+#include <algorithm>
+
+namespace lmon::tbon {
+
+Topology Topology::one_deep(const std::string& fe_host,
+                            cluster::Port fe_port,
+                            const std::vector<std::string>& be_hosts) {
+  Topology t;
+  t.nodes_.push_back(TopoNode{fe_host, fe_port, -1, false, -1});
+  for (std::size_t i = 0; i < be_hosts.size(); ++i) {
+    t.nodes_.push_back(
+        TopoNode{be_hosts[i], 0, 0, true, static_cast<std::int32_t>(i)});
+  }
+  return t;
+}
+
+Topology Topology::balanced(const std::string& fe_host,
+                            cluster::Port fe_port,
+                            const std::vector<std::string>& comm_hosts,
+                            const std::vector<std::string>& be_hosts,
+                            int fanout, cluster::Port comm_port) {
+  Topology t;
+  t.nodes_.push_back(TopoNode{fe_host, fe_port, -1, false, -1});
+  if (fanout < 1) fanout = 1;
+
+  // Comm daemons form a breadth-first fanout-ary tree rooted at the FE.
+  std::vector<int> comm_indices;
+  for (std::size_t i = 0; i < comm_hosts.size(); ++i) {
+    int parent = 0;
+    if (i > 0) {
+      parent = comm_indices[(i - 1) / static_cast<std::size_t>(fanout)];
+    }
+    t.nodes_.push_back(TopoNode{comm_hosts[i], comm_port, parent, false, -1});
+    comm_indices.push_back(static_cast<int>(t.nodes_.size()) - 1);
+  }
+
+  // Back ends hang off the deepest comm layer (or the FE when no comm
+  // nodes), distributed round-robin.
+  std::vector<int> attach_points;
+  if (comm_indices.empty()) {
+    attach_points.push_back(0);
+  } else {
+    // Deepest layer = comm nodes with no comm children.
+    std::vector<bool> has_child(t.nodes_.size(), false);
+    for (const auto& n : t.nodes_) {
+      if (n.parent >= 0 && !n.is_backend) {
+        has_child[static_cast<std::size_t>(n.parent)] = true;
+      }
+    }
+    for (int idx : comm_indices) {
+      if (!has_child[static_cast<std::size_t>(idx)]) {
+        attach_points.push_back(idx);
+      }
+    }
+    if (attach_points.empty()) attach_points = comm_indices;
+  }
+  for (std::size_t i = 0; i < be_hosts.size(); ++i) {
+    const int parent = attach_points[i % attach_points.size()];
+    t.nodes_.push_back(
+        TopoNode{be_hosts[i], 0, parent, true, static_cast<std::int32_t>(i)});
+  }
+  return t;
+}
+
+std::vector<int> Topology::children_of(int index) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == index) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int Topology::index_of_backend(int be_rank) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_backend && nodes_[i].be_rank == be_rank) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int Topology::num_backends() const {
+  int n = 0;
+  for (const auto& node : nodes_) n += node.is_backend ? 1 : 0;
+  return n;
+}
+
+int Topology::num_comm_nodes() const {
+  return static_cast<int>(nodes_.size()) - num_backends() - 1;
+}
+
+int Topology::depth() const {
+  int max_depth = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    int d = 0;
+    int cur = static_cast<int>(i);
+    while (cur > 0 && nodes_[static_cast<std::size_t>(cur)].parent >= 0 &&
+           d <= static_cast<int>(nodes_.size())) {
+      cur = nodes_[static_cast<std::size_t>(cur)].parent;
+      d += 1;
+    }
+    max_depth = std::max(max_depth, d);
+  }
+  return max_depth;
+}
+
+bool Topology::valid() const {
+  if (nodes_.empty()) return false;
+  if (nodes_.front().parent != -1) return false;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const TopoNode& n = nodes_[i];
+    if (n.parent < 0 || n.parent >= static_cast<std::int32_t>(nodes_.size()) ||
+        n.parent == static_cast<std::int32_t>(i)) {
+      return false;
+    }
+    if (nodes_[static_cast<std::size_t>(n.parent)].is_backend) {
+      return false;  // back ends must be leaves
+    }
+    if (!n.is_backend && n.port == 0) return false;
+  }
+  // Acyclic: every node reaches the root within |nodes| hops.
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    int cur = static_cast<int>(i);
+    std::size_t hops = 0;
+    while (cur != 0) {
+      cur = nodes_[static_cast<std::size_t>(cur)].parent;
+      if (cur < 0 || ++hops > nodes_.size()) return false;
+    }
+  }
+  return true;
+}
+
+Bytes Topology::pack() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const auto& n : nodes_) {
+    w.str(n.host);
+    w.u16(n.port);
+    w.i32(n.parent);
+    w.boolean(n.is_backend);
+    w.i32(n.be_rank);
+  }
+  return std::move(w).take();
+}
+
+std::optional<Topology> Topology::unpack(const Bytes& data) {
+  ByteReader r(data);
+  auto count = r.u32();
+  if (!count) return std::nullopt;
+  Topology t;
+  t.nodes_.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto host = r.str();
+    auto port = r.u16();
+    auto parent = r.i32();
+    auto is_be = r.boolean();
+    auto be_rank = r.i32();
+    if (!host || !port || !parent || !is_be || !be_rank) return std::nullopt;
+    t.nodes_.push_back(
+        TopoNode{std::move(*host), *port, *parent, *is_be, *be_rank});
+  }
+  return t;
+}
+
+}  // namespace lmon::tbon

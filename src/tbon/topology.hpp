@@ -1,0 +1,73 @@
+// topology.hpp - tree-based overlay network topology (MRNet-like).
+//
+// A topology describes the TBON process tree: the tool front end at the
+// root, optional internal communication daemons on extra nodes, and the
+// tool's back-end daemons at the leaves. The paper's STAT evaluation uses a
+// "1-deep" (1-to-N) topology: every back end is a direct child of the FE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/types.hpp"
+#include "common/bytes.hpp"
+
+namespace lmon::tbon {
+
+struct TopoNode {
+  std::string host;
+  cluster::Port port = 0;  ///< listening port (0 for leaves; they dial out)
+  std::int32_t parent = -1;
+  bool is_backend = false;
+  std::int32_t be_rank = -1;  ///< back-end index for leaves, -1 otherwise
+
+  friend bool operator==(const TopoNode& a, const TopoNode& b) {
+    return a.host == b.host && a.port == b.port && a.parent == b.parent &&
+           a.is_backend == b.is_backend && a.be_rank == b.be_rank;
+  }
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  /// 1-to-N: FE root, every back end a direct child (paper Fig. 6 setup).
+  static Topology one_deep(const std::string& fe_host, cluster::Port fe_port,
+                           const std::vector<std::string>& be_hosts);
+
+  /// Balanced tree: comm daemons (on `comm_hosts`) form a `fanout`-ary tree
+  /// under the FE; back ends are distributed under the deepest comm layer.
+  static Topology balanced(const std::string& fe_host, cluster::Port fe_port,
+                           const std::vector<std::string>& comm_hosts,
+                           const std::vector<std::string>& be_hosts,
+                           int fanout, cluster::Port comm_port);
+
+  [[nodiscard]] const std::vector<TopoNode>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const TopoNode& root() const { return nodes_.front(); }
+
+  [[nodiscard]] std::vector<int> children_of(int index) const;
+  [[nodiscard]] int index_of_backend(int be_rank) const;
+  [[nodiscard]] int num_backends() const;
+  [[nodiscard]] int num_comm_nodes() const;
+  /// Depth of the deepest leaf (root = 0); the 1-deep topology returns 1.
+  [[nodiscard]] int depth() const;
+
+  /// Structural validation: single root at index 0, acyclic parent links,
+  /// back ends are leaves, comm nodes have listening ports.
+  [[nodiscard]] bool valid() const;
+
+  [[nodiscard]] Bytes pack() const;
+  static std::optional<Topology> unpack(const Bytes& data);
+
+  friend bool operator==(const Topology& a, const Topology& b) {
+    return a.nodes_ == b.nodes_;
+  }
+
+ private:
+  std::vector<TopoNode> nodes_;
+};
+
+}  // namespace lmon::tbon

@@ -1,0 +1,293 @@
+#include "tools/dpcl/dpcl.hpp"
+
+#include "simkernel/log.hpp"
+
+namespace lmon::tools::dpcl {
+
+namespace {
+
+ByteWriter begin(MsgType t) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(t));
+  return w;
+}
+
+std::optional<ByteReader> open(const cluster::Message& m, MsgType expect) {
+  ByteReader r(m.bytes);
+  auto t = r.u32();
+  if (!t || *t != static_cast<std::uint32_t>(expect)) return std::nullopt;
+  return r;
+}
+
+std::optional<MsgType> peek(const cluster::Message& m) {
+  ByteReader r(m.bytes);
+  auto t = r.u32();
+  if (!t || *t < static_cast<std::uint32_t>(MsgType::AttachParseReq) ||
+      *t > static_cast<std::uint32_t>(MsgType::InstrumentResp)) {
+    return std::nullopt;
+  }
+  return static_cast<MsgType>(*t);
+}
+
+}  // namespace
+
+cluster::Message AttachParseReq::encode() const {
+  ByteWriter w = begin(MsgType::AttachParseReq);
+  w.i64(pid);
+  return cluster::Message(std::move(w).take());
+}
+std::optional<AttachParseReq> AttachParseReq::decode(
+    const cluster::Message& m) {
+  auto r = open(m, MsgType::AttachParseReq);
+  if (!r) return std::nullopt;
+  auto pid = r->i64();
+  if (!pid) return std::nullopt;
+  return AttachParseReq{*pid};
+}
+
+cluster::Message AttachParseResp::encode() const {
+  ByteWriter w = begin(MsgType::AttachParseResp);
+  w.boolean(ok);
+  w.str(error);
+  w.f64(parsed_mb);
+  return cluster::Message(std::move(w).take());
+}
+std::optional<AttachParseResp> AttachParseResp::decode(
+    const cluster::Message& m) {
+  auto r = open(m, MsgType::AttachParseResp);
+  if (!r) return std::nullopt;
+  auto ok_f = r->boolean();
+  auto err = r->str();
+  auto mb = r->f64();
+  if (!ok_f || !err || !mb) return std::nullopt;
+  return AttachParseResp{*ok_f, std::move(*err), *mb};
+}
+
+cluster::Message ReadSymReq::encode() const {
+  ByteWriter w = begin(MsgType::ReadSymReq);
+  w.i64(pid);
+  w.str(symbol);
+  return cluster::Message(std::move(w).take());
+}
+std::optional<ReadSymReq> ReadSymReq::decode(const cluster::Message& m) {
+  auto r = open(m, MsgType::ReadSymReq);
+  if (!r) return std::nullopt;
+  auto pid = r->i64();
+  auto sym = r->str();
+  if (!pid || !sym) return std::nullopt;
+  return ReadSymReq{*pid, std::move(*sym)};
+}
+
+cluster::Message ReadSymResp::encode() const {
+  ByteWriter w = begin(MsgType::ReadSymResp);
+  w.boolean(ok);
+  w.str(error);
+  w.blob(data);
+  return cluster::Message(std::move(w).take());
+}
+std::optional<ReadSymResp> ReadSymResp::decode(const cluster::Message& m) {
+  auto r = open(m, MsgType::ReadSymResp);
+  if (!r) return std::nullopt;
+  auto ok_f = r->boolean();
+  auto err = r->str();
+  auto data = r->blob();
+  if (!ok_f || !err || !data) return std::nullopt;
+  return ReadSymResp{*ok_f, std::move(*err), std::move(*data)};
+}
+
+cluster::Message InstrumentReq::encode() const {
+  ByteWriter w = begin(MsgType::InstrumentReq);
+  w.i64(pid);
+  return cluster::Message(std::move(w).take());
+}
+std::optional<InstrumentReq> InstrumentReq::decode(const cluster::Message& m) {
+  auto r = open(m, MsgType::InstrumentReq);
+  if (!r) return std::nullopt;
+  auto pid = r->i64();
+  if (!pid) return std::nullopt;
+  return InstrumentReq{*pid};
+}
+
+cluster::Message InstrumentResp::encode() const {
+  ByteWriter w = begin(MsgType::InstrumentResp);
+  w.boolean(ok);
+  return cluster::Message(std::move(w).take());
+}
+std::optional<InstrumentResp> InstrumentResp::decode(
+    const cluster::Message& m) {
+  auto r = open(m, MsgType::InstrumentResp);
+  if (!r) return std::nullopt;
+  auto ok_f = r->boolean();
+  if (!ok_f) return std::nullopt;
+  return InstrumentResp{*ok_f};
+}
+
+// --- super daemon --------------------------------------------------------------
+
+void SuperDaemon::on_start(cluster::Process& self) {
+  (void)self.listen(kDpclPort);
+}
+
+void SuperDaemon::on_message(cluster::Process& self,
+                             const cluster::ChannelPtr& ch,
+                             cluster::Message msg) {
+  auto type = peek(msg);
+  if (!type) return;
+  const auto& costs = self.machine().costs();
+
+  switch (*type) {
+    case MsgType::AttachParseReq: {
+      auto req = AttachParseReq::decode(msg);
+      if (!req) return;
+      cluster::Process* target = self.node().find(req->pid);
+      if (target == nullptr ||
+          target->state() == cluster::ProcState::Exited) {
+        AttachParseResp resp;
+        resp.ok = false;
+        resp.error = "no such process";
+        self.send(ch, resp.encode());
+        return;
+      }
+      const double mb = target->options().image_mb;
+      sim::Time cost = costs.dpcl_session_setup;
+      if (parsed_.count(req->pid) == 0) {
+        // THE DPCL cost: parse the target's binary image completely.
+        cost += static_cast<sim::Time>(
+            mb * static_cast<double>(costs.dpcl_parse_per_mb));
+      }
+      self.post(cost, [this, &self, ch, pid = req->pid, mb] {
+        parsed_.insert(pid);
+        AttachParseResp resp;
+        resp.ok = true;
+        resp.parsed_mb = mb;
+        self.send(ch, resp.encode());
+      });
+      return;
+    }
+    case MsgType::ReadSymReq: {
+      auto req = ReadSymReq::decode(msg);
+      if (!req) return;
+      self.post(costs.mem_read_base, [this, &self, ch, req = *req] {
+        ReadSymResp resp;
+        cluster::Process* target = self.node().find(req.pid);
+        if (target == nullptr || parsed_.count(req.pid) == 0) {
+          resp.ok = false;
+          resp.error = parsed_.count(req.pid) == 0 ? "not attached" : "gone";
+        } else {
+          const Bytes* sym = target->symbols().find(req.symbol);
+          if (sym == nullptr) {
+            resp.ok = false;
+            resp.error = "no such symbol";
+          } else {
+            resp.ok = true;
+            resp.data = *sym;
+          }
+        }
+        self.send(ch, resp.encode());
+      });
+      return;
+    }
+    case MsgType::InstrumentReq: {
+      auto req = InstrumentReq::decode(msg);
+      if (!req) return;
+      // Point-probe insertion: modest per-call cost.
+      self.post(sim::ms(6), [&self, ch] {
+        InstrumentResp resp;
+        resp.ok = true;
+        self.send(ch, resp.encode());
+      });
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+Status install(cluster::Machine& machine) {
+  for (int i = 0; i < machine.num_nodes(); ++i) {
+    cluster::SpawnOptions opts;
+    opts.executable = "dpcld";
+    opts.image_mb = 14.0;
+    auto r = machine.node(i).spawn(std::make_unique<SuperDaemon>(),
+                                   std::move(opts));
+    if (!r.is_ok()) return r.status;
+  }
+  return Status::ok();
+}
+
+// --- client -------------------------------------------------------------------------
+
+Client::Client(cluster::Process& self, cluster::ChannelPtr ch)
+    : self_(self), ch_(std::move(ch)) {}
+
+void Client::connect(
+    cluster::Process& self, const std::string& host,
+    std::function<void(Status, std::shared_ptr<Client>)> cb) {
+  self.connect(host, kDpclPort,
+               [&self, cb](Status st, cluster::ChannelPtr ch) {
+                 if (!st.is_ok()) {
+                   cb(st, nullptr);
+                   return;
+                 }
+                 auto client =
+                     std::shared_ptr<Client>(new Client(self, ch));
+                 self.set_channel_handler(
+                     ch,
+                     [client](const cluster::ChannelPtr& c,
+                              cluster::Message m) {
+                       client->on_message(c, std::move(m));
+                     },
+                     nullptr);
+                 cb(Status::ok(), client);
+               });
+}
+
+void Client::on_message(const cluster::ChannelPtr&, cluster::Message m) {
+  if (pending_.empty()) return;
+  auto handler = std::move(pending_.front());
+  pending_.erase(pending_.begin());
+  handler(std::move(m));
+}
+
+void Client::attach_parse(cluster::Pid pid, AttachCb cb) {
+  pending_.push_back([cb](cluster::Message m) {
+    auto resp = AttachParseResp::decode(m);
+    if (!resp || !resp->ok) {
+      cb(Status(Rc::Esubcom, resp ? resp->error : "protocol error"));
+      return;
+    }
+    cb(Status::ok());
+  });
+  self_.send(ch_, AttachParseReq{pid}.encode());
+}
+
+void Client::read_symbol(cluster::Pid pid, const std::string& symbol,
+                         ReadCb cb) {
+  pending_.push_back([cb](cluster::Message m) {
+    auto resp = ReadSymResp::decode(m);
+    if (!resp || !resp->ok) {
+      cb(Status(Rc::Esubcom, resp ? resp->error : "protocol error"), {});
+      return;
+    }
+    cb(Status::ok(), std::move(resp->data));
+  });
+  self_.send(ch_, ReadSymReq{pid, symbol}.encode());
+}
+
+void Client::instrument(cluster::Pid pid, AttachCb cb) {
+  pending_.push_back([cb](cluster::Message m) {
+    auto resp = InstrumentResp::decode(m);
+    cb(resp && resp->ok ? Status::ok()
+                        : Status(Rc::Esubcom, "instrument failed"));
+  });
+  self_.send(ch_, InstrumentReq{pid}.encode());
+}
+
+void Client::close() {
+  if (ch_ != nullptr) {
+    self_.close_channel(ch_);
+    ch_ = nullptr;
+  }
+}
+
+}  // namespace lmon::tools::dpcl

@@ -1,0 +1,112 @@
+// dpcl.hpp - DPCL-like persistent instrumentation daemons (paper §2, §5.3).
+//
+// The baseline O|SS builds on: a super-daemon pre-installed on every node
+// (running as root - the deployment/security problem the paper highlights),
+// offering process attach + *full binary parse* + symbol reads. The full
+// parse of the target executable is the DPCL behaviour responsible for
+// Table 1's ~34 s APAI access time: O|SS "treats the RM process in the same
+// way as the target application, including parsing its binary fully".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "cluster/machine.hpp"
+#include "cluster/process.hpp"
+#include "common/bytes.hpp"
+
+namespace lmon::tools::dpcl {
+
+inline constexpr cluster::Port kDpclPort = 7777;
+
+enum class MsgType : std::uint32_t {
+  AttachParseReq = 300,
+  AttachParseResp,
+  ReadSymReq,
+  ReadSymResp,
+  InstrumentReq,
+  InstrumentResp,
+};
+
+struct AttachParseReq {
+  cluster::Pid pid = cluster::kInvalidPid;
+  [[nodiscard]] cluster::Message encode() const;
+  static std::optional<AttachParseReq> decode(const cluster::Message& m);
+};
+struct AttachParseResp {
+  bool ok = false;
+  std::string error;
+  double parsed_mb = 0;
+  [[nodiscard]] cluster::Message encode() const;
+  static std::optional<AttachParseResp> decode(const cluster::Message& m);
+};
+struct ReadSymReq {
+  cluster::Pid pid = cluster::kInvalidPid;
+  std::string symbol;
+  [[nodiscard]] cluster::Message encode() const;
+  static std::optional<ReadSymReq> decode(const cluster::Message& m);
+};
+struct ReadSymResp {
+  bool ok = false;
+  std::string error;
+  Bytes data;
+  [[nodiscard]] cluster::Message encode() const;
+  static std::optional<ReadSymResp> decode(const cluster::Message& m);
+};
+struct InstrumentReq {
+  cluster::Pid pid = cluster::kInvalidPid;
+  [[nodiscard]] cluster::Message encode() const;
+  static std::optional<InstrumentReq> decode(const cluster::Message& m);
+};
+struct InstrumentResp {
+  bool ok = false;
+  [[nodiscard]] cluster::Message encode() const;
+  static std::optional<InstrumentResp> decode(const cluster::Message& m);
+};
+
+/// The persistent root daemon. Attach+parse pays the full binary-parse cost
+/// of the target's image before anything else works.
+class SuperDaemon : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dpcld"; }
+  void on_start(cluster::Process& self) override;
+  void on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
+                  cluster::Message msg) override;
+
+ private:
+  std::set<cluster::Pid> parsed_;  ///< targets already attach-parsed
+};
+
+/// Installs the super daemon on every node (the "preinstalled root
+/// daemons" deployment the paper criticizes).
+Status install(cluster::Machine& machine);
+
+/// Client session to one node's super daemon, usable from any Program.
+class Client {
+ public:
+  using AttachCb = std::function<void(Status)>;
+  using ReadCb = std::function<void(Status, Bytes)>;
+
+  /// Connects to the super daemon on `host`; `cb` fires when usable.
+  static void connect(cluster::Process& self, const std::string& host,
+                      std::function<void(Status, std::shared_ptr<Client>)> cb);
+
+  void attach_parse(cluster::Pid pid, AttachCb cb);
+  void read_symbol(cluster::Pid pid, const std::string& symbol, ReadCb cb);
+  void instrument(cluster::Pid pid, AttachCb cb);
+  void close();
+
+ private:
+  Client(cluster::Process& self, cluster::ChannelPtr ch);
+  void on_message(const cluster::ChannelPtr& ch, cluster::Message m);
+
+  cluster::Process& self_;
+  cluster::ChannelPtr ch_;
+  std::vector<std::function<void(cluster::Message)>> pending_;
+};
+
+}  // namespace lmon::tools::dpcl

@@ -1,0 +1,32 @@
+// jobsnap_be.hpp - Jobsnap back-end daemon (paper Fig. 4, right column).
+//
+// Lifecycle: LMON_be_init -> handshake -> ready -> collect local /proc
+// snapshots for the tasks named in the RPDTAB -> ICCL gather to the master
+// -> master formats one line per task and sends the "work-done" message
+// (with the report) to the front end -> finalize.
+#pragma once
+
+#include <memory>
+
+#include "cluster/process.hpp"
+#include "core/be_api.hpp"
+#include "tools/jobsnap/format.hpp"
+
+namespace lmon::tools::jobsnap {
+
+class JobsnapBe : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "jobsnap_be";
+  }
+  void on_start(cluster::Process& self) override;
+
+  static void install(cluster::Machine& machine);
+
+ private:
+  void collect_and_gather(cluster::Process& self);
+
+  std::unique_ptr<core::BackEnd> be_;
+};
+
+}  // namespace lmon::tools::jobsnap

@@ -1,0 +1,54 @@
+#include "tools/jobsnap/jobsnap_fe.hpp"
+
+#include "tools/jobsnap/jobsnap_be.hpp"
+
+namespace lmon::tools::jobsnap {
+
+void JobsnapFe::on_start(cluster::Process& self) {
+  out_->t_start = self.sim().now();
+  fe_ = std::make_unique<core::FrontEnd>(self);
+  Status st = fe_->init();
+  if (!st.is_ok()) {
+    finish(self, st);
+    return;
+  }
+  auto sid = fe_->create_session();
+  if (!sid.is_ok()) {
+    finish(self, sid.status);
+    return;
+  }
+  sid_ = sid.value;
+
+  // The master daemon's "work-done" message carries the merged report.
+  fe_->set_be_usrdata_handler(sid_, [this, &self](const Bytes& data) {
+    ByteReader r(data);
+    auto tag = r.str();
+    auto tasks = r.u32();
+    auto report = r.str();
+    if (!tag || *tag != "work-done" || !tasks || !report) {
+      finish(self, Status(Rc::Esubcom, "malformed work-done message"));
+      return;
+    }
+    out_->tasks = *tasks;
+    out_->report = std::move(*report);
+    fe_->detach(sid_, [this, &self](Status dst) { finish(self, dst); });
+  });
+
+  core::FrontEnd::SpawnConfig cfg;
+  cfg.daemon_exe = "jobsnap_be";
+  fe_->attach_and_spawn(sid_, launcher_pid_, cfg, [this, &self](Status ast) {
+    out_->t_spawned = self.sim().now();
+    if (!ast.is_ok()) finish(self, ast);
+    // Otherwise block until work-done (the usrdata handler above fires).
+  });
+}
+
+void JobsnapFe::finish(cluster::Process& self, Status st) {
+  if (out_->done) return;
+  out_->done = true;
+  out_->status = st;
+  out_->t_done = self.sim().now();
+  self.exit(st.is_ok() ? 0 : 1);
+}
+
+}  // namespace lmon::tools::jobsnap

@@ -1,0 +1,49 @@
+// jobsnap_fe.hpp - Jobsnap front end (paper Fig. 4, left column).
+//
+// "...init -> createFEBESession -> attachAndSpawnDaemons -> (returns) ->
+//  blocks until 'work-done' -> detach -> finalize."
+//
+// The paper built this tool in ~100 lines of front-end code on top of
+// LaunchMON; the structure below mirrors that brevity.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/process.hpp"
+#include "core/fe_api.hpp"
+
+namespace lmon::tools::jobsnap {
+
+/// Observable outcome, owned by the caller (test/bench/example).
+struct JobsnapOutcome {
+  bool done = false;
+  Status status;
+  std::string report;          ///< the per-task table the master produced
+  std::uint32_t tasks = 0;
+  sim::Time t_start = 0;       ///< init called
+  sim::Time t_spawned = 0;     ///< attachAndSpawnDaemons returned
+  sim::Time t_done = 0;        ///< work-done received, after detach
+};
+
+class JobsnapFe : public cluster::Program {
+ public:
+  /// Snapshots the job whose RM launcher is `launcher_pid`.
+  JobsnapFe(cluster::Pid launcher_pid, JobsnapOutcome* out)
+      : launcher_pid_(launcher_pid), out_(out) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "jobsnap_fe";
+  }
+  void on_start(cluster::Process& self) override;
+
+ private:
+  void finish(cluster::Process& self, Status st);
+
+  cluster::Pid launcher_pid_;
+  JobsnapOutcome* out_;
+  std::unique_ptr<core::FrontEnd> fe_;
+  int sid_ = -1;
+};
+
+}  // namespace lmon::tools::jobsnap

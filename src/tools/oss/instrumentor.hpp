@@ -1,0 +1,79 @@
+// instrumentor.hpp - Open|SpeedShop's Instrumentor abstraction (paper §5.3).
+//
+// "We integrated LaunchMON into O|SS by replacing its central Instrumentor
+//  class, which encapsulates all interactions between the tool and the
+//  target application."
+//
+// Two implementations of APAI acquisition, the Table 1 comparison:
+//  * DpclInstrumentor: treats the RM launcher like an application - full
+//    binary parse through the DPCL super daemon, then symbol reads.
+//    ~constant ~34 s (dominated by parsing the ~110 MB launcher image).
+//  * LmonInstrumentor: attachAndSpawn through LaunchMON, which reads the
+//    APAI "efficiently, unlike the general purpose remote instrumentation
+//    infrastructure of DPCL". ~constant well under a second.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cluster/process.hpp"
+#include "core/be_api.hpp"
+#include "core/fe_api.hpp"
+#include "core/rpdtab.hpp"
+
+namespace lmon::tools::oss {
+
+struct ApaiResult {
+  Status status;
+  core::Rpdtab table;
+  sim::Time elapsed = 0;  ///< experiment start -> APAI fully acquired
+};
+
+class Instrumentor {
+ public:
+  virtual ~Instrumentor() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Acquires the APAI information (the RPDTAB) for the job whose RM
+  /// launcher is `launcher_pid`.
+  virtual void acquire(cluster::Process& fe, cluster::Pid launcher_pid,
+                       std::function<void(ApaiResult)> cb) = 0;
+};
+
+/// DPCL-based baseline. Requires dpcl::install() on the machine.
+class DpclInstrumentor final : public Instrumentor {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dpcl"; }
+  void acquire(cluster::Process& fe, cluster::Pid launcher_pid,
+               std::function<void(ApaiResult)> cb) override;
+};
+
+/// LaunchMON-based replacement. Spawns `daemon_exe` (default "oss_be")
+/// co-located daemons as part of acquisition, like the integrated O|SS.
+class LmonInstrumentor final : public Instrumentor {
+ public:
+  explicit LmonInstrumentor(std::string daemon_exe = "oss_be")
+      : daemon_exe_(std::move(daemon_exe)) {}
+  [[nodiscard]] std::string_view name() const override { return "launchmon"; }
+  void acquire(cluster::Process& fe, cluster::Pid launcher_pid,
+               std::function<void(ApaiResult)> cb) override;
+
+ private:
+  std::string daemon_exe_;
+  std::unique_ptr<core::FrontEnd> fe_api_;
+};
+
+/// O|SS back-end daemon: BE API + local task instrumentation via the
+/// (augmented) DPCL daemon startup routines the paper describes.
+class OssBe : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "oss_be"; }
+  void on_start(cluster::Process& self) override;
+
+  static void install(cluster::Machine& machine);
+
+ private:
+  std::unique_ptr<core::BackEnd> be_;
+};
+
+}  // namespace lmon::tools::oss

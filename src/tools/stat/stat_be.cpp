@@ -1,0 +1,167 @@
+#include "tools/stat/stat_be.hpp"
+
+#include "apps/mpi_app.hpp"
+#include "cluster/machine.hpp"
+#include "common/argparse.hpp"
+
+namespace lmon::tools::stat {
+
+void register_stat_filter() {
+  tbon::FilterRegistry::instance().register_filter(
+      kFilterStatMerge, [](const std::vector<Bytes>& inputs) {
+        // Inputs are concat frames of packed prefix trees; merge them all
+        // into one tree and emit a single-element concat frame.
+        PrefixTree merged;
+        for (const auto& frame : inputs) {
+          for (const auto& packed : tbon::split_concat(frame)) {
+            auto t = PrefixTree::unpack(packed);
+            if (t) merged.merge(*t);
+          }
+        }
+        return tbon::concat_payloads(
+            {tbon::wrap_leaf_payload(merged.pack())});
+      });
+}
+
+void StatBe::on_start(cluster::Process& self) {
+  adhoc_ = arg_value(self.args(), "--tbon-topology=").has_value();
+  if (adhoc_) {
+    start_adhoc(self);
+  } else {
+    start_lmon(self);
+  }
+}
+
+void StatBe::start_lmon(cluster::Process& self) {
+  be_ = std::make_unique<core::BackEnd>(self);
+  core::BackEnd::Callbacks cbs;
+  cbs.on_init = [this, &self](const core::Rpdtab&, const Bytes& usrdata,
+                              std::function<void(Status)> done) {
+    // 1-deep startups piggyback the packed topology on the handshake
+    // (via the FE's registered pack function); deeper topologies deliver
+    // it after Ready through a LMONP UsrData + ICCL broadcast, because the
+    // middleware hosts are only known once the MW daemons are allocated.
+    if (!usrdata.empty()) {
+      if (!accept_topology(self, usrdata)) {
+        done(Status(Rc::Ebdarg, "bad TBON topology in handshake"));
+        return;
+      }
+    }
+    done(Status::ok());
+  };
+  cbs.on_ready = [this, &self](Status st) {
+    if (!st.is_ok()) {
+      self.exit(1);
+      return;
+    }
+    if (tbon_ != nullptr) return;  // already joined via piggyback
+    // Wait for the topology broadcast: the master relays the FE's UsrData
+    // down the ICCL tree ("STAT also uses LMONP to broadcast MRNet
+    // communication tree information from the front end to the daemons").
+    if (!be_->is_master()) {
+      be_->broadcast({}, [this, &self](const Bytes& data) {
+        (void)accept_topology(self, data);
+      });
+    }
+  };
+  cbs.on_usrdata = [this, &self](const Bytes& data) {
+    // Master only: FE delivered the topology; fan it out.
+    if (tbon_ != nullptr) return;
+    be_->broadcast(data, [this, &self](const Bytes& topo_bytes) {
+      (void)accept_topology(self, topo_bytes);
+    });
+  };
+  const Status st = be_->init(std::move(cbs));
+  if (!st.is_ok()) self.exit(1);
+}
+
+bool StatBe::accept_topology(cluster::Process& self, const Bytes& data) {
+  auto topo = tbon::Topology::unpack(data);
+  if (!topo || !topo->valid()) return false;
+  const int index = topo->index_of_backend(static_cast<int>(be_->rank()));
+  if (index < 0) return false;
+  join_tbon(self, std::move(*topo), index);
+  return true;
+}
+
+void StatBe::start_adhoc(cluster::Process& self) {
+  const auto topo_hex = arg_value(self.args(), "--tbon-topology=");
+  const auto index = arg_int(self.args(), "--tbon-index=");
+  if (!topo_hex || !index) {
+    self.exit(1);
+    return;
+  }
+  auto blob = from_hex(*topo_hex);
+  auto topo = blob ? tbon::Topology::unpack(*blob) : std::nullopt;
+  if (!topo || !topo->valid()) {
+    self.exit(1);
+    return;
+  }
+  join_tbon(self, std::move(*topo), static_cast<int>(*index));
+}
+
+void StatBe::join_tbon(cluster::Process& self, tbon::Topology topo,
+                       int index) {
+  tbon::TbonEndpoint::Callbacks cbs;
+  cbs.on_down = [this, &self](std::uint32_t stream, std::uint32_t tag,
+                              const Bytes&) {
+    if (tag == kTagSample) on_sample_request(self, stream, tag);
+  };
+  tbon_ = std::make_unique<tbon::TbonEndpoint>(self, std::move(topo), index,
+                                               std::move(cbs));
+  tbon_->start();
+}
+
+std::vector<std::pair<cluster::Pid, std::int32_t>> StatBe::local_tasks(
+    cluster::Process& self) const {
+  std::vector<std::pair<cluster::Pid, std::int32_t>> out;
+  if (!adhoc_ && be_ != nullptr) {
+    for (const auto& e : be_->my_entries()) {
+      out.emplace_back(e.pid, e.rank);
+    }
+    return out;
+  }
+  // Ad hoc mode: scan the node's process table for application tasks, the
+  // manual discovery a tool must do without an RPDTAB.
+  for (cluster::Process* p : self.node().live_processes()) {
+    if (p->options().executable == "mpi_app") {
+      auto* app = dynamic_cast<apps::MpiApp*>(&p->program());
+      out.emplace_back(p->pid(), app != nullptr ? app->rank() : -1);
+    }
+  }
+  return out;
+}
+
+void StatBe::on_sample_request(cluster::Process& self, std::uint32_t stream,
+                               std::uint32_t tag) {
+  const auto tasks = local_tasks(self);
+  const auto& costs = self.machine().costs();
+  // Scanning /proc (ad hoc discovery) plus one stackwalk per task.
+  sim::Time cost = static_cast<sim::Time>(tasks.size()) *
+                   (costs.stackwalk_cost + costs.proc_read_cost);
+  self.post(cost, [this, &self, tasks, stream, tag] {
+    PrefixTree local;
+    for (const auto& [pid, rank] : tasks) {
+      cluster::Process* p = self.machine().find_process(pid);
+      if (p == nullptr || p->state() == cluster::ProcState::Exited) continue;
+      auto* app = dynamic_cast<apps::MpiApp*>(&p->program());
+      if (app == nullptr) continue;
+      local.add_trace(app->call_stack(), rank >= 0 ? rank : app->rank());
+    }
+    tbon_->send_up(stream, tag, local.pack());
+  });
+}
+
+void StatBe::install(cluster::Machine& machine) {
+  register_stat_filter();
+  cluster::ProgramImage image;
+  // STAT daemons link a stackwalker library: noticeably bigger image than
+  // jobsnap's, part of why Fig. 6 absolute times exceed Fig. 5's.
+  image.image_mb = 38.0;
+  image.factory = [](const std::vector<std::string>&) {
+    return std::make_unique<StatBe>();
+  };
+  machine.install_program("stat_be", std::move(image));
+}
+
+}  // namespace lmon::tools::stat

@@ -1,0 +1,90 @@
+// stat_fe.hpp - STAT front end with both startup paths (paper §5.2).
+//
+// Attaches to a running job and gathers a merged call-graph prefix tree
+// over a TBON. Startup is either:
+//   * AdHocRsh  - MRNet-native: serial rsh launch of daemons with the
+//                 topology on their command lines (Fig. 6 "MRNet 1-deep"),
+//   * LaunchMon - attachAndSpawn with the topology piggybacked over LMONP
+//                 (Fig. 6 "LaunchMON 1-deep").
+// The outcome records the same metric Fig. 6 plots: daemon launch+connect
+// time, plus the TBON handshake share.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cluster/process.hpp"
+#include "core/fe_api.hpp"
+#include "tbon/endpoint.hpp"
+#include "tools/stat/prefix_tree.hpp"
+#include "tools/stat/stat_be.hpp"
+
+namespace lmon::tools::stat {
+
+enum class StartupMode { AdHocRsh, LaunchMon };
+
+struct StatOutcome {
+  bool done = false;
+  Status status;
+  sim::Time t_start = 0;
+  sim::Time t_daemons_launched = 0;  ///< rsh done / attachAndSpawn returned
+  sim::Time t_tree_connected = 0;    ///< TBON fully wired (launch+connect)
+  sim::Time t_sampled = 0;           ///< merged tree received
+  std::optional<PrefixTree> tree;
+  std::vector<PrefixTree::EquivClass> classes;
+
+  [[nodiscard]] double launch_connect_seconds() const {
+    return sim::to_seconds(t_tree_connected - t_start);
+  }
+  [[nodiscard]] double handshake_seconds() const {
+    const sim::Time d = t_tree_connected - t_daemons_launched;
+    return d > 0 ? sim::to_seconds(d) : 0.0;
+  }
+};
+
+struct StatConfig {
+  StartupMode mode = StartupMode::LaunchMon;
+  cluster::Pid launcher_pid = cluster::kInvalidPid;  ///< job to attach to
+  /// Hosts for the ad hoc path (no RPDTAB available without LaunchMON; the
+  /// user must supply the node list manually - the usability gap the paper
+  /// calls out).
+  std::vector<std::string> adhoc_hosts;
+  /// Ad hoc mode: comm-daemon hosts for deeper topologies; empty = 1-deep.
+  std::vector<std::string> comm_hosts;
+  /// LaunchMON mode: middleware daemons to allocate via the MW API for a
+  /// deeper topology; 0 = 1-deep.
+  int n_comm_nodes = 0;
+  int tbon_fanout = 16;
+  cluster::Port tbon_port = cluster::kTbonBasePort;
+  bool take_sample = true;
+};
+
+class StatFe : public cluster::Program {
+ public:
+  StatFe(StatConfig config, StatOutcome* out)
+      : cfg_(std::move(config)), out_(out) {}
+
+  [[nodiscard]] std::string_view name() const override { return "stat_fe"; }
+  void on_start(cluster::Process& self) override;
+
+ private:
+  void start_adhoc(cluster::Process& self);
+  void start_lmon(cluster::Process& self);
+  void launch_backends_lmon(cluster::Process& self);
+  void make_root(cluster::Process& self, tbon::Topology topo);
+  void on_tree_ready(cluster::Process& self, Status st);
+  void sample(cluster::Process& self);
+  void finish(cluster::Process& self, Status st);
+
+  StatConfig cfg_;
+  StatOutcome* out_;
+  std::unique_ptr<core::FrontEnd> fe_;
+  std::unique_ptr<tbon::TbonEndpoint> root_;
+  tbon::Topology topo_;
+  std::vector<cluster::ChannelPtr> adhoc_sessions_;
+  int sid_ = -1;
+  bool session_ready_ = false;
+  bool tree_ready_ = false;
+};
+
+}  // namespace lmon::tools::stat

@@ -1,0 +1,175 @@
+// Integration tests for the BE API's minimal collectives (paper §3.3:
+// "we only support simple barriers, broadcasts, gathers and scatters"),
+// exercised over live daemon sessions at several sizes and fan-outs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/be_api.hpp"
+#include "core/fe_api.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon {
+namespace {
+
+using testing::TestCluster;
+
+/// Shared observation state for one collective scenario (owned by test).
+struct CollectiveState {
+  int ready_count = 0;
+  int barrier_done = 0;
+  std::vector<std::pair<std::uint32_t, Bytes>> gathered;
+  std::map<std::uint32_t, Bytes> bcast_received;   // rank -> data
+  std::map<std::uint32_t, Bytes> scatter_received; // rank -> data
+  bool master_reported = false;
+};
+
+/// BE daemon that runs a scripted sequence of collectives after ready.
+class CollectiveDaemon : public cluster::Program {
+ public:
+  explicit CollectiveDaemon(CollectiveState* state) : state_(state) {}
+
+  [[nodiscard]] std::string_view name() const override { return "coll_be"; }
+
+  void on_start(cluster::Process& self) override {
+    be_ = std::make_unique<core::BackEnd>(self);
+    core::BackEnd::Callbacks cbs;
+    cbs.on_init = [](const core::Rpdtab&, const Bytes&,
+                     std::function<void(Status)> done) { done(Status::ok()); };
+    cbs.on_ready = [this, &self](Status st) {
+      if (!st.is_ok()) {
+        self.exit(1);
+        return;
+      }
+      state_->ready_count += 1;
+      run_script(self);
+    };
+    ASSERT_TRUE(be_->init(std::move(cbs)).is_ok());
+  }
+
+  static void install(cluster::Machine& machine, CollectiveState* state) {
+    cluster::ProgramImage image;
+    image.image_mb = 2.0;
+    image.factory = [state](const std::vector<std::string>&) {
+      return std::make_unique<CollectiveDaemon>(state);
+    };
+    machine.install_program("coll_be", std::move(image));
+  }
+
+ private:
+  void run_script(cluster::Process& self) {
+    (void)self;
+    // SPMD discipline: every rank issues the same collective sequence.
+    // Gather completion is observable at the master only, so the chain
+    // advances through primitives that fire everywhere (barrier/bcast).
+    be_->barrier([this] {
+      state_->barrier_done += 1;
+      // 2. gather: every rank contributes its rank squared (observed at
+      // the master via its handler; leaves proceed immediately).
+      ByteWriter w;
+      w.u32(be_->rank() * be_->rank());
+      be_->gather(std::move(w).take(), [this](auto entries) {
+        state_->gathered = std::move(entries);
+      });
+      // 3. master broadcasts a blob to everyone.
+      Bytes blob{0xCA, 0xFE};
+      be_->broadcast(be_->is_master() ? blob : Bytes{},
+                     [this](const Bytes& data) {
+                       state_->bcast_received[be_->rank()] = data;
+                       // 4. scatter: part i = {i, i, i}.
+                       std::vector<Bytes> parts;
+                       if (be_->is_master()) {
+                         for (std::uint32_t i = 0; i < be_->size(); ++i) {
+                           parts.push_back(
+                               Bytes(3, static_cast<std::uint8_t>(i)));
+                         }
+                       }
+                       be_->scatter(std::move(parts),
+                                    [this](const Bytes& mine) {
+                                      state_->scatter_received[be_->rank()] =
+                                          mine;
+                                    });
+                     });
+    });
+  }
+
+  CollectiveState* state_;
+  std::unique_ptr<core::BackEnd> be_;
+};
+
+struct Param {
+  int nodes;
+  std::uint32_t fanout;
+};
+
+class CollectivesTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CollectivesTest, FullSequenceAcrossSizesAndFanouts) {
+  const auto [nodes, fanout] = GetParam();
+  TestCluster tc(nodes);
+  CollectiveState state;
+  CollectiveDaemon::install(tc.machine, &state);
+
+  bool done = false;
+  Status status;
+  std::shared_ptr<core::FrontEnd> fe;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    ASSERT_TRUE(fe->init().is_ok());
+    auto sid = fe->create_session();
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "coll_be";
+    cfg.fabric_fanout = fanout;
+    rm::JobSpec job{nodes, 2, "mpi_app", {}};
+    fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
+      status = st;
+      done = true;
+    });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return done; }));
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+
+  // Let the collective script complete (the gather result can trail the
+  // scatter since leaves contribute after their own barrier release).
+  ASSERT_TRUE(tc.run_until([&] {
+    return static_cast<int>(state.scatter_received.size()) == nodes &&
+           static_cast<int>(state.gathered.size()) == nodes;
+  }));
+
+  EXPECT_EQ(state.ready_count, nodes);
+  EXPECT_EQ(state.barrier_done, nodes);
+
+  // Gather delivered rank^2 in rank order at the master only.
+  ASSERT_EQ(state.gathered.size(), static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    EXPECT_EQ(state.gathered[static_cast<std::size_t>(i)].first,
+              static_cast<std::uint32_t>(i));
+    ByteReader r(state.gathered[static_cast<std::size_t>(i)].second);
+    EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(i * i));
+  }
+
+  // Broadcast reached every rank with identical bytes.
+  ASSERT_EQ(state.bcast_received.size(), static_cast<std::size_t>(nodes));
+  for (const auto& [rank, data] : state.bcast_received) {
+    EXPECT_EQ(data, (Bytes{0xCA, 0xFE})) << "rank " << rank;
+  }
+
+  // Scatter delivered each rank its own slice.
+  for (const auto& [rank, data] : state.scatter_received) {
+    EXPECT_EQ(data, Bytes(3, static_cast<std::uint8_t>(rank)))
+        << "rank " << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFanouts, CollectivesTest,
+    ::testing::Values(Param{1, 2}, Param{2, 2}, Param{3, 2}, Param{8, 2},
+                      Param{8, 4}, Param{16, 2}, Param{16, 16}, Param{31, 3},
+                      Param{32, 32}, Param{17, 1}),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      return "n" + std::to_string(pinfo.param.nodes) + "_k" +
+             std::to_string(pinfo.param.fanout);
+    });
+
+}  // namespace
+}  // namespace lmon

@@ -1,0 +1,96 @@
+// Integration tests for the Jobsnap tool (paper §5.1, Fig. 4/5).
+#include <gtest/gtest.h>
+
+#include "tools/jobsnap/jobsnap_be.hpp"
+#include "tools/jobsnap/jobsnap_fe.hpp"
+#include "rm/resource_manager.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon {
+namespace {
+
+using testing::TestCluster;
+using tools::jobsnap::JobsnapFe;
+using tools::jobsnap::JobsnapOutcome;
+
+cluster::Pid start_job(TestCluster& tc, int nnodes, int tpn) {
+  auto res = rm::run_job(tc.machine, rm::JobSpec{nnodes, tpn, "mpi_app", {}});
+  EXPECT_TRUE(res.is_ok());
+  tc.simulator.run(tc.simulator.now() + sim::seconds(3));
+  return res.value;
+}
+
+JobsnapOutcome snap(TestCluster& tc, cluster::Pid launcher) {
+  tools::jobsnap::JobsnapBe::install(tc.machine);
+  JobsnapOutcome out;
+  cluster::SpawnOptions opts;
+  opts.executable = "jobsnap_fe";
+  opts.image_mb = 3.0;
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<JobsnapFe>(launcher, &out), std::move(opts));
+  EXPECT_TRUE(res.is_ok());
+  EXPECT_TRUE(tc.run_until([&] { return out.done; }));
+  return out;
+}
+
+TEST(Jobsnap, ProducesOneLinePerTask) {
+  TestCluster tc(8);
+  const cluster::Pid launcher = start_job(tc, 8, 8);
+  JobsnapOutcome out = snap(tc, launcher);
+
+  ASSERT_TRUE(out.status.is_ok()) << out.status.to_string();
+  EXPECT_EQ(out.tasks, 64u);
+  // Header + one line per task.
+  const auto lines = static_cast<std::size_t>(
+      std::count(out.report.begin(), out.report.end(), '\n'));
+  EXPECT_EQ(lines, 65u);
+  // Ranks appear in order; spot-check first and last.
+  EXPECT_NE(out.report.find("mpi_app"), std::string::npos);
+  EXPECT_NE(out.report.find("atlas1"), std::string::npos);
+}
+
+TEST(Jobsnap, SnapshotsCarryLiveProcState) {
+  TestCluster tc(4);
+  const cluster::Pid launcher = start_job(tc, 4, 4);
+  // Let the app accumulate /proc state.
+  tc.simulator.run(tc.simulator.now() + sim::seconds(2));
+  JobsnapOutcome out = snap(tc, launcher);
+  ASSERT_TRUE(out.status.is_ok());
+  // All tasks running, nonzero utime (the app ticks every 50 ms).
+  const auto lines = std::count(out.report.begin(), out.report.end(), '\n');
+  EXPECT_EQ(lines, 17);
+  EXPECT_EQ(out.report.find(" Z "), std::string::npos);
+}
+
+TEST(Jobsnap, TimingSplitsLaunchFromCollection) {
+  TestCluster tc(16);
+  const cluster::Pid launcher = start_job(tc, 16, 8);
+  JobsnapOutcome out = snap(tc, launcher);
+  ASSERT_TRUE(out.status.is_ok());
+  EXPECT_GT(out.t_spawned, out.t_start);
+  EXPECT_GT(out.t_done, out.t_spawned);
+  // At 16 daemons everything is sub-second (paper Fig. 5 starts ~0.6 s).
+  EXPECT_LT(sim::to_seconds(out.t_done - out.t_start), 1.5);
+}
+
+TEST(Jobsnap, DetachLeavesJobRunning) {
+  TestCluster tc(4);
+  const cluster::Pid launcher = start_job(tc, 4, 2);
+  JobsnapOutcome out = snap(tc, launcher);
+  ASSERT_TRUE(out.status.is_ok());
+  tc.simulator.run(tc.simulator.now() + sim::seconds(1));
+  cluster::Process* srun = tc.machine.find_process(launcher);
+  ASSERT_NE(srun, nullptr);
+  EXPECT_EQ(srun->state(), cluster::ProcState::Running);
+  // And the daemons are gone (session teardown killed them).
+  int jobsnap_daemons = 0;
+  for (int i = 0; i < tc.machine.num_compute_nodes(); ++i) {
+    for (cluster::Process* p : tc.machine.compute_node(i).live_processes()) {
+      if (p->options().executable == "jobsnap_be") ++jobsnap_daemons;
+    }
+  }
+  EXPECT_EQ(jobsnap_daemons, 0);
+}
+
+}  // namespace
+}  // namespace lmon

@@ -1,0 +1,177 @@
+// Tests for concurrent session management: one tool front end driving
+// several jobs/daemon fleets at once (the paper's session abstraction is
+// exactly what makes commands bindable to one of many daemon groups).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fe_api.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon {
+namespace {
+
+using testing::TestCluster;
+
+TEST(MultiSession, TwoConcurrentLaunchesStayIsolated) {
+  TestCluster tc(8);
+  std::shared_ptr<core::FrontEnd> fe;
+  int sid_a = -1;
+  int sid_b = -1;
+  bool done_a = false;
+  bool done_b = false;
+  Status st_a;
+  Status st_b;
+
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    ASSERT_TRUE(fe->init().is_ok());
+    sid_a = fe->create_session().value;
+    sid_b = fe->create_session().value;
+    EXPECT_NE(sid_a, sid_b);
+
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    // Both launches in flight simultaneously; the RM partitions nodes.
+    fe->launch_and_spawn(sid_a, rm::JobSpec{4, 2, "mpi_app", {}}, cfg,
+                         [&](Status st) {
+                           st_a = st;
+                           done_a = true;
+                         });
+    fe->launch_and_spawn(sid_b, rm::JobSpec{4, 4, "mpi_app", {}}, cfg,
+                         [&](Status st) {
+                           st_b = st;
+                           done_b = true;
+                         });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return done_a && done_b; }));
+  ASSERT_TRUE(st_a.is_ok()) << st_a.to_string();
+  ASSERT_TRUE(st_b.is_ok()) << st_b.to_string();
+
+  // Each session sees its own job only.
+  const core::Rpdtab* table_a = fe->proctable(sid_a);
+  const core::Rpdtab* table_b = fe->proctable(sid_b);
+  ASSERT_NE(table_a, nullptr);
+  ASSERT_NE(table_b, nullptr);
+  EXPECT_EQ(table_a->size(), 8u);   // 4 nodes x 2
+  EXPECT_EQ(table_b->size(), 16u);  // 4 nodes x 4
+
+  // Disjoint node sets (the controller never double-books).
+  std::set<std::string> hosts_a;
+  for (const auto& h : table_a->hosts()) hosts_a.insert(h);
+  for (const auto& h : table_b->hosts()) {
+    EXPECT_EQ(hosts_a.count(h), 0u) << h << " in both sessions";
+  }
+
+  // Distinct fabric ports per session (no daemon cross-talk).
+  EXPECT_NE(fe->fabric_port_of(sid_a), fe->fabric_port_of(sid_b));
+  EXPECT_EQ(fe->daemon_table(sid_a)->size(), 4u);
+  EXPECT_EQ(fe->daemon_table(sid_b)->size(), 4u);
+}
+
+TEST(MultiSession, KillingOneSessionLeavesTheOther) {
+  TestCluster tc(8);
+  std::shared_ptr<core::FrontEnd> fe;
+  int sid_a = -1;
+  int sid_b = -1;
+  int ready = 0;
+
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    ASSERT_TRUE(fe->init().is_ok());
+    sid_a = fe->create_session().value;
+    sid_b = fe->create_session().value;
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    fe->launch_and_spawn(sid_a, rm::JobSpec{4, 1, "mpi_app", {}}, cfg,
+                         [&](Status st) {
+                           ASSERT_TRUE(st.is_ok());
+                           ++ready;
+                         });
+    fe->launch_and_spawn(sid_b, rm::JobSpec{4, 1, "mpi_app", {}}, cfg,
+                         [&](Status st) {
+                           ASSERT_TRUE(st.is_ok());
+                           ++ready;
+                         });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return ready == 2; }));
+
+  const core::Rpdtab table_a = *fe->proctable(sid_a);
+  const core::Rpdtab table_b = *fe->proctable(sid_b);
+
+  bool killed = false;
+  fe->kill(sid_a, [&](Status) { killed = true; });
+  ASSERT_TRUE(tc.run_until([&] { return killed; }));
+  tc.simulator.run(tc.simulator.now() + sim::seconds(2));
+
+  // Session A's tasks are gone; session B's keep running.
+  for (const auto& e : table_a.entries()) {
+    EXPECT_EQ(tc.machine.find_process(e.pid)->state(),
+              cluster::ProcState::Exited);
+  }
+  for (const auto& e : table_b.entries()) {
+    EXPECT_EQ(tc.machine.find_process(e.pid)->state(),
+              cluster::ProcState::Running);
+  }
+  EXPECT_EQ(fe->state(sid_b), core::FrontEnd::SessionState::Ready);
+}
+
+TEST(MultiSession, SessionTableCapacityEnforced) {
+  TestCluster tc(2);
+  int created = 0;
+  Status last;
+  tc.spawn_fe([&](cluster::Process& self) {
+    auto fe = std::make_shared<core::FrontEnd>(self);
+    ASSERT_TRUE(fe->init().is_ok());
+    for (int i = 0; i < 100; ++i) {
+      auto res = fe->create_session();
+      last = res.status;
+      if (!res.is_ok()) break;
+      ++created;
+    }
+  });
+  tc.simulator.run(tc.simulator.now() + sim::ms(10));
+  EXPECT_EQ(created, 64);  // kMaxSessions
+  EXPECT_EQ(last.rc(), Rc::Enomem);
+}
+
+TEST(MultiSession, TwoFrontEndProcessesCoexist) {
+  // Two separate tool FE processes on the same login node: the FE port
+  // probing must keep them apart.
+  TestCluster tc(8);
+  std::shared_ptr<core::FrontEnd> fe1;
+  std::shared_ptr<core::FrontEnd> fe2;
+  bool done1 = false;
+  bool done2 = false;
+
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe1 = std::make_shared<core::FrontEnd>(self);
+    ASSERT_TRUE(fe1->init().is_ok());
+    auto sid = fe1->create_session();
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    fe1->launch_and_spawn(sid.value, rm::JobSpec{4, 1, "mpi_app", {}}, cfg,
+                          [&](Status st) {
+                            EXPECT_TRUE(st.is_ok()) << st.to_string();
+                            done1 = true;
+                          });
+  });
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe2 = std::make_shared<core::FrontEnd>(self);
+    ASSERT_TRUE(fe2->init().is_ok());
+    EXPECT_NE(fe2->port(), fe1 ? fe1->port() : 0);
+    auto sid = fe2->create_session();
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    // Second tool watches its own job on the remaining nodes.
+    fe2->launch_and_spawn(sid.value, rm::JobSpec{4, 1, "mpi_app", {}}, cfg,
+                          [&](Status st) {
+                            EXPECT_TRUE(st.is_ok()) << st.to_string();
+                            done2 = true;
+                          });
+  });
+  EXPECT_TRUE(tc.run_until([&] { return done1 && done2; }));
+}
+
+}  // namespace
+}  // namespace lmon

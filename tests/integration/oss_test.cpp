@@ -1,0 +1,102 @@
+// Integration tests for the O|SS instrumentor comparison (paper §5.3,
+// Table 1): DPCL full-binary-parse APAI access vs LaunchMON.
+#include <gtest/gtest.h>
+
+#include "rm/resource_manager.hpp"
+#include "tests/test_util.hpp"
+#include "tools/dpcl/dpcl.hpp"
+#include "tools/oss/instrumentor.hpp"
+
+namespace lmon {
+namespace {
+
+using testing::TestCluster;
+using tools::oss::ApaiResult;
+using tools::oss::DpclInstrumentor;
+using tools::oss::LmonInstrumentor;
+
+cluster::Pid start_job(TestCluster& tc, int nnodes, int tpn) {
+  auto res = rm::run_job(tc.machine, rm::JobSpec{nnodes, tpn, "mpi_app", {}});
+  EXPECT_TRUE(res.is_ok());
+  tc.simulator.run(tc.simulator.now() + sim::seconds(3));
+  return res.value;
+}
+
+template <typename InstrumentorT>
+ApaiResult acquire(TestCluster& tc, cluster::Pid launcher) {
+  tools::oss::OssBe::install(tc.machine);
+  ApaiResult result;
+  bool done = false;
+  auto instrumentor = std::make_shared<InstrumentorT>();
+  tc.spawn_fe([&, instrumentor](cluster::Process& self) {
+    instrumentor->acquire(self, launcher, [&](ApaiResult r) {
+      result = std::move(r);
+      done = true;
+    });
+  });
+  EXPECT_TRUE(tc.run_until([&] { return done; }, sim::seconds(900)));
+  return result;
+}
+
+TEST(Oss, DpclAcquiresApaiButSlowly) {
+  TestCluster tc(4);
+  ASSERT_TRUE(tools::dpcl::install(tc.machine).is_ok());
+  const cluster::Pid launcher = start_job(tc, 4, 8);
+  ApaiResult r = acquire<DpclInstrumentor>(tc, launcher);
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.table.size(), 32u);
+  // Dominated by the full parse of the ~110 MB launcher image (Table 1:
+  // ~34 s on the paper's testbed).
+  EXPECT_GT(sim::to_seconds(r.elapsed), 20.0);
+  EXPECT_LT(sim::to_seconds(r.elapsed), 50.0);
+}
+
+TEST(Oss, LaunchMonAcquiresApaiFast) {
+  TestCluster tc(4);
+  const cluster::Pid launcher = start_job(tc, 4, 8);
+  ApaiResult r = acquire<LmonInstrumentor>(tc, launcher);
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.table.size(), 32u);
+  EXPECT_LT(sim::to_seconds(r.elapsed), 1.0);
+}
+
+TEST(Oss, BothInstrumentorsReturnIdenticalTables) {
+  TestCluster tc(4);
+  ASSERT_TRUE(tools::dpcl::install(tc.machine).is_ok());
+  const cluster::Pid launcher = start_job(tc, 4, 4);
+  ApaiResult dpcl_r = acquire<DpclInstrumentor>(tc, launcher);
+  ApaiResult lmon_r = acquire<LmonInstrumentor>(tc, launcher);
+  ASSERT_TRUE(dpcl_r.status.is_ok());
+  ASSERT_TRUE(lmon_r.status.is_ok());
+  EXPECT_EQ(dpcl_r.table, lmon_r.table);
+}
+
+TEST(Oss, ApaiTimesAreRoughlyConstantInNodeCount) {
+  // Table 1's defining shape: both columns ~flat from 2 to 32 nodes.
+  double dpcl_small = 0;
+  double dpcl_large = 0;
+  double lmon_small = 0;
+  double lmon_large = 0;
+  {
+    TestCluster tc(2);
+    ASSERT_TRUE(tools::dpcl::install(tc.machine).is_ok());
+    auto launcher = start_job(tc, 2, 8);
+    dpcl_small = sim::to_seconds(acquire<DpclInstrumentor>(tc, launcher).elapsed);
+    lmon_small = sim::to_seconds(acquire<LmonInstrumentor>(tc, launcher).elapsed);
+  }
+  {
+    TestCluster tc(32);
+    ASSERT_TRUE(tools::dpcl::install(tc.machine).is_ok());
+    auto launcher = start_job(tc, 32, 8);
+    dpcl_large = sim::to_seconds(acquire<DpclInstrumentor>(tc, launcher).elapsed);
+    lmon_large = sim::to_seconds(acquire<LmonInstrumentor>(tc, launcher).elapsed);
+  }
+  EXPECT_LT(dpcl_large / dpcl_small, 1.2);
+  EXPECT_LT(lmon_large / lmon_small, 3.0);
+  // And the order-of-magnitude gap (paper: 34 s vs 0.6 s).
+  EXPECT_GT(dpcl_small / lmon_small, 10.0);
+  EXPECT_GT(dpcl_large / lmon_large, 10.0);
+}
+
+}  // namespace
+}  // namespace lmon

@@ -1,0 +1,206 @@
+// Integration tests for the TBON overlay itself: deep topologies, filters,
+// multiple streams, round synchronization, via the ad hoc startup path.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/argparse.hpp"
+#include "tbon/comm_node.hpp"
+#include "tbon/endpoint.hpp"
+#include "tbon/startup.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon::tbon {
+namespace {
+
+using lmon::testing::TestCluster;
+
+/// Leaf daemon: on Down(tag), replies with its be_rank as a u64 payload.
+class LeafDaemon : public cluster::Program {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "leaf_be"; }
+  void on_start(cluster::Process& self) override {
+    auto topo_hex = arg_value(self.args(), "--tbon-topology=");
+    auto index = arg_int(self.args(), "--tbon-index=");
+    ASSERT_TRUE(topo_hex && index);
+    auto topo = Topology::unpack(*from_hex(*topo_hex));
+    ASSERT_TRUE(topo.has_value());
+    const int my_index = static_cast<int>(*index);
+    const std::int32_t rank =
+        topo->nodes()[static_cast<std::size_t>(my_index)].be_rank;
+    TbonEndpoint::Callbacks cbs;
+    cbs.on_down = [this, rank](std::uint32_t stream, std::uint32_t tag,
+                               const Bytes&) {
+      ByteWriter w;
+      w.u64(static_cast<std::uint64_t>(rank));
+      endpoint_->send_up(stream, tag, std::move(w).take());
+    };
+    endpoint_ = std::make_unique<TbonEndpoint>(self, std::move(*topo),
+                                               my_index, std::move(cbs));
+    endpoint_->start();
+  }
+  static void install(cluster::Machine& machine) {
+    cluster::ProgramImage image;
+    image.image_mb = 2.0;
+    image.factory = [](const std::vector<std::string>&) {
+      return std::make_unique<LeafDaemon>();
+    };
+    machine.install_program("leaf_be", std::move(image));
+  }
+
+ private:
+  std::unique_ptr<TbonEndpoint> endpoint_;
+};
+
+/// Root-side driver program with a scripted body.
+class RootFe : public cluster::Program {
+ public:
+  using Go = std::function<void(cluster::Process&, RootFe&)>;
+  explicit RootFe(Go go) : go_(std::move(go)) {}
+  [[nodiscard]] std::string_view name() const override { return "root_fe"; }
+  void on_start(cluster::Process& self) override { go_(self, *this); }
+
+  std::unique_ptr<TbonEndpoint> endpoint;
+
+ private:
+  Go go_;
+};
+
+struct NetParam {
+  int backends;
+  int comm_nodes;
+  int fanout;
+};
+
+class TbonNetTest : public ::testing::TestWithParam<NetParam> {};
+
+TEST_P(TbonNetTest, SumFilterReducesAcrossTopologies) {
+  const auto [nbe, ncomm, fanout] = GetParam();
+  TestCluster tc(nbe + ncomm);
+  LeafDaemon::install(tc.machine);
+  AdHocCommNode::install(tc.machine);
+
+  std::vector<std::string> be_hosts;
+  std::vector<std::string> comm_hosts;
+  for (int i = 0; i < nbe; ++i) {
+    be_hosts.push_back(tc.machine.compute_node(i).hostname());
+  }
+  for (int i = 0; i < ncomm; ++i) {
+    comm_hosts.push_back(tc.machine.compute_node(nbe + i).hostname());
+  }
+
+  bool tree_ready = false;
+  bool got_sum = false;
+  std::uint64_t sum = 0;
+  std::vector<std::uint32_t> contributing_ranks;
+
+  cluster::SpawnOptions opts;
+  opts.executable = "root_fe";
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<RootFe>([&](cluster::Process& self, RootFe& prog) {
+        Topology topo =
+            comm_hosts.empty()
+                ? Topology::one_deep(self.node().hostname(),
+                                     cluster::kTbonBasePort, be_hosts)
+                : Topology::balanced(self.node().hostname(),
+                                     cluster::kTbonBasePort, comm_hosts,
+                                     be_hosts, fanout,
+                                     cluster::kTbonBasePort + 1);
+        ASSERT_TRUE(topo.valid());
+        TbonEndpoint::Callbacks cbs;
+        cbs.on_tree_ready = [&, topo](Status st) {
+          ASSERT_TRUE(st.is_ok()) << st.to_string();
+          tree_ready = true;
+          const std::uint32_t stream =
+              prog.endpoint->new_stream(kFilterSumU64);
+          prog.endpoint->send_down(stream, /*tag=*/7, {});
+        };
+        cbs.on_up = [&](std::uint32_t, std::uint32_t tag, const Bytes& data,
+                        const std::vector<std::uint32_t>& ranks) {
+          EXPECT_EQ(tag, 7u);
+          ByteReader r(data);
+          sum = r.u64().value_or(0);
+          contributing_ranks = ranks;
+          got_sum = true;
+        };
+        prog.endpoint = std::make_unique<TbonEndpoint>(self, topo, 0,
+                                                       std::move(cbs));
+        prog.endpoint->start();
+        adhoc_launch(self, topo, "tbon_commd", "leaf_be", {},
+                     [](rsh::LaunchOutcome out) {
+                       ASSERT_TRUE(out.status.is_ok())
+                           << out.status.to_string();
+                     });
+      }),
+      std::move(opts));
+  ASSERT_TRUE(res.is_ok());
+  ASSERT_TRUE(tc.run_until([&] { return got_sum; }, sim::seconds(1800)));
+
+  // Sum of be ranks 0..n-1 and full rank coverage.
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(nbe) * (nbe - 1) / 2);
+  ASSERT_EQ(contributing_ranks.size(), static_cast<std::size_t>(nbe));
+  for (int i = 0; i < nbe; ++i) {
+    EXPECT_EQ(contributing_ranks[static_cast<std::size_t>(i)],
+              static_cast<std::uint32_t>(i));
+  }
+  EXPECT_TRUE(tree_ready);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TbonNetTest,
+    ::testing::Values(NetParam{4, 0, 0},    // 1-deep
+                      NetParam{8, 2, 2},    // one comm layer
+                      NetParam{16, 6, 2},   // two comm layers
+                      NetParam{12, 3, 3}),
+    [](const ::testing::TestParamInfo<NetParam>& pinfo) {
+      return "be" + std::to_string(pinfo.param.backends) + "_c" +
+             std::to_string(pinfo.param.comm_nodes) + "_k" +
+             std::to_string(std::max(pinfo.param.fanout, 1));
+    });
+
+TEST(TbonNet, MultipleStreamsKeepRoundsSeparate) {
+  TestCluster tc(4);
+  LeafDaemon::install(tc.machine);
+
+  std::map<std::uint32_t, std::uint64_t> sums;  // stream -> result
+  cluster::SpawnOptions opts;
+  opts.executable = "root_fe";
+  std::vector<std::string> be_hosts;
+  for (int i = 0; i < 4; ++i) {
+    be_hosts.push_back(tc.machine.compute_node(i).hostname());
+  }
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<RootFe>([&](cluster::Process& self, RootFe& prog) {
+        Topology topo = Topology::one_deep(self.node().hostname(),
+                                           cluster::kTbonBasePort, be_hosts);
+        TbonEndpoint::Callbacks cbs;
+        cbs.on_tree_ready = [&](Status st) {
+          ASSERT_TRUE(st.is_ok());
+          const auto s1 = prog.endpoint->new_stream(kFilterSumU64);
+          const auto s2 = prog.endpoint->new_stream(kFilterMaxU64);
+          prog.endpoint->send_down(s1, 1, {});
+          prog.endpoint->send_down(s2, 1, {});
+          prog.endpoint->send_down(s1, 2, {});
+        };
+        cbs.on_up = [&](std::uint32_t stream, std::uint32_t tag,
+                        const Bytes& data, const auto&) {
+          ByteReader r(data);
+          sums[stream * 100 + tag] = r.u64().value_or(9999);
+        };
+        prog.endpoint = std::make_unique<TbonEndpoint>(self, topo, 0,
+                                                       std::move(cbs));
+        prog.endpoint->start();
+        adhoc_launch(self, topo, "tbon_commd", "leaf_be", {},
+                     [](rsh::LaunchOutcome) {});
+      }),
+      std::move(opts));
+  ASSERT_TRUE(res.is_ok());
+  ASSERT_TRUE(tc.run_until([&] { return sums.size() == 3; },
+                           sim::seconds(600)));
+  EXPECT_EQ(sums[101], 6u);   // stream 1 (sum), tag 1: 0+1+2+3
+  EXPECT_EQ(sums[201], 3u);   // stream 2 (max), tag 1
+  EXPECT_EQ(sums[102], 6u);   // stream 1, tag 2 (separate round)
+}
+
+}  // namespace
+}  // namespace lmon::tbon

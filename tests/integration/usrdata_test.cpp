@@ -1,0 +1,180 @@
+// Integration tests for tool-data transfer: piggybacked handshake payloads
+// (paper §3.2/§3.4), the registered pack function, BE->FE ready payloads and
+// post-startup UsrData in both directions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/be_api.hpp"
+#include "core/fe_api.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon {
+namespace {
+
+using testing::TestCluster;
+
+struct EchoState {
+  std::map<std::uint32_t, Bytes> init_usrdata;  // rank -> handshake payload
+  Bytes master_received_usrdata;
+  int usrdata_messages = 0;
+};
+
+/// BE daemon that records handshake payloads, piggybacks a reply onto
+/// Ready, and echoes post-startup FE UsrData back.
+class EchoDaemon : public cluster::Program {
+ public:
+  explicit EchoDaemon(EchoState* state) : state_(state) {}
+  [[nodiscard]] std::string_view name() const override { return "echo_be"; }
+
+  void on_start(cluster::Process& self) override {
+    be_ = std::make_unique<core::BackEnd>(self);
+    core::BackEnd::Callbacks cbs;
+    cbs.on_init = [this](const core::Rpdtab&, const Bytes& usrdata,
+                         std::function<void(Status)> done) {
+      state_->init_usrdata[be_->rank()] = usrdata;
+      if (be_->is_master()) {
+        be_->set_ready_usr_payload(Bytes{0x42, 0x43});
+      }
+      done(Status::ok());
+    };
+    cbs.on_usrdata = [this](const Bytes& data) {
+      state_->master_received_usrdata = data;
+      state_->usrdata_messages += 1;
+      Bytes reply = data;
+      std::reverse(reply.begin(), reply.end());
+      (void)be_->send_usrdata_fe(std::move(reply));
+    };
+    ASSERT_TRUE(be_->init(std::move(cbs)).is_ok());
+  }
+
+  static void install(cluster::Machine& machine, EchoState* state) {
+    cluster::ProgramImage image;
+    image.image_mb = 2.0;
+    image.factory = [state](const std::vector<std::string>&) {
+      return std::make_unique<EchoDaemon>(state);
+    };
+    machine.install_program("echo_be", std::move(image));
+  }
+
+ private:
+  EchoState* state_;
+  std::unique_ptr<core::BackEnd> be_;
+};
+
+struct Scenario {
+  TestCluster tc{4};
+  EchoState state;
+  std::shared_ptr<core::FrontEnd> fe;
+  int sid = -1;
+  bool done = false;
+  Status status;
+
+  void launch(core::FrontEnd::SpawnConfig cfg) {
+    EchoDaemon::install(tc.machine, &state);
+    tc.spawn_fe([&, cfg](cluster::Process& self) {
+      fe = std::make_shared<core::FrontEnd>(self);
+      ASSERT_TRUE(fe->init().is_ok());
+      auto s = fe->create_session();
+      sid = s.value;
+      rm::JobSpec job{4, 2, "mpi_app", {}};
+      fe->launch_and_spawn(sid, job, cfg, [&](Status st) {
+        status = st;
+        done = true;
+      });
+    });
+    ASSERT_TRUE(tc.run_until([&] { return done; }));
+    ASSERT_TRUE(status.is_ok()) << status.to_string();
+  }
+};
+
+TEST(UsrData, PiggybackedPayloadReachesEveryDaemon) {
+  Scenario run;
+  core::FrontEnd::SpawnConfig cfg;
+  cfg.daemon_exe = "echo_be";
+  cfg.fe_to_be_data = Bytes{1, 2, 3, 4, 5};
+  run.launch(cfg);
+
+  ASSERT_EQ(run.state.init_usrdata.size(), 4u);
+  for (const auto& [rank, data] : run.state.init_usrdata) {
+    EXPECT_EQ(data, (Bytes{1, 2, 3, 4, 5})) << "rank " << rank;
+  }
+}
+
+TEST(UsrData, ProviderOverridesStaticDataAndSeesProctable) {
+  Scenario run;
+  core::FrontEnd::SpawnConfig cfg;
+  cfg.daemon_exe = "echo_be";
+  cfg.fe_to_be_data = Bytes{9};
+  bool provider_called = false;
+  // The provider runs at handshake time, when the RPDTAB is available -
+  // the LMON_fe_regPackForFeToBe pattern.
+  cfg.fe_data_provider = [&]() -> Bytes {
+    provider_called = true;
+    const core::Rpdtab* pt = run.fe->proctable(run.sid);
+    EXPECT_NE(pt, nullptr);
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(pt->size()));
+    return std::move(w).take();
+  };
+  run.launch(cfg);
+
+  EXPECT_TRUE(provider_called);
+  for (const auto& [rank, data] : run.state.init_usrdata) {
+    ByteReader r(data);
+    EXPECT_EQ(r.u32(), 8u);  // 4 nodes x 2 tasks
+  }
+}
+
+TEST(UsrData, NonPiggybackedDataArrivesAfterReady) {
+  Scenario run;
+  core::FrontEnd::SpawnConfig cfg;
+  cfg.daemon_exe = "echo_be";
+  cfg.fe_to_be_data = Bytes{7, 7, 7};
+  cfg.piggyback = false;  // ablation path: separate round trip
+  run.launch(cfg);
+
+  // Handshake payload was empty...
+  for (const auto& [rank, data] : run.state.init_usrdata) {
+    EXPECT_TRUE(data.empty());
+  }
+  // ...but the master receives the data via UsrData shortly after.
+  ASSERT_TRUE(
+      run.tc.run_until([&] { return run.state.usrdata_messages > 0; }));
+  EXPECT_EQ(run.state.master_received_usrdata, (Bytes{7, 7, 7}));
+}
+
+TEST(UsrData, ReadyPayloadPiggybacksBackToFe) {
+  Scenario run;
+  core::FrontEnd::SpawnConfig cfg;
+  cfg.daemon_exe = "echo_be";
+  run.launch(cfg);
+  const Bytes* ready = run.fe->ready_usrdata(run.sid);
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(*ready, (Bytes{0x42, 0x43}));
+}
+
+TEST(UsrData, PostStartupRoundTripFeToBeToFe) {
+  Scenario run;
+  core::FrontEnd::SpawnConfig cfg;
+  cfg.daemon_exe = "echo_be";
+  run.launch(cfg);
+
+  Bytes echoed;
+  run.fe->set_be_usrdata_handler(run.sid,
+                                 [&](const Bytes& data) { echoed = data; });
+  ASSERT_TRUE(run.fe->send_usrdata_be(run.sid, Bytes{1, 2, 3}).is_ok());
+  ASSERT_TRUE(run.tc.run_until([&] { return !echoed.empty(); }));
+  EXPECT_EQ(echoed, (Bytes{3, 2, 1}));  // daemon reverses
+}
+
+TEST(UsrData, SendToUnknownSessionFails) {
+  Scenario run;
+  core::FrontEnd::SpawnConfig cfg;
+  cfg.daemon_exe = "echo_be";
+  run.launch(cfg);
+  EXPECT_EQ(run.fe->send_usrdata_be(999, Bytes{1}).rc(), Rc::Enosession);
+}
+
+}  // namespace
+}  // namespace lmon

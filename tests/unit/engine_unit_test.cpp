@@ -1,0 +1,103 @@
+// Unit tests for the engine's event pipeline (paper §3.1's Driver /
+// EventManager / EventDecoder decomposition) and the DPCL message layer.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "rm/apai.hpp"
+#include "tools/dpcl/dpcl.hpp"
+
+namespace lmon::core {
+namespace {
+
+TEST(EventDecoder, MpirBreakpointStopDecodesToJobStopped) {
+  EventDecoder decoder;
+  cluster::DebugEvent native;
+  native.type = cluster::DebugEventType::Stopped;
+  native.target = 42;
+  native.symbol = rm::apai::kBreakpoint;
+  EXPECT_EQ(decoder.decode(native).type,
+            LmonEventType::JobStoppedAtBreakpoint);
+}
+
+TEST(EventDecoder, OtherStopsAreIgnored) {
+  EventDecoder decoder;
+  cluster::DebugEvent native;
+  native.type = cluster::DebugEventType::Stopped;
+  native.symbol = "some_other_symbol";
+  EXPECT_EQ(decoder.decode(native).type, LmonEventType::Ignored);
+}
+
+TEST(EventDecoder, AttachAndExitMapDirectly) {
+  EventDecoder decoder;
+  cluster::DebugEvent attached;
+  attached.type = cluster::DebugEventType::Attached;
+  EXPECT_EQ(decoder.decode(attached).type, LmonEventType::AttachComplete);
+
+  cluster::DebugEvent exited;
+  exited.type = cluster::DebugEventType::Exited;
+  exited.exit_code = 3;
+  const LmonEvent ev = decoder.decode(exited);
+  EXPECT_EQ(ev.type, LmonEventType::JobExited);
+  EXPECT_EQ(ev.native.exit_code, 3);
+}
+
+TEST(EventManager, FifoQueue) {
+  EventManager mgr;
+  EXPECT_TRUE(mgr.empty());
+  for (int i = 0; i < 5; ++i) {
+    cluster::DebugEvent ev;
+    ev.exit_code = i;
+    mgr.push(ev);
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_FALSE(mgr.empty());
+    EXPECT_EQ(mgr.pop().exit_code, i);
+  }
+  EXPECT_TRUE(mgr.empty());
+}
+
+}  // namespace
+}  // namespace lmon::core
+
+namespace lmon::tools::dpcl {
+namespace {
+
+TEST(DpclProtocol, RoundTrips) {
+  {
+    auto back = AttachParseReq::decode(AttachParseReq{123}.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->pid, 123);
+  }
+  {
+    AttachParseResp resp{true, "", 110.0};
+    auto back = AttachParseResp::decode(resp.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->ok);
+    EXPECT_DOUBLE_EQ(back->parsed_mb, 110.0);
+  }
+  {
+    auto back = ReadSymReq::decode(ReadSymReq{7, "MPIR_proctable"}.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->symbol, "MPIR_proctable");
+  }
+  {
+    ReadSymResp resp{true, "", Bytes{1, 2, 3}};
+    auto back = ReadSymResp::decode(resp.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->data, (Bytes{1, 2, 3}));
+  }
+  {
+    auto back = InstrumentReq::decode(InstrumentReq{9}.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->pid, 9);
+  }
+}
+
+TEST(DpclProtocol, CrossDecodeRejected) {
+  auto msg = AttachParseReq{1}.encode();
+  EXPECT_FALSE(ReadSymReq::decode(msg).has_value());
+  EXPECT_FALSE(InstrumentResp::decode(msg).has_value());
+}
+
+}  // namespace
+}  // namespace lmon::tools::dpcl

@@ -1,0 +1,128 @@
+// Unit tests for ICCL tree arithmetic (children/parent/subtree relations).
+#include <gtest/gtest.h>
+
+#include "core/iccl.hpp"
+
+namespace lmon::core {
+namespace {
+
+TEST(IcclMath, BinaryTreeRelations) {
+  EXPECT_EQ(Iccl::children_of(0, 7, 2), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(Iccl::children_of(1, 7, 2), (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(Iccl::children_of(2, 7, 2), (std::vector<std::uint32_t>{5, 6}));
+  EXPECT_TRUE(Iccl::children_of(3, 7, 2).empty());
+  EXPECT_FALSE(Iccl::parent_of(0, 2).has_value());
+  EXPECT_EQ(Iccl::parent_of(1, 2), 0u);
+  EXPECT_EQ(Iccl::parent_of(6, 2), 2u);
+}
+
+TEST(IcclMath, FanoutOneIsAChain) {
+  EXPECT_EQ(Iccl::children_of(0, 4, 1), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(Iccl::children_of(2, 4, 1), (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(Iccl::parent_of(3, 1), 2u);
+}
+
+TEST(IcclMath, ZeroFanoutTreatedAsOne) {
+  EXPECT_EQ(Iccl::children_of(0, 3, 0), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(Iccl::parent_of(2, 0), 1u);
+}
+
+TEST(IcclMath, SubtreeOfRootIsEverything) {
+  auto sub = Iccl::subtree_of(0, 13, 3);
+  ASSERT_EQ(sub.size(), 13u);
+  for (std::uint32_t i = 0; i < 13; ++i) EXPECT_EQ(sub[i], i);
+}
+
+struct TreeParam {
+  std::uint32_t size;
+  std::uint32_t fanout;
+};
+
+class IcclTreeProperty : public ::testing::TestWithParam<TreeParam> {};
+
+TEST_P(IcclTreeProperty, ParentChildConsistency) {
+  const auto [size, fanout] = GetParam();
+  for (std::uint32_t r = 0; r < size; ++r) {
+    for (std::uint32_t c : Iccl::children_of(r, size, fanout)) {
+      EXPECT_EQ(Iccl::parent_of(c, fanout), r);
+      EXPECT_LT(c, size);
+    }
+    if (r != 0) {
+      auto p = Iccl::parent_of(r, fanout);
+      ASSERT_TRUE(p.has_value());
+      auto siblings = Iccl::children_of(*p, size, fanout);
+      EXPECT_NE(std::find(siblings.begin(), siblings.end(), r),
+                siblings.end());
+    }
+  }
+}
+
+TEST_P(IcclTreeProperty, SubtreesPartitionTheTree) {
+  const auto [size, fanout] = GetParam();
+  // The root's children's subtrees plus the root itself cover all ranks
+  // exactly once.
+  std::vector<bool> covered(size, false);
+  covered[0] = true;
+  for (std::uint32_t c : Iccl::children_of(0, size, fanout)) {
+    for (std::uint32_t r : Iccl::subtree_of(c, size, fanout)) {
+      EXPECT_FALSE(covered[r]) << "rank " << r << " covered twice";
+      covered[r] = true;
+    }
+  }
+  for (std::uint32_t r = 0; r < size; ++r) {
+    EXPECT_TRUE(covered[r]) << "rank " << r << " not covered";
+  }
+}
+
+TEST_P(IcclTreeProperty, EveryRankReachesRoot) {
+  const auto [size, fanout] = GetParam();
+  for (std::uint32_t r = 0; r < size; ++r) {
+    std::uint32_t cur = r;
+    std::uint32_t hops = 0;
+    while (cur != 0) {
+      auto p = Iccl::parent_of(cur, fanout);
+      ASSERT_TRUE(p.has_value());
+      cur = *p;
+      ASSERT_LE(++hops, size);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IcclTreeProperty,
+    ::testing::Values(TreeParam{1, 2}, TreeParam{2, 2}, TreeParam{15, 2},
+                      TreeParam{16, 2}, TreeParam{17, 2}, TreeParam{100, 3},
+                      TreeParam{64, 8}, TreeParam{1000, 32},
+                      TreeParam{1024, 32}, TreeParam{5, 64},
+                      TreeParam{333, 7}, TreeParam{2, 1}, TreeParam{9, 1}));
+
+TEST(IcclMath, ParamsFromArgsParsesBootstrapArgv) {
+  std::vector<std::string> args{
+      "--lmon-rank=3",    "--lmon-size=8",          "--lmon-fanout=2",
+      "--lmon-port=7100", "--lmon-session=s1p1000",
+      "--lmon-hosts=a,b,c,d,e,f,g,h"};
+  auto p = Iccl::params_from_args(args);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->rank, 3u);
+  EXPECT_EQ(p->size, 8u);
+  EXPECT_EQ(p->fanout, 2u);
+  EXPECT_EQ(p->port, 7100);
+  EXPECT_EQ(p->session, "s1p1000");
+  EXPECT_EQ(p->hosts.size(), 8u);
+}
+
+TEST(IcclMath, ParamsRejectInconsistentArgv) {
+  // rank >= size
+  EXPECT_FALSE(Iccl::params_from_args({"--lmon-rank=8", "--lmon-size=8",
+                                       "--lmon-port=1", "--lmon-hosts=a"})
+                   .has_value());
+  // host list length mismatch
+  EXPECT_FALSE(Iccl::params_from_args({"--lmon-rank=0", "--lmon-size=2",
+                                       "--lmon-port=1", "--lmon-hosts=a"})
+                   .has_value());
+  // missing everything (a daemon started outside LaunchMON)
+  EXPECT_FALSE(Iccl::params_from_args({"--verbose"}).has_value());
+}
+
+}  // namespace
+}  // namespace lmon::core

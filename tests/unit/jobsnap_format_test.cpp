@@ -1,0 +1,95 @@
+// Unit tests for Jobsnap's snapshot record format.
+#include <gtest/gtest.h>
+
+#include "simkernel/rng.hpp"
+#include "tools/jobsnap/format.hpp"
+
+namespace lmon::tools::jobsnap {
+namespace {
+
+TaskSnapshot sample() {
+  TaskSnapshot s;
+  s.rank = 17;
+  s.host = "atlas18";
+  s.pid = 54321;
+  s.executable = "mpi_app";
+  s.state = 'R';
+  s.program_counter = 0x400abc;
+  s.num_threads = 3;
+  s.vm_hwm_kb = 123456;
+  s.vm_lck_kb = 64;
+  s.utime_ms = 9876;
+  s.stime_ms = 123;
+  s.maj_faults = 2;
+  return s;
+}
+
+TEST(JobsnapFormat, SingleRoundTrip) {
+  ByteWriter w;
+  sample().encode(w);
+  ByteReader r(w.bytes());
+  auto back = TaskSnapshot::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->rank, 17);
+  EXPECT_EQ(back->host, "atlas18");
+  EXPECT_EQ(back->pid, 54321);
+  EXPECT_EQ(back->state, 'R');
+  EXPECT_EQ(back->program_counter, 0x400abcu);
+  EXPECT_EQ(back->num_threads, 3u);
+  EXPECT_EQ(back->vm_hwm_kb, 123456u);
+  EXPECT_EQ(back->vm_lck_kb, 64u);
+  EXPECT_EQ(back->utime_ms, 9876u);
+  EXPECT_EQ(back->stime_ms, 123u);
+  EXPECT_EQ(back->maj_faults, 2u);
+}
+
+TEST(JobsnapFormat, BatchRoundTrip) {
+  std::vector<TaskSnapshot> snaps;
+  sim::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    TaskSnapshot s = sample();
+    s.rank = i;
+    s.pid = 1000 + i;
+    s.utime_ms = rng.next_below(100000);
+    snaps.push_back(s);
+  }
+  auto back = decode_snapshots(encode_snapshots(snaps));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ((*back)[static_cast<std::size_t>(i)].rank, i);
+    EXPECT_EQ((*back)[static_cast<std::size_t>(i)].utime_ms,
+              snaps[static_cast<std::size_t>(i)].utime_ms);
+  }
+}
+
+TEST(JobsnapFormat, LineContainsTheKeyFields) {
+  const std::string line = sample().format_line();
+  EXPECT_NE(line.find("17"), std::string::npos);
+  EXPECT_NE(line.find("atlas18"), std::string::npos);
+  EXPECT_NE(line.find("54321"), std::string::npos);
+  EXPECT_NE(line.find("mpi_app"), std::string::npos);
+  EXPECT_NE(line.find("R"), std::string::npos);
+  EXPECT_NE(line.find("123456"), std::string::npos);
+}
+
+TEST(JobsnapFormat, HeaderNamesTheColumns) {
+  const std::string h = report_header();
+  for (const char* col : {"RANK", "HOST", "PID", "EXE", "PC", "VmHWM",
+                          "VmLck", "utime", "stime", "majflt"}) {
+    EXPECT_NE(h.find(col), std::string::npos) << col;
+  }
+}
+
+TEST(JobsnapFormat, DecodeRejectsTruncation) {
+  ByteWriter w;
+  sample().encode(w);
+  Bytes bytes = w.bytes();
+  bytes.resize(bytes.size() / 2);
+  ByteReader r(bytes);
+  EXPECT_FALSE(TaskSnapshot::decode(r).has_value());
+  EXPECT_FALSE(decode_snapshots(Bytes{1, 0, 0, 0}).has_value());
+}
+
+}  // namespace
+}  // namespace lmon::tools::jobsnap

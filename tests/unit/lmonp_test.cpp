@@ -1,0 +1,175 @@
+// Unit + property tests for the LMONP protocol (paper §3.5).
+#include <gtest/gtest.h>
+
+#include "core/lmonp.hpp"
+#include "core/payloads.hpp"
+#include "simkernel/rng.hpp"
+
+namespace lmon::core {
+namespace {
+
+TEST(Lmonp, HeaderIsExactlySixteenBytes) {
+  LmonpMessage m = LmonpMessage::fe_engine(FeEngineMsg::Hello);
+  EXPECT_EQ(m.encode().size(), kHeaderSize);
+  EXPECT_EQ(kHeaderSize, 16u);
+}
+
+TEST(Lmonp, WireSizeIsHeaderPlusPayloads) {
+  LmonpMessage m = LmonpMessage::fe_daemon(
+      MsgClass::FeBe, FeDaemonMsg::HandshakeInit, Bytes(100, 1), Bytes(37, 2));
+  EXPECT_EQ(m.wire_size(), 16u + 100u + 37u);
+  EXPECT_EQ(m.encode().size(), m.wire_size());
+}
+
+TEST(Lmonp, RoundTripPreservesEverything) {
+  LmonpMessage m;
+  m.msg_class = MsgClass::FeMw;
+  m.type = static_cast<std::uint8_t>(FeDaemonMsg::Ready);
+  m.flags = 0x1234;
+  m.seq = 987654;
+  m.lmon_payload = Bytes{1, 2, 3};
+  m.usr_payload = Bytes{9, 8, 7, 6};
+
+  auto decoded = LmonpMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->msg_class, MsgClass::FeMw);
+  EXPECT_EQ(decoded->type, m.type);
+  EXPECT_EQ(decoded->flags, 0x1234);
+  EXPECT_EQ(decoded->seq, 987654u);
+  EXPECT_EQ(decoded->lmon_payload, m.lmon_payload);
+  EXPECT_EQ(decoded->usr_payload, m.usr_payload);
+}
+
+TEST(Lmonp, MsgClassOccupiesThreeBits) {
+  // The class field shares byte 0 with the version; only 3 bits of class.
+  LmonpMessage m = LmonpMessage::fe_daemon(MsgClass::FeBe,
+                                           FeDaemonMsg::Hello);
+  const auto encoded = m.encode();
+  const std::uint8_t b0 = encoded.bytes[0];
+  EXPECT_EQ(b0 & 0x07, static_cast<int>(MsgClass::FeBe));
+  EXPECT_EQ(b0 >> 3, kLmonpVersion);
+}
+
+TEST(Lmonp, ReservedClassEncodingsRejected) {
+  // Classes 3..7 are reserved for future pairs (e.g. MW-MW).
+  for (std::uint8_t cls = 3; cls < 8; ++cls) {
+    LmonpMessage m;
+    m.msg_class = static_cast<MsgClass>(cls);
+    auto decoded = LmonpMessage::decode(m.encode());
+    EXPECT_FALSE(decoded.has_value()) << "class " << int(cls);
+  }
+}
+
+TEST(Lmonp, WrongVersionRejected) {
+  LmonpMessage m = LmonpMessage::fe_engine(FeEngineMsg::Hello);
+  auto encoded = m.encode();
+  encoded.bytes[0] = static_cast<std::uint8_t>(
+      (encoded.bytes[0] & 0x07) | ((kLmonpVersion + 1) << 3));
+  EXPECT_FALSE(LmonpMessage::decode(encoded).has_value());
+}
+
+TEST(Lmonp, TruncatedPayloadRejected) {
+  LmonpMessage m = LmonpMessage::fe_engine(FeEngineMsg::ProctableData,
+                                           Bytes(64, 0xAA));
+  auto encoded = m.encode();
+  encoded.bytes.resize(encoded.bytes.size() - 10);
+  EXPECT_FALSE(LmonpMessage::decode(encoded).has_value());
+}
+
+TEST(Lmonp, TrailingGarbageRejected) {
+  LmonpMessage m = LmonpMessage::fe_engine(FeEngineMsg::Hello);
+  auto encoded = m.encode();
+  encoded.bytes.push_back(0xFF);
+  EXPECT_FALSE(LmonpMessage::decode(encoded).has_value());
+}
+
+TEST(Lmonp, ShortBufferRejected) {
+  cluster::Message m;
+  m.bytes = Bytes(7, 0);
+  EXPECT_FALSE(LmonpMessage::decode(m).has_value());
+}
+
+class LmonpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LmonpPropertyTest, RandomMessagesRoundTrip) {
+  sim::Rng rng(GetParam() * 31 + 7);
+  LmonpMessage m;
+  m.msg_class = static_cast<MsgClass>(rng.next_below(3));
+  m.type = static_cast<std::uint8_t>(rng.next_below(256));
+  m.flags = static_cast<std::uint16_t>(rng.next_below(1 << 16));
+  m.seq = static_cast<std::uint32_t>(rng.next());
+  m.lmon_payload.resize(rng.next_below(2048));
+  for (auto& b : m.lmon_payload) {
+    b = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  m.usr_payload.resize(rng.next_below(2048));
+  for (auto& b : m.usr_payload) {
+    b = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  auto decoded = LmonpMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->msg_class, m.msg_class);
+  EXPECT_EQ(decoded->type, m.type);
+  EXPECT_EQ(decoded->flags, m.flags);
+  EXPECT_EQ(decoded->seq, m.seq);
+  EXPECT_EQ(decoded->lmon_payload, m.lmon_payload);
+  EXPECT_EQ(decoded->usr_payload, m.usr_payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LmonpPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+// --- payload schemas -------------------------------------------------------
+
+TEST(Payloads, HelloRoundTrip) {
+  payload::Hello h{"s3p1001", 5, 4242, "atlas17"};
+  auto back = payload::Hello::decode(h.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->session, "s3p1001");
+  EXPECT_EQ(back->rank, 5u);
+  EXPECT_EQ(back->pid, 4242);
+  EXPECT_EQ(back->host, "atlas17");
+}
+
+TEST(Payloads, DaemonsSpawnedRoundTrip) {
+  payload::DaemonsSpawned d;
+  d.ok = true;
+  d.daemon_table = Bytes{1, 2, 3, 4};
+  auto back = payload::DaemonsSpawned::decode(d.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->daemon_table, d.daemon_table);
+}
+
+TEST(Payloads, EngineErrorRoundTrip) {
+  payload::EngineError e{"co-spawn", "allocation failed"};
+  auto back = payload::EngineError::decode(e.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->stage, "co-spawn");
+  EXPECT_EQ(back->error, "allocation failed");
+}
+
+TEST(Payloads, LaunchMwReqRoundTrip) {
+  payload::LaunchMwReq r;
+  r.nnodes = 8;
+  r.daemon_exe = "tbon_commd_lmon";
+  r.daemon_args = {"--x=1", "--y=2"};
+  r.fabric_port = 7102;
+  r.fabric_fanout = 4;
+  auto back = payload::LaunchMwReq::decode(r.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->nnodes, 8u);
+  EXPECT_EQ(back->daemon_exe, "tbon_commd_lmon");
+  EXPECT_EQ(back->daemon_args, r.daemon_args);
+  EXPECT_EQ(back->fabric_port, 7102);
+  EXPECT_EQ(back->fabric_fanout, 4u);
+}
+
+TEST(Payloads, MalformedPayloadsRejected) {
+  EXPECT_FALSE(payload::Hello::decode(Bytes{1, 2}).has_value());
+  EXPECT_FALSE(payload::Ready::decode(Bytes{}).has_value());
+  EXPECT_FALSE(payload::LaunchMwReq::decode(Bytes{0xFF}).has_value());
+}
+
+}  // namespace
+}  // namespace lmon::core

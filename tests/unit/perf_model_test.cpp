@@ -1,0 +1,108 @@
+// Tests for the §4 analytic model, including validation against the
+// simulated implementation (the paper's Figure 3 comparison as an assertion).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fe_api.hpp"
+#include "core/perf_model.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon::core {
+namespace {
+
+TEST(PerfModel, DepthMatchesTreeGeometry) {
+  const cluster::CostModel costs;
+  PerfModel m(costs, 32);
+  EXPECT_EQ(m.depth(1), 0);
+  EXPECT_EQ(m.depth(2), 1);
+  EXPECT_EQ(m.depth(32), 1);
+  EXPECT_EQ(m.depth(33), 2);
+  EXPECT_EQ(m.depth(1024), 2);
+  EXPECT_EQ(m.depth(1025), 3);
+  PerfModel bin(costs, 2);
+  EXPECT_EQ(bin.depth(8), 3);
+  EXPECT_EQ(bin.depth(9), 4);
+}
+
+TEST(PerfModel, TotalsGrowMonotonically) {
+  const cluster::CostModel costs;
+  PerfModel m(costs, static_cast<std::uint32_t>(costs.rm_launch_fanout));
+  double prev = 0;
+  for (int n : {16, 32, 64, 128, 256, 512, 1024}) {
+    const double total = m.predict(n, 8).total();
+    EXPECT_GT(total, prev) << "at n=" << n;
+    prev = total;
+  }
+}
+
+TEST(PerfModel, ScaleIndependentTermsAreConstant) {
+  const cluster::CostModel costs;
+  PerfModel m(costs, 32);
+  const auto small = m.predict(16, 8);
+  const auto large = m.predict(1024, 8);
+  EXPECT_DOUBLE_EQ(small.tracing, large.tracing);
+  EXPECT_DOUBLE_EQ(small.other, large.other);
+  // Paper: tracing 18 ms, other 12 ms (plus engine spawn/connect in ours).
+  EXPECT_NEAR(small.tracing, 0.018, 1e-9);
+  EXPECT_GT(small.other, 0.012);
+}
+
+TEST(PerfModel, LaunchmonShareShrinksWithScale) {
+  const cluster::CostModel costs;
+  PerfModel m(costs, 32);
+  // The RM terms grow with n while LaunchMON's stay near-constant, so the
+  // share falls - the paper's headline scalability claim.
+  EXPECT_GT(m.predict(16, 8).launchmon_share(),
+            m.predict(128, 8).launchmon_share());
+  // And at 128 daemons it is in the paper's ~5% neighbourhood.
+  EXPECT_LT(m.predict(128, 8).launchmon_share(), 0.10);
+  EXPECT_GT(m.predict(128, 8).launchmon_share(), 0.02);
+}
+
+/// The Figure 3 validation: model vs simulated measurement within
+/// tolerance across the paper's sweep.
+class ModelValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelValidation, PredictsMeasuredTotalWithinTolerance) {
+  const int ndaemons = GetParam();
+  const int tpn = 8;
+
+  lmon::testing::TestCluster tc(ndaemons);
+  sim::Timeline timeline;
+  tc.machine.set_timeline(&timeline);
+
+  bool done = false;
+  Status status;
+  std::shared_ptr<FrontEnd> fe;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<FrontEnd>(self);
+    (void)fe->init();
+    auto sid = fe->create_session();
+    FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    rm::JobSpec job{ndaemons, tpn, "mpi_app", {}};
+    fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
+      status = st;
+      done = true;
+    });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return done; }));
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+
+  const double measured =
+      sim::to_seconds(timeline.between("e0_fe_call", "e11_return"));
+  const cluster::CostModel costs;
+  PerfModel model(costs, static_cast<std::uint32_t>(costs.rm_launch_fanout));
+  const double predicted = model.predict(ndaemons, tpn).total();
+
+  EXPECT_NEAR(predicted / measured, 1.0, 0.25)
+      << "model " << predicted << "s vs measured " << measured << "s at "
+      << ndaemons << " daemons";
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig3Sweep, ModelValidation,
+                         ::testing::Values(16, 48, 96, 128, 256));
+
+}  // namespace
+}  // namespace lmon::core

@@ -1,0 +1,150 @@
+// Unit tests for the RM control protocol encode/decode layer.
+#include <gtest/gtest.h>
+
+#include "rm/protocol.hpp"
+#include "simkernel/rng.hpp"
+
+namespace lmon::rm {
+namespace {
+
+TEST(RmProtocol, PeekTypeIdentifiesFrames) {
+  EXPECT_EQ(peek_type(AllocReq{4, false}.encode()), MsgType::AllocReq);
+  EXPECT_EQ(peek_type(JobInfoReq{7}.encode()), MsgType::JobInfoReq);
+  EXPECT_EQ(peek_type(KillDaemons{}.encode()), MsgType::KillDaemons);
+  cluster::Message junk;
+  junk.bytes = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_FALSE(peek_type(junk).has_value());
+  cluster::Message empty;
+  EXPECT_FALSE(peek_type(empty).has_value());
+}
+
+TEST(RmProtocol, AllocRoundTrip) {
+  AllocReq req{16, true};
+  auto back = AllocReq::decode(req.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->nnodes, 16u);
+  EXPECT_TRUE(back->middleware);
+
+  AllocResp resp;
+  resp.ok = true;
+  resp.jobid = 42;
+  resp.nodes = {{"atlas1", 0}, {"atlas2", 1}};
+  auto resp_back = AllocResp::decode(resp.encode());
+  ASSERT_TRUE(resp_back.has_value());
+  EXPECT_TRUE(resp_back->ok);
+  EXPECT_EQ(resp_back->jobid, 42u);
+  ASSERT_EQ(resp_back->nodes.size(), 2u);
+  EXPECT_EQ(resp_back->nodes[1].host, "atlas2");
+  EXPECT_EQ(resp_back->nodes[1].index, 1u);
+}
+
+TEST(RmProtocol, TreeLaunchReqRoundTrip) {
+  TreeLaunchReq req;
+  req.jobid = 9;
+  req.seq = 77;
+  req.mode = LaunchMode::Daemons;
+  req.executable = "stat_be";
+  req.extra_args = {"--a=1", "--b=two"};
+  req.tasks_per_node = 8;
+  req.nodes = {{"atlas3", 2}, {"atlas4", 3}};
+  req.all_hosts = {"atlas1", "atlas2", "atlas3", "atlas4"};
+  req.fabric = FabricSpec{7100, 32, 4, "atlas-fe", 7050, "s0p1"};
+
+  auto back = TreeLaunchReq::decode(req.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->jobid, 9u);
+  EXPECT_EQ(back->seq, 77u);
+  EXPECT_EQ(back->mode, LaunchMode::Daemons);
+  EXPECT_EQ(back->executable, "stat_be");
+  EXPECT_EQ(back->extra_args, req.extra_args);
+  EXPECT_EQ(back->tasks_per_node, 8u);
+  ASSERT_EQ(back->nodes.size(), 2u);
+  EXPECT_EQ(back->nodes[0].host, "atlas3");
+  EXPECT_EQ(back->all_hosts, req.all_hosts);
+  EXPECT_EQ(back->fabric.port, 7100);
+  EXPECT_EQ(back->fabric.fanout, 32u);
+  EXPECT_EQ(back->fabric.total, 4u);
+  EXPECT_EQ(back->fabric.fe_host, "atlas-fe");
+  EXPECT_EQ(back->fabric.fe_port, 7050);
+  EXPECT_EQ(back->fabric.session, "s0p1");
+}
+
+TEST(RmProtocol, TreeLaunchAckRoundTrip) {
+  TreeLaunchAck ack;
+  ack.seq = 5;
+  ack.ok = false;
+  ack.error = "spawn failed on atlas9";
+  ack.entries = {{"atlas9", "stat_be", 555, 8}};
+  auto back = TreeLaunchAck::decode(ack.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 5u);
+  EXPECT_FALSE(back->ok);
+  EXPECT_EQ(back->error, "spawn failed on atlas9");
+  ASSERT_EQ(back->entries.size(), 1u);
+  EXPECT_EQ(back->entries[0], ack.entries[0]);
+}
+
+TEST(RmProtocol, KillRoundTrips) {
+  TreeKillReq req;
+  req.jobid = 3;
+  req.seq = 11;
+  req.mode = LaunchMode::Daemons;
+  req.session = "s2p9";
+  req.nodes = {{"atlas1", 0}};
+  auto back = TreeKillReq::decode(req.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->session, "s2p9");
+
+  TreeKillAck ack{11, true, 16};
+  auto aback = TreeKillAck::decode(ack.encode());
+  ASSERT_TRUE(aback.has_value());
+  EXPECT_EQ(aback->killed, 16u);
+}
+
+TEST(RmProtocol, LaunchDoneRoundTrip) {
+  LaunchDone done;
+  done.ok = true;
+  done.jobid = 12;
+  done.daemons = {{"atlas1", "jobsnap_be", 700, 0},
+                  {"atlas2", "jobsnap_be", 701, 1}};
+  auto back = LaunchDone::decode(done.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->jobid, 12u);
+  EXPECT_EQ(back->daemons, done.daemons);
+}
+
+TEST(RmProtocol, CrossDecodeRejected) {
+  // Decoding a frame as a different message type must fail cleanly.
+  auto msg = AllocReq{4, false}.encode();
+  EXPECT_FALSE(JobInfoReq::decode(msg).has_value());
+  EXPECT_FALSE(TreeLaunchReq::decode(msg).has_value());
+  EXPECT_FALSE(LaunchDone::decode(msg).has_value());
+}
+
+// Property: decoding random byte soup never crashes and mostly fails.
+class RmFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RmFuzzTest, RandomBytesDecodeSafely) {
+  sim::Rng rng(GetParam() * 911 + 1);
+  cluster::Message m;
+  m.bytes.resize(rng.next_below(128));
+  for (auto& b : m.bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+  // None of these may crash; results are simply optional.
+  (void)AllocReq::decode(m);
+  (void)AllocResp::decode(m);
+  (void)JobInfoReq::decode(m);
+  (void)JobInfoResp::decode(m);
+  (void)TreeLaunchReq::decode(m);
+  (void)TreeLaunchAck::decode(m);
+  (void)TreeKillReq::decode(m);
+  (void)TreeKillAck::decode(m);
+  (void)LaunchDone::decode(m);
+  (void)peek_type(m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RmFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace lmon::rm

@@ -1,0 +1,187 @@
+// Behavioural tests for the rsh substrate and the ad hoc launchers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rsh/client.hpp"
+#include "rsh/launchers.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon::rsh {
+namespace {
+
+using lmon::testing::TestCluster;
+
+TEST(Rsh, RemoteExecSpawnsCommandOnTarget) {
+  TestCluster tc(2);
+  RemoteExec result;
+  bool done = false;
+  tc.spawn_fe([&](cluster::Process& self) {
+    RshSession::run(self, tc.machine.compute_node(1).hostname(), "sleeperd",
+                    {}, [&](RemoteExec r) {
+                      result = std::move(r);
+                      done = true;
+                    });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return done; }));
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  // Let the remote command finish its exec (the ExecResp is sent at fork
+  // time, like rsh returning before the command is fully up).
+  tc.simulator.run(tc.simulator.now() + sim::ms(50));
+  cluster::Process* remote = tc.machine.find_process(result.remote_pid);
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->node().hostname(), tc.machine.compute_node(1).hostname());
+  EXPECT_EQ(remote->state(), cluster::ProcState::Running);
+  // The local helper child occupies a process slot, like blocking rsh.
+  cluster::Process* helper = tc.machine.find_process(result.helper_pid);
+  ASSERT_NE(helper, nullptr);
+  EXPECT_EQ(helper->state(), cluster::ProcState::Running);
+}
+
+TEST(Rsh, UnknownCommandReportsError) {
+  TestCluster tc(1);
+  RemoteExec result;
+  bool done = false;
+  tc.spawn_fe([&](cluster::Process& self) {
+    RshSession::run(self, tc.machine.compute_node(0).hostname(), "nonesuch",
+                    {}, [&](RemoteExec r) {
+                      result = std::move(r);
+                      done = true;
+                    });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return done; }));
+  EXPECT_FALSE(result.status.is_ok());
+  EXPECT_EQ(result.status.rc(), Rc::Esubcom);
+}
+
+TEST(Rsh, ClosingSessionKillsRemoteCommand) {
+  TestCluster tc(1);
+  RemoteExec result;
+  bool done = false;
+  tc.spawn_fe([&](cluster::Process& self) {
+    RshSession::run(self, tc.machine.compute_node(0).hostname(), "sleeperd",
+                    {}, [&, ptr = &self](RemoteExec r) {
+                      result = std::move(r);
+                      done = true;
+                      ptr->post(sim::ms(10), [&, ptr] {
+                        ptr->close_channel(result.session);
+                      });
+                    });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return done; }));
+  tc.simulator.run(tc.simulator.now() + sim::seconds(1));
+  cluster::Process* remote = tc.machine.find_process(result.remote_pid);
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->state(), cluster::ProcState::Exited);
+}
+
+TEST(Rsh, SerialLauncherPreservesTargetOrder) {
+  TestCluster tc(4);
+  LaunchOutcome outcome;
+  bool done = false;
+  std::vector<rsh::LaunchTarget> targets;
+  for (int i = 0; i < 4; ++i) {
+    targets.push_back(LaunchTarget{tc.machine.compute_node(i).hostname(),
+                                   "sleeperd",
+                                   {}});
+  }
+  tc.spawn_fe([&](cluster::Process& self) {
+    SerialRshLauncher::launch(self, targets, [&](LaunchOutcome out) {
+      outcome = std::move(out);
+      done = true;
+    });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return done; }));
+  ASSERT_TRUE(outcome.status.is_ok());
+  ASSERT_EQ(outcome.daemons.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(outcome.daemons[static_cast<std::size_t>(i)].first,
+              tc.machine.compute_node(i).hostname());
+  }
+  EXPECT_EQ(outcome.sessions.size(), 4u);
+}
+
+TEST(Rsh, SerialLauncherAbortsAtForkLimit) {
+  cluster::CostModel costs;
+  costs.rsh_fork_limit = 3;
+  TestCluster tc(8, 0, costs);
+  LaunchOutcome outcome;
+  bool done = false;
+  std::vector<rsh::LaunchTarget> targets;
+  for (int i = 0; i < 8; ++i) {
+    targets.push_back(LaunchTarget{tc.machine.compute_node(i).hostname(),
+                                   "sleeperd",
+                                   {}});
+  }
+  tc.spawn_fe([&](cluster::Process& self) {
+    SerialRshLauncher::launch(self, targets, [&](LaunchOutcome out) {
+      outcome = std::move(out);
+      done = true;
+    });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return done; }));
+  EXPECT_EQ(outcome.status.rc(), Rc::Esys);
+  // The daemons started before the failure are leaked (paper: the ugly
+  // failure mode of ad hoc launching).
+  EXPECT_EQ(outcome.daemons.size(), 3u);
+}
+
+/// FE program that forwards tree-agent reports (required by the tree
+/// launcher contract).
+class TreeFe : public cluster::Program {
+ public:
+  using Go = std::function<void(cluster::Process&)>;
+  explicit TreeFe(Go go) : go_(std::move(go)) {}
+  [[nodiscard]] std::string_view name() const override { return "tree_fe"; }
+  void on_start(cluster::Process& self) override { go_(self); }
+  void on_message(cluster::Process& self, const cluster::ChannelPtr&,
+                  cluster::Message msg) override {
+    (void)TreeRshLauncher::handle_report(self, msg);
+  }
+
+ private:
+  Go go_;
+};
+
+class TreeLauncherTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeLauncherTest, LaunchesEveryHostExactlyOnce) {
+  const int fanout = GetParam();
+  const int n = 13;
+  TestCluster tc(n);
+  LaunchOutcome outcome;
+  bool done = false;
+  std::vector<std::string> hosts;
+  for (int i = 0; i < n; ++i) {
+    hosts.push_back(tc.machine.compute_node(i).hostname());
+  }
+  cluster::SpawnOptions opts;
+  opts.executable = "tree_fe";
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<TreeFe>([&](cluster::Process& self) {
+        TreeRshLauncher::launch(self, hosts, "sleeperd", {}, fanout,
+                                [&](LaunchOutcome out) {
+                                  outcome = std::move(out);
+                                  done = true;
+                                });
+      }),
+      std::move(opts));
+  ASSERT_TRUE(res.is_ok());
+  ASSERT_TRUE(tc.run_until([&] { return done; }, sim::seconds(600)));
+  ASSERT_TRUE(outcome.status.is_ok()) << outcome.status.to_string();
+
+  std::set<std::string> launched;
+  for (const auto& [host, pid] : outcome.daemons) {
+    EXPECT_TRUE(launched.insert(host).second) << host << " launched twice";
+    cluster::Process* p = tc.machine.find_process(pid);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->options().executable, "sleeperd");
+  }
+  EXPECT_EQ(launched.size(), static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, TreeLauncherTest,
+                         ::testing::Values(1, 2, 3, 8, 16));
+
+}  // namespace
+}  // namespace lmon::rsh

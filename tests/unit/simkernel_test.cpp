@@ -1,0 +1,203 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "common/argparse.hpp"
+#include "simkernel/simulator.hpp"
+#include "simkernel/stats.hpp"
+
+namespace lmon::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&] { fired.push_back(3); });
+  q.push(10, [&] { fired.push_back(1); });
+  q.push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(1, [&] { fired.push_back(1); });
+  EventId id = q.push(2, [&] { fired.push_back(2); });
+  q.push(3, [&] { fired.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelUnknownIsNoop) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.cancel(EventId{9999});
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(Simulator, TimeAdvancesMonotonically) {
+  Simulator sim;
+  std::vector<Time> times;
+  sim.schedule(ms(5), [&] { times.push_back(sim.now()); });
+  sim.schedule(ms(1), [&] {
+    times.push_back(sim.now());
+    sim.schedule(ms(1), [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], ms(1));
+  EXPECT_EQ(times[1], ms(2));
+  EXPECT_EQ(times[2], ms(5));
+}
+
+TEST(Simulator, RunUntilBound) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(ms(1), [&] { ++fired; });
+  sim.schedule(ms(10), [&] { ++fired; });
+  sim.run(ms(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), ms(1));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule(ms(3), [&] {
+    sim.schedule(-ms(10), [&] { EXPECT_EQ(sim.now(), ms(3)); });
+  });
+  sim.run();
+}
+
+TEST(Simulator, EventLimitThrowsOnLivelock) {
+  Simulator sim;
+  sim.set_event_limit(100);
+  std::function<void()> loop = [&] { sim.schedule(1, loop); };
+  sim.schedule(1, loop);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasRoughlyRightMoments) {
+  Rng rng(11);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.fork();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Stats, AccumulatorMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 0.001);
+}
+
+TEST(Stats, TimelineBetween) {
+  Timeline t;
+  t.mark("a", ms(10));
+  t.mark("b", ms(35));
+  EXPECT_EQ(t.between("a", "b"), ms(25));
+  EXPECT_EQ(t.between("a", "missing"), 0);
+  EXPECT_TRUE(t.has("a"));
+  EXPECT_FALSE(t.has("c"));
+}
+
+TEST(Stats, LedgerAccumulates) {
+  CostLedger l;
+  l.charge("x", ms(5));
+  l.charge("x", ms(7));
+  l.charge("y", ms(1));
+  EXPECT_EQ(l.total("x"), ms(12));
+  EXPECT_EQ(l.events("x"), 2u);
+  EXPECT_EQ(l.total("z"), 0);
+}
+
+TEST(TimeFormat, HumanReadable) {
+  EXPECT_EQ(format_time(seconds(1.5)), "1.500s");
+  EXPECT_EQ(format_time(ms(2.25)), "2.250ms");
+  EXPECT_EQ(format_time(us(750)), "750us");
+}
+
+}  // namespace
+}  // namespace lmon::sim
+
+namespace lmon {
+namespace {
+
+TEST(Status, RoundTripAndMessages) {
+  Status ok;
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.to_string(), "Ok");
+  Status err(Rc::Esys, "fork failed");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.rc(), Rc::Esys);
+  EXPECT_EQ(err.to_string(), "Esys: fork failed");
+  EXPECT_EQ(to_string(Rc::Etout), "Etout");
+}
+
+TEST(Argparse, ValueAndIntAndFlag) {
+  std::vector<std::string> args{"--mode=job", "--nnodes=16", "--verbose",
+                                "--empty="};
+  EXPECT_EQ(arg_value(args, "--mode="), "job");
+  EXPECT_EQ(arg_int(args, "--nnodes="), 16);
+  EXPECT_FALSE(arg_value(args, "--missing=").has_value());
+  EXPECT_FALSE(arg_int(args, "--mode=").has_value());
+  EXPECT_TRUE(arg_flag(args, "--verbose"));
+  EXPECT_FALSE(arg_flag(args, "--quiet"));
+  EXPECT_FALSE(arg_value(args, "--empty=").has_value());
+}
+
+TEST(Argparse, SplitCsv) {
+  EXPECT_EQ(split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv(""), (std::vector<std::string>{}));
+  EXPECT_EQ(split_csv("one"), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(split_csv("a,,b"), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace lmon

@@ -1,0 +1,186 @@
+// Unit tests for TBON topology, packets and filters.
+#include <gtest/gtest.h>
+
+#include "simkernel/rng.hpp"
+#include "tbon/endpoint.hpp"
+#include "tbon/filter.hpp"
+#include "tbon/packet.hpp"
+#include "tbon/topology.hpp"
+
+namespace lmon::tbon {
+namespace {
+
+std::vector<std::string> hosts(int n, const std::string& prefix = "n") {
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+TEST(Topology, OneDeepShape) {
+  Topology t = Topology::one_deep("fe", 8300, hosts(5));
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.num_backends(), 5);
+  EXPECT_EQ(t.num_comm_nodes(), 0);
+  EXPECT_EQ(t.depth(), 1);
+  EXPECT_EQ(t.children_of(0).size(), 5u);
+  for (int rank = 0; rank < 5; ++rank) {
+    const int idx = t.index_of_backend(rank);
+    ASSERT_GE(idx, 0);
+    EXPECT_EQ(t.nodes()[static_cast<std::size_t>(idx)].parent, 0);
+  }
+}
+
+TEST(Topology, BalancedShape) {
+  Topology t = Topology::balanced("fe", 8300, hosts(3, "c"), hosts(12, "b"),
+                                  2, 8301);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.num_backends(), 12);
+  EXPECT_EQ(t.num_comm_nodes(), 3);
+  EXPECT_GE(t.depth(), 2);
+  // Back ends are distributed over the deepest comm layer.
+  for (const auto& n : t.nodes()) {
+    if (n.is_backend) {
+      EXPECT_FALSE(
+          t.nodes()[static_cast<std::size_t>(n.parent)].is_backend);
+    }
+  }
+}
+
+TEST(Topology, BalancedWithoutCommNodesDegeneratesToOneDeep) {
+  Topology t = Topology::balanced("fe", 8300, {}, hosts(4), 2, 8301);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.depth(), 1);
+  EXPECT_EQ(t.num_comm_nodes(), 0);
+}
+
+TEST(Topology, PackUnpackRoundTrip) {
+  Topology t = Topology::balanced("fe", 8300, hosts(7, "c"), hosts(31, "b"),
+                                  3, 8301);
+  auto back = Topology::unpack(t.pack());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, t);
+  EXPECT_TRUE(back->valid());
+}
+
+TEST(Topology, ValidationCatchesCorruption) {
+  Topology t = Topology::one_deep("fe", 8300, hosts(3));
+  auto packed = t.pack();
+  auto mutated = Topology::unpack(packed);
+  ASSERT_TRUE(mutated.has_value());
+  // An empty topology and self-parent loops are invalid.
+  EXPECT_FALSE(Topology().valid());
+  EXPECT_FALSE(Topology::unpack(Bytes{9, 9}).has_value());
+}
+
+TEST(Topology, SubtreeHasBackend) {
+  Topology t = Topology::balanced("fe", 8300, hosts(2, "c"), hosts(4, "b"),
+                                  2, 8301);
+  EXPECT_TRUE(subtree_has_backend(t, 0));
+  for (int i = 1; i <= t.num_comm_nodes(); ++i) {
+    // In this balanced layout every comm node leads to back ends.
+    EXPECT_TRUE(subtree_has_backend(t, i));
+  }
+}
+
+TEST(Packet, RoundTrip) {
+  Packet p;
+  p.kind = PacketKind::Up;
+  p.stream = 3;
+  p.tag = 99;
+  p.node_index = 17;
+  p.ranks = {0, 5, 9};
+  p.data = Bytes{1, 2, 3};
+  auto back = Packet::decode(p.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, PacketKind::Up);
+  EXPECT_EQ(back->stream, 3u);
+  EXPECT_EQ(back->tag, 99u);
+  EXPECT_EQ(back->node_index, 17);
+  EXPECT_EQ(back->ranks, p.ranks);
+  EXPECT_EQ(back->data, p.data);
+}
+
+TEST(Filter, ConcatFlattensNestedFrames) {
+  const Bytes a = wrap_leaf_payload(Bytes{1});
+  const Bytes b = wrap_leaf_payload(Bytes{2, 2});
+  const Bytes ab = concat_payloads({a, b});
+  const Bytes c = wrap_leaf_payload(Bytes{3, 3, 3});
+  const Bytes all = concat_payloads({ab, c});
+  auto parts = split_concat(all);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], Bytes{1});
+  EXPECT_EQ(parts[1], (Bytes{2, 2}));
+  EXPECT_EQ(parts[2], (Bytes{3, 3, 3}));
+}
+
+TEST(Filter, SumU64Elementwise) {
+  ByteWriter a;
+  a.u64(1);
+  a.u64(10);
+  ByteWriter b;
+  b.u64(2);
+  b.u64(20);
+  const Bytes out = FilterRegistry::instance().apply(
+      kFilterSumU64, {a.bytes(), b.bytes()});
+  ByteReader r(out);
+  EXPECT_EQ(r.u64(), 3u);
+  EXPECT_EQ(r.u64(), 30u);
+}
+
+TEST(Filter, MaxU64Elementwise) {
+  ByteWriter a;
+  a.u64(7);
+  ByteWriter b;
+  b.u64(3);
+  const Bytes out = FilterRegistry::instance().apply(
+      kFilterMaxU64, {a.bytes(), b.bytes()});
+  ByteReader r(out);
+  EXPECT_EQ(r.u64(), 7u);
+}
+
+TEST(Filter, UnknownIdFallsBackToConcat) {
+  const Bytes a = wrap_leaf_payload(Bytes{5});
+  const Bytes out = FilterRegistry::instance().apply(424242, {a});
+  EXPECT_EQ(split_concat(out).size(), 1u);
+}
+
+TEST(Filter, RegistrationAndOverride) {
+  FilterRegistry::instance().register_filter(
+      9000, [](const std::vector<Bytes>&) { return Bytes{42}; });
+  EXPECT_EQ(FilterRegistry::instance().apply(9000, {}), Bytes{42});
+  FilterRegistry::instance().register_filter(
+      9000, [](const std::vector<Bytes>&) { return Bytes{43}; });
+  EXPECT_EQ(FilterRegistry::instance().apply(9000, {}), Bytes{43});
+}
+
+class TopologyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TopologyPropertyTest, RandomBalancedTopologiesAreValid) {
+  sim::Rng rng(GetParam() * 51 + 2);
+  const int ncomm = static_cast<int>(rng.next_below(10));
+  const int nbe = 1 + static_cast<int>(rng.next_below(60));
+  const int fanout = 1 + static_cast<int>(rng.next_below(8));
+  Topology t = Topology::balanced("fe", 8300, hosts(ncomm, "c"),
+                                  hosts(nbe, "b"), fanout, 8301);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.num_backends(), nbe);
+  EXPECT_EQ(t.num_comm_nodes(), ncomm);
+  auto back = Topology::unpack(t.pack());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, t);
+  // Every backend rank is findable and unique.
+  std::set<int> indices;
+  for (int r = 0; r < nbe; ++r) {
+    const int idx = t.index_of_backend(r);
+    ASSERT_GE(idx, 0);
+    EXPECT_TRUE(indices.insert(idx).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace lmon::tbon
