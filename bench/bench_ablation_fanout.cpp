@@ -1,21 +1,32 @@
 // bench_ablation_fanout - ablation of DESIGN.md decision #1: the tree
-// fan-out used for RM launch and the daemon bootstrap fabric. Sweeps the
-// degree at fixed scale; launchAndSpawn time is the metric.
+// shape used for RM launch and the daemon bootstrap fabric. Sweeps the
+// k-ary degree at fixed scale and, since the comm::Topology layer made the
+// shape pluggable, also compares tree families; launchAndSpawn time is the
+// metric.
+//
+// Usage: bench_ablation_fanout [--topo=kary|binomial|flat|all]
+//   kary (default sweep): degree ablation, k in {1..128}
+//   all: k-ary vs binomial vs flat at representative degrees
 //
 // Expected shape: very low fan-outs suffer deep trees (latency-dominated);
 // very high fan-outs serialize at each parent (fan-out-dominated); the
 // minimum sits in between - the reason SLURM-like RMs default to a few
-// dozen.
+// dozen. The binomial tree tracks the k-ary sweet spot without tuning (its
+// degree falls off with depth), and flat is the serialization worst case.
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
+#include "common/argparse.hpp"
+#include "comm/topology.hpp"
 #include "core/fe_api.hpp"
 
 namespace lmon {
 namespace {
 
-double run_once(int ndaemons, std::uint32_t fanout) {
+double run_once(int ndaemons, comm::TopologySpec topo) {
   bench::TestCluster tc(ndaemons);
   bool done = false;
   Status status;
@@ -28,7 +39,7 @@ double run_once(int ndaemons, std::uint32_t fanout) {
     auto sid = fe->create_session();
     core::FrontEnd::SpawnConfig cfg;
     cfg.daemon_exe = "hello_be";
-    cfg.fabric_fanout = fanout;
+    cfg.topology = topo;
     rm::JobSpec job{ndaemons, 8, "mpi_app", {}};
     started = self.sim().now();
     fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
@@ -42,13 +53,17 @@ double run_once(int ndaemons, std::uint32_t fanout) {
   return sim::to_seconds(finished - started);
 }
 
-}  // namespace
-}  // namespace lmon
+void print_cell(double secs) {
+  if (secs < 0) {
+    std::printf("   FAIL ");
+  } else {
+    std::printf(" %7.3f", secs);
+  }
+}
 
-int main() {
-  using namespace lmon;
+void run_kary_sweep() {
   bench::print_title(
-      "Ablation: launch/fabric tree fan-out (launchAndSpawn seconds)");
+      "Ablation: launch/fabric k-ary fan-out (launchAndSpawn seconds)");
   std::printf("%8s |", "daemons");
   for (std::uint32_t k : {1, 2, 4, 8, 16, 32, 64, 128}) {
     std::printf("  k=%-5u", k);
@@ -57,12 +72,7 @@ int main() {
   for (int n : {64, 256, 512}) {
     std::printf("%8d |", n);
     for (std::uint32_t k : {1, 2, 4, 8, 16, 32, 64, 128}) {
-      const double secs = run_once(n, k);
-      if (secs < 0) {
-        std::printf("   FAIL ");
-      } else {
-        std::printf(" %7.3f", secs);
-      }
+      print_cell(run_once(n, {comm::TopologyKind::KAry, k}));
     }
     std::printf("\n");
   }
@@ -70,5 +80,56 @@ int main() {
       "\nshape: deep trees (k=1,2) pay per-level latency; flat trees "
       "(k>=64) serialize at the root;\nthe sweet spot sits at moderate "
       "degree, which is why the RM defaults to k=32.\n");
+}
+
+void run_shape_sweep(const std::vector<comm::TopologySpec>& shapes) {
+  bench::print_title(
+      "Ablation: fabric tree family (launchAndSpawn seconds)");
+  std::printf("%8s |", "daemons");
+  for (const auto& s : shapes) {
+    std::printf(" %11s", s.to_string().c_str());
+  }
+  std::printf("\n");
+  for (int n : {64, 256, 512}) {
+    std::printf("%8d |", n);
+    for (const auto& s : shapes) {
+      std::printf("    ");
+      print_cell(run_once(n, s));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape: binomial needs no degree tuning (its fan-out falls off "
+      "with depth) and tracks the tuned\nk-ary optimum; flat is the "
+      "1-deep worst case that serializes every send at the root.\n");
+}
+
+}  // namespace
+}  // namespace lmon
+
+int main(int argc, char** argv) {
+  using namespace lmon;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string topo = arg_value(args, "--topo=").value_or("kary");
+
+  if (topo == "kary") {
+    run_kary_sweep();
+    return 0;
+  }
+  if (topo == "all") {
+    run_shape_sweep({{comm::TopologyKind::KAry, 2},
+                     {comm::TopologyKind::KAry, 32},
+                     {comm::TopologyKind::Binomial, 0},
+                     {comm::TopologyKind::Flat, 0}});
+    return 0;
+  }
+  const auto spec = comm::TopologySpec::parse(topo);
+  if (!spec) {
+    std::fprintf(stderr,
+                 "usage: bench_ablation_fanout "
+                 "[--topo=kary|binomial|flat|kary:K|all]\n");
+    return 2;
+  }
+  run_shape_sweep({*spec});
   return 0;
 }

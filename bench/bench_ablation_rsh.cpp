@@ -25,9 +25,9 @@ class RshBenchFe : public cluster::Program {
   explicit RshBenchFe(Go go) : go_(std::move(go)) {}
   [[nodiscard]] std::string_view name() const override { return "rsh_fe"; }
   void on_start(cluster::Process& self) override { go_(self); }
-  void on_message(cluster::Process& self, const cluster::ChannelPtr&,
+  void on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
                   cluster::Message msg) override {
-    (void)rsh::TreeRshLauncher::handle_report(self, msg);
+    (void)rsh::TreeRshLauncher::handle_report(self, ch, msg);
   }
 
  private:

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# check.sh - the repo's CI gate: configure + build (warnings are errors) +
+# full ctest. Run from anywhere; builds out-of-source into build-check/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-check}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DLMON_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -146,6 +146,19 @@ int Process::live_children() const {
   return live;
 }
 
+void Process::reap_pdeath_children() {
+  // Snapshot: a child's exit may recursively reap and must not invalidate
+  // this iteration.
+  const std::vector<Pid> kids = children_;
+  for (Pid child : kids) {
+    Process* cp = machine_.find_process(child);
+    if (cp != nullptr && cp->state() != ProcState::Exited &&
+        cp->options().die_with_parent) {
+      cp->exit(9);
+    }
+  }
+}
+
 void Process::exit(int code) {
   if (state_ == ProcState::Exited) return;
   sim::LogLine(sim::LogLevel::Debug, sim().now(), program_->name())
@@ -167,6 +180,8 @@ void Process::exit(int code) {
   for (auto& [id, ch] : channels_) open_channels.push_back(ch);
   channels_.clear();
   for (auto& ch : open_channels) ch->close(pid_);
+
+  reap_pdeath_children();
 
   // Our own trace sessions detach, resuming any stopped targets.
   for (auto& session : trace_sessions_) session->detach();

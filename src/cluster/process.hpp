@@ -103,6 +103,10 @@ struct SpawnOptions {
   std::vector<std::string> args;          ///< argv-style parameters
   double image_mb = 4.0;                  ///< drives exec + DPCL-parse costs
   bool start_traced = false;              ///< spawn under the caller's trace
+  /// PR_SET_PDEATHSIG-style: the child is killed (exit 9) when its parent
+  /// exits. Launch agents use this so ad hoc-launched daemons cannot outlive
+  /// the session that started them, even on a hard kill.
+  bool die_with_parent = false;
   /// Invoked in the *parent's* context once the child has finished exec and
   /// its on_start ran (i.e. once the fork/exec cost has been paid). This is
   /// how launch substrates account spawn completion without polling.
@@ -227,6 +231,7 @@ class Process {
   friend class TraceSession;
 
   void set_state(ProcState s) noexcept { state_ = s; }
+  void reap_pdeath_children();
   void deliver(std::function<void()> fn);  // respects Stopped/Exited
   void flush_deferred();
   void attach_tracer(TraceSession* session);

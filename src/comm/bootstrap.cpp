@@ -1,0 +1,73 @@
+#include "comm/bootstrap.hpp"
+
+#include "common/argparse.hpp"
+
+namespace lmon::comm {
+
+std::vector<std::string> bootstrap_args(const BootstrapSpec& spec,
+                                        std::optional<std::uint32_t> rank) {
+  std::vector<std::string> args;
+  if (rank) args.push_back("--lmon-rank=" + std::to_string(*rank));
+  args.push_back("--lmon-size=" + std::to_string(spec.size));
+  args.push_back("--lmon-topo=" + spec.topology.to_string());
+  args.push_back("--lmon-port=" + std::to_string(spec.port));
+  args.push_back("--lmon-session=" + spec.session);
+  if (!spec.fe_host.empty()) {
+    args.push_back("--lmon-fe-host=" + spec.fe_host);
+    args.push_back("--lmon-fe-port=" + std::to_string(spec.fe_port));
+  }
+  args.push_back("--lmon-hosts=" + join_csv(spec.hosts));
+  return args;
+}
+
+std::optional<BootstrapParams> parse_bootstrap(
+    const std::vector<std::string>& args, std::string_view self_host) {
+  BootstrapParams p;
+  const auto size = arg_int(args, "--lmon-size=");
+  const auto port = arg_int(args, "--lmon-port=");
+  const auto hosts = arg_value(args, "--lmon-hosts=");
+  if (!size || !port || !hosts) return std::nullopt;
+  p.size = static_cast<std::uint32_t>(*size);
+  p.port = static_cast<cluster::Port>(*port);
+  p.hosts = split_csv(*hosts);
+  p.session = arg_value(args, "--lmon-session=").value_or("s0");
+  p.fe_host = arg_value(args, "--lmon-fe-host=").value_or("");
+  p.fe_port = static_cast<cluster::Port>(
+      arg_int(args, "--lmon-fe-port=").value_or(0));
+
+  // Tree shape: the modern "--lmon-topo=kind:arity" form, with the
+  // pre-topology "--lmon-fanout=K" spelling still accepted (k-ary).
+  if (const auto topo = arg_value(args, "--lmon-topo=")) {
+    auto spec = TopologySpec::parse(*topo);
+    if (!spec) return std::nullopt;
+    p.topology = *spec;
+  } else {
+    p.topology.kind = TopologyKind::KAry;
+    p.topology.arity =
+        static_cast<std::uint32_t>(arg_int(args, "--lmon-fanout=").value_or(2));
+  }
+  if (p.topology.arity == 0) p.topology.arity = 1;
+
+  if (const auto rank = arg_int(args, "--lmon-rank=")) {
+    p.rank = static_cast<std::uint32_t>(*rank);
+  } else {
+    // Broadcast-style launch: every daemon got the same argv; recover the
+    // rank from this host's position in the rank-ordered host list.
+    if (self_host.empty()) return std::nullopt;
+    std::size_t index = p.hosts.size();
+    for (std::size_t i = 0; i < p.hosts.size(); ++i) {
+      if (p.hosts[i] == self_host) {
+        index = i;
+        break;
+      }
+    }
+    if (index == p.hosts.size()) return std::nullopt;
+    p.rank = static_cast<std::uint32_t>(index);
+  }
+
+  if (p.size == 0 || p.rank >= p.size) return std::nullopt;
+  if (p.hosts.size() != p.size) return std::nullopt;
+  return p;
+}
+
+}  // namespace lmon::comm

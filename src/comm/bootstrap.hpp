@@ -1,0 +1,65 @@
+// bootstrap.hpp - the daemon bootstrap payload and its argv wire form.
+//
+// Every launch strategy (serial rsh, tree rsh, RM bulk launch) ultimately
+// has to hand each tool daemon the same bootstrap information: its place in
+// the session (rank/size), the fabric tree shape, the per-session port, the
+// front-end endpoint for the master's handshake, and the rank-ordered host
+// list. The paper's RM integration passes it the way SLURM does - on the
+// daemon's argv. This header is the one place that writes and parses that
+// argv, so strategies cannot drift apart.
+//
+// Rank is optional on the wire: bulk launchers that spawn each daemon
+// individually pass --lmon-rank explicitly, while broadcast-style launchers
+// (the tree-rsh agent hands every daemon an identical command line) omit it
+// and the daemon derives its rank from its host's position in the list.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/types.hpp"
+#include "comm/topology.hpp"
+
+namespace lmon::comm {
+
+/// Session-wide bootstrap parameters (everything but the per-daemon rank).
+struct BootstrapSpec {
+  std::uint32_t size = 1;
+  TopologySpec topology;
+  cluster::Port port = 0;       ///< per-session fabric listen port
+  std::string session;          ///< session cookie
+  std::string fe_host;          ///< tool front end (master daemon connects)
+  cluster::Port fe_port = 0;
+  std::vector<std::string> hosts;  ///< daemon hosts in rank order
+};
+
+/// What a daemon recovers from its argv.
+struct BootstrapParams {
+  std::uint32_t rank = 0;
+  std::uint32_t size = 1;
+  TopologySpec topology;
+  cluster::Port port = 0;
+  std::string session;
+  std::string fe_host;
+  cluster::Port fe_port = 0;
+  std::vector<std::string> hosts;
+};
+
+/// Emits the "--lmon-*" argv for one daemon. Pass nullopt as `rank` for
+/// launchers that cannot vary the command line per daemon; the receiving
+/// side then resolves the rank from the host list.
+[[nodiscard]] std::vector<std::string> bootstrap_args(
+    const BootstrapSpec& spec, std::optional<std::uint32_t> rank);
+
+/// Parses a daemon argv. `self_host` backs the rank-from-host fallback when
+/// --lmon-rank is absent; pass the daemon's own hostname (or empty to
+/// require an explicit rank). Returns nullopt when required parameters are
+/// missing or inconsistent - which is what a daemon started outside
+/// LaunchMON sees.
+[[nodiscard]] std::optional<BootstrapParams> parse_bootstrap(
+    const std::vector<std::string>& args, std::string_view self_host = {});
+
+}  // namespace lmon::comm

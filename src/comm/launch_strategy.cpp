@@ -1,0 +1,42 @@
+#include "comm/launch_strategy.hpp"
+
+#include "rm/launcher.hpp"
+#include "rsh/launchers.hpp"
+
+namespace lmon::comm {
+
+std::string_view to_string(LaunchStrategyKind kind) {
+  switch (kind) {
+    case LaunchStrategyKind::RmBulk:
+      return "rm-bulk";
+    case LaunchStrategyKind::SerialRsh:
+      return "serial-rsh";
+    case LaunchStrategyKind::TreeRsh:
+      return "tree-rsh";
+  }
+  return "rm-bulk";
+}
+
+std::optional<LaunchStrategyKind> launch_strategy_from_string(
+    std::string_view name) {
+  if (name == "rm-bulk" || name == "rm") return LaunchStrategyKind::RmBulk;
+  if (name == "serial-rsh" || name == "serial") {
+    return LaunchStrategyKind::SerialRsh;
+  }
+  if (name == "tree-rsh" || name == "tree") return LaunchStrategyKind::TreeRsh;
+  return std::nullopt;
+}
+
+std::unique_ptr<LaunchStrategy> make_launch_strategy(LaunchStrategyKind kind) {
+  switch (kind) {
+    case LaunchStrategyKind::RmBulk:
+      return std::make_unique<rm::RmBulkStrategy>();
+    case LaunchStrategyKind::SerialRsh:
+      return std::make_unique<rsh::SerialRshStrategy>();
+    case LaunchStrategyKind::TreeRsh:
+      return std::make_unique<rsh::TreeRshStrategy>();
+  }
+  return std::make_unique<rm::RmBulkStrategy>();
+}
+
+}  // namespace lmon::comm

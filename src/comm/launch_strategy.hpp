@@ -1,0 +1,103 @@
+// launch_strategy.hpp - pluggable daemon bootstrap strategies (paper §2/§4).
+//
+// The paper contrasts three ways of getting tool daemons onto the nodes of
+// a job:
+//
+//   serial-rsh  the tool front end rsh-spawns every daemon sequentially
+//               (the baseline "most implementations" use);
+//   tree-rsh    daemons the front end launches recursively spawn children
+//               ("others employ a tree-based protocol");
+//   rm-bulk     LaunchMON's contribution: delegate to the resource
+//               manager's scalable native launch.
+//
+// LaunchStrategy abstracts that choice behind one interface so the engine
+// (and benches) can select a strategy per session option instead of
+// hard-coding one path per layer. Every strategy delivers the identical
+// bootstrap argv (comm/bootstrap.hpp) to the daemons, so a daemon cannot
+// tell - and the fabric does not care - how it was launched.
+//
+// Implementations live with their transports: rsh::SerialRshStrategy and
+// rsh::TreeRshStrategy in src/rsh/launchers.*, rm::RmBulkStrategy in
+// src/rm/launcher.*. make_launch_strategy() is the one factory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/process.hpp"
+#include "comm/bootstrap.hpp"
+#include "common/status.hpp"
+#include "rm/types.hpp"
+
+namespace lmon::comm {
+
+enum class LaunchStrategyKind : std::uint8_t {
+  RmBulk = 0,
+  SerialRsh = 1,
+  TreeRsh = 2,
+};
+
+[[nodiscard]] std::string_view to_string(LaunchStrategyKind kind);
+[[nodiscard]] std::optional<LaunchStrategyKind> launch_strategy_from_string(
+    std::string_view name);
+
+/// One daemon-launch operation. The bootstrap spec names the hosts (rank
+/// order) and the fabric shape; the remaining fields parameterize the
+/// transport.
+struct LaunchRequest {
+  std::string daemon_exe;
+  std::vector<std::string> daemon_args;  ///< tool args (non-bootstrap)
+  BootstrapSpec bootstrap;
+
+  /// Tree degree of the launch protocol itself (tree-rsh agent fan-out and
+  /// the RM's node-daemon forwarding); independent of the fabric topology.
+  std::uint32_t launch_fanout = 0;
+
+  // --- rm-bulk only -------------------------------------------------------
+  rm::JobId jobid = rm::kInvalidJob;  ///< co-locate with this job, or...
+  std::uint32_t alloc_nodes = 0;      ///< ...allocate fresh nodes (MW case)
+  bool middleware_partition = false;
+  cluster::Port report_port = 0;  ///< where the bulk launcher reports back
+};
+
+struct LaunchResult {
+  Status status;
+  /// One entry per started daemon (host/executable/pid/rank).
+  std::vector<rm::TaskDesc> daemons;
+  /// Job the daemons were co-located with (rm-bulk; kInvalidJob otherwise).
+  rm::JobId jobid = rm::kInvalidJob;
+};
+
+class LaunchStrategy {
+ public:
+  using Callback = std::function<void(LaunchResult)>;
+
+  virtual ~LaunchStrategy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual LaunchStrategyKind kind() const = 0;
+
+  /// Starts the daemons. One launch per strategy instance; the instance
+  /// keeps whatever state (rsh sessions, report channels) holds the
+  /// daemons alive, so it must outlive the session.
+  virtual void launch(cluster::Process& self, LaunchRequest req,
+                      Callback cb) = 0;
+
+  /// Tears the launched daemons down (drops keepalive sessions or asks the
+  /// bulk launcher to kill them). `cb` may fire immediately for strategies
+  /// with synchronous teardown.
+  virtual void teardown(cluster::Process& self,
+                        std::function<void(Status)> cb) = 0;
+};
+
+/// Builds a strategy instance. Defined in launch_strategy.cpp, which is the
+/// only comm file that links against the rsh and rm transports.
+[[nodiscard]] std::unique_ptr<LaunchStrategy> make_launch_strategy(
+    LaunchStrategyKind kind);
+
+}  // namespace lmon::comm

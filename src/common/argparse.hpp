@@ -13,7 +13,9 @@
 
 namespace lmon {
 
-/// Returns the value of "--key=value" for key "--key=", or nullopt.
+/// Returns the value of "--key=value" for key "--key=", or nullopt. A bare
+/// "--key=" counts as absent (callers treat empty as unset); repeatable
+/// pass-through options keep empty values via arg_list below.
 inline std::optional<std::string> arg_value(
     const std::vector<std::string>& args, std::string_view key_eq) {
   for (const auto& a : args) {
@@ -36,6 +38,22 @@ inline std::optional<std::int64_t> arg_int(
   }
 }
 
+/// Collects every occurrence of a repeatable "--key=value" option, in
+/// order (e.g. arg_list(args, "--daemon-arg=") for pass-through argv).
+/// Empty values are kept: "--daemon-arg=" forwards "" and preserves the
+/// daemon's argv positions.
+inline std::vector<std::string> arg_list(const std::vector<std::string>& args,
+                                         std::string_view key_eq) {
+  std::vector<std::string> out;
+  for (const auto& a : args) {
+    if (a.size() >= key_eq.size() &&
+        std::string_view(a).substr(0, key_eq.size()) == key_eq) {
+      out.push_back(a.substr(key_eq.size()));
+    }
+  }
+  return out;
+}
+
 /// True when the exact flag (e.g. "--verbose") is present.
 inline bool arg_flag(const std::vector<std::string>& args,
                      std::string_view flag) {
@@ -43,6 +61,16 @@ inline bool arg_flag(const std::vector<std::string>& args,
     if (a == flag) return true;
   }
   return false;
+}
+
+/// Joins strings into a comma-separated list (inverse of split_csv).
+inline std::string join_csv(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& s : parts) {
+    if (!out.empty()) out += ',';
+    out += s;
+  }
+  return out;
 }
 
 /// Splits a comma-separated list ("host1,host2,host3").

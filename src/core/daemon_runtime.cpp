@@ -18,14 +18,15 @@ DaemonRuntime::~DaemonRuntime() = default;
 
 Status DaemonRuntime::init(Callbacks callbacks) {
   cbs_ = std::move(callbacks);
-  auto params = Iccl::params_from_args(self_.args());
+  // The hostname backs the rank-from-host fallback used by launch
+  // strategies that hand every daemon an identical argv (tree-rsh).
+  auto params = Iccl::params_from_args(self_.args(), self_.node().hostname());
   if (!params) {
     return Status(Rc::Einval,
                   "daemon not launched by LaunchMON (missing --lmon-* argv)");
   }
-  fe_host_ = arg_value(self_.args(), "--lmon-fe-host=").value_or("");
-  fe_port_ = static_cast<cluster::Port>(
-      arg_int(self_.args(), "--lmon-fe-port=").value_or(0));
+  fe_host_ = params->fe_host;
+  fe_port_ = params->fe_port;
 
   iccl_ = std::make_unique<Iccl>(self_, std::move(*params));
   iccl_->set_bcast_handler(

@@ -6,6 +6,7 @@
 #include "common/argparse.hpp"
 #include "core/payloads.hpp"
 #include "rm/apai.hpp"
+#include "rsh/launchers.hpp"
 #include "simkernel/log.hpp"
 
 namespace lmon::core {
@@ -44,6 +45,26 @@ void EngineProgram::on_start(cluster::Process& self) {
       static_cast<cluster::Port>(arg_int(args, "--fe-port=").value_or(0));
   attach_mode_ = arg_value(args, "--op=").value_or("launch") == "attach";
 
+  // Session options: which strategy bootstraps the daemons and what shape
+  // their fabric tree takes.
+  strategy_kind_ =
+      comm::launch_strategy_from_string(
+          arg_value(args, "--launch-strategy=").value_or("rm-bulk"))
+          .value_or(comm::LaunchStrategyKind::RmBulk);
+  fabric_topo_ = comm::TopologySpec::parse(
+                     arg_value(args, "--fabric-topo=").value_or(""))
+                     .value_or(comm::TopologySpec{
+                         comm::TopologyKind::KAry,
+                         static_cast<std::uint32_t>(
+                             arg_int(args, "--fabric-fanout=").value_or(2))});
+  if (fabric_topo_.arity == 0) fabric_topo_.arity = 2;
+  // The launch protocol's fan-out is independent of the fabric family:
+  // binomial/flat fabrics still forward the bulk launch (and tree-rsh
+  // agents) at the configured degree, not at the spec's unused arity.
+  launch_fanout_ = static_cast<std::uint32_t>(
+      arg_int(args, "--fabric-fanout=").value_or(fabric_topo_.arity));
+  if (launch_fanout_ == 0) launch_fanout_ = 2;
+
   adapter_ = adapter_factory_ ? adapter_factory_()
                               : std::make_unique<SlurmAdapter>();
 
@@ -67,7 +88,7 @@ void EngineProgram::on_start(cluster::Process& self) {
                        },
                        [this, &self](const cluster::ChannelPtr&) {
                          // FE died: clean up the session.
-                         adapter_->kill_daemons(nullptr);
+                         teardown_daemons(self);
                          adapter_->detach_job();
                          self.exit(0);
                        });
@@ -108,12 +129,7 @@ void EngineProgram::start_operation(cluster::Process& self) {
   spec.tasks_per_node =
       static_cast<int>(arg_int(self.args(), "--tpn=").value_or(1));
   spec.executable = arg_value(self.args(), "--exe=").value_or("mpi_app");
-  for (const auto& a : self.args()) {
-    constexpr std::string_view kAppArg = "--app-arg=";
-    if (a.rfind(kAppArg, 0) == 0) {
-      spec.app_args.push_back(a.substr(kAppArg.size()));
-    }
-  }
+  spec.app_args = arg_list(self.args(), "--app-arg=");
   self.machine().mark("e2_rm_launcher");
   auto res = adapter_->launch_job(self, spec, handler);
   if (!res.is_ok()) {
@@ -198,27 +214,25 @@ void EngineProgram::fetch_and_ship_proctable(cluster::Process& self) {
 void EngineProgram::co_spawn_daemons(cluster::Process& self) {
   phase_ = Phase::Spawning;
   const auto& args = self.args();
-  RmAdapter::CoSpawnConfig cfg;
-  cfg.jobid = jobid_;
-  cfg.daemon_exe = arg_value(args, "--daemon-exe=").value_or("");
-  for (const auto& a : args) {
-    constexpr std::string_view kDaemonArg = "--daemon-arg=";
-    if (a.rfind(kDaemonArg, 0) == 0) {
-      cfg.daemon_args.push_back(a.substr(kDaemonArg.size()));
-    }
-  }
-  cfg.fabric.port = static_cast<cluster::Port>(
+
+  comm::LaunchRequest req;
+  req.daemon_exe = arg_value(args, "--daemon-exe=").value_or("");
+  req.daemon_args = arg_list(args, "--daemon-arg=");
+  req.bootstrap.topology = fabric_topo_;
+  req.bootstrap.port = static_cast<cluster::Port>(
       arg_int(args, "--fabric-port=").value_or(cluster::kToolFabricBasePort));
-  cfg.fabric.fanout =
-      static_cast<std::uint32_t>(arg_int(args, "--fabric-fanout=").value_or(2));
-  cfg.fabric.fe_host = fe_host_;
-  cfg.fabric.fe_port = fe_port_;
-  cfg.fabric.session = session_;
-  cfg.report_host = self.node().hostname();
-  cfg.report_port = static_cast<cluster::Port>(
+  req.bootstrap.session = session_;
+  req.bootstrap.fe_host = fe_host_;
+  req.bootstrap.fe_port = fe_port_;
+  req.bootstrap.hosts = proctable_.hosts();
+  req.bootstrap.size =
+      static_cast<std::uint32_t>(req.bootstrap.hosts.size());
+  req.launch_fanout = launch_fanout_;
+  req.jobid = jobid_;
+  req.report_port = static_cast<cluster::Port>(
       arg_int(args, "--report-port=").value_or(0));
 
-  if (cfg.daemon_exe.empty()) {
+  if (req.daemon_exe.empty()) {
     // Pure job-control session (no daemons requested): job is usable now.
     phase_ = Phase::Running;
     adapter_->continue_job();
@@ -229,22 +243,35 @@ void EngineProgram::co_spawn_daemons(cluster::Process& self) {
     return;
   }
 
+  // The strategy is a session option: the RM's scalable bulk launch by
+  // default, with the paper's §2 ad hoc baselines available for ablation.
+  strategy_ = comm::make_launch_strategy(strategy_kind_);
   self.machine().mark("e5_cospawn_invoked");
-  Status st = adapter_->co_spawn(
-      self, cfg, [this, &self](rm::LaunchDone done) {
-        self.machine().mark("e6_daemons_spawned");
-        jobid_ = done.jobid;
-        payload::DaemonsSpawned spawned;
-        spawned.ok = done.ok;
-        spawned.error = done.error;
-        spawned.daemon_table = Rpdtab(done.daemons).pack();
-        send_fe(self, LmonpMessage::fe_engine(FeEngineMsg::DaemonsSpawned,
-                                              spawned.encode()));
-        phase_ = Phase::Running;
-        // Release the job: the tool daemons are in place.
-        adapter_->continue_job();
-      });
-  if (!st.is_ok()) send_error(self, "co-spawn", st.message());
+  strategy_->launch(self, std::move(req),
+                    [this, &self](comm::LaunchResult res) {
+                      on_daemons_launched(self, std::move(res));
+                    });
+}
+
+void EngineProgram::on_daemons_launched(cluster::Process& self,
+                                        comm::LaunchResult res) {
+  self.machine().mark("e6_daemons_spawned");
+  if (res.jobid != rm::kInvalidJob) jobid_ = res.jobid;
+  payload::DaemonsSpawned spawned;
+  spawned.ok = res.status.is_ok();
+  spawned.error = res.status.message();
+  spawned.daemon_table = Rpdtab(std::move(res.daemons)).pack();
+  send_fe(self, LmonpMessage::fe_engine(FeEngineMsg::DaemonsSpawned,
+                                        spawned.encode()));
+  phase_ = Phase::Running;
+  // Release the job: the tool daemons are in place.
+  adapter_->continue_job();
+}
+
+void EngineProgram::teardown_daemons(cluster::Process& self) {
+  if (strategy_ != nullptr) strategy_->teardown(self, nullptr);
+  // MW sessions are always RM-bulk via the adapter.
+  adapter_->kill_daemons(nullptr);
 }
 
 void EngineProgram::handle_job_exited(cluster::Process& self, int code) {
@@ -267,12 +294,12 @@ void EngineProgram::on_fe_message(cluster::Process& self,
   if (!msg || msg->msg_class != MsgClass::FeEngine) return;
   switch (static_cast<FeEngineMsg>(msg->type)) {
     case FeEngineMsg::DetachReq:
-      adapter_->kill_daemons(nullptr);
+      teardown_daemons(self);
       adapter_->detach_job();
       self.post(sim::ms(1), [&self] { self.exit(0); });
       break;
     case FeEngineMsg::KillReq:
-      adapter_->kill_daemons(nullptr);
+      teardown_daemons(self);
       adapter_->kill_tasks(self, jobid_, proctable_.hosts());
       adapter_->kill_job();
       // Give the kill requests time to leave before tearing down.
@@ -301,6 +328,7 @@ void EngineProgram::handle_launch_mw(cluster::Process& self,
   cfg.daemon_args = req->daemon_args;
   cfg.fabric.port = req->fabric_port;
   cfg.fabric.fanout = req->fabric_fanout;
+  cfg.fabric.topo_kind = req->fabric_topo;
   cfg.fabric.fe_host = fe_host_;
   cfg.fabric.fe_port = fe_port_;
   cfg.fabric.session = session_ + "-mw" + std::to_string(mw_sessions_);
@@ -320,6 +348,15 @@ void EngineProgram::handle_launch_mw(cluster::Process& self,
                                           spawned.encode()));
   });
   if (!st.is_ok()) send_error(self, "mw-spawn", st.message());
+}
+
+void EngineProgram::on_message(cluster::Process& self,
+                               const cluster::ChannelPtr& ch,
+                               cluster::Message msg) {
+  // Tree-rsh launches report back over plain connections; hand those acks
+  // to the launcher. Everything else the engine speaks flows over channels
+  // with dedicated handlers.
+  (void)rsh::TreeRshLauncher::handle_report(self, ch, msg);
 }
 
 void EngineProgram::on_child_exit(cluster::Process& self, cluster::Pid child,

@@ -17,7 +17,8 @@
 //   launch: --nnodes=N --tpn=T --exe=NAME [--app-arg=...]
 //   attach: --target-pid=P
 //   daemons: --daemon-exe=NAME [--daemon-arg=...] --fabric-port=P
-//            --fabric-fanout=K --report-port=P
+//            --fabric-topo=kary:K|binomial|flat --report-port=P
+//            --launch-strategy=rm-bulk|serial-rsh|tree-rsh
 #pragma once
 
 #include <deque>
@@ -27,6 +28,7 @@
 
 #include "cluster/process.hpp"
 #include "cluster/tracing.hpp"
+#include "comm/launch_strategy.hpp"
 #include "core/lmonp.hpp"
 #include "core/rm_adapter.hpp"
 #include "core/rpdtab.hpp"
@@ -77,6 +79,8 @@ class EngineProgram : public cluster::Program {
     return "lmon_engine";
   }
   void on_start(cluster::Process& self) override;
+  void on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
+                  cluster::Message msg) override;
   void on_child_exit(cluster::Process& self, cluster::Pid child,
                      int exit_code) override;
 
@@ -99,6 +103,10 @@ class EngineProgram : public cluster::Program {
   void start_operation(cluster::Process& self);
   void fetch_and_ship_proctable(cluster::Process& self);
   void co_spawn_daemons(cluster::Process& self);
+  void on_daemons_launched(cluster::Process& self, comm::LaunchResult res);
+  /// Tears down BE daemons (whatever strategy launched them) and any MW
+  /// sessions the adapter co-spawned.
+  void teardown_daemons(cluster::Process& self);
   void on_fe_message(cluster::Process& self, const cluster::ChannelPtr& ch,
                      cluster::Message m);
   void handle_launch_mw(cluster::Process& self, const Bytes& payload);
@@ -108,6 +116,11 @@ class EngineProgram : public cluster::Program {
 
   AdapterFactory adapter_factory_;
   std::unique_ptr<RmAdapter> adapter_;
+  /// Selected by --launch-strategy; owns the BE daemons' bootstrap.
+  std::unique_ptr<comm::LaunchStrategy> strategy_;
+  comm::LaunchStrategyKind strategy_kind_ = comm::LaunchStrategyKind::RmBulk;
+  comm::TopologySpec fabric_topo_;
+  std::uint32_t launch_fanout_ = 2;  ///< launch-protocol tree degree
   EventManager event_manager_;
   EventDecoder decoder_;
   Phase phase_ = Phase::Init;

@@ -124,13 +124,16 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
   for (const auto& a : s->cfg.daemon_args) {
     opts.args.push_back("--daemon-arg=" + a);
   }
-  const std::uint32_t fanout =
-      s->cfg.fabric_fanout != 0
-          ? s->cfg.fabric_fanout
-          : static_cast<std::uint32_t>(
-                self_.machine().costs().rm_launch_fanout);
+  comm::TopologySpec topo = s->cfg.topology;
+  if (topo.arity == 0) {
+    topo.arity = static_cast<std::uint32_t>(
+        self_.machine().costs().rm_launch_fanout);
+  }
   opts.args.push_back("--fabric-port=" + std::to_string(s->fabric_port));
-  opts.args.push_back("--fabric-fanout=" + std::to_string(fanout));
+  opts.args.push_back("--fabric-topo=" + topo.to_string());
+  opts.args.push_back("--fabric-fanout=" + std::to_string(topo.arity));
+  opts.args.push_back("--launch-strategy=" +
+                      std::string(comm::to_string(s->cfg.launch_strategy)));
   opts.args.push_back("--report-port=" + std::to_string(s->report_port));
 
   auto res = self_.spawn_child(std::make_unique<EngineProgram>(),
@@ -394,7 +397,11 @@ void FrontEnd::launch_mw_daemons(int sid, std::uint32_t nnodes,
   req.daemon_args = s->mw_cfg.daemon_args;
   req.fabric_port = s->mw_fabric_port;
   req.fabric_fanout =
-      s->mw_cfg.fabric_fanout != 0 ? s->mw_cfg.fabric_fanout : 2;
+      s->mw_cfg.topology.arity != 0
+          ? s->mw_cfg.topology.arity
+          : static_cast<std::uint32_t>(
+                self_.machine().costs().rm_launch_fanout);
+  req.fabric_topo = s->mw_cfg.topology.kind;
   self_.send(s->engine_ch,
              LmonpMessage::fe_engine(FeEngineMsg::LaunchMwReq, req.encode())
                  .encode());

@@ -28,6 +28,8 @@
 #include <string>
 
 #include "cluster/process.hpp"
+#include "comm/launch_strategy.hpp"
+#include "comm/topology.hpp"
 #include "core/lmonp.hpp"
 #include "core/rpdtab.hpp"
 #include "rm/types.hpp"
@@ -40,8 +42,13 @@ class FrontEnd {
   struct SpawnConfig {
     std::string daemon_exe;
     std::vector<std::string> daemon_args;
-    /// Bootstrap-fabric tree degree; 0 uses the cost model's RM fan-out.
-    std::uint32_t fabric_fanout = 0;
+    /// Bootstrap-fabric tree shape. KAry with arity 0 uses the cost
+    /// model's RM fan-out; Binomial/Flat ignore arity.
+    comm::TopologySpec topology{comm::TopologyKind::KAry, 0};
+    /// How the daemons get onto the nodes: the RM's scalable bulk launch
+    /// (default) or one of the paper's §2 ad hoc rsh baselines.
+    comm::LaunchStrategyKind launch_strategy =
+        comm::LaunchStrategyKind::RmBulk;
     /// Tool data piggybacked on the FE->master handshake (paper §3.2:
     /// "enables piggybacking of the tool's data with the LaunchMON front
     /// end's handshaking exchanges").

@@ -4,7 +4,6 @@
 #include <cassert>
 
 #include "cluster/machine.hpp"
-#include "common/argparse.hpp"
 #include "simkernel/log.hpp"
 
 namespace lmon::core {
@@ -57,67 +56,36 @@ std::optional<Frame> decode_frame(const cluster::Message& m) {
 }  // namespace
 
 std::optional<Iccl::Params> Iccl::params_from_args(
-    const std::vector<std::string>& args) {
-  Params p;
-  auto rank = arg_int(args, "--lmon-rank=");
-  auto size = arg_int(args, "--lmon-size=");
-  auto fanout = arg_int(args, "--lmon-fanout=");
-  auto port = arg_int(args, "--lmon-port=");
-  auto session = arg_value(args, "--lmon-session=");
-  auto hosts = arg_value(args, "--lmon-hosts=");
-  if (!rank || !size || !port || !hosts) return std::nullopt;
-  p.rank = static_cast<std::uint32_t>(*rank);
-  p.size = static_cast<std::uint32_t>(*size);
-  p.fanout = static_cast<std::uint32_t>(fanout.value_or(2));
-  if (p.fanout == 0) p.fanout = 1;
-  p.port = static_cast<cluster::Port>(*port);
-  p.session = session.value_or("s0");
-  p.hosts = split_csv(*hosts);
-  if (p.size == 0 || p.rank >= p.size) return std::nullopt;
-  if (p.hosts.size() != p.size) return std::nullopt;
-  return p;
+    const std::vector<std::string>& args, std::string_view self_host) {
+  return comm::parse_bootstrap(args, self_host);
 }
 
 std::vector<std::uint32_t> Iccl::children_of(std::uint32_t rank,
                                              std::uint32_t size,
                                              std::uint32_t fanout) {
-  std::vector<std::uint32_t> out;
-  if (fanout == 0) fanout = 1;
-  for (std::uint32_t i = 1; i <= fanout; ++i) {
-    const std::uint64_t c =
-        static_cast<std::uint64_t>(rank) * fanout + i;
-    if (c < size) out.push_back(static_cast<std::uint32_t>(c));
-  }
-  return out;
+  return comm::Topology({comm::TopologyKind::KAry, fanout}, size)
+      .children_of(rank);
 }
 
 std::optional<std::uint32_t> Iccl::parent_of(std::uint32_t rank,
                                              std::uint32_t fanout) {
-  if (rank == 0) return std::nullopt;
-  if (fanout == 0) fanout = 1;
-  return (rank - 1) / fanout;
+  // Size does not matter for a k-ary parent; rank+1 keeps rank in range.
+  return comm::Topology({comm::TopologyKind::KAry, fanout}, rank + 1)
+      .parent_of(rank);
 }
 
 std::vector<std::uint32_t> Iccl::subtree_of(std::uint32_t rank,
                                             std::uint32_t size,
                                             std::uint32_t fanout) {
-  std::vector<std::uint32_t> out;
-  std::vector<std::uint32_t> frontier{rank};
-  while (!frontier.empty()) {
-    const std::uint32_t r = frontier.back();
-    frontier.pop_back();
-    out.push_back(r);
-    for (std::uint32_t c : children_of(r, size, fanout)) {
-      frontier.push_back(c);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return comm::Topology({comm::TopologyKind::KAry, fanout}, size)
+      .subtree_of(rank);
 }
 
 Iccl::Iccl(cluster::Process& self, Params params)
-    : self_(self), params_(std::move(params)) {
-  expected_children_ = children_of(params_.rank, params_.size, params_.fanout);
+    : self_(self),
+      params_(std::move(params)),
+      topo_(params_.topology, params_.size) {
+  expected_children_ = topo_.children_of(params_.rank);
   // Every node (including leaves) reports SetupUp; we expect one per child.
   setups_pending_ = static_cast<int>(expected_children_.size());
 }
@@ -163,7 +131,7 @@ void Iccl::start(std::function<void(Status)> subtree_ready) {
 }
 
 void Iccl::connect_parent(int attempts_left) {
-  const auto parent_rank = parent_of(params_.rank, params_.fanout);
+  const auto parent_rank = topo_.parent_of(params_.rank);
   assert(parent_rank.has_value());
   const std::string& host = params_.hosts.at(*parent_rank);
   self_.connect(host, params_.port, [this, attempts_left](
@@ -331,7 +299,7 @@ void Iccl::handle_scatter(
   const sim::Time quantum = self_.machine().costs().iccl_msg_handle;
   int k = 0;
   for (std::uint32_t child : expected_children_) {
-    auto sub = subtree_of(child, params_.size, params_.fanout);
+    auto sub = topo_.subtree_of(child);
     std::vector<std::pair<std::uint32_t, Bytes>> part;
     for (auto& [rank, data] : entries) {
       if (std::binary_search(sub.begin(), sub.end(), rank)) {

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "cluster/process.hpp"
+#include "comm/bootstrap.hpp"
+#include "comm/topology.hpp"
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 
@@ -29,18 +31,14 @@ namespace lmon::core {
 
 class Iccl {
  public:
-  struct Params {
-    std::uint32_t rank = 0;
-    std::uint32_t size = 1;
-    std::uint32_t fanout = 2;
-    cluster::Port port = 0;
-    std::string session;
-    std::vector<std::string> hosts;  ///< daemon host list in rank order
-  };
+  /// The fabric bootstrap parameters are exactly what every launch strategy
+  /// passes on the daemon argv; comm/bootstrap.hpp owns the wire form.
+  using Params = comm::BootstrapParams;
 
-  /// Parses the RM-provided "--lmon-*" daemon argv.
+  /// Parses the RM-provided "--lmon-*" daemon argv. `self_host` enables the
+  /// rank-from-host fallback used by broadcast-style launchers.
   static std::optional<Params> params_from_args(
-      const std::vector<std::string>& args);
+      const std::vector<std::string>& args, std::string_view self_host = {});
 
   using BcastHandler = std::function<void(std::uint32_t tag, const Bytes&)>;
   /// Root-side gather completion: contributions sorted by rank.
@@ -81,7 +79,13 @@ class Iccl {
   void set_gather_handler(GatherHandler h) { on_gather_ = std::move(h); }
   void set_scatter_handler(ScatterHandler h) { on_scatter_ = std::move(h); }
 
-  /// Direct children ranks of `rank` in a `fanout`-ary tree of `size`.
+  /// The fabric tree this daemon is wired into.
+  [[nodiscard]] const comm::Topology& topology() const noexcept {
+    return topo_;
+  }
+
+  // Legacy k-ary helpers; thin forwards to comm::Topology (kept because
+  // tools and tests use them as free-standing tree arithmetic).
   static std::vector<std::uint32_t> children_of(std::uint32_t rank,
                                                 std::uint32_t size,
                                                 std::uint32_t fanout);
@@ -124,6 +128,7 @@ class Iccl {
 
   cluster::Process& self_;
   Params params_;
+  comm::Topology topo_;
   cluster::ChannelPtr parent_;
   std::map<std::uint32_t, cluster::ChannelPtr> children_;  ///< rank -> link
   std::vector<std::uint32_t> expected_children_;

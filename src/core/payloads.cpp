@@ -100,6 +100,7 @@ Bytes LaunchMwReq::encode() const {
   for (const auto& a : daemon_args) w.str(a);
   w.u16(fabric_port);
   w.u32(fabric_fanout);
+  w.u8(static_cast<std::uint8_t>(fabric_topo));
   return std::move(w).take();
 }
 
@@ -119,9 +120,13 @@ std::optional<LaunchMwReq> LaunchMwReq::decode(const Bytes& b) {
   }
   auto port = r.u16();
   auto fanout = r.u32();
-  if (!port || !fanout) return std::nullopt;
+  auto topo = r.u8();
+  if (!port || !fanout || !topo) return std::nullopt;
+  const auto kind = comm::topology_kind_from_u8(*topo);
+  if (!kind) return std::nullopt;
   out.fabric_port = *port;
   out.fabric_fanout = *fanout;
+  out.fabric_topo = *kind;
   return out;
 }
 

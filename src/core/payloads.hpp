@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/types.hpp"
+#include "comm/topology.hpp"
 #include "common/bytes.hpp"
 
 namespace lmon::core::payload {
@@ -71,6 +72,7 @@ struct LaunchMwReq {
   std::vector<std::string> daemon_args;
   cluster::Port fabric_port = 0;
   std::uint32_t fabric_fanout = 2;
+  comm::TopologyKind fabric_topo = comm::TopologyKind::KAry;
 
   [[nodiscard]] Bytes encode() const;
   static std::optional<LaunchMwReq> decode(const Bytes& b);

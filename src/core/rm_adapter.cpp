@@ -107,68 +107,56 @@ Status SlurmAdapter::co_spawn(cluster::Process& engine,
                               const CoSpawnConfig& cfg,
                               std::function<void(rm::LaunchDone)> cb) {
   engine_ = &engine;
-  const cluster::ProgramImage* image =
-      engine.machine().find_program(rm::Launcher::kImageName);
-  if (image == nullptr) {
-    return Status(Rc::Esys, "no srun image installed");
-  }
+  // The RM-bulk path is the paper's contribution; the adapter binds it to
+  // this platform by delegating to rm::RmBulkStrategy (the same strategy
+  // the engine can select directly through comm::make_launch_strategy).
+  comm::LaunchRequest req;
+  req.daemon_exe = cfg.daemon_exe;
+  req.daemon_args = cfg.daemon_args;
+  req.bootstrap.topology = cfg.fabric.topology();
+  req.bootstrap.port = cfg.fabric.port;
+  req.bootstrap.session = cfg.fabric.session;
+  req.bootstrap.fe_host = cfg.fabric.fe_host;
+  req.bootstrap.fe_port = cfg.fabric.fe_port;
+  req.launch_fanout = cfg.fabric.fanout;
+  req.jobid = cfg.jobid;
+  req.alloc_nodes = cfg.alloc_nodes;
+  req.middleware_partition = cfg.middleware_partition;
+  req.report_port = cfg.report_port;
 
-  // Accept the co-spawn launcher's report connection.
-  const Status lst = engine.listen(
-      cfg.report_port, [this, &engine, cb](cluster::ChannelPtr ch) {
-        cospawn_channel_ = ch;
-        engine.set_channel_handler(
-            ch,
-            [this, cb](const cluster::ChannelPtr&, cluster::Message m) {
-              auto done = rm::LaunchDone::decode(m);
-              if (done) cb(std::move(*done));
-            },
-            [this](const cluster::ChannelPtr&) {
-              cospawn_channel_ = nullptr;
-              if (kill_cb_) {
-                auto k = std::move(kill_cb_);
-                kill_cb_ = nullptr;
-                k(Status::ok());
-              }
-            });
-      });
-  if (!lst.is_ok()) return lst;
-
-  cluster::SpawnOptions opts;
-  opts.executable = rm::Launcher::kImageName;
-  opts.image_mb = image->image_mb;
-  opts.args.push_back("--mode=cospawn");
-  if (cfg.jobid != rm::kInvalidJob) {
-    opts.args.push_back("--jobid=" + std::to_string(cfg.jobid));
-  } else {
-    opts.args.push_back("--alloc-nodes=" + std::to_string(cfg.alloc_nodes));
-    if (cfg.middleware_partition) {
-      opts.args.push_back("--alloc-partition=mw");
-    }
-  }
-  opts.args.push_back("--exe=" + cfg.daemon_exe);
-  opts.args.push_back("--report-host=" + engine.node().hostname());
-  opts.args.push_back("--report-port=" + std::to_string(cfg.report_port));
-  opts.args.push_back("--fabric-port=" + std::to_string(cfg.fabric.port));
-  opts.args.push_back("--fabric-fanout=" +
-                      std::to_string(cfg.fabric.fanout));
-  opts.args.push_back("--fe-host=" + cfg.fabric.fe_host);
-  opts.args.push_back("--fe-port=" + std::to_string(cfg.fabric.fe_port));
-  opts.args.push_back("--session=" + cfg.fabric.session);
-  for (const auto& a : cfg.daemon_args) {
-    opts.args.push_back("--daemon-arg=" + a);
-  }
-  auto res = engine.spawn_child(image->factory(opts.args), std::move(opts));
-  return res.status;
+  auto strategy = std::make_unique<rm::RmBulkStrategy>();
+  rm::RmBulkStrategy* raw = strategy.get();
+  cospawns_.push_back(std::move(strategy));
+  raw->launch(engine, std::move(req),
+              [cb = std::move(cb)](comm::LaunchResult res) {
+                rm::LaunchDone done;
+                done.ok = res.status.is_ok();
+                done.error = res.status.message();
+                done.jobid = res.jobid;
+                done.daemons = std::move(res.daemons);
+                if (cb) cb(std::move(done));
+              });
+  return Status::ok();
 }
 
 void SlurmAdapter::kill_daemons(std::function<void(Status)> cb) {
-  if (cospawn_channel_ == nullptr || engine_ == nullptr) {
+  if (engine_ == nullptr || cospawns_.empty()) {
     if (cb) cb(Status(Rc::Edead, "no co-spawned daemons"));
     return;
   }
-  kill_cb_ = std::move(cb);
-  engine_->send(cospawn_channel_, rm::KillDaemons{}.encode());
+  // Tear every co-spawned group down; the callback follows the last one
+  // and carries the first failure (e.g. Edead when a launcher is already
+  // gone) rather than unconditional success.
+  auto remaining = std::make_shared<int>(static_cast<int>(cospawns_.size()));
+  auto first_error = std::make_shared<Status>();
+  auto shared_cb = std::make_shared<std::function<void(Status)>>(std::move(cb));
+  for (auto& strategy : cospawns_) {
+    strategy->teardown(*engine_, [remaining, first_error, shared_cb](Status st) {
+      if (!st.is_ok() && first_error->is_ok()) *first_error = st;
+      *remaining -= 1;
+      if (*remaining == 0 && *shared_cb) (*shared_cb)(*first_error);
+    });
+  }
 }
 
 }  // namespace lmon::core

@@ -17,6 +17,8 @@
 
 #include "cluster/process.hpp"
 #include "cluster/tracing.hpp"
+#include "comm/launch_strategy.hpp"
+#include "rm/launcher.hpp"
 #include "rm/protocol.hpp"
 #include "rm/types.hpp"
 
@@ -107,9 +109,9 @@ class SlurmAdapter final : public RmAdapter {
  private:
   cluster::TraceSession* session_ = nullptr;
   cluster::Process* engine_ = nullptr;
-  cluster::ChannelPtr cospawn_channel_;   ///< link to the co-spawn launcher
-  std::function<void(Status)> kill_cb_;
-  int report_ports_in_use_ = 0;
+  /// One bulk-launch strategy per co-spawn call (BE session, MW sessions);
+  /// each holds the report channel that keeps its daemons alive.
+  std::vector<std::unique_ptr<rm::RmBulkStrategy>> cospawns_;
 };
 
 }  // namespace lmon::core

@@ -19,14 +19,9 @@ void Launcher::on_start(cluster::Process& self) {
       arg_int(args, "--fanout=")
           .value_or(self.machine().costs().rm_launch_fanout));
 
-  for (const auto& a : args) {
-    constexpr std::string_view kAppArg = "--app-arg=";
-    constexpr std::string_view kDaemonArg = "--daemon-arg=";
-    if (a.rfind(kAppArg, 0) == 0) {
-      extra_args_.push_back(a.substr(kAppArg.size()));
-    } else if (a.rfind(kDaemonArg, 0) == 0) {
-      extra_args_.push_back(a.substr(kDaemonArg.size()));
-    }
+  extra_args_ = arg_list(args, "--app-arg=");
+  for (auto& a : arg_list(args, "--daemon-arg=")) {
+    extra_args_.push_back(std::move(a));
   }
 
   // srun startup: option parsing, conf reading, credential setup.
@@ -70,6 +65,17 @@ void Launcher::start_cospawn(cluster::Process& self) {
       arg_int(args, "--fabric-port=").value_or(cluster::kToolFabricBasePort));
   fabric_.fanout = static_cast<std::uint32_t>(
       arg_int(args, "--fabric-fanout=").value_or(2));
+  if (const auto topo = arg_value(args, "--fabric-topo=")) {
+    if (const auto spec = comm::TopologySpec::parse(*topo)) {
+      fabric_.topo_kind = spec->kind;
+      // Only a k-ary fabric ties its arity to the forwarding degree;
+      // binomial/flat keep the --fabric-fanout launch degree (their
+      // parsed arity is a meaningless default).
+      if (spec->kind == comm::TopologyKind::KAry && spec->arity != 0) {
+        fabric_.fanout = spec->arity;
+      }
+    }
+  }
   fabric_.fe_host = arg_value(args, "--fe-host=").value_or("");
   fabric_.fe_port =
       static_cast<std::uint16_t>(arg_int(args, "--fe-port=").value_or(0));
@@ -317,6 +323,93 @@ void Launcher::kill_daemons(cluster::Process& self) {
                  tree_channel_ = ch;
                  self.send(ch, req.encode());
                });
+}
+
+// --- RmBulkStrategy ----------------------------------------------------------
+
+void RmBulkStrategy::launch(cluster::Process& self, comm::LaunchRequest req,
+                            Callback cb) {
+  const cluster::ProgramImage* image =
+      self.machine().find_program(Launcher::kImageName);
+  if (image == nullptr) {
+    if (cb) cb(comm::LaunchResult{Status(Rc::Esys, "no srun image installed"),
+                                  {}, rm::kInvalidJob});
+    return;
+  }
+
+  // Accept the co-spawn launcher's report connection; its LaunchDone is the
+  // strategy's result.
+  const Status lst = self.listen(
+      req.report_port, [this, &self, cb](cluster::ChannelPtr ch) {
+        report_channel_ = ch;
+        self.set_channel_handler(
+            ch,
+            [cb](const cluster::ChannelPtr&, cluster::Message m) {
+              auto done = LaunchDone::decode(m);
+              if (!done) return;
+              comm::LaunchResult res;
+              res.status = done->ok ? Status::ok()
+                                    : Status(Rc::Esubcom, done->error);
+              res.daemons = std::move(done->daemons);
+              res.jobid = done->jobid;
+              if (cb) cb(std::move(res));
+            },
+            [this](const cluster::ChannelPtr&) {
+              report_channel_ = nullptr;
+              if (kill_cb_) {
+                auto k = std::move(kill_cb_);
+                kill_cb_ = nullptr;
+                k(Status::ok());
+              }
+            });
+      });
+  if (!lst.is_ok()) {
+    if (cb) cb(comm::LaunchResult{lst, {}, rm::kInvalidJob});
+    return;
+  }
+
+  cluster::SpawnOptions opts;
+  opts.executable = Launcher::kImageName;
+  opts.image_mb = image->image_mb;
+  opts.args.push_back("--mode=cospawn");
+  if (req.jobid != kInvalidJob) {
+    opts.args.push_back("--jobid=" + std::to_string(req.jobid));
+  } else {
+    opts.args.push_back("--alloc-nodes=" + std::to_string(req.alloc_nodes));
+    if (req.middleware_partition) {
+      opts.args.push_back("--alloc-partition=mw");
+    }
+  }
+  opts.args.push_back("--exe=" + req.daemon_exe);
+  opts.args.push_back("--report-host=" + self.node().hostname());
+  opts.args.push_back("--report-port=" + std::to_string(req.report_port));
+  opts.args.push_back("--fabric-port=" +
+                      std::to_string(req.bootstrap.port));
+  opts.args.push_back("--fabric-fanout=" +
+                      std::to_string(req.launch_fanout != 0
+                                         ? req.launch_fanout
+                                         : req.bootstrap.topology.arity));
+  opts.args.push_back("--fabric-topo=" + req.bootstrap.topology.to_string());
+  opts.args.push_back("--fe-host=" + req.bootstrap.fe_host);
+  opts.args.push_back("--fe-port=" + std::to_string(req.bootstrap.fe_port));
+  opts.args.push_back("--session=" + req.bootstrap.session);
+  for (const auto& a : req.daemon_args) {
+    opts.args.push_back("--daemon-arg=" + a);
+  }
+  auto res = self.spawn_child(image->factory(opts.args), std::move(opts));
+  if (!res.is_ok() && cb) {
+    cb(comm::LaunchResult{res.status, {}, rm::kInvalidJob});
+  }
+}
+
+void RmBulkStrategy::teardown(cluster::Process& self,
+                              std::function<void(Status)> cb) {
+  if (report_channel_ == nullptr) {
+    if (cb) cb(Status(Rc::Edead, "no co-spawned daemons"));
+    return;
+  }
+  kill_cb_ = std::move(cb);
+  self.send(report_channel_, KillDaemons{}.encode());
 }
 
 }  // namespace lmon::rm

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cluster/process.hpp"
+#include "comm/launch_strategy.hpp"
 #include "rm/protocol.hpp"
 
 namespace lmon::rm {
@@ -80,6 +81,32 @@ class Launcher : public cluster::Program {
   std::string report_host_;
   std::uint16_t report_port_ = 0;
   std::uint32_t launch_fanout_ = 0;
+};
+
+/// The paper's contribution as a pluggable strategy: delegate daemon launch
+/// to the RM's scalable bulk mechanism by spawning an `srun --jobid`-style
+/// co-spawn launcher and collecting its LaunchDone report. Holding the
+/// report channel keeps the daemons alive; teardown asks the launcher to
+/// kill them.
+class RmBulkStrategy final : public comm::LaunchStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "rm-bulk"; }
+  [[nodiscard]] comm::LaunchStrategyKind kind() const override {
+    return comm::LaunchStrategyKind::RmBulk;
+  }
+  void launch(cluster::Process& self, comm::LaunchRequest req,
+              Callback cb) override;
+  void teardown(cluster::Process& self,
+                std::function<void(Status)> cb) override;
+
+  /// Live link to the co-spawn launcher (null before launch / after exit).
+  [[nodiscard]] const cluster::ChannelPtr& report_channel() const {
+    return report_channel_;
+  }
+
+ private:
+  cluster::ChannelPtr report_channel_;
+  std::function<void(Status)> kill_cb_;
 };
 
 }  // namespace lmon::rm

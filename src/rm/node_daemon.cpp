@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "cluster/machine.hpp"
+#include "comm/bootstrap.hpp"
 #include "simkernel/log.hpp"
 
 namespace lmon::rm {
@@ -100,18 +101,12 @@ std::vector<std::vector<AllocatedNode>> NodeDaemon::split_subtrees(
     const std::vector<AllocatedNode>& nodes, std::uint32_t fanout) {
   std::vector<std::vector<AllocatedNode>> chunks;
   if (nodes.size() <= 1) return chunks;
-  const std::size_t rest = nodes.size() - 1;
-  const std::size_t nchunks = std::min<std::size_t>(fanout == 0 ? 1 : fanout,
-                                                    rest);
-  chunks.resize(nchunks);
-  const std::size_t base = rest / nchunks;
-  const std::size_t extra = rest % nchunks;
-  std::size_t pos = 1;
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    const std::size_t len = base + (c < extra ? 1 : 0);
-    chunks[c].assign(nodes.begin() + static_cast<std::ptrdiff_t>(pos),
-                     nodes.begin() + static_cast<std::ptrdiff_t>(pos + len));
-    pos += len;
+  const auto splits = comm::split_contiguous(nodes.size() - 1, fanout);
+  chunks.reserve(splits.size());
+  for (const auto& [off, len] : splits) {
+    const std::size_t pos = 1 + off;
+    chunks.emplace_back(nodes.begin() + static_cast<std::ptrdiff_t>(pos),
+                        nodes.begin() + static_cast<std::ptrdiff_t>(pos + len));
   }
   return chunks;
 }
@@ -152,21 +147,16 @@ void NodeDaemon::handle_launch(cluster::Process& self,
     opts.executable = req.executable;
     opts.image_mb = image->image_mb;
     if (req.mode == LaunchMode::Daemons) {
-      opts.args.push_back("--lmon-rank=" + std::to_string(rank));
-      opts.args.push_back("--lmon-size=" + std::to_string(req.fabric.total));
-      opts.args.push_back("--lmon-fanout=" +
-                          std::to_string(req.fabric.fanout));
-      opts.args.push_back("--lmon-port=" + std::to_string(req.fabric.port));
-      opts.args.push_back("--lmon-session=" + req.fabric.session);
-      opts.args.push_back("--lmon-fe-host=" + req.fabric.fe_host);
-      opts.args.push_back("--lmon-fe-port=" +
-                          std::to_string(req.fabric.fe_port));
-      std::string hosts;
-      for (const auto& h : req.all_hosts) {
-        if (!hosts.empty()) hosts += ',';
-        hosts += h;
-      }
-      opts.args.push_back("--lmon-hosts=" + hosts);
+      comm::BootstrapSpec boot;
+      boot.size = req.fabric.total;
+      boot.topology = req.fabric.topology();
+      boot.port = req.fabric.port;
+      boot.session = req.fabric.session;
+      boot.fe_host = req.fabric.fe_host;
+      boot.fe_port = req.fabric.fe_port;
+      boot.hosts = req.all_hosts;
+      opts.args = comm::bootstrap_args(boot,
+                                       static_cast<std::uint32_t>(rank));
     } else {
       opts.args.push_back("--rank=" + std::to_string(rank));
       opts.args.push_back(

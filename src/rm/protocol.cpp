@@ -197,6 +197,7 @@ cluster::Message TreeLaunchReq::encode() const {
   w.str(fabric.fe_host);
   w.u16(fabric.fe_port);
   w.str(fabric.session);
+  w.u8(static_cast<std::uint8_t>(fabric.topo_kind));
   return finish(std::move(w));
 }
 
@@ -242,11 +243,15 @@ std::optional<TreeLaunchReq> TreeLaunchReq::decode(const cluster::Message& m) {
   auto fhost = r->str();
   auto ffeport = r->u16();
   auto fsess = r->str();
-  if (!fport || !ffan || !ftotal || !fhost || !ffeport || !fsess) {
+  auto ftopo = r->u8();
+  if (!fport || !ffan || !ftotal || !fhost || !ffeport || !fsess || !ftopo) {
     return std::nullopt;
   }
-  out.fabric = FabricSpec{*fport, *ffan,  *ftotal,
-                          std::move(*fhost), *ffeport, std::move(*fsess)};
+  const auto kind = comm::topology_kind_from_u8(*ftopo);
+  if (!kind) return std::nullopt;
+  out.fabric = FabricSpec{*fport,   *ffan,    *ftotal,
+                          std::move(*fhost), *ffeport, std::move(*fsess),
+                          *kind};
   return out;
 }
 

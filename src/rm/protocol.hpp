@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/message.hpp"
+#include "comm/topology.hpp"
 #include "common/bytes.hpp"
 #include "rm/types.hpp"
 
@@ -84,11 +85,17 @@ enum class LaunchMode : std::uint8_t { Tasks = 0, Daemons = 1 };
 /// the LaunchMON BE/MW APIs via daemon argv.
 struct FabricSpec {
   cluster::Port port = 0;        ///< per-session daemon listen port
-  std::uint32_t fanout = 2;      ///< daemon bootstrap tree degree
+  std::uint32_t fanout = 2;      ///< tree degree (fabric arity + launch fan-out)
   std::uint32_t total = 0;       ///< number of daemons in the session
   std::string fe_host;           ///< tool front end address (master connects)
   std::uint16_t fe_port = 0;
   std::string session;           ///< session cookie
+  /// Fabric tree shape; KAry uses `fanout` as its arity.
+  comm::TopologyKind topo_kind = comm::TopologyKind::KAry;
+
+  [[nodiscard]] comm::TopologySpec topology() const {
+    return comm::TopologySpec{topo_kind, fanout};
+  }
 };
 
 struct TreeLaunchReq {

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "cluster/machine.hpp"
+#include "comm/bootstrap.hpp"
 #include "common/argparse.hpp"
 #include "simkernel/log.hpp"
 
@@ -58,36 +59,22 @@ void SerialRshLauncher::next(cluster::Process& self,
 
 namespace {
 
-/// Splits hosts[1..] (or hosts[0..] at the root) into up to `fanout`
-/// contiguous chunks.
+/// Splits hosts[begin..] into up to `fanout` contiguous chunks; the subtree
+/// partition itself comes from comm::split_contiguous.
 std::vector<std::vector<std::string>> chunk_hosts(
     const std::vector<std::string>& hosts, std::size_t begin, int fanout) {
   std::vector<std::vector<std::string>> chunks;
   if (begin >= hosts.size()) return chunks;
-  const std::size_t rest = hosts.size() - begin;
-  const std::size_t nchunks =
-      std::min<std::size_t>(fanout <= 0 ? 1 : static_cast<std::size_t>(fanout),
-                            rest);
-  chunks.resize(nchunks);
-  const std::size_t base = rest / nchunks;
-  const std::size_t extra = rest % nchunks;
-  std::size_t pos = begin;
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    const std::size_t len = base + (c < extra ? 1 : 0);
-    chunks[c].assign(hosts.begin() + static_cast<std::ptrdiff_t>(pos),
-                     hosts.begin() + static_cast<std::ptrdiff_t>(pos + len));
-    pos += len;
+  const auto splits = comm::split_contiguous(
+      hosts.size() - begin,
+      fanout <= 0 ? 1u : static_cast<std::uint32_t>(fanout));
+  chunks.reserve(splits.size());
+  for (const auto& [off, len] : splits) {
+    const std::size_t pos = begin + off;
+    chunks.emplace_back(hosts.begin() + static_cast<std::ptrdiff_t>(pos),
+                        hosts.begin() + static_cast<std::ptrdiff_t>(pos + len));
   }
   return chunks;
-}
-
-std::string join_csv(const std::vector<std::string>& v) {
-  std::string out;
-  for (const auto& s : v) {
-    if (!out.empty()) out += ',';
-    out += s;
-  }
-  return out;
 }
 
 /// Launches agents for each chunk sequentially via rsh and wires their acks
@@ -149,9 +136,10 @@ struct TreeCollector {
 
   explicit TreeCollector(cluster::Process& s) : self(s), expected(0) {}
 
-  void on_ack(const TreeAck& ack) {
+  void on_ack(const TreeAck& ack, const cluster::ChannelPtr& ch) {
     if (finished) return;
     received += 1;
+    outcome.ack_channels.push_back(ch);
     if (!ack.ok && outcome.status.is_ok()) {
       outcome.status = Status(Rc::Esubcom, ack.error);
     }
@@ -165,11 +153,7 @@ struct TreeCollector {
     finish();
   }
 
-  void finish() {
-    finished = true;
-    self.stop_listening(kTreeReportPort);
-    cb(std::move(outcome));
-  }
+  void finish();  // defined after the registry: deregisters this collector
 };
 
 namespace {
@@ -181,13 +165,23 @@ std::map<cluster::Pid, std::shared_ptr<TreeCollector>>& collector_registry() {
 }
 }  // namespace
 
+void TreeCollector::finish() {
+  finished = true;
+  // Deregister on every completion path (success *and* fail()); a stale
+  // entry would pin this collector - and its Process reference - in the
+  // static registry past the process's lifetime.
+  collector_registry().erase(self.pid());
+  self.stop_listening(kTreeReportPort);
+  cb(std::move(outcome));
+}
+
 void TreeRshLauncher::launch(cluster::Process& self,
                              std::vector<std::string> hosts,
                              std::string daemon_exe,
                              std::vector<std::string> daemon_args, int fanout,
                              Callback cb) {
   if (hosts.empty()) {
-    cb(LaunchOutcome{Status::ok(), {}, {}});
+    cb(LaunchOutcome{});
     return;
   }
   auto collector = std::make_shared<TreeCollector>(self);
@@ -195,7 +189,9 @@ void TreeRshLauncher::launch(cluster::Process& self,
 
   Status lst = self.listen(kTreeReportPort);
   if (!lst.is_ok()) {
-    collector->cb(LaunchOutcome{lst, {}, {}});
+    LaunchOutcome out;
+    out.status = lst;
+    collector->cb(std::move(out));
     return;
   }
   auto chunks = chunk_hosts(hosts, 0, fanout);
@@ -211,16 +207,19 @@ void TreeRshLauncher::launch(cluster::Process& self,
 }
 
 bool TreeRshLauncher::handle_report(cluster::Process& self,
+                                    const cluster::ChannelPtr& ch,
                                     const cluster::Message& msg) {
   auto it = collector_registry().find(self.pid());
   if (it == collector_registry().end() || it->second == nullptr ||
       it->second->finished) {
     return false;
   }
+  // Keep the collector alive across on_ack: finish() erases the registry
+  // entry, which would otherwise drop the last reference mid-call.
+  auto collector = it->second;
   auto ack = TreeAck::decode(msg);
   if (!ack) return false;
-  it->second->on_ack(*ack);
-  if (it->second->finished) collector_registry().erase(self.pid());
+  collector->on_ack(*ack, ch);
   return true;
 }
 
@@ -234,13 +233,7 @@ void TreeAgent::on_start(cluster::Process& self) {
   report_port_ = static_cast<cluster::Port>(
       arg_int(args, "--report-port=").value_or(kTreeReportPort));
   auto hosts = split_csv(arg_value(args, "--hosts=").value_or(""));
-  std::vector<std::string> daemon_args;
-  for (const auto& a : args) {
-    constexpr std::string_view kDaemonArg = "--daemon-arg=";
-    if (a.rfind(kDaemonArg, 0) == 0) {
-      daemon_args.push_back(a.substr(kDaemonArg.size()));
-    }
-  }
+  std::vector<std::string> daemon_args = arg_list(args, "--daemon-arg=");
   ack_.ok = true;
 
   // Spawn the local daemon.
@@ -257,12 +250,17 @@ void TreeAgent::on_start(cluster::Process& self) {
   opts.executable = exe;
   opts.image_mb = image->image_mb;
   opts.args = daemon_args;
+  // The daemon must not outlive this agent: tree teardown reaps agents
+  // (cleanly via ack-channel loss or hard via rshd session loss), and
+  // either way the daemon has to go with it.
+  opts.die_with_parent = true;
   auto prog = image->factory(opts.args);
   auto res = self.spawn_child(std::move(prog), std::move(opts));
   if (!res.is_ok()) {
     ack_.ok = false;
     ack_.error = res.status.message();
   } else {
+    daemon_pid_ = res.value;
     ack_.daemons.emplace_back(self.node().hostname(), res.value);
   }
   local_done_ = true;
@@ -291,8 +289,8 @@ void TreeAgent::on_message(cluster::Process& self,
                            const cluster::ChannelPtr& ch,
                            cluster::Message msg) {
   auto ack = TreeAck::decode(msg);
-  (void)ch;
   if (!ack) return;
+  child_acks_.push_back(ch);
   if (!ack->ok) {
     ack_.ok = false;
     if (ack_.error.empty()) ack_.error = ack->error;
@@ -306,11 +304,137 @@ void TreeAgent::maybe_report(cluster::Process& self) {
   if (reported_ || !local_done_ || awaiting_children_ > 0) return;
   reported_ = true;
   if (report_host_.empty()) return;
-  self.connect(report_host_, report_port_,
-               [this, &self](Status st, cluster::ChannelPtr ch) {
-                 if (!st.is_ok()) return;
-                 self.send(ch, ack_.encode());
-               });
+  self.connect(
+      report_host_, report_port_,
+      [this, &self](Status st, cluster::ChannelPtr ch) {
+        if (!st.is_ok()) return;
+        // The ack channel doubles as the session keepalive: when the
+        // launcher (or parent agent) closes it, reap the local daemon and
+        // cascade the close down the subtree. This mirrors how rshd kills
+        // a remote command on session loss.
+        self.set_channel_handler(
+            ch, nullptr,
+            [this, &self](const cluster::ChannelPtr&) {
+              shutdown_subtree(self);
+            });
+        self.send(ch, ack_.encode());
+      });
+}
+
+void TreeAgent::shutdown_subtree(cluster::Process& self) {
+  if (daemon_pid_ != cluster::kInvalidPid) {
+    cluster::Process* d = self.machine().find_process(daemon_pid_);
+    if (d != nullptr && d->state() != cluster::ProcState::Exited) {
+      d->exit(9);
+    }
+    daemon_pid_ = cluster::kInvalidPid;
+  }
+  // Close child ack channels first so child agents reap their daemons
+  // before the rsh-session closes (queued behind these) hard-kill them.
+  for (auto& ch : child_acks_) {
+    if (ch != nullptr && ch->is_open()) self.close_channel(ch);
+  }
+  child_acks_.clear();
+  self.exit(0);
+}
+
+// --- comm::LaunchStrategy bindings -------------------------------------------
+
+namespace {
+
+/// Maps an rsh LaunchOutcome into the strategy result, assigning fabric
+/// ranks by the host's position in the bootstrap host list.
+comm::LaunchResult outcome_to_result(const comm::LaunchRequest& req,
+                                     LaunchOutcome out) {
+  comm::LaunchResult res;
+  res.status = out.status;
+  res.daemons.reserve(out.daemons.size());
+  for (const auto& [host, pid] : out.daemons) {
+    std::int32_t rank = -1;
+    for (std::size_t i = 0; i < req.bootstrap.hosts.size(); ++i) {
+      if (req.bootstrap.hosts[i] == host) {
+        rank = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    res.daemons.push_back(rm::TaskDesc{host, req.daemon_exe, pid, rank});
+  }
+  std::sort(res.daemons.begin(), res.daemons.end(),
+            [](const rm::TaskDesc& a, const rm::TaskDesc& b) {
+              return a.rank < b.rank;
+            });
+  return res;
+}
+
+void drop_sessions(cluster::Process& self,
+                   std::vector<cluster::ChannelPtr>& sessions,
+                   std::function<void(Status)> cb) {
+  for (auto& ch : sessions) {
+    if (ch != nullptr && ch->is_open()) self.close_channel(ch);
+  }
+  sessions.clear();
+  if (cb) cb(Status::ok());
+}
+
+}  // namespace
+
+void SerialRshStrategy::launch(cluster::Process& self, comm::LaunchRequest req,
+                               Callback cb) {
+  std::vector<LaunchTarget> targets;
+  targets.reserve(req.bootstrap.hosts.size());
+  for (std::size_t r = 0; r < req.bootstrap.hosts.size(); ++r) {
+    auto args = comm::bootstrap_args(req.bootstrap,
+                                     static_cast<std::uint32_t>(r));
+    args.insert(args.end(), req.daemon_args.begin(), req.daemon_args.end());
+    targets.push_back(LaunchTarget{req.bootstrap.hosts[r], req.daemon_exe,
+                                   std::move(args)});
+  }
+  SerialRshLauncher::launch(
+      self, std::move(targets),
+      [this, req = std::move(req), cb = std::move(cb)](LaunchOutcome out) {
+        sessions_ = std::move(out.sessions);
+        if (cb) cb(outcome_to_result(req, std::move(out)));
+      });
+}
+
+void SerialRshStrategy::teardown(cluster::Process& self,
+                                 std::function<void(Status)> cb) {
+  drop_sessions(self, sessions_, std::move(cb));
+}
+
+void TreeRshStrategy::launch(cluster::Process& self, comm::LaunchRequest req,
+                             Callback cb) {
+  // One argv for everyone: bootstrap args without an explicit rank, daemons
+  // resolve their rank from the host list.
+  auto daemon_args = comm::bootstrap_args(req.bootstrap, std::nullopt);
+  daemon_args.insert(daemon_args.end(), req.daemon_args.begin(),
+                     req.daemon_args.end());
+  const int fanout =
+      req.launch_fanout == 0 ? 2 : static_cast<int>(req.launch_fanout);
+  // Copy out of `req` before the call: the callback captures req by move,
+  // and argument evaluation order is unspecified.
+  auto hosts = req.bootstrap.hosts;
+  auto daemon_exe = req.daemon_exe;
+  TreeRshLauncher::launch(
+      self, std::move(hosts), std::move(daemon_exe), std::move(daemon_args),
+      fanout,
+      [this, req = std::move(req), cb = std::move(cb)](LaunchOutcome out) {
+        sessions_ = std::move(out.sessions);
+        ack_channels_ = std::move(out.ack_channels);
+        if (cb) cb(outcome_to_result(req, std::move(out)));
+      });
+}
+
+void TreeRshStrategy::teardown(cluster::Process& self,
+                               std::function<void(Status)> cb) {
+  // Closing the ack channels tells the root agents to reap their daemons
+  // and cascade the shutdown; the rsh sessions close behind them (their
+  // close events queue after the ack closes) as a hard-kill backstop.
+  for (auto& ch : ack_channels_) {
+    if (ch != nullptr && ch->is_open()) self.close_channel(ch);
+  }
+  ack_channels_.clear();
+  drop_sessions(self, sessions_, std::move(cb));
 }
 
 void install_tree_agent(cluster::Machine& machine) {

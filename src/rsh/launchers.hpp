@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/process.hpp"
+#include "comm/launch_strategy.hpp"
 #include "rsh/client.hpp"
 
 namespace lmon::rsh {
@@ -32,6 +33,10 @@ struct LaunchOutcome {
   /// Open rsh sessions keeping serial-launched daemons alive. The caller
   /// owns these; dropping/closing them kills the daemons.
   std::vector<cluster::ChannelPtr> sessions;
+  /// Tree launch only: the ack channels the root agents connected back on.
+  /// Agents treat the loss of this channel as "session over" and reap their
+  /// local daemon, so closing these tears the whole tree down cleanly.
+  std::vector<cluster::ChannelPtr> ack_channels;
 };
 
 /// Sequential front-end rsh launch: one blocking rsh per target, in order.
@@ -65,8 +70,10 @@ class TreeRshLauncher {
                      Callback cb);
 
   /// Returns true if the message was a TreeAck consumed by a launch in
-  /// progress on `self`.
+  /// progress on `self`. `ch` is the channel the ack arrived on; it is
+  /// retained so teardown can signal the agent by closing it.
   static bool handle_report(cluster::Process& self,
+                            const cluster::ChannelPtr& ch,
                             const cluster::Message& msg);
 };
 
@@ -82,6 +89,7 @@ class TreeAgent : public cluster::Program {
 
  private:
   void maybe_report(cluster::Process& self);
+  void shutdown_subtree(cluster::Process& self);
 
   int awaiting_children_ = 0;
   bool local_done_ = false;
@@ -89,10 +97,55 @@ class TreeAgent : public cluster::Program {
   TreeAck ack_;
   std::string report_host_;
   cluster::Port report_port_ = 0;
+  cluster::Pid daemon_pid_ = cluster::kInvalidPid;
   std::vector<cluster::ChannelPtr> child_sessions_;
+  std::vector<cluster::ChannelPtr> child_acks_;
 };
 
 /// Registers the tree-agent image with the machine's program registry.
 void install_tree_agent(cluster::Machine& machine);
+
+// --- comm::LaunchStrategy bindings -------------------------------------------
+//
+// The ad hoc launchers above wrapped as pluggable strategies: both assemble
+// the daemon bootstrap argv through comm/bootstrap.hpp and keep the rsh
+// sessions that hold the daemons alive, so teardown is "drop the sessions".
+
+/// Sequential rsh with an explicit --lmon-rank per daemon.
+class SerialRshStrategy final : public comm::LaunchStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "serial-rsh"; }
+  [[nodiscard]] comm::LaunchStrategyKind kind() const override {
+    return comm::LaunchStrategyKind::SerialRsh;
+  }
+  void launch(cluster::Process& self, comm::LaunchRequest req,
+              Callback cb) override;
+  void teardown(cluster::Process& self,
+                std::function<void(Status)> cb) override;
+
+ private:
+  std::vector<cluster::ChannelPtr> sessions_;
+};
+
+/// Recursive tree rsh. Every daemon receives an identical command line
+/// (the agent protocol cannot vary argv per host), so the bootstrap rank is
+/// derived from the host list on the daemon side. The process driving the
+/// launch must forward unrecognized messages to
+/// TreeRshLauncher::handle_report().
+class TreeRshStrategy final : public comm::LaunchStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "tree-rsh"; }
+  [[nodiscard]] comm::LaunchStrategyKind kind() const override {
+    return comm::LaunchStrategyKind::TreeRsh;
+  }
+  void launch(cluster::Process& self, comm::LaunchRequest req,
+              Callback cb) override;
+  void teardown(cluster::Process& self,
+                std::function<void(Status)> cb) override;
+
+ private:
+  std::vector<cluster::ChannelPtr> sessions_;
+  std::vector<cluster::ChannelPtr> ack_channels_;
+};
 
 }  // namespace lmon::rsh

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "comm/topology.hpp"
+
 namespace lmon::tbon {
 
 Topology Topology::one_deep(const std::string& fe_host,
@@ -21,17 +23,28 @@ Topology Topology::balanced(const std::string& fe_host,
                             const std::vector<std::string>& comm_hosts,
                             const std::vector<std::string>& be_hosts,
                             int fanout, cluster::Port comm_port) {
+  if (fanout < 1) fanout = 1;
+  return shaped(fe_host, fe_port, comm_hosts, be_hosts,
+                {comm::TopologyKind::KAry, static_cast<std::uint32_t>(fanout)},
+                comm_port);
+}
+
+Topology Topology::shaped(const std::string& fe_host, cluster::Port fe_port,
+                          const std::vector<std::string>& comm_hosts,
+                          const std::vector<std::string>& be_hosts,
+                          comm::TopologySpec spec, cluster::Port comm_port) {
   Topology t;
   t.nodes_.push_back(TopoNode{fe_host, fe_port, -1, false, -1});
-  if (fanout < 1) fanout = 1;
 
-  // Comm daemons form a breadth-first fanout-ary tree rooted at the FE.
+  // Comm daemons form a tree of the requested shape rooted at the FE; the
+  // tree arithmetic comes from comm::Topology (host index == rank, the
+  // rank-0 comm daemon's parent is the FE).
+  const comm::Topology ct(spec,
+                          static_cast<std::uint32_t>(comm_hosts.size()));
   std::vector<int> comm_indices;
   for (std::size_t i = 0; i < comm_hosts.size(); ++i) {
-    int parent = 0;
-    if (i > 0) {
-      parent = comm_indices[(i - 1) / static_cast<std::size_t>(fanout)];
-    }
+    const auto parent_rank = ct.parent_of(static_cast<std::uint32_t>(i));
+    const int parent = parent_rank ? comm_indices[*parent_rank] : 0;
     t.nodes_.push_back(TopoNode{comm_hosts[i], comm_port, parent, false, -1});
     comm_indices.push_back(static_cast<int>(t.nodes_.size()) - 1);
   }
@@ -42,16 +55,10 @@ Topology Topology::balanced(const std::string& fe_host,
   if (comm_indices.empty()) {
     attach_points.push_back(0);
   } else {
-    // Deepest layer = comm nodes with no comm children.
-    std::vector<bool> has_child(t.nodes_.size(), false);
-    for (const auto& n : t.nodes_) {
-      if (n.parent >= 0 && !n.is_backend) {
-        has_child[static_cast<std::size_t>(n.parent)] = true;
-      }
-    }
-    for (int idx : comm_indices) {
-      if (!has_child[static_cast<std::size_t>(idx)]) {
-        attach_points.push_back(idx);
+    // Deepest layer = comm nodes without comm children.
+    for (std::size_t i = 0; i < comm_hosts.size(); ++i) {
+      if (ct.children_of(static_cast<std::uint32_t>(i)).empty()) {
+        attach_points.push_back(comm_indices[i]);
       }
     }
     if (attach_points.empty()) attach_points = comm_indices;

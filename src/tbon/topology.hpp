@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/types.hpp"
+#include "comm/topology.hpp"
 #include "common/bytes.hpp"
 
 namespace lmon::tbon {
@@ -43,6 +44,14 @@ class Topology {
                            const std::vector<std::string>& comm_hosts,
                            const std::vector<std::string>& be_hosts,
                            int fanout, cluster::Port comm_port);
+
+  /// Like balanced() but the comm-daemon layer takes any comm::Topology
+  /// shape (k-ary, binomial, flat), making the overlay tree a benchmarkable
+  /// axis.
+  static Topology shaped(const std::string& fe_host, cluster::Port fe_port,
+                         const std::vector<std::string>& comm_hosts,
+                         const std::vector<std::string>& be_hosts,
+                         comm::TopologySpec spec, cluster::Port comm_port);
 
   [[nodiscard]] const std::vector<TopoNode>& nodes() const { return nodes_; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }

@@ -99,13 +99,13 @@ class CollectiveDaemon : public cluster::Program {
 
 struct Param {
   int nodes;
-  std::uint32_t fanout;
+  comm::TopologySpec topology;
 };
 
 class CollectivesTest : public ::testing::TestWithParam<Param> {};
 
-TEST_P(CollectivesTest, FullSequenceAcrossSizesAndFanouts) {
-  const auto [nodes, fanout] = GetParam();
+TEST_P(CollectivesTest, FullSequenceAcrossSizesAndTopologies) {
+  const auto [nodes, topology] = GetParam();
   TestCluster tc(nodes);
   CollectiveState state;
   CollectiveDaemon::install(tc.machine, &state);
@@ -119,7 +119,7 @@ TEST_P(CollectivesTest, FullSequenceAcrossSizesAndFanouts) {
     auto sid = fe->create_session();
     core::FrontEnd::SpawnConfig cfg;
     cfg.daemon_exe = "coll_be";
-    cfg.fabric_fanout = fanout;
+    cfg.topology = topology;
     rm::JobSpec job{nodes, 2, "mpi_app", {}};
     fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
       status = st;
@@ -161,14 +161,30 @@ TEST_P(CollectivesTest, FullSequenceAcrossSizesAndFanouts) {
   }
 }
 
+constexpr auto kKAry = comm::TopologyKind::KAry;
+constexpr auto kBinomial = comm::TopologyKind::Binomial;
+constexpr auto kFlat = comm::TopologyKind::Flat;
+
 INSTANTIATE_TEST_SUITE_P(
-    SizesAndFanouts, CollectivesTest,
-    ::testing::Values(Param{1, 2}, Param{2, 2}, Param{3, 2}, Param{8, 2},
-                      Param{8, 4}, Param{16, 2}, Param{16, 16}, Param{31, 3},
-                      Param{32, 32}, Param{17, 1}),
+    SizesAndTopologies, CollectivesTest,
+    ::testing::Values(Param{1, {kKAry, 2}}, Param{2, {kKAry, 2}},
+                      Param{3, {kKAry, 2}}, Param{8, {kKAry, 2}},
+                      Param{8, {kKAry, 4}}, Param{16, {kKAry, 2}},
+                      Param{16, {kKAry, 16}}, Param{31, {kKAry, 3}},
+                      Param{32, {kKAry, 32}}, Param{17, {kKAry, 1}},
+                      // The same collective sequence must hold over every
+                      // fabric shape the comm layer offers.
+                      Param{1, {kBinomial, 0}}, Param{2, {kBinomial, 0}},
+                      Param{16, {kBinomial, 0}}, Param{31, {kBinomial, 0}},
+                      Param{32, {kBinomial, 0}}, Param{1, {kFlat, 0}},
+                      Param{2, {kFlat, 0}}, Param{17, {kFlat, 0}},
+                      Param{32, {kFlat, 0}}),
     [](const ::testing::TestParamInfo<Param>& pinfo) {
-      return "n" + std::to_string(pinfo.param.nodes) + "_k" +
-             std::to_string(pinfo.param.fanout);
+      std::string topo = pinfo.param.topology.to_string();
+      for (char& c : topo) {
+        if (c == ':' || c == '-') c = '_';
+      }
+      return "n" + std::to_string(pinfo.param.nodes) + "_" + topo;
     });
 
 }  // namespace

@@ -1,0 +1,115 @@
+// Integration tests for the pluggable launch strategies: the same
+// launchAndSpawn call must produce a working daemon session whether the
+// daemons were bootstrapped through the RM's bulk launch (paper §4), a
+// serial front-end rsh loop, or the recursive tree-rsh protocol (§2) - and
+// over any fabric topology. The daemons themselves cannot tell the
+// difference: every strategy feeds them the same comm/bootstrap argv.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fe_api.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon {
+namespace {
+
+using testing::TestCluster;
+
+struct Param {
+  comm::LaunchStrategyKind strategy;
+  comm::TopologySpec topology;
+  int nodes;
+};
+
+class LaunchStrategyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(LaunchStrategyTest, SessionComesUpAndTearsDown) {
+  const auto [strategy, topology, nodes] = GetParam();
+  TestCluster tc(nodes);
+
+  bool done = false;
+  Status status;
+  int sid = -1;
+  std::shared_ptr<core::FrontEnd> fe;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    ASSERT_TRUE(fe->init().is_ok());
+    auto s = fe->create_session();
+    sid = s.value;
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    cfg.launch_strategy = strategy;
+    cfg.topology = topology;
+    rm::JobSpec job{nodes, 2, "mpi_app", {}};
+    fe->launch_and_spawn(sid, job, cfg, [&](Status st) {
+      status = st;
+      done = true;
+    });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return done; }, sim::seconds(600)));
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(fe->state(sid), core::FrontEnd::SessionState::Ready);
+
+  // Every strategy must deliver the full daemon table, rank-ordered.
+  const core::Rpdtab* daemons = fe->daemon_table(sid);
+  ASSERT_NE(daemons, nullptr);
+  ASSERT_EQ(daemons->entries().size(), static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    EXPECT_EQ(daemons->entries()[static_cast<std::size_t>(i)].rank, i);
+  }
+
+  // And one daemon actually runs on every compute node.
+  int live_daemons = 0;
+  for (int i = 0; i < tc.machine.num_compute_nodes(); ++i) {
+    for (cluster::Process* p : tc.machine.compute_node(i).live_processes()) {
+      if (p->options().executable == "hello_be") ++live_daemons;
+    }
+  }
+  EXPECT_EQ(live_daemons, nodes);
+
+  // Teardown reaps the daemons regardless of how they were launched.
+  bool killed = false;
+  fe->kill(sid, [&](Status) { killed = true; });
+  ASSERT_TRUE(tc.run_until([&] { return killed; }));
+  tc.simulator.run(tc.simulator.now() + sim::seconds(2));
+  live_daemons = 0;
+  for (int i = 0; i < tc.machine.num_compute_nodes(); ++i) {
+    for (cluster::Process* p : tc.machine.compute_node(i).live_processes()) {
+      if (p->options().executable == "hello_be") ++live_daemons;
+    }
+  }
+  EXPECT_EQ(live_daemons, 0);
+}
+
+constexpr auto kRm = comm::LaunchStrategyKind::RmBulk;
+constexpr auto kSerial = comm::LaunchStrategyKind::SerialRsh;
+constexpr auto kTree = comm::LaunchStrategyKind::TreeRsh;
+constexpr auto kKAry = comm::TopologyKind::KAry;
+constexpr auto kBinomial = comm::TopologyKind::Binomial;
+constexpr auto kFlat = comm::TopologyKind::Flat;
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndTopologies, LaunchStrategyTest,
+    ::testing::Values(Param{kRm, {kKAry, 2}, 8}, Param{kRm, {kBinomial, 0}, 8},
+                      Param{kSerial, {kKAry, 2}, 8},
+                      Param{kSerial, {kBinomial, 0}, 6},
+                      Param{kSerial, {kFlat, 0}, 4},
+                      Param{kTree, {kKAry, 2}, 8},
+                      Param{kTree, {kBinomial, 0}, 7},
+                      Param{kTree, {kKAry, 4}, 16},
+                      Param{kSerial, {kKAry, 2}, 1},
+                      Param{kTree, {kKAry, 2}, 1}),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      std::string name =
+          std::string(comm::to_string(pinfo.param.strategy)) + "_" +
+          pinfo.param.topology.to_string() + "_n" +
+          std::to_string(pinfo.param.nodes);
+      for (char& c : name) {
+        if (c == ':' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace lmon

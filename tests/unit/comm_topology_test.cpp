@@ -1,0 +1,301 @@
+// Unit tests for the comm::Topology layer: parent/children consistency,
+// subtree partitions, depth and edge counts for every tree family, across
+// rank/size sweeps including size=1 and non-power-of-two sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "comm/bootstrap.hpp"
+#include "comm/topology.hpp"
+
+namespace lmon::comm {
+namespace {
+
+// --- spec parsing ------------------------------------------------------------
+
+TEST(TopologySpec, RoundTripsThroughString) {
+  for (const TopologySpec spec :
+       {TopologySpec{TopologyKind::KAry, 7}, TopologySpec{TopologyKind::KAry, 1},
+        TopologySpec{TopologyKind::Binomial, 0},
+        TopologySpec{TopologyKind::Flat, 0}}) {
+    auto back = TopologySpec::parse(spec.to_string());
+    ASSERT_TRUE(back.has_value()) << spec.to_string();
+    EXPECT_EQ(back->kind, spec.kind);
+    if (spec.kind == TopologyKind::KAry) {
+      EXPECT_EQ(back->arity, spec.arity);
+    }
+  }
+}
+
+TEST(TopologySpec, ParseRejectsGarbage) {
+  EXPECT_FALSE(TopologySpec::parse("").has_value());
+  EXPECT_FALSE(TopologySpec::parse("ring").has_value());
+  EXPECT_FALSE(TopologySpec::parse("kary:x").has_value());
+}
+
+TEST(TopologySpec, ParseAcceptsBareKindAndArity) {
+  auto k = TopologySpec::parse("kary:32");
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(k->kind, TopologyKind::KAry);
+  EXPECT_EQ(k->arity, 32u);
+  EXPECT_EQ(TopologySpec::parse("binomial")->kind, TopologyKind::Binomial);
+  EXPECT_EQ(TopologySpec::parse("flat")->kind, TopologyKind::Flat);
+}
+
+// --- fixed small shapes ------------------------------------------------------
+
+TEST(Topology, KAryMatchesHeapLayout) {
+  Topology t({TopologyKind::KAry, 2}, 7);
+  EXPECT_EQ(t.children_of(0), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(t.children_of(1), (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(t.children_of(2), (std::vector<std::uint32_t>{5, 6}));
+  EXPECT_TRUE(t.children_of(3).empty());
+  EXPECT_FALSE(t.parent_of(0).has_value());
+  EXPECT_EQ(t.parent_of(6), 2u);
+  EXPECT_EQ(t.depth(), 2u);
+}
+
+TEST(Topology, BinomialClearsLowestSetBit) {
+  Topology t({TopologyKind::Binomial, 0}, 8);
+  // Root owns every power of two.
+  EXPECT_EQ(t.children_of(0), (std::vector<std::uint32_t>{1, 2, 4}));
+  EXPECT_EQ(t.children_of(4), (std::vector<std::uint32_t>{5, 6}));
+  EXPECT_EQ(t.children_of(6), (std::vector<std::uint32_t>{7}));
+  EXPECT_EQ(t.parent_of(7), 6u);
+  EXPECT_EQ(t.parent_of(6), 4u);
+  EXPECT_EQ(t.parent_of(5), 4u);
+  // log2(8) levels.
+  EXPECT_EQ(t.depth(), 3u);
+}
+
+TEST(Topology, FlatHangsEveryoneOffRoot) {
+  Topology t({TopologyKind::Flat, 0}, 5);
+  EXPECT_EQ(t.children_of(0), (std::vector<std::uint32_t>{1, 2, 3, 4}));
+  for (std::uint32_t r = 1; r < 5; ++r) {
+    EXPECT_EQ(t.parent_of(r), 0u);
+    EXPECT_TRUE(t.children_of(r).empty());
+  }
+  EXPECT_EQ(t.depth(), 1u);
+}
+
+TEST(Topology, SingletonHasNoEdges) {
+  for (const TopologyKind kind :
+       {TopologyKind::KAry, TopologyKind::Binomial, TopologyKind::Flat}) {
+    Topology t({kind, 2}, 1);
+    EXPECT_TRUE(t.children_of(0).empty());
+    EXPECT_FALSE(t.parent_of(0).has_value());
+    EXPECT_EQ(t.depth(), 0u);
+    EXPECT_EQ(t.edge_count(), 0u);
+    EXPECT_EQ(t.subtree_of(0), (std::vector<std::uint32_t>{0}));
+  }
+}
+
+TEST(Topology, OutOfRangeQueriesAreEmpty) {
+  Topology t({TopologyKind::KAry, 2}, 4);
+  EXPECT_TRUE(t.children_of(9).empty());
+  EXPECT_FALSE(t.parent_of(9).has_value());
+  EXPECT_TRUE(t.subtree_of(9).empty());
+}
+
+// --- property sweep over every family ----------------------------------------
+
+struct SweepParam {
+  TopologySpec spec;
+  std::uint32_t size;
+};
+
+class TopologyProperty : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TopologyProperty, ParentChildConsistency) {
+  const auto [spec, size] = GetParam();
+  Topology t(spec, size);
+  for (std::uint32_t r = 0; r < size; ++r) {
+    for (std::uint32_t c : t.children_of(r)) {
+      EXPECT_LT(c, size);
+      EXPECT_EQ(t.parent_of(c), r);
+    }
+    if (r != 0) {
+      auto p = t.parent_of(r);
+      ASSERT_TRUE(p.has_value());
+      EXPECT_LT(*p, r) << "parents precede children in rank order";
+      auto siblings = t.children_of(*p);
+      EXPECT_NE(std::find(siblings.begin(), siblings.end(), r),
+                siblings.end());
+    }
+  }
+}
+
+TEST_P(TopologyProperty, EveryRankReachesRootAndDepthAgrees) {
+  const auto [spec, size] = GetParam();
+  Topology t(spec, size);
+  std::uint32_t max_depth = 0;
+  for (std::uint32_t r = 0; r < size; ++r) {
+    std::uint32_t cur = r;
+    std::uint32_t hops = 0;
+    while (cur != 0) {
+      auto p = t.parent_of(cur);
+      ASSERT_TRUE(p.has_value());
+      cur = *p;
+      ASSERT_LE(++hops, size);
+    }
+    EXPECT_EQ(t.depth_of(r), hops);
+    max_depth = std::max(max_depth, hops);
+  }
+  EXPECT_EQ(t.depth(), max_depth);
+}
+
+TEST_P(TopologyProperty, ConnectedTreeHasSizeMinusOneEdges) {
+  const auto [spec, size] = GetParam();
+  Topology t(spec, size);
+  EXPECT_EQ(t.edge_count(), size == 0 ? 0u : static_cast<std::uint64_t>(size) - 1u);
+}
+
+TEST_P(TopologyProperty, RootSubtreeCoversAllRanksExactlyOnce) {
+  const auto [spec, size] = GetParam();
+  Topology t(spec, size);
+  const auto all = t.subtree_of(0);
+  ASSERT_EQ(all.size(), size);
+  for (std::uint32_t r = 0; r < size; ++r) EXPECT_EQ(all[r], r);
+
+  // The root's children's subtrees partition the non-root ranks.
+  std::vector<bool> covered(size, false);
+  covered[0] = true;
+  for (std::uint32_t c : t.children_of(0)) {
+    for (std::uint32_t r : t.subtree_of(c)) {
+      EXPECT_FALSE(covered[r]) << "rank " << r << " covered twice";
+      covered[r] = true;
+    }
+  }
+  for (std::uint32_t r = 0; r < size; ++r) {
+    EXPECT_TRUE(covered[r]) << "rank " << r << " not covered";
+  }
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  // size=1, powers of two, off-by-ones and awkward non-powers-of-two.
+  const std::uint32_t sizes[] = {1, 2, 3, 5, 15, 16, 17, 64, 100, 333, 1000, 1024};
+  for (std::uint32_t size : sizes) {
+    for (std::uint32_t k : {1u, 2u, 3u, 7u, 32u, 64u}) {
+      out.push_back({{TopologyKind::KAry, k}, size});
+    }
+    out.push_back({{TopologyKind::Binomial, 0}, size});
+    out.push_back({{TopologyKind::Flat, 0}, size});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopologyProperty, ::testing::ValuesIn(sweep_params()),
+    [](const ::testing::TestParamInfo<SweepParam>& pinfo) {
+      std::string name = pinfo.param.spec.to_string() + "_n" +
+                         std::to_string(pinfo.param.size);
+      for (char& c : name) {
+        if (c == ':' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- contiguous chunking (launch-protocol subtree splits) --------------------
+
+TEST(SplitContiguous, CoversEveryIndexOnceInOrder) {
+  for (std::size_t count : {0u, 1u, 2u, 7u, 8u, 64u, 513u}) {
+    for (std::uint32_t fanout : {0u, 1u, 2u, 3u, 32u, 1000u}) {
+      const auto chunks = split_contiguous(count, fanout);
+      std::size_t pos = 0;
+      for (const auto& [begin, len] : chunks) {
+        EXPECT_EQ(begin, pos);
+        EXPECT_GT(len, 0u);
+        pos += len;
+      }
+      EXPECT_EQ(pos, count);
+      if (count > 0) {
+        EXPECT_LE(chunks.size(),
+                  static_cast<std::size_t>(fanout == 0 ? 1 : fanout));
+      }
+    }
+  }
+}
+
+TEST(SplitContiguous, BalancesWithinOne) {
+  const auto chunks = split_contiguous(10, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].second, 4u);
+  EXPECT_EQ(chunks[1].second, 3u);
+  EXPECT_EQ(chunks[2].second, 3u);
+}
+
+// --- bootstrap argv round trip ----------------------------------------------
+
+TEST(Bootstrap, ArgsRoundTripWithExplicitRank) {
+  BootstrapSpec spec;
+  spec.size = 4;
+  spec.topology = {TopologyKind::Binomial, 0};
+  spec.port = 9100;
+  spec.session = "s3p77";
+  spec.fe_host = "atlas-fe";
+  spec.fe_port = 7050;
+  spec.hosts = {"a0", "a1", "a2", "a3"};
+
+  const auto args = bootstrap_args(spec, 2u);
+  const auto p = parse_bootstrap(args);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->rank, 2u);
+  EXPECT_EQ(p->size, 4u);
+  EXPECT_EQ(p->topology.kind, TopologyKind::Binomial);
+  EXPECT_EQ(p->port, 9100);
+  EXPECT_EQ(p->session, "s3p77");
+  EXPECT_EQ(p->fe_host, "atlas-fe");
+  EXPECT_EQ(p->fe_port, 7050);
+  EXPECT_EQ(p->hosts, spec.hosts);
+}
+
+TEST(Bootstrap, RankDerivedFromHostPosition) {
+  BootstrapSpec spec;
+  spec.size = 3;
+  spec.port = 9100;
+  spec.session = "s0";
+  spec.hosts = {"n0", "n1", "n2"};
+
+  const auto args = bootstrap_args(spec, std::nullopt);
+  // Each daemon resolves its own rank from its hostname.
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    const auto p = parse_bootstrap(args, spec.hosts[r]);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->rank, r);
+  }
+  // Unknown host or no host at all: not a LaunchMON daemon.
+  EXPECT_FALSE(parse_bootstrap(args, "stranger").has_value());
+  EXPECT_FALSE(parse_bootstrap(args).has_value());
+}
+
+TEST(Bootstrap, LegacyFanoutSpellingStillParses) {
+  const std::vector<std::string> args{
+      "--lmon-rank=1", "--lmon-size=2", "--lmon-fanout=4", "--lmon-port=9000",
+      "--lmon-hosts=x,y"};
+  const auto p = parse_bootstrap(args);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->topology.kind, TopologyKind::KAry);
+  EXPECT_EQ(p->topology.arity, 4u);
+}
+
+TEST(Bootstrap, RejectsInconsistentArgv) {
+  // rank >= size
+  EXPECT_FALSE(parse_bootstrap({"--lmon-rank=8", "--lmon-size=8",
+                                "--lmon-port=1", "--lmon-hosts=a"})
+                   .has_value());
+  // host list length mismatch
+  EXPECT_FALSE(parse_bootstrap({"--lmon-rank=0", "--lmon-size=2",
+                                "--lmon-port=1", "--lmon-hosts=a"})
+                   .has_value());
+  // bad topology spelling
+  EXPECT_FALSE(parse_bootstrap({"--lmon-rank=0", "--lmon-size=1",
+                                "--lmon-topo=moebius", "--lmon-port=1",
+                                "--lmon-hosts=a"})
+                   .has_value());
+  // missing everything (a daemon started outside LaunchMON)
+  EXPECT_FALSE(parse_bootstrap({"--verbose"}).has_value());
+}
+
+}  // namespace
+}  // namespace lmon::comm

@@ -105,7 +105,8 @@ TEST(IcclMath, ParamsFromArgsParsesBootstrapArgv) {
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(p->rank, 3u);
   EXPECT_EQ(p->size, 8u);
-  EXPECT_EQ(p->fanout, 2u);
+  EXPECT_EQ(p->topology.kind, comm::TopologyKind::KAry);
+  EXPECT_EQ(p->topology.arity, 2u);
   EXPECT_EQ(p->port, 7100);
   EXPECT_EQ(p->session, "s1p1000");
   EXPECT_EQ(p->hosts.size(), 8u);

@@ -134,9 +134,9 @@ class TreeFe : public cluster::Program {
   explicit TreeFe(Go go) : go_(std::move(go)) {}
   [[nodiscard]] std::string_view name() const override { return "tree_fe"; }
   void on_start(cluster::Process& self) override { go_(self); }
-  void on_message(cluster::Process& self, const cluster::ChannelPtr&,
+  void on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
                   cluster::Message msg) override {
-    (void)TreeRshLauncher::handle_report(self, msg);
+    (void)TreeRshLauncher::handle_report(self, ch, msg);
   }
 
  private:
