@@ -69,7 +69,7 @@ void run_kary_sweep() {
     std::printf("  k=%-5u", k);
   }
   std::printf("\n");
-  for (int n : {64, 256, 512}) {
+  for (int n : bench::scales({64, 256, 512}, {16})) {
     std::printf("%8d |", n);
     for (std::uint32_t k : {1, 2, 4, 8, 16, 32, 64, 128}) {
       print_cell(run_once(n, {comm::TopologyKind::KAry, k}));
@@ -90,7 +90,7 @@ void run_shape_sweep(const std::vector<comm::TopologySpec>& shapes) {
     std::printf(" %11s", s.to_string().c_str());
   }
   std::printf("\n");
-  for (int n : {64, 256, 512}) {
+  for (int n : bench::scales({64, 256, 512}, {16})) {
     std::printf("%8d |", n);
     for (const auto& s : shapes) {
       std::printf("    ");

@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
       "Ablation: ICCL collective latency (last-entry to last-completion)");
   std::printf("%8s %12s | %12s %16s\n", "daemons", "topology", "barrier",
               "gather 1KiB/dmn");
-  for (int n : {16, 64, 256, 1024}) {
+  for (int n : bench::scales({16, 64, 256, 1024}, {16})) {
     for (const auto& s : shapes) {
       const Times t = run_once(n, s);
       if (t.barrier < 0) {

@@ -70,7 +70,7 @@ int main() {
   std::printf("%8s %6s | %12s %12s | %7s\n", "daemons", "tasks",
               "flat gather", "TBON merge", "ratio");
   const int tpn = 8;
-  for (int n : {16, 64, 256, 512, 1024}) {
+  for (int n : bench::scales({16, 64, 256, 512, 1024}, {16})) {
     const double flat = run_flat(n, tpn);
     const double tbon = run_tbon(n, tpn);
     if (flat < 0 || tbon < 0) {

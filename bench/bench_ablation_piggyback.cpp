@@ -112,7 +112,7 @@ int main() {
       "trip\n(time until all daemons hold the payload, seconds)");
   std::printf("%8s %10s | %12s %12s | %8s\n", "daemons", "payload",
               "piggyback", "separate", "saving");
-  for (int n : {16, 64, 256}) {
+  for (int n : bench::scales({16, 64, 256}, {16})) {
     for (std::size_t bytes : {1024u, 65536u, 1048576u}) {
       const double pig = run_once(n, bytes, true);
       const double sep = run_once(n, bytes, false);

@@ -1,163 +1,108 @@
-// bench_ablation_rsh - ablation of the two ad hoc launching strategies the
-// paper describes in §2: "Most implementations have the tool front end
-// spawn each remote daemon sequentially; others employ a tree-based
-// protocol allowing daemons that the tool front end launches to spawn
-// children daemons".
+// bench_ablation_rsh - ablation of the paper's launching strategies (§2/§4,
+// Figure 4): the serial front-end rsh loop, the recursive tree-rsh
+// protocol, and LaunchMON's RM-native bulk launch, every one driven through
+// the same FE-API surface (comm::LaunchStrategy session option) and
+// validated against its per-strategy analytic model (core::PerfModel).
 //
-// Serial cost is ~(session cost) x N; a k-ary rsh tree parallelizes
-// subtrees but each agent still pays k serialized sessions per level, and
-// both remain far slower than the RM-native launch (printed for reference).
+// Expected shape: serial rsh is linear (~0.24 s/daemon) and collapses past
+// the fork limit (the paper's consistent 512-node failure); the rsh tree
+// amortizes depth but still pays k serialized sessions per level; the
+// RM-native path beats both by an order of magnitude and stays ~flat.
+//
+// Flags:
+//   --json           emit the machine-readable report (schema under golden
+//                    test; see tests/integration/bench_schema_test.cpp)
+//   --max-nodes=N    cap the sweep (default 1024; smoke runs use 16)
+//   --tpn=T          MPI tasks per node for the traced job (default 1)
+#include <algorithm>
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
-#include "apps/test_programs.hpp"
-#include "bench/bench_util.hpp"
-#include "core/fe_api.hpp"
-#include "rsh/launchers.hpp"
+#include "bench/ablation_rsh_lib.hpp"
+#include "common/argparse.hpp"
 
 namespace lmon {
 namespace {
 
-/// FE program that forwards tree-agent reports to the launcher facade.
-class RshBenchFe : public cluster::Program {
- public:
-  using Go = std::function<void(cluster::Process&)>;
-  explicit RshBenchFe(Go go) : go_(std::move(go)) {}
-  [[nodiscard]] std::string_view name() const override { return "rsh_fe"; }
-  void on_start(cluster::Process& self) override { go_(self); }
-  void on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
-                  cluster::Message msg) override {
-    (void)rsh::TreeRshLauncher::handle_report(self, ch, msg);
+void print_table(const bench::RshAblationReport& report) {
+  bench::print_title(
+      "Ablation: launch strategies through comm::LaunchStrategy "
+      "(model vs measured)");
+  std::printf("%10s %9s %6s | %10s %10s %9s\n", "strategy", "fabric",
+              "nodes", "measured", "model", "residual");
+  for (const auto& p : report.points) {
+    std::printf("%10s %9s %6d |", p.strategy.c_str(), p.topology.c_str(),
+                p.nodes);
+    if (!p.measured_ok) {
+      std::printf(" %9s", "FAIL");
+    } else {
+      std::printf(" %9.2fs", p.measured_s);
+    }
+    if (p.model_predicts_failure) {
+      std::printf(" %9s", "FAIL");
+    } else {
+      std::printf(" %9.2fs", p.model_s);
+    }
+    if (p.measured_ok && !p.model_predicts_failure) {
+      std::printf(" %8.1f%%", p.residual_pct);
+    } else if (!p.measured_ok && p.model_predicts_failure) {
+      std::printf(" %9s", "agree");
+    } else {
+      std::printf(" %9s", "DISAGREE");
+    }
+    std::printf("\n");
   }
-
- private:
-  Go go_;
-};
-
-double run_serial(int n) {
-  bench::TestCluster tc(n);
-  bool done = false;
-  Status status;
-  sim::Time t0 = 0;
-  sim::Time t1 = 0;
-  std::vector<cluster::ChannelPtr> keep;
-
-  std::vector<rsh::LaunchTarget> targets;
-  for (int i = 0; i < n; ++i) {
-    targets.push_back(
-        rsh::LaunchTarget{tc.machine.compute_node(i).hostname(), "sleeperd",
-                          {}});
-  }
-  cluster::SpawnOptions opts;
-  opts.executable = "rsh_fe";
-  auto res = tc.machine.front_end().spawn(
-      std::make_unique<RshBenchFe>([&](cluster::Process& self) {
-        t0 = self.sim().now();
-        rsh::SerialRshLauncher::launch(
-            self, targets, [&](rsh::LaunchOutcome out) {
-              status = out.status;
-              keep = std::move(out.sessions);
-              t1 = self.sim().now();
-              done = true;
-            });
-      }),
-      std::move(opts));
-  if (!res.is_ok()) return -1;
-  tc.run_until([&] { return done; }, sim::seconds(3600));
-  if (!done || !status.is_ok()) return -1.0;
-  return sim::to_seconds(t1 - t0);
-}
-
-double run_tree(int n, int fanout) {
-  bench::TestCluster tc(n);
-  bool done = false;
-  Status status;
-  sim::Time t0 = 0;
-  sim::Time t1 = 0;
-  std::size_t launched = 0;
-
-  std::vector<std::string> hosts;
-  for (int i = 0; i < n; ++i) {
-    hosts.push_back(tc.machine.compute_node(i).hostname());
-  }
-  cluster::SpawnOptions opts;
-  opts.executable = "rsh_fe";
-  auto res = tc.machine.front_end().spawn(
-      std::make_unique<RshBenchFe>([&](cluster::Process& self) {
-        t0 = self.sim().now();
-        rsh::TreeRshLauncher::launch(
-            self, hosts, "sleeperd", {}, fanout,
-            [&](rsh::LaunchOutcome out) {
-              status = out.status;
-              launched = out.daemons.size();
-              t1 = self.sim().now();
-              done = true;
-            });
-      }),
-      std::move(opts));
-  if (!res.is_ok()) return -1;
-  tc.run_until([&] { return done; }, sim::seconds(3600));
-  if (!done || !status.is_ok() || launched != static_cast<std::size_t>(n)) {
-    return -1.0;
-  }
-  return sim::to_seconds(t1 - t0);
-}
-
-double run_rm(int n) {
-  bench::TestCluster tc(n);
-  bool done = false;
-  Status status;
-  sim::Time t0 = 0;
-  sim::Time t1 = 0;
-  std::shared_ptr<core::FrontEnd> fe;
-  tc.spawn_fe([&](cluster::Process& self) {
-    fe = std::make_shared<core::FrontEnd>(self);
-    (void)fe->init();
-    auto sid = fe->create_session();
-    core::FrontEnd::SpawnConfig cfg;
-    cfg.daemon_exe = "hello_be";
-    rm::JobSpec job{n, 1, "mpi_app", {}};
-    t0 = self.sim().now();
-    fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
-      status = st;
-      t1 = self.sim().now();
-      done = true;
-    });
-  });
-  tc.run_until([&] { return done; }, sim::seconds(900));
-  if (!done || !status.is_ok()) return -1.0;
-  return sim::to_seconds(t1 - t0);
-}
-
-void print_cell(double secs) {
-  if (secs < 0) {
-    std::printf(" %9s", "FAIL");
-  } else {
-    std::printf(" %8.2fs", secs);
+  std::printf(
+      "\nmodel crossovers: tree-rsh overtakes serial-rsh at %d nodes; "
+      "rm-bulk wins outright (serial at %d, tree at %d).\n",
+      report.tree_over_serial, report.rm_over_serial, report.rm_over_tree);
+  std::printf("max |model - measured| residual: %.1f%% (gate: 15%%)\n",
+              report.max_abs_residual_pct);
+  if (report.model_measured_disagreements != 0) {
+    std::printf("model/measured FAIL disagreements: %d (gate: 0)\n",
+                report.model_measured_disagreements);
   }
 }
 
 }  // namespace
 }  // namespace lmon
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lmon;
-  bench::print_title("Ablation: ad hoc rsh strategies vs RM-native launch");
-  std::printf("%8s | %9s %9s %9s %9s | %9s\n", "daemons", "serial",
-              "tree k=2", "tree k=8", "tree k=32", "LaunchMON");
-  for (int n : {4, 16, 64, 128, 256}) {
-    std::printf("%8d |", n);
-    print_cell(run_serial(n));
-    print_cell(run_tree(n, 2));
-    print_cell(run_tree(n, 8));
-    print_cell(run_tree(n, 32));
-    std::printf(" |");
-    print_cell(run_rm(n));
-    std::printf("\n");
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (arg != "--json" && arg.rfind("--max-nodes=", 0) != 0 &&
+        arg.rfind("--tpn=", 0) != 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--max-nodes=N] [--tpn=T]\n",
+                   argv[0]);
+      return 2;
+    }
   }
-  std::printf(
-      "\nshape: serial rsh is linear (~0.24 s/daemon); rsh trees amortize "
-      "depth but still pay k sessions\nper level; the RM-native LaunchMON "
-      "path beats both by an order of magnitude and scales flattest.\n");
-  return 0;
+  bench::RshAblationOptions opts;
+  if (bench::smoke_mode()) opts.max_nodes = 16;
+  const bool json = std::find(args.begin(), args.end(), "--json") !=
+                    args.end();
+  opts.max_nodes = static_cast<int>(
+      arg_int(args, "--max-nodes=").value_or(opts.max_nodes));
+  opts.tasks_per_node = static_cast<int>(
+      arg_int(args, "--tpn=").value_or(opts.tasks_per_node));
+  if (opts.max_nodes < 4 || opts.tasks_per_node < 1) {
+    std::fprintf(stderr, "bad --max-nodes/--tpn\n");
+    return 2;
+  }
+
+  const bench::RshAblationReport report = bench::run_rsh_ablation(opts);
+  if (json) {
+    std::fputs(bench::to_json(report).c_str(), stdout);
+  } else {
+    print_table(report);
+  }
+  // Gate: tight residuals on every comparable point, and model/measured
+  // agreement about where launching fails outright.
+  return (report.max_abs_residual_pct <= 15.0 &&
+          report.model_measured_disagreements == 0)
+             ? 0
+             : 1;
 }

@@ -6,9 +6,12 @@
 //
 // Paper anchors: total < 1 s at 128 nodes (1024 tasks); LaunchMON's own
 // share ~5.2%; tracing cost 18 ms and "other" 12 ms at any scale.
+// A second table validates *every* launch strategy against its own model
+// (core::PerfModel's per-strategy family), not just the rm-bulk default.
 #include <cstdio>
 #include <memory>
 
+#include "bench/ablation_rsh_lib.hpp"
 #include "bench/bench_util.hpp"
 #include "core/fe_api.hpp"
 #include "core/perf_model.hpp"
@@ -92,7 +95,7 @@ int main() {
   const core::PerfModel model(costs,
                               static_cast<std::uint32_t>(costs.rm_launch_fanout));
   const int tpn = 8;
-  for (int n : {16, 32, 48, 64, 80, 96, 112, 128}) {
+  for (int n : bench::scales({16, 32, 48, 64, 80, 96, 112, 128}, {16})) {
     const Measurement m = run_once(n, tpn);
     const auto p = model.predict(n, tpn);
     if (!m.ok) {
@@ -111,5 +114,38 @@ int main() {
   std::printf(
       "\npaper anchors: <1 s total at 128 daemons/1024 tasks; tracing 18 ms "
       "and other 12 ms scale-independent;\nLaunchMON share ~5%% of total.\n");
+
+  // --- per-strategy model validation (jitter-free) ---------------------------
+  bench::print_title(
+      "launchAndSpawn per launch strategy: modeled vs measured");
+  std::printf("%10s %9s %8s | %9s %9s %9s\n", "strategy", "fabric",
+              "daemons", "measured", "model", "residual");
+  const cluster::CostModel det = costs.deterministic();
+  const core::PerfModel det_model(
+      det, static_cast<std::uint32_t>(det.rm_launch_fanout));
+  for (comm::LaunchStrategyKind kind : comm::kAllLaunchStrategies) {
+    const comm::TopologySpec topo = bench::ablation_topology(kind);
+    for (int n : bench::scales({16, 48, 96}, {8})) {
+      const double measured =
+          bench::measure_launch_and_spawn(kind, topo, n, tpn);
+      const double predicted = det_model.predict(kind, topo, n, tpn).total();
+      std::printf("%10s %9s %8d |", std::string(comm::to_string(kind)).c_str(),
+                  topo.to_string().c_str(), n);
+      if (measured < 0) {
+        std::printf(" %8s", "FAIL");
+      } else {
+        std::printf(" %8.3fs", measured);
+      }
+      std::printf(" %8.3fs", predicted);
+      if (measured > 0) {
+        std::printf(" %8.1f%%\n", (predicted - measured) / measured * 100.0);
+      } else {
+        std::printf(" %9s\n", "-");
+      }
+    }
+  }
+  std::printf(
+      "\nthe per-strategy family shares every calibration constant; only "
+      "T(daemon) is strategy-specific.\n");
   return 0;
 }

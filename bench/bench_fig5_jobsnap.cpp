@@ -57,7 +57,7 @@ int main() {
   std::printf("%8s %6s | %16s %22s\n", "daemons", "tasks", "jobsnap total",
               "init->attachAndSpawn");
   const int tpn = 8;
-  for (int n : {16, 32, 64, 128, 256, 384, 512, 768, 1024}) {
+  for (int n : bench::scales({16, 32, 64, 128, 256, 384, 512, 768, 1024}, {16, 32})) {
     const Point pt = run_once(n, tpn);
     if (!pt.ok) {
       std::printf("%8d %6d | FAILED\n", n, n * tpn);

@@ -83,7 +83,7 @@ int main() {
   double slope = 0;  // fitted serial-rsh per-node cost for extrapolation
   int last_ok_n = 0;
   double last_ok_t = 0;
-  for (int n : {4, 16, 64, 128, 256, 512}) {
+  for (int n : bench::scales({4, 16, 64, 128, 256, 512}, {4, 16})) {
     const Point adhoc = run_once(n, tpn, tools::stat::StartupMode::AdHocRsh);
     const Point lmon = run_once(n, tpn, tools::stat::StartupMode::LaunchMon);
 

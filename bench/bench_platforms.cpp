@@ -79,7 +79,7 @@ int main() {
               "RM", "LMON", "total", "RM", "LMON");
   const cluster::CostModel atlas;
   const cluster::CostModel bgl = cluster::CostModel::bluegene_like();
-  for (int n : {16, 64, 128}) {
+  for (int n : bench::scales({16, 64, 128}, {16})) {
     const Split a = run_once(n, atlas);
     const Split b = run_once(n, bgl);
     if (!a.ok || !b.ok) {

@@ -9,6 +9,7 @@
 // nearly two orders of magnitude, roughly constant in node count.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "tools/dpcl/dpcl.hpp"
@@ -40,29 +41,27 @@ int main() {
   using namespace lmon;
   bench::print_title("Table 1: O|SS APAI access times (seconds)");
   std::printf("%-12s", "Nodes");
-  for (int n : {2, 4, 8, 16, 32}) std::printf("%10d", n);
+  for (int n : bench::scales({2, 4, 8, 16, 32}, {2, 4})) std::printf("%10d", n);
   std::printf("\n");
 
-  double dpcl_times[5];
-  double lmon_times[5];
-  int idx = 0;
-  for (int n : {2, 4, 8, 16, 32}) {
+  std::vector<double> dpcl_times;
+  std::vector<double> lmon_times;
+  for (int n : bench::scales({2, 4, 8, 16, 32}, {2, 4})) {
     {
       bench::TestCluster tc(n);
       tools::oss::OssBe::install(tc.machine);
       (void)tools::dpcl::install(tc.machine);
       const cluster::Pid launcher = bench::start_plain_job(tc, n, 8);
-      dpcl_times[idx] =
-          acquire_seconds<tools::oss::DpclInstrumentor>(tc, launcher);
+      dpcl_times.push_back(
+          acquire_seconds<tools::oss::DpclInstrumentor>(tc, launcher));
     }
     {
       bench::TestCluster tc(n);
       tools::oss::OssBe::install(tc.machine);
       const cluster::Pid launcher = bench::start_plain_job(tc, n, 8);
-      lmon_times[idx] =
-          acquire_seconds<tools::oss::LmonInstrumentor>(tc, launcher);
+      lmon_times.push_back(
+          acquire_seconds<tools::oss::LmonInstrumentor>(tc, launcher));
     }
-    ++idx;
   }
   std::printf("%-12s", "DPCL");
   for (double t : dpcl_times) std::printf("%9.2fs", t);

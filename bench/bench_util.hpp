@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,19 @@ using testing::TestCluster;
 
 inline void print_title(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// True when LMON_BENCH_SMOKE is set: the bench must finish in seconds, not
+/// minutes. scripts/check.sh --bench-smoke (and the bench-smoke ctest
+/// label) run every bench this way so tier-1 catches bench bit-rot.
+inline bool smoke_mode() {
+  return std::getenv("LMON_BENCH_SMOKE") != nullptr;
+}
+
+/// The sweep scale list for this run: the full list normally, the smoke
+/// list (typically one or two tiny points) under LMON_BENCH_SMOKE.
+inline std::vector<int> scales(std::vector<int> full, std::vector<int> smoke) {
+  return smoke_mode() ? smoke : full;
 }
 
 /// Starts a plain (untraced) job and runs the simulation until the job's

@@ -1,12 +1,26 @@
 #!/usr/bin/env bash
 # check.sh - the repo's CI gate: configure + build (warnings are errors) +
 # full ctest. Run from anywhere; builds out-of-source into build-check/.
+#
+# Modes:
+#   (default)      full gate: configure + -Werror build + entire ctest suite
+#   --bench-smoke  build the Release preset and run only the `bench-smoke`
+#                  ctest label: every bench_* binary at minimal scale
+#                  (LMON_BENCH_SMOKE=1), so bench bit-rot is caught in
+#                  seconds without paying for the full sweeps.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-check}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS"
+  ctest --test-dir build-release -L bench-smoke --output-on-failure -j "$JOBS"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \

@@ -21,6 +21,7 @@
 // src/rm/launcher.*. make_launch_strategy() is the one factory.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -45,6 +46,16 @@ enum class LaunchStrategyKind : std::uint8_t {
 [[nodiscard]] std::string_view to_string(LaunchStrategyKind kind);
 [[nodiscard]] std::optional<LaunchStrategyKind> launch_strategy_from_string(
     std::string_view name);
+
+/// Every registered strategy, in ablation order (the paper's baselines
+/// first, the contribution last). Benches and sweeps iterate this instead
+/// of hard-coding kinds, so a new strategy automatically joins every
+/// ablation that sweeps "all strategies".
+inline constexpr std::array<LaunchStrategyKind, 3> kAllLaunchStrategies = {
+    LaunchStrategyKind::SerialRsh,
+    LaunchStrategyKind::TreeRsh,
+    LaunchStrategyKind::RmBulk,
+};
 
 /// One daemon-launch operation. The bootstrap spec names the hosts (rank
 /// order) and the fabric shape; the remaining fields parameterize the

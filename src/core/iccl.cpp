@@ -138,7 +138,16 @@ void Iccl::connect_parent(int attempts_left) {
                                         Status st, cluster::ChannelPtr ch) {
     if (!st.is_ok()) {
       if (attempts_left > 0) {
-        self_.post(kRetryDelay, [this, attempts_left] {
+        // Exponential backoff up to a cap: the RM's bulk launch brings all
+        // daemons up near-simultaneously, but the ad hoc rsh strategies
+        // stagger daemon start times across *seconds* at scale, so a
+        // fixed-short window would wrongly declare the parent dead while
+        // its subtree is still being rsh-launched. The capped budget
+        // (~15 s total) still bounds genuinely-dead-parent detection.
+        const int used = kConnectRetries - attempts_left;
+        sim::Time delay = kRetryDelay << std::min(used, 8);
+        if (delay > kRetryDelayCap) delay = kRetryDelayCap;
+        self_.post(delay, [this, attempts_left] {
           connect_parent(attempts_left - 1);
         });
       } else if (subtree_ready_ && !ready_fired_) {

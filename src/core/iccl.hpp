@@ -141,8 +141,9 @@ class Iccl {
   ScatterHandler on_scatter_;
   std::map<std::uint32_t, GatherState> gathers_;
 
-  static constexpr int kConnectRetries = 40;
+  static constexpr int kConnectRetries = 80;
   static constexpr sim::Time kRetryDelay = sim::ms(3);
+  static constexpr sim::Time kRetryDelayCap = sim::ms(200);
 };
 
 }  // namespace lmon::core

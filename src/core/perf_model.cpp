@@ -2,23 +2,97 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <vector>
 
 namespace lmon::core {
+
+int PerfModel::fabric_depth(const comm::TopologySpec& spec, int n) {
+  if (n <= 1) return 0;
+  switch (spec.kind) {
+    case comm::TopologyKind::KAry: {
+      const double k = static_cast<double>(spec.arity == 0 ? 1 : spec.arity);
+      if (k <= 1.0) return n - 1;  // degenerate chain
+      // Heap layout: a depth-d tree holds (k^(d+1)-1)/(k-1) ranks.
+      int d = 0;
+      double capacity = 1.0;
+      double level = 1.0;
+      while (capacity < static_cast<double>(n)) {
+        level *= k;
+        capacity += level;
+        d += 1;
+      }
+      return d;
+    }
+    case comm::TopologyKind::Binomial: {
+      // depth_of(r) = popcount(r); the deepest rank below n has
+      // floor(log2(n)) set bits (2^b - 1 <= n - 1).
+      int b = 0;
+      while ((1ll << (b + 1)) - 1 <= static_cast<long long>(n) - 1) b += 1;
+      return b;
+    }
+    case comm::TopologyKind::Flat:
+      return 1;
+  }
+  return 1;
+}
+
+double PerfModel::fabric_pipeline_quanta(const comm::TopologySpec& spec,
+                                         int n) {
+  if (n <= 1) return 0.0;
+  switch (spec.kind) {
+    case comm::TopologyKind::Flat:
+      return static_cast<double>(n - 1);
+    case comm::TopologyKind::KAry: {
+      const std::uint32_t k = spec.arity == 0 ? 1 : spec.arity;
+      std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
+      double worst = 0.0;
+      for (int r = 1; r < n; ++r) {
+        const int parent = (r - 1) / static_cast<int>(k);
+        const double pos =
+            static_cast<double>((r - 1) % static_cast<int>(k) + 1);
+        arrival[static_cast<std::size_t>(r)] =
+            arrival[static_cast<std::size_t>(parent)] + pos;
+        worst = std::max(worst, arrival[static_cast<std::size_t>(r)]);
+      }
+      return worst;
+    }
+    case comm::TopologyKind::Binomial: {
+      std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
+      double worst = 0.0;
+      for (int r = 1; r < n; ++r) {
+        const int parent = r & (r - 1);  // clear the lowest set bit
+        const int bit = r - parent;
+        int pos = 1;
+        while ((1 << (pos - 1)) < bit) pos += 1;  // children ascend by bit
+        arrival[static_cast<std::size_t>(r)] =
+            arrival[static_cast<std::size_t>(parent)] +
+            static_cast<double>(pos);
+        worst = std::max(worst, arrival[static_cast<std::size_t>(r)]);
+      }
+      return worst;
+    }
+  }
+  return 0.0;
+}
 
 PerfModel::PerfModel(const cluster::CostModel& costs, std::uint32_t fanout)
     : costs_(costs), fanout_(fanout == 0 ? 2 : fanout) {}
 
-int PerfModel::depth(int n) const {
+int PerfModel::chunk_depth(int n, std::uint32_t fanout) const {
   if (n <= 1) return 0;
   // Contiguous chunk splitting with degree k: level l reaches ~k^l nodes.
+  const std::uint32_t k = fanout == 0 ? 2 : fanout;
   int levels = 0;
   double reached = 1.0;
   while (reached < static_cast<double>(n)) {
-    reached *= static_cast<double>(fanout_);
+    reached *= static_cast<double>(k);
     levels += 1;
   }
   return levels;
 }
+
+int PerfModel::depth(int n) const { return chunk_depth(n, fanout_); }
 
 double PerfModel::spawn_cost(double image_mb) const {
   return seconds(costs_.fork_cost + costs_.exec_base_cost +
@@ -36,62 +110,173 @@ double PerfModel::transfer_cost(double bytes) const {
          bytes / costs_.bandwidth_bytes_per_sec;
 }
 
-LaunchSpawnPrediction PerfModel::predict(int ndaemons,
-                                         int tasks_per_daemon) const {
+// --- per-strategy T(daemon) ---------------------------------------------------
+
+double PerfModel::rsh_serialized_cost() const {
+  // The rsh invocation blocks its caller (Process::reserve_busy): helper
+  // fork plus session establishment serialize within one launching process.
+  return seconds(costs_.rsh_client_fork + costs_.rsh_session_cost);
+}
+
+double PerfModel::rsh_tail_cost(double req_bytes, double image_mb) const {
+  // After the session is up: connect to rshd, ship the exec request, rshd
+  // authenticates and forks the command, which then finishes its own exec.
+  return connect_cost() + transfer_cost(req_bytes) +
+         seconds(costs_.rshd_spawn_cost) + spawn_cost(image_mb);
+}
+
+double PerfModel::rm_launch_hop(double n) const {
+  // One level of the RM's tree-forwarded launch: connect to the next node
+  // daemon, ship the host list, and let it handle the request.
+  return connect_cost() + transfer_cost(16.0 * n) +
+         seconds(costs_.rm_slurmd_handle);
+}
+
+double PerfModel::rm_bookkeeping(double n) const {
+  // Launcher-side linear per-node work plus the super-linear RM term the
+  // paper observed past ~512 daemons (mirrors Launcher::per_node_overhead).
+  return n * seconds(costs_.rm_launcher_per_node) +
+         costs_.rm_quadratic_ns_per_node2 * n * n * 1e-9;
+}
+
+double PerfModel::rm_bulk_daemons(int n, std::uint32_t launch_fanout) const {
+  const double nn = static_cast<double>(n);
+  const double dd = static_cast<double>(chunk_depth(n, launch_fanout));
+  const double daemon_ack_bytes = kRpdtabEntryBytes * nn;
+  return spawn_cost(costs_.launcher_image_mb) +
+         seconds(costs_.rm_launcher_startup) + connect_cost() +
+         seconds(costs_.rm_controller_rpc) + rm_bookkeeping(nn) +
+         dd * rm_launch_hop(nn) + seconds(costs_.rm_task_setup) +
+         spawn_cost(costs_.tool_daemon_image_mb) +
+         dd * (transfer_cost(daemon_ack_bytes) +
+               seconds(costs_.rm_slurmd_handle));
+}
+
+double PerfModel::serial_rsh_daemons(int n) const {
+  // One blocking session per node, in order: the next target starts only
+  // after the previous ExecResp arrived. The daemon argv carries the full
+  // bootstrap host list, so the request grows (mildly) with n.
+  const double req_bytes = 16.0 * static_cast<double>(n) + 128.0;
+  const double per_target =
+      rsh_serialized_cost() + connect_cost() + transfer_cost(req_bytes) +
+      seconds(costs_.rshd_spawn_cost) + transfer_cost(64.0);
+  return static_cast<double>(n) * per_target;
+}
+
+double PerfModel::tree_rsh_daemons(int n, std::uint32_t launch_fanout) const {
+  // Mirrors the recursive agent protocol in rsh/launchers.cpp: an agent
+  // covering m hosts spawns its local daemon (off the ack critical path),
+  // rsh-starts one agent per contiguous chunk of the remaining m-1 hosts
+  // (the k session costs serialize at that agent), and acks upward once
+  // every child acked. The launching front end does the same over all n
+  // hosts. Critical path: the *last* chunk at each level waits for k
+  // serialized sessions, so cost is depth-dominated at O(k log_k n).
+  const std::uint32_t k = launch_fanout == 0 ? 2 : launch_fanout;
+  const double ser = rsh_serialized_cost();
+  const double req_bytes = 16.0 * static_cast<double>(n) + 128.0;
+  const double agent_tail = rsh_tail_cost(req_bytes, 2.0);  // agent image
+
+  // T(m): agent start -> its TreeAck delivered at the parent.
+  std::map<int, double> memo;
+  auto subtree_time = [&](auto&& self, int m) -> double {
+    if (m <= 0) return 0.0;
+    auto it = memo.find(m);
+    if (it != memo.end()) return it->second;
+    double children_done = 0.0;
+    const auto chunks =
+        comm::split_contiguous(static_cast<std::size_t>(m - 1), k);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const double child = static_cast<double>(i + 1) * ser + agent_tail +
+                           self(self, static_cast<int>(chunks[i].second));
+      children_done = std::max(children_done, child);
+    }
+    const double ack_bytes = 24.0 * static_cast<double>(m) + 64.0;
+    const double done =
+        children_done + connect_cost() + transfer_cost(ack_bytes);
+    memo.emplace(m, done);
+    return done;
+  };
+
+  // Front-end side: all n hosts are split (the FE itself runs no daemon).
+  double total = 0.0;
+  const auto root_chunks =
+      comm::split_contiguous(static_cast<std::size_t>(n), k);
+  for (std::size_t i = 0; i < root_chunks.size(); ++i) {
+    const double chunk_done =
+        static_cast<double>(i + 1) * ser + agent_tail +
+        subtree_time(subtree_time, static_cast<int>(root_chunks[i].second));
+    total = std::max(total, chunk_done);
+  }
+  return total;
+}
+
+// --- launchAndSpawn ------------------------------------------------------------
+
+LaunchSpawnPrediction PerfModel::predict(
+    comm::LaunchStrategyKind strategy, const comm::TopologySpec& fabric,
+    int n_nodes, int procs_per_node) const {
   LaunchSpawnPrediction p;
-  const double n = static_cast<double>(ndaemons);
-  const double ntasks = n * static_cast<double>(tasks_per_daemon);
-  const int d = depth(ndaemons);
-  const double dd = static_cast<double>(d);
+  const double n = static_cast<double>(n_nodes);
+  const double ntasks = n * static_cast<double>(procs_per_node);
 
-  // Per-level tree-launch request size is dominated by the host list.
-  const double hostlist_bytes = 16.0 * n;
-  const double launch_hop =
-      connect_cost() + transfer_cost(hostlist_bytes) +
-      seconds(costs_.rm_slurmd_handle);
-  const double quadratic =
-      costs_.rm_quadratic_ns_per_node2 * n * n * 1e-9;
-  const double per_node_bookkeeping =
-      n * seconds(costs_.rm_launcher_per_node) + quadratic;
+  // Resolve the fabric shape the way the FE API does: a k-ary arity of 0
+  // means "the platform's RM fan-out". The launch protocol's degree (rsh
+  // agents, RM node-daemon forwarding) follows the resolved arity.
+  comm::TopologySpec resolved = fabric;
+  if (resolved.kind == comm::TopologyKind::KAry && resolved.arity == 0) {
+    resolved.arity = static_cast<std::uint32_t>(costs_.rm_launch_fanout);
+  }
+  const std::uint32_t launch_fanout =
+      resolved.arity != 0
+          ? resolved.arity
+          : static_cast<std::uint32_t>(costs_.rm_launch_fanout);
 
-  // --- T(job): allocate + tree-launch the application tasks ----------------
+  // --- T(job): allocate + tree-launch the application tasks; always the
+  // RM's native path (at its own fan-out), whatever bootstraps the daemons.
+  const std::uint32_t job_fanout =
+      static_cast<std::uint32_t>(costs_.rm_launch_fanout);
+  const double dj = static_cast<double>(chunk_depth(n_nodes, job_fanout));
   const double task_ack_bytes = kRpdtabEntryBytes * ntasks;
   p.t_job = seconds(costs_.rm_launcher_startup) + connect_cost() +
             seconds(costs_.rm_controller_rpc + costs_.rm_allocate_cost) +
-            per_node_bookkeeping + dd * launch_hop +
-            static_cast<double>(tasks_per_daemon) *
+            rm_bookkeeping(n) + dj * rm_launch_hop(n) +
+            static_cast<double>(procs_per_node) *
                 seconds(costs_.rm_task_setup) +
             spawn_cost(costs_.app_image_mb) +
-            dd * (transfer_cost(task_ack_bytes) +
+            dj * (transfer_cost(task_ack_bytes) +
                   seconds(costs_.rm_slurmd_handle));
 
-  // --- T(daemon): co-spawn launcher + tree-launch one daemon per node -------
-  const double daemon_ack_bytes = kRpdtabEntryBytes * n;
-  p.t_daemon = spawn_cost(costs_.launcher_image_mb) +
-               seconds(costs_.rm_launcher_startup) + connect_cost() +
-               seconds(costs_.rm_controller_rpc) + per_node_bookkeeping +
-               dd * launch_hop + seconds(costs_.rm_task_setup) +
-               spawn_cost(costs_.tool_daemon_image_mb) +
-               dd * (transfer_cost(daemon_ack_bytes) +
-                     seconds(costs_.rm_slurmd_handle));
+  // --- T(daemon): the strategy-dependent term -------------------------------
+  switch (strategy) {
+    case comm::LaunchStrategyKind::RmBulk:
+      p.t_daemon = rm_bulk_daemons(n_nodes, launch_fanout);
+      break;
+    case comm::LaunchStrategyKind::SerialRsh:
+      p.t_daemon = serial_rsh_daemons(n_nodes);
+      break;
+    case comm::LaunchStrategyKind::TreeRsh:
+      p.t_daemon = tree_rsh_daemons(n_nodes, launch_fanout);
+      break;
+  }
 
   // --- T(setup): daemon fabric wiring (register wave down, SetupUp wave up)
+  const double df = static_cast<double>(fabric_depth(resolved, n_nodes));
   p.t_setup = seconds(costs_.fabric_endpoint_init) +
-              dd * (connect_cost() + seconds(costs_.iccl_msg_handle)) +
-              dd * (transfer_cost(24.0) + seconds(costs_.iccl_msg_handle));
+              df * (connect_cost() + seconds(costs_.iccl_msg_handle)) +
+              df * (transfer_cost(24.0) + seconds(costs_.iccl_msg_handle));
 
   // --- T(collective): RPDTAB broadcast down + ready-ack gather up -----------
-  // Fan-out sends serialize per level (k message quanta at each internal
-  // node) and each level receives fanout_ gathered acks.
+  // The downward fan-out serializes per sibling but pipelines across
+  // levels (see fabric_pipeline_quanta); the upward gather overlaps the
+  // tail of the broadcast, so one pipelined pass dominates, plus the
+  // payload transfers and per-hop receive handling along the deepest path.
   const double rpdtab_bytes = kRpdtabEntryBytes * ntasks;
-  const double per_level_fanout =
-      static_cast<double>(std::min<std::uint32_t>(
-          fanout_, ndaemons > 1 ? static_cast<std::uint32_t>(ndaemons - 1)
-                                : 1)) *
+  const double pipeline_cost =
+      fabric_pipeline_quanta(resolved, n_nodes) *
       seconds(costs_.iccl_msg_handle);
-  p.t_collective =
-      dd * (transfer_cost(rpdtab_bytes) + per_level_fanout) +
-      dd * (transfer_cost(16.0 * n) + per_level_fanout);
+  p.t_collective = pipeline_cost +
+                   df * (transfer_cost(rpdtab_bytes) + transfer_cost(16.0 * n) +
+                         seconds(costs_.iccl_msg_handle));
 
   // --- LaunchMON terms -------------------------------------------------------
   p.tracing = static_cast<double>(costs_.rm_debug_events) *
@@ -104,6 +289,56 @@ LaunchSpawnPrediction PerfModel::predict(int ndaemons,
   p.other = seconds(costs_.engine_fixed_cost) + spawn_cost(9.0) +
             connect_cost();
   return p;
+}
+
+LaunchSpawnPrediction PerfModel::predict(int ndaemons,
+                                         int tasks_per_daemon) const {
+  return predict(comm::LaunchStrategyKind::RmBulk,
+                 comm::TopologySpec{comm::TopologyKind::KAry, fanout_},
+                 ndaemons, tasks_per_daemon);
+}
+
+bool PerfModel::predicts_failure(comm::LaunchStrategyKind strategy,
+                                 int n_nodes) const {
+  // Serial rsh pins one helper child (and one open session) per node at the
+  // front end for the whole launch, so the per-user fork limit is a hard
+  // wall. The tree variant holds at most `fanout` helpers per agent and the
+  // RM path forks a single srun: neither exhausts the limit.
+  return strategy == comm::LaunchStrategyKind::SerialRsh &&
+         n_nodes > costs_.rsh_fork_limit;
+}
+
+std::optional<int> PerfModel::crossover(
+    comm::LaunchStrategyKind challenger, comm::LaunchStrategyKind incumbent,
+    const comm::TopologySpec& fabric, int procs_per_node,
+    int max_nodes) const {
+  // Walk n upward and report the first n from which the challenger stays
+  // cheaper. Launch-tree depth steps make the cost curves piecewise, so a
+  // single sign change is not enough: require the lead to survive the next
+  // depth step (doubling) before declaring the crossover.
+  for (int n = 2; n <= max_nodes; ++n) {
+    if (predicts_failure(incumbent, n) && !predicts_failure(challenger, n)) {
+      return n;  // incumbent cannot even run here
+    }
+    if (predicts_failure(challenger, n)) continue;
+    const double c = predict(challenger, fabric, n, procs_per_node).total();
+    const double i = predict(incumbent, fabric, n, procs_per_node).total();
+    if (c >= i) continue;
+    bool holds = true;
+    for (int probe = n + 1; probe <= std::min(max_nodes, 2 * n); ++probe) {
+      if (predicts_failure(incumbent, probe)) break;
+      const double cp =
+          predict(challenger, fabric, probe, procs_per_node).total();
+      const double ip =
+          predict(incumbent, fabric, probe, procs_per_node).total();
+      if (cp >= ip) {
+        holds = false;
+        break;
+      }
+    }
+    if (holds) return n;
+  }
+  return std::nullopt;
 }
 
 }  // namespace lmon::core

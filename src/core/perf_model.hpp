@@ -1,4 +1,5 @@
-// perf_model.hpp - the analytic launchAndSpawn model of paper §4.
+// perf_model.hpp - the analytic launchAndSpawn model of paper §4, extended
+// to a per-strategy family (§2 ablation, Figures 3 and 4).
 //
 // The paper decomposes the critical path e0..e11 into regions:
 //   Region A (RM dominant): T(job), T(daemon)+T(setup), T(collective),
@@ -7,14 +8,30 @@
 //   Region C: FE<->master handshaking (linear in daemon count)
 //   Other:    scale-independent LaunchMON costs
 //
+// Only T(daemon) depends on *how* the daemons reach the nodes, so the model
+// family shares every calibration constant and swaps that one term:
+//
+//   rm-bulk     the RM's native tree launch: per-node bookkeeping plus a
+//               depth-bounded forwarding chain - the ~flat Figure 3 curve;
+//   serial-rsh  one blocking rsh session per node, fully serialized at the
+//               front end: linear in n with a hard fork-limit failure wall;
+//   tree-rsh    recursive launch agents; each agent still serializes its
+//               k child sessions, so the critical path is depth-dominated
+//               (O(k log_k n) sessions instead of n).
+//
 // PerfModel computes each term from the CostModel constants the same way
-// the simulated implementation spends them, so bench_fig3 can print modeled
-// vs measured stacks and the model-validation tests can assert agreement.
+// the simulated implementation spends them, so the benches can print
+// modeled vs measured stacks, the model-validation tests can assert
+// agreement per strategy, and crossover() can solve for the node counts
+// where the strategies trade places (the paper's Figure 4 story).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "cluster/cost_model.hpp"
+#include "comm/launch_strategy.hpp"
+#include "comm/topology.hpp"
 
 namespace lmon::core {
 
@@ -47,11 +64,55 @@ class PerfModel {
 
   /// Predicts launchAndSpawn for `ndaemons` nodes with `tasks_per_daemon`
   /// MPI tasks per node (the paper sweeps 16..128 daemons at 8 tasks each).
+  /// Legacy single-strategy entry: rm-bulk over a k-ary fabric of this
+  /// model's fanout.
   [[nodiscard]] LaunchSpawnPrediction predict(int ndaemons,
                                               int tasks_per_daemon) const;
 
-  /// Tree depth of the RM launch / fabric tree over n nodes.
+  /// Per-strategy entry point: predicts the full launchAndSpawn for
+  /// `strategy` bootstrapping `n_nodes` daemons over a `fabric`-shaped
+  /// tree, with `procs_per_node` MPI tasks per node. A fabric arity of 0
+  /// resolves to the cost model's RM fan-out, mirroring the FE API.
+  [[nodiscard]] LaunchSpawnPrediction predict(
+      comm::LaunchStrategyKind strategy, const comm::TopologySpec& fabric,
+      int n_nodes, int procs_per_node) const;
+
+  /// True when the strategy cannot complete at this scale at all: the
+  /// serial front end holds one rsh helper child per node, so past the
+  /// per-user fork limit the launch "consistently fails" (paper §5.2).
+  [[nodiscard]] bool predicts_failure(comm::LaunchStrategyKind strategy,
+                                      int n_nodes) const;
+
+  /// Smallest node count in [2, max_nodes] from which `challenger` stays
+  /// strictly cheaper than `incumbent` (total launchAndSpawn time), or
+  /// nullopt if it never overtakes in range. This solves the paper's
+  /// Figure 4 questions: where tree-rsh overtakes serial-rsh, and where
+  /// rm-bulk wins outright. The scan evaluates the model per node count
+  /// (each O(n)), so keep max_nodes in the thousands.
+  [[nodiscard]] std::optional<int> crossover(
+      comm::LaunchStrategyKind challenger,
+      comm::LaunchStrategyKind incumbent, const comm::TopologySpec& fabric,
+      int procs_per_node, int max_nodes = 4096) const;
+
+  /// Tree depth of the RM launch / fabric tree over n nodes (contiguous
+  /// chunk splitting with this model's degree: level l reaches ~k^l nodes).
   [[nodiscard]] int depth(int n) const;
+
+  /// Fabric-tree depth as a closed form - comm::Topology::depth() walks
+  /// every rank, too slow for crossover scans. Must mirror the heap
+  /// k-ary / binomial / flat shapes in comm/topology.cpp (a unit test
+  /// pins the two together).
+  [[nodiscard]] static int fabric_depth(const comm::TopologySpec& spec,
+                                        int n);
+
+  /// Serialized message quanta on the fabric's collective critical path.
+  /// A parent's fan-out sends serialize (one iccl_msg_handle each, in
+  /// rank order), but levels pipeline: a child starts forwarding the
+  /// moment its own copy arrives, while its parent is still serving later
+  /// siblings. The critical path is therefore the max over ranks of the
+  /// summed sibling positions along the root path - not depth x degree.
+  [[nodiscard]] static double fabric_pipeline_quanta(
+      const comm::TopologySpec& spec, int n);
 
   /// Approximate encoded RPDTAB entry size (bytes) for payload terms.
   static constexpr double kRpdtabEntryBytes = 44.0;
@@ -63,6 +124,25 @@ class PerfModel {
   [[nodiscard]] double spawn_cost(double image_mb) const;
   [[nodiscard]] double connect_cost() const;
   [[nodiscard]] double transfer_cost(double bytes) const;
+  [[nodiscard]] int chunk_depth(int n, std::uint32_t fanout) const;
+
+  // --- per-strategy T(daemon) ----------------------------------------------
+  /// One level of the RM's tree-forwarded launch (shared by T(job) and
+  /// the rm-bulk T(daemon), which ride the same machinery).
+  [[nodiscard]] double rm_launch_hop(double n) const;
+  /// Launcher-side per-node bookkeeping incl. the super-linear term.
+  [[nodiscard]] double rm_bookkeeping(double n) const;
+  [[nodiscard]] double rm_bulk_daemons(int n, std::uint32_t launch_fanout)
+      const;
+  [[nodiscard]] double serial_rsh_daemons(int n) const;
+  [[nodiscard]] double tree_rsh_daemons(int n, std::uint32_t launch_fanout)
+      const;
+  /// Serialized front-of-session cost (helper fork + session setup); the
+  /// part of one rsh invocation that cannot overlap within one process.
+  [[nodiscard]] double rsh_serialized_cost() const;
+  /// Post-serialization tail: connect to rshd, request, remote spawn.
+  [[nodiscard]] double rsh_tail_cost(double req_bytes,
+                                     double image_mb) const;
 
   cluster::CostModel costs_;
   std::uint32_t fanout_;

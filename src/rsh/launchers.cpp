@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <set>
 
 #include "cluster/machine.hpp"
 #include "comm/bootstrap.hpp"
@@ -80,12 +81,17 @@ std::vector<std::vector<std::string>> chunk_hosts(
 /// Launches agents for each chunk sequentially via rsh and wires their acks
 /// into completion bookkeeping shared by the FE facade and TreeAgent.
 struct SubtreeLauncher {
+  /// `on_session_lost(host)` fires when a child agent's rsh session drops
+  /// while the launch owner is still running (the channel-close side; a
+  /// local teardown close never triggers it). The owner decides whether
+  /// the loss matters by checking whether that agent already acked.
   static void launch_chunks(
       cluster::Process& self,
       std::vector<std::vector<std::string>> chunks, const std::string& exe,
       const std::vector<std::string>& daemon_args, int fanout,
       const std::string& report_host, cluster::Port report_port,
       std::vector<cluster::ChannelPtr>* sessions,
+      std::function<void(const std::string&)> on_session_lost,
       std::function<void(Status)> on_spawned) {
     auto remaining = std::make_shared<int>(static_cast<int>(chunks.size()));
     auto failed = std::make_shared<bool>(false);
@@ -103,13 +109,26 @@ struct SubtreeLauncher {
       for (const auto& a : daemon_args) {
         agent_args.push_back("--daemon-arg=" + a);
       }
+      // Note: the callback captures the host by copy *before* the call -
+      // moving it into the capture would race the host argument (argument
+      // evaluation order is unspecified).
+      const std::string agent_host = chunk.front();
       RshSession::run(
-          self, chunk.front(), "rsh_tree_agent", std::move(agent_args),
-          [sessions, remaining, failed, on_spawned](RemoteExec res) {
+          self, agent_host, "rsh_tree_agent", std::move(agent_args),
+          [&self, sessions, remaining, failed, on_spawned, on_session_lost,
+           agent_host](RemoteExec res) {
             if (!res.status.is_ok()) {
               *failed = true;
-            } else if (sessions != nullptr) {
-              sessions->push_back(res.session);
+            } else {
+              if (sessions != nullptr) sessions->push_back(res.session);
+              if (on_session_lost) {
+                self.set_channel_handler(
+                    res.session, nullptr,
+                    [on_session_lost, agent_host](
+                        const cluster::ChannelPtr&) {
+                      on_session_lost(agent_host);
+                    });
+              }
             }
             *remaining -= 1;
             if (*remaining == 0) {
@@ -133,18 +152,35 @@ struct TreeCollector {
   LaunchOutcome outcome;
   int received = 0;
   bool finished = false;
+  std::set<std::string> acked_hosts;
 
   explicit TreeCollector(cluster::Process& s) : self(s), expected(0) {}
 
   void on_ack(const TreeAck& ack, const cluster::ChannelPtr& ch) {
     if (finished) return;
     received += 1;
+    acked_hosts.insert(ack.agent_host);
     outcome.ack_channels.push_back(ch);
     if (!ack.ok && outcome.status.is_ok()) {
       outcome.status = Status(Rc::Esubcom, ack.error);
     }
     for (const auto& d : ack.daemons) outcome.daemons.push_back(d);
     if (received == expected) finish();
+  }
+
+  /// A root agent's rsh session dropped. Before its ack that means the
+  /// subtree died mid-bootstrap: stop expecting its ack and record the
+  /// error, but keep collecting the surviving subtrees - finishing
+  /// immediately would drop their still-in-flight sessions and ack
+  /// channels (the keepalives), leaving unreapable daemons behind. After
+  /// the ack the loss is routine churn.
+  void on_session_lost(const std::string& host) {
+    if (finished || acked_hosts.count(host) != 0) return;
+    if (outcome.status.is_ok()) {
+      outcome.status = Status(Rc::Esubcom, "lost tree agent on " + host);
+    }
+    expected -= 1;
+    if (received >= expected) finish();
   }
 
   void fail(Status st) {
@@ -201,6 +237,9 @@ void TreeRshLauncher::launch(cluster::Process& self,
   SubtreeLauncher::launch_chunks(
       self, std::move(chunks), daemon_exe, daemon_args, fanout,
       self.node().hostname(), kTreeReportPort, &collector->outcome.sessions,
+      [collector](const std::string& host) {
+        collector->on_session_lost(host);
+      },
       [collector](Status st) {
         if (!st.is_ok()) collector->fail(st);
       });
@@ -273,6 +312,9 @@ void TreeAgent::on_start(cluster::Process& self) {
     SubtreeLauncher::launch_chunks(
         self, std::move(chunks), exe, daemon_args, fanout,
         self.node().hostname(), kTreeAgentPort, &child_sessions_,
+        [this, &self](const std::string& host) {
+          on_child_session_lost(self, host);
+        },
         [this, &self](Status st) {
           if (!st.is_ok()) {
             ack_.ok = false;
@@ -291,6 +333,7 @@ void TreeAgent::on_message(cluster::Process& self,
   auto ack = TreeAck::decode(msg);
   if (!ack) return;
   child_acks_.push_back(ch);
+  acked_hosts_.insert(ack->agent_host);
   if (!ack->ok) {
     ack_.ok = false;
     if (ack_.error.empty()) ack_.error = ack->error;
@@ -300,9 +343,25 @@ void TreeAgent::on_message(cluster::Process& self,
   maybe_report(self);
 }
 
+void TreeAgent::on_child_session_lost(cluster::Process& self,
+                                      const std::string& host) {
+  // A child agent's rsh session dropped. If its ack already arrived this
+  // is teardown churn; before the ack the whole child subtree is dead
+  // (mid-bootstrap fault), so stop waiting for it and report the failure
+  // upward. The dead agent's own subtree reaps itself: its daemon dies
+  // with it (die_with_parent), its children lose their ack channels and
+  // cascade, and its rshd sessions hard-kill whatever remains.
+  if (reported_ || acked_hosts_.count(host) != 0) return;
+  ack_.ok = false;
+  if (ack_.error.empty()) ack_.error = "lost tree agent on " + host;
+  awaiting_children_ -= 1;
+  maybe_report(self);
+}
+
 void TreeAgent::maybe_report(cluster::Process& self) {
   if (reported_ || !local_done_ || awaiting_children_ > 0) return;
   reported_ = true;
+  ack_.agent_host = self.node().hostname();
   if (report_host_.empty()) return;
   self.connect(
       report_host_, report_port_,

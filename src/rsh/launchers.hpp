@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -90,11 +91,15 @@ class TreeAgent : public cluster::Program {
  private:
   void maybe_report(cluster::Process& self);
   void shutdown_subtree(cluster::Process& self);
+  /// A child agent's rsh session dropped before (or after) its ack; an
+  /// unacked loss is a dead subtree and fails the launch upward.
+  void on_child_session_lost(cluster::Process& self, const std::string& host);
 
   int awaiting_children_ = 0;
   bool local_done_ = false;
   bool reported_ = false;
   TreeAck ack_;
+  std::set<std::string> acked_hosts_;
   std::string report_host_;
   cluster::Port report_port_ = 0;
   cluster::Pid daemon_pid_ = cluster::kInvalidPid;

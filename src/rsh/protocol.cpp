@@ -76,6 +76,7 @@ cluster::Message TreeAck::encode() const {
   ByteWriter w = begin(MsgType::TreeAck);
   w.boolean(ok);
   w.str(error);
+  w.str(agent_host);
   w.u32(static_cast<std::uint32_t>(daemons.size()));
   for (const auto& [host, pid] : daemons) {
     w.str(host);
@@ -90,10 +91,12 @@ std::optional<TreeAck> TreeAck::decode(const cluster::Message& m) {
   TreeAck out;
   auto ok_f = r->boolean();
   auto err = r->str();
+  auto agent = r->str();
   auto n = r->u32();
-  if (!ok_f || !err || !n) return std::nullopt;
+  if (!ok_f || !err || !agent || !n) return std::nullopt;
   out.ok = *ok_f;
   out.error = std::move(*err);
+  out.agent_host = std::move(*agent);
   for (std::uint32_t i = 0; i < *n; ++i) {
     auto host = r->str();
     auto pid = r->i64();

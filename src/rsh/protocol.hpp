@@ -40,6 +40,11 @@ struct ExecResp {
 struct TreeAck {
   bool ok = false;
   std::string error;
+  /// Hostname of the reporting agent (its chunk's first host). Lets the
+  /// parent correlate the ack with the rsh session that launched that
+  /// agent, so a session lost *before* its ack is detectably a dead
+  /// subtree (fault injection: a mid-tree agent killed during bootstrap).
+  std::string agent_host;
   /// (host, pid) of every daemon in the reporting subtree.
   std::vector<std::pair<std::string, cluster::Pid>> daemons;
   [[nodiscard]] cluster::Message encode() const;

@@ -41,7 +41,7 @@ void Rshd::on_message(cluster::Process& self, const cluster::ChannelPtr& ch,
               } else {
                 resp.ok = true;
                 resp.pid = res.value;
-                sessions_[ch->id()] = res.value;
+                sessions_[ch->id()] = Session{res.value, ch};
               }
               self.send(ch, resp.encode());
             });
@@ -51,10 +51,25 @@ void Rshd::on_channel_closed(cluster::Process& self,
                              const cluster::ChannelPtr& ch) {
   auto it = sessions_.find(ch->id());
   if (it == sessions_.end()) return;
-  cluster::Process* child = self.machine().find_process(it->second);
+  cluster::Process* child = self.machine().find_process(it->second.pid);
   sessions_.erase(it);
   if (child != nullptr && child->state() != cluster::ProcState::Exited) {
     child->exit(9);  // SIGHUP on session loss
+  }
+}
+
+void Rshd::on_child_exit(cluster::Process& self, cluster::Pid child,
+                         int exit_code) {
+  (void)exit_code;
+  // The remote command finished (or was killed): hang up its session so
+  // the client side sees the EOF, exactly like a real rsh invocation
+  // returning when the remote process exits.
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->second.pid != child) continue;
+    cluster::ChannelPtr ch = it->second.channel;
+    sessions_.erase(it);
+    if (ch != nullptr && ch->is_open()) self.close_channel(ch);
+    break;
   }
 }
 

@@ -24,10 +24,20 @@ class Rshd : public cluster::Program {
                   cluster::Message msg) override;
   void on_channel_closed(cluster::Process& self,
                          const cluster::ChannelPtr& ch) override;
+  /// The session works both ways: when the spawned command exits, the rsh
+  /// session EOFs at the client (like the real rsh returning), so launch
+  /// owners can detect a dead remote mid-protocol.
+  void on_child_exit(cluster::Process& self, cluster::Pid child,
+                     int exit_code) override;
 
  private:
-  /// Session channel -> remote command it spawned.
-  std::map<cluster::Channel::Id, cluster::Pid> sessions_;
+  struct Session {
+    cluster::Pid pid = cluster::kInvalidPid;
+    cluster::ChannelPtr channel;
+  };
+  /// Session channel -> remote command it spawned (channel retained so the
+  /// child-exit path can hang the session up).
+  std::map<cluster::Channel::Id, Session> sessions_;
 };
 
 /// Installs an rshd on every node (compute + middleware + front end).

@@ -1,0 +1,100 @@
+// Golden-file test for bench_ablation_rsh's machine-readable output: the
+// BENCH_*.json trajectory tooling diffs these reports across PRs, so the
+// key set and nesting must stay stable. The sweep runs at toy scale
+// (n <= 16) through the exact code path the bench binary uses
+// (bench/ablation_rsh_lib.hpp), the emitted JSON is reduced to its
+// structural skeleton (keys + value types; see json_shape), and that
+// skeleton is string-compared against the checked-in golden. Value drift
+// passes; renaming, dropping, or ragged keys fail.
+//
+// To update the golden after an intentional schema change:
+//   build/bench_ablation_rsh --json --max-nodes=16  (inspect the output)
+//   then re-run this test with the new skeleton written to
+//   tests/golden/bench_ablation_rsh.schema.txt (the failure message prints
+//   the live skeleton verbatim).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "bench/ablation_rsh_lib.hpp"
+
+#ifndef LMON_SOURCE_DIR
+#error "LMON_SOURCE_DIR must point at the repo root (set by CMakeLists.txt)"
+#endif
+
+namespace lmon {
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::string path =
+      std::string(LMON_SOURCE_DIR) + "/tests/golden/" + name;
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  std::string text = out.str();
+  // Normalize the trailing newline editors/generators append.
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+TEST(BenchSchema, AblationRshJsonShapeMatchesGolden) {
+  bench::RshAblationOptions opts;
+  opts.max_nodes = 16;  // toy scale: same code path, seconds not minutes
+  const bench::RshAblationReport report = bench::run_rsh_ablation(opts);
+  const std::string json = bench::to_json(report);
+  const std::string live_shape = bench::json_shape(json);
+
+  const std::string golden =
+      read_golden("bench_ablation_rsh.schema.txt");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file tests/golden/bench_ablation_rsh.schema.txt";
+  EXPECT_EQ(live_shape, golden)
+      << "bench_ablation_rsh --json schema drifted.\nlive skeleton:\n"
+      << live_shape << "\nif intentional, update the golden file.";
+}
+
+TEST(BenchSchema, ReportIsWellFormedAtToyScale) {
+  bench::RshAblationOptions opts;
+  opts.max_nodes = 16;
+  const bench::RshAblationReport report = bench::run_rsh_ablation(opts);
+
+  // Every strategy in the registry appears, with one point per scale.
+  ASSERT_EQ(report.strategies.size(), comm::kAllLaunchStrategies.size());
+  ASSERT_FALSE(report.scales.empty());
+  EXPECT_EQ(report.points.size(),
+            report.strategies.size() * report.scales.size());
+
+  // At toy scale nothing fails, and the model stays inside the bench's
+  // own 15% residual gate.
+  for (const auto& p : report.points) {
+    EXPECT_TRUE(p.measured_ok) << p.strategy << " n=" << p.nodes;
+    EXPECT_FALSE(p.model_predicts_failure) << p.strategy << " n=" << p.nodes;
+  }
+  EXPECT_LE(report.max_abs_residual_pct, 15.0);
+  EXPECT_EQ(report.model_measured_disagreements, 0);
+
+  // Crossovers solved: the ad hoc tree overtakes serial quickly, and the
+  // paper's contribution wins outright.
+  EXPECT_GT(report.tree_over_serial, 0);
+  EXPECT_GT(report.rm_over_serial, 0);
+  EXPECT_GT(report.rm_over_tree, 0);
+}
+
+/// The skeleton reducer itself: malformed/ragged rows must be visible.
+TEST(BenchSchema, JsonShapeFlagsRaggedRows) {
+  EXPECT_EQ(bench::json_shape("{\"a\": 1, \"b\": [true, false]}"),
+            "{a:num,b:[bool]}");
+  EXPECT_EQ(bench::json_shape("[{\"x\": 1}, {\"x\": 2}]"), "[{x:num}]");
+  // A row with a missing key produces a second distinct element shape.
+  EXPECT_EQ(bench::json_shape("[{\"x\": 1}, {\"y\": 2}]"),
+            "[{x:num}|{y:num}]");
+  EXPECT_EQ(bench::json_shape("{\"s\": \"v\", \"n\": null}"),
+            "{s:str,n:null}");
+}
+
+}  // namespace
+}  // namespace lmon

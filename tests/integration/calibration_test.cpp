@@ -6,7 +6,9 @@
 
 #include <memory>
 
+#include "bench/ablation_rsh_lib.hpp"
 #include "core/fe_api.hpp"
+#include "core/perf_model.hpp"
 #include "rsh/launchers.hpp"
 #include "tests/test_util.hpp"
 #include "tools/jobsnap/jobsnap_be.hpp"
@@ -118,6 +120,59 @@ TEST(Calibration, RshFailsNearThePaperForkLimit) {
   const cluster::CostModel costs;
   EXPECT_GE(costs.rsh_fork_limit, 400);
   EXPECT_LT(costs.rsh_fork_limit, 512);
+}
+
+TEST(Calibration, SerialRshModelHitsThePaperRateAt256Nodes) {
+  // Paper Fig. 6: serial ad hoc launching costs 60.8 s at 256 nodes. The
+  // per-strategy analytic model's T(daemon) must land on that anchor.
+  const cluster::CostModel costs;
+  const core::PerfModel model(
+      costs, static_cast<std::uint32_t>(costs.rm_launch_fanout));
+  const auto p = model.predict(comm::LaunchStrategyKind::SerialRsh,
+                               comm::TopologySpec{comm::TopologyKind::KAry, 0},
+                               256, 8);
+  EXPECT_NEAR(p.t_daemon, 60.8, 3.0);
+}
+
+TEST(Calibration, SerialRshConsistentlyFailsAt512ThroughTheFeApi) {
+  // The paper's hard 512-node failure, end to end: the same launchAndSpawn
+  // that works under rm-bulk fails under serial-rsh at 512 nodes, and the
+  // analytic model predicts exactly that. Uses the bench's own measurement
+  // harness (negative = launch failed).
+  const int n = 512;
+  EXPECT_LT(bench::measure_launch_and_spawn(
+                comm::LaunchStrategyKind::SerialRsh,
+                comm::TopologySpec{comm::TopologyKind::KAry, 0}, n, 1),
+            0.0);
+
+  const cluster::CostModel costs;
+  const core::PerfModel model(
+      costs, static_cast<std::uint32_t>(costs.rm_launch_fanout));
+  EXPECT_TRUE(
+      model.predicts_failure(comm::LaunchStrategyKind::SerialRsh, n));
+  EXPECT_FALSE(
+      model.predicts_failure(comm::LaunchStrategyKind::SerialRsh, 256));
+}
+
+TEST(Calibration, ModelCrossoversPutRmBulkFirstFromTheStart) {
+  // Figure 4's story in crossover form: with the calibrated constants the
+  // rsh tree overtakes the serial loop almost immediately, and the
+  // RM-native launch wins outright from the smallest scales - there is no
+  // regime where an ad hoc strategy is the right choice on Atlas.
+  const cluster::CostModel costs;
+  const core::PerfModel model(
+      costs, static_cast<std::uint32_t>(costs.rm_launch_fanout));
+  const comm::TopologySpec tree_topo{comm::TopologyKind::KAry, 8};
+  const auto tree_over_serial =
+      model.crossover(comm::LaunchStrategyKind::TreeRsh,
+                      comm::LaunchStrategyKind::SerialRsh, tree_topo, 8);
+  ASSERT_TRUE(tree_over_serial.has_value());
+  EXPECT_LE(*tree_over_serial, 4);
+  const auto rm_over_tree =
+      model.crossover(comm::LaunchStrategyKind::RmBulk,
+                      comm::LaunchStrategyKind::TreeRsh, tree_topo, 8);
+  ASSERT_TRUE(rm_over_tree.has_value());
+  EXPECT_LE(*rm_over_tree, 4);
 }
 
 TEST(Calibration, JobsnapLastDoublingIsSuperLinear) {
