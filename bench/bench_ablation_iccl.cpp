@@ -1,114 +1,69 @@
-// bench_ablation_iccl - ICCL collective latency across daemon counts,
-// fabric fan-outs and tree families: the cost of the minimal services
-// (§3.3) tools reuse after startup. Latency is measured fleet-wide: from
-// the last rank's entry into the collective to the last rank's completion.
+// bench_ablation_iccl - the ICCL eager/rendezvous broadcast ablation:
+// fleet-wide broadcast latency (master issue to last delivery) swept over
+// payload size x fabric topology x protocol, validated point-by-point
+// against core::PerfModel::collective_bcast() and crossover-by-crossover
+// against collective_crossover() (the analytic answer to "where should the
+// rendezvous threshold sit for this fabric").
 //
-// Usage: bench_ablation_iccl [--topo=kary|all]  (default kary: degree sweep)
+// Expected shape: eager wins small payloads (no RTS/CTS round trip), but
+// its per-child payload copies serialize at every parent and whole-payload
+// store-and-forward stacks per level; rendezvous pays the handshake once
+// and then streams zero-copy chunks that relays forward cut-through, so it
+// wins from a payload the model pins per topology (deep trees cross over
+// earlier than flat fan-out).
+//
+// Flags:
+//   --json        machine-readable report (schema under golden test; see
+//                 tests/integration/bench_schema_test.cpp)
+//   --nodes=N     daemons per session (default 32; smoke uses 8)
 #include <algorithm>
 #include <cstdio>
-#include <map>
-#include <memory>
 #include <string>
+#include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/ablation_iccl_lib.hpp"
 #include "common/argparse.hpp"
-#include "comm/topology.hpp"
-#include "core/be_api.hpp"
-#include "core/fe_api.hpp"
 
 namespace lmon {
 namespace {
 
-struct CollState {
-  std::map<std::uint32_t, sim::Time> barrier_enter;
-  std::map<std::uint32_t, sim::Time> barrier_done;
-  std::map<std::uint32_t, sim::Time> gather_enter;
-  sim::Time gather_done = 0;
-  int finished = 0;
-};
-
-class TimedCollDaemon : public cluster::Program {
- public:
-  explicit TimedCollDaemon(CollState* state) : state_(state) {}
-  [[nodiscard]] std::string_view name() const override { return "timed_be"; }
-
-  void on_start(cluster::Process& self) override {
-    be_ = std::make_unique<core::BackEnd>(self);
-    core::BackEnd::Callbacks cbs;
-    cbs.on_init = [](const core::Rpdtab&, const Bytes&,
-                     std::function<void(Status)> done) { done(Status::ok()); };
-    cbs.on_ready = [this, &self](Status st) {
-      if (!st.is_ok()) return;
-      // Warm-up barrier aligns all ranks, then the measured collectives.
-      be_->barrier([this, &self] {
-        state_->barrier_enter[be_->rank()] = self.sim().now();
-        be_->barrier([this, &self] {
-          state_->barrier_done[be_->rank()] = self.sim().now();
-          state_->gather_enter[be_->rank()] = self.sim().now();
-          be_->gather(Bytes(1024, 0x11), [this, &self](auto entries) {
-            (void)entries;
-            state_->gather_done = self.sim().now();
-          });
-          state_->finished += 1;
-        });
-      });
-    };
-    (void)be_->init(std::move(cbs));
+void print_table(const bench::IcclAblationReport& report) {
+  bench::print_title(
+      "Ablation: ICCL broadcast eager vs rendezvous (model vs measured)");
+  std::printf("%10s %11s %10s | %11s %11s %9s\n", "topology", "protocol",
+              "payload", "measured", "model", "residual");
+  for (const auto& p : report.points) {
+    std::printf("%10s %11s %9zuK |", p.topology.c_str(), p.protocol.c_str(),
+                p.payload_bytes / 1024);
+    if (!p.measured_ok) {
+      std::printf(" %10s", "FAIL");
+    } else {
+      std::printf(" %9.4fs", p.measured_s);
+    }
+    std::printf(" %10.4fs", p.model_s);
+    if (p.measured_ok) {
+      std::printf(" %8.1f%%", p.residual_pct);
+    } else {
+      std::printf(" %9s", "-");
+    }
+    std::printf("\n");
   }
-
-  static void install(cluster::Machine& machine, CollState* state) {
-    cluster::ProgramImage image;
-    image.image_mb = 2.0;
-    image.factory = [state](const std::vector<std::string>&) {
-      return std::make_unique<TimedCollDaemon>(state);
-    };
-    machine.install_program("timed_be", std::move(image));
+  std::printf("\ncrossovers (eager -> rendezvous payload):\n");
+  for (const auto& c : report.crossovers) {
+    std::printf("  %10s  measured %8.0f B  model %8.0f B  (%+.1f%%)%s\n",
+                c.topology.c_str(), c.measured_bytes, c.model_bytes,
+                c.agreement_pct,
+                c.rendezvous_wins_at_max ? "" : "  [rndv never wins!]");
   }
-
- private:
-  CollState* state_;
-  std::unique_ptr<core::BackEnd> be_;
-};
-
-sim::Time max_value(const std::map<std::uint32_t, sim::Time>& m) {
-  sim::Time v = 0;
-  for (const auto& [rank, t] : m) v = std::max(v, t);
-  return v;
-}
-
-struct Times {
-  double barrier = -1;
-  double gather = -1;
-};
-
-Times run_once(int ndaemons, comm::TopologySpec topo) {
-  bench::TestCluster tc(ndaemons);
-  CollState state;
-  TimedCollDaemon::install(tc.machine, &state);
-  std::shared_ptr<core::FrontEnd> fe;
-  tc.spawn_fe([&](cluster::Process& self) {
-    fe = std::make_shared<core::FrontEnd>(self);
-    (void)fe->init();
-    auto sid = fe->create_session();
-    core::FrontEnd::SpawnConfig cfg;
-    cfg.daemon_exe = "timed_be";
-    cfg.topology = topo;
-    rm::JobSpec job{ndaemons, 1, "mpi_app", {}};
-    fe->launch_and_spawn(sid.value, job, cfg, [](Status) {});
-  });
-  Times t;
-  const bool ok = tc.run_until(
-      [&] {
-        return state.finished == ndaemons && state.gather_done != 0;
-      },
-      sim::seconds(900));
-  if (!ok) return t;
-  t.barrier =
-      sim::to_seconds(max_value(state.barrier_done) -
-                      max_value(state.barrier_enter));
-  t.gather = sim::to_seconds(state.gather_done -
-                             max_value(state.gather_enter));
-  return t;
+  std::printf(
+      "\nmax |model - measured| residual: %.1f%% (gate: 15%%); max crossover "
+      "disagreement: %.1f%% (gate: 15%%)\n",
+      report.max_abs_residual_pct, report.max_abs_crossover_pct);
+  std::printf(
+      "shape: eager pays (msg-handle + payload-copy) per child per level and "
+      "full store-and-forward\nper hop; rendezvous pays RTS/CTS once, then "
+      "zero-copy chunks pipeline across levels. Deep\ntrees cross over at "
+      "smaller payloads than flat fan-out.\n");
 }
 
 }  // namespace
@@ -116,48 +71,37 @@ Times run_once(int ndaemons, comm::TopologySpec topo) {
 
 int main(int argc, char** argv) {
   using namespace lmon;
-  std::vector<std::string> args(argv + 1, argv + argc);
-  const std::string mode = arg_value(args, "--topo=").value_or("kary");
-
-  std::vector<comm::TopologySpec> shapes;
-  if (mode == "all") {
-    shapes = {{comm::TopologyKind::KAry, 2},
-              {comm::TopologyKind::KAry, 32},
-              {comm::TopologyKind::Binomial, 0},
-              {comm::TopologyKind::Flat, 0}};
-  } else if (mode == "kary") {
-    shapes = {{comm::TopologyKind::KAry, 2},
-              {comm::TopologyKind::KAry, 8},
-              {comm::TopologyKind::KAry, 32}};
-  } else if (const auto spec = comm::TopologySpec::parse(mode)) {
-    shapes = {*spec};
-  } else {
-    std::fprintf(stderr,
-                 "usage: bench_ablation_iccl "
-                 "[--topo=kary|binomial|flat|kary:K|all]\n");
-    return 2;
-  }
-
-  bench::print_title(
-      "Ablation: ICCL collective latency (last-entry to last-completion)");
-  std::printf("%8s %12s | %12s %16s\n", "daemons", "topology", "barrier",
-              "gather 1KiB/dmn");
-  for (int n : bench::scales({16, 64, 256, 1024}, {16})) {
-    for (const auto& s : shapes) {
-      const Times t = run_once(n, s);
-      if (t.barrier < 0) {
-        std::printf("%8d %12s | FAIL\n", n, s.to_string().c_str());
-        continue;
-      }
-      std::printf("%8d %12s | %11.4fs %15.4fs\n", n, s.to_string().c_str(),
-                  t.barrier, t.gather);
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (arg != "--json" && arg.rfind("--nodes=", 0) != 0) {
+      std::fprintf(stderr, "usage: %s [--json] [--nodes=N]\n", argv[0]);
+      return 2;
     }
   }
-  std::printf(
-      "\nshape: latency ~ depth x per-level cost; higher fan-out flattens "
-      "the tree until per-parent\nserialization dominates. Gather exceeds "
-      "barrier because payload bytes accumulate toward the root.\nThe "
-      "binomial tree sits near the tuned k-ary optimum; flat pays root "
-      "serialization at scale.\n");
-  return 0;
+  bench::IcclAblationOptions opts;
+  if (bench::smoke_mode()) opts = bench::IcclAblationOptions::smoke();
+  opts.nodes =
+      static_cast<int>(arg_int(args, "--nodes=").value_or(opts.nodes));
+  if (opts.nodes < 2) {
+    std::fprintf(stderr, "bad --nodes\n");
+    return 2;
+  }
+  const bool json =
+      std::find(args.begin(), args.end(), "--json") != args.end();
+
+  const bench::IcclAblationReport report = bench::run_iccl_ablation(opts);
+  if (json) {
+    std::fputs(bench::to_json(report).c_str(), stdout);
+  } else {
+    print_table(report);
+  }
+  // Gate: tight residuals on every measured point, model/measured agreement
+  // on the crossover payload, and the headline claim - rendezvous beats
+  // eager at the largest swept payload on every topology.
+  return (report.max_abs_residual_pct <= 15.0 &&
+          report.max_abs_crossover_pct <= 15.0 &&
+          report.rendezvous_wins_at_max_everywhere &&
+          report.measurement_failures == 0)
+             ? 0
+             : 1;
 }

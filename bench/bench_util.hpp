@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "tests/test_util.hpp"
@@ -21,11 +22,14 @@ inline void print_title(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
-/// True when LMON_BENCH_SMOKE is set: the bench must finish in seconds, not
-/// minutes. scripts/check.sh --bench-smoke (and the bench-smoke ctest
-/// label) run every bench this way so tier-1 catches bench bit-rot.
+/// True when LMON_BENCH_SMOKE is set to a truthy value: the bench must
+/// finish in seconds, not minutes. scripts/check.sh --bench-smoke (and the
+/// bench-smoke ctest label) run every bench this way so tier-1 catches
+/// bench bit-rot. An empty value or "0" means off, so exported-but-cleared
+/// environments ("LMON_BENCH_SMOKE=0 ./bench") get the full sweep.
 inline bool smoke_mode() {
-  return std::getenv("LMON_BENCH_SMOKE") != nullptr;
+  const char* v = std::getenv("LMON_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
 }
 
 /// The sweep scale list for this run: the full list normally, the smoke

@@ -118,6 +118,22 @@ struct CostModel {
   /// Per-message handling cost inside a daemon's collective layer (receive,
   /// decode, forward bookkeeping); also serializes fan-out sends.
   Time iccl_msg_handle = sim::us(600);
+  /// Eager-protocol per-KB payload copy: the parent memcpys the payload into
+  /// each child's send buffer (serialized, so it stretches the fan-out
+  /// quantum), and the receiver copies it out of the bounce buffer before
+  /// handling. ~500 MB/s effective for the double-copy TCP path.
+  Time iccl_eager_copy_per_kb = sim::us(2.0);
+  /// Rendezvous per-chunk fixed cost on each side (post one pre-registered
+  /// zero-copy chunk / retire one). No per-byte CPU term: the payload is
+  /// never staged through a bounce buffer once the CTS arrived.
+  Time iccl_chunk_handle = sim::us(60);
+  /// Rendezvous pipeline chunk size.
+  std::uint32_t iccl_rndv_chunk_bytes = 64 * 1024;
+  /// Default eager->rendezvous switch threshold (payload bytes). Deliberately
+  /// conservative so stock sessions keep the calibrated eager path; tools
+  /// tune it per session (SpawnConfig::rndv_threshold_bytes) with
+  /// core::PerfModel::collective_crossover() as the guide.
+  std::uint32_t iccl_rndv_threshold_bytes = 1024 * 1024;
 
   // --- TBON --------------------------------------------------------------------------
   /// Per-child registration work at a TBON node accepting a new link

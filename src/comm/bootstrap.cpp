@@ -11,6 +11,10 @@ std::vector<std::string> bootstrap_args(const BootstrapSpec& spec,
   args.push_back("--lmon-size=" + std::to_string(spec.size));
   args.push_back("--lmon-topo=" + spec.topology.to_string());
   args.push_back("--lmon-port=" + std::to_string(spec.port));
+  if (spec.rndv_threshold != 0) {
+    args.push_back("--lmon-rndv-threshold=" +
+                   std::to_string(spec.rndv_threshold));
+  }
   args.push_back("--lmon-session=" + spec.session);
   if (!spec.fe_host.empty()) {
     args.push_back("--lmon-fe-host=" + spec.fe_host);
@@ -34,6 +38,8 @@ std::optional<BootstrapParams> parse_bootstrap(
   p.fe_host = arg_value(args, "--lmon-fe-host=").value_or("");
   p.fe_port = static_cast<cluster::Port>(
       arg_int(args, "--lmon-fe-port=").value_or(0));
+  p.rndv_threshold = static_cast<std::uint32_t>(
+      arg_int(args, "--lmon-rndv-threshold=").value_or(0));
 
   // Tree shape: the modern "--lmon-topo=kind:arity" form, with the
   // pre-topology "--lmon-fanout=K" spelling still accepted (k-ary).

@@ -34,6 +34,9 @@ struct BootstrapSpec {
   std::string fe_host;          ///< tool front end (master daemon connects)
   cluster::Port fe_port = 0;
   std::vector<std::string> hosts;  ///< daemon hosts in rank order
+  /// Eager->rendezvous collective switch threshold in payload bytes;
+  /// 0 means "use the platform default" (CostModel::iccl_rndv_threshold_bytes).
+  std::uint32_t rndv_threshold = 0;
 };
 
 /// What a daemon recovers from its argv.
@@ -46,6 +49,7 @@ struct BootstrapParams {
   std::string fe_host;
   cluster::Port fe_port = 0;
   std::vector<std::string> hosts;
+  std::uint32_t rndv_threshold = 0;  ///< 0 = platform default
 };
 
 /// Emits the "--lmon-*" argv for one daemon. Pass nullopt as `rank` for

@@ -37,11 +37,7 @@ Status DaemonRuntime::init(Callbacks callbacks) {
         on_internal_gather(tag, std::move(entries));
       });
   iccl_->set_scatter_handler([this](std::uint32_t tag, const Bytes& data) {
-    auto it = scatter_waiters_.find(tag);
-    if (it == scatter_waiters_.end()) return;
-    auto fn = std::move(it->second);
-    scatter_waiters_.erase(it);
-    fn(data);
+    dispatch_scatter(tag, data);
   });
 
   // The master's handshake with the FE begins immediately (paper e7) while
@@ -226,12 +222,15 @@ void DaemonRuntime::dispatch_bcast(std::uint32_t tag, const Bytes& data) {
     }
     return;
   }
-  if (tag == kTagCommand) {
+  if (tag >= kTagCommandBase && tag < kUserBarrier) {
     if (cbs_.on_command) cbs_.on_command(data);
     return;
   }
   auto it = bcast_waiters_.find(tag);
-  if (it == bcast_waiters_.end()) return;
+  if (it == bcast_waiters_.end()) {
+    pending_bcasts_[tag] = data;  // arrived before the local call
+    return;
+  }
   auto fn = std::move(it->second);
   bcast_waiters_.erase(it);
   if (fn) fn(data);
@@ -256,7 +255,11 @@ Status DaemonRuntime::broadcast_command(Bytes data) {
   if (!is_master()) {
     return Status(Rc::Einval, "only the master broadcasts commands");
   }
-  iccl_->broadcast(kTagCommand, std::move(data));
+  // One tag per round: see kTagCommandBase.
+  const std::uint32_t tag =
+      kTagCommandBase +
+      (command_count_++ % (kUserBarrier - kTagCommandBase));
+  iccl_->broadcast(tag, std::move(data));
   return Status::ok();
 }
 
@@ -285,7 +288,17 @@ void DaemonRuntime::broadcast(Bytes data,
                               std::function<void(const Bytes&)> delivered) {
   const std::uint32_t tag = kUserBcast + bcast_count_++;
   bcast_waiters_[tag] = std::move(delivered);
-  if (is_master()) iccl_->broadcast(tag, std::move(data));
+  if (is_master()) {
+    iccl_->broadcast(tag, std::move(data));
+    return;
+  }
+  // The payload may have raced ahead of this call (see pending_bcasts_).
+  auto it = pending_bcasts_.find(tag);
+  if (it != pending_bcasts_.end()) {
+    Bytes buffered = std::move(it->second);
+    pending_bcasts_.erase(it);
+    dispatch_bcast(tag, buffered);
+  }
 }
 
 void DaemonRuntime::scatter(std::vector<Bytes> parts,
@@ -295,7 +308,25 @@ void DaemonRuntime::scatter(std::vector<Bytes> parts,
   if (is_master()) {
     assert(parts.size() == iccl_->size());
     iccl_->scatter(tag, std::move(parts));
+    return;
   }
+  auto it = pending_scatters_.find(tag);
+  if (it != pending_scatters_.end()) {
+    Bytes buffered = std::move(it->second);
+    pending_scatters_.erase(it);
+    dispatch_scatter(tag, buffered);
+  }
+}
+
+void DaemonRuntime::dispatch_scatter(std::uint32_t tag, const Bytes& data) {
+  auto it = scatter_waiters_.find(tag);
+  if (it == scatter_waiters_.end()) {
+    pending_scatters_[tag] = data;  // arrived before the local call
+    return;
+  }
+  auto fn = std::move(it->second);
+  scatter_waiters_.erase(it);
+  if (fn) fn(data);
 }
 
 void DaemonRuntime::fail(Status st) {

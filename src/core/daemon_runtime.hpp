@@ -101,7 +101,11 @@ class DaemonRuntime {
   static constexpr std::uint32_t kTagHandshake = 1;
   static constexpr std::uint32_t kTagReadyAck = 2;
   static constexpr std::uint32_t kTagShutdown = 3;
-  static constexpr std::uint32_t kTagCommand = 4;
+  /// Commands take one tag per round from [kTagCommandBase, kUserBarrier):
+  /// the ICCL's rendezvous state is keyed by tag, so two overlapping large
+  /// commands must not share one. (Rendezvous rounds with distinct tags may
+  /// complete out of issue order; commands are independent fleet actions.)
+  static constexpr std::uint32_t kTagCommandBase = 0x0000'0100;
   static constexpr std::uint32_t kUserBarrier = 0x1000'0000;
   static constexpr std::uint32_t kUserGather = 0x2000'0000;
   static constexpr std::uint32_t kUserBcast = 0x3000'0000;
@@ -116,6 +120,7 @@ class DaemonRuntime {
       std::uint32_t tag,
       std::vector<std::pair<std::uint32_t, Bytes>> entries);
   void dispatch_bcast(std::uint32_t tag, const Bytes& data);
+  void dispatch_scatter(std::uint32_t tag, const Bytes& data);
   void fail(Status st);
   [[nodiscard]] std::string mark_prefix() const {
     return cls_ == MsgClass::FeBe ? "be_" : "mw_";
@@ -143,10 +148,18 @@ class DaemonRuntime {
            std::function<void(std::vector<std::pair<std::uint32_t, Bytes>>)>>
       gather_waiters_;
   std::map<std::uint32_t, std::function<void(const Bytes&)>> scatter_waiters_;
+  /// SPMD collectives are matched by per-primitive counters, but the fabric
+  /// may deliver a round's payload before this rank has issued the matching
+  /// call (the rendezvous chunk pipeline can overtake the eager staggered
+  /// barrier-release wave at high fan-out). Early arrivals park here and are
+  /// consumed when the call registers its waiter.
+  std::map<std::uint32_t, Bytes> pending_bcasts_;
+  std::map<std::uint32_t, Bytes> pending_scatters_;
   std::uint32_t barrier_count_ = 0;
   std::uint32_t gather_count_ = 0;
   std::uint32_t bcast_count_ = 0;
   std::uint32_t scatter_count_ = 0;
+  std::uint32_t command_count_ = 0;
 };
 
 }  // namespace lmon::core

@@ -64,6 +64,8 @@ void EngineProgram::on_start(cluster::Process& self) {
   launch_fanout_ = static_cast<std::uint32_t>(
       arg_int(args, "--fabric-fanout=").value_or(fabric_topo_.arity));
   if (launch_fanout_ == 0) launch_fanout_ = 2;
+  rndv_threshold_ = static_cast<std::uint32_t>(
+      arg_int(args, "--rndv-threshold=").value_or(0));
 
   adapter_ = adapter_factory_ ? adapter_factory_()
                               : std::make_unique<SlurmAdapter>();
@@ -227,6 +229,7 @@ void EngineProgram::co_spawn_daemons(cluster::Process& self) {
   req.bootstrap.hosts = proctable_.hosts();
   req.bootstrap.size =
       static_cast<std::uint32_t>(req.bootstrap.hosts.size());
+  req.bootstrap.rndv_threshold = rndv_threshold_;
   req.launch_fanout = launch_fanout_;
   req.jobid = jobid_;
   req.report_port = static_cast<cluster::Port>(
@@ -329,6 +332,7 @@ void EngineProgram::handle_launch_mw(cluster::Process& self,
   cfg.fabric.port = req->fabric_port;
   cfg.fabric.fanout = req->fabric_fanout;
   cfg.fabric.topo_kind = req->fabric_topo;
+  cfg.fabric.rndv_threshold = rndv_threshold_;
   cfg.fabric.fe_host = fe_host_;
   cfg.fabric.fe_port = fe_port_;
   cfg.fabric.session = session_ + "-mw" + std::to_string(mw_sessions_);

@@ -121,6 +121,7 @@ class EngineProgram : public cluster::Program {
   comm::LaunchStrategyKind strategy_kind_ = comm::LaunchStrategyKind::RmBulk;
   comm::TopologySpec fabric_topo_;
   std::uint32_t launch_fanout_ = 2;  ///< launch-protocol tree degree
+  std::uint32_t rndv_threshold_ = 0;  ///< ICCL eager/rendezvous switch
   EventManager event_manager_;
   EventDecoder decoder_;
   Phase phase_ = Phase::Init;

@@ -134,6 +134,10 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
   opts.args.push_back("--fabric-fanout=" + std::to_string(topo.arity));
   opts.args.push_back("--launch-strategy=" +
                       std::string(comm::to_string(s->cfg.launch_strategy)));
+  if (s->cfg.rndv_threshold_bytes != 0) {
+    opts.args.push_back("--rndv-threshold=" +
+                        std::to_string(s->cfg.rndv_threshold_bytes));
+  }
   opts.args.push_back("--report-port=" + std::to_string(s->report_port));
 
   auto res = self_.spawn_child(std::make_unique<EngineProgram>(),

@@ -49,6 +49,11 @@ class FrontEnd {
     /// (default) or one of the paper's §2 ad hoc rsh baselines.
     comm::LaunchStrategyKind launch_strategy =
         comm::LaunchStrategyKind::RmBulk;
+    /// ICCL eager->rendezvous collective switch threshold (payload bytes).
+    /// 0 uses the platform default; UINT32_MAX pins the session to eager,
+    /// 1 pins it to rendezvous (benches ablate both). Tune with
+    /// core::PerfModel::collective_crossover().
+    std::uint32_t rndv_threshold_bytes = 0;
     /// Tool data piggybacked on the FE->master handshake (paper §3.2:
     /// "enables piggybacking of the tool's data with the LaunchMON front
     /// end's handshaking exchanges").

@@ -88,6 +88,11 @@ Iccl::Iccl(cluster::Process& self, Params params)
   expected_children_ = topo_.children_of(params_.rank);
   // Every node (including leaves) reports SetupUp; we expect one per child.
   setups_pending_ = static_cast<int>(expected_children_.size());
+  rndv_threshold_ =
+      params_.rndv_threshold != 0
+          ? params_.rndv_threshold
+          : self_.machine().costs().iccl_rndv_threshold_bytes;
+  if (rndv_threshold_ == 0) rndv_threshold_ = 1;
 }
 
 void Iccl::start(std::function<void(Status)> subtree_ready) {
@@ -106,13 +111,16 @@ void Iccl::start(std::function<void(Status)> subtree_ready) {
                 [this](const cluster::ChannelPtr& c, cluster::Message m) {
                   on_fabric_message(c, std::move(m));
                 },
-                [this](const cluster::ChannelPtr&) {
+                [this](const cluster::ChannelPtr& c) {
                   // A lost child link during launch is fatal for the
-                  // session; surface once via the ready callback.
+                  // session; surface once via the ready callback. After
+                  // ready, drop the child from the fan-out so in-flight
+                  // rendezvous rounds do not wait on its CTS forever.
                   if (!ready_fired_ && subtree_ready_) {
                     ready_fired_ = true;
                     subtree_ready_(Status(Rc::Esubcom, "fabric child lost"));
                   }
+                  on_child_lost(c);
                 });
           });
       if (!st.is_ok() && subtree_ready_) {
@@ -176,30 +184,64 @@ void Iccl::on_fabric_message(const cluster::ChannelPtr& ch,
                              cluster::Message m) {
   auto frame = decode_frame(m);
   if (!frame) return;
-  // Per-message handling cost inside the daemon's collective layer.
-  self_.post(self_.machine().costs().iccl_msg_handle,
-             [this, ch, frame = std::move(*frame)]() mutable {
-               switch (static_cast<Kind>(frame.kind)) {
-                 case Kind::Register:
-                   handle_register(ch, frame.src);
-                   break;
-                 case Kind::SetupUp:
-                   handle_setup_up();
-                   break;
-                 case Kind::Bcast:
-                   if (!frame.entries.empty()) {
-                     handle_bcast(frame.tag,
-                                  std::move(frame.entries.front().second));
-                   }
-                   break;
-                 case Kind::GatherUp:
-                   handle_gather_up(frame.tag, std::move(frame.entries));
-                   break;
-                 case Kind::Scatter:
-                   handle_scatter(frame.tag, std::move(frame.entries));
-                   break;
-               }
-             });
+  if (frame_tap_) {
+    frame_tap_(static_cast<Kind>(frame->kind), frame->tag, frame->src,
+               frame->entries.empty() ? 0 : frame->entries.front().second.size());
+  }
+  // Per-message handling cost inside the daemon's collective layer. Eager
+  // payload frames (broadcast and scatter alike) additionally pay the
+  // bounce-buffer copy-out; rendezvous chunks retire a pre-registered
+  // zero-copy buffer instead, which is what makes the chunk path cheap
+  // per byte.
+  const auto& costs = self_.machine().costs();
+  const Kind kind = static_cast<Kind>(frame->kind);
+  sim::Time handle_cost = costs.iccl_msg_handle;
+  if (kind == Kind::RndvChunk) {
+    handle_cost = costs.iccl_chunk_handle;
+  } else if (kind == Kind::Bcast || kind == Kind::Scatter) {
+    std::size_t payload_bytes = 0;
+    for (const auto& [rank, data] : frame->entries) {
+      payload_bytes += data.size();
+    }
+    handle_cost += eager_copy_cost(payload_bytes);
+  }
+  self_.post(handle_cost, [this, ch, frame = std::move(*frame)]() mutable {
+    switch (static_cast<Kind>(frame.kind)) {
+      case Kind::Register:
+        handle_register(ch, frame.src);
+        break;
+      case Kind::SetupUp:
+        handle_setup_up();
+        break;
+      case Kind::Bcast:
+        if (!frame.entries.empty()) {
+          handle_bcast(frame.tag, std::move(frame.entries.front().second));
+        }
+        break;
+      case Kind::GatherUp:
+        handle_gather_up(frame.tag, std::move(frame.entries));
+        break;
+      case Kind::Scatter:
+        handle_scatter(frame.tag, std::move(frame.entries));
+        break;
+      case Kind::RndvRts:
+        if (!frame.entries.empty()) {
+          ByteReader r(frame.entries.front().second);
+          handle_rndv_rts(frame.tag, frame.entries.front().first,
+                          r.u32().value_or(0));
+        }
+        break;
+      case Kind::RndvCts:
+        handle_rndv_cts(frame.tag, frame.src);
+        break;
+      case Kind::RndvChunk:
+        if (!frame.entries.empty()) {
+          handle_rndv_chunk(frame.tag, frame.entries.front().first,
+                            std::move(frame.entries.front().second));
+        }
+        break;
+    }
+  });
 }
 
 void Iccl::handle_register(const cluster::ChannelPtr& ch,
@@ -226,26 +268,198 @@ void Iccl::maybe_subtree_ready() {
   if (subtree_ready_) subtree_ready_(Status::ok());
 }
 
-void Iccl::handle_bcast(std::uint32_t tag, Bytes data) {
+bool Iccl::use_rendezvous(std::size_t payload_bytes) const {
+  return payload_bytes >= rndv_threshold_ && payload_bytes > 0;
+}
+
+sim::Time Iccl::eager_copy_cost(std::size_t bytes) const {
+  const sim::Time per_kb = self_.machine().costs().iccl_eager_copy_per_kb;
+  return static_cast<sim::Time>(static_cast<double>(per_kb) *
+                                static_cast<double>(bytes) / 1024.0);
+}
+
+void Iccl::eager_fanout(std::uint32_t tag,
+                        const std::shared_ptr<const Bytes>& payload) {
   // Fan-out sends serialize on this daemon's CPU: the k-th child's copy
-  // leaves after k message-handling quanta. This is the per-level cost that
-  // makes T(collective) grow with fan-out (swept in bench_ablation_iccl).
-  const sim::Time quantum = self_.machine().costs().iccl_msg_handle;
+  // leaves after k quanta, and each quantum stretches with the payload
+  // (the per-child copy into the send buffer). This is the per-level cost
+  // that makes eager T(collective) grow with fan-out and payload size
+  // (swept in bench_ablation_iccl; rendezvous exists to beat it).
+  const sim::Time quantum = self_.machine().costs().iccl_msg_handle +
+                            eager_copy_cost(payload->size());
   int k = 0;
   for (auto& [rank, ch] : children_) {
     cluster::ChannelPtr child = ch;
     self_.post(static_cast<sim::Time>(k++) * quantum, [this, child, tag,
-                                                       data] {
+                                                       payload] {
       self_.send(child, encode_frame(static_cast<std::uint8_t>(Kind::Bcast),
-                                     tag, params_.rank, {{0, data}}));
+                                     tag, params_.rank, {{0, *payload}}));
     });
   }
-  if (on_bcast_) on_bcast_(tag, data);
+}
+
+void Iccl::handle_bcast(std::uint32_t tag, Bytes data) {
+  // This node holds the complete payload (root issue, or an eager frame
+  // arrived). One shared buffer backs every per-child send lambda.
+  auto payload = std::make_shared<const Bytes>(std::move(data));
+  if (!children_.empty()) {
+    if (use_rendezvous(payload->size())) {
+      const std::uint32_t chunk =
+          self_.machine().costs().iccl_rndv_chunk_bytes;
+      const auto total = static_cast<std::uint32_t>(payload->size());
+      const std::uint32_t nchunks = (total + chunk - 1) / chunk;
+      RndvSend& st = rndv_open_send(tag, nchunks, total);
+      // The root has every chunk ready up front; they stream (round-robin
+      // across the children) as soon as the last CTS arrives.
+      st.ready.reserve(nchunks);
+      for (std::uint32_t seq = 0; seq < nchunks; ++seq) {
+        const std::size_t begin = static_cast<std::size_t>(seq) * chunk;
+        const std::size_t len = std::min<std::size_t>(chunk,
+                                                      total - begin);
+        st.ready.push_back(std::make_shared<const Bytes>(
+            payload->begin() + static_cast<std::ptrdiff_t>(begin),
+            payload->begin() + static_cast<std::ptrdiff_t>(begin + len)));
+      }
+      rndv_flush(tag, st);
+    } else {
+      eager_fanout(tag, payload);
+    }
+  }
+  if (on_bcast_) on_bcast_(tag, *payload);
 }
 
 void Iccl::broadcast(std::uint32_t tag, Bytes data) {
   assert(is_root() && "broadcast must originate at the ICCL root");
   handle_bcast(tag, std::move(data));
+}
+
+// --- rendezvous (RTS/CTS + pipelined chunks) -----------------------------
+
+Iccl::RndvSend& Iccl::rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
+                                     std::uint32_t total) {
+  RndvSend& st = rndv_sends_[tag] = RndvSend{};
+  st.nchunks = nchunks;
+  st.total = total;
+  // RTS frames fan out serialized like eager sends (they are ordinary
+  // messages), but they are tiny: no payload-copy term.
+  const sim::Time quantum = self_.machine().costs().iccl_msg_handle;
+  int k = 0;
+  for (auto& [rank, ch] : children_) {
+    st.cts_pending.insert(rank);
+    cluster::ChannelPtr child = ch;
+    self_.post(static_cast<sim::Time>(k++) * quantum,
+               [this, child, tag, nchunks, total] {
+                 ByteWriter w;
+                 w.u32(total);
+                 self_.send(child,
+                            encode_frame(
+                                static_cast<std::uint8_t>(Kind::RndvRts), tag,
+                                params_.rank, {{nchunks, std::move(w).take()}}));
+               });
+  }
+  return st;
+}
+
+void Iccl::handle_rndv_rts(std::uint32_t tag, std::uint32_t nchunks,
+                           std::uint32_t total) {
+  if (nchunks == 0) {
+    // Degenerate empty rendezvous: deliver immediately.
+    if (on_bcast_) on_bcast_(tag, Bytes{});
+    return;
+  }
+  RndvRecv& rc = rndv_recvs_[tag];
+  rc.nchunks = nchunks;
+  rc.assembled.reserve(total);
+  // Cut-through: open the downstream round now so grandchild CTS exchanges
+  // overlap the payload still streaming toward this node.
+  if (!children_.empty()) rndv_open_send(tag, nchunks, total);
+  // Clear the parent to stream.
+  send_up(encode_frame(static_cast<std::uint8_t>(Kind::RndvCts), tag,
+                       params_.rank, {}));
+}
+
+void Iccl::handle_rndv_cts(std::uint32_t tag, std::uint32_t src) {
+  auto it = rndv_sends_.find(tag);
+  if (it == rndv_sends_.end()) return;
+  it->second.cts_pending.erase(src);
+  if (it->second.cts_pending.empty()) {
+    it->second.streaming = true;
+    rndv_flush(tag, it->second);
+  }
+}
+
+void Iccl::rndv_flush(std::uint32_t tag, RndvSend& st) {
+  if (!st.streaming) return;
+  // Serialized chunk posts: each (chunk, child) send occupies the CPU for
+  // one chunk-handle quantum, but unlike eager there is no per-byte copy -
+  // chunks go out of the one registered payload buffer. Levels overlap
+  // because a relay forwards chunk j while its parent still streams j+1.
+  const sim::Time occ = self_.machine().costs().iccl_chunk_handle;
+  const sim::Time now = self_.sim().now();
+  while (st.next_seq < st.ready.size()) {
+    const std::uint32_t seq = st.next_seq++;
+    std::shared_ptr<const Bytes> chunk = st.ready[seq];
+    for (auto& [rank, ch] : children_) {
+      cluster::ChannelPtr child = ch;
+      sim::Time depart = std::max(st.cursor, now);
+      self_.post(depart - now, [this, child, tag, seq, chunk] {
+        self_.send(child,
+                   encode_frame(static_cast<std::uint8_t>(Kind::RndvChunk),
+                                tag, params_.rank, {{seq, *chunk}}));
+      });
+      st.cursor = depart + occ;
+    }
+  }
+  if (st.next_seq == st.nchunks) rndv_sends_.erase(tag);
+}
+
+void Iccl::handle_rndv_chunk(std::uint32_t tag, std::uint32_t seq,
+                             Bytes data) {
+  auto it = rndv_recvs_.find(tag);
+  if (it == rndv_recvs_.end()) return;
+  RndvRecv& rc = it->second;
+  if (seq != rc.received) return;  // FIFO channels make this unreachable
+  rc.received += 1;
+  rc.assembled.insert(rc.assembled.end(), data.begin(), data.end());
+  // Relay toward this node's own children (cut-through forwarding).
+  auto sit = rndv_sends_.find(tag);
+  if (sit != rndv_sends_.end()) {
+    sit->second.ready.push_back(
+        std::make_shared<const Bytes>(std::move(data)));
+    rndv_flush(tag, sit->second);
+  }
+  if (rc.received == rc.nchunks) {
+    Bytes assembled = std::move(rc.assembled);
+    rndv_recvs_.erase(it);
+    if (on_bcast_) on_bcast_(tag, assembled);
+  }
+}
+
+void Iccl::on_child_lost(const cluster::ChannelPtr& ch) {
+  std::optional<std::uint32_t> lost;
+  for (const auto& [rank, link] : children_) {
+    if (link == ch) {
+      lost = rank;
+      break;
+    }
+  }
+  if (!lost) return;
+  children_.erase(*lost);
+  // Any rendezvous round still waiting on the dead child's CTS must not
+  // stall the surviving children.
+  for (auto it = rndv_sends_.begin(); it != rndv_sends_.end();) {
+    RndvSend& st = it->second;
+    st.cts_pending.erase(*lost);
+    if (!st.streaming && st.cts_pending.empty()) {
+      st.streaming = true;
+      const std::uint32_t tag = it->first;
+      rndv_flush(tag, st);
+      // rndv_flush may erase the state; restart iteration defensively.
+      it = rndv_sends_.upper_bound(tag);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Iccl::GatherState& Iccl::gather_state(std::uint32_t tag) {
@@ -304,24 +518,29 @@ void Iccl::handle_scatter(
     std::uint32_t tag, std::vector<std::pair<std::uint32_t, Bytes>> entries) {
   // Partition by child subtree; deliver own part locally. Child sends go
   // through the same serialized-send path as broadcast so that collectives
-  // issued in one event preserve their issue order on the wire.
-  const sim::Time quantum = self_.machine().costs().iccl_msg_handle;
-  int k = 0;
+  // issued in one event preserve their issue order on the wire. The
+  // subtrees partition the ranks, so each entry is *moved* into exactly one
+  // child's part (no per-level payload copies); the serialized quantum
+  // still charges the copy into that child's send buffer.
+  sim::Time offset = 0;
   for (std::uint32_t child : expected_children_) {
     auto sub = topo_.subtree_of(child);
     std::vector<std::pair<std::uint32_t, Bytes>> part;
+    std::size_t part_bytes = 0;
     for (auto& [rank, data] : entries) {
       if (std::binary_search(sub.begin(), sub.end(), rank)) {
-        part.emplace_back(rank, data);
+        part_bytes += data.size();
+        part.emplace_back(rank, std::move(data));
       }
     }
     if (!part.empty()) {
       cluster::Message m = encode_frame(
           static_cast<std::uint8_t>(Kind::Scatter), tag, params_.rank, part);
-      self_.post(static_cast<sim::Time>(k++) * quantum,
-                 [this, child, m = std::move(m)]() mutable {
-                   send_to_child(child, std::move(m));
-                 });
+      self_.post(offset, [this, child, m = std::move(m)]() mutable {
+        send_to_child(child, std::move(m));
+      });
+      offset += self_.machine().costs().iccl_msg_handle +
+                eager_copy_cost(part_bytes);
     }
   }
   for (auto& [rank, data] : entries) {

@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,19 @@ class Iccl {
   /// The fabric bootstrap parameters are exactly what every launch strategy
   /// passes on the daemon argv; comm/bootstrap.hpp owns the wire form.
   using Params = comm::BootstrapParams;
+
+  /// Fabric frame kinds (public so protocol tests can assert on the wire
+  /// sequence through set_frame_tap()).
+  enum class Kind : std::uint8_t {
+    Register = 1,  ///< child -> parent: {rank}
+    SetupUp,       ///< child -> parent: subtree fully wired
+    Bcast,         ///< parent -> child: {tag, data} (eager: full payload)
+    GatherUp,      ///< child -> parent: {tag, [(rank, data)...]}
+    Scatter,       ///< parent -> child: {tag, [(rank, data)...]}
+    RndvRts,       ///< parent -> child: {tag, nchunks, total bytes}
+    RndvCts,       ///< child -> parent: {tag} (clear to stream)
+    RndvChunk,     ///< parent -> child: {tag, seq, chunk bytes}
+  };
 
   /// Parses the RM-provided "--lmon-*" daemon argv. `self_host` enables the
   /// rank-from-host fallback used by broadcast-style launchers.
@@ -79,6 +94,18 @@ class Iccl {
   void set_gather_handler(GatherHandler h) { on_gather_ = std::move(h); }
   void set_scatter_handler(ScatterHandler h) { on_scatter_ = std::move(h); }
 
+  /// Test-only tap: observes every decoded inbound fabric frame (before the
+  /// handling cost is charged). `bytes` is the first entry's payload size.
+  using FrameTap = std::function<void(Kind kind, std::uint32_t tag,
+                                      std::uint32_t src, std::size_t bytes)>;
+  void set_frame_tap(FrameTap tap) { frame_tap_ = std::move(tap); }
+
+  /// Effective eager->rendezvous switch threshold (payload bytes): the
+  /// session option when set, else the platform default.
+  [[nodiscard]] std::uint32_t rndv_threshold() const noexcept {
+    return rndv_threshold_;
+  }
+
   /// The fabric tree this daemon is wired into.
   [[nodiscard]] const comm::Topology& topology() const noexcept {
     return topo_;
@@ -97,18 +124,32 @@ class Iccl {
                                                std::uint32_t fanout);
 
  private:
-  enum class Kind : std::uint8_t {
-    Register = 1,  ///< child -> parent: {rank}
-    SetupUp,       ///< child -> parent: subtree fully wired
-    Bcast,         ///< parent -> child: {tag, data}
-    GatherUp,      ///< child -> parent: {tag, [(rank, data)...]}
-    Scatter,       ///< parent -> child: {tag, [(rank, data)...]}
-  };
-
   struct GatherState {
     bool own_done = false;
     int children_pending = 0;
     std::vector<std::pair<std::uint32_t, Bytes>> acc;
+  };
+
+  /// Sender side of one rendezvous broadcast round: RTS is out, chunks
+  /// stream round-robin across the children once every CTS arrived. Relay
+  /// nodes grow `ready` chunk-by-chunk as the payload trickles down; the
+  /// root has every chunk ready up front.
+  struct RndvSend {
+    std::uint32_t nchunks = 0;
+    std::uint32_t total = 0;
+    std::set<std::uint32_t> cts_pending;  ///< child ranks yet to CTS
+    bool streaming = false;               ///< all CTS in, chunks may flow
+    std::uint32_t next_seq = 0;           ///< next chunk to schedule
+    std::vector<std::shared_ptr<const Bytes>> ready;  ///< chunks, by seq
+    sim::Time cursor = 0;  ///< serialized send occupancy (absolute time)
+  };
+
+  /// Receiver side: assembles chunks in sequence order (per-channel FIFO
+  /// guarantees ordering) and delivers once complete.
+  struct RndvRecv {
+    std::uint32_t nchunks = 0;
+    std::uint32_t received = 0;
+    Bytes assembled;
   };
 
   void connect_parent(int attempts_left);
@@ -126,9 +167,31 @@ class Iccl {
   void send_to_child(std::uint32_t child_rank, cluster::Message m);
   GatherState& gather_state(std::uint32_t tag);
 
+  // --- eager/rendezvous protocol switch ----------------------------------
+  [[nodiscard]] bool use_rendezvous(std::size_t payload_bytes) const;
+  /// Serialized per-KB copy charge (iccl_eager_copy_per_kb scaled to size).
+  [[nodiscard]] sim::Time eager_copy_cost(std::size_t bytes) const;
+  /// Eager fan-out: one full-payload frame per child, serialized by
+  /// (msg-handle + payload-copy) quanta in rank order.
+  void eager_fanout(std::uint32_t tag,
+                    const std::shared_ptr<const Bytes>& payload);
+  /// Opens a rendezvous round toward this node's children (RTS fan-out).
+  RndvSend& rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
+                           std::uint32_t total);
+  void handle_rndv_rts(std::uint32_t tag, std::uint32_t nchunks,
+                       std::uint32_t total);
+  void handle_rndv_cts(std::uint32_t tag, std::uint32_t src);
+  void handle_rndv_chunk(std::uint32_t tag, std::uint32_t seq, Bytes data);
+  /// Streams every ready-but-unsent chunk through the serialized cursor.
+  void rndv_flush(std::uint32_t tag, RndvSend& st);
+  /// A child link died: drop it from the fan-out and unblock any rendezvous
+  /// round still waiting on its CTS.
+  void on_child_lost(const cluster::ChannelPtr& ch);
+
   cluster::Process& self_;
   Params params_;
   comm::Topology topo_;
+  std::uint32_t rndv_threshold_ = 0;  ///< resolved (bytes); never 0
   cluster::ChannelPtr parent_;
   std::map<std::uint32_t, cluster::ChannelPtr> children_;  ///< rank -> link
   std::vector<std::uint32_t> expected_children_;
@@ -139,7 +202,10 @@ class Iccl {
   BcastHandler on_bcast_;
   GatherHandler on_gather_;
   ScatterHandler on_scatter_;
+  FrameTap frame_tap_;
   std::map<std::uint32_t, GatherState> gathers_;
+  std::map<std::uint32_t, RndvSend> rndv_sends_;  ///< by tag
+  std::map<std::uint32_t, RndvRecv> rndv_recvs_;  ///< by tag
 
   static constexpr int kConnectRetries = 80;
   static constexpr sim::Time kRetryDelay = sim::ms(3);

@@ -7,6 +7,10 @@
 
 namespace lmon::core {
 
+std::string_view to_string(CollectiveProtocol proto) {
+  return proto == CollectiveProtocol::Eager ? "eager" : "rendezvous";
+}
+
 int PerfModel::fabric_depth(const comm::TopologySpec& spec, int n) {
   if (n <= 1) return 0;
   switch (spec.kind) {
@@ -270,12 +274,18 @@ LaunchSpawnPrediction PerfModel::predict(
   // levels (see fabric_pipeline_quanta); the upward gather overlaps the
   // tail of the broadcast, so one pipelined pass dominates, plus the
   // payload transfers and per-hop receive handling along the deepest path.
+  // The handshake rides the eager path (the RPDTAB stays far below the
+  // default rendezvous threshold), so each sibling quantum carries the
+  // per-child payload copy and each hop pays the receive-side copy-out.
   const double rpdtab_bytes = kRpdtabEntryBytes * ntasks;
+  const double eager_copy =
+      rpdtab_bytes / 1024.0 * seconds(costs_.iccl_eager_copy_per_kb);
   const double pipeline_cost =
       fabric_pipeline_quanta(resolved, n_nodes) *
-      seconds(costs_.iccl_msg_handle);
+      (seconds(costs_.iccl_msg_handle) + eager_copy);
   p.t_collective = pipeline_cost +
-                   df * (transfer_cost(rpdtab_bytes) + transfer_cost(16.0 * n) +
+                   df * (transfer_cost(rpdtab_bytes) + eager_copy +
+                         transfer_cost(16.0 * n) +
                          seconds(costs_.iccl_msg_handle));
 
   // --- LaunchMON terms -------------------------------------------------------
@@ -306,6 +316,163 @@ bool PerfModel::predicts_failure(comm::LaunchStrategyKind strategy,
   // RM path forks a single srun: neither exhausts the limit.
   return strategy == comm::LaunchStrategyKind::SerialRsh &&
          n_nodes > costs_.rsh_fork_limit;
+}
+
+// --- collective protocol family (eager vs rendezvous) ------------------------
+//
+// Both forms replay the Iccl event schedule rank by rank in integral
+// nanoseconds - same casts, same frame overheads, same per-channel FIFO
+// clamp - so the bench's model-vs-measured residuals compare expectation
+// against expectation, exactly like the launch models above.
+
+namespace {
+
+/// Encoded frame overhead: kind(1) + tag(4) + src(4) + count(4) per frame,
+/// plus rank(4) + length(4) per entry (see iccl.cpp encode_frame).
+constexpr double kFrameBytes = 13.0;
+constexpr double kEntryBytes = 8.0;
+
+sim::Time scaled_per_kb(sim::Time per_kb, double bytes) {
+  return static_cast<sim::Time>(static_cast<double>(per_kb) * bytes /
+                                1024.0);
+}
+
+}  // namespace
+
+double PerfModel::collective_bcast(CollectiveProtocol proto,
+                                   const comm::TopologySpec& spec, int n,
+                                   std::size_t payload_bytes) const {
+  if (n <= 1) return 0.0;
+  comm::TopologySpec resolved = spec;
+  if (resolved.kind == comm::TopologyKind::KAry && resolved.arity == 0) {
+    resolved.arity = static_cast<std::uint32_t>(costs_.rm_launch_fanout);
+  }
+  const comm::Topology topo(resolved, static_cast<std::uint32_t>(n));
+  const sim::Time L = costs_.net_latency;
+  const sim::Time h = costs_.iccl_msg_handle;
+  const double bw = costs_.bandwidth_bytes_per_sec;
+  auto wire = [&](double bytes) {
+    return L + static_cast<sim::Time>(bytes / bw * 1e9);
+  };
+  const double S = static_cast<double>(payload_bytes);
+
+  if (proto == CollectiveProtocol::Eager) {
+    // Store-and-forward: a node starts its own fan-out only once the full
+    // payload arrived and the receive copy-out is paid.
+    const sim::Time q = h + scaled_per_kb(costs_.iccl_eager_copy_per_kb, S);
+    const sim::Time recv =
+        h + scaled_per_kb(costs_.iccl_eager_copy_per_kb, S);
+    const sim::Time frame_wire = wire(kFrameBytes + kEntryBytes + S);
+    std::vector<sim::Time> start(static_cast<std::size_t>(n), 0);
+    sim::Time worst = 0;
+    for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+      const auto children = topo.children_of(r);
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        const sim::Time send = start[r] + static_cast<sim::Time>(i) * q;
+        start[children[i]] = send + frame_wire + recv;
+        worst = std::max(worst, start[children[i]]);
+      }
+    }
+    return seconds(worst);
+  }
+
+  // Rendezvous: RTS wave down (eager-style stagger, tiny frames), CTS back,
+  // then chunks stream round-robin through each parent's serialized cursor
+  // while relays forward cut-through.
+  const std::uint32_t C = costs_.iccl_rndv_chunk_bytes;
+  const std::uint32_t m = static_cast<std::uint32_t>(
+      (payload_bytes + C - 1) / C);
+  const sim::Time c_h = costs_.iccl_chunk_handle;
+  const sim::Time rts_wire = wire(kFrameBytes + kEntryBytes + 4.0);
+  const sim::Time cts_wire = wire(kFrameBytes);
+
+  // H[r]: time rank r's RTS is processed (root: issue time 0).
+  // P[r][j]: time chunk j is processed (ready to deliver/forward) at r.
+  std::vector<sim::Time> H(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<sim::Time>> P(static_cast<std::size_t>(n));
+  P[0].assign(m, 0);  // the root holds every chunk at issue time
+  sim::Time worst = 0;
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    const auto children = topo.children_of(r);
+    if (children.empty()) continue;
+    // RTS fan-out and the CTS collection gate.
+    std::vector<sim::Time> last_arrival(children.size());
+    sim::Time cts_done = 0;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const sim::Time rts_arr =
+          H[r] + static_cast<sim::Time>(i) * h + rts_wire;
+      last_arrival[i] = rts_arr;
+      H[children[i]] = rts_arr + h;
+      cts_done = std::max(cts_done, H[children[i]] + cts_wire + h);
+      if (m == 0) worst = std::max(worst, H[children[i]]);
+    }
+    if (m == 0) continue;
+    for (auto c : children) P[c].assign(m, 0);
+    // Serialized chunk cursor, round-robin across the children.
+    sim::Time cursor = 0;
+    for (std::uint32_t j = 0; j < m; ++j) {
+      const double chunk_bytes =
+          j + 1 == m ? S - static_cast<double>(j) * C
+                     : static_cast<double>(C);
+      const sim::Time ready = std::max(P[r][j], cts_done);
+      const sim::Time chunk_wire =
+          wire(kFrameBytes + kEntryBytes + chunk_bytes);
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        const sim::Time depart = std::max(cursor, ready);
+        sim::Time arr = depart + chunk_wire;
+        if (arr <= last_arrival[i]) arr = last_arrival[i] + 1;  // FIFO
+        last_arrival[i] = arr;
+        P[children[i]][j] = arr + c_h;
+        cursor = depart + c_h;
+      }
+    }
+    for (auto c : children) worst = std::max(worst, P[c][m - 1]);
+  }
+  return seconds(worst);
+}
+
+std::optional<std::size_t> PerfModel::collective_crossover(
+    const comm::TopologySpec& spec, int n, std::size_t max_payload) const {
+  // Definition: the smallest payload above which rendezvous never loses
+  // again in [1 KiB, max_payload]. The eager-minus-rendezvous gap is
+  // piecewise-affine in the payload and only dips where the chunk count
+  // steps up, so probing both endpoints of every chunk segment finds the
+  // last eager win exactly, and the zero crossing interpolates in closed
+  // form. bench_ablation_iccl measures the same definition on the same
+  // probe geometry.
+  constexpr std::size_t kMin = 1024;
+  if (max_payload < kMin) return std::nullopt;
+  const std::size_t C = costs_.iccl_rndv_chunk_bytes;
+  auto gap = [&](std::size_t s) {
+    return collective_bcast(CollectiveProtocol::Eager, spec, n, s) -
+           collective_bcast(CollectiveProtocol::Rendezvous, spec, n, s);
+  };
+  std::vector<std::size_t> probes{kMin};
+  for (std::size_t m = kMin / C;; ++m) {
+    const std::size_t begin = m * C + 1;
+    if (begin > max_payload) break;
+    const std::size_t end = (m + 1) * C;
+    if (begin > kMin) probes.push_back(begin);
+    if (end > kMin && end <= max_payload) probes.push_back(end);
+  }
+  if (probes.back() != max_payload) probes.push_back(max_payload);
+
+  std::vector<double> f(probes.size());
+  std::ptrdiff_t last_loss = -1;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    f[i] = gap(probes[i]);
+    if (f[i] <= 0.0) last_loss = static_cast<std::ptrdiff_t>(i);
+  }
+  if (last_loss < 0) return kMin;  // cheaper from the smallest payload on
+  if (last_loss + 1 == static_cast<std::ptrdiff_t>(probes.size())) {
+    return std::nullopt;  // eager still wins at max_payload
+  }
+  const auto i = static_cast<std::size_t>(last_loss);
+  const double p0 = static_cast<double>(probes[i]);
+  const double p1 = static_cast<double>(probes[i + 1]);
+  if (f[i + 1] - f[i] <= 0.0) return probes[i + 1];
+  const double s = p0 + (0.0 - f[i]) * (p1 - p0) / (f[i + 1] - f[i]);
+  return static_cast<std::size_t>(std::llround(s));
 }
 
 std::optional<int> PerfModel::crossover(

@@ -26,6 +26,7 @@
 // where the strategies trade places (the paper's Figure 4 story).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -34,6 +35,18 @@
 #include "comm/topology.hpp"
 
 namespace lmon::core {
+
+/// How the ICCL fans a broadcast payload down the fabric tree (iccl.cpp):
+/// eager sends each child one full-payload frame (serialized per-child
+/// copies, store-and-forward per level); rendezvous runs an RTS/CTS
+/// handshake and then pipelines fixed-size zero-copy chunks, so a relay
+/// forwards chunk j while its parent still streams j+1.
+enum class CollectiveProtocol : std::uint8_t {
+  Eager = 0,
+  Rendezvous = 1,
+};
+
+[[nodiscard]] std::string_view to_string(CollectiveProtocol proto);
 
 struct LaunchSpawnPrediction {
   // All values in (simulated) seconds.
@@ -116,6 +129,29 @@ class PerfModel {
 
   /// Approximate encoded RPDTAB entry size (bytes) for payload terms.
   static constexpr double kRpdtabEntryBytes = 44.0;
+
+  // --- collective protocol family (eager vs rendezvous) ---------------------
+  /// Fleet-wide broadcast latency (seconds, root issue to last delivery)
+  /// for `payload_bytes` over an n-rank fabric of shape `spec` under
+  /// `proto`. Exact per-rank replay of the Iccl event schedule (frame
+  /// overheads, serialized fan-out/chunk cursors, per-channel FIFO), so
+  /// bench_ablation_iccl can gate model-vs-measured residuals tightly.
+  /// O(n * chunks) per call - keep n in the thousands.
+  [[nodiscard]] double collective_bcast(CollectiveProtocol proto,
+                                        const comm::TopologySpec& spec, int n,
+                                        std::size_t payload_bytes) const;
+
+  /// Smallest payload (bytes) in [1 KiB, max_payload] from which rendezvous
+  /// never loses to eager again on this fabric, or nullopt when eager still
+  /// wins at max_payload. Probes both endpoints of every chunk segment
+  /// (both latency curves are affine within a segment, and the gap only
+  /// dips where the chunk count steps up) and interpolates the zero
+  /// crossing after the last eager win in closed form - ~2 evaluations per
+  /// chunk of max_payload. This is the analytic answer to "where should a
+  /// session set SpawnConfig::rndv_threshold_bytes".
+  [[nodiscard]] std::optional<std::size_t> collective_crossover(
+      const comm::TopologySpec& spec, int n,
+      std::size_t max_payload = 16u << 20) const;
 
  private:
   [[nodiscard]] double seconds(sim::Time t) const {

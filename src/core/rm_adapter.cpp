@@ -118,6 +118,7 @@ Status SlurmAdapter::co_spawn(cluster::Process& engine,
   req.bootstrap.session = cfg.fabric.session;
   req.bootstrap.fe_host = cfg.fabric.fe_host;
   req.bootstrap.fe_port = cfg.fabric.fe_port;
+  req.bootstrap.rndv_threshold = cfg.fabric.rndv_threshold;
   req.launch_fanout = cfg.fabric.fanout;
   req.jobid = cfg.jobid;
   req.alloc_nodes = cfg.alloc_nodes;

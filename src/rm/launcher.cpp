@@ -80,6 +80,8 @@ void Launcher::start_cospawn(cluster::Process& self) {
   fabric_.fe_port =
       static_cast<std::uint16_t>(arg_int(args, "--fe-port=").value_or(0));
   fabric_.session = arg_value(args, "--session=").value_or("s0");
+  fabric_.rndv_threshold = static_cast<std::uint32_t>(
+      arg_int(args, "--rndv-threshold=").value_or(0));
   phase_ = Phase::Allocating;
 
   // Either co-locate with an existing job (--jobid) or request additional
@@ -390,6 +392,10 @@ void RmBulkStrategy::launch(cluster::Process& self, comm::LaunchRequest req,
                                          ? req.launch_fanout
                                          : req.bootstrap.topology.arity));
   opts.args.push_back("--fabric-topo=" + req.bootstrap.topology.to_string());
+  if (req.bootstrap.rndv_threshold != 0) {
+    opts.args.push_back("--rndv-threshold=" +
+                        std::to_string(req.bootstrap.rndv_threshold));
+  }
   opts.args.push_back("--fe-host=" + req.bootstrap.fe_host);
   opts.args.push_back("--fe-port=" + std::to_string(req.bootstrap.fe_port));
   opts.args.push_back("--session=" + req.bootstrap.session);

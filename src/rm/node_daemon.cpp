@@ -155,6 +155,7 @@ void NodeDaemon::handle_launch(cluster::Process& self,
       boot.fe_host = req.fabric.fe_host;
       boot.fe_port = req.fabric.fe_port;
       boot.hosts = req.all_hosts;
+      boot.rndv_threshold = req.fabric.rndv_threshold;
       opts.args = comm::bootstrap_args(boot,
                                        static_cast<std::uint32_t>(rank));
     } else {

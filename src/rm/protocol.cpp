@@ -198,6 +198,7 @@ cluster::Message TreeLaunchReq::encode() const {
   w.u16(fabric.fe_port);
   w.str(fabric.session);
   w.u8(static_cast<std::uint8_t>(fabric.topo_kind));
+  w.u32(fabric.rndv_threshold);
   return finish(std::move(w));
 }
 
@@ -244,14 +245,16 @@ std::optional<TreeLaunchReq> TreeLaunchReq::decode(const cluster::Message& m) {
   auto ffeport = r->u16();
   auto fsess = r->str();
   auto ftopo = r->u8();
-  if (!fport || !ffan || !ftotal || !fhost || !ffeport || !fsess || !ftopo) {
+  auto frndv = r->u32();
+  if (!fport || !ffan || !ftotal || !fhost || !ffeport || !fsess || !ftopo ||
+      !frndv) {
     return std::nullopt;
   }
   const auto kind = comm::topology_kind_from_u8(*ftopo);
   if (!kind) return std::nullopt;
   out.fabric = FabricSpec{*fport,   *ffan,    *ftotal,
                           std::move(*fhost), *ffeport, std::move(*fsess),
-                          *kind};
+                          *kind,    *frndv};
   return out;
 }
 

@@ -92,6 +92,8 @@ struct FabricSpec {
   std::string session;           ///< session cookie
   /// Fabric tree shape; KAry uses `fanout` as its arity.
   comm::TopologyKind topo_kind = comm::TopologyKind::KAry;
+  /// ICCL eager->rendezvous switch threshold (bytes; 0 = platform default).
+  std::uint32_t rndv_threshold = 0;
 
   [[nodiscard]] comm::TopologySpec topology() const {
     return comm::TopologySpec{topo_kind, fanout};

@@ -50,7 +50,13 @@ Topology Topology::shaped(const std::string& fe_host, cluster::Port fe_port,
   }
 
   // Back ends hang off the deepest comm layer (or the FE when no comm
-  // nodes), distributed round-robin.
+  // nodes), in contiguous blocks: leaf comm daemon i owns the i-th
+  // near-equal slice of the back-end rank range. Every comm subtree then
+  // covers one contiguous rank interval (comm subtrees own contiguous leaf
+  // runs in all three tree families), which keeps scatter partitions and
+  // rank-range filters subtree-local - the first step toward ROADMAP's
+  // topology-aware placement. The old round-robin attachment strided
+  // consecutive ranks across every leaf daemon instead.
   std::vector<int> attach_points;
   if (comm_indices.empty()) {
     attach_points.push_back(0);
@@ -63,10 +69,18 @@ Topology Topology::shaped(const std::string& fe_host, cluster::Port fe_port,
     }
     if (attach_points.empty()) attach_points = comm_indices;
   }
+  const auto blocks = comm::split_contiguous(
+      be_hosts.size(), static_cast<std::uint32_t>(attach_points.size()));
+  std::vector<int> parent_of_rank(be_hosts.size(), attach_points[0]);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (std::size_t r = blocks[b].first;
+         r < blocks[b].first + blocks[b].second; ++r) {
+      parent_of_rank[r] = attach_points[b];
+    }
+  }
   for (std::size_t i = 0; i < be_hosts.size(); ++i) {
-    const int parent = attach_points[i % attach_points.size()];
-    t.nodes_.push_back(
-        TopoNode{be_hosts[i], 0, parent, true, static_cast<std::int32_t>(i)});
+    t.nodes_.push_back(TopoNode{be_hosts[i], 0, parent_of_rank[i], true,
+                                static_cast<std::int32_t>(i)});
   }
   return t;
 }

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "bench/ablation_iccl_lib.hpp"
 #include "bench/ablation_rsh_lib.hpp"
 
 #ifndef LMON_SOURCE_DIR
@@ -82,6 +83,48 @@ TEST(BenchSchema, ReportIsWellFormedAtToyScale) {
   EXPECT_GT(report.tree_over_serial, 0);
   EXPECT_GT(report.rm_over_serial, 0);
   EXPECT_GT(report.rm_over_tree, 0);
+}
+
+TEST(BenchSchema, AblationIcclJsonShapeMatchesGolden) {
+  const bench::IcclAblationReport report =
+      bench::run_iccl_ablation(bench::IcclAblationOptions::smoke());
+  const std::string json = bench::to_json(report);
+  const std::string live_shape = bench::json_shape(json);
+
+  const std::string golden = read_golden("bench_ablation_iccl.schema.txt");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file tests/golden/bench_ablation_iccl.schema.txt";
+  EXPECT_EQ(live_shape, golden)
+      << "bench_ablation_iccl --json schema drifted.\nlive skeleton:\n"
+      << live_shape << "\nif intentional, update the golden file.";
+}
+
+TEST(BenchSchema, IcclReportIsWellFormedAtToyScale) {
+  const bench::IcclAblationOptions opts = bench::IcclAblationOptions::smoke();
+  const bench::IcclAblationReport report = bench::run_iccl_ablation(opts);
+
+  // Both protocols appear, with one point per (topology, payload).
+  ASSERT_EQ(report.protocols.size(), 2u);
+  ASSERT_EQ(report.topologies.size(), opts.topologies.size());
+  EXPECT_EQ(report.points.size(), report.topologies.size() *
+                                      report.protocols.size() *
+                                      opts.payloads.size());
+  EXPECT_EQ(report.crossovers.size(), report.topologies.size());
+
+  // The bench's own gates hold at toy scale: every point measured, tight
+  // residuals, measured and modeled crossovers agree, and rendezvous beats
+  // eager at the largest swept payload on every topology.
+  EXPECT_EQ(report.measurement_failures, 0);
+  for (const auto& p : report.points) {
+    EXPECT_TRUE(p.measured_ok) << p.topology << " " << p.protocol;
+  }
+  EXPECT_LE(report.max_abs_residual_pct, 15.0);
+  EXPECT_LE(report.max_abs_crossover_pct, 15.0);
+  EXPECT_TRUE(report.rendezvous_wins_at_max_everywhere);
+  for (const auto& c : report.crossovers) {
+    EXPECT_GT(c.measured_bytes, 0.0) << c.topology;
+    EXPECT_GT(c.model_bytes, 0.0) << c.topology;
+  }
 }
 
 /// The skeleton reducer itself: malformed/ragged rows must be visible.

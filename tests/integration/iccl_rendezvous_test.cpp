@@ -1,0 +1,433 @@
+// Integration tests for the ICCL eager/rendezvous protocol switch, driven
+// through a raw Iccl harness (no FE/RM session): one daemon per node wires
+// the fabric straight from bootstrap argv, which lets the tests permute the
+// rank->node placement, tap the wire-frame sequence, and kill daemons
+// mid-collective deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "comm/bootstrap.hpp"
+#include "core/be_api.hpp"
+#include "core/fe_api.hpp"
+#include "core/iccl.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon::core {
+namespace {
+
+using testing::TestCluster;
+
+struct FrameEvent {
+  std::uint32_t observer;  ///< rank that received the frame
+  Iccl::Kind kind;
+  std::uint32_t tag;
+  std::uint32_t src;
+  std::size_t bytes;
+};
+
+struct Shared {
+  std::vector<FrameEvent> frames;
+  std::map<std::uint32_t, Bytes> bcast_delivered;   // rank -> last payload
+  /// rank -> tag -> payload (for rounds that overlap in flight).
+  std::map<std::uint32_t, std::map<std::uint32_t, Bytes>> bcast_by_tag;
+  std::map<std::uint32_t, Bytes> scatter_delivered; // rank -> part
+  std::map<std::uint32_t, Iccl*> iccls;             // rank -> live instance
+  int ready = 0;
+};
+
+class RawIcclDaemon : public cluster::Program {
+ public:
+  explicit RawIcclDaemon(Shared* sh) : sh_(sh) {}
+  [[nodiscard]] std::string_view name() const override { return "raw_iccl"; }
+
+  void on_start(cluster::Process& self) override {
+    auto params = Iccl::params_from_args(self.args(), self.node().hostname());
+    ASSERT_TRUE(params.has_value());
+    iccl_ = std::make_unique<Iccl>(self, std::move(*params));
+    const std::uint32_t rank = iccl_->rank();
+    iccl_->set_frame_tap([this, rank](Iccl::Kind kind, std::uint32_t tag,
+                                      std::uint32_t src, std::size_t bytes) {
+      sh_->frames.push_back(FrameEvent{rank, kind, tag, src, bytes});
+    });
+    iccl_->set_bcast_handler([this, rank](std::uint32_t tag,
+                                          const Bytes& data) {
+      sh_->bcast_delivered[rank] = data;
+      sh_->bcast_by_tag[rank][tag] = data;
+    });
+    iccl_->set_scatter_handler([this, rank](std::uint32_t,
+                                            const Bytes& data) {
+      sh_->scatter_delivered[rank] = data;
+    });
+    sh_->iccls[rank] = iccl_.get();
+    iccl_->start([this](Status st) {
+      if (st.is_ok()) sh_->ready += 1;
+    });
+  }
+
+ private:
+  Shared* sh_;
+  std::unique_ptr<Iccl> iccl_;
+};
+
+/// Spawns one raw daemon per rank; rank r runs on node `placement[r]`, so
+/// tests can make the rank order disagree with the node order. Returns the
+/// spawned pids in rank order.
+std::vector<cluster::Pid> wire_fabric(TestCluster& tc, Shared& sh,
+                                      const comm::TopologySpec& topo,
+                                      const std::vector<int>& placement,
+                                      std::uint32_t rndv_threshold) {
+  comm::BootstrapSpec spec;
+  spec.size = static_cast<std::uint32_t>(placement.size());
+  spec.topology = topo;
+  spec.port = cluster::kToolFabricBasePort;
+  spec.session = "raw";
+  spec.rndv_threshold = rndv_threshold;
+  for (int node : placement) {
+    spec.hosts.push_back(tc.machine.compute_node(node).hostname());
+  }
+  std::vector<cluster::Pid> pids;
+  for (std::uint32_t r = 0; r < spec.size; ++r) {
+    cluster::SpawnOptions opts;
+    opts.executable = "raw_iccl";
+    opts.args = comm::bootstrap_args(spec, r);
+    auto res = tc.machine.compute_node(placement[r])
+                   .spawn(std::make_unique<RawIcclDaemon>(&sh),
+                          std::move(opts));
+    EXPECT_TRUE(res.is_ok());
+    pids.push_back(res.value);
+  }
+  return pids;
+}
+
+std::vector<int> identity_placement(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+  return p;
+}
+
+int count_frames(const Shared& sh, std::uint32_t observer, Iccl::Kind kind) {
+  int c = 0;
+  for (const auto& f : sh.frames) {
+    if (f.observer == observer && f.kind == kind) ++c;
+  }
+  return c;
+}
+
+constexpr std::uint32_t kEagerOnly = 0xffffffffu;
+constexpr std::uint32_t kRndvAlways = 1;
+constexpr std::uint32_t kChunk = 64 * 1024;  // CostModel default
+
+TEST(IcclProtocol, SmallPayloadStaysEagerOnTheWire) {
+  const int n = 7;
+  TestCluster tc(n);
+  Shared sh;
+  wire_fabric(tc, sh, {comm::TopologyKind::KAry, 2}, identity_placement(n),
+              256 * 1024);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  sh.frames.clear();
+  sh.iccls[0]->broadcast(7, Bytes(512, 0xAA));
+  ASSERT_TRUE(tc.run_until(
+      [&] { return static_cast<int>(sh.bcast_delivered.size()) == n; }));
+
+  for (std::uint32_t r = 1; r < static_cast<std::uint32_t>(n); ++r) {
+    EXPECT_EQ(count_frames(sh, r, Iccl::Kind::Bcast), 1) << "rank " << r;
+    EXPECT_EQ(count_frames(sh, r, Iccl::Kind::RndvRts), 0) << "rank " << r;
+    EXPECT_EQ(count_frames(sh, r, Iccl::Kind::RndvChunk), 0) << "rank " << r;
+    EXPECT_EQ(sh.bcast_delivered[r], Bytes(512, 0xAA));
+  }
+  EXPECT_EQ(count_frames(sh, 0, Iccl::Kind::RndvCts), 0);
+}
+
+TEST(IcclProtocol, LargePayloadRunsRtsCtsChunkSequence) {
+  const int n = 7;
+  const std::size_t payload_bytes = 3 * kChunk + 1000;  // 4 chunks
+  TestCluster tc(n);
+  Shared sh;
+  wire_fabric(tc, sh, {comm::TopologyKind::KAry, 2}, identity_placement(n),
+              64 * 1024);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  sh.frames.clear();
+  Bytes payload(payload_bytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  sh.iccls[0]->broadcast(9, payload);
+  ASSERT_TRUE(tc.run_until(
+      [&] { return static_cast<int>(sh.bcast_delivered.size()) == n; }));
+
+  // Every non-root rank saw exactly one RTS, then its chunks in sequence
+  // order - and never a full-payload eager frame.
+  for (std::uint32_t r = 1; r < static_cast<std::uint32_t>(n); ++r) {
+    EXPECT_EQ(count_frames(sh, r, Iccl::Kind::Bcast), 0) << "rank " << r;
+    EXPECT_EQ(count_frames(sh, r, Iccl::Kind::RndvRts), 1) << "rank " << r;
+    EXPECT_EQ(count_frames(sh, r, Iccl::Kind::RndvChunk), 4) << "rank " << r;
+    bool saw_rts = false;
+    std::size_t chunk_bytes = 0;
+    for (const auto& f : sh.frames) {
+      if (f.observer != r) continue;
+      if (f.kind == Iccl::Kind::RndvRts) saw_rts = true;
+      if (f.kind == Iccl::Kind::RndvChunk) {
+        EXPECT_TRUE(saw_rts) << "chunk before RTS at rank " << r;
+        chunk_bytes += f.bytes;
+      }
+    }
+    EXPECT_EQ(chunk_bytes, payload_bytes) << "rank " << r;
+    EXPECT_EQ(sh.bcast_delivered[r], payload) << "rank " << r;
+  }
+  // Interior ranks collected one CTS per child before streaming; the root
+  // has two children in a 7-rank binary tree.
+  EXPECT_EQ(count_frames(sh, 0, Iccl::Kind::RndvCts), 2);
+  // Chunk sequence numbers arrive in order at every rank.
+  std::map<std::uint32_t, std::uint32_t> next_seq;
+  for (const auto& f : sh.frames) {
+    if (f.kind != Iccl::Kind::RndvChunk) continue;
+    EXPECT_EQ(f.tag, 9u);
+  }
+}
+
+class IcclProtocolTopology
+    : public ::testing::TestWithParam<comm::TopologySpec> {};
+
+TEST_P(IcclProtocolTopology, RendezvousDeliversIdenticalBytesEverywhere) {
+  const int n = 12;
+  TestCluster tc(n);
+  Shared sh;
+  wire_fabric(tc, sh, GetParam(), identity_placement(n), kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  Bytes payload(2 * kChunk + 77);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i ^ (i >> 7));
+  }
+  sh.iccls[0]->broadcast(3, payload);
+  ASSERT_TRUE(tc.run_until(
+      [&] { return static_cast<int>(sh.bcast_delivered.size()) == n; }));
+  for (const auto& [rank, data] : sh.bcast_delivered) {
+    EXPECT_EQ(data, payload) << "rank " << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fabrics, IcclProtocolTopology,
+    ::testing::Values(comm::TopologySpec{comm::TopologyKind::KAry, 2},
+                      comm::TopologySpec{comm::TopologyKind::KAry, 4},
+                      comm::TopologySpec{comm::TopologyKind::Binomial, 0},
+                      comm::TopologySpec{comm::TopologyKind::Flat, 0}),
+    [](const ::testing::TestParamInfo<comm::TopologySpec>& pinfo) {
+      std::string name = pinfo.param.to_string();
+      for (char& c : name) {
+        if (c == ':' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(IcclProtocol, EmptyBroadcastUnderRendezvousThresholdStaysEager) {
+  const int n = 5;
+  TestCluster tc(n);
+  Shared sh;
+  wire_fabric(tc, sh, {comm::TopologyKind::KAry, 2}, identity_placement(n),
+              kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  sh.frames.clear();
+  sh.iccls[0]->broadcast(1, {});
+  ASSERT_TRUE(tc.run_until(
+      [&] { return static_cast<int>(sh.bcast_delivered.size()) == n; }));
+  for (std::uint32_t r = 1; r < static_cast<std::uint32_t>(n); ++r) {
+    EXPECT_EQ(count_frames(sh, r, Iccl::Kind::Bcast), 1);
+    EXPECT_EQ(count_frames(sh, r, Iccl::Kind::RndvRts), 0);
+    EXPECT_TRUE(sh.bcast_delivered[r].empty());
+  }
+}
+
+TEST(IcclProtocol, MidRendezvousChildDeathDoesNotStallSurvivors) {
+  // 7-rank binary tree: rank 1's subtree is {1, 3, 4}. Kill rank 1 the
+  // moment the root issues a rendezvous broadcast: the root must not wait
+  // forever on the dead child's CTS - the surviving subtree {2, 5, 6}
+  // still gets every chunk.
+  const int n = 7;
+  TestCluster tc(n);
+  Shared sh;
+  const auto pids = wire_fabric(tc, sh, {comm::TopologyKind::KAry, 2},
+                                identity_placement(n), kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  Bytes payload(2 * kChunk, 0x5C);
+  sh.iccls[0]->broadcast(4, payload);
+  tc.machine.find_process(pids[1])->exit(9);
+
+  ASSERT_TRUE(tc.run_until([&] {
+    return sh.bcast_delivered.count(2) != 0 &&
+           sh.bcast_delivered.count(5) != 0 && sh.bcast_delivered.count(6) != 0;
+  }));
+  for (std::uint32_t r : {2u, 5u, 6u}) {
+    EXPECT_EQ(sh.bcast_delivered[r], payload) << "rank " << r;
+  }
+  // The dead subtree never delivered.
+  EXPECT_EQ(sh.bcast_delivered.count(1), 0u);
+  EXPECT_EQ(sh.bcast_delivered.count(3), 0u);
+  EXPECT_EQ(sh.bcast_delivered.count(4), 0u);
+
+  // A follow-up rendezvous round still completes for the survivors: the
+  // dead child is out of the fan-out, not wedging the CTS collection.
+  Bytes second(kChunk + 11, 0x77);
+  sh.bcast_delivered.clear();
+  sh.iccls[0]->broadcast(5, second);
+  ASSERT_TRUE(tc.run_until([&] {
+    return sh.bcast_delivered.count(2) != 0 &&
+           sh.bcast_delivered.count(5) != 0 && sh.bcast_delivered.count(6) != 0;
+  }));
+  for (std::uint32_t r : {2u, 5u, 6u}) {
+    EXPECT_EQ(sh.bcast_delivered[r], second) << "rank " << r;
+  }
+}
+
+TEST(IcclProtocol, OverlappingRendezvousRoundsWithDistinctTagsBothDeliver) {
+  // Two large broadcasts issued in the same event run their RTS/CTS/chunk
+  // pipelines concurrently; per-tag state must keep the rounds separate.
+  // (This is why DaemonRuntime::broadcast_command allocates one tag per
+  // round instead of reusing a fixed command tag.)
+  const int n = 7;
+  TestCluster tc(n);
+  Shared sh;
+  wire_fabric(tc, sh, {comm::TopologyKind::KAry, 2}, identity_placement(n),
+              kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  Bytes first(2 * kChunk + 17, 0x21);
+  Bytes second(kChunk + 5, 0x42);
+  sh.iccls[0]->broadcast(11, first);
+  sh.iccls[0]->broadcast(12, second);
+  ASSERT_TRUE(tc.run_until([&] {
+    for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+      if (sh.bcast_by_tag[r].size() != 2) return false;
+    }
+    return true;
+  }));
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    EXPECT_EQ(sh.bcast_by_tag[r][11], first) << "rank " << r;
+    EXPECT_EQ(sh.bcast_by_tag[r][12], second) << "rank " << r;
+  }
+}
+
+TEST(IcclProtocol, ScatterDeliversCorrectPartsUnderNonContiguousPlacement) {
+  // Regression for the placement work: scatter partitions by *rank* subtree,
+  // so it must deliver rank r its part even when the rank->node mapping is
+  // scrambled (the old round-robin-style striding) instead of the new
+  // contiguous blocks.
+  const int n = 9;
+  TestCluster tc(n);
+  Shared sh;
+  const std::vector<int> placement = {4, 7, 1, 8, 0, 3, 6, 2, 5};
+  wire_fabric(tc, sh, {comm::TopologyKind::KAry, 3}, placement, kEagerOnly);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  std::vector<std::pair<std::uint32_t, Bytes>> entries;
+  std::vector<Bytes> parts;
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    parts.push_back(Bytes(5, static_cast<std::uint8_t>(0x10 + r)));
+  }
+  std::vector<Bytes> parts_copy = parts;
+  // Drive the raw scatter: root partitions parts[i] -> rank i.
+  sh.iccls[0]->scatter(2, std::move(parts_copy));
+  ASSERT_TRUE(tc.run_until(
+      [&] { return static_cast<int>(sh.scatter_delivered.size()) == n; }));
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    EXPECT_EQ(sh.scatter_delivered[r], parts[r]) << "rank " << r;
+  }
+}
+
+// --- broadcast_command through a real session ------------------------------
+
+struct CommandState {
+  std::map<std::uint32_t, std::vector<Bytes>> received;  // rank -> payloads
+  int ready = 0;
+};
+
+/// BE daemon whose master fires two large commands back-to-back the moment
+/// the session is ready: with the session pinned to rendezvous, both
+/// rounds' chunk pipelines are in flight at once.
+class CommandDaemon : public cluster::Program {
+ public:
+  explicit CommandDaemon(CommandState* state) : state_(state) {}
+  [[nodiscard]] std::string_view name() const override { return "cmd_be"; }
+
+  void on_start(cluster::Process& self) override {
+    be_ = std::make_unique<BackEnd>(self);
+    BackEnd::Callbacks cbs;
+    cbs.on_init = [](const Rpdtab&, const Bytes&,
+                     std::function<void(Status)> done) { done(Status::ok()); };
+    cbs.on_command = [this](const Bytes& data) {
+      state_->received[be_->rank()].push_back(data);
+    };
+    cbs.on_ready = [this](Status st) {
+      if (!st.is_ok()) return;
+      state_->ready += 1;
+      if (be_->is_master()) {
+        (void)be_->broadcast_command(Bytes(150 * 1024, 0x61));
+        (void)be_->broadcast_command(Bytes(70 * 1024, 0x62));
+      }
+    };
+    ASSERT_TRUE(be_->init(std::move(cbs)).is_ok());
+  }
+
+  static void install(cluster::Machine& machine, CommandState* state) {
+    cluster::ProgramImage image;
+    image.image_mb = 2.0;
+    image.factory = [state](const std::vector<std::string>&) {
+      return std::make_unique<CommandDaemon>(state);
+    };
+    machine.install_program("cmd_be", std::move(image));
+  }
+
+ private:
+  CommandState* state_;
+  std::unique_ptr<BackEnd> be_;
+};
+
+TEST(IcclProtocol, OverlappingLargeCommandsDeliverIntactUnderRendezvous) {
+  const int n = 8;
+  TestCluster tc(n);
+  CommandState state;
+  CommandDaemon::install(tc.machine, &state);
+
+  std::shared_ptr<FrontEnd> fe;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<FrontEnd>(self);
+    ASSERT_TRUE(fe->init().is_ok());
+    auto sid = fe->create_session();
+    FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "cmd_be";
+    cfg.rndv_threshold_bytes = 1;  // every non-empty broadcast rendezvous
+    rm::JobSpec job{n, 1, "mpi_app", {}};
+    fe->launch_and_spawn(sid.value, job, cfg, [](Status) {});
+  });
+  ASSERT_TRUE(tc.run_until([&] {
+    if (state.ready != n) return false;
+    for (const auto& [rank, payloads] : state.received) {
+      (void)rank;
+      if (payloads.size() != 2) return false;
+    }
+    return static_cast<int>(state.received.size()) == n;
+  }));
+
+  // Every rank (including the master) got both command payloads intact,
+  // whatever order the concurrent rounds completed in.
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    ASSERT_EQ(state.received[r].size(), 2u) << "rank " << r;
+    std::vector<Bytes> got = state.received[r];
+    std::sort(got.begin(), got.end(),
+              [](const Bytes& a, const Bytes& b) { return a.size() > b.size(); });
+    EXPECT_EQ(got[0], Bytes(150 * 1024, 0x61)) << "rank " << r;
+    EXPECT_EQ(got[1], Bytes(70 * 1024, 0x62)) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace lmon::core

@@ -158,6 +158,100 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::max(pinfo.param.fanout, 1));
     });
 
+/// Packs a topology with the *old* round-robin BE attachment: 2 leaf comm
+/// daemons, consecutive BE ranks striding across them. Regression for the
+/// contiguous-block placement change - overlay delivery and up-gather must
+/// never assume a leaf daemon owns a contiguous rank range.
+Topology round_robin_topology(const std::string& fe_host,
+                              const std::vector<std::string>& comm_hosts,
+                              const std::vector<std::string>& be_hosts) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(1 + comm_hosts.size() + be_hosts.size()));
+  w.str(fe_host);
+  w.u16(cluster::kTbonBasePort);
+  w.i32(-1);
+  w.boolean(false);
+  w.i32(-1);
+  for (const auto& host : comm_hosts) {
+    w.str(host);
+    w.u16(cluster::kTbonBasePort + 1);
+    w.i32(0);
+    w.boolean(false);
+    w.i32(-1);
+  }
+  for (std::size_t b = 0; b < be_hosts.size(); ++b) {
+    w.str(be_hosts[b]);
+    w.u16(0);
+    w.i32(1 + static_cast<std::int32_t>(b % comm_hosts.size()));
+    w.boolean(true);
+    w.i32(static_cast<std::int32_t>(b));
+  }
+  auto t = Topology::unpack(std::move(w).take());
+  EXPECT_TRUE(t.has_value());
+  return *t;
+}
+
+TEST(TbonNet, NonContiguousBePlacementStillDeliversAndGathers) {
+  const int nbe = 8;
+  const int ncomm = 2;
+  TestCluster tc(nbe + ncomm);
+  LeafDaemon::install(tc.machine);
+  AdHocCommNode::install(tc.machine);
+
+  std::vector<std::string> be_hosts;
+  std::vector<std::string> comm_hosts;
+  for (int i = 0; i < nbe; ++i) {
+    be_hosts.push_back(tc.machine.compute_node(i).hostname());
+  }
+  for (int i = 0; i < ncomm; ++i) {
+    comm_hosts.push_back(tc.machine.compute_node(nbe + i).hostname());
+  }
+
+  bool got_sum = false;
+  std::uint64_t sum = 0;
+  std::vector<std::uint32_t> contributing_ranks;
+  cluster::SpawnOptions opts;
+  opts.executable = "root_fe";
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<RootFe>([&](cluster::Process& self, RootFe& prog) {
+        Topology topo = round_robin_topology(self.node().hostname(),
+                                             comm_hosts, be_hosts);
+        ASSERT_TRUE(topo.valid());
+        TbonEndpoint::Callbacks cbs;
+        cbs.on_tree_ready = [&](Status st) {
+          ASSERT_TRUE(st.is_ok()) << st.to_string();
+          const std::uint32_t stream =
+              prog.endpoint->new_stream(kFilterSumU64);
+          prog.endpoint->send_down(stream, /*tag=*/5, {});
+        };
+        cbs.on_up = [&](std::uint32_t, std::uint32_t, const Bytes& data,
+                        const std::vector<std::uint32_t>& ranks) {
+          ByteReader r(data);
+          sum = r.u64().value_or(0);
+          contributing_ranks = ranks;
+          got_sum = true;
+        };
+        prog.endpoint = std::make_unique<TbonEndpoint>(self, topo, 0,
+                                                       std::move(cbs));
+        prog.endpoint->start();
+        adhoc_launch(self, topo, "tbon_commd", "leaf_be", {},
+                     [](rsh::LaunchOutcome out) {
+                       ASSERT_TRUE(out.status.is_ok())
+                           << out.status.to_string();
+                     });
+      }),
+      std::move(opts));
+  ASSERT_TRUE(res.is_ok());
+  ASSERT_TRUE(tc.run_until([&] { return got_sum; }, sim::seconds(1800)));
+
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(nbe) * (nbe - 1) / 2);
+  ASSERT_EQ(contributing_ranks.size(), static_cast<std::size_t>(nbe));
+  for (int i = 0; i < nbe; ++i) {
+    EXPECT_EQ(contributing_ranks[static_cast<std::size_t>(i)],
+              static_cast<std::uint32_t>(i));
+  }
+}
+
 TEST(TbonNet, MultipleStreamsKeepRoundsSeparate) {
   TestCluster tc(4);
   LeafDaemon::install(tc.machine);

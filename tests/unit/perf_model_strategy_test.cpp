@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench/ablation_iccl_lib.hpp"
 #include "bench/ablation_rsh_lib.hpp"
 #include "core/fe_api.hpp"
 #include "core/perf_model.hpp"
@@ -205,6 +206,107 @@ TEST(PerStrategyModel, FabricClosedFormsMatchCommTopology) {
       EXPECT_DOUBLE_EQ(PerfModel::fabric_pipeline_quanta(spec, n), worst)
           << spec.to_string() << " n=" << n;
     }
+  }
+}
+
+// --- collective protocol family (eager vs rendezvous) ------------------------
+
+constexpr auto kEager = core::CollectiveProtocol::Eager;
+constexpr auto kRndv = core::CollectiveProtocol::Rendezvous;
+
+const std::vector<comm::TopologySpec> kCollectiveFabrics = {
+    kary(2), kary(8),
+    comm::TopologySpec{comm::TopologyKind::Binomial, 0},
+    comm::TopologySpec{comm::TopologyKind::Flat, 0}};
+
+TEST(CollectiveModel, EagerGrowsWithPayloadAndDegenerateCasesAreFree) {
+  const cluster::CostModel costs = cluster::CostModel{}.deterministic();
+  PerfModel m(costs, 32);
+  EXPECT_EQ(m.collective_bcast(kEager, kary(2), 1, 1 << 20), 0.0);
+  EXPECT_EQ(m.collective_bcast(kRndv, kary(2), 1, 1 << 20), 0.0);
+  for (const auto& spec : kCollectiveFabrics) {
+    double prev = 0.0;
+    for (std::size_t s : {1u << 10, 64u << 10, 1u << 20, 4u << 20}) {
+      const double t = m.collective_bcast(kEager, spec, 32, s);
+      EXPECT_GT(t, prev) << spec.to_string() << " payload " << s;
+      prev = t;
+    }
+  }
+}
+
+TEST(CollectiveModel, RendezvousWinsLargePayloadsOnEveryFabric) {
+  const cluster::CostModel costs = cluster::CostModel{}.deterministic();
+  PerfModel m(costs, 32);
+  for (const auto& spec : kCollectiveFabrics) {
+    const double eager = m.collective_bcast(kEager, spec, 32, 4u << 20);
+    const double rndv = m.collective_bcast(kRndv, spec, 32, 4u << 20);
+    EXPECT_LT(rndv, eager) << spec.to_string();
+  }
+}
+
+TEST(CollectiveModel, EagerWinsSmallPayloadsOnEveryFabric) {
+  // The RTS/CTS round trip plus per-chunk overheads must not pay off for a
+  // payload the eager path ships in one cheap frame.
+  const cluster::CostModel costs = cluster::CostModel{}.deterministic();
+  PerfModel m(costs, 32);
+  for (const auto& spec : kCollectiveFabrics) {
+    const double eager = m.collective_bcast(kEager, spec, 32, 1u << 10);
+    const double rndv = m.collective_bcast(kRndv, spec, 32, 1u << 10);
+    EXPECT_LT(eager, rndv) << spec.to_string();
+  }
+}
+
+TEST(CollectiveModel, CrossoverSeparatesTheRegimes) {
+  const cluster::CostModel costs = cluster::CostModel{}.deterministic();
+  PerfModel m(costs, 32);
+  for (const auto& spec : kCollectiveFabrics) {
+    const auto cross = m.collective_crossover(spec, 32, 16u << 20);
+    ASSERT_TRUE(cross.has_value()) << spec.to_string();
+    // Rendezvous stays cheaper from the crossover on (probe a few points).
+    for (double mult : {1.1, 2.0, 8.0}) {
+      const auto s = static_cast<std::size_t>(
+          static_cast<double>(*cross) * mult);
+      EXPECT_LT(m.collective_bcast(kRndv, spec, 32, s),
+                m.collective_bcast(kEager, spec, 32, s))
+          << spec.to_string() << " payload " << s;
+    }
+    // And eager won at the smallest modeled payload (the crossover is real).
+    EXPECT_GT(*cross, 1024u) << spec.to_string();
+  }
+}
+
+TEST(CollectiveModel, DeepTreesCrossOverBeforeFlatFanOut) {
+  // Rendezvous' chunk pipeline pays off per level, so the deep binary tree
+  // switches at a smaller payload than the serialization-bound flat tree.
+  const cluster::CostModel costs = cluster::CostModel{}.deterministic();
+  PerfModel m(costs, 32);
+  const auto deep = m.collective_crossover(kary(2), 32);
+  const auto flat = m.collective_crossover(
+      comm::TopologySpec{comm::TopologyKind::Flat, 0}, 32);
+  ASSERT_TRUE(deep.has_value());
+  ASSERT_TRUE(flat.has_value());
+  EXPECT_LT(*deep, *flat);
+}
+
+TEST(CollectiveModel, TracksSimulatedBroadcastWithinTolerance) {
+  // Same jitter-free harness as bench_ablation_iccl: every (protocol,
+  // payload) point of a toy sweep must match the closed form tightly.
+  const cluster::CostModel costs = cluster::CostModel{}.deterministic();
+  PerfModel m(costs, static_cast<std::uint32_t>(costs.rm_launch_fanout));
+  const comm::TopologySpec spec = kary(2);
+  const std::vector<std::size_t> payloads = {4u << 10, 1u << 20};
+  const auto eager = bench::measure_bcast_sweep(
+      spec, 8, std::numeric_limits<std::uint32_t>::max(), payloads);
+  const auto rndv = bench::measure_bcast_sweep(spec, 8, 1, payloads);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    ASSERT_GT(eager[i], 0.0);
+    ASSERT_GT(rndv[i], 0.0);
+    EXPECT_NEAR(m.collective_bcast(kEager, spec, 8, payloads[i]) / eager[i],
+                1.0, 0.02)
+        << "eager payload " << payloads[i];
+    EXPECT_NEAR(m.collective_bcast(kRndv, spec, 8, payloads[i]) / rndv[i],
+                1.0, 0.02)
+        << "rendezvous payload " << payloads[i];
   }
 }
 

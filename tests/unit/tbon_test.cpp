@@ -1,6 +1,11 @@
 // Unit tests for TBON topology, packets and filters.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
 #include "simkernel/rng.hpp"
 #include "tbon/endpoint.hpp"
 #include "tbon/filter.hpp"
@@ -52,6 +57,141 @@ TEST(Topology, BalancedWithoutCommNodesDegeneratesToOneDeep) {
   EXPECT_TRUE(t.valid());
   EXPECT_EQ(t.depth(), 1);
   EXPECT_EQ(t.num_comm_nodes(), 0);
+}
+
+/// BE ranks attached to each comm-layer attach point, in node-index order.
+std::vector<std::vector<int>> be_ranges_by_parent(const Topology& t) {
+  std::map<int, std::vector<int>> by_parent;
+  for (const auto& n : t.nodes()) {
+    if (n.is_backend) by_parent[n.parent].push_back(n.be_rank);
+  }
+  std::vector<std::vector<int>> out;
+  for (auto& [parent, ranks] : by_parent) out.push_back(std::move(ranks));
+  return out;
+}
+
+TEST(Topology, ShapedAttachesBackEndsInContiguousBlocks) {
+  // Each leaf comm daemon owns one contiguous, near-equal slice of the BE
+  // rank range (the old round-robin layout strided consecutive ranks
+  // across every leaf daemon).
+  Topology t = Topology::shaped("fe", 8300, hosts(3, "c"), hosts(14, "b"),
+                                {comm::TopologyKind::KAry, 2}, 8301);
+  ASSERT_TRUE(t.valid());
+  const auto ranges = be_ranges_by_parent(t);
+  ASSERT_EQ(ranges.size(), 2u);  // comm ranks 1 and 2 are the leaves
+  int expected_next = 0;
+  std::size_t largest = 0;
+  std::size_t smallest = 14;
+  for (const auto& ranks : ranges) {
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      EXPECT_EQ(ranks[i], expected_next) << "non-contiguous block";
+      expected_next += 1;
+    }
+    largest = std::max(largest, ranks.size());
+    smallest = std::min(smallest, ranks.size());
+  }
+  EXPECT_EQ(expected_next, 14);
+  EXPECT_LE(largest - smallest, 1u);  // near-equal split
+}
+
+TEST(Topology, ShapedCommSubtreesOwnContiguousRankIntervals) {
+  // Every comm subtree must cover one contiguous BE rank interval - the
+  // property that keeps scatter partitions and rank-range filters
+  // subtree-local. Checked across all three tree families.
+  const std::vector<comm::TopologySpec> specs = {
+      {comm::TopologyKind::KAry, 2},
+      {comm::TopologyKind::KAry, 3},
+      {comm::TopologyKind::Binomial, 0},
+      {comm::TopologyKind::Flat, 0}};
+  for (const auto& spec : specs) {
+    Topology t = Topology::shaped("fe", 8300, hosts(7, "c"), hosts(29, "b"),
+                                  spec, 8301);
+    ASSERT_TRUE(t.valid()) << spec.to_string();
+    for (std::size_t i = 1; i < t.nodes().size(); ++i) {
+      if (t.nodes()[i].is_backend) continue;
+      // Collect the BE ranks below comm node i.
+      std::vector<int> ranks;
+      std::vector<int> frontier{static_cast<int>(i)};
+      while (!frontier.empty()) {
+        const int cur = frontier.back();
+        frontier.pop_back();
+        for (int c : t.children_of(cur)) {
+          if (t.nodes()[static_cast<std::size_t>(c)].is_backend) {
+            ranks.push_back(t.nodes()[static_cast<std::size_t>(c)].be_rank);
+          } else {
+            frontier.push_back(c);
+          }
+        }
+      }
+      std::sort(ranks.begin(), ranks.end());
+      for (std::size_t k = 1; k < ranks.size(); ++k) {
+        EXPECT_EQ(ranks[k], ranks[k - 1] + 1)
+            << spec.to_string() << " comm node " << i
+            << " owns a non-contiguous rank set";
+      }
+    }
+  }
+}
+
+TEST(Topology, ShapedBlockPlacementHandlesFewerBackEndsThanLeaves) {
+  Topology t = Topology::shaped("fe", 8300, hosts(6, "c"), hosts(2, "b"),
+                                {comm::TopologyKind::Flat, 0}, 8301);
+  ASSERT_TRUE(t.valid());
+  EXPECT_EQ(t.num_backends(), 2);
+  // index_of_backend stays total even with idle leaf daemons.
+  EXPECT_GE(t.index_of_backend(0), 0);
+  EXPECT_GE(t.index_of_backend(1), 0);
+}
+
+/// Builds a topology with the *old* round-robin BE attachment by packing
+/// the wire form directly (Topology::unpack is the only public way to
+/// construct an arbitrary layout - deliberately, but it keeps this
+/// regression honest: nothing downstream may assume contiguity).
+Topology round_robin_topology(int ncomm_leaves, int nbe) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(1 + ncomm_leaves + nbe));
+  w.str("fe");
+  w.u16(8300);
+  w.i32(-1);
+  w.boolean(false);
+  w.i32(-1);
+  for (int c = 0; c < ncomm_leaves; ++c) {
+    w.str("c" + std::to_string(c));
+    w.u16(8301);
+    w.i32(0);
+    w.boolean(false);
+    w.i32(-1);
+  }
+  for (int b = 0; b < nbe; ++b) {
+    w.str("b" + std::to_string(b));
+    w.u16(0);
+    w.i32(1 + b % ncomm_leaves);  // the old striding
+    w.boolean(true);
+    w.i32(b);
+  }
+  auto t = Topology::unpack(std::move(w).take());
+  EXPECT_TRUE(t.has_value());
+  return *t;
+}
+
+TEST(Topology, RoundRobinPlacementStillValidatesAndResolvesRanks) {
+  Topology t = round_robin_topology(3, 10);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.num_backends(), 10);
+  EXPECT_EQ(t.num_comm_nodes(), 3);
+  std::set<int> indices;
+  for (int r = 0; r < 10; ++r) {
+    const int idx = t.index_of_backend(r);
+    ASSERT_GE(idx, 0);
+    EXPECT_TRUE(indices.insert(idx).second);
+  }
+  // And it is genuinely non-contiguous: comm leaf 1 holds ranks 0,3,6,9.
+  const auto children = t.children_of(1);
+  std::vector<int> ranks;
+  for (int c : children) {
+    ranks.push_back(t.nodes()[static_cast<std::size_t>(c)].be_rank);
+  }
+  EXPECT_EQ(ranks, (std::vector<int>{0, 3, 6, 9}));
 }
 
 TEST(Topology, PackUnpackRoundTrip) {
