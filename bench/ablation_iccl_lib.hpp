@@ -171,6 +171,7 @@ inline std::vector<double> measure_bcast_sweep(
     const std::vector<std::size_t>& payloads) {
   const cluster::CostModel costs = cluster::CostModel{}.deterministic();
   TestCluster tc(nodes, 0, costs);
+  ScopedTrace trace(tc);
   iccl_sweep::SweepState state;
   state.payloads = payloads;
   state.issue.assign(payloads.size(), 0);

@@ -79,6 +79,7 @@ inline double measure_launch_and_spawn(comm::LaunchStrategyKind kind,
   // the simulated expectation, not against one noisy sample.
   const cluster::CostModel costs = cluster::CostModel{}.deterministic();
   TestCluster tc(nodes, 0, costs);
+  ScopedTrace trace(tc);
   sim::Timeline timeline;
   tc.machine.set_timeline(&timeline);
 

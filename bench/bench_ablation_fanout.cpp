@@ -28,6 +28,7 @@ namespace {
 
 double run_once(int ndaemons, comm::TopologySpec topo) {
   bench::TestCluster tc(ndaemons);
+  bench::ScopedTrace trace(tc);
   bool done = false;
   Status status;
   sim::Time started = 0;
@@ -110,6 +111,7 @@ void run_shape_sweep(const std::vector<comm::TopologySpec>& shapes) {
 int main(int argc, char** argv) {
   using namespace lmon;
   std::vector<std::string> args(argv + 1, argv + argc);
+  bench::set_trace_out(args);
   const std::string topo = arg_value(args, "--topo=").value_or("kary");
 
   if (topo == "kary") {

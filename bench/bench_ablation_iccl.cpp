@@ -73,11 +73,14 @@ int main(int argc, char** argv) {
   using namespace lmon;
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (const std::string& arg : args) {
-    if (arg != "--json" && arg.rfind("--nodes=", 0) != 0) {
-      std::fprintf(stderr, "usage: %s [--json] [--nodes=N]\n", argv[0]);
+    if (arg != "--json" && arg.rfind("--nodes=", 0) != 0 &&
+        !bench::common_flag(arg)) {
+      std::fprintf(stderr, "usage: %s [--json] [--nodes=N] [--trace-out=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
+  bench::set_trace_out(args);
   bench::IcclAblationOptions opts;
   if (bench::smoke_mode()) opts = bench::IcclAblationOptions::smoke();
   opts.nodes =

@@ -25,6 +25,7 @@ using tools::jobsnap::JobsnapTbonOutcome;
 
 double run_flat(int ndaemons, int tpn) {
   bench::TestCluster tc(ndaemons);
+  bench::ScopedTrace trace(tc);
   JobsnapBe::install(tc.machine);
   const cluster::Pid launcher = bench::start_plain_job(tc, ndaemons, tpn);
   if (launcher == cluster::kInvalidPid) return -1;
@@ -43,6 +44,7 @@ double run_flat(int ndaemons, int tpn) {
 
 double run_tbon(int ndaemons, int tpn) {
   bench::TestCluster tc(ndaemons);
+  bench::ScopedTrace trace(tc);
   JobsnapTbonBe::install(tc.machine);
   const cluster::Pid launcher = bench::start_plain_job(tc, ndaemons, tpn);
   if (launcher == cluster::kInvalidPid) return -1;
@@ -62,8 +64,16 @@ double run_tbon(int ndaemons, int tpn) {
 }  // namespace
 }  // namespace lmon
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lmon;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (!bench::common_flag(arg)) {
+      std::fprintf(stderr, "usage: %s [--trace-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  bench::set_trace_out(args);
   bench::print_title(
       "Extension (paper §5.1 future work): Jobsnap collection phase,\n"
       "flat ICCL gather vs TBON with per-hop snapshot merging");

@@ -64,6 +64,7 @@ class PayloadDaemon : public cluster::Program {
 
 double run_once(int ndaemons, std::size_t payload_bytes, bool piggyback) {
   bench::TestCluster tc(ndaemons);
+  bench::ScopedTrace trace(tc);
   PayloadState state;
   PayloadDaemon::install(tc.machine, &state);
 
@@ -105,8 +106,16 @@ double run_once(int ndaemons, std::size_t payload_bytes, bool piggyback) {
 }  // namespace
 }  // namespace lmon
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lmon;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (!bench::common_flag(arg)) {
+      std::fprintf(stderr, "usage: %s [--trace-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  bench::set_trace_out(args);
   bench::print_title(
       "Ablation: tool-data piggybacking on the handshake vs separate round "
       "trip\n(time until all daemons hold the payload, seconds)");

@@ -73,13 +73,15 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (const std::string& arg : args) {
     if (arg != "--json" && arg.rfind("--max-nodes=", 0) != 0 &&
-        arg.rfind("--tpn=", 0) != 0) {
+        arg.rfind("--tpn=", 0) != 0 && !bench::common_flag(arg)) {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--max-nodes=N] [--tpn=T]\n",
+                   "usage: %s [--json] [--max-nodes=N] [--tpn=T] "
+                   "[--trace-out=PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  bench::set_trace_out(args);
   bench::RshAblationOptions opts;
   if (bench::smoke_mode()) opts.max_nodes = 16;
   const bool json = std::find(args.begin(), args.end(), "--json") !=

@@ -35,6 +35,7 @@ struct Measurement {
 
 Measurement run_once(int ndaemons, int tpn) {
   bench::TestCluster tc(ndaemons);
+  bench::ScopedTrace trace(tc);
   sim::Timeline timeline;
   sim::CostLedger ledger;
   tc.machine.set_timeline(&timeline);
@@ -82,8 +83,16 @@ Measurement run_once(int ndaemons, int tpn) {
 }  // namespace
 }  // namespace lmon
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lmon;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (!bench::common_flag(arg)) {
+      std::fprintf(stderr, "usage: %s [--trace-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  bench::set_trace_out(args);
   bench::print_title(
       "Figure 3: launchAndSpawn modeled vs measured (8 MPI tasks/daemon)");
   std::printf(

@@ -8,67 +8,64 @@
 // 2.92 s total / 2.76 s in LaunchMON functionality at 1024 daemons (8192
 // tasks) - the super-linear last doubling attributed to "sub-optimal
 // scaling characteristics of the RM functionality at this scale".
+//
+// Flags:
+//   --json              emit the machine-readable report (schema under
+//                       golden test; tests/integration/bench_schema_test.cpp)
+//   --trace-out=<path>  export a Chrome/Perfetto trace of the last swept
+//                       point (also via LMON_TRACE_OUT)
+#include <algorithm>
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
-#include "bench/bench_util.hpp"
-#include "tools/jobsnap/jobsnap_be.hpp"
-#include "tools/jobsnap/jobsnap_fe.hpp"
+#include "bench/fig5_jobsnap_lib.hpp"
 
 namespace lmon {
 namespace {
 
-struct Point {
-  bool ok = false;
-  double total = 0;
-  double init_to_spawn = 0;
-};
-
-Point run_once(int ndaemons, int tpn) {
-  bench::TestCluster tc(ndaemons);
-  tools::jobsnap::JobsnapBe::install(tc.machine);
-  Point pt;
-  const cluster::Pid launcher = bench::start_plain_job(tc, ndaemons, tpn);
-  if (launcher == cluster::kInvalidPid) return pt;
-
-  tools::jobsnap::JobsnapOutcome out;
-  cluster::SpawnOptions opts;
-  opts.executable = "jobsnap_fe";
-  opts.image_mb = 3.0;
-  auto res = tc.machine.front_end().spawn(
-      std::make_unique<tools::jobsnap::JobsnapFe>(launcher, &out),
-      std::move(opts));
-  if (!res.is_ok()) return pt;
-  tc.run_until([&] { return out.done; }, sim::seconds(900));
-  if (!out.done || !out.status.is_ok()) return pt;
-
-  pt.ok = true;
-  pt.total = sim::to_seconds(out.t_done - out.t_start);
-  pt.init_to_spawn = sim::to_seconds(out.t_spawned - out.t_start);
-  return pt;
-}
-
-}  // namespace
-}  // namespace lmon
-
-int main() {
-  using namespace lmon;
+void print_table(const bench::JobsnapReport& report) {
   bench::print_title("Figure 5: Jobsnap performance (8 MPI tasks/daemon)");
   std::printf("%8s %6s | %16s %22s\n", "daemons", "tasks", "jobsnap total",
               "init->attachAndSpawn");
-  const int tpn = 8;
-  for (int n : bench::scales({16, 32, 64, 128, 256, 384, 512, 768, 1024}, {16, 32})) {
-    const Point pt = run_once(n, tpn);
+  for (const auto& pt : report.points) {
     if (!pt.ok) {
-      std::printf("%8d %6d | FAILED\n", n, n * tpn);
+      std::printf("%8d %6d | FAILED\n", pt.daemons, pt.tasks);
       continue;
     }
-    std::printf("%8d %6d | %14.3fs %20.3fs\n", n, n * tpn, pt.total,
-                pt.init_to_spawn);
+    std::printf("%8d %6d | %14.3fs %20.3fs\n", pt.daemons, pt.tasks,
+                pt.total_s, pt.init_to_spawn_s);
   }
   std::printf(
       "\npaper anchors: <1.5 s total at 512 daemons/4096 tasks; 2.92 s total "
       "(2.76 s in LaunchMON)\nat 1024 daemons/8192 tasks, with the last "
       "doubling super-linear due to the RM term.\n");
+}
+
+}  // namespace
+}  // namespace lmon
+
+int main(int argc, char** argv) {
+  using namespace lmon;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (arg != "--json" && !bench::common_flag(arg)) {
+      std::fprintf(stderr, "usage: %s [--json] [--trace-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  bench::set_trace_out(args);
+  const bool json =
+      std::find(args.begin(), args.end(), "--json") != args.end();
+
+  const bench::JobsnapOptions opts = bench::smoke_mode()
+                                         ? bench::JobsnapOptions::smoke()
+                                         : bench::JobsnapOptions{};
+  const bench::JobsnapReport report = bench::run_jobsnap_sweep(opts);
+  if (json) {
+    std::fputs(bench::to_json(report).c_str(), stdout);
+  } else {
+    print_table(report);
+  }
   return 0;
 }

@@ -6,95 +6,47 @@
 // 60.8 s vs 3.57 s at 256 nodes (0.77 s of the 3.57 s in MRNet's
 // handshake); the ad hoc approach consistently fails forking rsh at 512
 // nodes (would extrapolate to ~2 minutes), while LaunchMON takes 5.6 s.
+//
+// Flags:
+//   --json              emit the machine-readable report (schema under
+//                       golden test; tests/integration/bench_schema_test.cpp)
+//   --trace-out=<path>  export a Chrome/Perfetto trace of the last swept
+//                       point (also via LMON_TRACE_OUT)
+#include <algorithm>
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
-#include "bench/bench_util.hpp"
-#include "tbon/comm_node.hpp"
-#include "tools/stat/stat_be.hpp"
-#include "tools/stat/stat_fe.hpp"
+#include "bench/fig6_stat_lib.hpp"
 
 namespace lmon {
 namespace {
 
-struct Point {
-  bool ok = false;
-  bool done = false;
-  std::string error;
-  double launch_connect = 0;
-  double handshake = 0;
-};
-
-Point run_once(int ndaemons, int tpn, tools::stat::StartupMode mode) {
-  bench::TestCluster tc(ndaemons);
-  tools::stat::StatBe::install(tc.machine);
-  tbon::AdHocCommNode::install(tc.machine);
-  tbon::LmonCommNode::install(tc.machine);
-
-  Point pt;
-  const cluster::Pid launcher = bench::start_plain_job(tc, ndaemons, tpn);
-  if (launcher == cluster::kInvalidPid) return pt;
-
-  tools::stat::StatConfig cfg;
-  cfg.mode = mode;
-  cfg.launcher_pid = launcher;
-  cfg.take_sample = false;  // Fig. 6 measures launch+connect only
-  if (mode == tools::stat::StartupMode::AdHocRsh) {
-    for (int i = 0; i < ndaemons; ++i) {
-      cfg.adhoc_hosts.push_back(tc.machine.compute_node(i).hostname());
-    }
-  }
-  tools::stat::StatOutcome out;
-  cluster::SpawnOptions opts;
-  opts.executable = "stat_fe";
-  opts.image_mb = 12.0;
-  auto res = tc.machine.front_end().spawn(
-      std::make_unique<tools::stat::StatFe>(std::move(cfg), &out),
-      std::move(opts));
-  if (!res.is_ok()) return pt;
-  tc.run_until([&] { return out.done; }, sim::seconds(1800));
-  pt.done = out.done;
-  if (!out.done) {
-    pt.error = "timeout";
-    return pt;
-  }
-  if (!out.status.is_ok()) {
-    pt.error = out.status.to_string();
-    return pt;
-  }
-  pt.ok = true;
-  pt.launch_connect = out.launch_connect_seconds();
-  pt.handshake = out.handshake_seconds();
-  return pt;
-}
-
-}  // namespace
-}  // namespace lmon
-
-int main() {
-  using namespace lmon;
+void print_table(const bench::StatBenchReport& report) {
   bench::print_title(
       "Figure 6: STAT launch+connect, MRNet (serial rsh) vs LaunchMON, "
       "1-deep topology");
   std::printf("%8s | %18s | %14s %14s\n", "daemons", "MRNet 1-deep",
               "LaunchMON", "(TBON hshake)");
 
-  const int tpn = 8;
   double slope = 0;  // fitted serial-rsh per-node cost for extrapolation
   int last_ok_n = 0;
   double last_ok_t = 0;
-  for (int n : bench::scales({4, 16, 64, 128, 256, 512}, {4, 16})) {
-    const Point adhoc = run_once(n, tpn, tools::stat::StartupMode::AdHocRsh);
-    const Point lmon = run_once(n, tpn, tools::stat::StartupMode::LaunchMon);
+  // Points come in (adhoc, launchmon) pairs per scale.
+  for (std::size_t i = 0; i + 1 < report.points.size(); i += 2) {
+    const bench::StatBenchPoint& adhoc = report.points[i];
+    const bench::StatBenchPoint& lmon = report.points[i + 1];
+    const int n = adhoc.daemons;
 
     char adhoc_col[64];
     if (adhoc.ok) {
-      std::snprintf(adhoc_col, sizeof adhoc_col, "%13.2fs", adhoc.launch_connect);
+      std::snprintf(adhoc_col, sizeof adhoc_col, "%13.2fs",
+                    adhoc.launch_connect_s);
       if (last_ok_n > 0) {
-        slope = (adhoc.launch_connect - last_ok_t) / (n - last_ok_n);
+        slope = (adhoc.launch_connect_s - last_ok_t) / (n - last_ok_n);
       }
       last_ok_n = n;
-      last_ok_t = adhoc.launch_connect;
+      last_ok_t = adhoc.launch_connect_s;
     } else {
       // The paper's 512-node behaviour: "consistently fails when forking an
       // rsh process. If it had succeeded ... approximately two minutes."
@@ -104,7 +56,7 @@ int main() {
     }
     if (lmon.ok) {
       std::printf("%8d | %18s | %13.2fs %13.2fs\n", n, adhoc_col,
-                  lmon.launch_connect, lmon.handshake);
+                  lmon.launch_connect_s, lmon.handshake_s);
     } else {
       std::printf("%8d | %18s | FAILED: %s\n", n, adhoc_col,
                   lmon.error.c_str());
@@ -114,5 +66,32 @@ int main() {
       "\npaper anchors: 0.77 s vs 0.46 s at 4 nodes; 60.8 s vs 3.57 s at "
       "256; rsh fork failure at 512\n(extrapolating to ~2 minutes) while "
       "LaunchMON launches all daemons in 5.6 s.\n");
+}
+
+}  // namespace
+}  // namespace lmon
+
+int main(int argc, char** argv) {
+  using namespace lmon;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (arg != "--json" && !bench::common_flag(arg)) {
+      std::fprintf(stderr, "usage: %s [--json] [--trace-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  bench::set_trace_out(args);
+  const bool json =
+      std::find(args.begin(), args.end(), "--json") != args.end();
+
+  const bench::StatBenchOptions opts = bench::smoke_mode()
+                                           ? bench::StatBenchOptions::smoke()
+                                           : bench::StatBenchOptions{};
+  const bench::StatBenchReport report = bench::run_stat_sweep(opts);
+  if (json) {
+    std::fputs(bench::to_json(report).c_str(), stdout);
+  } else {
+    print_table(report);
+  }
   return 0;
 }

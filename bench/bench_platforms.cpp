@@ -28,6 +28,7 @@ struct Split {
 
 Split run_once(int ndaemons, const cluster::CostModel& costs) {
   bench::TestCluster tc(ndaemons, 0, costs);
+  bench::ScopedTrace trace(tc);
   sim::Timeline timeline;
   sim::CostLedger ledger;
   tc.machine.set_timeline(&timeline);
@@ -69,8 +70,16 @@ Split run_once(int ndaemons, const cluster::CostModel& costs) {
 }  // namespace
 }  // namespace lmon
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lmon;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (!bench::common_flag(arg)) {
+      std::fprintf(stderr, "usage: %s [--trace-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  bench::set_trace_out(args);
   bench::print_title(
       "Platform comparison (paper §4): Atlas-like vs BlueGene-like RM");
   std::printf("%8s | %26s | %26s\n", "", "Atlas-like (slurm)",

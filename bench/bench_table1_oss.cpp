@@ -37,8 +37,16 @@ double acquire_seconds(bench::TestCluster& tc, cluster::Pid launcher) {
 }  // namespace
 }  // namespace lmon
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lmon;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (!bench::common_flag(arg)) {
+      std::fprintf(stderr, "usage: %s [--trace-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  bench::set_trace_out(args);
   bench::print_title("Table 1: O|SS APAI access times (seconds)");
   std::printf("%-12s", "Nodes");
   for (int n : bench::scales({2, 4, 8, 16, 32}, {2, 4})) std::printf("%10d", n);
@@ -49,6 +57,7 @@ int main() {
   for (int n : bench::scales({2, 4, 8, 16, 32}, {2, 4})) {
     {
       bench::TestCluster tc(n);
+      bench::ScopedTrace trace(tc);
       tools::oss::OssBe::install(tc.machine);
       (void)tools::dpcl::install(tc.machine);
       const cluster::Pid launcher = bench::start_plain_job(tc, n, 8);
@@ -57,6 +66,7 @@ int main() {
     }
     {
       bench::TestCluster tc(n);
+      bench::ScopedTrace trace(tc);
       tools::oss::OssBe::install(tc.machine);
       const cluster::Pid launcher = bench::start_plain_job(tc, n, 8);
       lmon_times.push_back(

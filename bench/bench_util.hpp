@@ -8,10 +8,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/argparse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/trace.hpp"
 #include "tests/test_util.hpp"
 
 namespace lmon::bench {
@@ -37,6 +42,75 @@ inline bool smoke_mode() {
 inline std::vector<int> scales(std::vector<int> full, std::vector<int> smoke) {
   return smoke_mode() ? smoke : full;
 }
+
+// --- trace export (--trace-out= / LMON_TRACE_OUT) ---------------------------
+
+/// Where this bench run writes its Chrome/Perfetto trace ("" = tracing
+/// off). Sweeping benches re-trace every point into the same file, so the
+/// exported trace is the *last* swept point's.
+inline std::string& trace_out_path() {
+  static std::string path;
+  return path;
+}
+
+/// Resolves the trace destination from --trace-out=<path> (or the
+/// LMON_TRACE_OUT environment variable when the flag is absent).
+inline void set_trace_out(const std::vector<std::string>& args) {
+  if (auto v = arg_value(args, "--trace-out="); v) {
+    trace_out_path() = *v;
+    return;
+  }
+  const char* env = std::getenv("LMON_TRACE_OUT");
+  if (env != nullptr) trace_out_path() = env;
+}
+
+/// True for flags every bench accepts (used by strict argv validation).
+inline bool common_flag(const std::string& arg) {
+  return arg.rfind("--trace-out=", 0) == 0;
+}
+
+/// Attaches a Tracer (and optionally a Metrics registry) to a TestCluster's
+/// machine for one measured run; the destructor detaches and writes the
+/// Chrome trace. With an empty path and no metrics this is a no-op and the
+/// run is bit-identical to an uninstrumented one.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TestCluster& tc, obs::Metrics* metrics = nullptr)
+      : ScopedTrace(tc, trace_out_path(), metrics) {}
+
+  ScopedTrace(TestCluster& tc, std::string path,
+              obs::Metrics* metrics = nullptr)
+      : machine_(tc.machine), path_(std::move(path)) {
+    if (metrics != nullptr) machine_.set_metrics(metrics);
+    if (path_.empty()) return;
+    tracer_ = std::make_unique<obs::Tracer>(tc.simulator);
+    bridge_ = std::make_unique<obs::LogBridge>(*tracer_);
+    machine_.set_tracer(tracer_.get());
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  ~ScopedTrace() {
+    machine_.set_metrics(nullptr);
+    if (tracer_ == nullptr) return;
+    machine_.set_tracer(nullptr);
+    bridge_.reset();
+    const Status st = obs::write_chrome_trace(*tracer_, path_);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace export to %s failed: %s\n", path_.c_str(),
+                   st.to_string().c_str());
+    }
+  }
+
+  [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
+
+ private:
+  cluster::Machine& machine_;
+  std::string path_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::LogBridge> bridge_;
+};
 
 /// Starts a plain (untraced) job and runs the simulation until the job's
 /// tasks are up. Returns the launcher pid.

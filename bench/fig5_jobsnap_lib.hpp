@@ -1,0 +1,129 @@
+// fig5_jobsnap_lib.hpp - the jobsnap scaling sweep (paper Figure 5) shared
+// by bench_fig5_jobsnap and the bench-schema golden test.
+//
+// Each point runs a full jobsnap session (launch the MPI job, attach, spawn
+// the tool daemons, snapshot) over a fresh simulated cluster and reports
+// the total wall time plus the slice spent inside LaunchMON's
+// init->attachAndSpawn. A Metrics registry rides along on every run and
+// accumulates protocol-level counters across the whole sweep; the snapshot
+// embeds into the --json report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/ablation_rsh_lib.hpp"  // jsonv::num / json_shape
+#include "bench/bench_util.hpp"
+#include "tools/jobsnap/jobsnap_be.hpp"
+#include "tools/jobsnap/jobsnap_fe.hpp"
+
+namespace lmon::bench {
+
+struct JobsnapOptions {
+  std::vector<int> scales{16, 32, 64, 128, 256, 384, 512, 768, 1024};
+  int tasks_per_daemon = 8;
+
+  /// Toy scale for smoke runs and the golden-schema test: the identical
+  /// code path, seconds not minutes.
+  static JobsnapOptions smoke() {
+    JobsnapOptions o;
+    o.scales = {16, 32};
+    return o;
+  }
+};
+
+struct JobsnapPoint {
+  int daemons = 0;
+  int tasks = 0;
+  bool ok = false;
+  double total_s = 0;          ///< jobsnap start -> snapshot done
+  double init_to_spawn_s = 0;  ///< LMON init -> attachAndSpawn returned
+};
+
+struct JobsnapReport {
+  int tasks_per_daemon = 1;
+  std::vector<int> scales;
+  std::vector<JobsnapPoint> points;
+  /// Protocol counters accumulated over every swept point.
+  obs::Metrics metrics;
+};
+
+/// One jobsnap session at `ndaemons` daemons. Metrics (and the --trace-out
+/// tracer, when enabled) attach for the duration of the run.
+inline JobsnapPoint run_jobsnap_point(int ndaemons, int tpn,
+                                      obs::Metrics* metrics) {
+  TestCluster tc(ndaemons);
+  ScopedTrace trace(tc, metrics);
+  tools::jobsnap::JobsnapBe::install(tc.machine);
+  JobsnapPoint pt;
+  pt.daemons = ndaemons;
+  pt.tasks = ndaemons * tpn;
+  const cluster::Pid launcher = start_plain_job(tc, ndaemons, tpn);
+  if (launcher == cluster::kInvalidPid) return pt;
+
+  tools::jobsnap::JobsnapOutcome out;
+  cluster::SpawnOptions opts;
+  opts.executable = "jobsnap_fe";
+  opts.image_mb = 3.0;
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<tools::jobsnap::JobsnapFe>(launcher, &out),
+      std::move(opts));
+  if (!res.is_ok()) return pt;
+  tc.run_until([&] { return out.done; }, sim::seconds(900));
+  if (!out.done || !out.status.is_ok()) return pt;
+
+  pt.ok = true;
+  pt.total_s = sim::to_seconds(out.t_done - out.t_start);
+  pt.init_to_spawn_s = sim::to_seconds(out.t_spawned - out.t_start);
+  return pt;
+}
+
+inline JobsnapReport run_jobsnap_sweep(const JobsnapOptions& opts) {
+  JobsnapReport report;
+  report.tasks_per_daemon = opts.tasks_per_daemon;
+  report.scales = opts.scales;
+  for (int n : opts.scales) {
+    report.points.push_back(
+        run_jobsnap_point(n, opts.tasks_per_daemon, &report.metrics));
+  }
+  // Seed the gauge table so the metrics block's shape is scale-independent
+  // (an instrument-free sweep would otherwise emit an empty array).
+  report.metrics.set_gauge("bench.points",
+                           static_cast<double>(report.points.size()));
+  report.metrics.set_gauge("bench.tasks_per_daemon",
+                           static_cast<double>(opts.tasks_per_daemon));
+  return report;
+}
+
+inline std::string to_json(const JobsnapReport& r) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"fig5_jobsnap\",\n";
+  out += "  \"deterministic\": true,\n";
+  out += "  \"tasks_per_daemon\": " + std::to_string(r.tasks_per_daemon) +
+         ",\n";
+  out += "  \"scales\": [";
+  for (std::size_t i = 0; i < r.scales.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(r.scales[i]);
+  }
+  out += "],\n";
+  out += "  \"points\": [\n";
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const JobsnapPoint& p = r.points[i];
+    out += "    {\"daemons\": " + std::to_string(p.daemons) +
+           ", \"tasks\": " + std::to_string(p.tasks) +
+           ", \"ok\": " + (p.ok ? "true" : "false") +
+           ", \"total_s\": " + jsonv::num(p.total_s) +
+           ", \"init_to_spawn_s\": " + jsonv::num(p.init_to_spawn_s) + "}";
+    if (i + 1 != r.points.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n";
+  out += "  \"metrics\": " + r.metrics.to_json(2) + "\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lmon::bench

@@ -1,0 +1,161 @@
+// fig6_stat_lib.hpp - the STAT start-up comparison sweep (paper Figure 6)
+// shared by bench_fig6_stat and the bench-schema golden test.
+//
+// Each scale runs STAT's launch+connect twice over a 1-deep TBON: once the
+// MRNet-native way (serial rsh) and once riding LaunchMON. A Metrics
+// registry attaches to every run and accumulates TBON/rsh/net counters
+// across the sweep for the --json report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/ablation_rsh_lib.hpp"  // jsonv::num / json_shape
+#include "bench/bench_util.hpp"
+#include "tbon/comm_node.hpp"
+#include "tools/stat/stat_be.hpp"
+#include "tools/stat/stat_fe.hpp"
+
+namespace lmon::bench {
+
+struct StatBenchOptions {
+  std::vector<int> scales{4, 16, 64, 128, 256, 512};
+  int tasks_per_daemon = 8;
+
+  /// Toy scale for smoke runs and the golden-schema test.
+  static StatBenchOptions smoke() {
+    StatBenchOptions o;
+    o.scales = {4, 16};
+    return o;
+  }
+};
+
+struct StatBenchPoint {
+  int daemons = 0;
+  std::string mode;  ///< "adhoc-rsh" | "launchmon"
+  bool ok = false;
+  bool done = false;
+  std::string error;
+  double launch_connect_s = 0;
+  double handshake_s = 0;
+};
+
+struct StatBenchReport {
+  int tasks_per_daemon = 1;
+  std::vector<int> scales;
+  std::vector<StatBenchPoint> points;
+  /// Protocol counters accumulated over every swept point.
+  obs::Metrics metrics;
+};
+
+/// One STAT launch+connect run at `ndaemons` under `mode`. Metrics (and the
+/// --trace-out tracer, when enabled) attach for the duration of the run.
+inline StatBenchPoint run_stat_point(int ndaemons, int tpn,
+                                     tools::stat::StartupMode mode,
+                                     obs::Metrics* metrics) {
+  TestCluster tc(ndaemons);
+  ScopedTrace trace(tc, metrics);
+  tools::stat::StatBe::install(tc.machine);
+  tbon::AdHocCommNode::install(tc.machine);
+  tbon::LmonCommNode::install(tc.machine);
+
+  StatBenchPoint pt;
+  pt.daemons = ndaemons;
+  pt.mode =
+      mode == tools::stat::StartupMode::AdHocRsh ? "adhoc-rsh" : "launchmon";
+  const cluster::Pid launcher = start_plain_job(tc, ndaemons, tpn);
+  if (launcher == cluster::kInvalidPid) {
+    pt.error = "job start failed";
+    return pt;
+  }
+
+  tools::stat::StatConfig cfg;
+  cfg.mode = mode;
+  cfg.launcher_pid = launcher;
+  cfg.take_sample = false;  // Fig. 6 measures launch+connect only
+  if (mode == tools::stat::StartupMode::AdHocRsh) {
+    for (int i = 0; i < ndaemons; ++i) {
+      cfg.adhoc_hosts.push_back(tc.machine.compute_node(i).hostname());
+    }
+  }
+  tools::stat::StatOutcome out;
+  cluster::SpawnOptions opts;
+  opts.executable = "stat_fe";
+  opts.image_mb = 12.0;
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<tools::stat::StatFe>(std::move(cfg), &out),
+      std::move(opts));
+  if (!res.is_ok()) {
+    pt.error = res.status.to_string();
+    return pt;
+  }
+  tc.run_until([&] { return out.done; }, sim::seconds(1800));
+  pt.done = out.done;
+  if (!out.done) {
+    pt.error = "timeout";
+    return pt;
+  }
+  if (!out.status.is_ok()) {
+    pt.error = out.status.to_string();
+    return pt;
+  }
+  pt.ok = true;
+  pt.launch_connect_s = out.launch_connect_seconds();
+  pt.handshake_s = out.handshake_seconds();
+  return pt;
+}
+
+inline StatBenchReport run_stat_sweep(const StatBenchOptions& opts) {
+  StatBenchReport report;
+  report.tasks_per_daemon = opts.tasks_per_daemon;
+  report.scales = opts.scales;
+  for (int n : opts.scales) {
+    report.points.push_back(run_stat_point(n, opts.tasks_per_daemon,
+                                           tools::stat::StartupMode::AdHocRsh,
+                                           &report.metrics));
+    report.points.push_back(run_stat_point(n, opts.tasks_per_daemon,
+                                           tools::stat::StartupMode::LaunchMon,
+                                           &report.metrics));
+  }
+  // Seed the gauge table so the metrics block's shape is scale-independent.
+  report.metrics.set_gauge("bench.points",
+                           static_cast<double>(report.points.size()));
+  report.metrics.set_gauge("bench.tasks_per_daemon",
+                           static_cast<double>(opts.tasks_per_daemon));
+  return report;
+}
+
+inline std::string to_json(const StatBenchReport& r) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"fig6_stat\",\n";
+  out += "  \"deterministic\": true,\n";
+  out += "  \"tasks_per_daemon\": " + std::to_string(r.tasks_per_daemon) +
+         ",\n";
+  out += "  \"scales\": [";
+  for (std::size_t i = 0; i < r.scales.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(r.scales[i]);
+  }
+  out += "],\n";
+  out += "  \"points\": [\n";
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const StatBenchPoint& p = r.points[i];
+    out += "    {\"daemons\": " + std::to_string(p.daemons) +
+           ", \"mode\": \"" + p.mode + "\", \"ok\": " +
+           (p.ok ? "true" : "false") +
+           ", \"done\": " + (p.done ? "true" : "false") + ", \"error\": \"" +
+           p.error + "\", \"launch_connect_s\": " +
+           jsonv::num(p.launch_connect_s) +
+           ", \"handshake_s\": " + jsonv::num(p.handshake_s) + "}";
+    if (i + 1 != r.points.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n";
+  out += "  \"metrics\": " + r.metrics.to_json(2) + "\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lmon::bench

@@ -8,6 +8,12 @@
 #                  ctest label: every bench_* binary at minimal scale
 #                  (LMON_BENCH_SMOKE=1), so bench bit-rot is caught in
 #                  seconds without paying for the full sweeps.
+#   --trace-smoke  build the Release preset, run one traced bench
+#                  (bench_fig3_launchspawn --trace-out=...) at smoke scale,
+#                  and validate the exported Chrome-trace JSON against the
+#                  golden structural schema (tests/golden/
+#                  trace_event.schema.txt) - catches exporter bit-rot the
+#                  same way the bench --json goldens catch report drift.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,6 +25,58 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   cmake --preset release
   cmake --build --preset release -j "$JOBS"
   ctest --test-dir build-release -L bench-smoke --output-on-failure -j "$JOBS"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--trace-smoke" ]]; then
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS"
+  trace_out=build-release/trace_smoke.json
+  rm -f "$trace_out"
+  LMON_BENCH_SMOKE=1 build-release/bench_fig3_launchspawn \
+    "--trace-out=$trace_out" >/dev/null
+  [[ -s "$trace_out" ]] || { echo "trace-smoke: no trace exported" >&2; exit 1; }
+  python3 - "$trace_out" tests/golden/trace_event.schema.txt <<'PY'
+import json, sys
+
+# Mirrors bench::json_shape (bench/ablation_rsh_lib.hpp): object keys in
+# emitted order, array element shapes deduped in first-seen order.
+def shape(v):
+    if isinstance(v, dict):
+        return "{" + ",".join(f"{k}:{shape(x)}" for k, x in v.items()) + "}"
+    if isinstance(v, list):
+        seen, shapes = set(), []
+        for x in v:
+            s = shape(x)
+            if s not in seen:
+                seen.add(s)
+                shapes.append(s)
+        return "[" + "|".join(shapes) + "]"
+    if isinstance(v, bool):
+        return "bool"
+    if v is None:
+        return "null"
+    if isinstance(v, (int, float)):
+        return "num"
+    return "str"
+
+trace = json.load(open(sys.argv[1]))
+events = trace.get("traceEvents")
+if not isinstance(events, list) or not events:
+    sys.exit("trace-smoke: exported trace has no traceEvents")
+phases = {e.get("ph") for e in events}
+missing = {"M", "X", "i"} - phases
+if missing:
+    sys.exit(f"trace-smoke: missing event phases {sorted(missing)}")
+# Same structural-skeleton regime as the bench --json goldens; the golden
+# is shared with tests/integration/trace_session_test.cpp.
+live = shape(trace)
+golden = open(sys.argv[2]).read().strip()
+if live != golden:
+    sys.exit("trace-smoke: trace schema drifted from "
+             f"tests/golden/trace_event.schema.txt\nlive skeleton:\n{live}")
+print(f"trace-smoke OK: {len(events)} events, schema matches golden")
+PY
   exit 0
 fi
 

@@ -45,6 +45,25 @@ void Channel::send(Pid self, Message msg) {
   if (arrival <= dst.last_arrival) arrival = dst.last_arrival + 1;
   dst.last_arrival = arrival;
 
+  // Every message in the simulation crosses this choke point, so this is
+  // where the link/channel traffic metrics live.
+  if (machine_.metrics() != nullptr) {
+    const double size = static_cast<double>(msg.size());
+    machine_.count("net.messages_total");
+    machine_.count("net.bytes_total", size);
+    machine_.count("net.link." + std::to_string(src.node) + "->" +
+                       std::to_string(dst.node) + ".bytes",
+                   size);
+    machine_.count("net.channel." + std::to_string(id_) + ".messages");
+    machine_.observe("net.message_bytes", size);
+  }
+  if (obs::Tracer* tracer = machine_.tracer(); tracer != nullptr) {
+    tracer->instant("net.send", "net", static_cast<int>(src.node), src.pid,
+                    obs::kNoSpan,
+                    "to=" + std::to_string(dst.pid) + " bytes=" +
+                        std::to_string(msg.size()));
+  }
+
   auto self_ptr = shared_from_this();
   const Pid dst_pid = dst.pid;
   simulator.schedule_at(

@@ -22,6 +22,29 @@ Machine::Machine(sim::Simulator& simulator, MachineConfig config)
   }
 }
 
+void Machine::set_tracer(obs::Tracer* t) {
+  tracer_ = t;
+  if (tracer_ == nullptr) return;
+  for (const auto& node : nodes_) {
+    tracer_->name_track(static_cast<int>(node->id()), node->hostname());
+  }
+  for (const auto& [pid, proc] : pid_index_) {
+    if (proc == nullptr) continue;
+    tracer_->name_lane(static_cast<int>(proc->node().id()), pid,
+                       std::string(proc->program().name()) + "/" +
+                           std::to_string(pid));
+  }
+}
+
+void Machine::index_process(Pid pid, Process* p) {
+  pid_index_[pid] = p;
+  if (tracer_ != nullptr && p != nullptr) {
+    tracer_->name_lane(static_cast<int>(p->node().id()), pid,
+                       std::string(p->program().name()) + "/" +
+                           std::to_string(pid));
+  }
+}
+
 Node* Machine::find_host(std::string_view hostname) {
   auto it = host_index_.find(std::string(hostname));
   return it == host_index_.end() ? nullptr : it->second;

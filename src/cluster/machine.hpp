@@ -17,6 +17,9 @@
 #include "cluster/cost_model.hpp"
 #include "cluster/network.hpp"
 #include "cluster/node.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simkernel/simulator.hpp"
 #include "simkernel/stats.hpp"
 
@@ -113,13 +116,47 @@ class Machine {
   void set_ledger(sim::CostLedger* l) noexcept { ledger_ = l; }
   void mark(const std::string& label) {
     if (timeline_ != nullptr) timeline_->mark(label, sim_.now());
+    if (tracer_ != nullptr) tracer_->mark(label);
   }
   void charge(const std::string& label, sim::Time amount) {
     if (ledger_ != nullptr) ledger_->charge(label, amount);
+    if (tracer_ != nullptr) tracer_->charge(label, amount);
   }
 
-  // Bookkeeping used by Process/Node internals.
-  void index_process(Pid pid, Process* p) { pid_index_[pid] = p; }
+  // --- observability hooks (obs/) ------------------------------------------
+  // Purely observational like timeline/ledger above: components record spans
+  // and counters through these when attached, never schedule events or
+  // charge costs, and skip all work when the hooks are null - so traced and
+  // untraced runs of the same seed produce identical simulated timings.
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_; }
+  /// Attaches a tracer and names its export tracks/lanes after the cluster's
+  /// hostnames and already-running programs (defined in machine.cpp).
+  void set_tracer(obs::Tracer* t);
+  [[nodiscard]] obs::Metrics* metrics() noexcept { return metrics_; }
+  void set_metrics(obs::Metrics* m) noexcept { metrics_ = m; }
+  [[nodiscard]] obs::FlightRecorderHub* flight() noexcept { return flight_; }
+  void set_flight_recorder(obs::FlightRecorderHub* f) noexcept {
+    flight_ = f;
+  }
+  void count(const std::string& name, double delta = 1) {
+    if (metrics_ != nullptr) metrics_->add(name, delta);
+  }
+  void observe(const std::string& name, double value) {
+    if (metrics_ != nullptr) metrics_->observe(name, value);
+  }
+  void gauge(const std::string& name, double value) {
+    if (metrics_ != nullptr) metrics_->set_gauge(name, value);
+  }
+  void flight_record(Pid pid, std::string component, std::string message) {
+    if (flight_ != nullptr) {
+      flight_->record(pid, sim_.now(), std::move(component),
+                      std::move(message));
+    }
+  }
+
+  // Bookkeeping used by Process/Node internals (defined in machine.cpp so
+  // the tracer can label each new pid's export lane).
+  void index_process(Pid pid, Process* p);
   void deindex_process(Pid pid) { pid_index_.erase(pid); }
 
  private:
@@ -133,6 +170,9 @@ class Machine {
   std::unordered_map<std::string, ProgramImage> programs_;
   sim::Timeline* timeline_ = nullptr;
   sim::CostLedger* ledger_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Metrics* metrics_ = nullptr;
+  obs::FlightRecorderHub* flight_ = nullptr;
   Pid next_pid_ = 1000;
   Channel::Id next_channel_ = 1;
 };

@@ -40,6 +40,20 @@ Status DaemonRuntime::init(Callbacks callbacks) {
     dispatch_scatter(tag, data);
   });
 
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    const std::string& session = iccl_->params().session;
+    span_ = tracer->begin_span(
+        "daemon", "daemon", static_cast<int>(self_.node().id()), self_.pid(),
+        tracer->anchor("spawn:" + session + ":" + self_.node().hostname()),
+        "rank=" + std::to_string(iccl_->rank()) +
+            (iccl_->is_root() ? " master" : ""));
+    tracer->set_anchor(
+        "daemon:" + session + ":" + std::to_string(iccl_->rank()), span_);
+  }
+  self_.machine().flight_record(
+      self_.pid(), "daemon",
+      "init rank=" + std::to_string(iccl_->rank()));
+
   // The master's handshake with the FE begins immediately (paper e7) while
   // the fabric wires underneath (e8..e9).
   if (iccl_->is_root()) {
@@ -92,6 +106,7 @@ void DaemonRuntime::on_fabric_ready(Status st) {
     return;
   }
   fabric_ready_ = true;
+  self_.machine().flight_record(self_.pid(), "daemon", "fabric ready");
   if (iccl_->is_root()) {
     self_.machine().mark(mark_prefix() + "e9_setup_done");
     maybe_run_handshake();
@@ -131,6 +146,14 @@ void DaemonRuntime::maybe_run_handshake() {
   }
   handshake_done_ = true;
   self_.machine().mark(mark_prefix() + "t_collective_begin");
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    collective_span_ = tracer->begin_span(
+        "iccl.handshake_collective", "iccl",
+        static_cast<int>(self_.node().id()), self_.pid(), span_,
+        "size=" + std::to_string(iccl_->size()));
+  }
+  self_.machine().flight_record(self_.pid(), "daemon",
+                                "handshake collective begin");
   // Distribute the RPDTAB + piggybacked tool data down the fabric.
   ByteWriter w;
   w.blob(buffered_rpdtab_);
@@ -159,6 +182,12 @@ void DaemonRuntime::on_handshake_bcast(const Bytes& data) {
     w.boolean(st.is_ok());
     w.str(st.message());
     iccl_->contribute(kTagReadyAck, std::move(w).take());
+    if (!iccl_->is_root()) {
+      if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+        tracer->end_span(span_, st.is_ok() ? "ready" : "failed");
+      }
+      self_.machine().flight_record(self_.pid(), "daemon", "ready ack sent");
+    }
     if (cbs_.on_ready && !iccl_->is_root()) cbs_.on_ready(st);
   };
   if (cbs_.on_init) {
@@ -184,6 +213,13 @@ void DaemonRuntime::on_internal_gather(
       }
     }
     self_.machine().mark(mark_prefix() + "t_collective_end");
+    if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+      tracer->end_span(collective_span_,
+                       "acks=" + std::to_string(entries.size()));
+    }
+    self_.machine().flight_record(
+        self_.pid(), "daemon",
+        "handshake collective end acks=" + std::to_string(entries.size()));
 
     payload::Ready ready;
     ready.ok = all_ok;
@@ -195,6 +231,9 @@ void DaemonRuntime::on_internal_gather(
                  LmonpMessage::fe_daemon(cls_, FeDaemonMsg::Ready,
                                          ready.encode(), ready_usr_)
                      .encode());
+    }
+    if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+      tracer->end_span(span_, all_ok ? "ready" : "failed: " + error);
     }
     if (cbs_.on_ready) {
       cbs_.on_ready(all_ok ? Status::ok() : Status(Rc::Esubcom, error));
@@ -229,6 +268,10 @@ void DaemonRuntime::dispatch_bcast(std::uint32_t tag, const Bytes& data) {
   auto it = bcast_waiters_.find(tag);
   if (it == bcast_waiters_.end()) {
     pending_bcasts_[tag] = data;  // arrived before the local call
+    self_.machine().count("daemon.early_bcast_buffered");
+    self_.machine().observe("daemon.early_arrival_depth",
+                            static_cast<double>(pending_bcasts_.size() +
+                                                pending_scatters_.size()));
     return;
   }
   auto fn = std::move(it->second);
@@ -322,6 +365,10 @@ void DaemonRuntime::dispatch_scatter(std::uint32_t tag, const Bytes& data) {
   auto it = scatter_waiters_.find(tag);
   if (it == scatter_waiters_.end()) {
     pending_scatters_[tag] = data;  // arrived before the local call
+    self_.machine().count("daemon.early_scatter_buffered");
+    self_.machine().observe("daemon.early_arrival_depth",
+                            static_cast<double>(pending_bcasts_.size() +
+                                                pending_scatters_.size()));
     return;
   }
   auto fn = std::move(it->second);
@@ -335,6 +382,12 @@ void DaemonRuntime::fail(Status st) {
   sim::LogLine(sim::LogLevel::Warn, self_.sim().now(), "lmon_daemon")
       << "rank " << (iccl_ ? iccl_->rank() : 0)
       << " session failure: " << st.to_string();
+  self_.machine().count("daemon.failures");
+  self_.machine().flight_record(self_.pid(), "daemon",
+                                "session failure: " + st.to_string());
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    tracer->end_span(span_, "failed: " + st.to_string());
+  }
   if (is_master() && fe_channel_ != nullptr) {
     payload::Ready ready;
     ready.ok = false;

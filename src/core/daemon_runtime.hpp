@@ -19,6 +19,7 @@
 #include "core/iccl.hpp"
 #include "core/lmonp.hpp"
 #include "core/rpdtab.hpp"
+#include "obs/trace.hpp"
 
 namespace lmon::core {
 
@@ -142,6 +143,11 @@ class DaemonRuntime {
   Bytes buffered_usr_;
   bool handshake_done_ = false;
   bool failed_ = false;
+  // Trace spans (kNoSpan when no tracer attached): the daemon's bootstrap
+  // span (parented on the launcher's "spawn:<session>:<host>" anchor) and
+  // the master's handshake-collective span (t_collective_begin..end).
+  obs::SpanId span_ = obs::kNoSpan;
+  obs::SpanId collective_span_ = obs::kNoSpan;
 
   std::map<std::uint32_t, std::function<void(const Bytes&)>> bcast_waiters_;
   std::map<std::uint32_t,

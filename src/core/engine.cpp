@@ -71,6 +71,11 @@ void EngineProgram::on_start(cluster::Process& self) {
                               : std::make_unique<SlurmAdapter>();
 
   self.machine().mark("e1_engine_start");
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    span_ = tracer->begin_span(
+        "engine", "engine", static_cast<int>(self.node().id()), self.pid(),
+        tracer->anchor("session:" + session_), "session=" + session_);
+  }
   // Scale-independent engine bookkeeping ("all other LaunchMON costs").
   const sim::Time fixed = self.machine().costs().engine_fixed_cost;
   self.machine().charge("other", fixed);
@@ -120,6 +125,11 @@ void EngineProgram::start_operation(cluster::Process& self) {
     }
     launcher_pid_ = static_cast<cluster::Pid>(*target);
     self.machine().mark("e2_rm_launcher");
+    if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+      rm_span_ = tracer->begin_span(
+          "engine.rm_attach", "engine", static_cast<int>(self.node().id()),
+          self.pid(), span_, "target=" + std::to_string(launcher_pid_));
+    }
     Status st = adapter_->attach_job(self, launcher_pid_, handler);
     if (!st.is_ok()) send_error(self, "attach", st.message());
     return;
@@ -133,6 +143,11 @@ void EngineProgram::start_operation(cluster::Process& self) {
   spec.executable = arg_value(self.args(), "--exe=").value_or("mpi_app");
   spec.app_args = arg_list(self.args(), "--app-arg=");
   self.machine().mark("e2_rm_launcher");
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    rm_span_ = tracer->begin_span(
+        "engine.rm_launch", "engine", static_cast<int>(self.node().id()),
+        self.pid(), span_, "nnodes=" + std::to_string(spec.nnodes));
+  }
   auto res = adapter_->launch_job(self, spec, handler);
   if (!res.is_ok()) {
     send_error(self, "launch", res.status.message());
@@ -178,12 +193,20 @@ void EngineProgram::handle_job_stopped(cluster::Process& self) {
   }
   self.post(tracing, [this, &self] {
     self.machine().mark("e3_mpir_breakpoint");
+    if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+      tracer->end_span(rm_span_);
+    }
     fetch_and_ship_proctable(self);
   });
 }
 
 void EngineProgram::fetch_and_ship_proctable(cluster::Process& self) {
   const sim::Time fetch_begin = self.sim().now();
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    rpdtab_span_ = tracer->begin_span("engine.rpdtab_fetch", "engine",
+                                      static_cast<int>(self.node().id()),
+                                      self.pid(), span_);
+  }
   adapter_->fetch_proctable([this, &self, fetch_begin](Status st,
                                                        Bytes blob) {
     if (!st.is_ok()) {
@@ -192,6 +215,10 @@ void EngineProgram::fetch_and_ship_proctable(cluster::Process& self) {
     }
     self.machine().mark("e4_rpdtab_fetched");
     self.machine().charge("rpdtab_fetch", self.sim().now() - fetch_begin);
+    if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+      tracer->end_span(rpdtab_span_,
+                       "bytes=" + std::to_string(blob.size()));
+    }
     auto table = Rpdtab::from_proctable_blob(blob);
     if (!table) {
       send_error(self, "rpdtab-fetch", "malformed proctable");
@@ -238,6 +265,9 @@ void EngineProgram::co_spawn_daemons(cluster::Process& self) {
   if (req.daemon_exe.empty()) {
     // Pure job-control session (no daemons requested): job is usable now.
     phase_ = Phase::Running;
+    if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+      tracer->end_span(span_, "no daemons");
+    }
     adapter_->continue_job();
     payload::DaemonsSpawned spawned;
     spawned.ok = true;
@@ -250,6 +280,14 @@ void EngineProgram::co_spawn_daemons(cluster::Process& self) {
   // default, with the paper's §2 ad hoc baselines available for ablation.
   strategy_ = comm::make_launch_strategy(strategy_kind_);
   self.machine().mark("e5_cospawn_invoked");
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    cospawn_span_ = tracer->begin_span(
+        "engine.cospawn", "engine", static_cast<int>(self.node().id()),
+        self.pid(), span_,
+        "strategy=" + std::string(comm::to_string(strategy_kind_)) +
+            " hosts=" + std::to_string(req.bootstrap.hosts.size()));
+    tracer->set_anchor("cospawn:" + session_, cospawn_span_);
+  }
   strategy_->launch(self, std::move(req),
                     [this, &self](comm::LaunchResult res) {
                       on_daemons_launched(self, std::move(res));
@@ -259,6 +297,11 @@ void EngineProgram::co_spawn_daemons(cluster::Process& self) {
 void EngineProgram::on_daemons_launched(cluster::Process& self,
                                         comm::LaunchResult res) {
   self.machine().mark("e6_daemons_spawned");
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    tracer->end_span(cospawn_span_,
+                     "daemons=" + std::to_string(res.daemons.size()));
+    tracer->end_span(span_);
+  }
   if (res.jobid != rm::kInvalidJob) jobid_ = res.jobid;
   payload::DaemonsSpawned spawned;
   spawned.ok = res.status.is_ok();
@@ -380,6 +423,9 @@ void EngineProgram::send_error(cluster::Process& self,
                                const std::string& error) {
   sim::LogLine(sim::LogLevel::Warn, self.sim().now(), "lmon_engine")
       << stage << " failed: " << error;
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    tracer->end_span(span_, stage + " failed: " + error);
+  }
   payload::EngineError err;
   err.stage = stage;
   err.error = error;

@@ -32,6 +32,7 @@
 #include "core/lmonp.hpp"
 #include "core/rm_adapter.hpp"
 #include "core/rpdtab.hpp"
+#include "obs/trace.hpp"
 
 namespace lmon::core {
 
@@ -135,6 +136,13 @@ class EngineProgram : public cluster::Program {
   Rpdtab proctable_;
   bool tracing_cost_charged_ = false;
   int mw_sessions_ = 0;
+  // Trace spans (kNoSpan when no tracer is attached). The engine span is
+  // parented on the FE's "session:<cookie>" anchor; "cospawn:<cookie>" in
+  // turn anchors the launch strategies' per-level spans.
+  obs::SpanId span_ = obs::kNoSpan;
+  obs::SpanId rm_span_ = obs::kNoSpan;
+  obs::SpanId rpdtab_span_ = obs::kNoSpan;
+  obs::SpanId cospawn_span_ = obs::kNoSpan;
 };
 
 }  // namespace lmon::core

@@ -1,10 +1,12 @@
 #include "core/fe_api.hpp"
 
 #include <cassert>
+#include <cstdlib>
 
 #include "cluster/machine.hpp"
 #include "core/engine.hpp"
 #include "core/payloads.hpp"
+#include "obs/perfetto.hpp"
 #include "simkernel/log.hpp"
 
 namespace lmon::core {
@@ -18,7 +20,12 @@ constexpr int kPortsPerSession = 8;
 
 FrontEnd::FrontEnd(cluster::Process& self) : self_(self) {}
 
-FrontEnd::~FrontEnd() = default;
+FrontEnd::~FrontEnd() {
+  if (owned_tracer_ != nullptr &&
+      self_.machine().tracer() == owned_tracer_.get()) {
+    self_.machine().set_tracer(nullptr);
+  }
+}
 
 Status FrontEnd::init() {
   for (int i = 0; i < kFePortSpan; ++i) {
@@ -97,10 +104,33 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
     if (done) done(Status(Rc::Ebusy, "session already used"));
     return;
   }
+  // Trace wiring before e0 so the mark lands inside the capture. The FE
+  // only owns a tracer when asked to export and none is attached already
+  // (benches/tests attach their own through the machine hooks).
+  std::string trace_out = cfg.trace_out;
+  if (trace_out.empty()) {
+    if (const char* env = std::getenv("LMON_TRACE_OUT")) trace_out = env;
+  }
+  if (!trace_out.empty() && self_.machine().tracer() == nullptr &&
+      owned_tracer_ == nullptr) {
+    owned_tracer_ = std::make_unique<obs::Tracer>(self_.sim());
+    log_bridge_ = std::make_unique<obs::LogBridge>(*owned_tracer_);
+    self_.machine().set_tracer(owned_tracer_.get());
+    trace_out_path_ = trace_out;
+  }
+
   self_.machine().mark("e0_fe_call");
   s->state = SessionState::EngineStarting;
   s->cfg = std::move(cfg);
   s->done = std::move(done);
+
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    s->span = tracer->begin_span(
+        "session", "fe", static_cast<int>(self_.node().id()), self_.pid(),
+        obs::kNoSpan,
+        "cookie=" + s->cookie + (attach ? " op=attach" : " op=launch"));
+    tracer->set_anchor("session:" + s->cookie, s->span);
+  }
 
   cluster::SpawnOptions opts;
   opts.executable = "lmon_engine";
@@ -361,6 +391,19 @@ void FrontEnd::finish(Session& s, Status st) {
     s.state = SessionState::Failed;
     sim::LogLine(sim::LogLevel::Warn, self_.sim().now(), "lmon_fe")
         << "session " << s.id << " failed: " << st.to_string();
+  }
+  if (obs::Tracer* tracer = self_.machine().tracer();
+      tracer != nullptr && s.span != obs::kNoSpan) {
+    tracer->end_span(s.span, st.is_ok() ? "cookie=" + s.cookie + " ok"
+                                        : "cookie=" + s.cookie + " failed: " +
+                                              st.to_string());
+  }
+  if (owned_tracer_ != nullptr && !trace_out_path_.empty()) {
+    Status wr = obs::write_chrome_trace(*owned_tracer_, trace_out_path_);
+    if (!wr.is_ok()) {
+      sim::LogLine(sim::LogLevel::Warn, self_.sim().now(), "lmon_fe")
+          << "trace export failed: " << wr.to_string();
+    }
   }
   if (s.done) {
     auto cb = std::move(s.done);

@@ -32,6 +32,7 @@
 #include "comm/topology.hpp"
 #include "core/lmonp.hpp"
 #include "core/rpdtab.hpp"
+#include "obs/trace.hpp"
 #include "rm/types.hpp"
 
 namespace lmon::core {
@@ -66,6 +67,11 @@ class FrontEnd {
     /// piggybacked tool data; overrides fe_to_be_data. STAT uses this to
     /// pack a TBON topology built over the proctable's hosts.
     std::function<Bytes()> fe_data_provider;
+    /// When set (or LMON_TRACE_OUT is in the environment), the FE attaches
+    /// an obs::Tracer to the machine for this session and writes a
+    /// Chrome/Perfetto trace-event JSON file here when the operation
+    /// completes. Purely observational: simulated timings are unchanged.
+    std::string trace_out;
   };
 
   using Done = std::function<void(Status)>;
@@ -157,6 +163,9 @@ class FrontEnd {
     cluster::Port fabric_port = 0;
     cluster::Port report_port = 0;
     cluster::Port mw_fabric_port = 0;
+    /// Root span of the whole operation (e0..e11); anchored under
+    /// "session:<cookie>" so the engine and daemons can parent onto it.
+    obs::SpanId span = obs::kNoSpan;
   };
 
   void start_operation(int sid, bool attach, const rm::JobSpec* job,
@@ -177,6 +186,11 @@ class FrontEnd {
   cluster::Port port_ = 0;
   std::map<int, Session> sessions_;
   int next_session_ = 0;
+  /// Tracer owned by this FE when SpawnConfig::trace_out / LMON_TRACE_OUT
+  /// asked for an export and no external tracer was already attached.
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  std::unique_ptr<obs::LogBridge> log_bridge_;
+  std::string trace_out_path_;
   static constexpr int kMaxSessions = 64;
 };
 

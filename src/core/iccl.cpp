@@ -55,6 +55,11 @@ std::optional<Frame> decode_frame(const cluster::Message& m) {
 
 }  // namespace
 
+obs::SpanId Iccl::trace_parent(obs::Tracer& tracer) const {
+  return tracer.anchor("daemon:" + params_.session + ":" +
+                       std::to_string(params_.rank));
+}
+
 std::optional<Iccl::Params> Iccl::params_from_args(
     const std::vector<std::string>& args, std::string_view self_host) {
   return comm::parse_bootstrap(args, self_host);
@@ -146,6 +151,15 @@ void Iccl::connect_parent(int attempts_left) {
                                         Status st, cluster::ChannelPtr ch) {
     if (!st.is_ok()) {
       if (attempts_left > 0) {
+        self_.machine().count("iccl.connect_retries");
+        if (obs::Tracer* tracer = self_.machine().tracer();
+            tracer != nullptr) {
+          tracer->instant("iccl.connect_retry", "iccl",
+                          static_cast<int>(self_.node().id()), self_.pid(),
+                          obs::kNoSpan,
+                          "rank=" + std::to_string(params_.rank) +
+                              " left=" + std::to_string(attempts_left - 1));
+        }
         // Exponential backoff up to a cap: the RM's bulk launch brings all
         // daemons up near-simultaneously, but the ad hoc rsh strategies
         // stagger daemon start times across *seconds* at scale, so a
@@ -287,6 +301,16 @@ void Iccl::eager_fanout(std::uint32_t tag,
   // (swept in bench_ablation_iccl; rendezvous exists to beat it).
   const sim::Time quantum = self_.machine().costs().iccl_msg_handle +
                             eager_copy_cost(payload->size());
+  self_.machine().count("iccl.eager_frames",
+                        static_cast<double>(children_.size()));
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    tracer->instant("iccl.eager_fanout", "iccl",
+                    static_cast<int>(self_.node().id()), self_.pid(),
+                    trace_parent(*tracer),
+                    "tag=" + std::to_string(tag) +
+                        " children=" + std::to_string(children_.size()) +
+                        " bytes=" + std::to_string(payload->size()));
+  }
   int k = 0;
   for (auto& [rank, ch] : children_) {
     cluster::ChannelPtr child = ch;
@@ -340,6 +364,13 @@ Iccl::RndvSend& Iccl::rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
   RndvSend& st = rndv_sends_[tag] = RndvSend{};
   st.nchunks = nchunks;
   st.total = total;
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    st.span = tracer->begin_span(
+        "iccl.rndv_send", "iccl", static_cast<int>(self_.node().id()),
+        self_.pid(), trace_parent(*tracer),
+        "tag=" + std::to_string(tag) + " chunks=" + std::to_string(nchunks) +
+            " bytes=" + std::to_string(total));
+  }
   // RTS frames fan out serialized like eager sends (they are ordinary
   // messages), but they are tiny: no payload-copy term.
   const sim::Time quantum = self_.machine().costs().iccl_msg_handle;
@@ -347,6 +378,7 @@ Iccl::RndvSend& Iccl::rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
   for (auto& [rank, ch] : children_) {
     st.cts_pending.insert(rank);
     cluster::ChannelPtr child = ch;
+    self_.machine().count("iccl.rts_sent");
     self_.post(static_cast<sim::Time>(k++) * quantum,
                [this, child, tag, nchunks, total] {
                  ByteWriter w;
@@ -370,10 +402,17 @@ void Iccl::handle_rndv_rts(std::uint32_t tag, std::uint32_t nchunks,
   RndvRecv& rc = rndv_recvs_[tag];
   rc.nchunks = nchunks;
   rc.assembled.reserve(total);
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    rc.span = tracer->begin_span(
+        "iccl.rndv_recv", "iccl", static_cast<int>(self_.node().id()),
+        self_.pid(), trace_parent(*tracer),
+        "tag=" + std::to_string(tag) + " chunks=" + std::to_string(nchunks));
+  }
   // Cut-through: open the downstream round now so grandchild CTS exchanges
   // overlap the payload still streaming toward this node.
   if (!children_.empty()) rndv_open_send(tag, nchunks, total);
   // Clear the parent to stream.
+  self_.machine().count("iccl.cts_sent");
   send_up(encode_frame(static_cast<std::uint8_t>(Kind::RndvCts), tag,
                        params_.rank, {}));
 }
@@ -382,6 +421,14 @@ void Iccl::handle_rndv_cts(std::uint32_t tag, std::uint32_t src) {
   auto it = rndv_sends_.find(tag);
   if (it == rndv_sends_.end()) return;
   it->second.cts_pending.erase(src);
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    tracer->instant("iccl.cts_received", "iccl",
+                    static_cast<int>(self_.node().id()), self_.pid(),
+                    it->second.span,
+                    "tag=" + std::to_string(tag) +
+                        " from=" + std::to_string(src) + " pending=" +
+                        std::to_string(it->second.cts_pending.size()));
+  }
   if (it->second.cts_pending.empty()) {
     it->second.streaming = true;
     rndv_flush(tag, it->second);
@@ -410,7 +457,12 @@ void Iccl::rndv_flush(std::uint32_t tag, RndvSend& st) {
       st.cursor = depart + occ;
     }
   }
-  if (st.next_seq == st.nchunks) rndv_sends_.erase(tag);
+  if (st.next_seq == st.nchunks) {
+    if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+      tracer->end_span(st.span);
+    }
+    rndv_sends_.erase(tag);
+  }
 }
 
 void Iccl::handle_rndv_chunk(std::uint32_t tag, std::uint32_t seq,
@@ -421,15 +473,28 @@ void Iccl::handle_rndv_chunk(std::uint32_t tag, std::uint32_t seq,
   if (seq != rc.received) return;  // FIFO channels make this unreachable
   rc.received += 1;
   rc.assembled.insert(rc.assembled.end(), data.begin(), data.end());
+  self_.machine().count("iccl.chunks_received");
   // Relay toward this node's own children (cut-through forwarding).
   auto sit = rndv_sends_.find(tag);
   if (sit != rndv_sends_.end()) {
+    self_.machine().count("iccl.chunks_relayed");
+    if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+      tracer->instant("iccl.chunk_relay", "iccl",
+                      static_cast<int>(self_.node().id()), self_.pid(),
+                      sit->second.span,
+                      "tag=" + std::to_string(tag) +
+                          " seq=" + std::to_string(seq));
+    }
     sit->second.ready.push_back(
         std::make_shared<const Bytes>(std::move(data)));
     rndv_flush(tag, sit->second);
   }
   if (rc.received == rc.nchunks) {
     Bytes assembled = std::move(rc.assembled);
+    if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+      tracer->end_span(rc.span,
+                       "bytes=" + std::to_string(assembled.size()));
+    }
     rndv_recvs_.erase(it);
     if (on_bcast_) on_bcast_(tag, assembled);
   }
@@ -445,6 +510,10 @@ void Iccl::on_child_lost(const cluster::ChannelPtr& ch) {
   }
   if (!lost) return;
   children_.erase(*lost);
+  self_.machine().count("iccl.children_lost");
+  self_.machine().flight_record(self_.pid(), "iccl",
+                                "child rank " + std::to_string(*lost) +
+                                    " lost");
   // Any rendezvous round still waiting on the dead child's CTS must not
   // stall the surviving children.
   for (auto it = rndv_sends_.begin(); it != rndv_sends_.end();) {

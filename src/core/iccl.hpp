@@ -28,6 +28,7 @@
 #include "comm/topology.hpp"
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "obs/trace.hpp"
 
 namespace lmon::core {
 
@@ -142,6 +143,7 @@ class Iccl {
     std::uint32_t next_seq = 0;           ///< next chunk to schedule
     std::vector<std::shared_ptr<const Bytes>> ready;  ///< chunks, by seq
     sim::Time cursor = 0;  ///< serialized send occupancy (absolute time)
+    obs::SpanId span = obs::kNoSpan;  ///< RTS fan-out .. last chunk out
   };
 
   /// Receiver side: assembles chunks in sequence order (per-channel FIFO
@@ -150,6 +152,7 @@ class Iccl {
     std::uint32_t nchunks = 0;
     std::uint32_t received = 0;
     Bytes assembled;
+    obs::SpanId span = obs::kNoSpan;  ///< RTS in .. payload assembled
   };
 
   void connect_parent(int attempts_left);
@@ -166,6 +169,10 @@ class Iccl {
   void send_up(cluster::Message m);
   void send_to_child(std::uint32_t child_rank, cluster::Message m);
   GatherState& gather_state(std::uint32_t tag);
+
+  /// This daemon's bootstrap span (the "daemon:<session>:<rank>" anchor),
+  /// so collective spans nest under the right parent in exports.
+  [[nodiscard]] obs::SpanId trace_parent(obs::Tracer& tracer) const;
 
   // --- eager/rendezvous protocol switch ----------------------------------
   [[nodiscard]] bool use_rendezvous(std::size_t payload_bytes) const;

@@ -1,0 +1,59 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace lmon::obs {
+
+void FlightRecorder::record(sim::Time at, std::string component,
+                            std::string message) {
+  Entry e{at, std::move(component), std::move(message)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[next_] = std::move(e);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::entries() const {
+  std::vector<Entry> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, next_ points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+FlightRecorder& FlightRecorderHub::ring(std::uint64_t pid) {
+  auto it = rings_.find(pid);
+  if (it == rings_.end()) {
+    it = rings_.emplace(pid, FlightRecorder(capacity_)).first;
+  }
+  return it->second;
+}
+
+std::string FlightRecorderHub::dump() const {
+  std::string out;
+  for (const auto& [pid, ring] : rings_) {
+    out += "=== flight recorder pid " + std::to_string(pid);
+    if (ring.dropped() > 0) {
+      out += " (" + std::to_string(ring.dropped()) + " older entries dropped)";
+    }
+    out += " ===\n";
+    for (const FlightRecorder::Entry& e : ring.entries()) {
+      char stamp[32];
+      std::snprintf(stamp, sizeof stamp, "[%12.6fs] ", sim::to_seconds(e.at));
+      out += stamp;
+      out += e.component;
+      out += ": ";
+      out += e.message;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace lmon::obs

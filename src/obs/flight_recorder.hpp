@@ -1,0 +1,77 @@
+// flight_recorder.hpp - bounded per-daemon event rings for post-mortem
+// debugging of fault-injection runs.
+//
+// Every daemon (keyed by simulated pid) gets a fixed-capacity ring of
+// {time, component, message} entries; old entries are overwritten, so the
+// ring always holds the *last* N protocol steps before a failure. Tests
+// attach a hub to the Machine, and the fault-injection fixtures dump it
+// automatically when a test fails (see launch_strategy_test.cpp), turning
+// "the 512-node rsh launch timed out" into the actual last steps each
+// daemon took.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simkernel/time.hpp"
+
+namespace lmon::obs {
+
+class FlightRecorder {
+ public:
+  struct Entry {
+    sim::Time at = 0;
+    std::string component;
+    std::string message;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 128)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(sim::Time at, std::string component, std::string message);
+
+  /// Retained entries, oldest first.
+  [[nodiscard]] std::vector<Entry> entries() const;
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Entries overwritten since attach.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< overwrite position once full
+  std::uint64_t dropped_ = 0;
+  std::vector<Entry> ring_;
+};
+
+/// One ring per simulated pid. Attached to a cluster::Machine; daemons feed
+/// it through Machine::flight_record().
+class FlightRecorderHub {
+ public:
+  explicit FlightRecorderHub(std::size_t capacity_per_ring = 128)
+      : capacity_(capacity_per_ring) {}
+
+  void record(std::uint64_t pid, sim::Time at, std::string component,
+              std::string message) {
+    ring(pid).record(at, std::move(component), std::move(message));
+  }
+
+  [[nodiscard]] FlightRecorder& ring(std::uint64_t pid);
+  [[nodiscard]] const std::map<std::uint64_t, FlightRecorder>& rings() const {
+    return rings_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return rings_.empty(); }
+
+  /// Human-readable dump of every ring, grouped by pid, oldest first -
+  /// what the fault-injection fixtures print on failure.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::size_t capacity_;
+  std::map<std::uint64_t, FlightRecorder> rings_;
+};
+
+}  // namespace lmon::obs

@@ -1,0 +1,57 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace lmon::obs {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Metrics::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = "{\n";
+
+  out += pad + "  \"counters\": [";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    out += "\n" + pad + "    {\"name\": \"" + name +
+           "\", \"value\": " + num(value) + "}";
+    first = false;
+  }
+  out += first ? "],\n" : "\n" + pad + "  ],\n";
+
+  out += pad + "  \"gauges\": [";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ",";
+    out += "\n" + pad + "    {\"name\": \"" + name +
+           "\", \"value\": " + num(value) + "}";
+    first = false;
+  }
+  out += first ? "],\n" : "\n" + pad + "  ],\n";
+
+  out += pad + "  \"histograms\": [";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    out += "\n" + pad + "    {\"name\": \"" + name +
+           "\", \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + num(h.sum) + ", \"min\": " + num(h.min) +
+           ", \"max\": " + num(h.max) + "}";
+    first = false;
+  }
+  out += first ? "]\n" : "\n" + pad + "  ]\n";
+
+  out += pad + "}";
+  return out;
+}
+
+}  // namespace lmon::obs

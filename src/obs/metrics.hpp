@@ -1,0 +1,102 @@
+// metrics.hpp - counters/gauges/histograms for the simulated stack.
+//
+// A Metrics registry attached to a cluster::Machine collects protocol-level
+// quantities the spans cannot: bytes per link, messages per channel, ICCL
+// connect-backoff retries, early-arrival buffer depth, rendezvous chunks
+// relayed. Snapshots embed into the golden-schema'd bench --json reports as
+// arrays of {name, value} objects, so the *schema* stays stable as
+// instruments come and go (only the name set drifts, which the shape
+// reducer collapses).
+//
+// Like the tracer, recording is purely observational: no simulator events,
+// no cost charges. Instruments are named hierarchically
+// ("net.link.a->b.bytes"); emission is sorted by name, so output is
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lmon::obs {
+
+class Metrics {
+ public:
+  struct Histogram {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void observe(double v) noexcept {
+      if (count == 0) {
+        min = max = v;
+      } else {
+        if (v < min) min = v;
+        if (v > max) max = v;
+      }
+      count += 1;
+      sum += v;
+    }
+    [[nodiscard]] double mean() const noexcept {
+      return count != 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  /// Monotonic counter increment.
+  void add(const std::string& name, double delta = 1.0) {
+    counters_[name] += delta;
+  }
+  /// Last-write-wins gauge.
+  void set_gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+  /// Distribution sample.
+  void observe(const std::string& name, double value) {
+    histograms_[name].observe(value);
+  }
+
+  [[nodiscard]] double counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] double gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] const Histogram* histogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+  }
+
+  /// Deterministic JSON snapshot:
+  ///   {"counters": [{"name": ..., "value": ...}, ...],
+  ///    "gauges": [...],
+  ///    "histograms": [{"name", "count", "sum", "min", "max"}, ...]}
+  /// `indent` spaces prefix every emitted line (for embedding in a larger
+  /// hand-rolled document).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace lmon::obs

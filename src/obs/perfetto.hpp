@@ -1,0 +1,29 @@
+// perfetto.hpp - Chrome trace-event JSON export for obs::Tracer.
+//
+// Emits the legacy Chrome trace-event format, which Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing both load directly:
+//   * one process track per simulated node (pid = node id, named after the
+//     hostname),
+//   * one thread lane per simulated process on that node (tid = sim pid),
+//   * complete events ("ph":"X") for closed spans, instant events
+//     ("ph":"i") for point events and timeline marks, and metadata events
+//     ("ph":"M") carrying track/lane names.
+// Timestamps are microseconds of simulated time. The simulator is
+// deterministic, so the exported file is a replayable artifact: re-running
+// the same seed regenerates it byte-for-byte.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "obs/trace.hpp"
+
+namespace lmon::obs {
+
+/// The full trace document (see header comment for the event layout).
+[[nodiscard]] std::string to_chrome_trace_json(const Tracer& tracer);
+
+/// Writes to_chrome_trace_json() to `path` (truncating).
+Status write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace lmon::obs

@@ -40,6 +40,11 @@ void Launcher::start_job(cluster::Process& self) {
   tpn_ = static_cast<std::uint32_t>(arg_int(args, "--tpn=").value_or(1));
   phase_ = Phase::Allocating;
   self.machine().mark("t_job_begin");
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    span_ = tracer->begin_span(
+        "rm.job_launch", "rm", static_cast<int>(self.node().id()), self.pid(),
+        obs::kNoSpan, "nnodes=" + std::to_string(nnodes));
+  }
 
   const std::string ctrl_host = self.machine().front_end().hostname();
   self.connect(ctrl_host, cluster::kRmControllerPort,
@@ -192,6 +197,12 @@ void Launcher::on_alloc_resp(cluster::Process& self, const AllocResp& resp) {
     // Fresh-allocation daemon launch (middleware case).
     fabric_.total = static_cast<std::uint32_t>(allocation_.size());
     self.machine().mark("t_daemon_begin");
+    if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+      span_ = tracer->begin_span(
+          "rm.daemon_launch", "rm", static_cast<int>(self.node().id()),
+          self.pid(), tracer->anchor("cospawn:" + fabric_.session),
+          "nodes=" + std::to_string(allocation_.size()));
+    }
   }
   self.post(per_node_overhead(self, allocation_.size()),
             [this, &self] { send_tree_launch(self); });
@@ -208,6 +219,12 @@ void Launcher::on_job_info_resp(cluster::Process& self,
   fabric_.total = static_cast<std::uint32_t>(allocation_.size());
   phase_ = Phase::Launching;
   self.machine().mark("t_daemon_begin");
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    span_ = tracer->begin_span(
+        "rm.daemon_launch", "rm", static_cast<int>(self.node().id()),
+        self.pid(), tracer->anchor("cospawn:" + fabric_.session),
+        "nodes=" + std::to_string(allocation_.size()));
+  }
   self.post(per_node_overhead(self, allocation_.size()),
             [this, &self] { send_tree_launch(self); });
 }
@@ -228,6 +245,12 @@ void Launcher::send_tree_launch(cluster::Process& self) {
   if (mode_ == Mode::Job) req.fabric.fanout = launch_fanout_;
 
   assert(!allocation_.empty());
+  if (obs::Tracer* tracer = self.machine().tracer();
+      tracer != nullptr && span_ != obs::kNoSpan) {
+    // The tree-root node daemon parents its launch span here.
+    tracer->set_anchor(
+        "rmtree:" + req.fabric.session + ":" + allocation_.front().host, span_);
+  }
   self.connect(allocation_.front().host, cluster::kRmNodeDaemonPort,
                [this, &self, req = std::move(req)](Status st,
                                                    cluster::ChannelPtr ch) {
@@ -253,6 +276,9 @@ void Launcher::on_launch_ack(cluster::Process& self,
 
   if (mode_ == Mode::Job) {
     self.machine().mark("t_job_end");
+    if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+      tracer->end_span(span_, ack.ok ? "ok" : "failed: " + ack.error);
+    }
     if (!ack.ok) {
       sim::LogLine(sim::LogLevel::Warn, self.sim().now(), "srun")
           << "job launch failed: " << ack.error;
@@ -270,6 +296,11 @@ void Launcher::on_launch_ack(cluster::Process& self,
   }
 
   self.machine().mark("t_daemon_end");
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    tracer->end_span(span_,
+                     ack.ok ? "daemons=" + std::to_string(launched_.size())
+                            : "failed: " + ack.error);
+  }
   report_done(self, ack.ok, ack.error);
 }
 

@@ -25,6 +25,7 @@
 
 #include "cluster/process.hpp"
 #include "comm/launch_strategy.hpp"
+#include "obs/trace.hpp"
 #include "rm/protocol.hpp"
 
 namespace lmon::rm {
@@ -81,6 +82,9 @@ class Launcher : public cluster::Program {
   std::string report_host_;
   std::uint16_t report_port_ = 0;
   std::uint32_t launch_fanout_ = 0;
+  /// T(job)/T(daemon) trace span; cospawn launches parent it on the
+  /// engine's "cospawn:<session>" anchor.
+  obs::SpanId span_ = obs::kNoSpan;
 };
 
 /// The paper's contribution as a pluggable strategy: delegate daemon launch

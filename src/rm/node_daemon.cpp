@@ -124,6 +124,26 @@ void NodeDaemon::handle_launch(cluster::Process& self,
   assert(!req.nodes.empty());
   const AllocatedNode& local = req.nodes.front();
 
+  machine.count("rm.tree_launch.requests");
+  if (obs::Tracer* tracer = machine.tracer(); tracer != nullptr) {
+    // Parent chain: the upstream node daemon anchors "rmtree:" per forwarded
+    // chunk; the tree root falls back to the engine's co-spawn span.
+    obs::SpanId parent =
+        tracer->anchor("rmtree:" + req.fabric.session + ":" + local.host);
+    if (parent == obs::kNoSpan) {
+      parent = tracer->anchor("cospawn:" + req.fabric.session);
+    }
+    p.span = tracer->begin_span(
+        "rm.tree_launch", "rm", static_cast<int>(self.node().id()), self.pid(),
+        parent,
+        "host=" + local.host + " nodes=" + std::to_string(req.nodes.size()));
+    if (req.mode == LaunchMode::Daemons) {
+      // The tool daemon spawned here parents its bootstrap span on this.
+      tracer->set_anchor("spawn:" + req.fabric.session + ":" + local.host,
+                         p.span);
+    }
+  }
+
   const cluster::ProgramImage* image = machine.find_program(req.executable);
   if (image == nullptr) {
     p.failed = true;
@@ -222,6 +242,11 @@ void NodeDaemon::forward_subtrees(cluster::Process& self, Key key,
     sub.seq = next_seq_++;
     child_seq_to_key_[sub.seq] = key;
     const std::string target = sub.nodes.front().host;
+    self.machine().count("rm.subtrees_forwarded");
+    if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+      tracer->set_anchor("rmtree:" + req.fabric.session + ":" + target,
+                         it->second.span);
+    }
     self.connect(target, cluster::kRmNodeDaemonPort,
                  [this, &self, key, sub = std::move(sub)](
                      Status st, cluster::ChannelPtr child_ch) {
@@ -300,6 +325,9 @@ void NodeDaemon::child_failed(cluster::Process& self, Key key,
   p.failed = true;
   if (p.error.empty()) p.error = why;
   p.awaiting_children -= 1;
+  self.machine().count("rm.subtree_failures");
+  self.machine().flight_record(self.pid(), "slurmd",
+                               "subtree child failed: " + why);
   maybe_complete(self, key);
 }
 
@@ -308,6 +336,9 @@ void NodeDaemon::arm_timeout(cluster::Process& self, Key key) {
     auto it = pending_.find(key);
     if (it == pending_.end() || it->second.done) return;
     it->second.failed = true;
+    self.machine().count("rm.subtree_timeouts");
+    self.machine().flight_record(self.pid(), "slurmd",
+                                 "subtree launch timeout");
     if (it->second.error.empty()) it->second.error = "subtree launch timeout";
     it->second.awaiting_local = 0;
     it->second.awaiting_children = 0;
@@ -321,6 +352,11 @@ void NodeDaemon::maybe_complete(cluster::Process& self, Key key) {
   Pending& p = it->second;
   if (p.done || p.awaiting_local > 0 || p.awaiting_children > 0) return;
   p.done = true;
+
+  if (obs::Tracer* tracer = self.machine().tracer();
+      tracer != nullptr && p.span != obs::kNoSpan) {
+    tracer->end_span(p.span, p.failed ? "failed: " + p.error : "ok");
+  }
 
   if (p.is_kill) {
     TreeKillAck ack;

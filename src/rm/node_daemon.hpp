@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/process.hpp"
+#include "obs/trace.hpp"
 #include "rm/protocol.hpp"
 
 namespace lmon::rm {
@@ -47,6 +48,7 @@ class NodeDaemon : public cluster::Program {
     std::uint32_t killed = 0;                ///< aggregated kill count
     std::set<cluster::Channel::Id> child_channels;
     bool done = false;
+    obs::SpanId span = obs::kNoSpan;         ///< per-level tree-launch span
   };
 
   void handle_launch(cluster::Process& self, const cluster::ChannelPtr& ch,

@@ -90,6 +90,7 @@ struct SubtreeLauncher {
       std::vector<std::vector<std::string>> chunks, const std::string& exe,
       const std::vector<std::string>& daemon_args, int fanout,
       const std::string& report_host, cluster::Port report_port,
+      obs::SpanId parent_span,
       std::vector<cluster::ChannelPtr>* sessions,
       std::function<void(const std::string&)> on_session_lost,
       std::function<void(Status)> on_spawned) {
@@ -113,6 +114,12 @@ struct SubtreeLauncher {
       // moving it into the capture would race the host argument (argument
       // evaluation order is unspecified).
       const std::string agent_host = chunk.front();
+      self.machine().count("rsh.agents_launched");
+      if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+        // The child agent on agent_host parents its span here (per-level
+        // fan-out chain, mirroring the rm tree's "rmtree:" anchors).
+        tracer->set_anchor("rshtree:" + agent_host, parent_span);
+      }
       RshSession::run(
           self, agent_host, "rsh_tree_agent", std::move(agent_args),
           [&self, sessions, remaining, failed, on_spawned, on_session_lost,
@@ -153,6 +160,7 @@ struct TreeCollector {
   int received = 0;
   bool finished = false;
   std::set<std::string> acked_hosts;
+  obs::SpanId span = obs::kNoSpan;
 
   explicit TreeCollector(cluster::Process& s) : self(s), expected(0) {}
 
@@ -203,6 +211,13 @@ std::map<cluster::Pid, std::shared_ptr<TreeCollector>>& collector_registry() {
 
 void TreeCollector::finish() {
   finished = true;
+  if (obs::Tracer* tracer = self.machine().tracer();
+      tracer != nullptr && span != obs::kNoSpan) {
+    tracer->end_span(span, outcome.status.is_ok()
+                               ? "daemons=" +
+                                     std::to_string(outcome.daemons.size())
+                               : "failed: " + outcome.status.message());
+  }
   // Deregister on every completion path (success *and* fail()); a stale
   // entry would pin this collector - and its Process reference - in the
   // static registry past the process's lifetime.
@@ -234,9 +249,20 @@ void TreeRshLauncher::launch(cluster::Process& self,
   collector->expected = static_cast<int>(chunks.size());
   collector_registry()[self.pid()] = collector;
 
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    const std::string session =
+        arg_value(daemon_args, "--lmon-session=").value_or("");
+    collector->span = tracer->begin_span(
+        "rsh.tree_launch", "rsh", static_cast<int>(self.node().id()),
+        self.pid(), tracer->anchor("cospawn:" + session),
+        "hosts=" + std::to_string(hosts.size()) +
+            " fanout=" + std::to_string(fanout));
+  }
+
   SubtreeLauncher::launch_chunks(
       self, std::move(chunks), daemon_exe, daemon_args, fanout,
-      self.node().hostname(), kTreeReportPort, &collector->outcome.sessions,
+      self.node().hostname(), kTreeReportPort, collector->span,
+      &collector->outcome.sessions,
       [collector](const std::string& host) {
         collector->on_session_lost(host);
       },
@@ -275,6 +301,18 @@ void TreeAgent::on_start(cluster::Process& self) {
   std::vector<std::string> daemon_args = arg_list(args, "--daemon-arg=");
   ack_.ok = true;
 
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    span_ = tracer->begin_span(
+        "rsh.agent", "rsh", static_cast<int>(self.node().id()), self.pid(),
+        tracer->anchor("rshtree:" + self.node().hostname()),
+        "hosts=" + std::to_string(hosts.size()));
+    // The daemon spawned below parents its bootstrap span on this agent.
+    const std::string session =
+        arg_value(daemon_args, "--lmon-session=").value_or("");
+    tracer->set_anchor("spawn:" + session + ":" + self.node().hostname(),
+                       span_);
+  }
+
   // Spawn the local daemon.
   const cluster::ProgramImage* image =
       exe.empty() ? nullptr : self.machine().find_program(exe);
@@ -311,7 +349,7 @@ void TreeAgent::on_start(cluster::Process& self) {
     (void)self.listen(kTreeAgentPort);
     SubtreeLauncher::launch_chunks(
         self, std::move(chunks), exe, daemon_args, fanout,
-        self.node().hostname(), kTreeAgentPort, &child_sessions_,
+        self.node().hostname(), kTreeAgentPort, span_, &child_sessions_,
         [this, &self](const std::string& host) {
           on_child_session_lost(self, host);
         },
@@ -355,12 +393,19 @@ void TreeAgent::on_child_session_lost(cluster::Process& self,
   ack_.ok = false;
   if (ack_.error.empty()) ack_.error = "lost tree agent on " + host;
   awaiting_children_ -= 1;
+  self.machine().count("rsh.subtree_losses");
+  self.machine().flight_record(self.pid(), "rsh_tree_agent",
+                               "lost tree agent on " + host);
   maybe_report(self);
 }
 
 void TreeAgent::maybe_report(cluster::Process& self) {
   if (reported_ || !local_done_ || awaiting_children_ > 0) return;
   reported_ = true;
+  if (obs::Tracer* tracer = self.machine().tracer();
+      tracer != nullptr && span_ != obs::kNoSpan) {
+    tracer->end_span(span_, ack_.ok ? "ok" : "failed: " + ack_.error);
+  }
   ack_.agent_host = self.node().hostname();
   if (report_host_.empty()) return;
   self.connect(
@@ -448,9 +493,30 @@ void SerialRshStrategy::launch(cluster::Process& self, comm::LaunchRequest req,
     targets.push_back(LaunchTarget{req.bootstrap.hosts[r], req.daemon_exe,
                                    std::move(args)});
   }
+  obs::SpanId span = obs::kNoSpan;
+  if (obs::Tracer* tracer = self.machine().tracer(); tracer != nullptr) {
+    span = tracer->begin_span(
+        "rsh.serial_launch", "rsh", static_cast<int>(self.node().id()),
+        self.pid(), tracer->anchor("cospawn:" + req.bootstrap.session),
+        "hosts=" + std::to_string(req.bootstrap.hosts.size()));
+    // Serial rsh has no per-host agent; every daemon parents on this span.
+    for (const auto& host : req.bootstrap.hosts) {
+      tracer->set_anchor("spawn:" + req.bootstrap.session + ":" + host, span);
+    }
+  }
+  self.machine().count("rsh.serial_targets",
+                       static_cast<double>(req.bootstrap.hosts.size()));
   SerialRshLauncher::launch(
       self, std::move(targets),
-      [this, req = std::move(req), cb = std::move(cb)](LaunchOutcome out) {
+      [this, &self, span, req = std::move(req),
+       cb = std::move(cb)](LaunchOutcome out) {
+        if (obs::Tracer* tracer = self.machine().tracer();
+            tracer != nullptr && span != obs::kNoSpan) {
+          tracer->end_span(
+              span, out.status.is_ok()
+                        ? "daemons=" + std::to_string(out.daemons.size())
+                        : "failed: " + out.status.message());
+        }
         sessions_ = std::move(out.sessions);
         if (cb) cb(outcome_to_result(req, std::move(out)));
       });

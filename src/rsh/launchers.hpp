@@ -14,6 +14,7 @@
 
 #include "cluster/process.hpp"
 #include "comm/launch_strategy.hpp"
+#include "obs/trace.hpp"
 #include "rsh/client.hpp"
 
 namespace lmon::rsh {
@@ -105,6 +106,7 @@ class TreeAgent : public cluster::Program {
   cluster::Pid daemon_pid_ = cluster::kInvalidPid;
   std::vector<cluster::ChannelPtr> child_sessions_;
   std::vector<cluster::ChannelPtr> child_acks_;
+  obs::SpanId span_ = obs::kNoSpan;  ///< this agent's subtree launch span
 };
 
 /// Registers the tree-agent image with the machine's program registry.

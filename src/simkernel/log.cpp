@@ -2,31 +2,71 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 namespace lmon::sim {
 
 namespace {
 
+Log::Sink& g_sink() {
+  static Log::Sink sink;
+  return sink;
+}
+
+Log::Sink& g_tap() {
+  static Log::Sink tap;
+  return tap;
+}
+
+void default_sink(LogLevel, Time now, std::string_view component,
+                  std::string_view message) {
+  std::fprintf(stderr, "[%12.6fs] %-14.*s %.*s\n", to_seconds(now),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
 LogLevel g_level = [] {
   const char* env = std::getenv("LMON_SIM_LOG");
   if (env == nullptr) return LogLevel::Off;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (auto lv = parse_log_level(env)) return *lv;
+  // An unrecognised value almost always means the user *wanted* logging;
+  // silently running quiet would hide that mistake.
+  std::fprintf(stderr,
+               "lmon: unknown LMON_SIM_LOG value '%s' "
+               "(expected debug|info|warn|off); logging disabled\n",
+               env);
   return LogLevel::Off;
 }();
 
 }  // namespace
 
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "off" || text == "none" || text == "0" || text.empty()) {
+    return LogLevel::Off;
+  }
+  return std::nullopt;
+}
+
 LogLevel Log::level() { return g_level; }
 void Log::set_level(LogLevel lv) { g_level = lv; }
 
-void Log::write(LogLevel, Time now, std::string_view component,
+void Log::set_sink(Sink sink) { g_sink() = std::move(sink); }
+
+void Log::set_tap(Sink tap) { g_tap() = std::move(tap); }
+bool Log::has_tap() { return static_cast<bool>(g_tap()); }
+
+void Log::write(LogLevel lv, Time now, std::string_view component,
                 std::string_view message) {
-  std::fprintf(stderr, "[%12.6fs] %-14.*s %.*s\n", to_seconds(now),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  if (lv <= g_level) {
+    if (g_sink()) {
+      g_sink()(lv, now, component, message);
+    } else {
+      default_sink(lv, now, component, message);
+    }
+  }
+  if (g_tap()) g_tap()(lv, now, component, message);
 }
 
 std::string format_time(Time t) {

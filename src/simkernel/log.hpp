@@ -3,8 +3,18 @@
 // Off by default so benches run quietly; enable with LMON_SIM_LOG=debug (or
 // info/warn) to watch protocol traffic with simulated timestamps, which is
 // the main debugging aid for distributed-protocol issues in this repo.
+//
+// Two attachment points beyond the level gate:
+//   * the *sink* replaces the stderr formatter (tests capture and assert on
+//     log output instead of scraping stderr); it only sees level-passing
+//     lines.
+//   * the *tap* observes every line regardless of level - obs::LogBridge
+//     uses it to fold the text log into the structured trace stream so log
+//     lines land on the same simulated-time axis as spans and metrics.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -19,15 +29,36 @@ enum class LogLevel { Off = 0, Warn = 1, Info = 2, Debug = 3 };
 /// tests). The simulator is single-threaded so no synchronization is needed.
 class Log {
  public:
+  using Sink =
+      std::function<void(LogLevel, Time, std::string_view /*component*/,
+                         std::string_view /*message*/)>;
+
   static LogLevel level();
   static void set_level(LogLevel lv);
 
-  /// Emits "[ 1.234567s] <component> message" to stderr if `lv` is enabled.
+  /// Replaces the stderr formatter; nullptr restores the default. The sink
+  /// only receives lines that pass the level gate.
+  static void set_sink(Sink sink);
+
+  /// Observer that sees *every* line, independent of level. At most one tap
+  /// at a time; nullptr detaches. Owned by obs::LogBridge in practice.
+  static void set_tap(Sink tap);
+  static bool has_tap();
+
+  /// Routes "[ 1.234567s] <component> message" to the sink (stderr by
+  /// default) when `lv` passes the level gate, and to the tap always.
   static void write(LogLevel lv, Time now, std::string_view component,
                     std::string_view message);
 
-  static bool enabled(LogLevel lv) { return lv <= level(); }
+  /// True when a line at `lv` would reach the sink or the tap - i.e. when
+  /// building the message string is worth the cost.
+  static bool enabled(LogLevel lv) { return lv <= level() || has_tap(); }
 };
+
+/// Maps an LMON_SIM_LOG value to a level: debug/info/warn/off/none/0 (and
+/// the empty string) are recognised; anything else is nullopt so callers can
+/// warn instead of silently disabling logging.
+std::optional<LogLevel> parse_log_level(std::string_view text);
 
 /// Streaming helper: LMON_SIM_LOG_AT(Debug, now, "rm") << "launching " << n;
 class LogLine {

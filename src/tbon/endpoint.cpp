@@ -7,6 +7,19 @@
 
 namespace lmon::tbon {
 
+namespace {
+const char* packet_kind_name(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::Hello: return "hello";
+    case PacketKind::SubtreeUp: return "subtree_up";
+    case PacketKind::NewStream: return "new_stream";
+    case PacketKind::Down: return "down";
+    case PacketKind::Up: return "up";
+  }
+  return "?";
+}
+}  // namespace
+
 bool subtree_has_backend(const Topology& topo, int index) {
   const auto& nodes = topo.nodes();
   if (nodes[static_cast<std::size_t>(index)].is_backend) return true;
@@ -32,6 +45,19 @@ TbonEndpoint::TbonEndpoint(cluster::Process& self, Topology topology,
 
 void TbonEndpoint::start() {
   const TopoNode& me = topo_.nodes()[static_cast<std::size_t>(my_index_)];
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    // Parent chain is best-effort: a child dialing a still-booting parent
+    // may begin before the parent's anchor exists.
+    const obs::SpanId parent =
+        is_root() ? obs::kNoSpan
+                  : tracer->anchor("tbon:node:" + std::to_string(me.parent));
+    span_ = tracer->begin_span(
+        "tbon.bootstrap", "tbon", static_cast<int>(self_.node().id()),
+        self_.pid(), parent,
+        "index=" + std::to_string(my_index_) +
+            (me.is_backend ? " backend" : "") + (is_root() ? " root" : ""));
+    tracer->set_anchor("tbon:node:" + std::to_string(my_index_), span_);
+  }
   if (!expected_children_.empty()) {
     assert(me.port != 0 && "internal TBON nodes need a listening port");
     const Status st = self_.listen(me.port, [this](cluster::ChannelPtr ch) {
@@ -96,6 +122,17 @@ void TbonEndpoint::on_packet(const cluster::ChannelPtr& ch,
                              cluster::Message m) {
   auto packet = Packet::decode(m);
   if (!packet) return;
+  self_.machine().count("tbon.packets");
+  self_.machine().count(std::string("tbon.packets.") +
+                        packet_kind_name(packet->kind));
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    tracer->instant("tbon.packet", "tbon",
+                    static_cast<int>(self_.node().id()), self_.pid(), span_,
+                    std::string("kind=") + packet_kind_name(packet->kind) +
+                        " stream=" + std::to_string(packet->stream) +
+                        " tag=" + std::to_string(packet->tag) +
+                        " from=" + std::to_string(packet->node_index));
+  }
   self_.post(self_.machine().costs().iccl_msg_handle,
              [this, ch, p = std::move(*packet)]() mutable {
                switch (p.kind) {
@@ -126,6 +163,8 @@ void TbonEndpoint::handle_hello(const cluster::ChannelPtr& ch,
   if (register_busy_until_ < now) register_busy_until_ = now;
   register_busy_until_ += cost;
   const sim::Time delay = register_busy_until_ - now;
+  self_.machine().count("tbon.children_registered");
+  self_.machine().observe("tbon.register_delay_ms", sim::to_ms(delay));
   self_.post(delay, [this, ch, child_index] {
     children_[child_index] = ch;
     maybe_tree_ready();
@@ -148,6 +187,11 @@ void TbonEndpoint::maybe_tree_ready() {
     if (!child_is_backend && subtree_up_pending_.count(c) != 0) return;
   }
   ready_fired_ = true;
+  if (obs::Tracer* tracer = self_.machine().tracer();
+      tracer != nullptr && span_ != obs::kNoSpan) {
+    tracer->end_span(span_,
+                     "ready children=" + std::to_string(children_.size()));
+  }
   if (!is_root() && parent_ != nullptr) {
     Packet up;
     up.kind = PacketKind::SubtreeUp;
@@ -188,6 +232,10 @@ void TbonEndpoint::send_down(std::uint32_t stream, std::uint32_t tag,
 void TbonEndpoint::handle_down(const Packet& p) {
   if (p.kind == PacketKind::NewStream) {
     stream_filters_[p.stream] = p.filter;
+  }
+  if (!children_.empty()) {
+    self_.machine().count("tbon.down_forwards",
+                          static_cast<double>(children_.size()));
   }
   for (auto& [idx, ch] : children_) {
     self_.send(ch, p.encode());
@@ -239,6 +287,7 @@ void TbonEndpoint::handle_up(int child_index, Packet p) {
   if (!round.pending_children.empty()) return;
 
   // All child subtrees contributed: reduce and pass upward (or deliver).
+  self_.machine().count("tbon.rounds_reduced");
   const Bytes reduced =
       FilterRegistry::instance().apply(filter_of(p.stream), round.payloads);
   std::vector<std::uint32_t> ranks = std::move(round.ranks);
@@ -262,6 +311,14 @@ void TbonEndpoint::handle_up(int child_index, Packet p) {
 void TbonEndpoint::fail(Status st) {
   if (ready_fired_) return;
   ready_fired_ = true;
+  self_.machine().count("tbon.failures");
+  self_.machine().flight_record(self_.pid(), "tbon",
+                                "node " + std::to_string(my_index_) +
+                                    " failed: " + st.message());
+  if (obs::Tracer* tracer = self_.machine().tracer();
+      tracer != nullptr && span_ != obs::kNoSpan) {
+    tracer->end_span(span_, "failed: " + st.message());
+  }
   sim::LogLine(sim::LogLevel::Warn, self_.sim().now(), "tbon")
       << "node " << my_index_ << ": " << st.to_string();
   if (cbs_.on_tree_ready) cbs_.on_tree_ready(st);

@@ -16,6 +16,7 @@
 
 #include "cluster/process.hpp"
 #include "common/status.hpp"
+#include "obs/trace.hpp"
 #include "tbon/filter.hpp"
 #include "tbon/packet.hpp"
 #include "tbon/topology.hpp"
@@ -96,6 +97,7 @@ class TbonEndpoint {
   std::uint32_t next_stream_ = 1;
   std::map<std::uint64_t, Round> rounds_;  ///< (stream<<32|tag) -> round
   sim::Time register_busy_until_ = 0;      ///< serialized child registration
+  obs::SpanId span_ = obs::kNoSpan;        ///< bootstrap span (start..ready)
 
   static constexpr int kConnectRetries = 60;
   static constexpr sim::Time kRetryDelay = sim::ms(4);

@@ -1,0 +1,49 @@
+// flight_check.hpp - post-mortem hook for fault-injection tests.
+//
+// Attach one of these right after constructing a TestCluster: every daemon
+// then streams its last protocol steps into a bounded per-pid ring
+// (obs::FlightRecorderHub via Machine::flight_record), and if the test has
+// FAILED by the time the scope closes, the rings are dumped to stderr -
+// so "the launch timed out" comes with the actual last steps each daemon
+// took. Passing tests print nothing.
+//
+// Kept separate from tests/test_util.hpp because this depends on gtest
+// (HasFailure) and test_util is also included by the benches.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cluster/machine.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace lmon::testing {
+
+class FlightRecorderOnFailure {
+ public:
+  explicit FlightRecorderOnFailure(cluster::Machine& machine)
+      : machine_(machine) {
+    machine_.set_flight_recorder(&hub_);
+  }
+
+  FlightRecorderOnFailure(const FlightRecorderOnFailure&) = delete;
+  FlightRecorderOnFailure& operator=(const FlightRecorderOnFailure&) = delete;
+
+  ~FlightRecorderOnFailure() {
+    machine_.set_flight_recorder(nullptr);
+    if (::testing::Test::HasFailure() && !hub_.empty()) {
+      std::fprintf(stderr,
+                   "\n--- flight recorder (last steps per daemon) ---\n%s",
+                   hub_.dump().c_str());
+    }
+  }
+
+  [[nodiscard]] obs::FlightRecorderHub& hub() noexcept { return hub_; }
+
+ private:
+  cluster::Machine& machine_;
+  obs::FlightRecorderHub hub_;
+};
+
+}  // namespace lmon::testing

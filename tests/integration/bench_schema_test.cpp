@@ -19,6 +19,8 @@
 
 #include "bench/ablation_iccl_lib.hpp"
 #include "bench/ablation_rsh_lib.hpp"
+#include "bench/fig5_jobsnap_lib.hpp"
+#include "bench/fig6_stat_lib.hpp"
 
 #ifndef LMON_SOURCE_DIR
 #error "LMON_SOURCE_DIR must point at the repo root (set by CMakeLists.txt)"
@@ -125,6 +127,56 @@ TEST(BenchSchema, IcclReportIsWellFormedAtToyScale) {
     EXPECT_GT(c.measured_bytes, 0.0) << c.topology;
     EXPECT_GT(c.model_bytes, 0.0) << c.topology;
   }
+}
+
+TEST(BenchSchema, Fig5JobsnapJsonShapeMatchesGolden) {
+  const bench::JobsnapReport report =
+      bench::run_jobsnap_sweep(bench::JobsnapOptions::smoke());
+  const std::string json = bench::to_json(report);
+  const std::string live_shape = bench::json_shape(json);
+
+  const std::string golden = read_golden("bench_fig5_jobsnap.schema.txt");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file tests/golden/bench_fig5_jobsnap.schema.txt";
+  EXPECT_EQ(live_shape, golden)
+      << "bench_fig5_jobsnap --json schema drifted.\nlive skeleton:\n"
+      << live_shape << "\nif intentional, update the golden file.";
+
+  // The sweep itself succeeds at toy scale, and the metrics block carries
+  // accumulated protocol counters (the channel layer counts every send).
+  for (const auto& p : report.points) {
+    EXPECT_TRUE(p.ok) << "jobsnap failed at n=" << p.daemons;
+    EXPECT_GT(p.total_s, 0.0);
+    EXPECT_GE(p.total_s, p.init_to_spawn_s);
+  }
+  EXPECT_GT(report.metrics.counter("net.messages_total"), 0.0);
+  EXPECT_NE(report.metrics.histogram("net.message_bytes"), nullptr);
+}
+
+TEST(BenchSchema, Fig6StatJsonShapeMatchesGolden) {
+  const bench::StatBenchReport report =
+      bench::run_stat_sweep(bench::StatBenchOptions::smoke());
+  const std::string json = bench::to_json(report);
+  const std::string live_shape = bench::json_shape(json);
+
+  const std::string golden = read_golden("bench_fig6_stat.schema.txt");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file tests/golden/bench_fig6_stat.schema.txt";
+  EXPECT_EQ(live_shape, golden)
+      << "bench_fig6_stat --json schema drifted.\nlive skeleton:\n"
+      << live_shape << "\nif intentional, update the golden file.";
+
+  // Both modes succeed at toy scale, LaunchMON wins, and the TBON layer's
+  // packet counters made it into the accumulated metrics block.
+  ASSERT_EQ(report.points.size(), 2 * report.scales.size());
+  for (std::size_t i = 0; i + 1 < report.points.size(); i += 2) {
+    const auto& adhoc = report.points[i];
+    const auto& lmon = report.points[i + 1];
+    EXPECT_TRUE(adhoc.ok) << "adhoc failed at n=" << adhoc.daemons;
+    EXPECT_TRUE(lmon.ok) << "launchmon failed at n=" << lmon.daemons;
+  }
+  EXPECT_GT(report.metrics.counter("tbon.packets"), 0.0);
+  EXPECT_GT(report.metrics.counter("net.messages_total"), 0.0);
 }
 
 /// The skeleton reducer itself: malformed/ragged rows must be visible.

@@ -7,6 +7,7 @@
 
 #include "core/fe_api.hpp"
 #include "rm/resource_manager.hpp"
+#include "tests/flight_check.hpp"
 #include "tests/test_util.hpp"
 
 namespace lmon {
@@ -40,6 +41,7 @@ void launch(TestCluster& tc, Driver& d, const std::string& daemon_exe,
 
 TEST(Failure, MissingDaemonExecutableReportsCleanly) {
   TestCluster tc(4);
+  testing::FlightRecorderOnFailure flight(tc.machine);
   Driver d;
   launch(tc, d, "no_such_daemon", 4);
   ASSERT_TRUE(tc.run_until([&] { return d.done; }));
@@ -49,6 +51,7 @@ TEST(Failure, MissingDaemonExecutableReportsCleanly) {
 
 TEST(Failure, MissingAppExecutableReportsCleanly) {
   TestCluster tc(4);
+  testing::FlightRecorderOnFailure flight(tc.machine);
   Driver d;
   tc.spawn_fe([&](cluster::Process& self) {
     d.fe = std::make_shared<core::FrontEnd>(self);
@@ -69,6 +72,7 @@ TEST(Failure, MissingAppExecutableReportsCleanly) {
 
 TEST(Failure, AttachToNonexistentLauncherFails) {
   TestCluster tc(2);
+  testing::FlightRecorderOnFailure flight(tc.machine);
   Driver d;
   tc.spawn_fe([&](cluster::Process& self) {
     d.fe = std::make_shared<core::FrontEnd>(self);
@@ -88,6 +92,7 @@ TEST(Failure, AttachToNonexistentLauncherFails) {
 
 TEST(Failure, KillTearsDownJobAndDaemons) {
   TestCluster tc(4);
+  testing::FlightRecorderOnFailure flight(tc.machine);
   Driver d;
   launch(tc, d, "hello_be", 4);
   ASSERT_TRUE(tc.run_until([&] { return d.done; }));
@@ -121,6 +126,7 @@ TEST(Failure, KillTearsDownJobAndDaemons) {
 
 TEST(Failure, FeDeathCleansUpEntireSession) {
   TestCluster tc(4);
+  testing::FlightRecorderOnFailure flight(tc.machine);
   Driver d;
   cluster::Pid fe_pid = cluster::kInvalidPid;
   tc.spawn_fe([&](cluster::Process& self) {
@@ -159,6 +165,7 @@ TEST(Failure, FeDeathCleansUpEntireSession) {
 
 TEST(Failure, AllocationExhaustionAcrossSessions) {
   TestCluster tc(4);
+  testing::FlightRecorderOnFailure flight(tc.machine);
   // First job takes all nodes.
   auto first = rm::run_job(tc.machine, rm::JobSpec{4, 1, "mpi_app", {}});
   ASSERT_TRUE(first.is_ok());
@@ -172,6 +179,7 @@ TEST(Failure, AllocationExhaustionAcrossSessions) {
 
 TEST(Failure, DeadNodeDaemonFailsSubtreeNotWholeRm) {
   TestCluster tc(8);
+  testing::FlightRecorderOnFailure flight(tc.machine);
   // Kill the slurmd on one node before launching.
   for (cluster::Process* p : tc.machine.compute_node(5).live_processes()) {
     if (p->options().executable == "slurmd") p->exit(1);
@@ -188,6 +196,7 @@ TEST(Failure, DeadNodeDaemonFailsSubtreeNotWholeRm) {
 
 TEST(Failure, DetachAfterFailureIsSafe) {
   TestCluster tc(2);
+  testing::FlightRecorderOnFailure flight(tc.machine);
   Driver d;
   launch(tc, d, "no_such_daemon", 2);
   ASSERT_TRUE(tc.run_until([&] { return d.done; }));

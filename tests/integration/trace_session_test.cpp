@@ -1,0 +1,352 @@
+// trace_session_test - the observability plane end to end: run a real FE
+// launch-and-spawn session with a Tracer attached, export a Perfetto trace,
+// and check the acceptance properties of the obs subsystem:
+//
+//   1. Spans exist for the bootstrap (session/engine/cospawn), the RM
+//      per-level tree fan-out, the daemons, and the handshake collective -
+//      with correct causal parent links across process boundaries.
+//   2. The critical-path extractor's region sums reproduce
+//      bench_fig3_launchspawn's e0..e11 arithmetic *exactly* (double
+//      equality, not tolerance - both read the same marks).
+//   3. Tracing is purely observational: a traced run and an untraced run of
+//      the same cluster produce bit-identical e0..e11 timelines and cost
+//      ledgers.
+//
+// The exported Chrome-trace JSON's structural skeleton is held to a golden
+// (tests/golden/trace_event.schema.txt), same regime as the bench reports.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "bench/ablation_rsh_lib.hpp"  // bench::json_shape
+#include "core/fe_api.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/trace.hpp"
+#include "simkernel/stats.hpp"
+#include "tests/test_util.hpp"
+
+#ifndef LMON_SOURCE_DIR
+#error "LMON_SOURCE_DIR must point at the repo root (set by CMakeLists.txt)"
+#endif
+
+namespace lmon {
+namespace {
+
+using testing::TestCluster;
+
+struct SessionRun {
+  bool ok = false;
+  sim::Timeline timeline;
+  sim::CostLedger ledger;
+  obs::Metrics metrics;
+  obs::FlightRecorderHub flight;
+  /// Inspect-only after run_session returns (the simulator it references is
+  /// gone, but spans/instants/marks are plain data).
+  std::unique_ptr<obs::Tracer> tracer;
+};
+
+/// Runs one hello_be launch-and-spawn session at `ndaemons` scale. The
+/// timeline/ledger are always attached so traced and untraced runs can be
+/// compared mark for mark; the tracer/metrics/flight hub only when
+/// `traced`.
+SessionRun run_session(int ndaemons, bool traced,
+                       comm::LaunchStrategyKind strategy =
+                           comm::LaunchStrategyKind::RmBulk) {
+  TestCluster tc(ndaemons);
+  SessionRun run;
+  tc.machine.set_timeline(&run.timeline);
+  tc.machine.set_ledger(&run.ledger);
+  std::unique_ptr<obs::LogBridge> bridge;
+  if (traced) {
+    run.tracer = std::make_unique<obs::Tracer>(tc.simulator);
+    bridge = std::make_unique<obs::LogBridge>(*run.tracer);
+    tc.machine.set_tracer(run.tracer.get());
+    tc.machine.set_metrics(&run.metrics);
+    tc.machine.set_flight_recorder(&run.flight);
+  }
+
+  bool done = false;
+  Status status;
+  std::shared_ptr<core::FrontEnd> fe;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    (void)fe->init();
+    auto sid = fe->create_session();
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    cfg.launch_strategy = strategy;
+    rm::JobSpec job{ndaemons, 8, "mpi_app", {}};
+    fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
+      status = st;
+      done = true;
+    });
+  });
+  tc.run_until([&] { return done; }, sim::seconds(600));
+  run.ok = done && status.is_ok();
+
+  // Detach before the cluster (and its simulator) dies; the tracer is only
+  // inspected from here on.
+  tc.machine.set_timeline(nullptr);
+  tc.machine.set_ledger(nullptr);
+  tc.machine.set_tracer(nullptr);
+  tc.machine.set_metrics(nullptr);
+  tc.machine.set_flight_recorder(nullptr);
+  return run;
+}
+
+/// All spans with this exact name.
+std::vector<const obs::SpanRecord*> spans_named(const obs::Tracer& tracer,
+                                                std::string_view name) {
+  std::vector<const obs::SpanRecord*> out;
+  for (const auto& s : tracer.spans()) {
+    if (s.name == name) out.push_back(&s);
+  }
+  return out;
+}
+
+TEST(TraceSession, BootstrapSpansHaveCorrectParentLinks) {
+  const SessionRun run = run_session(16, /*traced=*/true);
+  ASSERT_TRUE(run.ok);
+  const obs::Tracer& tr = *run.tracer;
+
+  // FE session -> engine -> cospawn chain, crossing the FE/engine process
+  // boundary via the "session:<cookie>" anchor.
+  const obs::SpanRecord* session = tr.find_span("session");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->parent, obs::kNoSpan);
+  EXPECT_FALSE(session->open());
+
+  const obs::SpanRecord* engine = tr.find_span("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->parent, session->id);
+
+  for (std::string_view stage :
+       {"engine.rm_launch", "engine.rpdtab_fetch", "engine.cospawn"}) {
+    const obs::SpanRecord* s = tr.find_span(stage);
+    ASSERT_NE(s, nullptr) << stage;
+    EXPECT_EQ(s->parent, engine->id) << stage;
+    EXPECT_FALSE(s->open()) << stage;
+  }
+
+  // The RM's bulk daemon launch hangs off the cospawn span (the strategy
+  // layer anchored "cospawn:<session>" before calling into the RM).
+  const obs::SpanRecord* cospawn = tr.find_span("engine.cospawn");
+  const obs::SpanRecord* daemon_launch = tr.find_span("rm.daemon_launch");
+  ASSERT_NE(daemon_launch, nullptr);
+  EXPECT_EQ(daemon_launch->parent, cospawn->id);
+}
+
+TEST(TraceSession, FanoutDaemonAndCollectiveSpans) {
+  const SessionRun run = run_session(16, /*traced=*/true);
+  ASSERT_TRUE(run.ok);
+  const obs::Tracer& tr = *run.tracer;
+  const obs::SpanRecord* job_launch = tr.find_span("rm.job_launch");
+  const obs::SpanRecord* daemon_launch = tr.find_span("rm.daemon_launch");
+  ASSERT_NE(job_launch, nullptr);
+  ASSERT_NE(daemon_launch, nullptr);
+
+  // Per-level fan-out: the launcher runs one slurmd tree per phase (the
+  // MPI job, then the daemon bulk launch), so exactly one tree-launch
+  // level roots on each launch span; every other level parents on the
+  // level that forwarded its chunk.
+  const auto tree = spans_named(tr, "rm.tree_launch");
+  ASSERT_GE(tree.size(), 2u);
+  int job_roots = 0;
+  int daemon_roots = 0;
+  int chained = 0;
+  for (const obs::SpanRecord* level : tree) {
+    EXPECT_FALSE(level->open());
+    if (level->parent == job_launch->id) {
+      ++job_roots;
+      continue;
+    }
+    if (level->parent == daemon_launch->id) {
+      ++daemon_roots;
+      continue;
+    }
+    const obs::SpanRecord* parent = tr.span(level->parent);
+    ASSERT_NE(parent, nullptr);
+    EXPECT_EQ(parent->name, "rm.tree_launch");
+    ++chained;
+  }
+  EXPECT_EQ(job_roots, 1);
+  EXPECT_EQ(daemon_roots, 1);
+  EXPECT_GT(chained, 0);
+
+  // One daemon span per node, each parented on the tree-launch level that
+  // spawned it - on the same node (the level launches its first host
+  // locally).
+  const auto daemons = spans_named(tr, "daemon");
+  EXPECT_EQ(daemons.size(), 16u);
+  for (const obs::SpanRecord* d : daemons) {
+    const obs::SpanRecord* parent = tr.span(d->parent);
+    ASSERT_NE(parent, nullptr);
+    EXPECT_EQ(parent->name, "rm.tree_launch");
+    EXPECT_EQ(parent->node, d->node);
+  }
+
+  // The handshake collective hangs off a daemon span.
+  const auto collectives = spans_named(tr, "iccl.handshake_collective");
+  ASSERT_FALSE(collectives.empty());
+  for (const obs::SpanRecord* c : collectives) {
+    const obs::SpanRecord* parent = tr.span(c->parent);
+    ASSERT_NE(parent, nullptr);
+    EXPECT_EQ(parent->name, "daemon");
+    EXPECT_EQ(parent->node, c->node);
+  }
+
+  // critical_path() walks back to a root span.
+  const auto chain = obs::critical_path(tr);
+  ASSERT_FALSE(chain.empty());
+  EXPECT_EQ(chain.front()->parent, obs::kNoSpan);
+}
+
+TEST(TraceSession, TreeRshFanoutSpansChainPerLevel) {
+  const SessionRun run =
+      run_session(16, /*traced=*/true, comm::LaunchStrategyKind::TreeRsh);
+  ASSERT_TRUE(run.ok);
+  const obs::Tracer& tr = *run.tracer;
+
+  // The FE-side tree launcher roots on the engine's cospawn span.
+  const obs::SpanRecord* cospawn = tr.find_span("engine.cospawn");
+  const obs::SpanRecord* tree = tr.find_span("rsh.tree_launch");
+  ASSERT_NE(cospawn, nullptr);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->parent, cospawn->id);
+  EXPECT_FALSE(tree->open());
+
+  // Every remote agent parents either on the FE launcher (level 1) or on
+  // the agent that rsh'd it (deeper levels), and every daemon on the agent
+  // that spawned it locally.
+  const auto agents = spans_named(tr, "rsh.agent");
+  ASSERT_FALSE(agents.empty());
+  for (const obs::SpanRecord* a : agents) {
+    const obs::SpanRecord* parent = tr.span(a->parent);
+    ASSERT_NE(parent, nullptr);
+    EXPECT_TRUE(parent->name == "rsh.tree_launch" ||
+                parent->name == "rsh.agent")
+        << "agent parented on " << parent->name;
+  }
+  const auto daemons = spans_named(tr, "daemon");
+  EXPECT_EQ(daemons.size(), 16u);
+  for (const obs::SpanRecord* d : daemons) {
+    const obs::SpanRecord* parent = tr.span(d->parent);
+    ASSERT_NE(parent, nullptr);
+    EXPECT_EQ(parent->name, "rsh.agent");
+    EXPECT_EQ(parent->node, d->node);
+  }
+}
+
+TEST(TraceSession, CriticalPathReproducesFig3Arithmetic) {
+  const SessionRun run = run_session(16, /*traced=*/true);
+  ASSERT_TRUE(run.ok);
+
+  // bench_fig3_launchspawn's Measurement arithmetic, verbatim.
+  const sim::Timeline& tl = run.timeline;
+  const sim::CostLedger& lg = run.ledger;
+  const double total = sim::to_seconds(tl.between("e0_fe_call", "e11_return"));
+  const double t_job = sim::to_seconds(tl.between("t_job_begin", "t_job_end"));
+  const double t_daemon =
+      sim::to_seconds(tl.between("t_daemon_begin", "t_daemon_end"));
+  const double t_setup =
+      sim::to_seconds(tl.between("be_e8_setup_begin", "be_e9_setup_done"));
+  const double t_collective = sim::to_seconds(
+      tl.between("be_t_collective_begin", "be_t_collective_end"));
+  const double tracing = sim::to_seconds(lg.total("tracing"));
+  const double rpdtab = sim::to_seconds(lg.total("rpdtab_fetch"));
+  double handshake = sim::to_seconds(
+      tl.between("be_e10_ready", "e11_return") +
+      tl.between("e7_handshake_begin", "be_t_collective_begin") -
+      tl.between("be_e8_setup_begin", "be_e9_setup_done"));
+  if (handshake < 0) handshake = 0;
+  const double other = sim::to_seconds(lg.total("other"));
+
+  // The timeline-side extractor and the tracer-side extractor (fed by the
+  // marks the Tracer absorbed through Machine::mark/charge) must both
+  // reproduce the bench numbers exactly - no tolerance.
+  for (const obs::RegionBreakdown& r :
+       {obs::extract_regions(tl, lg), obs::extract_regions(*run.tracer)}) {
+    EXPECT_EQ(r.total, total);
+    EXPECT_EQ(r.t_job, t_job);
+    EXPECT_EQ(r.t_daemon, t_daemon);
+    EXPECT_EQ(r.t_setup, t_setup);
+    EXPECT_EQ(r.t_collective, t_collective);
+    EXPECT_EQ(r.tracing, tracing);
+    EXPECT_EQ(r.rpdtab, rpdtab);
+    EXPECT_EQ(r.handshake, handshake);
+    EXPECT_EQ(r.other, other);
+    EXPECT_EQ(r.lmon_overhead(), tracing + rpdtab + handshake + other);
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_GT(t_daemon, 0.0);
+}
+
+TEST(TraceSession, TracingAddsZeroObservableCost) {
+  const SessionRun traced = run_session(8, /*traced=*/true);
+  const SessionRun plain = run_session(8, /*traced=*/false);
+  ASSERT_TRUE(traced.ok);
+  ASSERT_TRUE(plain.ok);
+
+  // Same simulated instants for every mark, same cost charges: the
+  // observability plane never perturbs the simulation.
+  EXPECT_EQ(traced.timeline.marks(), plain.timeline.marks());
+  EXPECT_EQ(traced.ledger.entries(), plain.ledger.entries());
+}
+
+TEST(TraceSession, MetricsAndFlightRecorderCaptureTheRun) {
+  SessionRun run = run_session(8, /*traced=*/true);
+  ASSERT_TRUE(run.ok);
+
+  EXPECT_GT(run.metrics.counter("net.messages_total"), 0.0);
+  EXPECT_GT(run.metrics.counter("net.bytes_total"), 0.0);
+  EXPECT_GT(run.metrics.counter("rm.tree_launch.requests"), 0.0);
+  const obs::Metrics::Histogram* bytes = run.metrics.histogram("net.message_bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_GT(bytes->count, 0u);
+
+  // Every daemon left at least its init entry in the flight recorder, and
+  // the dump is a readable report.
+  const std::string dump = run.flight.dump();
+  EXPECT_NE(dump.find("daemon"), std::string::npos);
+  EXPECT_NE(dump.find("init rank="), std::string::npos);
+}
+
+TEST(TraceSession, PerfettoExportMatchesGoldenSchema) {
+  SessionRun run = run_session(8, /*traced=*/true);
+  ASSERT_TRUE(run.ok);
+
+  const std::string json = obs::to_chrome_trace_json(*run.tracer);
+  const std::string live_shape = bench::json_shape(json);
+
+  const std::string golden_path =
+      std::string(LMON_SOURCE_DIR) + "/tests/golden/trace_event.schema.txt";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string golden = buf.str();
+  while (!golden.empty() && (golden.back() == '\n' || golden.back() == '\r')) {
+    golden.pop_back();
+  }
+  EXPECT_EQ(live_shape, golden)
+      << "Chrome-trace export schema drifted.\nlive skeleton:\n"
+      << live_shape << "\nif intentional, update the golden file.";
+
+  // And the file-writing path round-trips the same bytes.
+  const std::string out_path = "trace_session_test.trace.json";
+  ASSERT_TRUE(obs::write_chrome_trace(*run.tracer, out_path).is_ok());
+  std::ifstream back(out_path);
+  std::ostringstream written;
+  written << back.rdbuf();
+  EXPECT_EQ(written.str(), json);
+}
+
+}  // namespace
+}  // namespace lmon

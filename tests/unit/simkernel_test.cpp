@@ -1,8 +1,12 @@
 // Unit tests for the discrete-event simulation kernel.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/status.hpp"
 #include "common/argparse.hpp"
+#include "simkernel/log.hpp"
 #include "simkernel/simulator.hpp"
 #include "simkernel/stats.hpp"
 
@@ -147,6 +151,38 @@ TEST(Stats, TimelineBetween) {
   EXPECT_FALSE(t.has("c"));
 }
 
+TEST(Stats, TimelineBetweenWithMissingMarks) {
+  Timeline t;
+  t.mark("a", ms(10));
+  // Either endpoint missing (or both) yields 0, never garbage; has()
+  // distinguishes "missing" from "zero-length region".
+  EXPECT_EQ(t.between("missing", "a"), 0);
+  EXPECT_EQ(t.between("a", "missing"), 0);
+  EXPECT_EQ(t.between("nope", "also_nope"), 0);
+  EXPECT_EQ(Timeline{}.between("a", "b"), 0);
+  // Re-marking overwrites; marks() exposes the full map.
+  t.mark("a", ms(20));
+  EXPECT_EQ(t.at("a"), ms(20));
+  EXPECT_EQ(t.marks().size(), 1u);
+}
+
+TEST(Stats, AccumulatorDegenerateCounts) {
+  Accumulator empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.min(), 0.0);
+  EXPECT_EQ(empty.max(), 0.0);
+  EXPECT_EQ(empty.variance(), 0.0);  // no samples: variance defined as 0
+  EXPECT_EQ(empty.stddev(), 0.0);
+
+  Accumulator one;
+  one.add(42.0);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.mean(), 42.0);
+  EXPECT_EQ(one.variance(), 0.0);  // single sample: no spread
+  EXPECT_EQ(one.stddev(), 0.0);
+}
+
 TEST(Stats, LedgerAccumulates) {
   CostLedger l;
   l.charge("x", ms(5));
@@ -155,6 +191,55 @@ TEST(Stats, LedgerAccumulates) {
   EXPECT_EQ(l.total("x"), ms(12));
   EXPECT_EQ(l.events("x"), 2u);
   EXPECT_EQ(l.total("z"), 0);
+}
+
+TEST(Log, SinkCapturesLevelPassingLinesOnly) {
+  const LogLevel saved = Log::level();
+  std::vector<std::string> captured;
+  Log::set_level(LogLevel::Info);
+  Log::set_sink([&](LogLevel, Time, std::string_view component,
+                    std::string_view message) {
+    captured.push_back(std::string(component) + ": " + std::string(message));
+  });
+
+  LogLine(LogLevel::Info, ms(1), "unit") << "visible";
+  LogLine(LogLevel::Debug, ms(2), "unit") << "filtered";
+
+  Log::set_sink(nullptr);  // restore the stderr formatter
+  Log::set_level(saved);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "unit: visible");
+}
+
+TEST(Log, TapSeesEveryLineRegardlessOfLevel) {
+  const LogLevel saved = Log::level();
+  Log::set_level(LogLevel::Off);
+  int lines = 0;
+  Log::set_tap([&](LogLevel, Time, std::string_view, std::string_view) {
+    ++lines;
+  });
+  EXPECT_TRUE(Log::has_tap());
+  EXPECT_TRUE(Log::enabled(LogLevel::Debug));  // tap forces line formatting
+
+  LogLine(LogLevel::Debug, ms(1), "unit") << "tapped";
+  Log::set_tap(nullptr);
+  Log::set_level(saved);
+  EXPECT_FALSE(Log::has_tap());
+  EXPECT_EQ(lines, 1);
+}
+
+TEST(Log, ParseLogLevelRecognisesTheDocumentedVocabulary) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level(""), LogLevel::Off);
+  // Unknown values are nullopt - the env reader warns instead of silently
+  // disabling the log.
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("DEBUG2").has_value());
 }
 
 TEST(TimeFormat, HumanReadable) {
