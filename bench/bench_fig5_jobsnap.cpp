@@ -40,6 +40,7 @@ void print_table(const bench::JobsnapReport& report) {
       "\npaper anchors: <1.5 s total at 512 daemons/4096 tasks; 2.92 s total "
       "(2.76 s in LaunchMON)\nat 1024 daemons/8192 tasks, with the last "
       "doubling super-linear due to the RM term.\n");
+  bench::print_gather_table(report.gather);
 }
 
 }  // namespace
@@ -67,5 +68,10 @@ int main(int argc, char** argv) {
   } else {
     print_table(report);
   }
-  return 0;
+  // Gate: every swept jobsnap point succeeded, and the upstream gather
+  // sweep holds its residual / rendezvous-wins-at-max claims.
+  const bool points_ok = std::all_of(report.points.begin(),
+                                     report.points.end(),
+                                     [](const auto& p) { return p.ok; });
+  return (points_ok && report.gather.gate_ok()) ? 0 : 1;
 }

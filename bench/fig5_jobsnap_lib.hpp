@@ -15,6 +15,7 @@
 
 #include "bench/ablation_rsh_lib.hpp"  // jsonv::num / json_shape
 #include "bench/bench_util.hpp"
+#include "bench/gather_sweep_lib.hpp"
 #include "tools/jobsnap/jobsnap_be.hpp"
 #include "tools/jobsnap/jobsnap_fe.hpp"
 
@@ -23,12 +24,17 @@ namespace lmon::bench {
 struct JobsnapOptions {
   std::vector<int> scales{16, 32, 64, 128, 256, 384, 512, 768, 1024};
   int tasks_per_daemon = 8;
+  /// Upstream-plane sweep riding along: jobsnap is gather-dominated
+  /// (snapshots flow up), so this bench carries the gather protocol sweep
+  /// over the topologies jobsnap-like fan-ins use.
+  GatherSweepOptions gather;
 
   /// Toy scale for smoke runs and the golden-schema test: the identical
   /// code path, seconds not minutes.
   static JobsnapOptions smoke() {
     JobsnapOptions o;
     o.scales = {16, 32};
+    o.gather = o.gather.smoke();
     return o;
   }
 };
@@ -45,6 +51,8 @@ struct JobsnapReport {
   int tasks_per_daemon = 1;
   std::vector<int> scales;
   std::vector<JobsnapPoint> points;
+  /// Upstream gather protocol sweep (model-gated; see gather_sweep_lib.hpp).
+  GatherSweepReport gather;
   /// Protocol counters accumulated over every swept point.
   obs::Metrics metrics;
 };
@@ -87,6 +95,7 @@ inline JobsnapReport run_jobsnap_sweep(const JobsnapOptions& opts) {
     report.points.push_back(
         run_jobsnap_point(n, opts.tasks_per_daemon, &report.metrics));
   }
+  report.gather = run_gather_sweep(opts.gather);
   // Seed the gauge table so the metrics block's shape is scale-independent
   // (an instrument-free sweep would otherwise emit an empty array).
   report.metrics.set_gauge("bench.points",
@@ -121,6 +130,7 @@ inline std::string to_json(const JobsnapReport& r) {
     out += "\n";
   }
   out += "  ],\n";
+  out += "  \"gather_sweep\": " + gather_sweep_json(r.gather, 2) + ",\n";
   out += "  \"metrics\": " + r.metrics.to_json(2) + "\n";
   out += "}\n";
   return out;

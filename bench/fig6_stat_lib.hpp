@@ -13,6 +13,7 @@
 
 #include "bench/ablation_rsh_lib.hpp"  // jsonv::num / json_shape
 #include "bench/bench_util.hpp"
+#include "bench/gather_sweep_lib.hpp"
 #include "tbon/comm_node.hpp"
 #include "tools/stat/stat_be.hpp"
 #include "tools/stat/stat_fe.hpp"
@@ -22,11 +23,23 @@ namespace lmon::bench {
 struct StatBenchOptions {
   std::vector<int> scales{4, 16, 64, 128, 256, 512};
   int tasks_per_daemon = 8;
+  /// Upstream-plane sweep riding along: STAT's sample is a fan-in of
+  /// packed prefix trees, so this bench carries the gather protocol sweep
+  /// over the narrow/wide/flat shapes STAT TBONs use (complementing fig5's
+  /// kary:4/binomial/flat grid).
+  GatherSweepOptions gather = [] {
+    GatherSweepOptions o;
+    o.topologies = {{comm::TopologyKind::KAry, 2},
+                    {comm::TopologyKind::KAry, 8},
+                    {comm::TopologyKind::Flat, 0}};
+    return o;
+  }();
 
   /// Toy scale for smoke runs and the golden-schema test.
   static StatBenchOptions smoke() {
     StatBenchOptions o;
     o.scales = {4, 16};
+    o.gather = o.gather.smoke();
     return o;
   }
 };
@@ -45,6 +58,8 @@ struct StatBenchReport {
   int tasks_per_daemon = 1;
   std::vector<int> scales;
   std::vector<StatBenchPoint> points;
+  /// Upstream gather protocol sweep (model-gated; see gather_sweep_lib.hpp).
+  GatherSweepReport gather;
   /// Protocol counters accumulated over every swept point.
   obs::Metrics metrics;
 };
@@ -118,6 +133,7 @@ inline StatBenchReport run_stat_sweep(const StatBenchOptions& opts) {
                                            tools::stat::StartupMode::LaunchMon,
                                            &report.metrics));
   }
+  report.gather = run_gather_sweep(opts.gather);
   // Seed the gauge table so the metrics block's shape is scale-independent.
   report.metrics.set_gauge("bench.points",
                            static_cast<double>(report.points.size()));
@@ -153,6 +169,7 @@ inline std::string to_json(const StatBenchReport& r) {
     out += "\n";
   }
   out += "  ],\n";
+  out += "  \"gather_sweep\": " + gather_sweep_json(r.gather, 2) + ",\n";
   out += "  \"metrics\": " + r.metrics.to_json(2) + "\n";
   out += "}\n";
   return out;

@@ -185,4 +185,48 @@ std::vector<std::pair<std::size_t, std::size_t>> split_contiguous(
   return chunks;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> split_weighted(
+    std::size_t count, const std::vector<double>& weights) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (count == 0 || weights.empty()) return chunks;
+  double total = 0;
+  for (double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0) {
+    // Degenerate weights: fall back to the near-equal split, padded with
+    // empty blocks so the result still has one entry per weight.
+    chunks = split_contiguous(count,
+                              static_cast<std::uint32_t>(weights.size()));
+    while (chunks.size() < weights.size()) chunks.emplace_back(count, 0);
+    return chunks;
+  }
+  // Largest-remainder apportionment: floor the ideal share, then hand the
+  // leftover items to the largest fractional parts (ties to the lower
+  // index) - deterministic and exact, no float-accumulation drift.
+  std::vector<std::size_t> len(weights.size(), 0);
+  std::vector<std::pair<double, std::size_t>> frac;
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0;
+    const double ideal = static_cast<double>(count) * w / total;
+    len[i] = static_cast<std::size_t>(ideal);
+    assigned += len[i];
+    frac.emplace_back(ideal - static_cast<double>(len[i]), i);
+  }
+  std::sort(frac.begin(), frac.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (std::size_t k = 0; assigned < count; ++k) {
+    len[frac[k % frac.size()].second] += 1;
+    assigned += 1;
+  }
+  chunks.reserve(weights.size());
+  std::size_t pos = 0;
+  for (std::size_t l : len) {
+    chunks.emplace_back(pos, l);
+    pos += l;
+  }
+  return chunks;
+}
+
 }  // namespace lmon::comm

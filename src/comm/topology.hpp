@@ -101,4 +101,15 @@ class Topology {
 [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
 split_contiguous(std::size_t count, std::uint32_t fanout);
 
+/// Capacity-weighted variant of split_contiguous(): splits `count` items
+/// into weights.size() contiguous blocks whose lengths are proportional to
+/// the weights (largest-remainder rounding, ties to the lower index, so the
+/// partition is deterministic). Zero/negative weights yield empty blocks;
+/// all-zero weights fall back to the near-equal split. Used by
+/// topology-aware daemon placement to hand a bigger back-end slice to
+/// attach points with more local capacity. Returns (begin, length) pairs,
+/// one per weight, in order; empty when count == 0 or weights is empty.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+split_weighted(std::size_t count, const std::vector<double>& weights);
+
 }  // namespace lmon::comm

@@ -203,16 +203,17 @@ void Iccl::on_fabric_message(const cluster::ChannelPtr& ch,
                frame->entries.empty() ? 0 : frame->entries.front().second.size());
   }
   // Per-message handling cost inside the daemon's collective layer. Eager
-  // payload frames (broadcast and scatter alike) additionally pay the
-  // bounce-buffer copy-out; rendezvous chunks retire a pre-registered
-  // zero-copy buffer instead, which is what makes the chunk path cheap
-  // per byte.
+  // payload frames (broadcast, scatter and whole-subtree gather-up alike)
+  // additionally pay the bounce-buffer copy-out; rendezvous chunks retire a
+  // pre-registered zero-copy buffer instead, which is what makes the chunk
+  // path cheap per byte in both directions.
   const auto& costs = self_.machine().costs();
   const Kind kind = static_cast<Kind>(frame->kind);
   sim::Time handle_cost = costs.iccl_msg_handle;
-  if (kind == Kind::RndvChunk) {
+  if (kind == Kind::RndvChunk || kind == Kind::GatherChunk) {
     handle_cost = costs.iccl_chunk_handle;
-  } else if (kind == Kind::Bcast || kind == Kind::Scatter) {
+  } else if (kind == Kind::Bcast || kind == Kind::Scatter ||
+             kind == Kind::GatherUp) {
     std::size_t payload_bytes = 0;
     for (const auto& [rank, data] : frame->entries) {
       payload_bytes += data.size();
@@ -233,7 +234,7 @@ void Iccl::on_fabric_message(const cluster::ChannelPtr& ch,
         }
         break;
       case Kind::GatherUp:
-        handle_gather_up(frame.tag, std::move(frame.entries));
+        handle_gather_up(frame.tag, frame.src, std::move(frame.entries));
         break;
       case Kind::Scatter:
         handle_scatter(frame.tag, std::move(frame.entries));
@@ -253,6 +254,21 @@ void Iccl::on_fabric_message(const cluster::ChannelPtr& ch,
           handle_rndv_chunk(frame.tag, frame.entries.front().first,
                             std::move(frame.entries.front().second));
         }
+        break;
+      case Kind::GatherRts:
+        handle_gather_rts(frame.tag, frame.src, std::move(frame.entries));
+        break;
+      case Kind::GatherCts:
+        handle_gather_cts(frame.tag);
+        break;
+      case Kind::GatherChunk:
+        if (!frame.entries.empty()) {
+          handle_gather_chunk(frame.tag, frame.entries.front().first,
+                              std::move(frame.entries.front().second));
+        }
+        break;
+      case Kind::GatherDrop:
+        handle_gather_drop(frame.tag, frame.entries);
         break;
     }
   });
@@ -529,13 +545,31 @@ void Iccl::on_child_lost(const cluster::ChannelPtr& ch) {
       ++it;
     }
   }
+  // Gather rounds: forgive the child's announce, and drop any of its
+  // announced origins whose payload did not finish arriving - surviving
+  // contributions must still be delivered.
+  for (auto it = gathers_.begin(); it != gathers_.end();) {
+    const std::uint32_t tag = it->first;
+    GatherState& st = it->second;
+    if (gather_forget_child(tag, st, *lost)) {
+      // May announce, forward an eager frame, deliver at the root, or
+      // retire a relay - all of which can erase the state.
+      flush_gather(tag);
+      gather_relay_maybe_done(tag);
+      it = gathers_.upper_bound(tag);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Iccl::GatherState& Iccl::gather_state(std::uint32_t tag) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end()) {
     GatherState st;
-    st.children_pending = static_cast<int>(expected_children_.size());
+    // Seed from the *live* children: a child that already died must not be
+    // waited for (its whole subtree's contributions are gone with it).
+    for (const auto& [rank, ch] : children_) st.children_pending.insert(rank);
     it = gathers_.emplace(tag, std::move(st)).first;
   }
   return it->second;
@@ -545,32 +579,340 @@ void Iccl::contribute(std::uint32_t tag, Bytes data) {
   GatherState& st = gather_state(tag);
   assert(!st.own_done && "one contribution per rank per gather round");
   st.own_done = true;
+  // Injected-once accounting: gather payload enters the fabric exactly here
+  // (relay hops count iccl.gather_bytes_relayed instead; see metrics.hpp).
+  self_.machine().count("iccl.gather_bytes_contributed",
+                        static_cast<double>(data.size()));
   st.acc.emplace_back(params_.rank, std::move(data));
   flush_gather(tag);
 }
 
 void Iccl::handle_gather_up(
-    std::uint32_t tag, std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+    std::uint32_t tag, std::uint32_t src,
+    std::vector<std::pair<std::uint32_t, Bytes>> entries) {
   GatherState& st = gather_state(tag);
-  st.children_pending -= 1;
+  st.children_pending.erase(src);
   for (auto& e : entries) st.acc.push_back(std::move(e));
   flush_gather(tag);
 }
 
+std::size_t Iccl::gather_subtree_bytes(const GatherState& st) const {
+  std::size_t total = 0;
+  for (const auto& [rank, data] : st.acc) total += data.size();
+  for (const auto& [origin, sz] : st.origin_bytes) total += sz;
+  return total;
+}
+
 void Iccl::flush_gather(std::uint32_t tag) {
-  GatherState& st = gather_state(tag);
-  if (!st.own_done || st.children_pending > 0) return;
-  std::sort(st.acc.begin(), st.acc.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  auto it = gathers_.find(tag);
+  if (it == gathers_.end()) return;
+  GatherState& st = it->second;
+  if (!st.own_done || !st.children_pending.empty()) return;
   if (is_root()) {
-    auto acc = std::move(st.acc);
-    gathers_.erase(tag);  // round complete; allow reuse of the tag
-    if (on_gather_) on_gather_(tag, std::move(acc));
+    gather_check_complete(tag);
     return;
   }
+  if (st.announced) return;  // rendezvous round already in flight
+  // Protocol decision on the *subtree total*: any rendezvous child implies
+  // the subtree already crossed the threshold (totals are monotone up the
+  // tree), so the eager branch only ever carries whole-entry accumulations.
+  if (!st.rndv_children.empty() ||
+      use_rendezvous(gather_subtree_bytes(st))) {
+    gather_announce(tag, st);
+    return;
+  }
+  std::sort(st.acc.begin(), st.acc.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   send_up(encode_frame(static_cast<std::uint8_t>(Kind::GatherUp), tag,
                        params_.rank, st.acc));
-  gathers_.erase(tag);
+  gathers_.erase(it);
+}
+
+// --- rendezvous gather (upstream RTS/CTS + cut-through chunk relay) ------
+
+void Iccl::gather_announce(std::uint32_t tag, GatherState& st) {
+  st.announced = true;
+  std::sort(st.acc.begin(), st.acc.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // RTS carries (origin, total bytes) for every origin in this subtree:
+  // the locally-held entries plus everything rendezvous children announced.
+  std::vector<std::pair<std::uint32_t, Bytes>> origins;
+  origins.reserve(st.acc.size() + st.origin_bytes.size());
+  for (const auto& [rank, data] : st.acc) {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(data.size()));
+    origins.emplace_back(rank, std::move(w).take());
+  }
+  for (const auto& [origin, sz] : st.origin_bytes) {
+    ByteWriter w;
+    w.u32(sz);
+    origins.emplace_back(origin, std::move(w).take());
+  }
+  std::sort(origins.begin(), origins.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  self_.machine().count("iccl.gather_rts_sent");
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    st.span = tracer->begin_span(
+        "iccl.gather_stream", "iccl", static_cast<int>(self_.node().id()),
+        self_.pid(), trace_parent(*tracer),
+        "tag=" + std::to_string(tag) +
+            " origins=" + std::to_string(origins.size()) + " bytes=" +
+            std::to_string(gather_subtree_bytes(st)));
+  }
+  send_up(encode_frame(static_cast<std::uint8_t>(Kind::GatherRts), tag,
+                       params_.rank, origins));
+}
+
+void Iccl::handle_gather_rts(
+    std::uint32_t tag, std::uint32_t src,
+    std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+  GatherState& st = gather_state(tag);
+  st.children_pending.erase(src);
+  st.rndv_children.insert(src);
+  std::set<std::uint32_t>& owned = st.child_origins[src];
+  for (const auto& [origin, blob] : entries) {
+    ByteReader r(blob);
+    const std::uint32_t sz = r.u32().value_or(0);
+    st.origin_bytes[origin] = sz;
+    st.origin_remaining[origin] = sz;
+    owned.insert(origin);
+  }
+  if (children_.count(src) == 0) {
+    // The announce was still in flight when the child's link died: the
+    // on_child_lost sweep found nothing to drop, and a CTS would go into a
+    // void. Drop the announced-but-unstreamed origins right now instead of
+    // waiting for chunks that can never arrive.
+    gather_forget_child(tag, st, src);
+    flush_gather(tag);
+    gather_relay_maybe_done(tag);
+    return;
+  }
+  if (is_root()) {
+    // The root is the sink: clear this child the moment its announce is
+    // processed (no upstream clearance to wait for). Interior nodes instead
+    // defer their children's CTS until their own arrives - that chain is
+    // the back-pressure that keeps a slow parent from being buried.
+    self_.machine().count("iccl.gather_cts_sent");
+    if (obs::Tracer* tracer = self_.machine().tracer();
+        tracer != nullptr && st.span == obs::kNoSpan) {
+      st.span = tracer->begin_span(
+          "iccl.gather_assemble", "iccl", static_cast<int>(self_.node().id()),
+          self_.pid(), trace_parent(*tracer), "tag=" + std::to_string(tag));
+    }
+    send_to_child(src, encode_frame(static_cast<std::uint8_t>(Kind::GatherCts),
+                                    tag, params_.rank, {}));
+  }
+  flush_gather(tag);
+}
+
+void Iccl::handle_gather_cts(std::uint32_t tag) {
+  auto it = gathers_.find(tag);
+  if (it == gathers_.end()) return;
+  GatherState& st = it->second;
+  if (!st.announced || st.streaming) return;
+  st.streaming = true;
+  // Clear own rendezvous children (ascending rank; CTS frames are ordinary
+  // staggered sends). All children announced before this node did, so the
+  // set is final.
+  const sim::Time quantum = self_.machine().costs().iccl_msg_handle;
+  int k = 0;
+  for (std::uint32_t child : st.rndv_children) {
+    self_.machine().count("iccl.gather_cts_sent");
+    self_.post(static_cast<sim::Time>(k++) * quantum, [this, child, tag] {
+      send_to_child(child,
+                    encode_frame(static_cast<std::uint8_t>(Kind::GatherCts),
+                                 tag, params_.rank, {}));
+    });
+  }
+  // Queue the locally-held entries as chunks (rank order); relayed chunks
+  // join the queue behind them as they trickle in.
+  const std::uint32_t chunk = self_.machine().costs().iccl_rndv_chunk_bytes;
+  for (auto& [rank, data] : st.acc) {
+    const auto total = static_cast<std::uint32_t>(data.size());
+    for (std::uint32_t begin = 0; begin < total; begin += chunk) {
+      const std::uint32_t len = std::min(chunk, total - begin);
+      st.outq.emplace_back(
+          rank, std::make_shared<const Bytes>(
+                    data.begin() + static_cast<std::ptrdiff_t>(begin),
+                    data.begin() + static_cast<std::ptrdiff_t>(begin + len)));
+    }
+  }
+  st.acc.clear();
+  gather_flush(tag, st);
+  gather_relay_maybe_done(tag);
+}
+
+void Iccl::gather_flush(std::uint32_t tag, GatherState& st) {
+  if (!st.streaming) return;
+  // Serialized chunk posts, same cursor discipline as the downstream
+  // rendezvous: each send occupies the CPU for one chunk-handle quantum and
+  // goes out of a registered buffer (no per-byte copy).
+  const sim::Time occ = self_.machine().costs().iccl_chunk_handle;
+  const sim::Time now = self_.sim().now();
+  while (st.next_out < st.outq.size()) {
+    auto& [origin, chunk] = st.outq[st.next_out++];
+    const sim::Time depart = std::max(st.cursor, now);
+    self_.post(depart - now,
+               [this, tag, origin = origin, chunk = std::move(chunk)] {
+                 send_up(encode_frame(
+                     static_cast<std::uint8_t>(Kind::GatherChunk), tag,
+                     params_.rank, {{origin, *chunk}}));
+               });
+    st.cursor = depart + occ;
+  }
+}
+
+void Iccl::handle_gather_chunk(std::uint32_t tag, std::uint32_t origin,
+                               Bytes data) {
+  auto it = gathers_.find(tag);
+  if (it == gathers_.end()) return;  // round retired (late chunk after drop)
+  GatherState& st = it->second;
+  if (st.dropped.count(origin) != 0) return;
+  self_.machine().count("iccl.gather_chunks_received");
+  if (is_root()) {
+    Bytes& buf = st.assembling[origin];
+    buf.insert(buf.end(), data.begin(), data.end());
+    gather_check_complete(tag);
+    return;
+  }
+  // Cut-through relay: forward the chunk as-is instead of assembling the
+  // child's contribution. These bytes were already counted as contributed
+  // at their origin; here they count only as relay traffic.
+  self_.machine().count("iccl.gather_chunks_relayed");
+  self_.machine().count("iccl.gather_bytes_relayed",
+                        static_cast<double>(data.size()));
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    tracer->instant("iccl.gather_chunk_relay", "iccl",
+                    static_cast<int>(self_.node().id()), self_.pid(), st.span,
+                    "tag=" + std::to_string(tag) +
+                        " origin=" + std::to_string(origin) +
+                        " bytes=" + std::to_string(data.size()));
+  }
+  auto rem = st.origin_remaining.find(origin);
+  if (rem != st.origin_remaining.end()) {
+    rem->second -= std::min(rem->second,
+                            static_cast<std::uint32_t>(data.size()));
+  }
+  st.outq.emplace_back(origin,
+                       std::make_shared<const Bytes>(std::move(data)));
+  gather_flush(tag, st);
+  gather_relay_maybe_done(tag);
+}
+
+void Iccl::gather_check_complete(std::uint32_t tag) {
+  auto it = gathers_.find(tag);
+  if (it == gathers_.end() || !is_root()) return;
+  GatherState& st = it->second;
+  if (!st.own_done || !st.children_pending.empty()) return;
+  for (const auto& [origin, sz] : st.origin_bytes) {
+    if (st.dropped.count(origin) != 0) continue;
+    auto a = st.assembling.find(origin);
+    const std::size_t got = a == st.assembling.end() ? 0 : a->second.size();
+    if (got != sz) return;
+  }
+  std::vector<std::pair<std::uint32_t, Bytes>> out = std::move(st.acc);
+  for (auto& [origin, bytes] : st.assembling) {
+    if (st.dropped.count(origin) == 0) out.emplace_back(origin,
+                                                        std::move(bytes));
+  }
+  for (const auto& [origin, sz] : st.origin_bytes) {
+    // Zero-byte origins stream nothing; they still contributed.
+    if (sz == 0 && st.dropped.count(origin) == 0) out.emplace_back(origin,
+                                                                   Bytes{});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    tracer->end_span(st.span, "entries=" + std::to_string(out.size()));
+  }
+  gathers_.erase(it);  // round complete; allow reuse of the tag
+  if (on_gather_) on_gather_(tag, std::move(out));
+}
+
+void Iccl::gather_relay_maybe_done(std::uint32_t tag) {
+  auto it = gathers_.find(tag);
+  if (it == gathers_.end() || is_root()) return;
+  GatherState& st = it->second;
+  if (!st.announced || !st.streaming) return;
+  for (const auto& [origin, remaining] : st.origin_remaining) {
+    if (remaining > 0 && st.dropped.count(origin) == 0) return;
+  }
+  // Everything this subtree announced is scheduled (posted sends keep their
+  // own chunk refs); the round state can retire.
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    tracer->end_span(st.span);
+  }
+  gathers_.erase(it);
+}
+
+bool Iccl::gather_forget_child(std::uint32_t tag, GatherState& st,
+                               std::uint32_t child) {
+  bool touched = st.children_pending.erase(child) > 0;
+  if (st.rndv_children.erase(child) > 0) {
+    touched = true;
+    auto co = st.child_origins.find(child);
+    if (co != st.child_origins.end()) {
+      for (std::uint32_t origin : co->second) {
+        bool complete = false;
+        if (is_root()) {
+          auto a = st.assembling.find(origin);
+          const std::size_t got =
+              a == st.assembling.end() ? 0 : a->second.size();
+          complete = got == st.origin_bytes[origin];
+        } else {
+          auto rem = st.origin_remaining.find(origin);
+          complete = rem == st.origin_remaining.end() || rem->second == 0;
+        }
+        if (!complete) gather_drop_origin(tag, st, origin);
+      }
+      st.child_origins.erase(co);
+    }
+  }
+  return touched;
+}
+
+void Iccl::gather_drop_origin(std::uint32_t tag, GatherState& st,
+                              std::uint32_t origin) {
+  if (!st.dropped.insert(origin).second) return;
+  self_.machine().count("iccl.gather_drops");
+  self_.machine().flight_record(self_.pid(), "iccl",
+                                "gather tag " + std::to_string(tag) +
+                                    " dropped origin " +
+                                    std::to_string(origin));
+  if (is_root()) {
+    st.assembling.erase(origin);
+    return;
+  }
+  if (st.announced) {
+    // Parent knows about this origin; retract it. The drop frame may
+    // overtake chunks still queued behind the cursor - receivers ignore
+    // chunks for dropped origins, so the race is benign.
+    auto rem = st.origin_remaining.find(origin);
+    if (rem != st.origin_remaining.end()) rem->second = 0;
+    send_up(encode_frame(static_cast<std::uint8_t>(Kind::GatherDrop), tag,
+                         params_.rank, {{origin, Bytes{}}}));
+  } else {
+    // Not yet announced: the parent never heard of the origin; just forget
+    // it so the eventual RTS excludes it.
+    st.origin_bytes.erase(origin);
+    st.origin_remaining.erase(origin);
+  }
+}
+
+void Iccl::handle_gather_drop(
+    std::uint32_t tag,
+    const std::vector<std::pair<std::uint32_t, Bytes>>& entries) {
+  auto it = gathers_.find(tag);
+  if (it == gathers_.end()) return;
+  GatherState& st = it->second;
+  for (const auto& [origin, unused] : entries) {
+    gather_drop_origin(tag, st, origin);
+  }
+  if (is_root()) {
+    gather_check_complete(tag);
+  } else {
+    gather_relay_maybe_done(tag);
+  }
 }
 
 void Iccl::scatter(std::uint32_t tag, std::vector<Bytes> parts) {

@@ -49,6 +49,14 @@ class Iccl {
     RndvRts,       ///< parent -> child: {tag, nchunks, total bytes}
     RndvCts,       ///< child -> parent: {tag} (clear to stream)
     RndvChunk,     ///< parent -> child: {tag, seq, chunk bytes}
+    // Upstream (gather) rendezvous: the mirror of RndvRts/Cts/Chunk, but
+    // per *origin rank* instead of per chunk sequence - a parent cut-through
+    // relays a child's chunks without assembling them, so per-origin order
+    // is preserved by channel FIFO + in-order relay, and no seq is needed.
+    GatherRts,    ///< child -> parent: {tag, [(origin, total bytes)...]}
+    GatherCts,    ///< parent -> child: {tag} (clear to stream upward)
+    GatherChunk,  ///< child -> parent: {tag, origin, chunk bytes}
+    GatherDrop,   ///< child -> parent: {tag, [(origin, {})...]} origin died
   };
 
   /// Parses the RM-provided "--lmon-*" daemon argv. `self_host` enables the
@@ -125,10 +133,41 @@ class Iccl {
                                                std::uint32_t fanout);
 
  private:
+  /// One gather round (keyed by tag). Small rounds run eager: each node
+  /// waits for every child's whole-subtree GatherUp frame, appends its own
+  /// contribution and forwards one combined frame. Rounds whose *subtree
+  /// total* reaches the rendezvous threshold announce per-origin sizes
+  /// upward (GatherRts), wait for clearance (GatherCts - the upstream flow
+  /// control: a slow parent simply withholds the CTS and its children stay
+  /// quiet instead of burying it in buffered payload), then stream 64 KiB
+  /// GatherChunk frames. Interior nodes cut-through relay each chunk as it
+  /// arrives - they never assemble a child's contribution, so per-level
+  /// memory stays O(chunk), not O(payload).
   struct GatherState {
     bool own_done = false;
-    int children_pending = 0;
+    /// Children whose announce (eager GatherUp or GatherRts) is still
+    /// outstanding. A set (not a count) so a dying child can be forgiven.
+    std::set<std::uint32_t> children_pending;
+    /// Entries held whole on this node: own contribution + eager children.
     std::vector<std::pair<std::uint32_t, Bytes>> acc;
+    // --- rendezvous upstream state ---------------------------------------
+    bool announced = false;  ///< GatherRts sent up (non-root only)
+    bool streaming = false;  ///< own GatherCts processed; chunks may flow
+    std::set<std::uint32_t> rndv_children;  ///< children that sent RTS
+    /// Announced origin -> total bytes (origins owned by rndv children).
+    std::map<std::uint32_t, std::uint32_t> origin_bytes;
+    /// Rendezvous child -> the origins its RTS announced (for drops).
+    std::map<std::uint32_t, std::set<std::uint32_t>> child_origins;
+    std::map<std::uint32_t, Bytes> assembling;  ///< root only: per origin
+    /// Relay only: bytes of each announced origin not yet relayed.
+    std::map<std::uint32_t, std::uint32_t> origin_remaining;
+    std::set<std::uint32_t> dropped;  ///< origins lost mid-stream
+    /// Chunk send queue through the serialized cursor; entries release
+    /// their buffer once scheduled (the posted send keeps its own ref).
+    std::vector<std::pair<std::uint32_t, std::shared_ptr<const Bytes>>> outq;
+    std::size_t next_out = 0;
+    sim::Time cursor = 0;  ///< serialized send occupancy (absolute time)
+    obs::SpanId span = obs::kNoSpan;
   };
 
   /// Sender side of one rendezvous broadcast round: RTS is out, chunks
@@ -160,12 +199,41 @@ class Iccl {
   void handle_register(const cluster::ChannelPtr& ch, std::uint32_t rank);
   void handle_setup_up();
   void handle_bcast(std::uint32_t tag, Bytes data);
-  void handle_gather_up(std::uint32_t tag,
+  void handle_gather_up(std::uint32_t tag, std::uint32_t src,
                         std::vector<std::pair<std::uint32_t, Bytes>> entries);
   void handle_scatter(std::uint32_t tag,
                       std::vector<std::pair<std::uint32_t, Bytes>> entries);
   void maybe_subtree_ready();
   void flush_gather(std::uint32_t tag);
+  // --- rendezvous gather (upstream data plane) ----------------------------
+  /// Sum of all payload bytes this node's subtree contributes this round.
+  [[nodiscard]] std::size_t gather_subtree_bytes(const GatherState& st) const;
+  /// Announce per-origin sizes upward (GatherRts); the round then waits for
+  /// the parent's GatherCts before any payload moves.
+  void gather_announce(std::uint32_t tag, GatherState& st);
+  void handle_gather_rts(std::uint32_t tag, std::uint32_t src,
+                         std::vector<std::pair<std::uint32_t, Bytes>> entries);
+  void handle_gather_cts(std::uint32_t tag);
+  void handle_gather_chunk(std::uint32_t tag, std::uint32_t origin,
+                           Bytes data);
+  void handle_gather_drop(std::uint32_t tag,
+                          const std::vector<std::pair<std::uint32_t, Bytes>>&
+                              entries);
+  /// Streams every queued-but-unsent gather chunk through the cursor.
+  void gather_flush(std::uint32_t tag, GatherState& st);
+  /// Root: delivers the round once every announced origin is complete or
+  /// dropped. No-op elsewhere or while contributions are outstanding.
+  void gather_check_complete(std::uint32_t tag);
+  /// Relay: retires the round once all announced bytes were forwarded.
+  void gather_relay_maybe_done(std::uint32_t tag);
+  /// Marks an origin as lost mid-round (propagates GatherDrop upward).
+  void gather_drop_origin(std::uint32_t tag, GatherState& st,
+                          std::uint32_t origin);
+  /// Forgets a dead child's stake in one gather round: stops waiting for its
+  /// announce and drops every announced origin whose payload never finished.
+  /// Returns true if the round referenced the child at all.
+  bool gather_forget_child(std::uint32_t tag, GatherState& st,
+                           std::uint32_t child);
   void send_up(cluster::Message m);
   void send_to_child(std::uint32_t child_rank, cluster::Message m);
   GatherState& gather_state(std::uint32_t tag);

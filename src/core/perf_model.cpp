@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -337,6 +338,45 @@ sim::Time scaled_per_kb(sim::Time per_kb, double bytes) {
                                 1024.0);
 }
 
+/// Shared probe geometry for the protocol-crossover solvers: both latency
+/// curves are affine within a chunk segment, so probing both endpoints of
+/// every segment up to max_payload finds the last eager win exactly, and
+/// the zero crossing interpolates in closed form. `gap` is eager minus
+/// rendezvous at a payload.
+std::optional<std::size_t> crossover_from_gap(
+    std::size_t chunk_bytes, std::size_t max_payload,
+    const std::function<double(std::size_t)>& gap) {
+  constexpr std::size_t kMin = 1024;
+  if (max_payload < kMin) return std::nullopt;
+  const std::size_t C = chunk_bytes;
+  std::vector<std::size_t> probes{kMin};
+  for (std::size_t m = kMin / C;; ++m) {
+    const std::size_t begin = m * C + 1;
+    if (begin > max_payload) break;
+    const std::size_t end = (m + 1) * C;
+    if (begin > kMin) probes.push_back(begin);
+    if (end > kMin && end <= max_payload) probes.push_back(end);
+  }
+  if (probes.back() != max_payload) probes.push_back(max_payload);
+
+  std::vector<double> f(probes.size());
+  std::ptrdiff_t last_loss = -1;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    f[i] = gap(probes[i]);
+    if (f[i] <= 0.0) last_loss = static_cast<std::ptrdiff_t>(i);
+  }
+  if (last_loss < 0) return kMin;  // cheaper from the smallest payload on
+  if (last_loss + 1 == static_cast<std::ptrdiff_t>(probes.size())) {
+    return std::nullopt;  // eager still wins at max_payload
+  }
+  const auto i = static_cast<std::size_t>(last_loss);
+  const double p0 = static_cast<double>(probes[i]);
+  const double p1 = static_cast<double>(probes[i + 1]);
+  if (f[i + 1] - f[i] <= 0.0) return probes[i + 1];
+  const double s = p0 + (0.0 - f[i]) * (p1 - p0) / (f[i + 1] - f[i]);
+  return static_cast<std::size_t>(std::llround(s));
+}
+
 }  // namespace
 
 double PerfModel::collective_bcast(CollectiveProtocol proto,
@@ -434,45 +474,168 @@ double PerfModel::collective_bcast(CollectiveProtocol proto,
 std::optional<std::size_t> PerfModel::collective_crossover(
     const comm::TopologySpec& spec, int n, std::size_t max_payload) const {
   // Definition: the smallest payload above which rendezvous never loses
-  // again in [1 KiB, max_payload]. The eager-minus-rendezvous gap is
-  // piecewise-affine in the payload and only dips where the chunk count
-  // steps up, so probing both endpoints of every chunk segment finds the
-  // last eager win exactly, and the zero crossing interpolates in closed
-  // form. bench_ablation_iccl measures the same definition on the same
-  // probe geometry.
-  constexpr std::size_t kMin = 1024;
-  if (max_payload < kMin) return std::nullopt;
-  const std::size_t C = costs_.iccl_rndv_chunk_bytes;
-  auto gap = [&](std::size_t s) {
-    return collective_bcast(CollectiveProtocol::Eager, spec, n, s) -
-           collective_bcast(CollectiveProtocol::Rendezvous, spec, n, s);
-  };
-  std::vector<std::size_t> probes{kMin};
-  for (std::size_t m = kMin / C;; ++m) {
-    const std::size_t begin = m * C + 1;
-    if (begin > max_payload) break;
-    const std::size_t end = (m + 1) * C;
-    if (begin > kMin) probes.push_back(begin);
-    if (end > kMin && end <= max_payload) probes.push_back(end);
-  }
-  if (probes.back() != max_payload) probes.push_back(max_payload);
+  // again in [1 KiB, max_payload]; see crossover_from_gap for the segment
+  // probe geometry. bench_ablation_iccl measures the same definition on
+  // the same probe geometry.
+  return crossover_from_gap(
+      costs_.iccl_rndv_chunk_bytes, max_payload, [&](std::size_t s) {
+        return collective_bcast(CollectiveProtocol::Eager, spec, n, s) -
+               collective_bcast(CollectiveProtocol::Rendezvous, spec, n, s);
+      });
+}
 
-  std::vector<double> f(probes.size());
-  std::ptrdiff_t last_loss = -1;
-  for (std::size_t i = 0; i < probes.size(); ++i) {
-    f[i] = gap(probes[i]);
-    if (f[i] <= 0.0) last_loss = static_cast<std::ptrdiff_t>(i);
+double PerfModel::collective_gather(CollectiveProtocol proto,
+                                    const comm::TopologySpec& spec, int n,
+                                    std::size_t payload_bytes) const {
+  if (n <= 1) return 0.0;
+  comm::TopologySpec resolved = spec;
+  if (resolved.kind == comm::TopologyKind::KAry && resolved.arity == 0) {
+    resolved.arity = static_cast<std::uint32_t>(costs_.rm_launch_fanout);
   }
-  if (last_loss < 0) return kMin;  // cheaper from the smallest payload on
-  if (last_loss + 1 == static_cast<std::ptrdiff_t>(probes.size())) {
-    return std::nullopt;  // eager still wins at max_payload
+  const comm::Topology topo(resolved, static_cast<std::uint32_t>(n));
+  const sim::Time L = costs_.net_latency;
+  const sim::Time h = costs_.iccl_msg_handle;
+  const double bw = costs_.bandwidth_bytes_per_sec;
+  auto wire = [&](double bytes) {
+    return L + static_cast<sim::Time>(bytes / bw * 1e9);
+  };
+  const double S = static_cast<double>(payload_bytes);
+  const auto nn = static_cast<std::uint32_t>(n);
+
+  // Release wave: the root broadcasts an empty go frame (eager; 21 wire
+  // bytes, handle-only quanta); rank r's contribution is issued the moment
+  // its release frame is processed. A[0] = 0: the root issues the release
+  // and contributes in the same event.
+  std::vector<sim::Time> A(nn, 0);
+  {
+    const sim::Time frame_wire = wire(kFrameBytes + kEntryBytes);
+    for (std::uint32_t r = 0; r < nn; ++r) {
+      const auto children = topo.children_of(r);
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        A[children[i]] = A[r] + static_cast<sim::Time>(i) * h + frame_wire + h;
+      }
+    }
   }
-  const auto i = static_cast<std::size_t>(last_loss);
-  const double p0 = static_cast<double>(probes[i]);
-  const double p1 = static_cast<double>(probes[i + 1]);
-  if (f[i + 1] - f[i] <= 0.0) return probes[i + 1];
-  const double s = p0 + (0.0 - f[i]) * (p1 - p0) / (f[i + 1] - f[i]);
-  return static_cast<std::size_t>(std::llround(s));
+  // Subtree sizes (parent < child in every fabric family).
+  std::vector<std::uint32_t> sz(nn, 1);
+  for (std::uint32_t r = nn - 1; r >= 1; --r) {
+    sz[*topo.parent_of(r)] += sz[r];
+  }
+
+  if (proto == CollectiveProtocol::Eager || payload_bytes == 0) {
+    // Store-and-forward: each node waits for every child's whole-subtree
+    // GatherUp, then forwards one combined frame; the receiver pays the
+    // handle plus the bounce-buffer copy-out of the full frame payload.
+    std::vector<sim::Time> U(nn, 0);
+    for (std::uint32_t r = nn; r-- > 0;) {
+      sim::Time t = A[r];
+      for (std::uint32_t c : topo.children_of(r)) {
+        const double entry_bytes =
+            static_cast<double>(sz[c]) * (kEntryBytes + S);
+        const sim::Time processed =
+            U[c] + wire(kFrameBytes + entry_bytes) + h +
+            scaled_per_kb(costs_.iccl_eager_copy_per_kb,
+                          static_cast<double>(sz[c]) * S);
+        t = std::max(t, processed);
+      }
+      U[r] = t;
+    }
+    return seconds(U[0]);
+  }
+
+  // Rendezvous: announce wave up (GatherRts, one 12-byte origin record per
+  // subtree rank), per-child CTS clearances gated on the parent's own
+  // clearance (the flow-control chain), then chunks stream through each
+  // node's serialized cursor with cut-through relay.
+  const std::uint32_t C = costs_.iccl_rndv_chunk_bytes;
+  const sim::Time c_h = costs_.iccl_chunk_handle;
+  const sim::Time cts_wire = wire(kFrameBytes);
+
+  // R[r]: rank r's announce time; rts_arr[c]: c's RTS arrival at its parent.
+  std::vector<sim::Time> R(nn, 0);
+  std::vector<sim::Time> rts_arr(nn, 0);
+  for (std::uint32_t r = nn; r-- > 0;) {
+    sim::Time t = A[r];
+    for (std::uint32_t c : topo.children_of(r)) {
+      rts_arr[c] = R[c] + wire(kFrameBytes + 12.0 * sz[c]);
+      t = std::max(t, rts_arr[c] + h);
+    }
+    R[r] = t;  // at the root: last announce processed (>= own contribute)
+  }
+  // G[c]: time child c's clearance (GatherCts) is processed at c. The root
+  // clears each child the moment its RTS is processed; an interior node
+  // clears its children (ascending rank, staggered handle quanta) only
+  // after its own clearance arrives.
+  std::vector<sim::Time> G(nn, 0);
+  for (std::uint32_t r = 0; r < nn; ++r) {
+    const auto children = topo.children_of(r);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const sim::Time depart =
+          r == 0 ? rts_arr[children[i]] + h
+                 : G[r] + static_cast<sim::Time>(i) * h;
+      G[children[i]] = depart + cts_wire + h;
+    }
+  }
+  // Chunk pattern of one per-rank contribution.
+  const auto m = static_cast<std::uint32_t>((payload_bytes + C - 1) / C);
+  auto chunk_size = [&](std::uint32_t j) {
+    return j + 1 == m ? S - static_cast<double>(j) * C
+                      : static_cast<double>(C);
+  };
+  // sched[r]: rank r's upstream chunk departures (time, bytes), built
+  // children-first so relays merge their children's processed chunks with
+  // their own (enqueued all at once at G[r]) through the cursor.
+  std::vector<std::vector<std::pair<sim::Time, double>>> sched(nn);
+  for (std::uint32_t r = nn; r-- > 1;) {
+    std::vector<std::pair<sim::Time, double>> ready;
+    ready.reserve(m + 1);
+    for (std::uint32_t j = 0; j < m; ++j) {
+      ready.emplace_back(G[r], chunk_size(j));
+    }
+    for (std::uint32_t c : topo.children_of(r)) {
+      sim::Time last_arrival = rts_arr[c];
+      for (const auto& [dep, bytes] : sched[c]) {
+        sim::Time arr = dep + wire(kFrameBytes + kEntryBytes + bytes);
+        if (arr <= last_arrival) arr = last_arrival + 1;  // FIFO
+        last_arrival = arr;
+        ready.emplace_back(arr + c_h, bytes);
+      }
+    }
+    std::stable_sort(ready.begin(), ready.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    auto& out = sched[r];
+    out.reserve(ready.size());
+    sim::Time cursor = 0;
+    for (const auto& [t, bytes] : ready) {
+      const sim::Time depart = std::max(cursor, t);
+      out.emplace_back(depart, bytes);
+      cursor = depart + c_h;
+    }
+  }
+  // Root delivery: own contribution and every announce processed (R[0]),
+  // plus the last chunk of every child stream processed.
+  sim::Time done = R[0];
+  for (std::uint32_t c : topo.children_of(0)) {
+    sim::Time last_arrival = rts_arr[c];
+    for (const auto& [dep, bytes] : sched[c]) {
+      sim::Time arr = dep + wire(kFrameBytes + kEntryBytes + bytes);
+      if (arr <= last_arrival) arr = last_arrival + 1;  // FIFO
+      last_arrival = arr;
+      done = std::max(done, arr + c_h);
+    }
+  }
+  return seconds(done);
+}
+
+std::optional<std::size_t> PerfModel::collective_gather_crossover(
+    const comm::TopologySpec& spec, int n, std::size_t max_payload) const {
+  return crossover_from_gap(
+      costs_.iccl_rndv_chunk_bytes, max_payload, [&](std::size_t s) {
+        return collective_gather(CollectiveProtocol::Eager, spec, n, s) -
+               collective_gather(CollectiveProtocol::Rendezvous, spec, n, s);
+      });
 }
 
 std::optional<int> PerfModel::crossover(

@@ -153,6 +153,30 @@ class PerfModel {
       const comm::TopologySpec& spec, int n,
       std::size_t max_payload = 16u << 20) const;
 
+  /// Fleet-wide gather latency (seconds) for `payload_bytes` contributed
+  /// *per rank* over an n-rank fabric of shape `spec` under `proto`,
+  /// measured the way the fig5/fig6 gather sweeps measure it: t=0 is the
+  /// root issuing an empty release broadcast (the go signal that sequences
+  /// bench rounds), each rank contributes the moment its release lands, and
+  /// the clock stops when the root delivers the sorted contributions.
+  /// Exact per-rank replay of the Iccl upstream schedule: eager replays the
+  /// whole-subtree GatherUp frames with their receive-side copy-out;
+  /// rendezvous replays the GatherRts announce wave, the per-child CTS
+  /// clearances and every node's serialized chunk cursor with cut-through
+  /// relay and per-channel FIFO. O(n * chunks * depth) per call.
+  [[nodiscard]] double collective_gather(CollectiveProtocol proto,
+                                         const comm::TopologySpec& spec,
+                                         int n,
+                                         std::size_t payload_bytes) const;
+
+  /// Gather twin of collective_crossover(): smallest *per-rank* payload in
+  /// [1 KiB, max_payload] from which the rendezvous gather never loses to
+  /// eager again on this fabric, nullopt when eager still wins at max.
+  /// Same chunk-segment probe geometry and closed-form interpolation.
+  [[nodiscard]] std::optional<std::size_t> collective_gather_crossover(
+      const comm::TopologySpec& spec, int n,
+      std::size_t max_payload = 16u << 20) const;
+
  private:
   [[nodiscard]] double seconds(sim::Time t) const {
     return sim::to_seconds(t);

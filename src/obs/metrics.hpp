@@ -12,6 +12,37 @@
 // no cost charges. Instruments are named hierarchically
 // ("net.link.a->b.bytes"); emission is sorted by name, so output is
 // deterministic.
+//
+// Counting disciplines (double-count audit). Multi-hop fabrics make it easy
+// to count one payload once per hop and then read the total as traffic
+// volume. Every counter below picks exactly one discipline, and new
+// instruments must declare theirs:
+//
+// - Injected-once: incremented at the instant a payload *enters* the plane,
+//   never on relay. "iccl.gather_bytes_contributed" counts each rank's
+//   contribution exactly once (at Iccl::contribute); summed over the fleet
+//   it equals the application-level gather size regardless of tree depth.
+// - Per-hop: incremented at every traversal, so the value scales with tree
+//   depth by design. "iccl.gather_bytes_relayed"/"iccl.gather_chunks_relayed"
+//   count cut-through forwarding work at interior ranks;
+//   "net.bytes_total"/"net.link.*" count wire traffic per link. Per-hop ÷
+//   injected-once is the fabric's effective relay amplification.
+// - Per-endpoint-event: incremented once per protocol event at one endpoint
+//   ("iccl.gather_rts_sent" at the announcer, "iccl.gather_cts_sent" at the
+//   clearer, "iccl.gather_chunks_received" at every receiver - the receive
+//   side of the per-hop pair, root assembly included).
+//   "tbon.up_parts"/"tbon.up_part_bytes" count UpPart packets where they
+//   are *received*; an interior fold rewrites the payload before any
+//   re-flush, so there is no injected-once byte identity to preserve - the
+//   pair measures partial-aggregate traffic into endpoints, while
+//   "tbon.part_flushes" tallies the early-flush decisions at senders.
+// - Occurrence: plain event tallies with no byte meaning
+//   ("iccl.gather_drops", "iccl.children_lost", "tbon.part_flushes",
+//   "tbon.rounds_reduced").
+//
+// Thus "bytes a gather moved end-to-end" is gather_bytes_contributed, and
+// "bytes the fabric worked to move it" is contributed + relayed; adding
+// received-side byte counters on top of these would double-count.
 #pragma once
 
 #include <cstdint>

@@ -15,6 +15,7 @@ const char* packet_kind_name(PacketKind kind) {
     case PacketKind::NewStream: return "new_stream";
     case PacketKind::Down: return "down";
     case PacketKind::Up: return "up";
+    case PacketKind::UpPart: return "up_part";
   }
   return "?";
 }
@@ -133,7 +134,14 @@ void TbonEndpoint::on_packet(const cluster::ChannelPtr& ch,
                         " tag=" + std::to_string(packet->tag) +
                         " from=" + std::to_string(packet->node_index));
   }
-  self_.post(self_.machine().costs().iccl_msg_handle,
+  // Partial contributions ride the cheap chunk-handling path: they are
+  // fixed-size and headerless, so receive cost mirrors an ICCL chunk, not
+  // a full message unpack.
+  const auto& costs = self_.machine().costs();
+  const sim::Time handle_cost = packet->kind == PacketKind::UpPart
+                                    ? costs.iccl_chunk_handle
+                                    : costs.iccl_msg_handle;
+  self_.post(handle_cost,
              [this, ch, p = std::move(*packet)]() mutable {
                switch (p.kind) {
                  case PacketKind::Hello:
@@ -148,6 +156,9 @@ void TbonEndpoint::on_packet(const cluster::ChannelPtr& ch,
                    break;
                  case PacketKind::Up:
                    handle_up(p.node_index, std::move(p));
+                   break;
+                 case PacketKind::UpPart:
+                   handle_up_part(p.node_index, std::move(p));
                    break;
                }
              });
@@ -267,30 +278,118 @@ void TbonEndpoint::send_up(std::uint32_t stream, std::uint32_t tag,
   if (parent_ != nullptr) {
     self_.send(parent_, p.encode());
   } else if (is_root() && cbs_.on_up) {
-    cbs_.on_up(stream, tag, p.data, p.ranks);
+    // Degenerate rootless-parent delivery: fold any locally buffered parts
+    // (send_up_part on a single-node overlay) before handing to the FE.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(stream) << 32) | tag;
+    auto it = rounds_.find(key);
+    if (it != rounds_.end() && it->second.acc_valid) {
+      fold_into_round(it->second, stream, std::move(p.data));
+      const Bytes reduced = std::move(it->second.acc);
+      rounds_.erase(it);
+      cbs_.on_up(stream, tag, reduced, p.ranks);
+    } else {
+      cbs_.on_up(stream, tag, p.data, p.ranks);
+    }
   }
 }
 
-void TbonEndpoint::handle_up(int child_index, Packet p) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(p.stream) << 32) | p.tag;
+void TbonEndpoint::send_up_part(std::uint32_t stream, std::uint32_t tag,
+                                Bytes data) {
+  const TopoNode& me = topo_.nodes()[static_cast<std::size_t>(my_index_)];
+  Packet p;
+  p.kind = PacketKind::UpPart;
+  p.stream = stream;
+  p.tag = tag;
+  p.node_index = my_index_;
+  // Parts carry no ranks: coverage accounting stays on the final Up.
+  p.data = me.is_backend &&
+                   FilterRegistry::instance().framed(filter_of(stream))
+               ? wrap_leaf_payload(data)
+               : std::move(data);
+  if (parent_ != nullptr) {
+    self_.send(parent_, p.encode());
+  } else if (is_root()) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(stream) << 32) | tag;
+    fold_into_round(round_for(key), stream, std::move(p.data));
+  }
+}
+
+TbonEndpoint::Round& TbonEndpoint::round_for(std::uint64_t key) {
   auto it = rounds_.find(key);
   if (it == rounds_.end()) {
     Round round;
     for (int c : expected_children_) round.pending_children.insert(c);
     it = rounds_.emplace(key, std::move(round)).first;
   }
-  Round& round = it->second;
-  round.pending_children.erase(child_index);
-  round.payloads.push_back(std::move(p.data));
-  round.ranks.insert(round.ranks.end(), p.ranks.begin(), p.ranks.end());
-  if (!round.pending_children.empty()) return;
+  return it->second;
+}
 
-  // All child subtrees contributed: reduce and pass upward (or deliver).
+void TbonEndpoint::fold_into_round(Round& round, std::uint32_t stream,
+                                   Bytes data) {
+  // Incremental left fold: byte-identical to the all-at-once apply() for
+  // associative filters (concat flattens nested frames; the structured
+  // merges are order-stable), which is what lets a hop discard child bytes
+  // the moment they arrive instead of staging the whole round.
+  if (!round.acc_valid) {
+    round.acc =
+        FilterRegistry::instance().apply(filter_of(stream), {data});
+    round.acc_valid = true;
+    return;
+  }
+  round.acc = FilterRegistry::instance().apply(
+      filter_of(stream), {std::move(round.acc), std::move(data)});
+}
+
+void TbonEndpoint::maybe_flush_part(Round& round, std::uint32_t stream,
+                                    std::uint32_t tag) {
+  // Root has nowhere to stream to; everyone else relays the accumulator
+  // upward once it outgrows a chunk so per-level memory stays O(chunk).
+  if (is_root() || parent_ == nullptr || !round.acc_valid) return;
+  const std::size_t chunk = self_.machine().costs().iccl_rndv_chunk_bytes;
+  if (round.acc.size() < chunk) return;
+  self_.machine().count("tbon.part_flushes");
+  Packet part;
+  part.kind = PacketKind::UpPart;
+  part.stream = stream;
+  part.tag = tag;
+  part.node_index = my_index_;
+  part.data = std::move(round.acc);
+  round.acc.clear();
+  round.acc_valid = false;
+  self_.send(parent_, part.encode());
+}
+
+void TbonEndpoint::handle_up_part(int child_index, Packet p) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(p.stream) << 32) | p.tag;
+  Round& round = round_for(key);
+  (void)child_index;  // sender stays pending until its final Up
+  self_.machine().count("tbon.up_parts");
+  self_.machine().count("tbon.up_part_bytes",
+                        static_cast<double>(p.data.size()));
+  fold_into_round(round, p.stream, std::move(p.data));
+  maybe_flush_part(round, p.stream, p.tag);
+}
+
+void TbonEndpoint::handle_up(int child_index, Packet p) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(p.stream) << 32) | p.tag;
+  Round& round = round_for(key);
+  round.pending_children.erase(child_index);
+  fold_into_round(round, p.stream, std::move(p.data));
+  round.ranks.insert(round.ranks.end(), p.ranks.begin(), p.ranks.end());
+  if (!round.pending_children.empty()) {
+    maybe_flush_part(round, p.stream, p.tag);
+    return;
+  }
+
+  // All child subtrees contributed: the accumulator IS the reduction.
   self_.machine().count("tbon.rounds_reduced");
-  const Bytes reduced =
-      FilterRegistry::instance().apply(filter_of(p.stream), round.payloads);
-  std::vector<std::uint32_t> ranks = std::move(round.ranks);
+  auto it = rounds_.find(key);
+  const Bytes reduced = std::move(it->second.acc);
+  std::vector<std::uint32_t> ranks = std::move(it->second.ranks);
   std::sort(ranks.begin(), ranks.end());
   rounds_.erase(it);
 

@@ -64,11 +64,22 @@ class TbonEndpoint {
   /// Sends this back end's contribution for (stream, tag) toward the root;
   /// internal nodes aggregate with the stream's filter.
   void send_up(std::uint32_t stream, std::uint32_t tag, Bytes data);
+  /// Streams a chunk-granularity partial contribution for (stream, tag).
+  /// Parts fold into the parent's round accumulator as they arrive (the
+  /// stream's filter must be associative), but the sender stays pending
+  /// until its final send_up(), which carries the residue and the rank set.
+  /// Lets a back end emit a large aggregate piecewise so no hop ever holds
+  /// more than O(chunk) of it.
+  void send_up_part(std::uint32_t stream, std::uint32_t tag, Bytes data);
 
  private:
   struct Round {
     std::set<int> pending_children;  ///< topology child indices outstanding
-    std::vector<Bytes> payloads;
+    /// Running filter fold of everything that has arrived for this round.
+    /// Parts and final payloads alike fold in on arrival, so memory here
+    /// tracks the *reduced* size, not the sum of raw child payloads.
+    Bytes acc;
+    bool acc_valid = false;
     std::vector<std::uint32_t> ranks;
   };
 
@@ -78,7 +89,15 @@ class TbonEndpoint {
   void handle_subtree_up(int child_index);
   void handle_down(const Packet& p);
   void handle_up(int child_index, Packet p);
-  void flush_round(std::uint32_t stream, std::uint32_t tag);
+  void handle_up_part(int child_index, Packet p);
+  [[nodiscard]] Round& round_for(std::uint64_t key);
+  /// Folds `data` into the round accumulator with the stream's filter.
+  void fold_into_round(Round& round, std::uint32_t stream, Bytes data);
+  /// Interior (non-root) nodes relay the accumulator upward as an UpPart
+  /// once it outgrows the chunk threshold, keeping per-level memory
+  /// O(chunk) while reduction overlaps transport.
+  void maybe_flush_part(Round& round, std::uint32_t stream,
+                        std::uint32_t tag);
   void maybe_tree_ready();
   void fail(Status st);
   [[nodiscard]] std::uint32_t filter_of(std::uint32_t stream) const;

@@ -16,6 +16,8 @@ enum class PacketKind : std::uint8_t {
   Down,           ///< root -> leaves: stream broadcast
   Up,             ///< leaf/comm -> root: (filtered) upstream data
   NewStream,      ///< root -> all: create stream {stream, filter_id}
+  UpPart,         ///< leaf/comm -> root: partial upstream contribution;
+                  ///< the sender stays pending until its final Up
 };
 
 /// One TBON frame. Upstream packets carry the set of contributing back-end

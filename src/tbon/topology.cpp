@@ -29,10 +29,53 @@ Topology Topology::balanced(const std::string& fe_host,
                 comm_port);
 }
 
+namespace {
+
+/// Back-end block per attach point: capacity-weighted when one weight per
+/// attach point is supplied, near-equal otherwise.
+std::vector<std::pair<std::size_t, std::size_t>> attach_blocks(
+    std::size_t n_backends, std::size_t n_attach,
+    const std::vector<double>& attach_weights) {
+  if (attach_weights.size() == n_attach && !attach_weights.empty()) {
+    return comm::split_weighted(n_backends, attach_weights);
+  }
+  return comm::split_contiguous(n_backends,
+                                static_cast<std::uint32_t>(n_attach));
+}
+
+/// Leaf comm ranks (no comm children) in rank order; every comm rank when
+/// the shape makes them all interior (cannot happen in the three families,
+/// but keeps the fallback of the original attachment logic).
+std::vector<std::uint32_t> attach_ranks(const comm::Topology& ct) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < ct.size(); ++i) {
+    if (ct.children_of(i).empty()) out.push_back(i);
+  }
+  if (out.empty()) {
+    for (std::uint32_t i = 0; i < ct.size(); ++i) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
 Topology Topology::shaped(const std::string& fe_host, cluster::Port fe_port,
                           const std::vector<std::string>& comm_hosts,
                           const std::vector<std::string>& be_hosts,
-                          comm::TopologySpec spec, cluster::Port comm_port) {
+                          comm::TopologySpec spec, cluster::Port comm_port,
+                          const std::vector<double>& attach_weights) {
+  // Dedicated middleware hosts never collide, so one shared port suffices.
+  return assemble(fe_host, fe_port, comm_hosts,
+                  std::vector<cluster::Port>(comm_hosts.size(), comm_port),
+                  be_hosts, spec, attach_weights);
+}
+
+Topology Topology::assemble(const std::string& fe_host, cluster::Port fe_port,
+                            const std::vector<std::string>& comm_hosts,
+                            const std::vector<cluster::Port>& comm_ports,
+                            const std::vector<std::string>& be_hosts,
+                            comm::TopologySpec spec,
+                            const std::vector<double>& attach_weights) {
   Topology t;
   t.nodes_.push_back(TopoNode{fe_host, fe_port, -1, false, -1});
 
@@ -45,32 +88,29 @@ Topology Topology::shaped(const std::string& fe_host, cluster::Port fe_port,
   for (std::size_t i = 0; i < comm_hosts.size(); ++i) {
     const auto parent_rank = ct.parent_of(static_cast<std::uint32_t>(i));
     const int parent = parent_rank ? comm_indices[*parent_rank] : 0;
-    t.nodes_.push_back(TopoNode{comm_hosts[i], comm_port, parent, false, -1});
+    t.nodes_.push_back(
+        TopoNode{comm_hosts[i], comm_ports[i], parent, false, -1});
     comm_indices.push_back(static_cast<int>(t.nodes_.size()) - 1);
   }
 
   // Back ends hang off the deepest comm layer (or the FE when no comm
   // nodes), in contiguous blocks: leaf comm daemon i owns the i-th
-  // near-equal slice of the back-end rank range. Every comm subtree then
-  // covers one contiguous rank interval (comm subtrees own contiguous leaf
-  // runs in all three tree families), which keeps scatter partitions and
-  // rank-range filters subtree-local - the first step toward ROADMAP's
-  // topology-aware placement. The old round-robin attachment strided
-  // consecutive ranks across every leaf daemon instead.
+  // slice of the back-end rank range (near-equal, or capacity-weighted
+  // when attach_weights says so). Every comm subtree then covers one
+  // contiguous rank interval (comm subtrees own contiguous leaf runs in
+  // all three tree families), which keeps scatter partitions and
+  // rank-range filters subtree-local. The old round-robin attachment
+  // strided consecutive ranks across every leaf daemon instead.
   std::vector<int> attach_points;
   if (comm_indices.empty()) {
     attach_points.push_back(0);
   } else {
-    // Deepest layer = comm nodes without comm children.
-    for (std::size_t i = 0; i < comm_hosts.size(); ++i) {
-      if (ct.children_of(static_cast<std::uint32_t>(i)).empty()) {
-        attach_points.push_back(comm_indices[i]);
-      }
+    for (std::uint32_t r : attach_ranks(ct)) {
+      attach_points.push_back(comm_indices[r]);
     }
-    if (attach_points.empty()) attach_points = comm_indices;
   }
-  const auto blocks = comm::split_contiguous(
-      be_hosts.size(), static_cast<std::uint32_t>(attach_points.size()));
+  const auto blocks =
+      attach_blocks(be_hosts.size(), attach_points.size(), attach_weights);
   std::vector<int> parent_of_rank(be_hosts.size(), attach_points[0]);
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     for (std::size_t r = blocks[b].first;
@@ -83,6 +123,48 @@ Topology Topology::shaped(const std::string& fe_host, cluster::Port fe_port,
                                 static_cast<std::int32_t>(i)});
   }
   return t;
+}
+
+Topology Topology::shaped_colocated(
+    const std::string& fe_host, cluster::Port fe_port, std::size_t n_comm,
+    const std::vector<std::string>& be_hosts, comm::TopologySpec spec,
+    cluster::Port comm_port, const std::vector<double>& attach_weights) {
+  if (n_comm == 0 || be_hosts.empty()) {
+    return shaped(fe_host, fe_port, {}, be_hosts, spec, comm_port,
+                  attach_weights);
+  }
+  const comm::Topology ct(spec, static_cast<std::uint32_t>(n_comm));
+  const auto leaves = attach_ranks(ct);
+  const auto blocks =
+      attach_blocks(be_hosts.size(), leaves.size(), attach_weights);
+  // First back-end rank served through each leaf comm daemon. Empty blocks
+  // (weight rounded to zero) borrow the next block's start so the daemon
+  // still lands on a job node.
+  std::vector<std::size_t> leaf_first(ct.size(), 0);
+  for (std::size_t b = 0; b < leaves.size(); ++b) {
+    const auto& blk = blocks[b];
+    leaf_first[leaves[b]] =
+        std::min(blk.first, be_hosts.size() - 1);
+  }
+  // Each comm daemon sits on the first back-end host of its subtree's
+  // contiguous rank run: the lowest leaf_first among its descendant
+  // leaves.
+  std::vector<std::string> comm_hosts(n_comm);
+  std::vector<cluster::Port> comm_ports(n_comm);
+  for (std::uint32_t r = 0; r < ct.size(); ++r) {
+    std::size_t first = be_hosts.size() - 1;
+    for (std::uint32_t s : ct.subtree_of(r)) {
+      if (ct.children_of(s).empty()) {
+        first = std::min(first, leaf_first[s]);
+      }
+    }
+    comm_hosts[r] = be_hosts[first];
+    // An interior daemon shares its host with its first leaf descendant;
+    // per-rank ports keep the co-located listeners apart.
+    comm_ports[r] = static_cast<cluster::Port>(comm_port + r);
+  }
+  return assemble(fe_host, fe_port, comm_hosts, comm_ports, be_hosts, spec,
+                  attach_weights);
 }
 
 std::vector<int> Topology::children_of(int index) const {

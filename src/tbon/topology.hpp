@@ -47,11 +47,32 @@ class Topology {
 
   /// Like balanced() but the comm-daemon layer takes any comm::Topology
   /// shape (k-ary, binomial, flat), making the overlay tree a benchmarkable
-  /// axis.
+  /// axis. `attach_weights`, when it has one entry per back-end attach
+  /// point (the leaf comm daemons in rank order; the FE alone when there
+  /// are none), sizes each attach point's contiguous back-end block
+  /// proportionally (capacity-weighted placement); otherwise blocks are
+  /// near-equal.
   static Topology shaped(const std::string& fe_host, cluster::Port fe_port,
                          const std::vector<std::string>& comm_hosts,
                          const std::vector<std::string>& be_hosts,
-                         comm::TopologySpec spec, cluster::Port comm_port);
+                         comm::TopologySpec spec, cluster::Port comm_port,
+                         const std::vector<double>& attach_weights = {});
+
+  /// Topology-aware placement: like shaped(), but instead of dedicated
+  /// middleware hosts each comm daemon is co-located on the first back-end
+  /// host of the contiguous rank block its subtree serves (all three tree
+  /// families give every comm subtree a contiguous back-end run). The
+  /// child -> parent hop for that first block then rides node-local
+  /// transport (local_latency) instead of the network, and no extra
+  /// allocation is needed for the middleware layer. `n_comm` is the comm
+  /// daemon count; weights behave as in shaped().
+  static Topology shaped_colocated(const std::string& fe_host,
+                                   cluster::Port fe_port, std::size_t n_comm,
+                                   const std::vector<std::string>& be_hosts,
+                                   comm::TopologySpec spec,
+                                   cluster::Port comm_port,
+                                   const std::vector<double>& attach_weights
+                                   = {});
 
   [[nodiscard]] const std::vector<TopoNode>& nodes() const { return nodes_; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
@@ -76,6 +97,15 @@ class Topology {
   }
 
  private:
+  /// Shared builder behind shaped()/shaped_colocated(): per-daemon listen
+  /// ports, because co-located daemons can share a host.
+  static Topology assemble(const std::string& fe_host, cluster::Port fe_port,
+                           const std::vector<std::string>& comm_hosts,
+                           const std::vector<cluster::Port>& comm_ports,
+                           const std::vector<std::string>& be_hosts,
+                           comm::TopologySpec spec,
+                           const std::vector<double>& attach_weights);
+
   std::vector<TopoNode> nodes_;
 };
 

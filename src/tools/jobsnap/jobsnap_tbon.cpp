@@ -67,6 +67,10 @@ void JobsnapTbonBe::on_snap_request(cluster::Process& self,
   const sim::Time cost = static_cast<sim::Time>(locals.size()) *
                          self.machine().costs().proc_read_cost;
   self.post(cost, [this, &self, locals, stream, tag] {
+    // Snapshot batches stream upward in chunk-sized partial aggregates
+    // (the merge filter is associative), so neither this daemon nor any
+    // interior hop stages more than O(chunk) of the report at once.
+    const std::size_t chunk = self.machine().costs().iccl_rndv_chunk_bytes;
     std::vector<TaskSnapshot> snaps;
     snaps.reserve(locals.size());
     for (const auto& entry : locals) {
@@ -90,6 +94,10 @@ void JobsnapTbonBe::on_snap_request(cluster::Process& self,
         snap.state = 'Z';
       }
       snaps.push_back(std::move(snap));
+      if (Bytes batch = encode_snapshots(snaps); batch.size() >= chunk) {
+        tbon_->send_up_part(stream, tag, std::move(batch));
+        snaps.clear();
+      }
     }
     tbon_->send_up(stream, tag, encode_snapshots(snaps));
   });

@@ -140,6 +140,12 @@ void StatBe::on_sample_request(cluster::Process& self, std::uint32_t stream,
   sim::Time cost = static_cast<sim::Time>(tasks.size()) *
                    (costs.stackwalk_cost + costs.proc_read_cost);
   self.post(cost, [this, &self, tasks, stream, tag] {
+    // Fold task traces into partial trees no larger than a transport chunk
+    // and stream each upward as it fills (prefix-tree merge is associative,
+    // so interior hops fold them incrementally); the final send_up carries
+    // the residue plus this daemon's rank. Keeps every hop's working set
+    // O(chunk) even when the packed tree outgrows the chunk size.
+    const std::size_t chunk = self.machine().costs().iccl_rndv_chunk_bytes;
     PrefixTree local;
     for (const auto& [pid, rank] : tasks) {
       cluster::Process* p = self.machine().find_process(pid);
@@ -147,6 +153,10 @@ void StatBe::on_sample_request(cluster::Process& self, std::uint32_t stream,
       auto* app = dynamic_cast<apps::MpiApp*>(&p->program());
       if (app == nullptr) continue;
       local.add_trace(app->call_stack(), rank >= 0 ? rank : app->rank());
+      if (Bytes packed = local.pack(); packed.size() >= chunk) {
+        tbon_->send_up_part(stream, tag, std::move(packed));
+        local = PrefixTree{};
+      }
     }
     tbon_->send_up(stream, tag, local.pack());
   });

@@ -24,15 +24,30 @@ void StatFe::start_adhoc(cluster::Process& self) {
                         "ad hoc mode needs a manually supplied host list"));
     return;
   }
-  tbon::Topology topo =
-      cfg_.comm_hosts.empty()
-          ? tbon::Topology::one_deep(self.node().hostname(), cfg_.tbon_port,
-                                     cfg_.adhoc_hosts)
-          : tbon::Topology::balanced(self.node().hostname(), cfg_.tbon_port,
-                                     cfg_.comm_hosts, cfg_.adhoc_hosts,
-                                     cfg_.tbon_fanout,
-                                     static_cast<cluster::Port>(
-                                         cfg_.tbon_port + 1));
+  tbon::Topology topo;
+  if (cfg_.n_colocated_comm > 0) {
+    // Topology-aware placement: the comm layer rides the job nodes, so
+    // each first-block child->parent hop is node-local and no middleware
+    // allocation is needed.
+    topo = tbon::Topology::shaped_colocated(
+        self.node().hostname(), cfg_.tbon_port,
+        static_cast<std::size_t>(cfg_.n_colocated_comm), cfg_.adhoc_hosts,
+        {comm::TopologyKind::KAry,
+         static_cast<std::uint32_t>(cfg_.tbon_fanout)},
+        static_cast<cluster::Port>(cfg_.tbon_port + 1),
+        cfg_.attach_weights);
+  } else if (cfg_.comm_hosts.empty()) {
+    topo = tbon::Topology::one_deep(self.node().hostname(), cfg_.tbon_port,
+                                    cfg_.adhoc_hosts);
+  } else {
+    topo = tbon::Topology::shaped(
+        self.node().hostname(), cfg_.tbon_port, cfg_.comm_hosts,
+        cfg_.adhoc_hosts,
+        {comm::TopologyKind::KAry,
+         static_cast<std::uint32_t>(cfg_.tbon_fanout)},
+        static_cast<cluster::Port>(cfg_.tbon_port + 1),
+        cfg_.attach_weights);
+  }
   make_root(self, topo);
 
   tbon::adhoc_launch(self, topo_, "tbon_commd", "stat_be", {},

@@ -51,6 +51,15 @@ struct StatConfig {
   std::vector<std::string> adhoc_hosts;
   /// Ad hoc mode: comm-daemon hosts for deeper topologies; empty = 1-deep.
   std::vector<std::string> comm_hosts;
+  /// Ad hoc mode, topology-aware placement: carve this many comm daemons
+  /// out of the job nodes themselves (each lands on the first back-end
+  /// host of the contiguous block its subtree serves), instead of using
+  /// dedicated comm_hosts. Takes precedence over comm_hosts when > 0.
+  int n_colocated_comm = 0;
+  /// Optional capacity weights, one per back-end attach point (leaf comm
+  /// daemon in rank order): sizes each attach point's contiguous back-end
+  /// block proportionally. Empty = near-equal blocks.
+  std::vector<double> attach_weights;
   /// LaunchMON mode: middleware daemons to allocate via the MW API for a
   /// deeper topology; 0 = 1-deep.
   int n_comm_nodes = 0;

@@ -14,6 +14,7 @@
 #include "core/be_api.hpp"
 #include "core/fe_api.hpp"
 #include "core/iccl.hpp"
+#include "tests/flight_check.hpp"
 #include "tests/test_util.hpp"
 
 namespace lmon::core {
@@ -35,6 +36,9 @@ struct Shared {
   /// rank -> tag -> payload (for rounds that overlap in flight).
   std::map<std::uint32_t, std::map<std::uint32_t, Bytes>> bcast_by_tag;
   std::map<std::uint32_t, Bytes> scatter_delivered; // rank -> part
+  /// tag -> rank-sorted entries delivered at the root's gather handler.
+  std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, Bytes>>>
+      gather_by_tag;
   std::map<std::uint32_t, Iccl*> iccls;             // rank -> live instance
   int ready = 0;
 };
@@ -62,6 +66,11 @@ class RawIcclDaemon : public cluster::Program {
                                             const Bytes& data) {
       sh_->scatter_delivered[rank] = data;
     });
+    iccl_->set_gather_handler(
+        [this](std::uint32_t tag,
+               std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+          sh_->gather_by_tag[tag] = std::move(entries);
+        });
     sh_->iccls[rank] = iccl_.get();
     iccl_->start([this](Status st) {
       if (st.is_ok()) sh_->ready += 1;
@@ -342,6 +351,175 @@ TEST(IcclProtocol, ScatterDeliversCorrectPartsUnderNonContiguousPlacement) {
     EXPECT_EQ(sh.scatter_delivered[r], parts[r]) << "rank " << r;
   }
 }
+
+// --- rendezvous gathers (upstream data plane) ------------------------------
+
+/// Deterministic per-origin fill so an entry's bytes identify its origin.
+Bytes origin_payload(std::uint32_t rank, std::size_t size) {
+  return Bytes(size, static_cast<std::uint8_t>(0x30 + rank));
+}
+
+TEST(IcclProtocol, LargeGatherRunsRtsCtsChunkSequenceUpward) {
+  const int n = 7;
+  TestCluster tc(n);
+  testing::FlightRecorderOnFailure flight(tc.machine);
+  Shared sh;
+  wire_fabric(tc, sh, {comm::TopologyKind::KAry, 2}, identity_placement(n),
+              kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  sh.frames.clear();
+  const std::size_t payload_bytes = 2 * kChunk;
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    sh.iccls[r]->contribute(21, origin_payload(r, payload_bytes));
+  }
+  ASSERT_TRUE(tc.run_until([&] { return sh.gather_by_tag.count(21) != 0; }));
+
+  const auto& entries = sh.gather_by_tag[21];
+  ASSERT_EQ(entries.size(), static_cast<std::size_t>(n));
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    EXPECT_EQ(entries[r].first, r);
+    EXPECT_EQ(entries[r].second, origin_payload(r, payload_bytes));
+  }
+  // The upstream plane really ran rendezvous: the root collected one RTS
+  // per child, streamed chunks, and never saw a whole-subtree eager frame.
+  EXPECT_EQ(count_frames(sh, 0, Iccl::Kind::GatherUp), 0);
+  EXPECT_EQ(count_frames(sh, 0, Iccl::Kind::GatherRts), 2);
+  // Every non-root origin's payload reaches the root chunk by chunk (6
+  // origins x 2 chunks), relayed cut-through by the interior ranks.
+  EXPECT_EQ(count_frames(sh, 0, Iccl::Kind::GatherChunk), (n - 1) * 2);
+}
+
+/// One kill scenario per fabric: `kill` dies mid-gather and `dead` is its
+/// whole subtree (every origin whose path to the root crosses it).
+struct GatherFaultCase {
+  comm::TopologySpec topo;
+  int n;
+  std::uint32_t kill;
+  std::vector<std::uint32_t> dead;
+};
+
+class IcclGatherFault : public ::testing::TestWithParam<GatherFaultCase> {
+ protected:
+  static bool is_dead(const GatherFaultCase& c, std::uint32_t rank) {
+    return std::find(c.dead.begin(), c.dead.end(), rank) != c.dead.end();
+  }
+
+  /// Asserts the root's delivery for `tag`: every survivor present with its
+  /// exact payload; dead-subtree origins absent unless `allow_dead_partial`
+  /// (a mid-stream kill may land after an origin fully arrived, which is a
+  /// completed contribution, not a corrupt one).
+  static void check_delivery(const Shared& sh, const GatherFaultCase& c,
+                             std::uint32_t tag,
+                             const std::vector<std::size_t>& sizes,
+                             bool allow_dead_partial) {
+    const auto it = sh.gather_by_tag.find(tag);
+    ASSERT_NE(it, sh.gather_by_tag.end());
+    std::map<std::uint32_t, Bytes> got(it->second.begin(), it->second.end());
+    EXPECT_EQ(got.size(), it->second.size()) << "duplicate origin delivered";
+    for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(c.n); ++r) {
+      if (is_dead(c, r)) {
+        if (!allow_dead_partial) {
+          EXPECT_EQ(got.count(r), 0u) << "dead origin " << r << " delivered";
+        } else if (got.count(r) != 0) {
+          // Whatever survived must be the complete contribution.
+          EXPECT_EQ(got[r], origin_payload(r, sizes[r])) << "origin " << r;
+        }
+      } else {
+        ASSERT_EQ(got.count(r), 1u) << "survivor " << r << " missing";
+        EXPECT_EQ(got[r], origin_payload(r, sizes[r])) << "origin " << r;
+      }
+    }
+  }
+};
+
+TEST_P(IcclGatherFault, ChildDeathDuringRtsCtsDropsItsSubtreeOnly) {
+  const GatherFaultCase c = GetParam();
+  TestCluster tc(c.n);
+  testing::FlightRecorderOnFailure flight(tc.machine);
+  Shared sh;
+  const auto pids = wire_fabric(tc, sh, c.topo, identity_placement(c.n),
+                                kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == c.n; }));
+
+  // Kill in the same sim instant as the contributions: the victim's RTS
+  // may be in flight, but no CTS can have cleared it to stream - nothing
+  // of its subtree's payload ever moves.
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(c.n), 2 * kChunk);
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(c.n); ++r) {
+    sh.iccls[r]->contribute(31, origin_payload(r, sizes[r]));
+  }
+  tc.machine.find_process(pids[c.kill])->exit(9);
+
+  ASSERT_TRUE(tc.run_until([&] { return sh.gather_by_tag.count(31) != 0; }));
+  check_delivery(sh, c, 31, sizes, /*allow_dead_partial=*/false);
+
+  // The fabric is still usable: a follow-up rendezvous gather completes
+  // with exactly the surviving subtree (orphaned ranks below the victim
+  // contribute into a void, and must not wedge the root).
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(c.n); ++r) {
+    if (r == c.kill) continue;
+    sh.iccls[r]->contribute(32, origin_payload(r, sizes[r]));
+  }
+  ASSERT_TRUE(tc.run_until([&] { return sh.gather_by_tag.count(32) != 0; }));
+  check_delivery(sh, c, 32, sizes, /*allow_dead_partial=*/false);
+}
+
+TEST_P(IcclGatherFault, ChildDeathMidChunkStreamDeliversSurvivors) {
+  const GatherFaultCase c = GetParam();
+  TestCluster tc(c.n);
+  testing::FlightRecorderOnFailure flight(tc.machine);
+  Shared sh;
+  const auto pids = wire_fabric(tc, sh, c.topo, identity_placement(c.n),
+                                kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == c.n; }));
+
+  // Give the victim a long contribution so the first observed chunk frame
+  // is guaranteed to land mid-round, then kill it while its (and possibly
+  // its descendants') chunks are still streaming.
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(c.n), 2 * kChunk);
+  sizes[c.kill] = 6 * kChunk;
+  sh.frames.clear();
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(c.n); ++r) {
+    sh.iccls[r]->contribute(41, origin_payload(r, sizes[r]));
+  }
+  ASSERT_TRUE(tc.run_until([&] {
+    for (const auto& f : sh.frames) {
+      if (f.kind == Iccl::Kind::GatherChunk) return true;
+    }
+    return false;
+  }));
+  ASSERT_EQ(sh.gather_by_tag.count(41), 0u) << "round finished before kill";
+  tc.machine.find_process(pids[c.kill])->exit(9);
+
+  ASSERT_TRUE(tc.run_until([&] { return sh.gather_by_tag.count(41) != 0; }));
+  check_delivery(sh, c, 41, sizes, /*allow_dead_partial=*/true);
+
+  // Survivors still gather cleanly afterwards.
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(c.n); ++r) {
+    if (r == c.kill) continue;
+    sh.iccls[r]->contribute(42, origin_payload(r, sizes[r]));
+  }
+  ASSERT_TRUE(tc.run_until([&] { return sh.gather_by_tag.count(42) != 0; }));
+  check_delivery(sh, c, 42, sizes, /*allow_dead_partial=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fabrics, IcclGatherFault,
+    ::testing::Values(
+        // kary:2, 7 ranks: rank 1's subtree is {1, 3, 4}.
+        GatherFaultCase{{comm::TopologyKind::KAry, 2}, 7, 1, {1, 3, 4}},
+        // binomial, 8 ranks: rank 4 owns the contiguous subtree {4..7}.
+        GatherFaultCase{{comm::TopologyKind::Binomial, 0}, 8, 4, {4, 5, 6, 7}},
+        // flat: every rank is a leaf of the root; only the victim is lost.
+        GatherFaultCase{{comm::TopologyKind::Flat, 0}, 6, 3, {3}}),
+    [](const ::testing::TestParamInfo<GatherFaultCase>& pinfo) {
+      std::string name = pinfo.param.topo.to_string();
+      for (char& ch : name) {
+        if (ch == ':' || ch == '-') ch = '_';
+      }
+      return name;
+    });
 
 // --- broadcast_command through a real session ------------------------------
 

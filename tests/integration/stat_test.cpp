@@ -1,6 +1,7 @@
 // Integration tests for STAT (paper §5.2, Fig. 6): both startup paths.
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "rm/resource_manager.hpp"
 #include "tbon/comm_node.hpp"
 #include "tests/test_util.hpp"
@@ -169,6 +170,46 @@ TEST(Stat, DeepTopologyViaMiddlewareApi) {
   StatOutcome out = run_stat(tc, cfg);
   ASSERT_TRUE(out.status.is_ok()) << out.status.to_string();
   check_tree(out, 64);
+}
+
+TEST(Stat, ChunkStreamedSampleMatchesWholePayloadByteForByte) {
+  // Shrinking the chunk threshold to a few bytes makes every back end
+  // flush per-task partial trees (UpPart) and every interior node
+  // early-flush its accumulator, so the whole sample flows as
+  // chunk-granularity partial aggregates. The merged tree at the FE must
+  // be byte-identical to the whole-payload run - the associativity
+  // contract the in-tree fold depends on.
+  auto run_with_chunk = [](std::uint32_t chunk_bytes, obs::Metrics* metrics) {
+    cluster::CostModel costs;
+    costs.iccl_rndv_chunk_bytes = chunk_bytes;
+    TestCluster tc(16, /*middleware=*/4, costs);
+    tc.machine.set_metrics(metrics);
+    JobHandle job = start_job(tc, 16, 4);
+    StatConfig cfg;
+    cfg.mode = StartupMode::LaunchMon;
+    cfg.launcher_pid = job.launcher;
+    cfg.n_comm_nodes = 4;
+    cfg.tbon_fanout = 4;
+    StatOutcome out = run_stat(tc, cfg);
+    tc.machine.set_metrics(nullptr);
+    return out;
+  };
+  obs::Metrics streamed_metrics;
+  obs::Metrics whole_metrics;
+  StatOutcome streamed = run_with_chunk(64, &streamed_metrics);
+  StatOutcome whole = run_with_chunk(64 * 1024, &whole_metrics);
+  // The tiny chunk really exercised the partial-aggregate path; the
+  // default chunk kept the toy-scale sample whole.
+  EXPECT_GT(streamed_metrics.counter("tbon.up_parts"), 0.0);
+  EXPECT_EQ(whole_metrics.counter("tbon.up_parts"), 0.0);
+  ASSERT_TRUE(streamed.status.is_ok()) << streamed.status.to_string();
+  ASSERT_TRUE(whole.status.is_ok()) << whole.status.to_string();
+  check_tree(streamed, 64);
+  check_tree(whole, 64);
+  ASSERT_TRUE(streamed.tree.has_value());
+  ASSERT_TRUE(whole.tree.has_value());
+  EXPECT_EQ(streamed.tree->pack(), whole.tree->pack());
+  EXPECT_EQ(streamed.classes.size(), whole.classes.size());
 }
 
 }  // namespace

@@ -225,6 +225,81 @@ TEST(SplitContiguous, BalancesWithinOne) {
   EXPECT_EQ(chunks[2].second, 3u);
 }
 
+// --- capacity-weighted chunking (topology-aware placement) --------------------
+
+TEST(SplitWeighted, CoversEveryIndexOnceInOrder) {
+  for (std::size_t count : {0u, 1u, 2u, 7u, 64u, 513u}) {
+    for (const auto& weights :
+         {std::vector<double>{1},
+          std::vector<double>{1, 1, 1},
+          std::vector<double>{3, 1},
+          std::vector<double>{0.5, 0.25, 0.25},
+          std::vector<double>{0, 2, 1},
+          std::vector<double>{1e-9, 1e9}}) {
+      const auto chunks = split_weighted(count, weights);
+      if (count == 0) {
+        EXPECT_TRUE(chunks.empty());
+        continue;
+      }
+      ASSERT_EQ(chunks.size(), weights.size());
+      std::size_t pos = 0;
+      for (const auto& [begin, len] : chunks) {
+        EXPECT_EQ(begin, pos);
+        pos += len;
+      }
+      EXPECT_EQ(pos, count);
+    }
+  }
+}
+
+TEST(SplitWeighted, ProportionalWithLargestRemainder) {
+  // 10 items at weights 3:1:1 -> exact shares 6:2:2.
+  const auto exact = split_weighted(10, {3, 1, 1});
+  ASSERT_EQ(exact.size(), 3u);
+  EXPECT_EQ(exact[0].second, 6u);
+  EXPECT_EQ(exact[1].second, 2u);
+  EXPECT_EQ(exact[2].second, 2u);
+  // 10 items at 1:1:1 -> ideal 3.33 each; the leftover item goes to the
+  // lowest index among equal fractional parts (deterministic tie-break).
+  const auto tied = split_weighted(10, {1, 1, 1});
+  EXPECT_EQ(tied[0].second, 4u);
+  EXPECT_EQ(tied[1].second, 3u);
+  EXPECT_EQ(tied[2].second, 3u);
+}
+
+TEST(SplitWeighted, ZeroWeightsYieldEmptyBlocks) {
+  const auto chunks = split_weighted(8, {0, 1, 0, 1});
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].second, 0u);
+  EXPECT_EQ(chunks[1].second, 4u);
+  EXPECT_EQ(chunks[2].second, 0u);
+  EXPECT_EQ(chunks[3].second, 4u);
+  // Negative weights are clamped to zero, not allowed to steal items.
+  const auto clamped = split_weighted(6, {-5, 1, 2});
+  EXPECT_EQ(clamped[0].second, 0u);
+  EXPECT_EQ(clamped[1].second, 2u);
+  EXPECT_EQ(clamped[2].second, 4u);
+}
+
+TEST(SplitWeighted, AllZeroWeightsFallBackToNearEqual) {
+  const auto chunks = split_weighted(10, {0, 0, 0});
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].second, 4u);
+  EXPECT_EQ(chunks[1].second, 3u);
+  EXPECT_EQ(chunks[2].second, 3u);
+}
+
+TEST(SplitWeighted, MatchesEqualSplitForUniformWeights) {
+  for (std::size_t count : {1u, 9u, 64u, 100u}) {
+    const auto weighted = split_weighted(count, {2, 2, 2, 2});
+    const auto equal = split_contiguous(count, 4);
+    for (std::size_t i = 0; i < equal.size(); ++i) {
+      EXPECT_EQ(weighted[i].first, equal[i].first) << count << " " << i;
+      EXPECT_EQ(weighted[i].second, equal[i].second) << count << " " << i;
+    }
+  }
+}
+
 // --- bootstrap argv round trip ----------------------------------------------
 
 TEST(Bootstrap, ArgsRoundTripWithExplicitRank) {

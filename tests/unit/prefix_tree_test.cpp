@@ -139,6 +139,38 @@ TEST_P(PrefixTreeProperty, ClassesPartitionRanks) {
   EXPECT_EQ(covered.size(), traces.size());
 }
 
+TEST_P(PrefixTreeProperty, ChunkBoundaryPartialsFoldToTheWholeTree) {
+  // The streaming back end (stat_be) flushes a partial tree upward whenever
+  // the packed size crosses the chunk threshold and the TBON left-folds the
+  // parts into its round accumulator. Splitting the same trace stream at
+  // arbitrary points and folding must reproduce the whole-payload tree
+  // byte-for-byte (children are name-keyed and ranks are sets, so pack()
+  // is canonical regardless of arrival order).
+  sim::Rng rng(GetParam() * 257 + 13);
+  auto traces = random_traces(rng, 40);
+
+  PrefixTree whole;
+  std::vector<Bytes> parts;
+  PrefixTree pending;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    whole.add_trace(traces[i], static_cast<std::int32_t>(i));
+    pending.add_trace(traces[i], static_cast<std::int32_t>(i));
+    if (rng.next_below(4) == 0) {  // arbitrary flush boundary
+      parts.push_back(pending.pack());
+      pending = PrefixTree{};
+    }
+  }
+  parts.push_back(pending.pack());
+
+  PrefixTree fold;
+  for (const Bytes& packed : parts) {
+    auto t = PrefixTree::unpack(packed);
+    ASSERT_TRUE(t.has_value());
+    fold.merge(*t);
+  }
+  EXPECT_EQ(fold.pack(), whole.pack());
+}
+
 TEST_P(PrefixTreeProperty, PackUnpackIsLossless) {
   sim::Rng rng(GetParam() * 401 + 11);
   auto traces = random_traces(rng, 40);

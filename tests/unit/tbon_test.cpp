@@ -11,6 +11,8 @@
 #include "tbon/filter.hpp"
 #include "tbon/packet.hpp"
 #include "tbon/topology.hpp"
+#include "tools/jobsnap/jobsnap_tbon.hpp"
+#include "tools/stat/stat_be.hpp"
 
 namespace lmon::tbon {
 namespace {
@@ -141,6 +143,99 @@ TEST(Topology, ShapedBlockPlacementHandlesFewerBackEndsThanLeaves) {
   // index_of_backend stays total even with idle leaf daemons.
   EXPECT_GE(t.index_of_backend(0), 0);
   EXPECT_GE(t.index_of_backend(1), 0);
+}
+
+TEST(Topology, ShapedHonorsAttachWeights) {
+  // kary:2 over 3 comm daemons -> leaves are comm ranks 1 and 2; weights
+  // 3:1 over 12 back ends give them 9 and 3.
+  Topology t = Topology::shaped("fe", 8300, hosts(3, "c"), hosts(12, "b"),
+                                {comm::TopologyKind::KAry, 2}, 8301,
+                                {3.0, 1.0});
+  ASSERT_TRUE(t.valid());
+  const auto ranges = be_ranges_by_parent(t);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].size(), 9u);
+  EXPECT_EQ(ranges[1].size(), 3u);
+  // Blocks stay contiguous and in rank order.
+  EXPECT_EQ(ranges[0].front(), 0);
+  EXPECT_EQ(ranges[0].back(), 8);
+  EXPECT_EQ(ranges[1].front(), 9);
+  // A weight vector that doesn't match the attach-point count is ignored
+  // (near-equal fallback), not misapplied.
+  Topology fallback = Topology::shaped(
+      "fe", 8300, hosts(3, "c"), hosts(12, "b"),
+      {comm::TopologyKind::KAry, 2}, 8301, {1.0, 2.0, 3.0});
+  const auto fb = be_ranges_by_parent(fallback);
+  ASSERT_EQ(fb.size(), 2u);
+  EXPECT_EQ(fb[0].size(), 6u);
+  EXPECT_EQ(fb[1].size(), 6u);
+}
+
+TEST(Topology, ShapedColocatedPlacesDaemonsOnTheirSubtreesFirstHost) {
+  const std::vector<comm::TopologySpec> specs = {
+      {comm::TopologyKind::KAry, 2},
+      {comm::TopologyKind::KAry, 3},
+      {comm::TopologyKind::Binomial, 0},
+      {comm::TopologyKind::Flat, 0}};
+  for (const auto& spec : specs) {
+    Topology t = Topology::shaped_colocated("fe", 8300, 5, hosts(17, "b"),
+                                            spec, 8301);
+    ASSERT_TRUE(t.valid()) << spec.to_string();
+    EXPECT_EQ(t.num_backends(), 17);
+    EXPECT_EQ(t.num_comm_nodes(), 5);
+    // Every comm daemon sits on the host of the lowest-rank back end in
+    // its subtree (node-local first hop, no dedicated middleware hosts).
+    for (std::size_t i = 1; i < t.nodes().size(); ++i) {
+      if (t.nodes()[i].is_backend) continue;
+      std::vector<int> ranks;
+      std::vector<int> frontier{static_cast<int>(i)};
+      while (!frontier.empty()) {
+        const int cur = frontier.back();
+        frontier.pop_back();
+        for (int c : t.children_of(cur)) {
+          if (t.nodes()[static_cast<std::size_t>(c)].is_backend) {
+            ranks.push_back(t.nodes()[static_cast<std::size_t>(c)].be_rank);
+          } else {
+            frontier.push_back(c);
+          }
+        }
+      }
+      ASSERT_FALSE(ranks.empty()) << spec.to_string() << " comm " << i;
+      const int first = *std::min_element(ranks.begin(), ranks.end());
+      const int be_index = t.index_of_backend(first);
+      ASSERT_GE(be_index, 0);
+      EXPECT_EQ(t.nodes()[i].host,
+                t.nodes()[static_cast<std::size_t>(be_index)].host)
+          << spec.to_string() << " comm " << i;
+    }
+    // Co-located listeners on a shared host must not collide on a port.
+    std::set<std::pair<std::string, int>> listeners;
+    for (const auto& n : t.nodes()) {
+      if (n.port == 0) continue;
+      EXPECT_TRUE(listeners.insert({n.host, n.port}).second)
+          << spec.to_string() << " duplicate listener " << n.host << ":"
+          << n.port;
+    }
+  }
+}
+
+TEST(Topology, ShapedColocatedHonorsWeightsAndDegenerateInputs) {
+  // kary:2 over 3 comm daemons -> leaves are ranks 1 and 2; weights 3:1
+  // over 8 back ends give them blocks of 6 and 2.
+  Topology t = Topology::shaped_colocated("fe", 8300, 3, hosts(8, "b"),
+                                          {comm::TopologyKind::KAry, 2},
+                                          8301, {3.0, 1.0});
+  ASSERT_TRUE(t.valid());
+  const auto ranges = be_ranges_by_parent(t);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].size(), 6u);
+  EXPECT_EQ(ranges[1].size(), 2u);
+  // Zero comm daemons degenerates to the 1-deep attachment.
+  Topology flat = Topology::shaped_colocated(
+      "fe", 8300, 0, hosts(4, "b"), {comm::TopologyKind::KAry, 2}, 8301);
+  ASSERT_TRUE(flat.valid());
+  EXPECT_EQ(flat.num_comm_nodes(), 0);
+  EXPECT_EQ(flat.depth(), 1);
 }
 
 /// Builds a topology with the *old* round-robin BE attachment by packing
@@ -283,6 +378,98 @@ TEST(Filter, UnknownIdFallsBackToConcat) {
   const Bytes a = wrap_leaf_payload(Bytes{5});
   const Bytes out = FilterRegistry::instance().apply(424242, {a});
   EXPECT_EQ(split_concat(out).size(), 1u);
+}
+
+/// The incremental UpPart fold (TbonEndpoint::fold_into_round): first part
+/// applied alone, every later part folded pairwise into the accumulator.
+/// For every filter the tree uses this must be byte-identical to the
+/// all-at-once apply, or streamed and unstreamed rounds would diverge.
+Bytes left_fold(std::uint32_t id, const std::vector<Bytes>& inputs) {
+  const FilterRegistry& reg = FilterRegistry::instance();
+  Bytes acc = reg.apply(id, {inputs.front()});
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    acc = reg.apply(id, {acc, inputs[i]});
+  }
+  return acc;
+}
+
+TEST(Filter, BuiltinFoldsMatchAllAtOnceApplyByteForByte) {
+  const FilterRegistry& reg = FilterRegistry::instance();
+  const std::vector<Bytes> frames = {
+      wrap_leaf_payload(Bytes{1}), wrap_leaf_payload(Bytes{2, 2}),
+      wrap_leaf_payload(Bytes{3, 3, 3}), wrap_leaf_payload(Bytes{4})};
+  EXPECT_EQ(left_fold(kFilterConcat, frames),
+            reg.apply(kFilterConcat, frames));
+
+  std::vector<Bytes> vecs;
+  for (std::uint64_t seed : {3u, 7u, 11u}) {
+    ByteWriter w;
+    w.u64(seed);
+    w.u64(seed * 1000);
+    vecs.push_back(w.bytes());
+  }
+  EXPECT_EQ(left_fold(kFilterSumU64, vecs), reg.apply(kFilterSumU64, vecs));
+  EXPECT_EQ(left_fold(kFilterMaxU64, vecs), reg.apply(kFilterMaxU64, vecs));
+}
+
+TEST(Filter, StatMergeFoldsChunkPartialsToTheWholePayloadTree) {
+  tools::stat::register_stat_filter();
+  // Three partial trees the way a streaming stat_be flushes them: disjoint
+  // rank slices of one logical sample, overlapping call paths.
+  tools::stat::PrefixTree whole;
+  std::vector<Bytes> parts;
+  const std::vector<std::vector<std::string>> paths = {
+      {"_start", "main", "solve"},
+      {"_start", "main", "io"},
+      {"_start", "main", "solve", "MPI_Waitall"}};
+  int rank = 0;
+  for (const auto& path : paths) {
+    tools::stat::PrefixTree part;
+    for (int i = 0; i < 3; ++i, ++rank) {
+      part.add_trace(path, rank);
+      whole.add_trace(path, rank);
+    }
+    parts.push_back(wrap_leaf_payload(part.pack()));
+  }
+  const Bytes expected = concat_payloads({wrap_leaf_payload(whole.pack())});
+  EXPECT_EQ(FilterRegistry::instance().apply(tools::stat::kFilterStatMerge,
+                                             parts),
+            expected);
+  EXPECT_EQ(left_fold(tools::stat::kFilterStatMerge, parts), expected);
+}
+
+TEST(Filter, SnapshotMergeFoldsChunkPartialsToTheSortedBatch) {
+  tools::jobsnap::register_jobsnap_filter();
+  auto snap = [](std::int32_t rank) {
+    tools::jobsnap::TaskSnapshot s;
+    s.rank = rank;
+    s.host = "n" + std::to_string(rank % 4);
+    s.pid = 1000 + rank;
+    s.executable = "mpi_app";
+    return s;
+  };
+  // Batches arrive rank-unordered across parts (daemon order, not rank
+  // order); the fold must still converge on one globally sorted batch.
+  std::vector<tools::jobsnap::TaskSnapshot> all;
+  std::vector<Bytes> parts;
+  for (const auto& ranks :
+       std::vector<std::vector<std::int32_t>>{{8, 2}, {5}, {0, 11, 3}}) {
+    std::vector<tools::jobsnap::TaskSnapshot> batch;
+    for (std::int32_t r : ranks) {
+      batch.push_back(snap(r));
+      all.push_back(snap(r));
+    }
+    parts.push_back(
+        wrap_leaf_payload(tools::jobsnap::encode_snapshots(batch)));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.rank < b.rank; });
+  const Bytes expected = concat_payloads(
+      {wrap_leaf_payload(tools::jobsnap::encode_snapshots(all))});
+  EXPECT_EQ(FilterRegistry::instance().apply(
+                tools::jobsnap::kFilterSnapshotMerge, parts),
+            expected);
+  EXPECT_EQ(left_fold(tools::jobsnap::kFilterSnapshotMerge, parts), expected);
 }
 
 TEST(Filter, RegistrationAndOverride) {
