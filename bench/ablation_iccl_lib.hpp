@@ -77,6 +77,25 @@ struct IcclCrossoverPoint {
   bool rendezvous_wins_at_max = false;
 };
 
+/// One model-only scatter point: the live fabric has no rendezvous scatter
+/// (payload parts ride eager frames at every threshold), so the sweep asks
+/// PerfModel::collective_scatter() what a chunk-streamed scatter *would*
+/// cost and whether it would ever beat the shipping eager path.
+struct ScatterModelPoint {
+  std::string topology;
+  std::size_t payload_bytes = 0;  ///< per-rank part size
+  double eager_s = -1.0;
+  double rndv_s = -1.0;
+};
+
+struct ScatterCrossoverPoint {
+  std::string topology;
+  /// collective_scatter_crossover() (-1: eager wins through the grid max,
+  /// i.e. a rendezvous scatter would never pay off on this fabric).
+  double model_bytes = -1.0;
+  bool rndv_wins_at_max = false;
+};
+
 struct IcclAblationReport {
   int nodes = 0;
   std::uint32_t chunk_bytes = 0;
@@ -85,6 +104,11 @@ struct IcclAblationReport {
   std::vector<std::string> protocols;
   std::vector<IcclAblationPoint> points;
   std::vector<IcclCrossoverPoint> crossovers;
+  std::vector<ScatterModelPoint> scatter_model;
+  std::vector<ScatterCrossoverPoint> scatter_crossovers;
+  /// A hypothetical rendezvous scatter would win somewhere on the sweep -
+  /// the go/no-go answer for ever implementing one.
+  bool rendezvous_scatter_ever_wins = false;
   double max_abs_residual_pct = 0.0;
   double max_abs_crossover_pct = 0.0;
   bool rendezvous_wins_at_max_everywhere = false;
@@ -366,6 +390,37 @@ inline IcclAblationReport run_iccl_ablation(const IcclAblationOptions& opts) {
       }
     }
     report.crossovers.push_back(std::move(cx));
+
+    // Model-only scatter sweep on the same grid: no session runs here - the
+    // live fabric routes scatter parts through eager frames at every
+    // threshold, so the rendezvous column is the hypothetical protocol's
+    // closed form and the crossover answers "would one ever pay off".
+    for (const std::size_t payload : opts.payloads) {
+      ScatterModelPoint sp;
+      sp.topology = topo.to_string();
+      sp.payload_bytes = payload;
+      sp.eager_s = model.collective_scatter(core::CollectiveProtocol::Eager,
+                                            topo, opts.nodes, payload);
+      sp.rndv_s = model.collective_scatter(
+          core::CollectiveProtocol::Rendezvous, topo, opts.nodes, payload);
+      report.scatter_model.push_back(std::move(sp));
+    }
+    ScatterCrossoverPoint sx;
+    sx.topology = topo.to_string();
+    sx.model_bytes = static_cast<double>(
+        model.collective_scatter_crossover(topo, opts.nodes,
+                                           opts.payloads.back())
+            .value_or(0));
+    if (sx.model_bytes == 0) sx.model_bytes = -1.0;
+    sx.rndv_wins_at_max =
+        model.collective_scatter(core::CollectiveProtocol::Rendezvous, topo,
+                                 opts.nodes, opts.payloads.back()) <
+        model.collective_scatter(core::CollectiveProtocol::Eager, topo,
+                                 opts.nodes, opts.payloads.back());
+    if (sx.model_bytes > 0 || sx.rndv_wins_at_max) {
+      report.rendezvous_scatter_ever_wins = true;
+    }
+    report.scatter_crossovers.push_back(std::move(sx));
   }
   return report;
 }
@@ -424,6 +479,31 @@ inline std::string to_json(const IcclAblationReport& r) {
     out += "\n";
   }
   out += "  ],\n";
+  out += "  \"scatter_model\": [\n";
+  for (std::size_t i = 0; i < r.scatter_model.size(); ++i) {
+    const ScatterModelPoint& p = r.scatter_model[i];
+    out += "    {\"topology\": \"" + p.topology +
+           "\", \"payload_bytes\": " + std::to_string(p.payload_bytes) +
+           ", \"eager_s\": " + jsonv::num(p.eager_s) +
+           ", \"rndv_s\": " + jsonv::num(p.rndv_s) + "}";
+    if (i + 1 != r.scatter_model.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n";
+  out += "  \"scatter_crossovers\": [\n";
+  for (std::size_t i = 0; i < r.scatter_crossovers.size(); ++i) {
+    const ScatterCrossoverPoint& c = r.scatter_crossovers[i];
+    out += "    {\"topology\": \"" + c.topology +
+           "\", \"model_bytes\": " + jsonv::num(c.model_bytes) +
+           ", \"rndv_wins_at_max\": " +
+           (c.rndv_wins_at_max ? "true" : "false") + "}";
+    if (i + 1 != r.scatter_crossovers.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n";
+  out += "  \"rendezvous_scatter_ever_wins\": " +
+         std::string(r.rendezvous_scatter_ever_wins ? "true" : "false") +
+         ",\n";
   out += "  \"max_abs_residual_pct\": " +
          jsonv::num(r.max_abs_residual_pct) + ",\n";
   out += "  \"max_abs_crossover_pct\": " +

@@ -1,0 +1,95 @@
+// bench_ablation_autotune - self-tuning sessions vs the hand-picked grid:
+// per (platform x scale x tasks-per-node) point, one real auto-tuned
+// session (every knob unset; the engine's PerfModel-driven tuner picks the
+// launch strategy, fabric topology and rendezvous threshold from the
+// platform's calibration profile) is measured against the best explicit
+// configuration model-selected from the full strategy x topology x
+// threshold grid and measured through the same FE surface.
+//
+// Gates: auto matches or beats the hand-picked best at every point (small
+// tolerance), the tuner's predicted session total lands within 15% of the
+// measured one, and the tuner never selects a strategy whose model
+// predicts failure (e.g. any rsh flavor on a BlueGene-class machine).
+//
+// Flags:
+//   --json        machine-readable report (schema under golden test; see
+//                 tests/integration/bench_schema_test.cpp)
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/ablation_autotune_lib.hpp"
+
+namespace lmon {
+namespace {
+
+void print_table(const bench::AutotuneAblationReport& report) {
+  bench::print_title(
+      "Ablation: auto-tuned sessions vs best hand-picked configuration");
+  std::printf("%9s %5s %4s | %9s %-22s | %9s %-22s | %8s %8s\n", "platform",
+              "nodes", "tpn", "auto", "(chosen)", "best", "(hand-picked)",
+              "vs best", "residual");
+  for (const auto& p : report.points) {
+    const std::string chosen = p.auto_strategy + "/" + p.auto_topology;
+    const std::string hand = p.best_strategy + "/" + p.best_topology + "/" +
+                             p.best_rndv;
+    std::printf("%9s %5d %4d |", p.platform.c_str(), p.nodes,
+                p.tasks_per_node);
+    if (p.auto_ok) {
+      std::printf(" %8.3fs %-22s", p.auto_s, chosen.c_str());
+    } else {
+      std::printf(" %8s %-22s", "FAIL", "-");
+    }
+    std::printf(" |");
+    if (p.best_ok) {
+      std::printf(" %8.3fs %-22s", p.best_s, hand.c_str());
+    } else {
+      std::printf(" %8s %-22s", "FAIL", "-");
+    }
+    std::printf(" | %+7.2f%% %+7.2f%%", p.auto_vs_best_pct, p.residual_pct);
+    if (p.predicted_failure_selected) std::printf("  [PREDICTED-FAIL PICK!]");
+    std::printf("\n");
+  }
+  std::printf(
+      "\nworst auto-vs-best: %+.2f%% (gate: +%.1f%%); worst |predicted - "
+      "measured|: %.2f%% (gate: 15%%)\npredicted-failure selections: %d "
+      "(gate: 0); auto matches or beats best everywhere: %s\n",
+      report.max_auto_vs_best_pct, report.tolerance_pct,
+      report.max_abs_residual_pct, report.predicted_failure_selections,
+      report.auto_matches_or_beats_everywhere ? "yes" : "NO");
+}
+
+}  // namespace
+}  // namespace lmon
+
+int main(int argc, char** argv) {
+  using namespace lmon;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (arg != "--json" && !bench::common_flag(arg)) {
+      std::fprintf(stderr, "usage: %s [--json] [--trace-out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  bench::set_trace_out(args);
+  bench::AutotuneAblationOptions opts;
+  if (bench::smoke_mode()) opts = bench::AutotuneAblationOptions::smoke();
+  const bool json =
+      std::find(args.begin(), args.end(), "--json") != args.end();
+
+  const bench::AutotuneAblationReport report =
+      bench::run_autotune_ablation(opts);
+  if (json) {
+    std::fputs(bench::to_json(report).c_str(), stdout);
+  } else {
+    print_table(report);
+  }
+  return (report.auto_matches_or_beats_everywhere &&
+          report.max_abs_residual_pct <= 15.0 &&
+          report.predicted_failure_selections == 0 &&
+          report.measurement_failures == 0)
+             ? 0
+             : 1;
+}

@@ -56,6 +56,21 @@ void print_table(const bench::IcclAblationReport& report) {
                 c.rendezvous_wins_at_max ? "" : "  [rndv never wins!]");
   }
   std::printf(
+      "\nscatter (model only - would a rendezvous scatter ever pay off?):\n");
+  for (const auto& c : report.scatter_crossovers) {
+    if (c.model_bytes > 0) {
+      std::printf("  %10s  rndv wins from %8.0f B\n", c.topology.c_str(),
+                  c.model_bytes);
+    } else {
+      std::printf("  %10s  eager wins at every swept payload\n",
+                  c.topology.c_str());
+    }
+  }
+  std::printf("  verdict: rendezvous scatter %s\n",
+              report.rendezvous_scatter_ever_wins
+                  ? "would win somewhere on this sweep"
+                  : "never wins on this sweep - not worth implementing");
+  std::printf(
       "\nmax |model - measured| residual: %.1f%% (gate: 15%%); max crossover "
       "disagreement: %.1f%% (gate: 15%%)\n",
       report.max_abs_residual_pct, report.max_abs_crossover_pct);

@@ -1,0 +1,330 @@
+#include "cluster/cost_model_registry.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lmon::cluster {
+
+namespace {
+
+/// One calibratable CostModel field. Exactly one member pointer is set,
+/// matching `kind`; the table below is the single source of truth for the
+/// calibration-file vocabulary.
+struct Field {
+  std::string_view key;
+  enum class Kind { Time, Double, Int, U32, Bool } kind;
+  sim::Time CostModel::* t = nullptr;
+  double CostModel::* d = nullptr;
+  int CostModel::* i = nullptr;
+  std::uint32_t CostModel::* u = nullptr;
+  bool CostModel::* b = nullptr;
+};
+
+constexpr Field time_field(std::string_view key, sim::Time CostModel::* m) {
+  return {key, Field::Kind::Time, m, nullptr, nullptr, nullptr, nullptr};
+}
+constexpr Field double_field(std::string_view key, double CostModel::* m) {
+  return {key, Field::Kind::Double, nullptr, m, nullptr, nullptr, nullptr};
+}
+constexpr Field int_field(std::string_view key, int CostModel::* m) {
+  return {key, Field::Kind::Int, nullptr, nullptr, m, nullptr, nullptr};
+}
+constexpr Field u32_field(std::string_view key, std::uint32_t CostModel::* m) {
+  return {key, Field::Kind::U32, nullptr, nullptr, nullptr, m, nullptr};
+}
+constexpr Field bool_field(std::string_view key, bool CostModel::* m) {
+  return {key, Field::Kind::Bool, nullptr, nullptr, nullptr, nullptr, m};
+}
+
+const std::vector<Field>& fields() {
+  static const std::vector<Field> kFields = {
+      time_field("fork_cost", &CostModel::fork_cost),
+      time_field("exec_base_cost", &CostModel::exec_base_cost),
+      time_field("exec_per_mb", &CostModel::exec_per_mb),
+      double_field("proc_jitter", &CostModel::proc_jitter),
+      time_field("sched_latency", &CostModel::sched_latency),
+      time_field("net_latency", &CostModel::net_latency),
+      time_field("local_latency", &CostModel::local_latency),
+      double_field("bandwidth_bytes_per_sec",
+                   &CostModel::bandwidth_bytes_per_sec),
+      double_field("net_jitter", &CostModel::net_jitter),
+      time_field("connect_cost", &CostModel::connect_cost),
+      time_field("proc_read_cost", &CostModel::proc_read_cost),
+      time_field("trace_attach_cost", &CostModel::trace_attach_cost),
+      time_field("trace_event_latency", &CostModel::trace_event_latency),
+      time_field("mem_read_base", &CostModel::mem_read_base),
+      time_field("mem_read_per_kb", &CostModel::mem_read_per_kb),
+      time_field("rsh_client_fork", &CostModel::rsh_client_fork),
+      time_field("rsh_session_cost", &CostModel::rsh_session_cost),
+      time_field("rshd_spawn_cost", &CostModel::rshd_spawn_cost),
+      int_field("rsh_fork_limit", &CostModel::rsh_fork_limit),
+      bool_field("has_remote_access", &CostModel::has_remote_access),
+      time_field("rm_controller_rpc", &CostModel::rm_controller_rpc),
+      time_field("rm_allocate_cost", &CostModel::rm_allocate_cost),
+      time_field("rm_slurmd_handle", &CostModel::rm_slurmd_handle),
+      time_field("rm_task_setup", &CostModel::rm_task_setup),
+      time_field("rm_launcher_per_node", &CostModel::rm_launcher_per_node),
+      time_field("rm_launcher_startup", &CostModel::rm_launcher_startup),
+      int_field("rm_launch_fanout", &CostModel::rm_launch_fanout),
+      double_field("rm_quadratic_ns_per_node2",
+                   &CostModel::rm_quadratic_ns_per_node2),
+      int_field("rm_debug_events", &CostModel::rm_debug_events),
+      time_field("engine_handler_cost", &CostModel::engine_handler_cost),
+      time_field("engine_fixed_cost", &CostModel::engine_fixed_cost),
+      time_field("fabric_endpoint_init", &CostModel::fabric_endpoint_init),
+      time_field("iccl_msg_handle", &CostModel::iccl_msg_handle),
+      time_field("iccl_eager_copy_per_kb", &CostModel::iccl_eager_copy_per_kb),
+      time_field("iccl_chunk_handle", &CostModel::iccl_chunk_handle),
+      u32_field("iccl_rndv_chunk_bytes", &CostModel::iccl_rndv_chunk_bytes),
+      u32_field("iccl_rndv_threshold_bytes",
+                &CostModel::iccl_rndv_threshold_bytes),
+      time_field("tbon_register_cost", &CostModel::tbon_register_cost),
+      time_field("stackwalk_cost", &CostModel::stackwalk_cost),
+      time_field("dpcl_parse_per_mb", &CostModel::dpcl_parse_per_mb),
+      time_field("dpcl_session_setup", &CostModel::dpcl_session_setup),
+      double_field("tool_daemon_image_mb", &CostModel::tool_daemon_image_mb),
+      double_field("launcher_image_mb", &CostModel::launcher_image_mb),
+      double_field("app_image_mb", &CostModel::app_image_mb),
+  };
+  return kFields;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  const std::string buf(text);
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != buf.c_str();
+}
+
+/// "250us" / "1.5ms" / "3s" / "900ns"; a bare number is microseconds (the
+/// unit most cost_model.hpp defaults are written in).
+bool parse_time(std::string_view text, sim::Time& out) {
+  double scale = static_cast<double>(sim::kMicrosecond);
+  if (text.ends_with("ns")) {
+    scale = 1.0;
+    text.remove_suffix(2);
+  } else if (text.ends_with("us")) {
+    scale = static_cast<double>(sim::kMicrosecond);
+    text.remove_suffix(2);
+  } else if (text.ends_with("ms")) {
+    scale = static_cast<double>(sim::kMillisecond);
+    text.remove_suffix(2);
+  } else if (text.ends_with("s")) {
+    scale = static_cast<double>(sim::kSecond);
+    text.remove_suffix(1);
+  }
+  double v = 0;
+  if (!parse_double(trim(text), v)) return false;
+  out = static_cast<sim::Time>(v * scale);
+  return true;
+}
+
+Status line_error(int line_no, const std::string& what) {
+  return Status(Rc::Ebdarg,
+                "calibration line " + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+CostModel atlas_profile() { return CostModel{}; }
+
+CostModel thunder_profile() {
+  // Itanium/Elan-era cluster: the TCP-over-Elan stack has higher small-
+  // message latency and less effective bandwidth than Atlas's IB, the rsh
+  // stack is slower per session, and the RM forwards its launch tree at a
+  // narrower degree. LaunchMON-side constants stay untouched - platform
+  // independence of the tool layer is the paper's point.
+  CostModel m;
+  m.net_latency = sim::us(65);
+  m.bandwidth_bytes_per_sec = 0.85e9;
+  m.connect_cost = sim::us(240);
+  m.rsh_client_fork = sim::ms(3.8);
+  m.rsh_session_cost = sim::ms(265);
+  m.rshd_spawn_cost = sim::ms(5.0);
+  m.rm_launcher_per_node = sim::us(1500);
+  m.rm_launcher_startup = sim::ms(24);
+  m.rm_launch_fanout = 16;
+  m.iccl_eager_copy_per_kb = sim::us(2.6);
+  return m;
+}
+
+CostModel zeus_profile() {
+  // Newer commodity capacity cluster: quick fork/exec and rsh session setup,
+  // wide RM fan-out, but a GigE-class fabric - lower bandwidth and higher
+  // latency than Atlas, which pushes collective crossovers around.
+  CostModel m;
+  m.fork_cost = sim::us(180);
+  m.net_latency = sim::us(55);
+  m.bandwidth_bytes_per_sec = 0.6e9;
+  m.rsh_session_cost = sim::ms(190);
+  m.rm_launcher_per_node = sim::us(900);
+  m.rm_launch_fanout = 64;
+  m.iccl_eager_copy_per_kb = sim::us(2.4);
+  return m;
+}
+
+const CostModelRegistry& CostModelRegistry::builtin() {
+  static const CostModelRegistry reg = [] {
+    CostModelRegistry r;
+    r.add("atlas", atlas_profile());
+    r.add("thunder", thunder_profile());
+    r.add("zeus", zeus_profile());
+    r.add("bluegene", CostModel::bluegene_like());
+    return r;
+  }();
+  return reg;
+}
+
+std::optional<CostModel> CostModelRegistry::find(std::string_view name) const {
+  auto it = profiles_.find(name);
+  if (it == profiles_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CostModelRegistry::contains(std::string_view name) const {
+  return profiles_.find(name) != profiles_.end();
+}
+
+std::vector<std::string> CostModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& [name, unused] : profiles_) out.push_back(name);
+  return out;
+}
+
+void CostModelRegistry::add(std::string name, CostModel model) {
+  profiles_.insert_or_assign(std::move(name), model);
+}
+
+Status CostModelRegistry::apply_calibration_text(std::string_view text,
+                                                 CostModel& model) {
+  CostModel staged = model;  // all-or-nothing: no partial calibration
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    line_no += 1;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return line_error(line_no, "expected key = value, got \"" +
+                                     std::string(line) + "\"");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) return line_error(line_no, "empty key");
+    if (value.empty()) return line_error(line_no, "empty value");
+
+    const Field* field = nullptr;
+    for (const Field& f : fields()) {
+      if (f.key == key) {
+        field = &f;
+        break;
+      }
+    }
+    if (field == nullptr) {
+      return line_error(line_no,
+                        "unknown key \"" + std::string(key) + "\"");
+    }
+    bool ok = false;
+    switch (field->kind) {
+      case Field::Kind::Time:
+        ok = parse_time(value, staged.*(field->t));
+        break;
+      case Field::Kind::Double:
+        ok = parse_double(value, staged.*(field->d));
+        break;
+      case Field::Kind::Int: {
+        double v = 0;
+        ok = parse_double(value, v);
+        if (ok) staged.*(field->i) = static_cast<int>(v);
+        break;
+      }
+      case Field::Kind::U32: {
+        double v = 0;
+        ok = parse_double(value, v) && v >= 0;
+        if (ok) staged.*(field->u) = static_cast<std::uint32_t>(v);
+        break;
+      }
+      case Field::Kind::Bool:
+        if (value == "true" || value == "1") {
+          staged.*(field->b) = true;
+          ok = true;
+        } else if (value == "false" || value == "0") {
+          staged.*(field->b) = false;
+          ok = true;
+        }
+        break;
+    }
+    if (!ok) {
+      return line_error(line_no, "bad value \"" + std::string(value) +
+                                     "\" for key \"" + std::string(key) +
+                                     "\"");
+    }
+  }
+  model = staged;
+  return Status::ok();
+}
+
+Status CostModelRegistry::apply_calibration_file(const std::string& path,
+                                                 CostModel& model) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(Rc::Esys, "cannot read calibration file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return apply_calibration_text(buf.str(), model);
+}
+
+std::string CostModelRegistry::calibration_text(const CostModel& model) {
+  std::ostringstream out;
+  for (const Field& f : fields()) {
+    out << f.key << " = ";
+    switch (f.kind) {
+      case Field::Kind::Time:
+        out << model.*(f.t) << "ns";
+        break;
+      case Field::Kind::Double: {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", model.*(f.d));
+        out << buf;
+        break;
+      }
+      case Field::Kind::Int:
+        out << model.*(f.i);
+        break;
+      case Field::Kind::U32:
+        out << model.*(f.u);
+        break;
+      case Field::Kind::Bool:
+        out << (model.*(f.b) ? "true" : "false");
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lmon::cluster

@@ -15,6 +15,9 @@ std::vector<std::string> bootstrap_args(const BootstrapSpec& spec,
     args.push_back("--lmon-rndv-threshold=" +
                    std::to_string(spec.rndv_threshold));
   }
+  if (!spec.platform.empty()) {
+    args.push_back("--lmon-platform=" + spec.platform);
+  }
   args.push_back("--lmon-session=" + spec.session);
   if (!spec.fe_host.empty()) {
     args.push_back("--lmon-fe-host=" + spec.fe_host);
@@ -40,6 +43,7 @@ std::optional<BootstrapParams> parse_bootstrap(
       arg_int(args, "--lmon-fe-port=").value_or(0));
   p.rndv_threshold = static_cast<std::uint32_t>(
       arg_int(args, "--lmon-rndv-threshold=").value_or(0));
+  p.platform = arg_value(args, "--lmon-platform=").value_or("");
 
   // Tree shape: the modern "--lmon-topo=kind:arity" form, with the
   // pre-topology "--lmon-fanout=K" spelling still accepted (k-ary).

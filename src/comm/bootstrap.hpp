@@ -37,6 +37,11 @@ struct BootstrapSpec {
   /// Eager->rendezvous collective switch threshold in payload bytes;
   /// 0 means "use the platform default" (CostModel::iccl_rndv_threshold_bytes).
   std::uint32_t rndv_threshold = 0;
+  /// Platform calibration profile name (cluster::CostModelRegistry); empty
+  /// means "the machine's own costs". When set, daemons resolve platform
+  /// defaults (the rendezvous threshold above) from the named profile, so
+  /// every rank agrees with the engine's tuner about what "default" means.
+  std::string platform;
 };
 
 /// What a daemon recovers from its argv.
@@ -50,6 +55,7 @@ struct BootstrapParams {
   cluster::Port fe_port = 0;
   std::vector<std::string> hosts;
   std::uint32_t rndv_threshold = 0;  ///< 0 = platform default
+  std::string platform;              ///< profile name; empty = machine costs
 };
 
 /// Emits the "--lmon-*" argv for one daemon. Pass nullopt as `rank` for

@@ -1,10 +1,13 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "cluster/cost_model_registry.hpp"
 #include "cluster/machine.hpp"
 #include "common/argparse.hpp"
 #include "core/payloads.hpp"
+#include "obs/metrics.hpp"
 #include "rm/apai.hpp"
 #include "rsh/launchers.hpp"
 #include "simkernel/log.hpp"
@@ -46,24 +49,49 @@ void EngineProgram::on_start(cluster::Process& self) {
   attach_mode_ = arg_value(args, "--op=").value_or("launch") == "attach";
 
   // Session options: which strategy bootstraps the daemons and what shape
-  // their fabric tree takes.
-  strategy_kind_ =
-      comm::launch_strategy_from_string(
-          arg_value(args, "--launch-strategy=").value_or("rm-bulk"))
-          .value_or(comm::LaunchStrategyKind::RmBulk);
-  fabric_topo_ = comm::TopologySpec::parse(
-                     arg_value(args, "--fabric-topo=").value_or(""))
-                     .value_or(comm::TopologySpec{
-                         comm::TopologyKind::KAry,
-                         static_cast<std::uint32_t>(
-                             arg_int(args, "--fabric-fanout=").value_or(2))});
-  if (fabric_topo_.arity == 0) fabric_topo_.arity = 2;
-  // The launch protocol's fan-out is independent of the fabric family:
-  // binomial/flat fabrics still forward the bulk launch (and tree-rsh
-  // agents) at the configured degree, not at the spec's unused arity.
+  // their fabric tree takes. "auto" knobs stay unset here - the tuner
+  // resolves them once the proctable tells us the scale (tune_session).
+  const std::string strategy_arg =
+      arg_value(args, "--launch-strategy=").value_or("auto");
+  strategy_opt_ = strategy_arg == "auto"
+                      ? std::nullopt
+                      : comm::launch_strategy_from_string(strategy_arg);
+  const std::string topo_arg =
+      arg_value(args, "--fabric-topo=").value_or("auto");
+  if (topo_arg == "auto") {
+    topo_opt_ = std::nullopt;
+  } else if (auto spec = comm::TopologySpec::parse(topo_arg)) {
+    topo_opt_ = *spec;
+    // TopologySpec::to_string() drops the arity for non-k-ary kinds, so the
+    // FE ships the launch-protocol degree separately in --fabric-fanout=;
+    // fold it back in so an explicit fan-out survives the argv round trip.
+    if (const auto fanout = arg_int(args, "--fabric-fanout=");
+        fanout && topo_opt_->arity == 0) {
+      topo_opt_->arity = static_cast<std::uint32_t>(*fanout);
+    }
+  } else if (const auto fanout = arg_int(args, "--fabric-fanout=")) {
+    topo_opt_ = comm::TopologySpec{comm::TopologyKind::KAry,
+                                   static_cast<std::uint32_t>(*fanout)};
+  }
+  if (const auto rndv = arg_value(args, "--rndv=")) {
+    rndv_setting_ = RndvSetting::parse(*rndv).value_or(RndvSetting{});
+  } else if (const auto legacy = arg_int(args, "--rndv-threshold=");
+             legacy && *legacy != 0) {
+    rndv_setting_ = RndvSetting{RndvSetting::Mode::Bytes,
+                                static_cast<std::uint32_t>(*legacy)};
+  }
+  platform_ = arg_value(args, "--platform=").value_or("");
+  calibration_ = arg_value(args, "--calibration=").value_or("");
+
+  // Pre-tuning placeholders; tune_session() overwrites all four. The launch
+  // protocol's fan-out is independent of the fabric family: binomial/flat
+  // fabrics still forward the bulk launch (and tree-rsh agents) at the
+  // configured degree, not at the spec's unused arity.
+  strategy_kind_ = strategy_opt_.value_or(comm::LaunchStrategyKind::RmBulk);
+  fabric_topo_ = topo_opt_.value_or(comm::TopologySpec{
+      comm::TopologyKind::KAry, 0});
   launch_fanout_ = static_cast<std::uint32_t>(
       arg_int(args, "--fabric-fanout=").value_or(fabric_topo_.arity));
-  if (launch_fanout_ == 0) launch_fanout_ = 2;
   rndv_threshold_ = static_cast<std::uint32_t>(
       arg_int(args, "--rndv-threshold=").value_or(0));
 
@@ -240,9 +268,83 @@ void EngineProgram::fetch_and_ship_proctable(cluster::Process& self) {
   });
 }
 
+bool EngineProgram::tune_session(cluster::Process& self) {
+  // Cost base: the machine's own calibration, replaced by a named platform
+  // profile when the session selected one, overlaid by a calibration file.
+  cluster::CostModel costs = self.machine().costs();
+  if (!platform_.empty()) {
+    const auto profile =
+        cluster::CostModelRegistry::builtin().find(platform_);
+    if (!profile) {
+      send_error(self, "auto-tune",
+                 "unknown platform profile: " + platform_);
+      return false;
+    }
+    costs = *profile;
+  }
+  if (!calibration_.empty()) {
+    Status st = cluster::CostModelRegistry::apply_calibration_file(
+        calibration_, costs);
+    if (!st.is_ok()) {
+      send_error(self, "auto-tune", st.message());
+      return false;
+    }
+  }
+
+  AutoTuneRequest req;
+  req.strategy = strategy_opt_;
+  req.topology = topo_opt_;
+  req.rndv = rndv_setting_;
+  req.platform = platform_;
+  const std::size_t nhosts = proctable_.hosts().size();
+  req.n_nodes = static_cast<int>(nhosts == 0 ? 1 : nhosts);
+  req.tasks_per_node = static_cast<int>(std::max<std::size_t>(
+      1, nhosts == 0 ? 1 : proctable_.size() / nhosts));
+
+  obs::Tracer* tracer = self.machine().tracer();
+  obs::SpanId tune_span = obs::kNoSpan;
+  if (tracer != nullptr) {
+    tune_span = tracer->begin_span(
+        "engine.autotune", "engine", static_cast<int>(self.node().id()),
+        self.pid(), span_,
+        "n=" + std::to_string(req.n_nodes) +
+            (platform_.empty() ? std::string() : " platform=" + platform_));
+  }
+  tuned_ = auto_tune(costs, req);
+  tuned_valid_ = true;
+  strategy_kind_ = tuned_.strategy;
+  fabric_topo_ = tuned_.topology;
+  launch_fanout_ = tuned_.topology.arity;
+  rndv_threshold_ = tuned_.rndv_threshold;
+  if (tracer != nullptr) {
+    tracer->end_span(
+        tune_span,
+        "strategy=" + std::string(comm::to_string(tuned_.strategy)) +
+            " topo=" + tuned_.topology.to_string() +
+            " rndv=" + std::to_string(tuned_.rndv_threshold) +
+            " predicted_s=" + std::to_string(tuned_.predicted_total_s));
+  }
+  if (obs::Metrics* metrics = self.machine().metrics(); metrics != nullptr) {
+    metrics->set_gauge("autotune.predicted_total_s",
+                       tuned_.predicted_total_s);
+    metrics->set_gauge("autotune.strategy",
+                       static_cast<double>(tuned_.strategy));
+    metrics->set_gauge("autotune.fabric_arity",
+                       static_cast<double>(tuned_.topology.arity));
+    metrics->set_gauge("autotune.rndv_threshold_bytes",
+                       static_cast<double>(tuned_.rndv_threshold));
+    metrics->set_gauge("autotune.bcast_crossover_bytes",
+                       static_cast<double>(tuned_.bcast_crossover));
+    metrics->set_gauge("autotune.gather_crossover_bytes",
+                       static_cast<double>(tuned_.gather_crossover));
+  }
+  return true;
+}
+
 void EngineProgram::co_spawn_daemons(cluster::Process& self) {
   phase_ = Phase::Spawning;
   const auto& args = self.args();
+  if (!tune_session(self)) return;
 
   comm::LaunchRequest req;
   req.daemon_exe = arg_value(args, "--daemon-exe=").value_or("");
@@ -257,6 +359,7 @@ void EngineProgram::co_spawn_daemons(cluster::Process& self) {
   req.bootstrap.size =
       static_cast<std::uint32_t>(req.bootstrap.hosts.size());
   req.bootstrap.rndv_threshold = rndv_threshold_;
+  req.bootstrap.platform = platform_;
   req.launch_fanout = launch_fanout_;
   req.jobid = jobid_;
   req.report_port = static_cast<cluster::Port>(
@@ -271,6 +374,7 @@ void EngineProgram::co_spawn_daemons(cluster::Process& self) {
     adapter_->continue_job();
     payload::DaemonsSpawned spawned;
     spawned.ok = true;
+    if (tuned_valid_) spawned.tuned = tuned_.encode();
     send_fe(self, LmonpMessage::fe_engine(FeEngineMsg::DaemonsSpawned,
                                           spawned.encode()));
     return;
@@ -307,6 +411,7 @@ void EngineProgram::on_daemons_launched(cluster::Process& self,
   spawned.ok = res.status.is_ok();
   spawned.error = res.status.message();
   spawned.daemon_table = Rpdtab(std::move(res.daemons)).pack();
+  if (tuned_valid_) spawned.tuned = tuned_.encode();
   send_fe(self, LmonpMessage::fe_engine(FeEngineMsg::DaemonsSpawned,
                                         spawned.encode()));
   phase_ = Phase::Running;
@@ -376,6 +481,7 @@ void EngineProgram::handle_launch_mw(cluster::Process& self,
   cfg.fabric.fanout = req->fabric_fanout;
   cfg.fabric.topo_kind = req->fabric_topo;
   cfg.fabric.rndv_threshold = rndv_threshold_;
+  cfg.fabric.platform = platform_;
   cfg.fabric.fe_host = fe_host_;
   cfg.fabric.fe_port = fe_port_;
   cfg.fabric.session = session_ + "-mw" + std::to_string(mw_sessions_);

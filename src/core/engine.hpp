@@ -17,8 +17,13 @@
 //   launch: --nnodes=N --tpn=T --exe=NAME [--app-arg=...]
 //   attach: --target-pid=P
 //   daemons: --daemon-exe=NAME [--daemon-arg=...] --fabric-port=P
-//            --fabric-topo=kary:K|binomial|flat --report-port=P
-//            --launch-strategy=rm-bulk|serial-rsh|tree-rsh
+//            --fabric-topo=kary:K|binomial|flat|auto --report-port=P
+//            --launch-strategy=rm-bulk|serial-rsh|tree-rsh|auto
+//            [--rndv=auto|platform-default|always-eager|always-rndv|N]
+//            [--platform=NAME] [--calibration=FILE]
+//   "auto" knobs are resolved at co-spawn time by core::auto_tune against
+//   the --platform profile (default: the machine's own cost model),
+//   optionally overlaid with a --calibration key=value file.
 #pragma once
 
 #include <deque>
@@ -29,6 +34,7 @@
 #include "cluster/process.hpp"
 #include "cluster/tracing.hpp"
 #include "comm/launch_strategy.hpp"
+#include "core/auto_tune.hpp"
 #include "core/lmonp.hpp"
 #include "core/rm_adapter.hpp"
 #include "core/rpdtab.hpp"
@@ -103,6 +109,12 @@ class EngineProgram : public cluster::Program {
 
   void start_operation(cluster::Process& self);
   void fetch_and_ship_proctable(cluster::Process& self);
+  /// Resolves any session knobs the FE left on "auto" against the selected
+  /// platform profile (core::auto_tune), records the decision in the
+  /// trace/metrics plane and fills strategy_kind_/fabric_topo_/
+  /// launch_fanout_/rndv_threshold_ with the tuned values. Returns false
+  /// (after send_error) when the platform/calibration selection is invalid.
+  bool tune_session(cluster::Process& self);
   void co_spawn_daemons(cluster::Process& self);
   void on_daemons_launched(cluster::Process& self, comm::LaunchResult res);
   /// Tears down BE daemons (whatever strategy launched them) and any MW
@@ -117,12 +129,22 @@ class EngineProgram : public cluster::Program {
 
   AdapterFactory adapter_factory_;
   std::unique_ptr<RmAdapter> adapter_;
-  /// Selected by --launch-strategy; owns the BE daemons' bootstrap.
+  /// Selected by --launch-strategy (or the tuner); owns the BE daemons'
+  /// bootstrap.
   std::unique_ptr<comm::LaunchStrategy> strategy_;
   comm::LaunchStrategyKind strategy_kind_ = comm::LaunchStrategyKind::RmBulk;
   comm::TopologySpec fabric_topo_;
   std::uint32_t launch_fanout_ = 2;  ///< launch-protocol tree degree
   std::uint32_t rndv_threshold_ = 0;  ///< ICCL eager/rendezvous switch
+  // Pre-tuning knob state ("auto" spellings stay unset until the proctable
+  // tells us the scale) plus the platform/calibration selection.
+  std::optional<comm::LaunchStrategyKind> strategy_opt_;
+  std::optional<comm::TopologySpec> topo_opt_;
+  RndvSetting rndv_setting_;
+  std::string platform_;
+  std::string calibration_;
+  TunedConfig tuned_;
+  bool tuned_valid_ = false;
   EventManager event_manager_;
   EventDecoder decoder_;
   Phase phase_ = Phase::Init;

@@ -154,19 +154,37 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
   for (const auto& a : s->cfg.daemon_args) {
     opts.args.push_back("--daemon-arg=" + a);
   }
-  comm::TopologySpec topo = s->cfg.topology;
-  if (topo.arity == 0) {
-    topo.arity = static_cast<std::uint32_t>(
-        self_.machine().costs().rm_launch_fanout);
-  }
   opts.args.push_back("--fabric-port=" + std::to_string(s->fabric_port));
-  opts.args.push_back("--fabric-topo=" + topo.to_string());
-  opts.args.push_back("--fabric-fanout=" + std::to_string(topo.arity));
-  opts.args.push_back("--launch-strategy=" +
-                      std::string(comm::to_string(s->cfg.launch_strategy)));
-  if (s->cfg.rndv_threshold_bytes != 0) {
-    opts.args.push_back("--rndv-threshold=" +
-                        std::to_string(s->cfg.rndv_threshold_bytes));
+  // Unset knobs travel as "auto": the engine resolves them against the
+  // platform profile once the proctable pins the scale (core::auto_tune).
+  if (s->cfg.topology) {
+    comm::TopologySpec topo = *s->cfg.topology;
+    if (topo.arity == 0) {
+      topo.arity = static_cast<std::uint32_t>(
+          self_.machine().costs().rm_launch_fanout);
+    }
+    opts.args.push_back("--fabric-topo=" + topo.to_string());
+    opts.args.push_back("--fabric-fanout=" + std::to_string(topo.arity));
+  } else {
+    opts.args.push_back("--fabric-topo=auto");
+  }
+  opts.args.push_back(
+      "--launch-strategy=" +
+      (s->cfg.launch_strategy
+           ? std::string(comm::to_string(*s->cfg.launch_strategy))
+           : std::string("auto")));
+  // Precedence explicit > profile > model: a nonzero legacy byte count is
+  // the explicit spelling and wins over the structured setting.
+  const RndvSetting rndv =
+      s->cfg.rndv_threshold_bytes != 0
+          ? RndvSetting{RndvSetting::Mode::Bytes, s->cfg.rndv_threshold_bytes}
+          : s->cfg.rndv;
+  opts.args.push_back("--rndv=" + rndv.to_string());
+  if (!s->cfg.platform_profile.empty()) {
+    opts.args.push_back("--platform=" + s->cfg.platform_profile);
+  }
+  if (!s->cfg.calibration_file.empty()) {
+    opts.args.push_back("--calibration=" + s->cfg.calibration_file);
   }
   opts.args.push_back("--report-port=" + std::to_string(s->report_port));
 
@@ -305,6 +323,12 @@ void FrontEnd::on_engine_message(Session& s, const LmonpMessage& msg) {
       }
       auto table = Rpdtab::unpack(spawned->daemon_table);
       if (table) s.daemon_table = std::move(*table);
+      if (!spawned->tuned.empty()) {
+        if (auto tuned = TunedConfig::decode(spawned->tuned)) {
+          s.tuned = std::move(*tuned);
+          s.have_tuned = true;
+        }
+      }
       s.daemons_spawned = true;
       break;
     }
@@ -443,12 +467,15 @@ void FrontEnd::launch_mw_daemons(int sid, std::uint32_t nnodes,
   req.daemon_exe = s->mw_cfg.daemon_exe;
   req.daemon_args = s->mw_cfg.daemon_args;
   req.fabric_port = s->mw_fabric_port;
+  // MW fabrics have no tuner pass (they ride the RM's co-spawn); an unset
+  // topology falls back to the platform's k-ary RM fan-out directly.
+  const comm::TopologySpec mw_topo = s->mw_cfg.topology.value_or(
+      comm::TopologySpec{comm::TopologyKind::KAry, 0});
   req.fabric_fanout =
-      s->mw_cfg.topology.arity != 0
-          ? s->mw_cfg.topology.arity
-          : static_cast<std::uint32_t>(
-                self_.machine().costs().rm_launch_fanout);
-  req.fabric_topo = s->mw_cfg.topology.kind;
+      mw_topo.arity != 0 ? mw_topo.arity
+                         : static_cast<std::uint32_t>(
+                               self_.machine().costs().rm_launch_fanout);
+  req.fabric_topo = mw_topo.kind;
   self_.send(s->engine_ch,
              LmonpMessage::fe_engine(FeEngineMsg::LaunchMwReq, req.encode())
                  .encode());
@@ -477,6 +504,11 @@ const Rpdtab* FrontEnd::mw_table(int sid) const {
 const Bytes* FrontEnd::ready_usrdata(int sid) const {
   const Session* s = find(sid);
   return s != nullptr ? &s->ready_usr : nullptr;
+}
+
+const TunedConfig* FrontEnd::tuned_config(int sid) const {
+  const Session* s = find(sid);
+  return (s != nullptr && s->have_tuned) ? &s->tuned : nullptr;
 }
 
 Status FrontEnd::send_usrdata_be(int sid, Bytes data) {

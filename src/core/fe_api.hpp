@@ -30,6 +30,7 @@
 #include "cluster/process.hpp"
 #include "comm/launch_strategy.hpp"
 #include "comm/topology.hpp"
+#include "core/auto_tune.hpp"
 #include "core/lmonp.hpp"
 #include "core/rpdtab.hpp"
 #include "obs/trace.hpp"
@@ -43,18 +44,32 @@ class FrontEnd {
   struct SpawnConfig {
     std::string daemon_exe;
     std::vector<std::string> daemon_args;
-    /// Bootstrap-fabric tree shape. KAry with arity 0 uses the cost
-    /// model's RM fan-out; Binomial/Flat ignore arity.
-    comm::TopologySpec topology{comm::TopologyKind::KAry, 0};
-    /// How the daemons get onto the nodes: the RM's scalable bulk launch
-    /// (default) or one of the paper's §2 ad hoc rsh baselines.
-    comm::LaunchStrategyKind launch_strategy =
-        comm::LaunchStrategyKind::RmBulk;
-    /// ICCL eager->rendezvous collective switch threshold (payload bytes).
-    /// 0 uses the platform default; UINT32_MAX pins the session to eager,
-    /// 1 pins it to rendezvous (benches ablate both). Tune with
-    /// core::PerfModel::collective_crossover().
+    /// Bootstrap-fabric tree shape. Unset (nullopt, the default) lets the
+    /// engine's auto-tuner pick the kind and fan-out from the PerfModel;
+    /// KAry with arity 0 uses the platform's RM fan-out; Binomial/Flat
+    /// ignore arity.
+    std::optional<comm::TopologySpec> topology;
+    /// How the daemons get onto the nodes: unset (default) lets the
+    /// auto-tuner choose (it never picks a strategy whose model predicts
+    /// failure); explicit values force the RM's scalable bulk launch or one
+    /// of the paper's §2 ad hoc rsh baselines.
+    std::optional<comm::LaunchStrategyKind> launch_strategy;
+    /// ICCL eager->rendezvous switch: auto (default, model-driven via
+    /// PerfModel::collective_crossover on the tuned fabric),
+    /// platform-default, always-eager, always-rndv, or an explicit byte
+    /// count. Overrides rndv_threshold_bytes semantics below.
+    RndvSetting rndv;
+    /// Legacy spelling of an explicit threshold (payload bytes). Nonzero
+    /// takes precedence over `rndv`; 0 defers to it. UINT32_MAX pins the
+    /// session to eager, 1 pins it to rendezvous (benches ablate both).
     std::uint32_t rndv_threshold_bytes = 0;
+    /// Platform calibration profile consulted by the auto-tuner and the
+    /// daemons' ICCL ("atlas", "thunder", "zeus", "bluegene" - see
+    /// cluster::CostModelRegistry). Empty = the machine's own cost model.
+    std::string platform_profile;
+    /// Optional key=value calibration file overlaid on the profile
+    /// (engine-side, rejected with line numbers on malformed input).
+    std::string calibration_file;
     /// Tool data piggybacked on the FE->master handshake (paper §3.2:
     /// "enables piggybacking of the tool's data with the LaunchMON front
     /// end's handshaking exchanges").
@@ -122,6 +137,10 @@ class FrontEnd {
   [[nodiscard]] const Rpdtab* mw_table(int sid) const;
   /// Tool data the BE master piggybacked on Ready.
   [[nodiscard]] const Bytes* ready_usrdata(int sid) const;
+  /// The configuration the engine's auto-tuner resolved for this session
+  /// (strategy/topology/threshold plus the model evidence), or nullptr
+  /// before DaemonsSpawned arrives.
+  [[nodiscard]] const TunedConfig* tuned_config(int sid) const;
 
   // --- tool data transfer ---------------------------------------------------------
   Status send_usrdata_be(int sid, Bytes data);
@@ -153,6 +172,8 @@ class FrontEnd {
     Rpdtab daemon_table;
     Rpdtab mw_table;
     Bytes ready_usr;
+    TunedConfig tuned;
+    bool have_tuned = false;
     bool have_proctable = false;
     bool daemons_spawned = false;
     Done done;

@@ -31,6 +31,7 @@ Bytes DaemonsSpawned::encode() const {
   w.boolean(ok);
   w.str(error);
   w.blob(daemon_table);
+  w.blob(tuned);
   return std::move(w).take();
 }
 
@@ -44,6 +45,8 @@ std::optional<DaemonsSpawned> DaemonsSpawned::decode(const Bytes& b) {
   out.ok = *ok_f;
   out.error = std::move(*err);
   out.daemon_table = std::move(*table);
+  // Tuning record: absent on pre-tuner senders (same-repo MW paths).
+  if (auto tuned = r.blob()) out.tuned = std::move(*tuned);
   return out;
 }
 

@@ -32,6 +32,9 @@ struct DaemonsSpawned {
   bool ok = false;
   std::string error;
   Bytes daemon_table;  ///< packed Rpdtab of the spawned daemons
+  /// Encoded core::TunedConfig the engine's auto-tuner resolved for this
+  /// session (empty when the spawn path never tuned, e.g. MW launches).
+  Bytes tuned;
 
   [[nodiscard]] Bytes encode() const;
   static std::optional<DaemonsSpawned> decode(const Bytes& b);

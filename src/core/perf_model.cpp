@@ -88,6 +88,7 @@ int PerfModel::chunk_depth(int n, std::uint32_t fanout) const {
   if (n <= 1) return 0;
   // Contiguous chunk splitting with degree k: level l reaches ~k^l nodes.
   const std::uint32_t k = fanout == 0 ? 2 : fanout;
+  if (k == 1) return n - 1;  // degenerate chain: one forward per level
   int levels = 0;
   double reached = 1.0;
   while (reached < static_cast<double>(n)) {
@@ -219,7 +220,8 @@ double PerfModel::tree_rsh_daemons(int n, std::uint32_t launch_fanout) const {
 
 LaunchSpawnPrediction PerfModel::predict(
     comm::LaunchStrategyKind strategy, const comm::TopologySpec& fabric,
-    int n_nodes, int procs_per_node) const {
+    int n_nodes, int procs_per_node,
+    std::uint32_t rndv_threshold_bytes) const {
   LaunchSpawnPrediction p;
   const double n = static_cast<double>(n_nodes);
   const double ntasks = n * static_cast<double>(procs_per_node);
@@ -275,19 +277,31 @@ LaunchSpawnPrediction PerfModel::predict(
   // levels (see fabric_pipeline_quanta); the upward gather overlaps the
   // tail of the broadcast, so one pipelined pass dominates, plus the
   // payload transfers and per-hop receive handling along the deepest path.
-  // The handshake rides the eager path (the RPDTAB stays far below the
-  // default rendezvous threshold), so each sibling quantum carries the
-  // per-child payload copy and each hop pays the receive-side copy-out.
+  // Which protocol the broadcast rides follows the session threshold: below
+  // it each sibling quantum carries the per-child payload copy and each hop
+  // pays the receive-side copy-out (eager); at or above it the exact
+  // rendezvous replay prices the RTS/CTS waves and chunk pipeline instead.
   const double rpdtab_bytes = kRpdtabEntryBytes * ntasks;
-  const double eager_copy =
-      rpdtab_bytes / 1024.0 * seconds(costs_.iccl_eager_copy_per_kb);
-  const double pipeline_cost =
-      fabric_pipeline_quanta(resolved, n_nodes) *
-      (seconds(costs_.iccl_msg_handle) + eager_copy);
-  p.t_collective = pipeline_cost +
-                   df * (transfer_cost(rpdtab_bytes) + eager_copy +
-                         transfer_cost(16.0 * n) +
-                         seconds(costs_.iccl_msg_handle));
+  const std::uint32_t eff_threshold =
+      rndv_threshold_bytes != 0 ? rndv_threshold_bytes
+                                : costs_.iccl_rndv_threshold_bytes;
+  const double ack_path = df * (transfer_cost(16.0 * n) +
+                                seconds(costs_.iccl_msg_handle));
+  if (rpdtab_bytes >= static_cast<double>(eff_threshold)) {
+    p.t_collective =
+        collective_bcast(CollectiveProtocol::Rendezvous, resolved, n_nodes,
+                         static_cast<std::size_t>(rpdtab_bytes)) +
+        ack_path;
+  } else {
+    const double eager_copy =
+        rpdtab_bytes / 1024.0 * seconds(costs_.iccl_eager_copy_per_kb);
+    const double pipeline_cost =
+        fabric_pipeline_quanta(resolved, n_nodes) *
+        (seconds(costs_.iccl_msg_handle) + eager_copy);
+    p.t_collective = pipeline_cost +
+                     df * (transfer_cost(rpdtab_bytes) + eager_copy) +
+                     ack_path;
+  }
 
   // --- LaunchMON terms -------------------------------------------------------
   p.tracing = static_cast<double>(costs_.rm_debug_events) *
@@ -314,7 +328,14 @@ bool PerfModel::predicts_failure(comm::LaunchStrategyKind strategy,
   // Serial rsh pins one helper child (and one open session) per node at the
   // front end for the whole launch, so the per-user fork limit is a hard
   // wall. The tree variant holds at most `fanout` helpers per agent and the
-  // RM path forks a single srun: neither exhausts the limit.
+  // RM path forks a single srun: neither exhausts the limit. On machines
+  // whose compute/IO nodes run no remote-access services at all
+  // (BlueGene-class lightweight kernels), every rsh flavor is dead on
+  // arrival - only the RM's own launch path can place daemons.
+  if (!costs_.has_remote_access &&
+      strategy != comm::LaunchStrategyKind::RmBulk) {
+    return true;
+  }
   return strategy == comm::LaunchStrategyKind::SerialRsh &&
          n_nodes > costs_.rsh_fork_limit;
 }
@@ -635,6 +656,157 @@ std::optional<std::size_t> PerfModel::collective_gather_crossover(
       costs_.iccl_rndv_chunk_bytes, max_payload, [&](std::size_t s) {
         return collective_gather(CollectiveProtocol::Eager, spec, n, s) -
                collective_gather(CollectiveProtocol::Rendezvous, spec, n, s);
+      });
+}
+
+double PerfModel::collective_scatter(CollectiveProtocol proto,
+                                     const comm::TopologySpec& spec, int n,
+                                     std::size_t payload_bytes) const {
+  if (n <= 1) return 0.0;
+  comm::TopologySpec resolved = spec;
+  if (resolved.kind == comm::TopologyKind::KAry && resolved.arity == 0) {
+    resolved.arity = static_cast<std::uint32_t>(costs_.rm_launch_fanout);
+  }
+  const comm::Topology topo(resolved, static_cast<std::uint32_t>(n));
+  const sim::Time L = costs_.net_latency;
+  const sim::Time h = costs_.iccl_msg_handle;
+  const double bw = costs_.bandwidth_bytes_per_sec;
+  auto wire = [&](double bytes) {
+    return L + static_cast<sim::Time>(bytes / bw * 1e9);
+  };
+  const double S = static_cast<double>(payload_bytes);
+  const auto nn = static_cast<std::uint32_t>(n);
+
+  // Subtree sizes (parent < child in every fabric family).
+  std::vector<std::uint32_t> sz(nn, 1);
+  for (std::uint32_t r = nn - 1; r >= 1; --r) {
+    sz[*topo.parent_of(r)] += sz[r];
+  }
+
+  if (proto == CollectiveProtocol::Eager) {
+    // Exact replay of handle_scatter: start[r] is when rank r's handler
+    // runs (its whole subtree frame processed); its own part is delivered
+    // in that same event. Child i's frame departs after the serialized
+    // quanta of the parts queued before it.
+    std::vector<sim::Time> start(nn, 0);
+    sim::Time worst = 0;
+    for (std::uint32_t r = 0; r < nn; ++r) {
+      const auto children = topo.children_of(r);
+      sim::Time offset = 0;
+      for (const std::uint32_t c : children) {
+        const double part_data = static_cast<double>(sz[c]) * S;
+        const double frame_bytes =
+            kFrameBytes + static_cast<double>(sz[c]) * (kEntryBytes + S);
+        start[c] = start[r] + offset + wire(frame_bytes) + h +
+                   scaled_per_kb(costs_.iccl_eager_copy_per_kb, part_data);
+        worst = std::max(worst, start[c]);
+        offset += h + scaled_per_kb(costs_.iccl_eager_copy_per_kb, part_data);
+      }
+    }
+    return seconds(worst);
+  }
+
+  // Hypothetical rendezvous scatter. Each link carries the child's whole
+  // subtree stream, laid out subtree-major: the child's own entry first,
+  // then each grandchild segment in children order (recursively). A relay
+  // cut-through-forwards an outbound chunk the moment the inbound chunk
+  // covering its byte range retires; the root holds everything at t=0.
+  const std::uint32_t C = costs_.iccl_rndv_chunk_bytes;
+  const sim::Time c_h = costs_.iccl_chunk_handle;
+  const sim::Time rts_wire = wire(kFrameBytes + kEntryBytes + 4.0);
+  const sim::Time cts_wire = wire(kFrameBytes);
+  const double entry = kEntryBytes + S;
+  auto stream_bytes = [&](std::uint32_t r) {
+    return static_cast<double>(sz[r]) * entry;
+  };
+  auto chunks_of = [&](double bytes) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::size_t>(bytes) + C - 1) / C);
+  };
+
+  // H[r]: rank r's RTS processed; P[r][k]: inbound chunk k retired at r.
+  // delivered[r]: r's own entry handed to its scatter handler (the chunk
+  // covering stream bytes [0, entry) - the head of its inbound stream).
+  std::vector<sim::Time> H(nn, 0);
+  std::vector<std::vector<sim::Time>> P(nn);
+  std::vector<sim::Time> delivered(nn, 0);
+  sim::Time worst = 0;
+  for (std::uint32_t r = 0; r < nn; ++r) {
+    const auto children = topo.children_of(r);
+    if (children.empty()) continue;
+    // RTS fan-out and the CTS collection gate, as in the bcast replay.
+    std::vector<sim::Time> last_arrival(children.size());
+    sim::Time cts_done = 0;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const sim::Time rts_arr =
+          H[r] + static_cast<sim::Time>(i) * h + rts_wire;
+      last_arrival[i] = rts_arr;
+      H[children[i]] = rts_arr + h;
+      cts_done = std::max(cts_done, H[children[i]] + cts_wire + h);
+    }
+    // Offset of child i's segment within r's own inbound stream (own entry
+    // first, then prior siblings' segments). The root reads from the
+    // caller's buffer: every byte is available at t=0.
+    double seg_off = entry;
+    std::vector<std::uint32_t> m_of(children.size());
+    std::vector<double> off_of(children.size());
+    std::uint32_t m_max = 0;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      off_of[i] = seg_off;
+      m_of[i] = chunks_of(stream_bytes(children[i]));
+      m_max = std::max(m_max, m_of[i]);
+      seg_off += stream_bytes(children[i]);
+    }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      P[children[i]].assign(m_of[i], 0);
+    }
+    // Serialized chunk cursor, round-robin across the children.
+    sim::Time cursor = 0;
+    for (std::uint32_t j = 0; j < m_max; ++j) {
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (j >= m_of[i]) continue;
+        const double B = stream_bytes(children[i]);
+        const double chunk_bytes =
+            j + 1 == m_of[i] ? B - static_cast<double>(j) * C
+                             : static_cast<double>(C);
+        // Cut-through gate: the inbound chunk covering the *last* byte of
+        // this outbound range must have retired.
+        sim::Time avail = 0;
+        if (r != 0) {
+          const double last_byte =
+              off_of[i] + static_cast<double>(j) * C + chunk_bytes - 1.0;
+          const auto k = static_cast<std::size_t>(last_byte /
+                                                  static_cast<double>(C));
+          avail = P[r][std::min(k, P[r].size() - 1)];
+        }
+        const sim::Time ready = std::max(avail, cts_done);
+        const sim::Time chunk_wire =
+            wire(kFrameBytes + kEntryBytes + chunk_bytes);
+        const sim::Time depart = std::max(cursor, ready);
+        sim::Time arr = depart + chunk_wire;
+        if (arr <= last_arrival[i]) arr = last_arrival[i] + 1;  // FIFO
+        last_arrival[i] = arr;
+        P[children[i]][j] = arr + c_h;
+        cursor = depart + c_h;
+      }
+    }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const auto head = static_cast<std::size_t>((entry - 1.0) /
+                                                 static_cast<double>(C));
+      const std::uint32_t c = children[i];
+      delivered[c] = P[c][std::min(head, P[c].size() - 1)];
+      worst = std::max(worst, delivered[c]);
+    }
+  }
+  return seconds(worst);
+}
+
+std::optional<std::size_t> PerfModel::collective_scatter_crossover(
+    const comm::TopologySpec& spec, int n, std::size_t max_payload) const {
+  return crossover_from_gap(
+      costs_.iccl_rndv_chunk_bytes, max_payload, [&](std::size_t s) {
+        return collective_scatter(CollectiveProtocol::Eager, spec, n, s) -
+               collective_scatter(CollectiveProtocol::Rendezvous, spec, n, s);
       });
 }
 

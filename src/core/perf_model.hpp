@@ -86,13 +86,22 @@ class PerfModel {
   /// `strategy` bootstrapping `n_nodes` daemons over a `fabric`-shaped
   /// tree, with `procs_per_node` MPI tasks per node. A fabric arity of 0
   /// resolves to the cost model's RM fan-out, mirroring the FE API.
+  /// `rndv_threshold_bytes` is the session's wire threshold (0 = the cost
+  /// model's platform default): when the handshake RPDTAB payload reaches
+  /// it, T(collective) is predicted with the rendezvous broadcast replay
+  /// instead of the eager closed form - so auto-tuned thresholds and the
+  /// full-scale residual gates see the protocol the fabric will actually
+  /// run.
   [[nodiscard]] LaunchSpawnPrediction predict(
       comm::LaunchStrategyKind strategy, const comm::TopologySpec& fabric,
-      int n_nodes, int procs_per_node) const;
+      int n_nodes, int procs_per_node,
+      std::uint32_t rndv_threshold_bytes = 0) const;
 
   /// True when the strategy cannot complete at this scale at all: the
   /// serial front end holds one rsh helper child per node, so past the
-  /// per-user fork limit the launch "consistently fails" (paper §5.2).
+  /// per-user fork limit the launch "consistently fails" (paper §5.2);
+  /// and on machines without remote-access services (BlueGene-class I/O
+  /// node kernels run no rshd) both rsh flavors fail at any scale.
   [[nodiscard]] bool predicts_failure(comm::LaunchStrategyKind strategy,
                                       int n_nodes) const;
 
@@ -174,6 +183,34 @@ class PerfModel {
   /// eager again on this fabric, nullopt when eager still wins at max.
   /// Same chunk-segment probe geometry and closed-form interpolation.
   [[nodiscard]] std::optional<std::size_t> collective_gather_crossover(
+      const comm::TopologySpec& spec, int n,
+      std::size_t max_payload = 16u << 20) const;
+
+  /// Fleet-wide scatter latency (seconds) for `payload_bytes` destined to
+  /// *each rank* over an n-rank fabric of shape `spec`. t=0 is the root's
+  /// Iccl::scatter call; the clock stops when the last rank's own part is
+  /// delivered to its scatter handler. Eager is an exact replay of
+  /// handle_scatter: every node partitions its inbound frame by child
+  /// subtree, pays the serialized per-child quantum (handle + copy of the
+  /// part), ships one whole-subtree frame per child, and the receiver pays
+  /// handle + copy-out of the full frame before its own handler runs.
+  /// Rendezvous is a *hypothetical* protocol the live fabric does not
+  /// implement (scatter payloads ride eager frames at every threshold):
+  /// RTS/CTS per link, the per-child subtree stream laid out subtree-major
+  /// (own entry first, then each child segment), chunks round-robined
+  /// through the parent's serialized cursor with per-link FIFO, and
+  /// cut-through relay the moment the inbound chunk covering an outbound
+  /// range retires. bench_ablation_iccl sweeps this model to report
+  /// whether a rendezvous scatter would ever pay off.
+  [[nodiscard]] double collective_scatter(CollectiveProtocol proto,
+                                          const comm::TopologySpec& spec,
+                                          int n,
+                                          std::size_t payload_bytes) const;
+
+  /// Scatter twin of collective_crossover(): smallest *per-rank* part in
+  /// [1 KiB, max_payload] from which the hypothetical rendezvous scatter
+  /// never loses to eager again, nullopt when eager still wins at max.
+  [[nodiscard]] std::optional<std::size_t> collective_scatter_crossover(
       const comm::TopologySpec& spec, int n,
       std::size_t max_payload = 16u << 20) const;
 

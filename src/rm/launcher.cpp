@@ -87,6 +87,7 @@ void Launcher::start_cospawn(cluster::Process& self) {
   fabric_.session = arg_value(args, "--session=").value_or("s0");
   fabric_.rndv_threshold = static_cast<std::uint32_t>(
       arg_int(args, "--rndv-threshold=").value_or(0));
+  fabric_.platform = arg_value(args, "--platform=").value_or("");
   phase_ = Phase::Allocating;
 
   // Either co-locate with an existing job (--jobid) or request additional
@@ -426,6 +427,9 @@ void RmBulkStrategy::launch(cluster::Process& self, comm::LaunchRequest req,
   if (req.bootstrap.rndv_threshold != 0) {
     opts.args.push_back("--rndv-threshold=" +
                         std::to_string(req.bootstrap.rndv_threshold));
+  }
+  if (!req.bootstrap.platform.empty()) {
+    opts.args.push_back("--platform=" + req.bootstrap.platform);
   }
   opts.args.push_back("--fe-host=" + req.bootstrap.fe_host);
   opts.args.push_back("--fe-port=" + std::to_string(req.bootstrap.fe_port));

@@ -176,6 +176,7 @@ void NodeDaemon::handle_launch(cluster::Process& self,
       boot.fe_port = req.fabric.fe_port;
       boot.hosts = req.all_hosts;
       boot.rndv_threshold = req.fabric.rndv_threshold;
+      boot.platform = req.fabric.platform;
       opts.args = comm::bootstrap_args(boot,
                                        static_cast<std::uint32_t>(rank));
     } else {

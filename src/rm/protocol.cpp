@@ -199,6 +199,7 @@ cluster::Message TreeLaunchReq::encode() const {
   w.str(fabric.session);
   w.u8(static_cast<std::uint8_t>(fabric.topo_kind));
   w.u32(fabric.rndv_threshold);
+  w.str(fabric.platform);
   return finish(std::move(w));
 }
 
@@ -246,15 +247,16 @@ std::optional<TreeLaunchReq> TreeLaunchReq::decode(const cluster::Message& m) {
   auto fsess = r->str();
   auto ftopo = r->u8();
   auto frndv = r->u32();
+  auto fplatform = r->str();
   if (!fport || !ffan || !ftotal || !fhost || !ffeport || !fsess || !ftopo ||
-      !frndv) {
+      !frndv || !fplatform) {
     return std::nullopt;
   }
   const auto kind = comm::topology_kind_from_u8(*ftopo);
   if (!kind) return std::nullopt;
   out.fabric = FabricSpec{*fport,   *ffan,    *ftotal,
                           std::move(*fhost), *ffeport, std::move(*fsess),
-                          *kind,    *frndv};
+                          *kind,    *frndv,   std::move(*fplatform)};
   return out;
 }
 

@@ -94,6 +94,10 @@ struct FabricSpec {
   comm::TopologyKind topo_kind = comm::TopologyKind::KAry;
   /// ICCL eager->rendezvous switch threshold (bytes; 0 = platform default).
   std::uint32_t rndv_threshold = 0;
+  /// Platform calibration profile name (cluster::CostModelRegistry); empty
+  /// means "the machine's own costs". Daemons use it to resolve defaults
+  /// (e.g. the rendezvous threshold) the same way the engine's tuner did.
+  std::string platform;
 
   [[nodiscard]] comm::TopologySpec topology() const {
     return comm::TopologySpec{topo_kind, fanout};

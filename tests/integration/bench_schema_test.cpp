@@ -17,6 +17,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "bench/ablation_autotune_lib.hpp"
 #include "bench/ablation_iccl_lib.hpp"
 #include "bench/ablation_rsh_lib.hpp"
 #include "bench/fig5_jobsnap_lib.hpp"
@@ -126,6 +127,57 @@ TEST(BenchSchema, IcclReportIsWellFormedAtToyScale) {
   for (const auto& c : report.crossovers) {
     EXPECT_GT(c.measured_bytes, 0.0) << c.topology;
     EXPECT_GT(c.model_bytes, 0.0) << c.topology;
+  }
+
+  // The model-only scatter sweep rides along: one point per
+  // (topology, payload) and one crossover verdict per topology.
+  EXPECT_EQ(report.scatter_model.size(),
+            report.topologies.size() * opts.payloads.size());
+  EXPECT_EQ(report.scatter_crossovers.size(), report.topologies.size());
+  for (const auto& p : report.scatter_model) {
+    EXPECT_GE(p.eager_s, 0.0) << p.topology;
+    EXPECT_GE(p.rndv_s, 0.0) << p.topology;
+  }
+}
+
+TEST(BenchSchema, AblationAutotuneJsonShapeMatchesGolden) {
+  const bench::AutotuneAblationReport report =
+      bench::run_autotune_ablation(bench::AutotuneAblationOptions::smoke());
+  const std::string json = bench::to_json(report);
+  const std::string live_shape = bench::json_shape(json);
+
+  const std::string golden = read_golden("bench_ablation_autotune.schema.txt");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file tests/golden/bench_ablation_autotune.schema.txt";
+  EXPECT_EQ(live_shape, golden)
+      << "bench_ablation_autotune --json schema drifted.\nlive skeleton:\n"
+      << live_shape << "\nif intentional, update the golden file.";
+}
+
+TEST(BenchSchema, AutotuneReportIsWellFormedAtToyScale) {
+  const bench::AutotuneAblationOptions opts =
+      bench::AutotuneAblationOptions::smoke();
+  const bench::AutotuneAblationReport report =
+      bench::run_autotune_ablation(opts);
+
+  ASSERT_EQ(report.points.size(), opts.platforms.size() *
+                                      opts.scales.size() *
+                                      opts.tasks_per_node.size());
+  // The bench's own gates hold at toy scale: every session measured, auto
+  // matches or beats the hand-picked best within tolerance, the tuner's
+  // prediction lands within the residual gate, and no predicted-failure
+  // strategy is ever selected (the sweep includes bluegene, where every
+  // rsh flavor predicts failure).
+  EXPECT_EQ(report.measurement_failures, 0);
+  EXPECT_TRUE(report.auto_matches_or_beats_everywhere);
+  EXPECT_LE(report.max_auto_vs_best_pct, opts.tolerance_pct);
+  EXPECT_LE(report.max_abs_residual_pct, 15.0);
+  EXPECT_EQ(report.predicted_failure_selections, 0);
+  for (const auto& p : report.points) {
+    EXPECT_TRUE(p.auto_ok) << p.platform << " n=" << p.nodes;
+    EXPECT_TRUE(p.best_ok) << p.platform << " n=" << p.nodes;
+    EXPECT_FALSE(p.predicted_failure_selected)
+        << p.platform << " n=" << p.nodes << " picked " << p.auto_strategy;
   }
 }
 

@@ -48,7 +48,9 @@ TEST(RmProtocol, TreeLaunchReqRoundTrip) {
   req.tasks_per_node = 8;
   req.nodes = {{"atlas3", 2}, {"atlas4", 3}};
   req.all_hosts = {"atlas1", "atlas2", "atlas3", "atlas4"};
-  req.fabric = FabricSpec{7100, 32, 4, "atlas-fe", 7050, "s0p1"};
+  req.fabric = FabricSpec{7100,   32,     4,    "atlas-fe",
+                          7050,   "s0p1", comm::TopologyKind::Binomial,
+                          524288, "thunder"};
 
   auto back = TreeLaunchReq::decode(req.encode());
   ASSERT_TRUE(back.has_value());
@@ -67,6 +69,9 @@ TEST(RmProtocol, TreeLaunchReqRoundTrip) {
   EXPECT_EQ(back->fabric.fe_host, "atlas-fe");
   EXPECT_EQ(back->fabric.fe_port, 7050);
   EXPECT_EQ(back->fabric.session, "s0p1");
+  EXPECT_EQ(back->fabric.topo_kind, comm::TopologyKind::Binomial);
+  EXPECT_EQ(back->fabric.rndv_threshold, 524288u);
+  EXPECT_EQ(back->fabric.platform, "thunder");
 }
 
 TEST(RmProtocol, TreeLaunchAckRoundTrip) {
