@@ -14,6 +14,11 @@
 #                  golden structural schema (tests/golden/
 #                  trace_event.schema.txt) - catches exporter bit-rot the
 #                  same way the bench --json goldens catch report drift.
+#   --fault-smoke  build the Release preset and run only the fault-injection
+#                  surface: the self-heal suite, the subtree-reparent math
+#                  units, the TBON overlay heal test, and the availability
+#                  bench at smoke scale - the fast "did a refactor break
+#                  failure recovery" gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +30,19 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   cmake --preset release
   cmake --build --preset release -j "$JOBS"
   ctest --test-dir build-release -L bench-smoke --output-on-failure -j "$JOBS"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--fault-smoke" ]]; then
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS" \
+    --target self_heal_test comm_topology_test tbon_net_test \
+    bench_ablation_heal
+  build-release/self_heal_test
+  build-release/comm_topology_test --gtest_filter='HealMath.*'
+  build-release/tbon_net_test --gtest_filter='TbonNet.HealedOverlay*'
+  LMON_BENCH_SMOKE=1 build-release/bench_ablation_heal
+  echo "fault-smoke OK"
   exit 0
 fi
 

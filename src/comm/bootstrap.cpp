@@ -18,6 +18,13 @@ std::vector<std::string> bootstrap_args(const BootstrapSpec& spec,
   if (!spec.platform.empty()) {
     args.push_back("--lmon-platform=" + spec.platform);
   }
+  if (spec.heal) {
+    args.push_back("--lmon-heal=1");
+    if (spec.heal_grace_ms != 0) {
+      args.push_back("--lmon-heal-grace-ms=" +
+                     std::to_string(spec.heal_grace_ms));
+    }
+  }
   args.push_back("--lmon-session=" + spec.session);
   if (!spec.fe_host.empty()) {
     args.push_back("--lmon-fe-host=" + spec.fe_host);
@@ -44,6 +51,9 @@ std::optional<BootstrapParams> parse_bootstrap(
   p.rndv_threshold = static_cast<std::uint32_t>(
       arg_int(args, "--lmon-rndv-threshold=").value_or(0));
   p.platform = arg_value(args, "--lmon-platform=").value_or("");
+  p.heal = arg_int(args, "--lmon-heal=").value_or(0) != 0;
+  p.heal_grace_ms = static_cast<std::uint32_t>(
+      arg_int(args, "--lmon-heal-grace-ms=").value_or(0));
 
   // Tree shape: the modern "--lmon-topo=kind:arity" form, with the
   // pre-topology "--lmon-fanout=K" spelling still accepted (k-ary).

@@ -42,6 +42,14 @@ struct BootstrapSpec {
   /// defaults (the rendezvous threshold above) from the named profile, so
   /// every rank agrees with the engine's tuner about what "default" means.
   std::string platform;
+  /// Self-healing: when set, daemons survive comm-daemon death by
+  /// reparenting orphaned subtrees onto the nearest live ancestor and
+  /// replaying in-flight collective state. Off by default - the historical
+  /// behavior (drop the dead subtree) is what non-healing sessions pin.
+  bool heal = false;
+  /// Grace window (ms) an adopter waits for a dead child's orphans to
+  /// reattach before retracting their unclaimed payloads; 0 = default.
+  std::uint32_t heal_grace_ms = 0;
 };
 
 /// What a daemon recovers from its argv.
@@ -56,6 +64,8 @@ struct BootstrapParams {
   std::vector<std::string> hosts;
   std::uint32_t rndv_threshold = 0;  ///< 0 = platform default
   std::string platform;              ///< profile name; empty = machine costs
+  bool heal = false;                 ///< self-healing tree recovery enabled
+  std::uint32_t heal_grace_ms = 0;   ///< orphan-reattach grace; 0 = default
 };
 
 /// Emits the "--lmon-*" argv for one daemon. Pass nullopt as `rank` for

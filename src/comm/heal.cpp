@@ -1,0 +1,80 @@
+#include "comm/heal.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lmon::comm {
+
+std::vector<std::uint32_t> ancestor_chain(const Topology& topo,
+                                          std::uint32_t rank) {
+  std::vector<std::uint32_t> chain;
+  auto up = topo.parent_of(rank);
+  while (up) {
+    chain.push_back(*up);
+    up = topo.parent_of(*up);
+  }
+  return chain;
+}
+
+std::optional<std::uint32_t> nearest_live_ancestor(
+    const Topology& topo, std::uint32_t rank,
+    const std::set<std::uint32_t>& dead) {
+  for (const std::uint32_t a : ancestor_chain(topo, rank)) {
+    if (dead.count(a) == 0) return a;
+  }
+  return std::nullopt;
+}
+
+std::vector<Adoption> reparent_plan(const Topology& topo,
+                                    const std::set<std::uint32_t>& dead) {
+  std::vector<Adoption> plan;
+  for (std::uint32_t r = 0; r < topo.size(); ++r) {
+    if (dead.count(r) != 0) continue;
+    const auto parent = topo.parent_of(r);
+    if (!parent || dead.count(*parent) == 0) continue;
+    const auto adopter = nearest_live_ancestor(topo, r, dead);
+    if (adopter) plan.push_back({r, *adopter});
+  }
+  return plan;
+}
+
+namespace {
+
+std::vector<Adoption> blocks_to_adoptions(
+    const std::vector<std::pair<std::size_t, std::size_t>>& blocks,
+    const std::vector<std::uint32_t>& orphans,
+    const std::vector<std::uint32_t>& adopters) {
+  std::vector<Adoption> plan;
+  plan.reserve(orphans.size());
+  for (std::size_t i = 0; i < blocks.size() && i < adopters.size(); ++i) {
+    const auto [begin, len] = blocks[i];
+    for (std::size_t j = 0; j < len; ++j) {
+      plan.push_back({orphans[begin + j], adopters[i]});
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<Adoption> assign_orphan_blocks(
+    const std::vector<std::uint32_t>& orphans,
+    const std::vector<std::uint32_t>& adopters) {
+  if (orphans.empty() || adopters.empty()) return {};
+  return blocks_to_adoptions(
+      split_contiguous(orphans.size(),
+                       static_cast<std::uint32_t>(adopters.size())),
+      orphans, adopters);
+}
+
+std::vector<Adoption> assign_orphan_blocks_weighted(
+    const std::vector<std::uint32_t>& orphans,
+    const std::vector<std::uint32_t>& adopters,
+    const std::vector<double>& weights) {
+  if (orphans.empty() || adopters.empty()) return {};
+  assert(weights.size() == adopters.size());
+  return blocks_to_adoptions(split_weighted(orphans.size(), weights), orphans,
+                             adopters);
+}
+
+}  // namespace lmon::comm

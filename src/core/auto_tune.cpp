@@ -60,6 +60,7 @@ Bytes TunedConfig::encode() const {
   w.u32(bcast_crossover);
   w.u32(gather_crossover);
   w.str(platform);
+  w.boolean(heal);
   return std::move(w).take();
 }
 
@@ -76,8 +77,9 @@ std::optional<TunedConfig> TunedConfig::decode(const Bytes& b) {
   const auto bx = r.u32();
   const auto gx = r.u32();
   auto platform = r.str();
+  const auto heal_f = r.boolean();
   if (!strat || !kind_raw || !arity || !rndv || !sm || !tm || !rm || !total ||
-      !bx || !gx || !platform) {
+      !bx || !gx || !platform || !heal_f) {
     return std::nullopt;
   }
   if (*strat > static_cast<std::uint8_t>(comm::LaunchStrategyKind::TreeRsh)) {
@@ -96,6 +98,7 @@ std::optional<TunedConfig> TunedConfig::decode(const Bytes& b) {
   cfg.bcast_crossover = *bx;
   cfg.gather_crossover = *gx;
   cfg.platform = std::move(*platform);
+  cfg.heal = *heal_f;
   return cfg;
 }
 

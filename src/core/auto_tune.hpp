@@ -81,6 +81,9 @@ struct TunedConfig {
   std::uint32_t gather_crossover = 0;
   /// Profile the tuner consulted ("" = the machine's own costs).
   std::string platform;
+  /// Self-healing daemon trees enabled for the session (a session option,
+  /// not a model decision; recorded so the FE/tools see the effective knob).
+  bool heal = false;
 
   [[nodiscard]] Bytes encode() const;
   static std::optional<TunedConfig> decode(const Bytes& b);

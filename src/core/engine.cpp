@@ -82,6 +82,9 @@ void EngineProgram::on_start(cluster::Process& self) {
   }
   platform_ = arg_value(args, "--platform=").value_or("");
   calibration_ = arg_value(args, "--calibration=").value_or("");
+  heal_ = arg_int(args, "--heal=").value_or(0) != 0;
+  heal_grace_ms_ = static_cast<std::uint32_t>(
+      arg_int(args, "--heal-grace-ms=").value_or(0));
 
   // Pre-tuning placeholders; tune_session() overwrites all four. The launch
   // protocol's fan-out is independent of the fabric family: binomial/flat
@@ -311,6 +314,7 @@ bool EngineProgram::tune_session(cluster::Process& self) {
             (platform_.empty() ? std::string() : " platform=" + platform_));
   }
   tuned_ = auto_tune(costs, req);
+  tuned_.heal = heal_;
   tuned_valid_ = true;
   strategy_kind_ = tuned_.strategy;
   fabric_topo_ = tuned_.topology;
@@ -337,6 +341,7 @@ bool EngineProgram::tune_session(cluster::Process& self) {
                        static_cast<double>(tuned_.bcast_crossover));
     metrics->set_gauge("autotune.gather_crossover_bytes",
                        static_cast<double>(tuned_.gather_crossover));
+    metrics->set_gauge("autotune.heal", tuned_.heal ? 1.0 : 0.0);
   }
   return true;
 }
@@ -360,6 +365,8 @@ void EngineProgram::co_spawn_daemons(cluster::Process& self) {
       static_cast<std::uint32_t>(req.bootstrap.hosts.size());
   req.bootstrap.rndv_threshold = rndv_threshold_;
   req.bootstrap.platform = platform_;
+  req.bootstrap.heal = heal_;
+  req.bootstrap.heal_grace_ms = heal_grace_ms_;
   req.launch_fanout = launch_fanout_;
   req.jobid = jobid_;
   req.report_port = static_cast<cluster::Port>(
@@ -482,6 +489,8 @@ void EngineProgram::handle_launch_mw(cluster::Process& self,
   cfg.fabric.topo_kind = req->fabric_topo;
   cfg.fabric.rndv_threshold = rndv_threshold_;
   cfg.fabric.platform = platform_;
+  cfg.fabric.heal = heal_;
+  cfg.fabric.heal_grace_ms = heal_grace_ms_;
   cfg.fabric.fe_host = fe_host_;
   cfg.fabric.fe_port = fe_port_;
   cfg.fabric.session = session_ + "-mw" + std::to_string(mw_sessions_);

@@ -143,6 +143,8 @@ class EngineProgram : public cluster::Program {
   RndvSetting rndv_setting_;
   std::string platform_;
   std::string calibration_;
+  bool heal_ = false;  ///< self-healing daemon trees for this session
+  std::uint32_t heal_grace_ms_ = 0;  ///< orphan-reattach grace (0 = default)
   TunedConfig tuned_;
   bool tuned_valid_ = false;
   EventManager event_manager_;

@@ -186,6 +186,13 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
   if (!s->cfg.calibration_file.empty()) {
     opts.args.push_back("--calibration=" + s->cfg.calibration_file);
   }
+  if (s->cfg.heal) {
+    opts.args.push_back("--heal=1");
+    if (s->cfg.heal_grace_ms != 0) {
+      opts.args.push_back("--heal-grace-ms=" +
+                          std::to_string(s->cfg.heal_grace_ms));
+    }
+  }
   opts.args.push_back("--report-port=" + std::to_string(s->report_port));
 
   auto res = self_.spawn_child(std::make_unique<EngineProgram>(),

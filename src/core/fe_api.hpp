@@ -70,6 +70,16 @@ class FrontEnd {
     /// Optional key=value calibration file overlaid on the profile
     /// (engine-side, rejected with line numbers on malformed input).
     std::string calibration_file;
+    /// Self-healing daemon trees: daemons survive comm-daemon death by
+    /// reparenting orphaned subtrees onto the nearest live ancestor and
+    /// replaying in-flight collective state (docs/ARCHITECTURE.md
+    /// "Self-healing trees"). Off by default: the historical drop-the-
+    /// subtree semantics stay bit-identical for non-healing sessions.
+    bool heal = false;
+    /// Orphan-reattach grace window in milliseconds (how long an adopter
+    /// suspends a dead child's collective stake waiting for its orphans);
+    /// 0 = the ICCL default.
+    std::uint32_t heal_grace_ms = 0;
     /// Tool data piggybacked on the FE->master handshake (paper §3.2:
     /// "enables piggybacking of the tool's data with the LaunchMON front
     /// end's handshaking exchanges").

@@ -110,6 +110,10 @@ Iccl::Iccl(cluster::Process& self, Params params)
                           : self_.machine().costs().iccl_rndv_threshold_bytes;
   }
   if (rndv_threshold_ == 0) rndv_threshold_ = 1;
+  heal_ = params_.heal;
+  heal_grace_ = params_.heal_grace_ms != 0 ? sim::ms(params_.heal_grace_ms)
+                                           : kHealGraceDefault;
+  parent_rank_ = topo_.parent_of(params_.rank).value_or(params_.rank);
 }
 
 void Iccl::start(std::function<void(Status)> subtree_ready) {
@@ -159,7 +163,8 @@ void Iccl::connect_parent(int attempts_left) {
   const auto parent_rank = topo_.parent_of(params_.rank);
   assert(parent_rank.has_value());
   const std::string& host = params_.hosts.at(*parent_rank);
-  self_.connect(host, params_.port, [this, attempts_left](
+  self_.connect(host, params_.port, [this, attempts_left,
+                                     parent_rank = *parent_rank](
                                         Status st, cluster::ChannelPtr ch) {
     if (!st.is_ok()) {
       if (attempts_left > 0) {
@@ -191,13 +196,17 @@ void Iccl::connect_parent(int attempts_left) {
       return;
     }
     parent_ = ch;
+    parent_rank_ = parent_rank;
     self_.set_channel_handler(
         ch,
         [this](const cluster::ChannelPtr& c, cluster::Message m) {
           on_fabric_message(c, std::move(m));
         },
         [this](const cluster::ChannelPtr&) {
-          parent_ = nullptr;  // session teardown: parent went away
+          // Session teardown: parent went away. In heal mode a post-ready
+          // parent loss is a comm-daemon death to recover from instead.
+          parent_ = nullptr;
+          if (heal_ && ready_fired_ && !left_) begin_reparent();
         });
     self_.send(ch, encode_frame(static_cast<std::uint8_t>(Kind::Register), 0,
                                 params_.rank, {}));
@@ -282,6 +291,20 @@ void Iccl::on_fabric_message(const cluster::ChannelPtr& ch,
       case Kind::GatherDrop:
         handle_gather_drop(frame.tag, frame.entries);
         break;
+      case Kind::Reattach:
+        if (!frame.entries.empty()) {
+          handle_reattach(ch, frame.src, frame.entries.front().second);
+        }
+        break;
+      case Kind::GatherResume:
+        handle_gather_resume(frame.tag, frame.entries);
+        break;
+      case Kind::GatherDone:
+        handle_gather_done(frame.tag);
+        break;
+      case Kind::Leave:
+        handle_leave(frame.src);
+        break;
     }
   });
 }
@@ -351,6 +374,10 @@ void Iccl::eager_fanout(std::uint32_t tag,
 }
 
 void Iccl::handle_bcast(std::uint32_t tag, Bytes data) {
+  // Heal replay duplicate: this round was already delivered here (and fanned
+  // out); drop it entirely so neither the handler nor the subtree sees it
+  // twice. Tags are unique per round, so the ring is an exact guard.
+  if (heal_ && bcast_history_.count(tag) != 0) return;
   // This node holds the complete payload (root issue, or an eager frame
   // arrived). One shared buffer backs every per-child send lambda.
   auto payload = std::make_shared<const Bytes>(std::move(data));
@@ -377,6 +404,7 @@ void Iccl::handle_bcast(std::uint32_t tag, Bytes data) {
       eager_fanout(tag, payload);
     }
   }
+  if (heal_) heal_record_bcast(tag, payload);
   if (on_bcast_) on_bcast_(tag, *payload);
 }
 
@@ -422,8 +450,12 @@ Iccl::RndvSend& Iccl::rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
 
 void Iccl::handle_rndv_rts(std::uint32_t tag, std::uint32_t nchunks,
                            std::uint32_t total) {
+  // Heal replay of a round this node already delivered: ignore it rather
+  // than re-opening receive/relay state the subtree already consumed.
+  if (heal_ && bcast_history_.count(tag) != 0) return;
   if (nchunks == 0) {
     // Degenerate empty rendezvous: deliver immediately.
+    if (heal_) heal_record_bcast(tag, std::make_shared<const Bytes>());
     if (on_bcast_) on_bcast_(tag, Bytes{});
     return;
   }
@@ -524,6 +556,12 @@ void Iccl::handle_rndv_chunk(std::uint32_t tag, std::uint32_t seq,
                        "bytes=" + std::to_string(assembled.size()));
     }
     rndv_recvs_.erase(it);
+    if (heal_) {
+      auto payload = std::make_shared<const Bytes>(std::move(assembled));
+      heal_record_bcast(tag, payload);
+      if (on_bcast_) on_bcast_(tag, *payload);
+      return;
+    }
     if (on_bcast_) on_bcast_(tag, assembled);
   }
 }
@@ -557,6 +595,13 @@ void Iccl::on_child_lost(const cluster::ChannelPtr& ch) {
       ++it;
     }
   }
+  // Heal mode: do not drop the dead child's subtree yet. Open a heal slot
+  // and give its orphans a grace window to reattach; only what stays
+  // unclaimed when the slot resolves is retracted.
+  if (heal_ && ready_fired_) {
+    heal_child_lost(*lost);
+    return;
+  }
   // Gather rounds: forgive the child's announce, and drop any of its
   // announced origins whose payload did not finish arriving - surviving
   // contributions must still be delivered.
@@ -582,6 +627,9 @@ Iccl::GatherState& Iccl::gather_state(std::uint32_t tag) {
     // Seed from the *live* children: a child that already died must not be
     // waited for (its whole subtree's contributions are gone with it).
     for (const auto& [rank, ch] : children_) st.children_pending.insert(rank);
+    // Open heal slots gate new rounds too: the dead child's orphans may
+    // reattach and contribute to this round before the slot resolves.
+    for (const auto& [dead, slot] : heal_slots_) st.healing.insert(dead);
     it = gathers_.emplace(tag, std::move(st)).first;
   }
   return it->second;
@@ -596,6 +644,7 @@ void Iccl::contribute(std::uint32_t tag, Bytes data) {
   self_.machine().count("iccl.gather_bytes_contributed",
                         static_cast<double>(data.size()));
   st.acc.emplace_back(params_.rank, std::move(data));
+  if (heal_) st.retained[params_.rank] = st.acc.back().second;
   flush_gather(tag);
 }
 
@@ -604,7 +653,27 @@ void Iccl::handle_gather_up(
     std::vector<std::pair<std::uint32_t, Bytes>> entries) {
   GatherState& st = gather_state(tag);
   st.children_pending.erase(src);
-  for (auto& e : entries) st.acc.push_back(std::move(e));
+  if (heal_) {
+    // Re-sent eager accumulation from a reattached orphan: keep only the
+    // origins this node has not seen yet (a prior partial path may have
+    // delivered some already via a different route).
+    entries.erase(
+        std::remove_if(entries.begin(), entries.end(),
+                       [&](const auto& e) {
+                         return st.retained.count(e.first) != 0 ||
+                                st.origin_bytes.count(e.first) != 0 ||
+                                st.assembling.count(e.first) != 0 ||
+                                st.dropped.count(e.first) != 0;
+                       }),
+        entries.end());
+    if (st.retired && entries.empty()) return;
+    for (auto& e : entries) {
+      st.retained[e.first] = e.second;
+      st.acc.push_back(std::move(e));
+    }
+  } else {
+    for (auto& e : entries) st.acc.push_back(std::move(e));
+  }
   flush_gather(tag);
 }
 
@@ -619,12 +688,15 @@ void Iccl::flush_gather(std::uint32_t tag) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end()) return;
   GatherState& st = it->second;
-  if (!st.own_done || !st.children_pending.empty()) return;
+  if (!st.own_done || !st.children_pending.empty() || !st.healing.empty()) {
+    return;
+  }
   if (is_root()) {
     gather_check_complete(tag);
     return;
   }
   if (st.announced) return;  // rendezvous round already in flight
+  if (st.retired) return;    // kept only for heal replay
   // Protocol decision on the *subtree total*: any rendezvous child implies
   // the subtree already crossed the threshold (totals are monotone up the
   // tree), so the eager branch only ever carries whole-entry accumulations.
@@ -637,7 +709,11 @@ void Iccl::flush_gather(std::uint32_t tag) {
             [](const auto& a, const auto& b) { return a.first < b.first; });
   send_up(encode_frame(static_cast<std::uint8_t>(Kind::GatherUp), tag,
                        params_.rank, st.acc));
-  gathers_.erase(it);
+  if (heal_) {
+    heal_retire_gather(tag, st, /*eager=*/true);
+  } else {
+    gathers_.erase(it);
+  }
 }
 
 // --- rendezvous gather (upstream RTS/CTS + cut-through chunk relay) ------
@@ -682,12 +758,54 @@ void Iccl::handle_gather_rts(
   st.children_pending.erase(src);
   st.rndv_children.insert(src);
   std::set<std::uint32_t>& owned = st.child_origins[src];
+  // A re-announce (reattached orphan repeating its RTS) must not reset the
+  // receive progress of origins whose bytes partially arrived via the old
+  // route; collect resume offsets for them instead.
+  bool reannounce = false;
+  if (heal_) {
+    for (const auto& [origin, blob] : entries) {
+      if (st.origin_bytes.count(origin) != 0) {
+        reannounce = true;
+        break;
+      }
+    }
+  }
+  std::vector<std::pair<std::uint32_t, Bytes>> resume;
   for (const auto& [origin, blob] : entries) {
     ByteReader r(blob);
     const std::uint32_t sz = r.u32().value_or(0);
-    st.origin_bytes[origin] = sz;
-    st.origin_remaining[origin] = sz;
-    owned.insert(origin);
+    std::uint32_t got = 0;
+    if (heal_ && st.origin_bytes.count(origin) != 0) {
+      owned.insert(origin);
+      if (is_root()) {
+        auto a = st.assembling.find(origin);
+        got = a == st.assembling.end()
+                  ? 0
+                  : static_cast<std::uint32_t>(a->second.size());
+      } else {
+        auto rem = st.origin_remaining.find(origin);
+        const std::uint32_t left =
+            rem == st.origin_remaining.end() ? sz : rem->second;
+        got = sz - std::min(sz, left);
+      }
+    } else {
+      st.origin_bytes[origin] = sz;
+      st.origin_remaining[origin] = sz;
+      owned.insert(origin);
+    }
+    if (reannounce) {
+      ByteWriter w;
+      w.u32(got);
+      resume.emplace_back(origin, std::move(w).take());
+    }
+  }
+  if (heal_ && ready_fired_ && heal_slots_.count(src) != 0) {
+    // The announce raced this child's own death (frames already in the
+    // per-direction FIFO when the link dropped). The heal slot owns the
+    // cleanup; just make this round wait for the slot's resolution.
+    st.healing.insert(src);
+    flush_gather(tag);
+    return;
   }
   if (children_.count(src) == 0) {
     // The announce was still in flight when the child's link died: the
@@ -699,7 +817,24 @@ void Iccl::handle_gather_rts(
     gather_relay_maybe_done(tag);
     return;
   }
-  if (is_root()) {
+  if (reannounce && (is_root() || st.streaming)) {
+    // Resume subsumes CTS: the reattached orphan must continue each origin
+    // from the byte offset this node already has, never restart - so it gets
+    // a GatherResume (with per-origin offsets) instead of a normal CTS. A
+    // fully-retired round answers with offset == size: nothing to re-send.
+    for (auto& [origin, blob] : resume) {
+      if (st.retired) {
+        ByteWriter w;
+        w.u32(st.origin_bytes.count(origin) != 0 ? st.origin_bytes[origin]
+                                                 : 0);
+        blob = std::move(w).take();
+      }
+    }
+    self_.machine().count("iccl.heal.gather_resumes_sent");
+    send_to_child(src,
+                  encode_frame(static_cast<std::uint8_t>(Kind::GatherResume),
+                               tag, params_.rank, resume));
+  } else if (is_root()) {
     // The root is the sink: clear this child the moment its announce is
     // processed (no upstream clearance to wait for). Interior nodes instead
     // defer their children's CTS until their own arrives - that chain is
@@ -722,6 +857,12 @@ void Iccl::handle_gather_cts(std::uint32_t tag) {
   if (it == gathers_.end()) return;
   GatherState& st = it->second;
   if (!st.announced || st.streaming) return;
+  gather_begin_streaming(tag, st);
+  gather_flush(tag, st);
+  gather_relay_maybe_done(tag);
+}
+
+void Iccl::gather_begin_streaming(std::uint32_t tag, GatherState& st) {
   st.streaming = true;
   // Clear own rendezvous children (ascending rank; CTS frames are ordinary
   // staggered sends). All children announced before this node did, so the
@@ -750,26 +891,41 @@ void Iccl::handle_gather_cts(std::uint32_t tag) {
     }
   }
   st.acc.clear();
-  gather_flush(tag, st);
-  gather_relay_maybe_done(tag);
 }
 
 void Iccl::gather_flush(std::uint32_t tag, GatherState& st) {
-  if (!st.streaming) return;
+  if (!st.streaming || st.heal_hold) return;
   // Serialized chunk posts, same cursor discipline as the downstream
   // rendezvous: each send occupies the CPU for one chunk-handle quantum and
   // goes out of a registered buffer (no per-byte copy).
   const sim::Time occ = self_.machine().costs().iccl_chunk_handle;
   const sim::Time now = self_.sim().now();
+  // Heal mode pins each posted send to the parent link that existed at
+  // schedule time: a chunk scheduled before an adoption must die with the
+  // old link, not leak onto the new parent at a stale offset (the resume
+  // handshake re-sends it at the right position instead).
+  cluster::ChannelPtr up = heal_ ? parent_ : nullptr;
   while (st.next_out < st.outq.size()) {
     auto& [origin, chunk] = st.outq[st.next_out++];
     const sim::Time depart = std::max(st.cursor, now);
-    self_.post(depart - now,
-               [this, tag, origin = origin, chunk = std::move(chunk)] {
-                 send_up(encode_frame(
-                     static_cast<std::uint8_t>(Kind::GatherChunk), tag,
-                     params_.rank, {{origin, *chunk}}));
-               });
+    if (heal_) {
+      self_.post(depart - now,
+                 [this, up, tag, origin = origin, chunk = std::move(chunk)] {
+                   if (up != nullptr) {
+                     self_.send(up, encode_frame(
+                                        static_cast<std::uint8_t>(
+                                            Kind::GatherChunk),
+                                        tag, params_.rank, {{origin, *chunk}}));
+                   }
+                 });
+    } else {
+      self_.post(depart - now,
+                 [this, tag, origin = origin, chunk = std::move(chunk)] {
+                   send_up(encode_frame(
+                       static_cast<std::uint8_t>(Kind::GatherChunk), tag,
+                       params_.rank, {{origin, *chunk}}));
+                 });
+    }
     st.cursor = depart + occ;
   }
 }
@@ -805,6 +961,12 @@ void Iccl::handle_gather_chunk(std::uint32_t tag, std::uint32_t origin,
     rem->second -= std::min(rem->second,
                             static_cast<std::uint32_t>(data.size()));
   }
+  if (heal_) {
+    // Retain relayed bytes so a future reparent can re-stream them from
+    // this node's own copy (the resume handshake asks for a byte offset).
+    Bytes& keep = st.retained[origin];
+    keep.insert(keep.end(), data.begin(), data.end());
+  }
   st.outq.emplace_back(origin,
                        std::make_shared<const Bytes>(std::move(data)));
   gather_flush(tag, st);
@@ -815,7 +977,10 @@ void Iccl::gather_check_complete(std::uint32_t tag) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end() || !is_root()) return;
   GatherState& st = it->second;
-  if (!st.own_done || !st.children_pending.empty()) return;
+  if (st.retired) return;  // already delivered; kept only for heal replay
+  if (!st.own_done || !st.children_pending.empty() || !st.healing.empty()) {
+    return;
+  }
   for (const auto& [origin, sz] : st.origin_bytes) {
     if (st.dropped.count(origin) != 0) continue;
     auto a = st.assembling.find(origin);
@@ -836,8 +1001,19 @@ void Iccl::gather_check_complete(std::uint32_t tag) {
             [](const auto& a, const auto& b) { return a.first < b.first; });
   if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
     tracer->end_span(st.span, "entries=" + std::to_string(out.size()));
+    st.span = obs::kNoSpan;
   }
-  gathers_.erase(it);  // round complete; allow reuse of the tag
+  if (heal_) {
+    // Tell the tree the round is over so retired replay copies can be freed
+    // and a late-reattaching orphan does not re-announce a delivered round.
+    for (auto& [rank, ch] : children_) {
+      self_.send(ch, encode_frame(static_cast<std::uint8_t>(Kind::GatherDone),
+                                  tag, params_.rank, {}));
+    }
+    heal_retire_gather(tag, st, /*eager=*/false);
+  } else {
+    gathers_.erase(it);  // round complete; allow reuse of the tag
+  }
   if (on_gather_) on_gather_(tag, std::move(out));
 }
 
@@ -845,7 +1021,9 @@ void Iccl::gather_relay_maybe_done(std::uint32_t tag) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end() || is_root()) return;
   GatherState& st = it->second;
-  if (!st.announced || !st.streaming) return;
+  if (st.retired) return;
+  if (!st.announced || !st.streaming || st.heal_hold) return;
+  if (!st.healing.empty()) return;
   for (const auto& [origin, remaining] : st.origin_remaining) {
     if (remaining > 0 && st.dropped.count(origin) == 0) return;
   }
@@ -853,8 +1031,13 @@ void Iccl::gather_relay_maybe_done(std::uint32_t tag) {
   // own chunk refs); the round state can retire.
   if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
     tracer->end_span(st.span);
+    st.span = obs::kNoSpan;
   }
-  gathers_.erase(it);
+  if (heal_) {
+    heal_retire_gather(tag, st, /*eager=*/false);
+  } else {
+    gathers_.erase(it);
+  }
 }
 
 bool Iccl::gather_forget_child(std::uint32_t tag, GatherState& st,
@@ -946,7 +1129,7 @@ void Iccl::handle_scatter(
   // child's part (no per-level payload copies); the serialized quantum
   // still charges the copy into that child's send buffer.
   sim::Time offset = 0;
-  for (std::uint32_t child : expected_children_) {
+  for (auto& [child, link] : children_) {
     auto sub = topo_.subtree_of(child);
     std::vector<std::pair<std::uint32_t, Bytes>> part;
     std::size_t part_bytes = 0;
@@ -969,6 +1152,559 @@ void Iccl::handle_scatter(
   for (auto& [rank, data] : entries) {
     if (rank == params_.rank && on_scatter_) on_scatter_(tag, data);
   }
+}
+
+// --- self-healing recovery (heal mode only) -------------------------------
+
+void Iccl::heal_record_bcast(std::uint32_t tag,
+                             const std::shared_ptr<const Bytes>& payload) {
+  if (!bcast_history_.emplace(tag, payload).second) return;
+  bcast_history_order_.push_back(tag);
+  while (bcast_history_order_.size() > kHealHistory) {
+    bcast_history_.erase(bcast_history_order_.front());
+    bcast_history_order_.erase(bcast_history_order_.begin());
+  }
+}
+
+void Iccl::heal_retire_gather(std::uint32_t tag, GatherState& st,
+                              bool eager) {
+  if (st.retired) return;
+  st.retired = true;
+  st.eager_sent = eager;
+  st.heal_hold = false;
+  st.acc.clear();
+  st.outq.clear();
+  st.next_out = 0;
+  if (std::find(retired_gather_order_.begin(), retired_gather_order_.end(),
+                tag) == retired_gather_order_.end()) {
+    retired_gather_order_.push_back(tag);
+  }
+  while (retired_gather_order_.size() > kHealHistory) {
+    const std::uint32_t old = retired_gather_order_.front();
+    retired_gather_order_.erase(retired_gather_order_.begin());
+    auto it = gathers_.find(old);
+    if (it != gathers_.end() && it->second.retired) gathers_.erase(it);
+  }
+}
+
+void Iccl::heal_child_lost(std::uint32_t lost) {
+  self_.machine().flight_record(
+      self_.pid(), "iccl",
+      "heal: child rank " + std::to_string(lost) +
+          " died; holding its subtree's stake for orphan reattach");
+  // Rendezvous broadcast rounds must not wait on the dead child's CTS;
+  // same forgiveness as the non-heal path.
+  for (auto it = rndv_sends_.begin(); it != rndv_sends_.end();) {
+    RndvSend& st = it->second;
+    st.cts_pending.erase(lost);
+    if (!st.streaming && st.cts_pending.empty()) {
+      st.streaming = true;
+      const std::uint32_t tag = it->first;
+      rndv_flush(tag, st);
+      it = rndv_sends_.upper_bound(tag);
+    } else {
+      ++it;
+    }
+  }
+  // Open (or join) the adoption slot, and suspend the dead child's stake in
+  // every open gather round until the slot resolves.
+  const bool fresh = heal_slots_.count(lost) == 0;
+  if (fresh) {
+    heal_slots_[lost];
+    self_.machine().count("iccl.heal.slots_opened");
+  }
+  for (auto& [tag, st] : gathers_) {
+    if (st.retired) continue;
+    if (st.children_pending.erase(lost) != 0 ||
+        st.rndv_children.count(lost) != 0) {
+      st.healing.insert(lost);
+    }
+  }
+  heal_check_slot(lost);
+  if (fresh && heal_slots_.count(lost) != 0) {
+    self_.post(heal_grace_, [this, lost] {
+      if (heal_slots_.count(lost) == 0) return;
+      self_.machine().count("iccl.heal.grace_expired");
+      heal_resolve_slot(lost, /*expired=*/true);
+    });
+  }
+}
+
+void Iccl::heal_check_slot(std::uint32_t dead) {
+  auto it = heal_slots_.find(dead);
+  if (it == heal_slots_.end()) return;
+  const HealSlot& slot = it->second;
+  // The slot resolves early once every rank under the dead child is
+  // accounted for: reattached here (or under a reattached orphan), or
+  // reported dead on some orphan's climb path. A dead leaf resolves in the
+  // same event it was lost - its subtree is just itself.
+  for (std::uint32_t r : topo_.subtree_of(dead)) {
+    if (r == dead || slot.reported_dead.count(r) != 0) continue;
+    bool claimed = false;
+    for (std::uint32_t c : slot.claimed) {
+      const auto sub = topo_.subtree_of(c);
+      if (std::binary_search(sub.begin(), sub.end(), r)) {
+        claimed = true;
+        break;
+      }
+    }
+    if (!claimed) return;
+  }
+  heal_resolve_slot(dead, /*expired=*/false);
+}
+
+void Iccl::heal_resolve_slot(std::uint32_t dead, bool expired) {
+  heal_slots_.erase(dead);
+  self_.machine().count("iccl.heal.slots_resolved");
+  self_.machine().flight_record(
+      self_.pid(), "iccl",
+      "heal: slot for dead child " + std::to_string(dead) +
+          (expired ? " resolved by grace expiry" : " resolved by coverage"));
+  // Whatever stake of the dead child's subtree was not claimed by a
+  // reattached orphan is now retracted, exactly like the non-heal path.
+  for (auto it = gathers_.begin(); it != gathers_.end();) {
+    const std::uint32_t tag = it->first;
+    GatherState& st = it->second;
+    const bool touched =
+        st.healing.erase(dead) != 0 || st.rndv_children.count(dead) != 0;
+    if (!touched) {
+      ++it;
+      continue;
+    }
+    gather_forget_child(tag, st, dead);
+    flush_gather(tag);
+    gather_relay_maybe_done(tag);
+    it = gathers_.upper_bound(tag);
+  }
+}
+
+void Iccl::begin_reparent() {
+  if (reparenting_ || left_) return;
+  reparenting_ = true;
+  heal_via_.clear();
+  self_.machine().count("iccl.heal.orphaned");
+  self_.machine().flight_record(self_.pid(), "iccl",
+                                "heal: parent rank " +
+                                    std::to_string(parent_rank_) +
+                                    " lost; climbing ancestor chain");
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    heal_span_ = tracer->begin_span(
+        "iccl.heal", "iccl", static_cast<int>(self_.node().id()), self_.pid(),
+        trace_parent(*tracer),
+        "rank=" + std::to_string(params_.rank) +
+            " lost_parent=" + std::to_string(parent_rank_));
+  }
+  // Freeze upstream gather streaming: chunks must not race ahead of the
+  // per-origin resume offsets the adopter will dictate.
+  for (auto& [tag, st] : gathers_) {
+    if (!st.retired && st.announced && st.streaming) st.heal_hold = true;
+  }
+  heal_via_.push_back(parent_rank_);
+  const auto target = topo_.parent_of(parent_rank_);
+  if (!target) {
+    // The dead parent was the root: nothing above to heal onto.
+    self_.machine().count("iccl.heal.give_ups");
+    if (obs::Tracer* tracer = self_.machine().tracer();
+        tracer != nullptr && heal_span_ != obs::kNoSpan) {
+      tracer->end_span(heal_span_, "give_up=root_dead");
+      heal_span_ = obs::kNoSpan;
+    }
+    reparenting_ = false;
+    return;
+  }
+  try_reattach(*target, kHealConnectRetries);
+}
+
+void Iccl::try_reattach(std::uint32_t target, int attempts_left) {
+  if (left_) return;
+  self_.connect(
+      params_.hosts.at(target), params_.port,
+      [this, target, attempts_left](Status st, cluster::ChannelPtr ch) {
+        if (left_) return;
+        if (st.is_ok()) {
+          adopt_parent(target, std::move(ch));
+          return;
+        }
+        if (attempts_left > 0) {
+          self_.machine().count("iccl.heal.reattach_retries");
+          self_.post(kRetryDelay, [this, target, attempts_left] {
+            try_reattach(target, attempts_left - 1);
+          });
+          return;
+        }
+        // This ancestor is dead too: record it for the adopter's coverage
+        // bookkeeping and keep climbing.
+        heal_via_.push_back(target);
+        const auto next = topo_.parent_of(target);
+        if (!next) {
+          // Even the root is unreachable - session teardown, not a failure
+          // to heal. Give up quietly so a dissolving tree does not spin.
+          self_.machine().count("iccl.heal.give_ups");
+          self_.machine().flight_record(
+              self_.pid(), "iccl",
+              "heal: no live ancestor reachable; giving up");
+          if (obs::Tracer* tracer = self_.machine().tracer();
+              tracer != nullptr && heal_span_ != obs::kNoSpan) {
+            tracer->end_span(heal_span_, "give_up=no_live_ancestor");
+            heal_span_ = obs::kNoSpan;
+          }
+          reparenting_ = false;
+          return;
+        }
+        try_reattach(*next, kHealConnectRetries);
+      });
+}
+
+void Iccl::adopt_parent(std::uint32_t target, cluster::ChannelPtr ch) {
+  parent_ = ch;
+  parent_rank_ = target;
+  reparenting_ = false;
+  self_.machine().count("iccl.heal.reattaches");
+  self_.machine().flight_record(self_.pid(), "iccl",
+                                "heal: reattached under rank " +
+                                    std::to_string(target));
+  if (obs::Tracer* tracer = self_.machine().tracer();
+      tracer != nullptr && heal_span_ != obs::kNoSpan) {
+    tracer->end_span(heal_span_, "adopted_by=" + std::to_string(target));
+    heal_span_ = obs::kNoSpan;
+  }
+  self_.set_channel_handler(
+      ch,
+      [this](const cluster::ChannelPtr& c, cluster::Message m) {
+        on_fabric_message(c, std::move(m));
+      },
+      [this](const cluster::ChannelPtr&) {
+        parent_ = nullptr;
+        if (heal_ && ready_fired_ && !left_) begin_reparent();
+      });
+  // One Reattach frame carries everything the adopter needs: the dead
+  // ancestors seen on the climb, the delivered-broadcast ring (duplicate
+  // suppression baseline) and per-round receive offsets for catch-up.
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(heal_via_.size()));
+  for (std::uint32_t r : heal_via_) w.u32(r);
+  w.u32(static_cast<std::uint32_t>(bcast_history_order_.size()));
+  for (std::uint32_t t : bcast_history_order_) w.u32(t);
+  w.u32(static_cast<std::uint32_t>(rndv_recvs_.size()));
+  for (const auto& [tag, rc] : rndv_recvs_) {
+    w.u32(tag);
+    w.u32(rc.received);
+    w.u32(rc.nchunks);
+  }
+  self_.send(ch, encode_frame(static_cast<std::uint8_t>(Kind::Reattach), 0,
+                              params_.rank, {{0, std::move(w).take()}}));
+  heal_send_reannounces();
+}
+
+void Iccl::heal_send_reannounces() {
+  for (auto& [tag, st] : gathers_) {
+    if (st.retired && st.eager_sent) {
+      // The eager combined frame may have died with the old parent's inbox;
+      // re-send it from the retained copies (the receiver keeps only the
+      // origins it has not seen).
+      std::vector<std::pair<std::uint32_t, Bytes>> entries;
+      entries.reserve(st.retained.size());
+      for (const auto& [origin, data] : st.retained) {
+        entries.emplace_back(origin, data);
+      }
+      self_.machine().count("iccl.heal.gather_reannounces");
+      send_up(encode_frame(static_cast<std::uint8_t>(Kind::GatherUp), tag,
+                           params_.rank, entries));
+      continue;
+    }
+    if (!st.announced) continue;
+    // Rendezvous round (mid-stream or relay-retired): repeat the RTS with
+    // every origin this subtree owns. Dropped origins stay listed - their
+    // retraction follows immediately so the adopter's bookkeeping matches.
+    std::map<std::uint32_t, std::uint32_t> sizes;
+    for (const auto& [origin, data] : st.retained) {
+      sizes[origin] = static_cast<std::uint32_t>(data.size());
+    }
+    for (const auto& [origin, sz] : st.origin_bytes) sizes[origin] = sz;
+    std::vector<std::pair<std::uint32_t, Bytes>> origins;
+    origins.reserve(sizes.size());
+    for (const auto& [origin, sz] : sizes) {
+      ByteWriter w;
+      w.u32(sz);
+      origins.emplace_back(origin, std::move(w).take());
+    }
+    self_.machine().count("iccl.heal.gather_reannounces");
+    send_up(encode_frame(static_cast<std::uint8_t>(Kind::GatherRts), tag,
+                         params_.rank, origins));
+    if (!st.dropped.empty()) {
+      std::vector<std::pair<std::uint32_t, Bytes>> drops;
+      drops.reserve(st.dropped.size());
+      for (std::uint32_t origin : st.dropped) {
+        drops.emplace_back(origin, Bytes{});
+      }
+      send_up(encode_frame(static_cast<std::uint8_t>(Kind::GatherDrop), tag,
+                           params_.rank, drops));
+    }
+  }
+}
+
+void Iccl::handle_reattach(const cluster::ChannelPtr& ch, std::uint32_t src,
+                           const Bytes& blob) {
+  ByteReader r(blob);
+  std::set<std::uint32_t> via;
+  const std::uint32_t nvia = r.u32().value_or(0);
+  for (std::uint32_t i = 0; i < nvia; ++i) via.insert(r.u32().value_or(0));
+  std::set<std::uint32_t> delivered;
+  const std::uint32_t ndel = r.u32().value_or(0);
+  for (std::uint32_t i = 0; i < ndel; ++i) {
+    delivered.insert(r.u32().value_or(0));
+  }
+  std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>> open;
+  const std::uint32_t nrecv = r.u32().value_or(0);
+  for (std::uint32_t i = 0; i < nrecv; ++i) {
+    const std::uint32_t tag = r.u32().value_or(0);
+    const std::uint32_t received = r.u32().value_or(0);
+    const std::uint32_t nchunks = r.u32().value_or(0);
+    open[tag] = {received, nchunks};
+  }
+  children_[src] = ch;
+  self_.machine().count("iccl.heal.adoptions");
+  self_.machine().flight_record(
+      self_.pid(), "iccl",
+      "heal: adopted orphan rank " + std::to_string(src) + " (climbed past " +
+          std::to_string(via.size()) + " dead)");
+  // Which of this node's dead children does the orphan descend from? Walk
+  // the orphan's topology ancestor chain until it meets this rank.
+  std::uint32_t dead_child = src;
+  for (auto up = topo_.parent_of(dead_child); up && *up != params_.rank;
+       up = topo_.parent_of(dead_child)) {
+    dead_child = *up;
+  }
+  auto slot_it = heal_slots_.find(dead_child);
+  if (slot_it == heal_slots_.end()) {
+    // The orphan's Reattach beat this node's own notice of the child's
+    // death (close callbacks pay a link latency). Open the slot now; the
+    // close handler's sweep finds it already open.
+    slot_it = heal_slots_.emplace(dead_child, HealSlot{}).first;
+    self_.machine().count("iccl.heal.slots_opened");
+    self_.post(heal_grace_, [this, dead_child] {
+      if (heal_slots_.count(dead_child) == 0) return;
+      self_.machine().count("iccl.heal.grace_expired");
+      heal_resolve_slot(dead_child, /*expired=*/true);
+    });
+  }
+  slot_it->second.claimed.insert(src);
+  for (std::uint32_t v : via) {
+    if (v != params_.rank) slot_it->second.reported_dead.insert(v);
+  }
+  // Transfer the orphan's subtree share of the dead child's gather stake:
+  // announced origins under the orphan belong to its re-announce now, and
+  // rounds suspended on the dead child wait for the orphan instead.
+  const auto osub = topo_.subtree_of(src);
+  for (auto& [tag, st] : gathers_) {
+    if (st.healing.count(dead_child) != 0) st.children_pending.insert(src);
+    auto co = st.child_origins.find(dead_child);
+    if (co == st.child_origins.end()) continue;
+    std::vector<std::uint32_t> moved;
+    for (auto oit = co->second.begin(); oit != co->second.end();) {
+      if (std::binary_search(osub.begin(), osub.end(), *oit)) {
+        moved.push_back(*oit);
+        oit = co->second.erase(oit);
+      } else {
+        ++oit;
+      }
+    }
+    if (!moved.empty()) {
+      st.child_origins[src].insert(moved.begin(), moved.end());
+      st.rndv_children.insert(src);
+    }
+  }
+  heal_replay_bcasts(src, open, delivered);
+  heal_check_slot(dead_child);
+}
+
+void Iccl::heal_replay_bcasts(
+    std::uint32_t orphan,
+    const std::map<std::uint32_t,
+                   std::pair<std::uint32_t, std::uint32_t>>& open_recvs,
+    const std::set<std::uint32_t>& delivered) {
+  const std::uint32_t chunk = self_.machine().costs().iccl_rndv_chunk_bytes;
+  // Live rendezvous rounds first: the orphan catches up to this node's
+  // scheduled sequence from its own receive offset and rides the ongoing
+  // stream from there (it is in children_ now, so chunks scheduled after
+  // this event reach it natively and in order).
+  for (const auto& [tag, snd] : rndv_sends_) {
+    if (delivered.count(tag) != 0) continue;
+    auto open = open_recvs.find(tag);
+    const std::uint32_t from =
+        open != open_recvs.end() ? open->second.first : 0;
+    if (open == open_recvs.end()) {
+      ByteWriter w;
+      w.u32(snd.total);
+      send_to_child(orphan, encode_frame(
+                                static_cast<std::uint8_t>(Kind::RndvRts), tag,
+                                params_.rank, {{snd.nchunks,
+                                                std::move(w).take()}}));
+    }
+    self_.machine().count("iccl.heal.bcast_replays");
+    for (std::uint32_t seq = from; seq < snd.next_seq; ++seq) {
+      send_to_child(orphan,
+                    encode_frame(static_cast<std::uint8_t>(Kind::RndvChunk),
+                                 tag, params_.rank, {{seq, *snd.ready[seq]}}));
+      self_.machine().count("iccl.heal.bcast_replay_bytes",
+                            static_cast<double>(snd.ready[seq]->size()));
+    }
+  }
+  // Delivered history: rounds the orphan missed entirely, or was mid-
+  // receive on when the live send state already retired here. The orphan's
+  // own history guard makes a replay of an already-delivered round inert.
+  for (std::uint32_t tag : bcast_history_order_) {
+    if (delivered.count(tag) != 0) continue;
+    if (rndv_sends_.count(tag) != 0) continue;  // caught up above
+    const std::shared_ptr<const Bytes>& payload = bcast_history_.at(tag);
+    const auto total = static_cast<std::uint32_t>(payload->size());
+    auto open = open_recvs.find(tag);
+    self_.machine().count("iccl.heal.bcast_replays");
+    if (open != open_recvs.end()) {
+      // The orphan already assembled a prefix; finish its chunk stream.
+      for (std::uint32_t seq = open->second.first; seq < open->second.second;
+           ++seq) {
+        const std::size_t begin = static_cast<std::size_t>(seq) * chunk;
+        const std::size_t len = std::min<std::size_t>(chunk, total - begin);
+        Bytes piece(
+            payload->begin() + static_cast<std::ptrdiff_t>(begin),
+            payload->begin() + static_cast<std::ptrdiff_t>(begin + len));
+        send_to_child(orphan,
+                      encode_frame(static_cast<std::uint8_t>(Kind::RndvChunk),
+                                   tag, params_.rank,
+                                   {{seq, std::move(piece)}}));
+        self_.machine().count("iccl.heal.bcast_replay_bytes",
+                              static_cast<double>(len));
+      }
+    } else if (use_rendezvous(payload->size())) {
+      const std::uint32_t nchunks = (total + chunk - 1) / chunk;
+      ByteWriter w;
+      w.u32(total);
+      send_to_child(orphan, encode_frame(
+                                static_cast<std::uint8_t>(Kind::RndvRts), tag,
+                                params_.rank, {{nchunks,
+                                                std::move(w).take()}}));
+      for (std::uint32_t seq = 0; seq < nchunks; ++seq) {
+        const std::size_t begin = static_cast<std::size_t>(seq) * chunk;
+        const std::size_t len = std::min<std::size_t>(chunk, total - begin);
+        Bytes piece(
+            payload->begin() + static_cast<std::ptrdiff_t>(begin),
+            payload->begin() + static_cast<std::ptrdiff_t>(begin + len));
+        send_to_child(orphan,
+                      encode_frame(static_cast<std::uint8_t>(Kind::RndvChunk),
+                                   tag, params_.rank,
+                                   {{seq, std::move(piece)}}));
+      }
+      self_.machine().count("iccl.heal.bcast_replay_bytes",
+                            static_cast<double>(total));
+    } else {
+      send_to_child(orphan,
+                    encode_frame(static_cast<std::uint8_t>(Kind::Bcast), tag,
+                                 params_.rank, {{0, *payload}}));
+      self_.machine().count("iccl.heal.bcast_replay_bytes",
+                            static_cast<double>(total));
+    }
+  }
+  // Anything the orphan was mid-receive on that this node can no longer
+  // source (evicted from the ring) stays incomplete there; surface it.
+  for (const auto& [tag, prog] : open_recvs) {
+    if (delivered.count(tag) != 0 || rndv_sends_.count(tag) != 0 ||
+        bcast_history_.count(tag) != 0) {
+      continue;
+    }
+    self_.machine().flight_record(
+        self_.pid(), "iccl",
+        "heal: cannot replay bcast tag " + std::to_string(tag) +
+            " for orphan " + std::to_string(orphan) + " (history evicted)");
+  }
+}
+
+void Iccl::handle_gather_resume(
+    std::uint32_t tag,
+    const std::vector<std::pair<std::uint32_t, Bytes>>& entries) {
+  auto it = gathers_.find(tag);
+  if (it == gathers_.end()) return;
+  GatherState& st = it->second;
+  if (!st.announced) return;
+  st.heal_hold = false;
+  st.retired = false;  // a retired relay may need to re-send; re-retires below
+  if (!st.streaming) gather_begin_streaming(tag, st);
+  self_.machine().count("iccl.heal.gather_resumes");
+  const std::uint32_t chunk = self_.machine().costs().iccl_rndv_chunk_bytes;
+  for (const auto& [origin, blob] : entries) {
+    ByteReader r(blob);
+    const std::uint32_t from = r.u32().value_or(0);
+    // Unscheduled queue entries for this origin are superseded: the
+    // retained copy re-queued below covers them from the adopter's offset.
+    st.outq.erase(
+        std::remove_if(
+            st.outq.begin() + static_cast<std::ptrdiff_t>(st.next_out),
+            st.outq.end(),
+            [origin = origin](const auto& e) { return e.first == origin; }),
+        st.outq.end());
+    auto ret = st.retained.find(origin);
+    if (ret == st.retained.end()) continue;
+    const auto total = static_cast<std::uint32_t>(ret->second.size());
+    for (std::uint32_t begin = from; begin < total; begin += chunk) {
+      const std::uint32_t len = std::min(chunk, total - begin);
+      st.outq.emplace_back(
+          origin,
+          std::make_shared<const Bytes>(
+              ret->second.begin() + static_cast<std::ptrdiff_t>(begin),
+              ret->second.begin() + static_cast<std::ptrdiff_t>(begin + len)));
+      self_.machine().count("iccl.heal.gather_requeued_bytes",
+                            static_cast<double>(len));
+    }
+  }
+  gather_flush(tag, st);
+  gather_relay_maybe_done(tag);
+}
+
+void Iccl::handle_gather_done(std::uint32_t tag) {
+  // Propagate: every descendant can free its replay copy of the round.
+  for (auto& [rank, ch] : children_) {
+    self_.send(ch, encode_frame(static_cast<std::uint8_t>(Kind::GatherDone),
+                                tag, params_.rank, {}));
+  }
+  auto it = gathers_.find(tag);
+  if (it != gathers_.end()) {
+    if (obs::Tracer* tracer = self_.machine().tracer();
+        tracer != nullptr && it->second.span != obs::kNoSpan) {
+      tracer->end_span(it->second.span);
+    }
+    gathers_.erase(it);
+  }
+  retired_gather_order_.erase(std::remove(retired_gather_order_.begin(),
+                                          retired_gather_order_.end(), tag),
+                              retired_gather_order_.end());
+}
+
+void Iccl::leave() {
+  if (left_) return;
+  left_ = true;
+  self_.machine().count("iccl.heal.leaves");
+  self_.machine().flight_record(self_.pid(), "iccl",
+                                "heal: rank " + std::to_string(params_.rank) +
+                                    " leaving the session");
+  if (!is_root() && parent_ != nullptr) {
+    send_up(encode_frame(static_cast<std::uint8_t>(Kind::Leave), 0,
+                         params_.rank, {}));
+  }
+  // Give the frame a head start, then exit. Children notice the closed
+  // links and heal onto an ancestor through the normal reparent path.
+  self_.post(sim::ms(2), [this] { self_.exit(0); });
+}
+
+void Iccl::handle_leave(std::uint32_t src) {
+  self_.machine().count("iccl.heal.leaves_observed");
+  self_.machine().flight_record(self_.pid(), "iccl",
+                                "heal: child rank " + std::to_string(src) +
+                                    " left gracefully");
+  auto it = children_.find(src);
+  if (it == children_.end()) return;
+  // Run the lost-child bookkeeping now; the close callback that follows
+  // finds the rank already erased and no-ops.
+  on_child_lost(it->second);
 }
 
 void Iccl::send_up(cluster::Message m) {

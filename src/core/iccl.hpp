@@ -57,6 +57,17 @@ class Iccl {
     GatherCts,    ///< parent -> child: {tag} (clear to stream upward)
     GatherChunk,  ///< child -> parent: {tag, origin, chunk bytes}
     GatherDrop,   ///< child -> parent: {tag, [(origin, {})...]} origin died
+    // Self-healing recovery protocol (heal mode only; see docs/ARCHITECTURE
+    // "Self-healing trees"). An orphan that lost its parent climbs its
+    // ancestor chain, Registers with the first survivor and follows up with
+    // Reattach (climb path, delivered-broadcast ring, open receive offsets)
+    // plus re-announces of its in-flight gather rounds; the adopter replays
+    // missed broadcast bytes and answers gather re-announces with per-origin
+    // resume offsets.
+    Reattach,      ///< orphan -> adopter: {via-dead, delivered tags, recvs}
+    GatherResume,  ///< adopter -> orphan: {tag, [(origin, u32 offset)...]}
+    GatherDone,    ///< root -> down: {tag} delivered; drop replay state
+    Leave,         ///< child -> parent: graceful departure (elastic shrink)
   };
 
   /// Parses the RM-provided "--lmon-*" daemon argv. `self_host` enables the
@@ -99,6 +110,13 @@ class Iccl {
   /// Root only: parts[i] goes to rank i's scatter handler.
   void scatter(std::uint32_t tag, std::vector<Bytes> parts);
 
+  /// Elastic shrink (heal mode): announces a graceful departure to the
+  /// parent (so it is accounted as a leave, not a death) and exits shortly
+  /// after. Children and in-flight collective state heal through the normal
+  /// reparenting path; this node's own gather contributions for open rounds
+  /// are the only payloads that depart with it.
+  void leave();
+
   void set_bcast_handler(BcastHandler h) { on_bcast_ = std::move(h); }
   void set_gather_handler(GatherHandler h) { on_gather_ = std::move(h); }
   void set_scatter_handler(ScatterHandler h) { on_scatter_ = std::move(h); }
@@ -118,6 +136,27 @@ class Iccl {
   /// The fabric tree this daemon is wired into.
   [[nodiscard]] const comm::Topology& topology() const noexcept {
     return topo_;
+  }
+
+  /// Self-healing enabled for this session (--lmon-heal=1).
+  [[nodiscard]] bool heal_enabled() const noexcept { return heal_; }
+  /// Rank this node is currently linked up to (the topology parent until a
+  /// reparent moves it; meaningless at the root). Tests assert reparented
+  /// topology invariants through this.
+  [[nodiscard]] std::uint32_t parent_rank() const noexcept {
+    return parent_rank_;
+  }
+  /// Ranks with live child links (topology children plus adopted orphans).
+  [[nodiscard]] std::vector<std::uint32_t> live_children() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(children_.size());
+    for (const auto& [rank, ch] : children_) out.push_back(rank);
+    return out;
+  }
+  /// True when no recovery is in progress here (no open adoption slots, not
+  /// mid-climb).
+  [[nodiscard]] bool heal_idle() const noexcept {
+    return heal_slots_.empty() && !reparenting_;
   }
 
   // Legacy k-ary helpers; thin forwards to comm::Topology (kept because
@@ -168,6 +207,21 @@ class Iccl {
     std::size_t next_out = 0;
     sim::Time cursor = 0;  ///< serialized send occupancy (absolute time)
     obs::SpanId span = obs::kNoSpan;
+    // --- self-heal replay state (heal mode only) -------------------------
+    /// Per-origin copies of everything that entered this round here (own
+    /// contribution, eager child entries, relayed chunk bytes). Heal trades
+    /// O(payload) memory per retained round for the ability to re-announce
+    /// and resume after a reparent; bounded by the retired-round ring.
+    std::map<std::uint32_t, Bytes> retained;
+    bool retired = false;     ///< forwarded/delivered; kept for heal replay
+    bool eager_sent = false;  ///< retired via an eager GatherUp forward
+    /// Orphaned mid-stream: chunks must not race ahead of the resume
+    /// offsets the new parent will dictate; gather_flush holds until the
+    /// GatherResume arrives.
+    bool heal_hold = false;
+    /// Dead children whose subtree stake is suspended pending orphan
+    /// reattach (or the grace expiry). Non-empty blocks flush/delivery.
+    std::set<std::uint32_t> healing;
   };
 
   /// Sender side of one rendezvous broadcast round: RTS is out, chunks
@@ -214,6 +268,9 @@ class Iccl {
   void handle_gather_rts(std::uint32_t tag, std::uint32_t src,
                          std::vector<std::pair<std::uint32_t, Bytes>> entries);
   void handle_gather_cts(std::uint32_t tag);
+  /// The CTS body (clear children, queue held entries): shared by the
+  /// normal clearance and the heal resume path.
+  void gather_begin_streaming(std::uint32_t tag, GatherState& st);
   void handle_gather_chunk(std::uint32_t tag, std::uint32_t origin,
                            Bytes data);
   void handle_gather_drop(std::uint32_t tag,
@@ -237,6 +294,48 @@ class Iccl {
   void send_up(cluster::Message m);
   void send_to_child(std::uint32_t child_rank, cluster::Message m);
   GatherState& gather_state(std::uint32_t tag);
+
+  // --- self-healing (heal mode only) --------------------------------------
+  /// Parent link died post-ready: climb the ancestor chain for a survivor.
+  void begin_reparent();
+  void try_reattach(std::uint32_t target, int attempts_left);
+  void adopt_parent(std::uint32_t target, cluster::ChannelPtr ch);
+  /// Re-announce in-flight gather rounds to the new parent (sent right
+  /// after Reattach on the same FIFO channel, so the adopter processes the
+  /// claim before any re-announce).
+  void heal_send_reannounces();
+  /// Adopter side: claim bookkeeping, origin-ownership transfer, broadcast
+  /// replay for a freshly reattached orphan. Takes the channel because the
+  /// orphan joins children_ here (not via Register): the link must carry no
+  /// live-stream traffic before the replay runs, or catch-up chunks would
+  /// arrive out of order.
+  void handle_reattach(const cluster::ChannelPtr& ch, std::uint32_t src,
+                       const Bytes& blob);
+  void handle_gather_resume(
+      std::uint32_t tag,
+      const std::vector<std::pair<std::uint32_t, Bytes>>& entries);
+  void handle_gather_done(std::uint32_t tag);
+  void handle_leave(std::uint32_t src);
+  /// Adopter side: open a heal slot for a dead child and suspend its stake
+  /// in every open gather round until orphans claim it or the grace expires.
+  void heal_child_lost(std::uint32_t lost);
+  /// Resolves the slot early once every live rank under the dead child is
+  /// claimed by a reattached orphan (or reported dead on a climb path).
+  void heal_check_slot(std::uint32_t dead);
+  void heal_resolve_slot(std::uint32_t dead, bool expired);
+  void heal_record_bcast(std::uint32_t tag,
+                         const std::shared_ptr<const Bytes>& payload);
+  /// Replays broadcast state a reattached orphan missed: catch-up chunks
+  /// for rounds it was mid-assembly on, full replays for rounds it never
+  /// saw (it re-fans-out to its own subtree natively).
+  void heal_replay_bcasts(
+      std::uint32_t orphan,
+      const std::map<std::uint32_t,
+                     std::pair<std::uint32_t, std::uint32_t>>& open_recvs,
+      const std::set<std::uint32_t>& delivered);
+  /// Retires a finished round instead of erasing it (replay may need it
+  /// until the root's GatherDone); bounded by the retired-round ring.
+  void heal_retire_gather(std::uint32_t tag, GatherState& st, bool eager);
 
   /// This daemon's bootstrap span (the "daemon:<session>:<rank>" anchor),
   /// so collective spans nest under the right parent in exports.
@@ -282,9 +381,42 @@ class Iccl {
   std::map<std::uint32_t, RndvSend> rndv_sends_;  ///< by tag
   std::map<std::uint32_t, RndvRecv> rndv_recvs_;  ///< by tag
 
+  // --- self-heal state -----------------------------------------------------
+  bool heal_ = false;
+  sim::Time heal_grace_ = 0;    ///< orphan-reattach wait before retraction
+  std::uint32_t parent_rank_ = 0;  ///< current upstream rank (see accessor)
+  bool reparenting_ = false;    ///< climb in progress
+  bool left_ = false;           ///< leave() called; suppress healing
+  std::vector<std::uint32_t> heal_via_;  ///< dead ancestors on this climb
+  obs::SpanId heal_span_ = obs::kNoSpan;
+  /// Delivered-broadcast ring: tag -> payload, insertion-ordered, capped at
+  /// kHealHistory. Doubles as the duplicate-delivery guard (a replayed
+  /// round whose tag is here is ignored entirely) and as the replay source
+  /// for orphans that missed rounds while reattaching. Safe at equal cap on
+  /// every node: a descendant's delivery order is a FIFO subsequence of
+  /// every ancestor's, so an orphan can never have evicted a tag its
+  /// adopter still holds.
+  std::map<std::uint32_t, std::shared_ptr<const Bytes>> bcast_history_;
+  std::vector<std::uint32_t> bcast_history_order_;
+  /// Retired gather rounds kept for replay, oldest-first (evicted FIFO).
+  std::vector<std::uint32_t> retired_gather_order_;
+  /// One adoption slot per dead child: which orphan ranks reattached here
+  /// and which ranks were reported dead on their climb paths.
+  struct HealSlot {
+    std::set<std::uint32_t> claimed;
+    std::set<std::uint32_t> reported_dead;
+  };
+  std::map<std::uint32_t, HealSlot> heal_slots_;  ///< dead child -> slot
+
   static constexpr int kConnectRetries = 80;
   static constexpr sim::Time kRetryDelay = sim::ms(3);
   static constexpr sim::Time kRetryDelayCap = sim::ms(200);
+  /// Reattach targets have been up for the whole session; a refused
+  /// connection after a few quick retries means the ancestor is dead too
+  /// and the climb continues.
+  static constexpr int kHealConnectRetries = 3;
+  static constexpr std::size_t kHealHistory = 64;
+  static constexpr sim::Time kHealGraceDefault = sim::ms(400);
 };
 
 }  // namespace lmon::core

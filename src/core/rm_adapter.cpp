@@ -119,6 +119,8 @@ Status SlurmAdapter::co_spawn(cluster::Process& engine,
   req.bootstrap.fe_host = cfg.fabric.fe_host;
   req.bootstrap.fe_port = cfg.fabric.fe_port;
   req.bootstrap.rndv_threshold = cfg.fabric.rndv_threshold;
+  req.bootstrap.heal = cfg.fabric.heal;
+  req.bootstrap.heal_grace_ms = cfg.fabric.heal_grace_ms;
   req.launch_fanout = cfg.fabric.fanout;
   req.jobid = cfg.jobid;
   req.alloc_nodes = cfg.alloc_nodes;

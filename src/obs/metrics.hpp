@@ -43,6 +43,23 @@
 // Thus "bytes a gather moved end-to-end" is gather_bytes_contributed, and
 // "bytes the fabric worked to move it" is contributed + relayed; adding
 // received-side byte counters on top of these would double-count.
+//
+// Self-heal instruments (iccl.heal.*). Occurrence counters:
+// "iccl.heal.orphaned" (a daemon lost its post-ready parent and started a
+// climb), "iccl.heal.reattaches"/"iccl.heal.reattach_retries"/
+// "iccl.heal.give_ups" (orphan side of the climb outcome),
+// "iccl.heal.adoptions" (adopter side; equals reattaches fleet-wide),
+// "iccl.heal.slots_opened"/"iccl.heal.slots_resolved"/
+// "iccl.heal.grace_expired" (dead-child adoption slots),
+// "iccl.heal.gather_reannounces"/"iccl.heal.gather_resumes"/
+// "iccl.heal.gather_resumes_sent" (gather recovery handshakes),
+// "iccl.heal.bcast_replays", "iccl.heal.leaves"/
+// "iccl.heal.leaves_observed" (elastic shrink). Byte counters
+// "iccl.heal.bcast_replay_bytes"/"iccl.heal.gather_requeued_bytes" are
+// per-link *re-send* volume (the recovery overhead), NOT injected-once:
+// they deliberately re-count payload bytes the normal-path counters
+// already saw, so replay-bytes ÷ injected-once bytes reads directly as
+// the fault's data-plane overhead ratio.
 #pragma once
 
 #include <cstdint>

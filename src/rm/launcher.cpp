@@ -88,6 +88,9 @@ void Launcher::start_cospawn(cluster::Process& self) {
   fabric_.rndv_threshold = static_cast<std::uint32_t>(
       arg_int(args, "--rndv-threshold=").value_or(0));
   fabric_.platform = arg_value(args, "--platform=").value_or("");
+  fabric_.heal = arg_int(args, "--heal=").value_or(0) != 0;
+  fabric_.heal_grace_ms = static_cast<std::uint32_t>(
+      arg_int(args, "--heal-grace-ms=").value_or(0));
   phase_ = Phase::Allocating;
 
   // Either co-locate with an existing job (--jobid) or request additional
@@ -430,6 +433,13 @@ void RmBulkStrategy::launch(cluster::Process& self, comm::LaunchRequest req,
   }
   if (!req.bootstrap.platform.empty()) {
     opts.args.push_back("--platform=" + req.bootstrap.platform);
+  }
+  if (req.bootstrap.heal) {
+    opts.args.push_back("--heal=1");
+    if (req.bootstrap.heal_grace_ms != 0) {
+      opts.args.push_back("--heal-grace-ms=" +
+                          std::to_string(req.bootstrap.heal_grace_ms));
+    }
   }
   opts.args.push_back("--fe-host=" + req.bootstrap.fe_host);
   opts.args.push_back("--fe-port=" + std::to_string(req.bootstrap.fe_port));

@@ -177,6 +177,8 @@ void NodeDaemon::handle_launch(cluster::Process& self,
       boot.hosts = req.all_hosts;
       boot.rndv_threshold = req.fabric.rndv_threshold;
       boot.platform = req.fabric.platform;
+      boot.heal = req.fabric.heal;
+      boot.heal_grace_ms = req.fabric.heal_grace_ms;
       opts.args = comm::bootstrap_args(boot,
                                        static_cast<std::uint32_t>(rank));
     } else {

@@ -200,6 +200,8 @@ cluster::Message TreeLaunchReq::encode() const {
   w.u8(static_cast<std::uint8_t>(fabric.topo_kind));
   w.u32(fabric.rndv_threshold);
   w.str(fabric.platform);
+  w.boolean(fabric.heal);
+  w.u32(fabric.heal_grace_ms);
   return finish(std::move(w));
 }
 
@@ -248,15 +250,18 @@ std::optional<TreeLaunchReq> TreeLaunchReq::decode(const cluster::Message& m) {
   auto ftopo = r->u8();
   auto frndv = r->u32();
   auto fplatform = r->str();
+  auto fheal = r->boolean();
+  auto fheal_grace = r->u32();
   if (!fport || !ffan || !ftotal || !fhost || !ffeport || !fsess || !ftopo ||
-      !frndv || !fplatform) {
+      !frndv || !fplatform || !fheal || !fheal_grace) {
     return std::nullopt;
   }
   const auto kind = comm::topology_kind_from_u8(*ftopo);
   if (!kind) return std::nullopt;
   out.fabric = FabricSpec{*fport,   *ffan,    *ftotal,
                           std::move(*fhost), *ffeport, std::move(*fsess),
-                          *kind,    *frndv,   std::move(*fplatform)};
+                          *kind,    *frndv,   std::move(*fplatform),
+                          *fheal,   *fheal_grace};
   return out;
 }
 

@@ -98,6 +98,10 @@ struct FabricSpec {
   /// means "the machine's own costs". Daemons use it to resolve defaults
   /// (e.g. the rendezvous threshold) the same way the engine's tuner did.
   std::string platform;
+  /// Self-healing daemon trees (reparent orphans onto live ancestors).
+  bool heal = false;
+  /// Orphan-reattach grace window (ms); 0 = the ICCL default.
+  std::uint32_t heal_grace_ms = 0;
 
   [[nodiscard]] comm::TopologySpec topology() const {
     return comm::TopologySpec{topo_kind, fanout};

@@ -39,9 +39,18 @@ TbonEndpoint::TbonEndpoint(cluster::Process& self, Topology topology,
   for (int c : topo_.children_of(my_index_)) {
     if (subtree_has_backend(topo_, c)) {
       expected_children_.push_back(c);
+      expected_live_.insert(c);
       subtree_up_pending_.insert(c);
     }
   }
+  parent_index_ =
+      topo_.nodes()[static_cast<std::size_t>(my_index_)].parent;
+}
+
+std::set<int> TbonEndpoint::live_children() const {
+  std::set<int> out;
+  for (const auto& [idx, ch] : children_) out.insert(idx);
+  return out;
 }
 
 void TbonEndpoint::start() {
@@ -67,8 +76,12 @@ void TbonEndpoint::start() {
           [this](const cluster::ChannelPtr& c, cluster::Message m) {
             on_packet(c, std::move(m));
           },
-          [this](const cluster::ChannelPtr&) {
-            if (!ready_fired_) fail(Status(Rc::Esubcom, "TBON child lost"));
+          [this](const cluster::ChannelPtr& c) {
+            if (!ready_fired_) {
+              fail(Status(Rc::Esubcom, "TBON child lost"));
+            } else if (heal_) {
+              on_child_lost(c);
+            }
           });
     });
     if (!st.is_ok()) {
@@ -109,6 +122,7 @@ void TbonEndpoint::connect_parent(int attempts_left) {
             },
             [this](const cluster::ChannelPtr&) {
               parent_ = nullptr;  // overlay teardown
+              if (heal_ && ready_fired_) begin_reparent();
             });
         Packet hello;
         hello.kind = PacketKind::Hello;
@@ -177,9 +191,116 @@ void TbonEndpoint::handle_hello(const cluster::ChannelPtr& ch,
   self_.machine().count("tbon.children_registered");
   self_.machine().observe("tbon.register_delay_ms", sim::to_ms(delay));
   self_.post(delay, [this, ch, child_index] {
+    const bool adoption = heal_ && ready_fired_;
     children_[child_index] = ch;
+    if (adoption) {
+      // An orphan (possibly from a deeper level) re-Helloed us after its
+      // parent died. Fold it into the live membership and catch it up on
+      // every stream announced while it was detached, so its upstream
+      // contributions land with the right filter.
+      self_.machine().count("tbon.heal.adoptions");
+      if (subtree_has_backend(topo_, child_index)) {
+        expected_live_.insert(child_index);
+      }
+      for (const auto& [stream, filter] : stream_filters_) {
+        Packet ann;
+        ann.kind = PacketKind::NewStream;
+        ann.stream = stream;
+        ann.filter = filter;
+        self_.send(ch, ann.encode());
+        self_.machine().count("tbon.heal.streams_replayed");
+      }
+      return;
+    }
     maybe_tree_ready();
   });
+}
+
+void TbonEndpoint::on_child_lost(const cluster::ChannelPtr& ch) {
+  int lost = -1;
+  for (const auto& [idx, link] : children_) {
+    if (link == ch) {
+      lost = idx;
+      break;
+    }
+  }
+  if (lost < 0) return;
+  children_.erase(lost);
+  expected_live_.erase(lost);
+  self_.machine().count("tbon.heal.children_lost");
+  self_.machine().flight_record(
+      self_.pid(), "tbon",
+      "node " + std::to_string(my_index_) + " lost child " +
+          std::to_string(lost) + " post-ready (healing)");
+  // Rounds in flight across the failure would wait forever on the dead
+  // subtree: drop its pending entry and let stragglers complete. Its
+  // contribution to those rounds is lost by design (the orphan re-sends
+  // nothing at this layer); rounds opened after adoption are whole again.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(rounds_.size());
+  for (auto& [key, round] : rounds_) {
+    if (round.pending_children.erase(lost) != 0) keys.push_back(key);
+  }
+  for (const std::uint64_t key : keys) maybe_complete_round(key);
+}
+
+void TbonEndpoint::begin_reparent() {
+  if (parent_index_ < 0) return;
+  const int grandparent =
+      topo_.nodes()[static_cast<std::size_t>(parent_index_)].parent;
+  if (grandparent < 0) {
+    // Our parent was the root (the FE). Nothing above to climb to - the
+    // session is over, and the pre-heal teardown semantics apply.
+    self_.machine().count("tbon.heal.give_ups");
+    return;
+  }
+  self_.machine().count("tbon.heal.orphaned");
+  self_.machine().flight_record(
+      self_.pid(), "tbon",
+      "node " + std::to_string(my_index_) + " orphaned (parent " +
+          std::to_string(parent_index_) + " died), climbing");
+  try_reattach(grandparent, kHealConnectRetries);
+}
+
+void TbonEndpoint::try_reattach(int target, int attempts_left) {
+  const TopoNode& node = topo_.nodes()[static_cast<std::size_t>(target)];
+  self_.connect(
+      node.host, node.port,
+      [this, target, attempts_left](Status st, cluster::ChannelPtr ch) {
+        if (!st.is_ok()) {
+          if (attempts_left > 0) {
+            self_.post(kRetryDelay, [this, target, attempts_left] {
+              try_reattach(target, attempts_left - 1);
+            });
+            return;
+          }
+          // This ancestor is dead too (correlated failure): climb past it.
+          const int next =
+              topo_.nodes()[static_cast<std::size_t>(target)].parent;
+          if (next < 0) {
+            self_.machine().count("tbon.heal.give_ups");
+            return;
+          }
+          try_reattach(next, kHealConnectRetries);
+          return;
+        }
+        parent_ = ch;
+        parent_index_ = target;
+        self_.machine().count("tbon.heal.reattaches");
+        self_.set_channel_handler(
+            ch,
+            [this](const cluster::ChannelPtr& c, cluster::Message m) {
+              on_packet(c, std::move(m));
+            },
+            [this](const cluster::ChannelPtr&) {
+              parent_ = nullptr;
+              if (heal_ && ready_fired_) begin_reparent();
+            });
+        Packet hello;
+        hello.kind = PacketKind::Hello;
+        hello.node_index = my_index_;
+        self_.send(ch, hello.encode());
+      });
 }
 
 void TbonEndpoint::handle_subtree_up(int child_index) {
@@ -320,7 +441,14 @@ TbonEndpoint::Round& TbonEndpoint::round_for(std::uint64_t key) {
   auto it = rounds_.find(key);
   if (it == rounds_.end()) {
     Round round;
-    for (int c : expected_children_) round.pending_children.insert(c);
+    if (heal_) {
+      // Live membership: losses shrink it, adoptions (including orphans
+      // from deeper levels) grow it, so a round opened after a failure
+      // waits for exactly the surviving tree.
+      round.pending_children = expected_live_;
+    } else {
+      for (int c : expected_children_) round.pending_children.insert(c);
+    }
     it = rounds_.emplace(key, std::move(round)).first;
   }
   return it->second;
@@ -384,23 +512,31 @@ void TbonEndpoint::handle_up(int child_index, Packet p) {
     maybe_flush_part(round, p.stream, p.tag);
     return;
   }
+  maybe_complete_round(key);
+}
 
-  // All child subtrees contributed: the accumulator IS the reduction.
-  self_.machine().count("tbon.rounds_reduced");
+void TbonEndpoint::maybe_complete_round(std::uint64_t key) {
   auto it = rounds_.find(key);
+  if (it == rounds_.end() || !it->second.pending_children.empty()) return;
+  const auto stream = static_cast<std::uint32_t>(key >> 32);
+  const auto tag = static_cast<std::uint32_t>(key & 0xffffffffu);
+
+  // All (surviving) child subtrees contributed: the accumulator IS the
+  // reduction.
+  self_.machine().count("tbon.rounds_reduced");
   const Bytes reduced = std::move(it->second.acc);
   std::vector<std::uint32_t> ranks = std::move(it->second.ranks);
   std::sort(ranks.begin(), ranks.end());
   rounds_.erase(it);
 
   if (is_root()) {
-    if (cbs_.on_up) cbs_.on_up(p.stream, p.tag, reduced, ranks);
+    if (cbs_.on_up) cbs_.on_up(stream, tag, reduced, ranks);
     return;
   }
   Packet up;
   up.kind = PacketKind::Up;
-  up.stream = p.stream;
-  up.tag = p.tag;
+  up.stream = stream;
+  up.tag = tag;
   up.node_index = my_index_;
   up.ranks = std::move(ranks);
   up.data = reduced;

@@ -50,6 +50,21 @@ class TbonEndpoint {
   /// parent (with retries while the parent boots).
   void start();
 
+  /// Opt into self-healing: on post-ready parent loss this node climbs the
+  /// topology's ancestor chain and re-Hellos the nearest reachable live
+  /// ancestor; adopters fold the orphan into future rounds and replay
+  /// stream announcements. Default off (the pre-heal overlay tears down on
+  /// any post-ready link loss). Must be set before start(). Minimal by
+  /// design: rounds in flight *across* the failure lose the dead subtree's
+  /// contribution (their pending entry is dropped so the round still
+  /// completes); only rounds opened after adoption include the orphan.
+  void set_heal(bool on) { heal_ = on; }
+  [[nodiscard]] bool heal() const { return heal_; }
+  /// Current parent topology index (-1 at the root); moves on reparent.
+  [[nodiscard]] int parent_index() const { return parent_index_; }
+  /// Child topology indices with a live link (adoption view, for tests).
+  [[nodiscard]] std::set<int> live_children() const;
+
   [[nodiscard]] bool is_root() const { return my_index_ == 0; }
   [[nodiscard]] int index() const { return my_index_; }
   [[nodiscard]] const Topology& topology() const { return topo_; }
@@ -84,6 +99,17 @@ class TbonEndpoint {
   };
 
   void connect_parent(int attempts_left);
+  // --- self-heal (heal_ only) ----------------------------------------------
+  /// Post-ready parent loss: start the climb at the dead parent's parent.
+  void begin_reparent();
+  /// Dial topology index `target`; exhausted retries climb one more level.
+  void try_reattach(int target, int attempts_left);
+  /// Post-ready child link loss: drop the child from the live set and from
+  /// every open round's pending set, completing rounds it was the last
+  /// straggler of.
+  void on_child_lost(const cluster::ChannelPtr& ch);
+  /// Finishes (delivers or relays) the round if nothing is pending.
+  void maybe_complete_round(std::uint64_t key);
   void on_packet(const cluster::ChannelPtr& ch, cluster::Message m);
   void handle_hello(const cluster::ChannelPtr& ch, int child_index);
   void handle_subtree_up(int child_index);
@@ -109,6 +135,13 @@ class TbonEndpoint {
   cluster::ChannelPtr parent_;
   std::map<int, cluster::ChannelPtr> children_;   ///< topo index -> link
   std::vector<int> expected_children_;            ///< children with backends
+  /// Children whose subtree still has a live backend path. Mirrors
+  /// expected_children_ until heal-mode losses/adoptions diverge it; new
+  /// rounds seed their pending set from here so a post-failure reduction
+  /// waits for exactly the surviving (possibly adopted) membership.
+  std::set<int> expected_live_;
+  bool heal_ = false;
+  int parent_index_ = -1;  ///< current parent topo index (moves on reparent)
   std::set<int> subtree_up_pending_;
   bool parent_linked_ = false;
   bool ready_fired_ = false;
@@ -120,6 +153,9 @@ class TbonEndpoint {
 
   static constexpr int kConnectRetries = 60;
   static constexpr sim::Time kRetryDelay = sim::ms(4);
+  /// Per-ancestor dial budget during a heal climb: short, because a dead
+  /// ancestor should cost a few retries before the orphan climbs past it.
+  static constexpr int kHealConnectRetries = 3;
 };
 
 /// True when the subtree rooted at `index` contains a back end.

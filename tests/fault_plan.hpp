@@ -1,0 +1,128 @@
+// fault_plan.hpp - deterministic fault-injection plans for daemon trees.
+//
+// A FaultPlan is a scripted set of (time, rank) kill events armed against a
+// wired fabric's pid list. Because the simulator is single-threaded and
+// seeded, an armed plan produces the *same* interleaving of failure vs.
+// in-flight collective traffic on every run - the self-heal tests and the
+// availability bench both script their failures here instead of hand-timing
+// run_until()/exit() pairs.
+//
+// Builders cover the shapes the PR cares about:
+//   * single(t, r)            - one interior/leaf/root-child death
+//   * correlated(t, {r...})   - simultaneous deaths (a rack power loss)
+//   * subtree(t, topo, r)     - correlated death of r and every descendant
+//                               (the "whole-rack" case when placement is
+//                               contiguous, which all three fabrics give)
+//   * cascading(t, gap, {r...}) - staggered deaths, each `gap` apart (a
+//                               failing switch taking neighbors down one by
+//                               one; exercises re-reparenting of ranks that
+//                               already healed once)
+//
+// Plans compose: `plan.then(other)` concatenates event lists.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "cluster/process.hpp"
+#include "comm/topology.hpp"
+#include "simkernel/simulator.hpp"
+
+namespace lmon::testing {
+
+struct FaultEvent {
+  sim::Time when = 0;       ///< absolute simulation time of the kill
+  std::uint32_t rank = 0;   ///< fabric rank to kill
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  static FaultPlan single(sim::Time when, std::uint32_t rank) {
+    FaultPlan p;
+    p.events_.push_back({when, rank});
+    return p;
+  }
+
+  /// Simultaneous deaths - one rack losing power. Every rank dies in the
+  /// same scheduled event, so no victim observes another victim's close.
+  static FaultPlan correlated(sim::Time when,
+                              std::vector<std::uint32_t> ranks) {
+    FaultPlan p;
+    for (const std::uint32_t r : ranks) p.events_.push_back({when, r});
+    return p;
+  }
+
+  /// Correlated loss of `root_rank` and its whole subtree in `topo`.
+  static FaultPlan subtree(sim::Time when, const comm::Topology& topo,
+                           std::uint32_t root_rank) {
+    return correlated(when, topo.subtree_of(root_rank));
+  }
+
+  /// Staggered deaths: ranks[i] dies at start + i * gap. With gap larger
+  /// than the heal time this exercises repeated re-reparenting; with gap
+  /// smaller it exercises climbs past still-dying ancestors.
+  static FaultPlan cascading(sim::Time start, sim::Time gap,
+                             std::vector<std::uint32_t> ranks) {
+    FaultPlan p;
+    sim::Time t = start;
+    for (const std::uint32_t r : ranks) {
+      p.events_.push_back({t, r});
+      t += gap;
+    }
+    return p;
+  }
+
+  /// Concatenates another plan's events (ordering is by time at arm()).
+  FaultPlan& then(const FaultPlan& other) {
+    events_.insert(events_.end(), other.events_.begin(),
+                   other.events_.end());
+    return *this;
+  }
+
+  /// Schedules every kill against `machine`. `pids[r]` must be rank r's
+  /// process (wire_fabric order). Kills are SIGKILL-style: the process
+  /// exits inside the scheduled event, its channels close, and any events
+  /// it had posted die with it. A rank already gone at fire time (killed
+  /// twice, or exited on its own) is skipped silently, so plans may
+  /// overlap. Times are absolute; arm() before running past them.
+  void arm(cluster::Machine& machine,
+           const std::vector<cluster::Pid>& pids) const {
+    for (const FaultEvent& ev : events_) {
+      const cluster::Pid pid = pids.at(ev.rank);
+      machine.sim().schedule_at(ev.when, [&machine, pid] {
+        if (cluster::Process* proc = machine.find_process(pid)) {
+          proc->exit(9);
+        }
+      });
+    }
+  }
+
+  /// Ranks this plan kills (for survivor-side assertions).
+  [[nodiscard]] std::set<std::uint32_t> dead_ranks() const {
+    std::set<std::uint32_t> out;
+    for (const FaultEvent& ev : events_) out.insert(ev.rank);
+    return out;
+  }
+
+  /// Time of the last kill (recovery clocks start here).
+  [[nodiscard]] sim::Time last_kill() const {
+    sim::Time t = 0;
+    for (const FaultEvent& ev : events_) t = std::max(t, ev.when);
+    return t;
+  }
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace lmon::testing

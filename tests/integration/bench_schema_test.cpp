@@ -18,6 +18,7 @@
 #include <sstream>
 
 #include "bench/ablation_autotune_lib.hpp"
+#include "bench/ablation_heal_lib.hpp"
 #include "bench/ablation_iccl_lib.hpp"
 #include "bench/ablation_rsh_lib.hpp"
 #include "bench/fig5_jobsnap_lib.hpp"
@@ -229,6 +230,46 @@ TEST(BenchSchema, Fig6StatJsonShapeMatchesGolden) {
   }
   EXPECT_GT(report.metrics.counter("tbon.packets"), 0.0);
   EXPECT_GT(report.metrics.counter("net.messages_total"), 0.0);
+}
+
+TEST(BenchSchema, AblationHealJsonShapeMatchesGolden) {
+  const bench::HealAblationReport report =
+      bench::run_heal_ablation(bench::HealAblationOptions::smoke());
+  const std::string json = bench::to_json(report);
+  const std::string live_shape = bench::json_shape(json);
+
+  const std::string golden = read_golden("bench_ablation_heal.schema.txt");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file tests/golden/bench_ablation_heal.schema.txt";
+  EXPECT_EQ(live_shape, golden)
+      << "bench_ablation_heal --json schema drifted.\nlive skeleton:\n"
+      << live_shape << "\nif intentional, update the golden file.";
+}
+
+TEST(BenchSchema, HealReportIsWellFormedAtToyScale) {
+  const bench::HealAblationOptions opts =
+      bench::HealAblationOptions::smoke();
+  const bench::HealAblationReport report = bench::run_heal_ablation(opts);
+
+  // One point per (topology, kill fraction), and the bench's own gates
+  // hold at toy scale: every point heals inside the budget and the healed
+  // fabric neither loses nor duplicates a single payload.
+  ASSERT_EQ(report.points.size(),
+            opts.topologies.size() * opts.kill_fractions.size());
+  EXPECT_TRUE(report.all_recovered);
+  EXPECT_LE(report.max_recovery_s, report.recovery_gate_s);
+  EXPECT_EQ(report.total_lost_payloads, 0);
+  EXPECT_EQ(report.total_duplicates, 0);
+  EXPECT_EQ(report.total_give_ups, 0.0);
+  for (const auto& p : report.points) {
+    EXPECT_TRUE(p.recovered)
+        << p.topology << " fraction=" << p.kill_fraction;
+    EXPECT_GE(p.recovery_s, 0.0);
+    // Reattaches and adoptions pair up: every orphan that re-Helloed was
+    // adopted by exactly one survivor.
+    EXPECT_EQ(p.reattaches, p.adoptions)
+        << p.topology << " fraction=" << p.kill_fraction;
+  }
 }
 
 /// The skeleton reducer itself: malformed/ragged rows must be visible.

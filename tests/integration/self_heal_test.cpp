@@ -1,0 +1,573 @@
+// Self-healing daemon tree tests: kill comm daemons under a raw ICCL
+// fabric (heal enabled) and assert the tree reparents onto surviving
+// ancestors, in-flight collectives recover byte-identically, and nothing
+// is delivered twice. Fault timing is scripted through tests/fault_plan.hpp
+// so every interleaving of death vs. in-flight traffic is deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "comm/bootstrap.hpp"
+#include "comm/topology.hpp"
+#include "core/iccl.hpp"
+#include "obs/metrics.hpp"
+#include "tests/fault_plan.hpp"
+#include "tests/flight_check.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon::core {
+namespace {
+
+using testing::FaultPlan;
+using testing::TestCluster;
+
+constexpr std::uint32_t kEagerOnly = 0xffffffffu;
+constexpr std::uint32_t kRndvAlways = 1;
+constexpr std::uint32_t kChunk = 64 * 1024;  // CostModel default
+
+struct Shared {
+  /// rank -> tag -> (delivery count, payload): duplicates are a bug even
+  /// when the wire legitimately carries replayed frames.
+  std::map<std::uint32_t, std::map<std::uint32_t, int>> bcast_count;
+  std::map<std::uint32_t, std::map<std::uint32_t, Bytes>> bcast_by_tag;
+  /// tag -> times the root handler fired; entries of the last firing.
+  std::map<std::uint32_t, int> gather_fired;
+  std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, Bytes>>>
+      gather_by_tag;
+  std::map<std::uint32_t, Iccl*> iccls;  ///< live instances only
+  int ready = 0;
+};
+
+class RawHealDaemon : public cluster::Program {
+ public:
+  explicit RawHealDaemon(Shared* sh) : sh_(sh) {}
+  ~RawHealDaemon() override {
+    if (rank_ != kNoRank) sh_->iccls.erase(rank_);
+  }
+  [[nodiscard]] std::string_view name() const override { return "raw_heal"; }
+
+  void on_start(cluster::Process& self) override {
+    auto params = Iccl::params_from_args(self.args(), self.node().hostname());
+    ASSERT_TRUE(params.has_value());
+    iccl_ = std::make_unique<Iccl>(self, std::move(*params));
+    rank_ = iccl_->rank();
+    const std::uint32_t rank = rank_;
+    iccl_->set_bcast_handler([this, rank](std::uint32_t tag,
+                                          const Bytes& data) {
+      sh_->bcast_count[rank][tag] += 1;
+      sh_->bcast_by_tag[rank][tag] = data;
+    });
+    iccl_->set_gather_handler(
+        [this](std::uint32_t tag,
+               std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+          sh_->gather_fired[tag] += 1;
+          sh_->gather_by_tag[tag] = std::move(entries);
+        });
+    sh_->iccls[rank] = iccl_.get();
+    iccl_->start([this](Status st) {
+      if (st.is_ok()) sh_->ready += 1;
+    });
+  }
+
+ private:
+  static constexpr std::uint32_t kNoRank = 0xffffffffu;
+  Shared* sh_;
+  std::uint32_t rank_ = kNoRank;
+  std::unique_ptr<Iccl> iccl_;
+};
+
+/// One healing daemon per rank on its own node; returns pids in rank order.
+std::vector<cluster::Pid> wire_heal_fabric(TestCluster& tc, Shared& sh,
+                                           const comm::TopologySpec& topo,
+                                           int n,
+                                           std::uint32_t rndv_threshold,
+                                           std::uint32_t grace_ms = 0) {
+  comm::BootstrapSpec spec;
+  spec.size = static_cast<std::uint32_t>(n);
+  spec.topology = topo;
+  spec.port = cluster::kToolFabricBasePort;
+  spec.session = "heal";
+  spec.rndv_threshold = rndv_threshold;
+  spec.heal = true;
+  spec.heal_grace_ms = grace_ms;
+  for (int i = 0; i < n; ++i) {
+    spec.hosts.push_back(tc.machine.compute_node(i).hostname());
+  }
+  std::vector<cluster::Pid> pids;
+  for (std::uint32_t r = 0; r < spec.size; ++r) {
+    cluster::SpawnOptions opts;
+    opts.executable = "raw_heal";
+    opts.args = comm::bootstrap_args(spec, r);
+    auto res = tc.machine.compute_node(static_cast<int>(r))
+                   .spawn(std::make_unique<RawHealDaemon>(&sh),
+                          std::move(opts));
+    EXPECT_TRUE(res.is_ok());
+    pids.push_back(res.value);
+  }
+  return pids;
+}
+
+Bytes patterned(std::size_t size, std::uint8_t salt) {
+  Bytes b(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    b[i] = static_cast<std::uint8_t>((i * 31) ^ salt);
+  }
+  return b;
+}
+
+/// Survivors = all ranks minus the plan's victims.
+std::set<std::uint32_t> survivors_of(int n, const FaultPlan& plan) {
+  std::set<std::uint32_t> out;
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    out.insert(r);
+  }
+  for (const std::uint32_t d : plan.dead_ranks()) out.erase(d);
+  return out;
+}
+
+/// True once every survivor reports heal_idle() (no open adoption slots,
+/// nobody mid-climb).
+bool fabric_idle(const Shared& sh, const std::set<std::uint32_t>& alive) {
+  for (const std::uint32_t r : alive) {
+    auto it = sh.iccls.find(r);
+    if (it == sh.iccls.end() || !it->second->heal_idle()) return false;
+  }
+  return true;
+}
+
+/// Non-asserting settle check: every survivor's upstream link targets a
+/// live rank that owns it back. (Dead ranks linger as zombies in the sim,
+/// so "the victim disappeared" is not observable; the healed link is.)
+bool tree_healed(const Shared& sh, const std::set<std::uint32_t>& alive) {
+  for (const std::uint32_t r : alive) {
+    if (r == 0) continue;
+    auto it = sh.iccls.find(r);
+    if (it == sh.iccls.end()) return false;
+    const std::uint32_t parent = it->second->parent_rank();
+    if (alive.count(parent) == 0 || sh.iccls.count(parent) == 0) {
+      return false;
+    }
+    const auto kids = sh.iccls.at(parent)->live_children();
+    if (std::find(kids.begin(), kids.end(), r) == kids.end()) return false;
+  }
+  return true;
+}
+
+/// The standard post-kill settle predicate.
+bool settled(const TestCluster& tc, const Shared& sh, const FaultPlan& plan,
+             const std::set<std::uint32_t>& alive) {
+  return tc.simulator.now() > plan.last_kill() && fabric_idle(sh, alive) &&
+         tree_healed(sh, alive);
+}
+
+/// Tree invariants after healing: every survivor's upstream link targets a
+/// live rank, the parent agrees it owns the child, and walking parents from
+/// any survivor reaches the root without cycles.
+void check_reparented_tree(const Shared& sh,
+                           const std::set<std::uint32_t>& alive) {
+  for (const std::uint32_t r : alive) {
+    if (r == 0) continue;
+    ASSERT_TRUE(sh.iccls.count(r) != 0) << "rank " << r << " not alive";
+    const std::uint32_t parent = sh.iccls.at(r)->parent_rank();
+    ASSERT_TRUE(alive.count(parent) != 0)
+        << "rank " << r << " parented on dead rank " << parent;
+    const auto kids = sh.iccls.at(parent)->live_children();
+    EXPECT_TRUE(std::find(kids.begin(), kids.end(), r) != kids.end())
+        << "rank " << parent << " does not own child " << r;
+    // Climb to the root; a cycle would loop past `alive.size()` hops.
+    std::uint32_t cur = r;
+    std::size_t hops = 0;
+    while (cur != 0) {
+      ASSERT_LT(hops++, alive.size()) << "parent cycle at rank " << r;
+      cur = sh.iccls.at(cur)->parent_rank();
+      ASSERT_TRUE(alive.count(cur) != 0);
+    }
+  }
+}
+
+/// Broadcasts `payload` post-heal and asserts exactly-once byte-identical
+/// delivery at every survivor, then gathers and asserts the root assembles
+/// exactly the survivor set byte-identically.
+void check_collectives_whole(TestCluster& tc, Shared& sh,
+                             const std::set<std::uint32_t>& alive,
+                             std::uint32_t tag, const Bytes& payload) {
+  sh.iccls[0]->broadcast(tag, payload);
+  ASSERT_TRUE(tc.run_until([&] {
+    for (const std::uint32_t r : alive) {
+      if (sh.bcast_by_tag[r].count(tag) == 0) return false;
+    }
+    return true;
+  })) << "post-heal broadcast did not reach every survivor";
+  for (const std::uint32_t r : alive) {
+    EXPECT_EQ(sh.bcast_by_tag[r][tag], payload) << "rank " << r;
+    EXPECT_EQ(sh.bcast_count[r][tag], 1) << "duplicate delivery at " << r;
+  }
+
+  const std::uint32_t gtag = tag + 1000;
+  for (const std::uint32_t r : alive) {
+    sh.iccls[r]->contribute(gtag, patterned(96 + r, static_cast<std::uint8_t>(r)));
+  }
+  ASSERT_TRUE(tc.run_until([&] { return sh.gather_fired[gtag] != 0; }))
+      << "post-heal gather never completed";
+  EXPECT_EQ(sh.gather_fired[gtag], 1);
+  const auto& entries = sh.gather_by_tag[gtag];
+  ASSERT_EQ(entries.size(), alive.size());
+  std::set<std::uint32_t> seen;
+  for (const auto& [origin, data] : entries) {
+    EXPECT_TRUE(seen.insert(origin).second) << "dup origin " << origin;
+    EXPECT_TRUE(alive.count(origin) != 0) << "dead origin " << origin;
+    EXPECT_EQ(data, patterned(96 + origin, static_cast<std::uint8_t>(origin)))
+        << "origin " << origin;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Idle kills, parametrized across the three fabrics (interior / mid-tree /
+// leaf victims chosen per shape).
+
+struct HealCase {
+  comm::TopologySpec topo;
+  int n;
+  std::uint32_t kill;
+};
+
+class SelfHealFabric : public ::testing::TestWithParam<HealCase> {};
+
+TEST_P(SelfHealFabric, IdleKillReparentsAndCollectivesRecover) {
+  const HealCase c = GetParam();
+  Shared sh;
+  TestCluster tc(c.n);
+  lmon::testing::FlightRecorderOnFailure flight(tc.machine);
+  obs::Metrics metrics;
+  tc.machine.set_metrics(&metrics);
+  const auto pids = wire_heal_fabric(tc, sh, c.topo, c.n, kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == c.n; }));
+
+  const FaultPlan plan =
+      FaultPlan::single(tc.simulator.now() + sim::ms(5), c.kill);
+  plan.arm(tc.machine, pids);
+  const auto alive = survivors_of(c.n, plan);
+
+  // Orphan count = the victim's direct children in the original tree.
+  const comm::Topology topo(c.topo, static_cast<std::uint32_t>(c.n));
+  const std::size_t orphans = topo.children_of(c.kill).size();
+
+  ASSERT_TRUE(tc.run_until([&] { return settled(tc, sh, plan, alive); }))
+      << "fabric never settled after the kill";
+  check_reparented_tree(sh, alive);
+  EXPECT_EQ(metrics.counter("iccl.heal.reattaches"),
+            static_cast<double>(orphans));
+  EXPECT_EQ(metrics.counter("iccl.heal.adoptions"),
+            static_cast<double>(orphans));
+  EXPECT_EQ(metrics.counter("iccl.heal.give_ups"), 0.0);
+
+  check_collectives_whole(tc, sh, alive, 50, patterned(kChunk + 333, 0x5A));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fabrics, SelfHealFabric,
+    ::testing::Values(
+        // k-ary:2, 7 ranks: rank 1 is a root child with children {3,4}.
+        HealCase{{comm::TopologyKind::KAry, 2}, 7, 1},
+        // binomial, 8 ranks: rank 4 heads the {4,5,6,7} subtree.
+        HealCase{{comm::TopologyKind::Binomial, 0}, 8, 4},
+        // flat, 6 ranks: every rank is a leaf under the root.
+        HealCase{{comm::TopologyKind::Flat, 0}, 6, 3}),
+    [](const ::testing::TestParamInfo<HealCase>& pinfo) {
+      std::string name = pinfo.param.topo.to_string() + "_kill" +
+                         std::to_string(pinfo.param.kill);
+      for (char& c : name) {
+        if (c == ':' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Mid-collective kills: the victim dies while a broadcast/gather is in
+// flight through it.
+
+TEST(SelfHeal, MidBcastEagerKillReplaysToOrphans) {
+  const int n = 7;
+  Shared sh;
+  TestCluster tc(n);
+  lmon::testing::FlightRecorderOnFailure flight(tc.machine);
+  const auto pids = wire_heal_fabric(tc, sh, {comm::TopologyKind::KAry, 2},
+                                     n, kEagerOnly);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  // Rank 1 receives the eager frame ~45us after send but only relays it
+  // ~600us later (iccl_msg_handle); a kill in between means ranks 3/4 never
+  // saw tag 60 and must get it from the root's replay after reattach.
+  const Bytes payload = patterned(4096, 0x11);
+  sh.iccls[0]->broadcast(60, payload);
+  const FaultPlan plan =
+      FaultPlan::single(tc.simulator.now() + sim::us(300), 1);
+  plan.arm(tc.machine, pids);
+  const auto alive = survivors_of(n, plan);
+
+  ASSERT_TRUE(tc.run_until([&] {
+    if (!settled(tc, sh, plan, alive)) return false;
+    for (const std::uint32_t r : alive) {
+      if (sh.bcast_by_tag[r].count(60) == 0) return false;
+    }
+    return true;
+  })) << "broadcast never recovered across the kill";
+  check_reparented_tree(sh, alive);
+  for (const std::uint32_t r : alive) {
+    EXPECT_EQ(sh.bcast_by_tag[r][60], payload) << "rank " << r;
+    EXPECT_EQ(sh.bcast_count[r][60], 1) << "duplicate delivery at " << r;
+  }
+  check_collectives_whole(tc, sh, alive, 61, patterned(2048, 0x22));
+}
+
+TEST(SelfHeal, MidBcastRendezvousKillResumesChunkStream) {
+  const int n = 7;
+  Shared sh;
+  TestCluster tc(n);
+  lmon::testing::FlightRecorderOnFailure flight(tc.machine);
+  const auto pids = wire_heal_fabric(tc, sh, {comm::TopologyKind::KAry, 2},
+                                     n, kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  // 6 chunks; the kill lands while rank 1 is mid-relay of the chunk train.
+  const Bytes payload = patterned(5 * kChunk + 777, 0x33);
+  sh.iccls[0]->broadcast(70, payload);
+  const FaultPlan plan =
+      FaultPlan::single(tc.simulator.now() + sim::ms(2), 1);
+  plan.arm(tc.machine, pids);
+  const auto alive = survivors_of(n, plan);
+
+  ASSERT_TRUE(tc.run_until([&] {
+    if (!settled(tc, sh, plan, alive)) return false;
+    for (const std::uint32_t r : alive) {
+      if (sh.bcast_by_tag[r].count(70) == 0) return false;
+    }
+    return true;
+  })) << "rendezvous broadcast never recovered across the kill";
+  check_reparented_tree(sh, alive);
+  for (const std::uint32_t r : alive) {
+    EXPECT_EQ(sh.bcast_by_tag[r][70], payload) << "rank " << r;
+    EXPECT_EQ(sh.bcast_count[r][70], 1) << "duplicate delivery at " << r;
+  }
+  check_collectives_whole(tc, sh, alive, 71, patterned(kChunk, 0x44));
+}
+
+TEST(SelfHeal, MidGatherKillRecoversSurvivorPayloads) {
+  const int n = 7;
+  Shared sh;
+  TestCluster tc(n);
+  lmon::testing::FlightRecorderOnFailure flight(tc.machine);
+  const auto pids = wire_heal_fabric(tc, sh, {comm::TopologyKind::KAry, 2},
+                                     n, kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  // Big enough that rank 1 dies while relaying its subtree's chunk trains.
+  const std::uint32_t tag = 80;
+  std::map<std::uint32_t, Bytes> contrib;
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    contrib[r] = patterned(kChunk + 100 * r,
+                           static_cast<std::uint8_t>(0x50 + r));
+    sh.iccls[r]->contribute(tag, contrib[r]);
+  }
+  const FaultPlan plan =
+      FaultPlan::single(tc.simulator.now() + sim::ms(2), 1);
+  plan.arm(tc.machine, pids);
+  const auto alive = survivors_of(n, plan);
+
+  ASSERT_TRUE(tc.run_until([&] {
+    return sh.gather_fired[tag] != 0 && settled(tc, sh, plan, alive);
+  })) << "gather never completed across the kill";
+  check_reparented_tree(sh, alive);
+  EXPECT_EQ(sh.gather_fired[tag], 1);
+  const auto& entries = sh.gather_by_tag[tag];
+  std::map<std::uint32_t, Bytes> got;
+  for (const auto& [origin, data] : entries) {
+    EXPECT_TRUE(got.emplace(origin, data).second)
+        << "dup origin " << origin;
+  }
+  // Every survivor's payload assembles byte-identically; the victim's own
+  // contribution may legitimately be present (already relayed) or absent
+  // (died with it) - it must not be corrupt if present.
+  for (const std::uint32_t r : alive) {
+    ASSERT_TRUE(got.count(r) != 0) << "lost survivor payload " << r;
+    EXPECT_EQ(got.at(r), contrib.at(r)) << "origin " << r;
+  }
+  if (got.count(1) != 0) {
+    EXPECT_EQ(got.at(1), contrib.at(1));
+  }
+
+  check_collectives_whole(tc, sh, alive, 81, patterned(512, 0x66));
+}
+
+// ---------------------------------------------------------------------------
+// Correlated and cascading failures.
+
+TEST(SelfHeal, CorrelatedSubtreeLossResolvesByGraceTimer) {
+  const int n = 7;
+  Shared sh;
+  TestCluster tc(n);
+  lmon::testing::FlightRecorderOnFailure flight(tc.machine);
+  obs::Metrics metrics;
+  tc.machine.set_metrics(&metrics);
+  const auto pids = wire_heal_fabric(tc, sh, {comm::TopologyKind::KAry, 2},
+                                     n, kRndvAlways, /*grace_ms=*/50);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  // The whole {1,3,4} rack dies at once: no orphan ever reattaches, so the
+  // root's adoption slot must resolve by grace expiry, not coverage.
+  const comm::Topology topo({comm::TopologyKind::KAry, 2},
+                            static_cast<std::uint32_t>(n));
+  const FaultPlan plan =
+      FaultPlan::subtree(tc.simulator.now() + sim::ms(5), topo, 1);
+  plan.arm(tc.machine, pids);
+  const auto alive = survivors_of(n, plan);
+
+  // A gather opened before the loss completes with the survivor set once
+  // the grace window closes.
+  const std::uint32_t tag = 90;
+  for (const std::uint32_t r : alive) {
+    sh.iccls[r]->contribute(tag, patterned(256, static_cast<std::uint8_t>(r)));
+  }
+  ASSERT_TRUE(tc.run_until([&] {
+    return sh.gather_fired[tag] != 0 && settled(tc, sh, plan, alive);
+  })) << "gather never completed after whole-subtree loss";
+  check_reparented_tree(sh, alive);
+  EXPECT_GE(metrics.counter("iccl.heal.grace_expired"), 1.0);
+  EXPECT_EQ(metrics.counter("iccl.heal.reattaches"), 0.0);
+  const auto& entries = sh.gather_by_tag[tag];
+  std::set<std::uint32_t> origins;
+  for (const auto& [origin, data] : entries) origins.insert(origin);
+  EXPECT_EQ(origins, alive);
+
+  check_collectives_whole(tc, sh, alive, 91, patterned(1024, 0x77));
+}
+
+TEST(SelfHeal, CascadingKillsRehealAlreadyHealedRanks) {
+  const int n = 15;  // kary:2 depth 3: 3's children {7,8}, 1's {3,4}
+  Shared sh;
+  TestCluster tc(n);
+  lmon::testing::FlightRecorderOnFailure flight(tc.machine);
+  const auto pids = wire_heal_fabric(tc, sh, {comm::TopologyKind::KAry, 2},
+                                     n, kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  // 3 dies first (7/8 reattach to 1), then 1 dies (7/8 must reparent a
+  // second time, 4 a first time; everyone lands under the root).
+  const FaultPlan plan = FaultPlan::cascading(
+      tc.simulator.now() + sim::ms(5), sim::seconds(1), {3, 1});
+  plan.arm(tc.machine, pids);
+  const auto alive = survivors_of(n, plan);
+
+  ASSERT_TRUE(tc.run_until([&] { return settled(tc, sh, plan, alive); }))
+      << "fabric never settled after the cascade";
+  check_reparented_tree(sh, alive);
+  // 7 and 8 were orphaned twice and must have climbed to a live ancestor.
+  EXPECT_EQ(sh.iccls[7]->parent_rank(), 0u);
+  EXPECT_EQ(sh.iccls[8]->parent_rank(), 0u);
+  EXPECT_EQ(sh.iccls[4]->parent_rank(), 0u);
+
+  check_collectives_whole(tc, sh, alive, 100, patterned(3000, 0x88));
+}
+
+TEST(SelfHeal, CorrelatedAncestorChainLossClimbsPastDeadRanks) {
+  const int n = 15;
+  Shared sh;
+  TestCluster tc(n);
+  lmon::testing::FlightRecorderOnFailure flight(tc.machine);
+  const auto pids = wire_heal_fabric(tc, sh, {comm::TopologyKind::KAry, 2},
+                                     n, kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  // 1 and 3 die in the same instant: 7/8 dial dead 1, exhaust the retry
+  // budget, and climb on to the root; 4 reattaches directly.
+  const FaultPlan plan = FaultPlan::correlated(
+      tc.simulator.now() + sim::ms(5), {1, 3});
+  plan.arm(tc.machine, pids);
+  const auto alive = survivors_of(n, plan);
+
+  ASSERT_TRUE(tc.run_until([&] { return settled(tc, sh, plan, alive); }))
+      << "fabric never settled after correlated ancestor loss";
+  check_reparented_tree(sh, alive);
+  EXPECT_EQ(sh.iccls[7]->parent_rank(), 0u);
+  EXPECT_EQ(sh.iccls[8]->parent_rank(), 0u);
+
+  check_collectives_whole(tc, sh, alive, 110, patterned(2222, 0x99));
+}
+
+// ---------------------------------------------------------------------------
+// Elastic shrink: a graceful leave() heals like a death but is accounted
+// as a departure, and in-flight payloads still assemble.
+
+TEST(SelfHeal, GracefulLeaveShrinksWithoutPayloadLoss) {
+  const int n = 7;
+  Shared sh;
+  TestCluster tc(n);
+  lmon::testing::FlightRecorderOnFailure flight(tc.machine);
+  obs::Metrics metrics;
+  tc.machine.set_metrics(&metrics);
+  wire_heal_fabric(tc, sh, {comm::TopologyKind::KAry, 2}, n, kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  std::set<std::uint32_t> alive;
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    alive.insert(r);
+  }
+  alive.erase(1);
+  sh.iccls[1]->leave();
+  ASSERT_TRUE(tc.run_until([&] {
+    return metrics.counter("iccl.heal.leaves_observed") >= 1.0 &&
+           fabric_idle(sh, alive) && tree_healed(sh, alive);
+  })) << "fabric never settled after the leave";
+  check_reparented_tree(sh, alive);
+  EXPECT_EQ(metrics.counter("iccl.heal.leaves"), 1.0);
+  EXPECT_EQ(metrics.counter("iccl.heal.leaves_observed"), 1.0);
+  EXPECT_EQ(metrics.counter("iccl.heal.give_ups"), 0.0);
+
+  check_collectives_whole(tc, sh, alive, 120, patterned(kChunk + 50, 0xAB));
+}
+
+// Heal disabled keeps the historical semantics: the dead subtree stays
+// detached and nobody reparents (regression guard for the default path).
+TEST(SelfHeal, DisabledHealKeepsLegacyDropSemantics) {
+  const int n = 7;
+  Shared sh;
+  TestCluster tc(n);
+  comm::BootstrapSpec spec;
+  spec.size = n;
+  spec.topology = {comm::TopologyKind::KAry, 2};
+  spec.port = cluster::kToolFabricBasePort;
+  spec.session = "noheal";
+  spec.rndv_threshold = kRndvAlways;
+  for (int i = 0; i < n; ++i) {
+    spec.hosts.push_back(tc.machine.compute_node(i).hostname());
+  }
+  std::vector<cluster::Pid> pids;
+  for (std::uint32_t r = 0; r < spec.size; ++r) {
+    cluster::SpawnOptions opts;
+    opts.executable = "raw_heal";
+    opts.args = comm::bootstrap_args(spec, r);
+    auto res = tc.machine.compute_node(static_cast<int>(r))
+                   .spawn(std::make_unique<RawHealDaemon>(&sh),
+                          std::move(opts));
+    ASSERT_TRUE(res.is_ok());
+    pids.push_back(res.value);
+  }
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+  ASSERT_FALSE(sh.iccls[3]->heal_enabled());
+
+  tc.machine.find_process(pids[1])->exit(9);
+  tc.simulator.run(tc.simulator.now() + sim::seconds(2));
+  // Orphans 3/4 never re-dial anyone; their upstream link simply stays the
+  // (dead) topology parent.
+  ASSERT_TRUE(sh.iccls.count(3) != 0);
+  EXPECT_EQ(sh.iccls[3]->parent_rank(), 1u);
+  const auto kids = sh.iccls[0]->live_children();
+  EXPECT_TRUE(std::find(kids.begin(), kids.end(), 3u) == kids.end());
+}
+
+}  // namespace
+}  // namespace lmon::core

@@ -2,12 +2,15 @@
 // multiple streams, round synchronization, via the ad hoc startup path.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <set>
 
 #include "common/argparse.hpp"
 #include "tbon/comm_node.hpp"
 #include "tbon/endpoint.hpp"
 #include "tbon/startup.hpp"
+#include "obs/metrics.hpp"
 #include "tests/test_util.hpp"
 
 namespace lmon::tbon {
@@ -294,6 +297,207 @@ TEST(TbonNet, MultipleStreamsKeepRoundsSeparate) {
   EXPECT_EQ(sums[101], 6u);   // stream 1 (sum), tag 1: 0+1+2+3
   EXPECT_EQ(sums[201], 3u);   // stream 2 (max), tag 1
   EXPECT_EQ(sums[102], 6u);   // stream 1, tag 2 (separate round)
+}
+
+
+// --- self-healing overlay (TbonEndpoint::set_heal) ---------------------------
+
+struct HealShared {
+  std::map<int, cluster::Pid> pids;           ///< topo index -> pid
+  std::map<int, TbonEndpoint*> endpoints;     ///< live endpoints by index
+  std::map<std::uint32_t, int> up_count;      ///< tag -> root on_up firings
+  std::map<std::uint32_t, std::uint64_t> sums;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> up_ranks;
+  /// be_rank -> tag -> deliveries (duplicates are a heal bug).
+  std::map<int, std::map<std::uint32_t, int>> down_count;
+};
+
+/// Leaf with heal enabled: echoes its be_rank per Down, counts deliveries.
+class HealLeaf : public cluster::Program {
+ public:
+  explicit HealLeaf(HealShared* sh) : sh_(sh) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "leaf_be_heal";
+  }
+  void on_start(cluster::Process& self) override {
+    auto topo_hex = arg_value(self.args(), "--tbon-topology=");
+    auto index = arg_int(self.args(), "--tbon-index=");
+    ASSERT_TRUE(topo_hex && index);
+    auto topo = Topology::unpack(*from_hex(*topo_hex));
+    ASSERT_TRUE(topo.has_value());
+    const int my_index = static_cast<int>(*index);
+    const std::int32_t rank =
+        topo->nodes()[static_cast<std::size_t>(my_index)].be_rank;
+    TbonEndpoint::Callbacks cbs;
+    cbs.on_down = [this, rank](std::uint32_t stream, std::uint32_t tag,
+                               const Bytes&) {
+      sh_->down_count[rank][tag] += 1;
+      ByteWriter w;
+      w.u64(static_cast<std::uint64_t>(rank));
+      endpoint_->send_up(stream, tag, std::move(w).take());
+    };
+    endpoint_ = std::make_unique<TbonEndpoint>(self, std::move(*topo),
+                                               my_index, std::move(cbs));
+    endpoint_->set_heal(true);
+    sh_->pids[my_index] = self.pid();
+    sh_->endpoints[my_index] = endpoint_.get();
+    endpoint_->start();
+  }
+  static void install(cluster::Machine& machine, HealShared* sh) {
+    cluster::ProgramImage image;
+    image.image_mb = 2.0;
+    image.factory = [sh](const std::vector<std::string>&) {
+      return std::make_unique<HealLeaf>(sh);
+    };
+    machine.install_program("leaf_be_heal", std::move(image));
+  }
+
+ private:
+  HealShared* sh_;
+  std::unique_ptr<TbonEndpoint> endpoint_;
+};
+
+/// Pure forwarding comm node with heal enabled.
+class HealComm : public cluster::Program {
+ public:
+  explicit HealComm(HealShared* sh) : sh_(sh) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "tbon_commd_heal";
+  }
+  void on_start(cluster::Process& self) override {
+    auto topo_hex = arg_value(self.args(), "--tbon-topology=");
+    auto index = arg_int(self.args(), "--tbon-index=");
+    ASSERT_TRUE(topo_hex && index);
+    auto topo = Topology::unpack(*from_hex(*topo_hex));
+    ASSERT_TRUE(topo.has_value());
+    const int my_index = static_cast<int>(*index);
+    endpoint_ = std::make_unique<TbonEndpoint>(
+        self, std::move(*topo), my_index, TbonEndpoint::Callbacks{});
+    endpoint_->set_heal(true);
+    sh_->pids[my_index] = self.pid();
+    sh_->endpoints[my_index] = endpoint_.get();
+    endpoint_->start();
+  }
+  static void install(cluster::Machine& machine, HealShared* sh) {
+    cluster::ProgramImage image;
+    image.image_mb = 6.0;
+    image.factory = [sh](const std::vector<std::string>&) {
+      return std::make_unique<HealComm>(sh);
+    };
+    machine.install_program("tbon_commd_heal", std::move(image));
+  }
+
+ private:
+  HealShared* sh_;
+  std::unique_ptr<TbonEndpoint> endpoint_;
+};
+
+TEST(TbonNet, HealedOverlaySurvivesCommDeathsWithoutDuplicates) {
+  const int nbe = 4;
+  const int ncomm = 3;
+  HealShared hs;
+  TestCluster tc(nbe + ncomm);
+  obs::Metrics metrics;
+  tc.machine.set_metrics(&metrics);
+  HealLeaf::install(tc.machine, &hs);
+  HealComm::install(tc.machine, &hs);
+
+  std::vector<std::string> be_hosts;
+  std::vector<std::string> comm_hosts;
+  for (int i = 0; i < nbe; ++i) {
+    be_hosts.push_back(tc.machine.compute_node(i).hostname());
+  }
+  for (int i = 0; i < ncomm; ++i) {
+    comm_hosts.push_back(tc.machine.compute_node(nbe + i).hostname());
+  }
+
+  // fanout 2, 3 comm nodes: index 1 under the root, 2 and 3 under 1, two
+  // leaves under each of 2/3 (indices 4..7).
+  bool tree_ready = false;
+  std::uint32_t stream = 0;
+  cluster::SpawnOptions opts;
+  opts.executable = "root_fe";
+  auto res = tc.machine.front_end().spawn(
+      std::make_unique<RootFe>([&](cluster::Process& self, RootFe& prog) {
+        Topology topo = Topology::balanced(
+            self.node().hostname(), cluster::kTbonBasePort, comm_hosts,
+            be_hosts, /*fanout=*/2, cluster::kTbonBasePort + 1);
+        ASSERT_TRUE(topo.valid());
+        TbonEndpoint::Callbacks cbs;
+        cbs.on_tree_ready = [&](Status st) {
+          ASSERT_TRUE(st.is_ok()) << st.to_string();
+          tree_ready = true;
+          stream = prog.endpoint->new_stream(kFilterSumU64);
+        };
+        cbs.on_up = [&](std::uint32_t, std::uint32_t tag, const Bytes& data,
+                        const std::vector<std::uint32_t>& ranks) {
+          ByteReader r(data);
+          hs.up_count[tag] += 1;
+          hs.sums[tag] = r.u64().value_or(0);
+          hs.up_ranks[tag] = ranks;
+        };
+        prog.endpoint = std::make_unique<TbonEndpoint>(self, topo, 0,
+                                                       std::move(cbs));
+        prog.endpoint->set_heal(true);
+        hs.endpoints[0] = prog.endpoint.get();
+        prog.endpoint->start();
+        adhoc_launch(self, topo, "tbon_commd_heal", "leaf_be_heal", {},
+                     [](rsh::LaunchOutcome out) {
+                       ASSERT_TRUE(out.status.is_ok())
+                           << out.status.to_string();
+                     });
+      }),
+      std::move(opts));
+  ASSERT_TRUE(res.is_ok());
+  ASSERT_TRUE(tc.run_until([&] { return tree_ready && stream != 0; },
+                           sim::seconds(1800)));
+
+  // Pre-failure baseline round.
+  hs.endpoints[0]->send_down(stream, 7, {});
+  ASSERT_TRUE(tc.run_until([&] { return hs.up_count[7] != 0; }));
+  EXPECT_EQ(hs.sums[7], 6u);  // 0+1+2+3
+  EXPECT_EQ(hs.up_count[7], 1);
+
+  // Kill comm index 3: its two leaves re-Hello comm 1.
+  tc.machine.find_process(hs.pids[3])->exit(9);
+  ASSERT_TRUE(tc.run_until(
+      [&] { return metrics.counter("tbon.heal.adoptions") >= 2.0; }))
+      << "orphaned leaves were never adopted";
+  EXPECT_EQ(hs.endpoints[0]->live_children(), std::set<int>{1});
+
+  hs.endpoints[0]->send_down(stream, 8, {});
+  ASSERT_TRUE(tc.run_until([&] { return hs.up_count[8] != 0; }))
+      << "post-heal round never reduced";
+  EXPECT_EQ(hs.sums[8], 6u) << "lost a leaf contribution after heal";
+  ASSERT_EQ(hs.up_ranks[8].size(), 4u);
+  EXPECT_EQ(hs.up_count[8], 1);
+
+  // Cascade: kill comm 1 (the root's only child). Its children - comm 2
+  // plus the two adopted leaves - climb to the root itself.
+  tc.machine.find_process(hs.pids[1])->exit(9);
+  ASSERT_TRUE(tc.run_until(
+      [&] { return metrics.counter("tbon.heal.adoptions") >= 5.0; }))
+      << "second-wave orphans were never adopted";
+  EXPECT_EQ(hs.endpoints[0]->live_children(), (std::set<int>{2, 6, 7}));
+  EXPECT_EQ(hs.endpoints[6]->parent_index(), 0);
+  EXPECT_EQ(hs.endpoints[7]->parent_index(), 0);
+
+  hs.endpoints[0]->send_down(stream, 9, {});
+  ASSERT_TRUE(tc.run_until([&] { return hs.up_count[9] != 0; }))
+      << "post-cascade round never reduced";
+  EXPECT_EQ(hs.sums[9], 6u);
+  ASSERT_EQ(hs.up_ranks[9].size(), 4u);
+  EXPECT_EQ(hs.up_count[9], 1);
+
+  // Exactly-once at every surviving endpoint for every round that ran
+  // while that leaf was attached: no duplicate TBON packets delivered.
+  for (int rank = 0; rank < nbe; ++rank) {
+    for (const std::uint32_t tag : {7u, 8u, 9u}) {
+      EXPECT_LE(hs.down_count[rank][tag], 1)
+          << "duplicate Down at be " << rank << " tag " << tag;
+    }
+    EXPECT_EQ(hs.down_count[rank][9], 1) << "be " << rank;
+  }
 }
 
 }  // namespace

@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
 
 #include "comm/bootstrap.hpp"
+#include "comm/heal.hpp"
 #include "comm/topology.hpp"
 
 namespace lmon::comm {
@@ -370,6 +374,139 @@ TEST(Bootstrap, RejectsInconsistentArgv) {
                    .has_value());
   // missing everything (a daemon started outside LaunchMON)
   EXPECT_FALSE(parse_bootstrap({"--verbose"}).has_value());
+}
+
+
+// --- self-heal reparent math (comm/heal.hpp) ---------------------------------
+
+TEST(HealMath, AncestorChainClimbsToRoot) {
+  const Topology topo({TopologyKind::KAry, 2}, 15);
+  // rank 11: parent 5, grandparent 2, root.
+  EXPECT_EQ(ancestor_chain(topo, 11),
+            (std::vector<std::uint32_t>{5, 2, 0}));
+  EXPECT_TRUE(ancestor_chain(topo, 0).empty());
+  EXPECT_TRUE(ancestor_chain(topo, 99).empty());
+}
+
+TEST(HealMath, NearestLiveAncestorSkipsDeadChain) {
+  const Topology topo({TopologyKind::KAry, 2}, 15);
+  EXPECT_EQ(nearest_live_ancestor(topo, 11, {5}), 2u);
+  EXPECT_EQ(nearest_live_ancestor(topo, 11, {5, 2}), 0u);
+  // Root dead: the whole chain is gone.
+  EXPECT_FALSE(nearest_live_ancestor(topo, 11, {5, 2, 0}).has_value());
+  // Root itself has no ancestor to find.
+  EXPECT_FALSE(nearest_live_ancestor(topo, 0, {}).has_value());
+}
+
+TEST(HealMath, ReparentPlanSingleInteriorDeath) {
+  const Topology topo({TopologyKind::KAry, 2}, 7);
+  const auto plan = reparent_plan(topo, {1});
+  // 1's children {3,4} both land on the root.
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0], (Adoption{3, 0}));
+  EXPECT_EQ(plan[1], (Adoption{4, 0}));
+}
+
+TEST(HealMath, ReparentPlanRootChildDeath) {
+  // Degenerate: the dead rank is a direct child of the root; orphans can
+  // climb exactly one level.
+  const Topology topo({TopologyKind::Flat, 0}, 6);
+  // Flat: every rank is a leaf; killing one orphans nobody.
+  EXPECT_TRUE(reparent_plan(topo, {3}).empty());
+}
+
+TEST(HealMath, ReparentPlanLastLeafDeath) {
+  // Degenerate: the last leaf has no children; plan is empty for all shapes.
+  for (const TopologySpec spec :
+       {TopologySpec{TopologyKind::KAry, 2}, TopologySpec{TopologyKind::Binomial, 0},
+        TopologySpec{TopologyKind::Flat, 0}}) {
+    const Topology topo(spec, 9);
+    EXPECT_TRUE(reparent_plan(topo, {8}).empty()) << spec.to_string();
+  }
+}
+
+TEST(HealMath, ReparentPlanWholeRackLoss) {
+  // Correlated loss of a whole subtree {1,3,4,7,8,9,10}: nothing inside it
+  // survives to be adopted, and ranks outside it are unaffected.
+  const Topology topo({TopologyKind::KAry, 2}, 15);
+  std::set<std::uint32_t> dead;
+  for (const std::uint32_t r : topo.subtree_of(1)) dead.insert(r);
+  EXPECT_TRUE(reparent_plan(topo, dead).empty());
+
+  // Losing the rack *except* its deepest leaves re-homes exactly those
+  // leaves onto the root (their whole private chain is dead).
+  dead.erase(7);
+  dead.erase(8);
+  const auto plan = reparent_plan(topo, dead);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0], (Adoption{7, 0}));
+  EXPECT_EQ(plan[1], (Adoption{8, 0}));
+}
+
+TEST(HealMath, ReparentPlanOmitsUnrecoverableOrphans) {
+  const Topology topo({TopologyKind::KAry, 2}, 7);
+  // Root dead: children 1/2 have no live ancestor and are omitted; deeper
+  // ranks still have live parents and are not orphans at all.
+  EXPECT_TRUE(reparent_plan(topo, {0}).empty());
+}
+
+TEST(HealMath, ReparentPlanAdopterIsOnOrphansOldRootPath) {
+  // The invariant the collective-replay rules rely on: an adoption never
+  // moves a rank off its original root path.
+  for (const TopologySpec spec :
+       {TopologySpec{TopologyKind::KAry, 2}, TopologySpec{TopologyKind::KAry, 3},
+        TopologySpec{TopologyKind::Binomial, 0}}) {
+    const Topology topo(spec, 13);
+    for (std::uint32_t dead = 1; dead < 13; ++dead) {
+      for (const Adoption& a : reparent_plan(topo, {dead})) {
+        const auto chain = ancestor_chain(topo, a.orphan);
+        EXPECT_TRUE(std::find(chain.begin(), chain.end(), a.new_parent) !=
+                    chain.end())
+            << spec.to_string() << " dead=" << dead;
+      }
+    }
+  }
+}
+
+TEST(HealMath, OrphanBlocksAreContiguousAndExhaustive) {
+  const std::vector<std::uint32_t> orphans{10, 11, 12, 13, 14, 15, 16};
+  const std::vector<std::uint32_t> adopters{1, 2, 3};
+  const auto plan = assign_orphan_blocks(orphans, adopters);
+  ASSERT_EQ(plan.size(), orphans.size());
+  // Blocks are contiguous runs in orphan order: 3/2/2 with the remainder
+  // taken by earlier adopters.
+  std::vector<std::uint32_t> parents;
+  for (const Adoption& a : plan) parents.push_back(a.new_parent);
+  EXPECT_EQ(parents,
+            (std::vector<std::uint32_t>{1, 1, 1, 2, 2, 3, 3}));
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].orphan, orphans[i]);
+  }
+  EXPECT_TRUE(assign_orphan_blocks({}, adopters).empty());
+  EXPECT_TRUE(assign_orphan_blocks(orphans, {}).empty());
+}
+
+TEST(HealMath, WeightedBlocksFollowCapacity) {
+  const std::vector<std::uint32_t> orphans{20, 21, 22, 23, 24, 25};
+  const std::vector<std::uint32_t> adopters{7, 8};
+  // 2:1 capacity -> 4/2 split.
+  const auto plan =
+      assign_orphan_blocks_weighted(orphans, adopters, {2.0, 1.0});
+  ASSERT_EQ(plan.size(), 6u);
+  int first = 0;
+  for (const Adoption& a : plan) {
+    if (a.new_parent == 7) ++first;
+  }
+  EXPECT_EQ(first, 4);
+  // All-zero weights fall back to the near-equal split.
+  const auto fallback =
+      assign_orphan_blocks_weighted(orphans, adopters, {0.0, 0.0});
+  ASSERT_EQ(fallback.size(), 6u);
+  int fb_first = 0;
+  for (const Adoption& a : fallback) {
+    if (a.new_parent == 7) ++fb_first;
+  }
+  EXPECT_EQ(fb_first, 3);
 }
 
 }  // namespace
