@@ -1,0 +1,308 @@
+// ablation_mux_lib.hpp - the persistent-multiplexed-service sweep shared
+// by bench_ablation_mux and the bench-schema golden test.
+//
+// The paper's cost story is about *bootstrapping* a tool session: engine
+// start, RM round trip, daemon spawn, fabric wiring. The persistent
+// multiplexed service amortizes all of that across sessions: one owner
+// bootstraps the tree, further sessions attach as virtual sessions in one
+// LMONP round trip plus one tree broadcast/gather (see "Persistent
+// multiplexed service" in docs/ARCHITECTURE.md). This sweep quantifies the
+// refactor: for each concurrent-session count x arrival rate it drives S
+// virtual attaches onto one shared tree, measures the attach-latency
+// distribution and the attach throughput, and compares the p99 against a
+// per-session-bootstrap baseline (each arrival launching its own engine +
+// tree, the pre-refactor behaviour). The bench gates on the attach p99
+// being `speedup_gate`x (default 10x) below the baseline p99 at scale
+// (>= 64 concurrent sessions) with zero admission rejects.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/ablation_rsh_lib.hpp"  // jsonv helpers + json_shape
+#include "bench/bench_util.hpp"
+#include "core/fe_api.hpp"
+#include "obs/metrics.hpp"
+
+namespace lmon::bench {
+
+struct MuxAblationOptions {
+  int nodes = 8;  ///< daemons in the shared tree (and per baseline tree)
+  /// Concurrent virtual sessions multiplexed onto one tree per point.
+  std::vector<int> session_counts = {4, 16, 64, 512};
+  /// Inter-arrival times of the attach requests (simulated milliseconds).
+  std::vector<double> arrival_intervals_ms = {0.2, 1.0};
+  /// Full bootstrap samples for the baseline distribution. Sequential
+  /// (create -> launch_and_spawn -> kill -> destroy), so the 64-slot port
+  /// block never binds the sample count.
+  int baseline_samples = 32;
+  /// Gate: attach p99 must be this many times below the baseline p99 at
+  /// every point with >= 64 concurrent sessions.
+  double speedup_gate = 10.0;
+
+  static MuxAblationOptions smoke() {
+    MuxAblationOptions o;
+    o.nodes = 4;
+    o.session_counts = {4, 16};
+    o.arrival_intervals_ms = {0.5};
+    o.baseline_samples = 4;
+    return o;
+  }
+};
+
+/// Per-session-bootstrap latency distribution (the ablated baseline).
+struct MuxBaseline {
+  int measured = 0;
+  double p50_ms = -1.0;
+  double p99_ms = -1.0;
+  double max_ms = -1.0;
+};
+
+struct MuxAblationPoint {
+  int sessions = 0;
+  double arrival_interval_ms = 0.0;
+  int attached = 0;  ///< virtual sessions that reached Ready
+  int rejected = 0;  ///< admission rejects (gate: 0 - the bound is sized)
+  double attach_p50_ms = -1.0;
+  double attach_p99_ms = -1.0;
+  double attach_max_ms = -1.0;
+  double window_s = -1.0;  ///< first arrival -> last completion
+  double throughput_sps = -1.0;  ///< attaches per simulated second
+  double speedup_p99 = -1.0;     ///< baseline p99 / attach p99
+};
+
+struct MuxAblationReport {
+  int nodes = 0;
+  double speedup_gate = 0.0;
+  std::vector<int> session_counts;
+  std::vector<double> arrival_intervals_ms;
+  MuxBaseline baseline;
+  std::vector<MuxAblationPoint> points;
+  /// Worst p99 speedup over the at-scale (>= 64 session) points; falls
+  /// back to all points when the sweep never reaches that scale (smoke).
+  double min_speedup_at_scale = -1.0;
+  int total_rejected = 0;
+  bool gate_met = false;
+};
+
+namespace mux_sweep {
+
+inline double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return -1.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace mux_sweep
+
+/// Measures the ablated baseline: every session bootstraps its own engine
+/// + daemon tree. One seeded cluster per sample (the engine treats a
+/// relaunch into a just-killed job as a launcher failure, and distinct
+/// seeds give the cost jitter a real distribution to produce a p99 from).
+inline MuxBaseline measure_mux_baseline(const MuxAblationOptions& opts) {
+  MuxBaseline base;
+  std::vector<double> lat;
+  for (int k = 0; k < opts.baseline_samples; ++k) {
+    TestCluster tc(opts.nodes, 0, cluster::CostModel{},
+                   /*seed=*/1000 + static_cast<std::uint64_t>(k));
+    std::shared_ptr<core::FrontEnd> fe;
+    bool done = false;
+    bool ok = false;
+    sim::Time t0 = 0;
+    tc.spawn_fe([&](cluster::Process& self) {
+      fe = std::make_shared<core::FrontEnd>(self);
+      (void)fe->init();
+      auto sid = fe->create_session();
+      if (!sid.is_ok()) {
+        done = true;
+        return;
+      }
+      core::FrontEnd::SpawnConfig cfg;
+      cfg.daemon_exe = "hello_be";
+      rm::JobSpec job{opts.nodes, 1, "mpi_app", {}};
+      t0 = tc.simulator.now();
+      fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
+        ok = st.is_ok();
+        done = true;
+      });
+    });
+    if (!tc.run_until([&] { return done; })) continue;
+    if (ok) lat.push_back(sim::to_ms(tc.simulator.now() - t0));
+  }
+  base.measured = static_cast<int>(lat.size());
+  base.p50_ms = mux_sweep::percentile(lat, 0.50);
+  base.p99_ms = mux_sweep::percentile(lat, 0.99);
+  base.max_ms = lat.empty() ? -1.0 : *std::max_element(lat.begin(), lat.end());
+  return base;
+}
+
+/// Measures one persistent-service point: one owner bootstrap (uncounted),
+/// then `sessions` virtual attaches arriving every `interval_ms` onto the
+/// shared tree, all staying attached (concurrent sessions, not churn).
+inline MuxAblationPoint measure_mux_point(const MuxAblationOptions& opts,
+                                          int sessions,
+                                          double interval_ms) {
+  MuxAblationPoint pt;
+  pt.sessions = sessions;
+  pt.arrival_interval_ms = interval_ms;
+
+  TestCluster tc(opts.nodes, 0, cluster::CostModel{});
+  std::shared_ptr<core::FrontEnd> fe;
+  int owner = -1;
+  bool owner_ready = false;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self, sessions + 4);
+    (void)fe->init();
+    owner = fe->create_session().value;
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    cfg.max_tree_sessions = static_cast<std::uint32_t>(sessions) + 1;
+    rm::JobSpec job{opts.nodes, 1, "mpi_app", {}};
+    fe->launch_and_spawn(owner, job, cfg,
+                         [&](Status st) { owner_ready = st.is_ok(); });
+  });
+  if (!tc.run_until([&] { return owner_ready; })) return pt;
+
+  // Arrival process: session i's attach request fires at first + i * dt.
+  std::vector<double> lat;
+  int completed = 0;
+  const sim::Time dt = sim::ms(interval_ms);
+  const sim::Time first = tc.simulator.now() + sim::ms(1);
+  sim::Time last_done = first;
+  for (int i = 0; i < sessions; ++i) {
+    tc.simulator.schedule_at(first + static_cast<sim::Time>(i) * dt, [&] {
+      auto sid = fe->create_session();
+      if (!sid.is_ok()) {
+        ++pt.rejected;
+        ++completed;
+        return;
+      }
+      core::FrontEnd::SpawnConfig cfg;
+      cfg.attach_to = fe->infra_of(owner);
+      const sim::Time t0 = tc.simulator.now();
+      fe->launch_and_spawn(sid.value, rm::JobSpec{}, cfg, [&, t0](Status st) {
+        if (st.is_ok()) {
+          lat.push_back(sim::to_ms(tc.simulator.now() - t0));
+          ++pt.attached;
+        } else {
+          ++pt.rejected;
+        }
+        last_done = tc.simulator.now();
+        ++completed;
+      });
+    });
+  }
+  if (!tc.run_until([&] { return completed == sessions; },
+                    sim::seconds(600))) {
+    return pt;
+  }
+  pt.attach_p50_ms = mux_sweep::percentile(lat, 0.50);
+  pt.attach_p99_ms = mux_sweep::percentile(lat, 0.99);
+  pt.attach_max_ms =
+      lat.empty() ? -1.0 : *std::max_element(lat.begin(), lat.end());
+  pt.window_s = sim::to_seconds(last_done - first);
+  if (pt.window_s > 0) {
+    pt.throughput_sps = static_cast<double>(pt.attached) / pt.window_s;
+  }
+  return pt;
+}
+
+inline MuxAblationReport run_mux_ablation(const MuxAblationOptions& opts) {
+  MuxAblationReport report;
+  report.nodes = opts.nodes;
+  report.speedup_gate = opts.speedup_gate;
+  report.session_counts = opts.session_counts;
+  report.arrival_intervals_ms = opts.arrival_intervals_ms;
+  report.baseline = measure_mux_baseline(opts);
+
+  for (const int s : opts.session_counts) {
+    for (const double dt : opts.arrival_intervals_ms) {
+      MuxAblationPoint pt = measure_mux_point(opts, s, dt);
+      if (pt.attach_p99_ms > 0 && report.baseline.p99_ms > 0) {
+        pt.speedup_p99 = report.baseline.p99_ms / pt.attach_p99_ms;
+      }
+      report.total_rejected += pt.rejected;
+      report.points.push_back(std::move(pt));
+    }
+  }
+
+  // Gate on the at-scale points (>= 64 concurrent sessions); a smoke sweep
+  // that never reaches that scale gates on everything it ran.
+  bool any_at_scale = false;
+  for (const MuxAblationPoint& p : report.points) {
+    if (p.sessions >= 64) any_at_scale = true;
+  }
+  for (const MuxAblationPoint& p : report.points) {
+    if (any_at_scale && p.sessions < 64) continue;
+    if (report.min_speedup_at_scale < 0 ||
+        p.speedup_p99 < report.min_speedup_at_scale) {
+      report.min_speedup_at_scale = p.speedup_p99;
+    }
+  }
+  report.gate_met = report.min_speedup_at_scale >= opts.speedup_gate &&
+                    report.total_rejected == 0;
+  return report;
+}
+
+// --- JSON emission (deterministic key order; the emitter is the schema) ------
+
+inline std::string to_json(const MuxAblationReport& r) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"ablation_mux\",\n";
+  out += "  \"deterministic\": true,\n";
+  out += "  \"nodes\": " + std::to_string(r.nodes) + ",\n";
+  out += "  \"speedup_gate\": " + jsonv::num(r.speedup_gate) + ",\n";
+  out += "  \"session_counts\": [";
+  for (std::size_t i = 0; i < r.session_counts.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(r.session_counts[i]);
+  }
+  out += "],\n";
+  out += "  \"arrival_intervals_ms\": [";
+  for (std::size_t i = 0; i < r.arrival_intervals_ms.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += jsonv::num(r.arrival_intervals_ms[i]);
+  }
+  out += "],\n";
+  out += "  \"baseline\": {\"measured\": " +
+         std::to_string(r.baseline.measured) +
+         ", \"p50_ms\": " + jsonv::num(r.baseline.p50_ms) +
+         ", \"p99_ms\": " + jsonv::num(r.baseline.p99_ms) +
+         ", \"max_ms\": " + jsonv::num(r.baseline.max_ms) + "},\n";
+  out += "  \"points\": [\n";
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const MuxAblationPoint& p = r.points[i];
+    out += "    {\"sessions\": " + std::to_string(p.sessions) +
+           ", \"arrival_interval_ms\": " + jsonv::num(p.arrival_interval_ms) +
+           ", \"attached\": " + std::to_string(p.attached) +
+           ", \"rejected\": " + std::to_string(p.rejected) +
+           ", \"attach_p50_ms\": " + jsonv::num(p.attach_p50_ms) +
+           ", \"attach_p99_ms\": " + jsonv::num(p.attach_p99_ms) +
+           ", \"attach_max_ms\": " + jsonv::num(p.attach_max_ms) +
+           ", \"window_s\": " + jsonv::num(p.window_s) +
+           ", \"throughput_sps\": " + jsonv::num(p.throughput_sps) +
+           ", \"speedup_p99\": " + jsonv::num(p.speedup_p99) + "}";
+    if (i + 1 != r.points.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n";
+  out += "  \"min_speedup_at_scale\": " +
+         jsonv::num(r.min_speedup_at_scale) + ",\n";
+  out += "  \"total_rejected\": " + std::to_string(r.total_rejected) + ",\n";
+  out += "  \"gate_met\": " + std::string(r.gate_met ? "true" : "false") +
+         "\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lmon::bench

@@ -19,6 +19,11 @@
 #                  units, the TBON overlay heal test, and the availability
 #                  bench at smoke scale - the fast "did a refactor break
 #                  failure recovery" gate.
+#   --mux-smoke    build the Release preset and run only the multiplexed-
+#                  service surface: the virtual-session integration suite,
+#                  the session-table knob/reuse tests, and the mux ablation
+#                  bench at smoke scale - the fast "did a refactor break
+#                  session multiplexing" gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,6 +48,18 @@ if [[ "${1:-}" == "--fault-smoke" ]]; then
   build-release/tbon_net_test --gtest_filter='TbonNet.HealedOverlay*'
   LMON_BENCH_SMOKE=1 build-release/bench_ablation_heal
   echo "fault-smoke OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--mux-smoke" ]]; then
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS" \
+    --target mux_session_test multi_session_test bench_ablation_mux
+  build-release/mux_session_test
+  build-release/multi_session_test \
+    --gtest_filter='MultiSession.SessionBound*:MultiSession.Destroyed*'
+  LMON_BENCH_SMOKE=1 build-release/bench_ablation_mux
+  echo "mux-smoke OK"
   exit 0
 fi
 

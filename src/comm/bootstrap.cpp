@@ -25,6 +25,10 @@ std::vector<std::string> bootstrap_args(const BootstrapSpec& spec,
                      std::to_string(spec.heal_grace_ms));
     }
   }
+  if (spec.max_sessions != 0) {
+    args.push_back("--lmon-max-sessions=" +
+                   std::to_string(spec.max_sessions));
+  }
   args.push_back("--lmon-session=" + spec.session);
   if (!spec.fe_host.empty()) {
     args.push_back("--lmon-fe-host=" + spec.fe_host);
@@ -54,6 +58,8 @@ std::optional<BootstrapParams> parse_bootstrap(
   p.heal = arg_int(args, "--lmon-heal=").value_or(0) != 0;
   p.heal_grace_ms = static_cast<std::uint32_t>(
       arg_int(args, "--lmon-heal-grace-ms=").value_or(0));
+  p.max_sessions = static_cast<std::uint32_t>(
+      arg_int(args, "--lmon-max-sessions=").value_or(0));
 
   // Tree shape: the modern "--lmon-topo=kind:arity" form, with the
   // pre-topology "--lmon-fanout=K" spelling still accepted (k-ary).

@@ -50,6 +50,10 @@ struct BootstrapSpec {
   /// Grace window (ms) an adopter waits for a dead child's orphans to
   /// reattach before retracting their unclaimed payloads; 0 = default.
   std::uint32_t heal_grace_ms = 0;
+  /// Admission bound for the persistent multiplexed service: how many
+  /// concurrent virtual sessions this tree accepts (0 = the default cap).
+  /// The master daemon enforces it and rejects attaches beyond the bound.
+  std::uint32_t max_sessions = 0;
 };
 
 /// What a daemon recovers from its argv.
@@ -66,6 +70,7 @@ struct BootstrapParams {
   std::string platform;              ///< profile name; empty = machine costs
   bool heal = false;                 ///< self-healing tree recovery enabled
   std::uint32_t heal_grace_ms = 0;   ///< orphan-reattach grace; 0 = default
+  std::uint32_t max_sessions = 0;    ///< virtual-session cap; 0 = default
 };
 
 /// Emits the "--lmon-*" argv for one daemon. Pass nullopt as `rank` for

@@ -18,6 +18,7 @@ DaemonRuntime::~DaemonRuntime() = default;
 
 Status DaemonRuntime::init(Callbacks callbacks) {
   cbs_ = std::move(callbacks);
+  sessions_[0];  // the infrastructure session always exists
   // The hostname backs the rank-from-host fallback used by launch
   // strategies that hand every daemon an identical argv (tree-rsh).
   auto params = Iccl::params_from_args(self_.args(), self_.node().hostname());
@@ -134,6 +135,20 @@ void DaemonRuntime::on_fe_message(const cluster::ChannelPtr& ch,
     case FeDaemonMsg::Detach:
       iccl_->broadcast(kTagShutdown, {});
       break;
+    case FeDaemonMsg::VirtualAttach: {
+      auto req = payload::VirtualAttach::decode(msg->lmon_payload);
+      if (req) handle_virtual_attach(req->vsid);
+      break;
+    }
+    case FeDaemonMsg::VirtualDetach: {
+      auto req = payload::VirtualDetach::decode(msg->lmon_payload);
+      if (req && sessions_.count(req->vsid) != 0) {
+        ByteWriter w;
+        w.u32(req->vsid);
+        iccl_->broadcast(kTagVDetach, std::move(w).take());
+      }
+      break;
+    }
     default:
       break;
   }
@@ -241,11 +256,7 @@ void DaemonRuntime::on_internal_gather(
     return;
   }
   // User-level gather round.
-  auto it = gather_waiters_.find(tag);
-  if (it == gather_waiters_.end()) return;
-  auto fn = std::move(it->second);
-  gather_waiters_.erase(it);
-  if (fn) fn(std::move(entries));
+  on_vs_gather(0, tag, std::move(entries));
 }
 
 void DaemonRuntime::dispatch_bcast(std::uint32_t tag, const Bytes& data) {
@@ -261,22 +272,22 @@ void DaemonRuntime::dispatch_bcast(std::uint32_t tag, const Bytes& data) {
     }
     return;
   }
+  if (tag == kTagVAttach || tag == kTagVDetach) {
+    ByteReader r(data);
+    const std::uint32_t vsid = r.u32().value_or(0);
+    if (vsid == 0) return;
+    if (tag == kTagVAttach) {
+      vsession_open(vsid);
+    } else {
+      vsession_close(vsid);
+    }
+    return;
+  }
   if (tag >= kTagCommandBase && tag < kUserBarrier) {
     if (cbs_.on_command) cbs_.on_command(data);
     return;
   }
-  auto it = bcast_waiters_.find(tag);
-  if (it == bcast_waiters_.end()) {
-    pending_bcasts_[tag] = data;  // arrived before the local call
-    self_.machine().count("daemon.early_bcast_buffered");
-    self_.machine().observe("daemon.early_arrival_depth",
-                            static_cast<double>(pending_bcasts_.size() +
-                                                pending_scatters_.size()));
-    return;
-  }
-  auto fn = std::move(it->second);
-  bcast_waiters_.erase(it);
-  if (fn) fn(data);
+  dispatch_vs_bcast(0, tag, data);
 }
 
 std::vector<rm::TaskDesc> DaemonRuntime::my_entries() const {
@@ -307,73 +318,250 @@ Status DaemonRuntime::broadcast_command(Bytes data) {
 }
 
 void DaemonRuntime::barrier(std::function<void()> done) {
-  const std::uint32_t tag = kUserBarrier + barrier_count_++;
-  // Barrier = gather(empty) at master + broadcast(release).
-  bcast_waiters_[tag] = [done = std::move(done)](const Bytes&) {
-    if (done) done();
-  };
-  if (is_master()) {
-    gather_waiters_[tag] = [this, tag](auto) { iccl_->broadcast(tag, {}); };
-  }
-  iccl_->contribute(tag, {});
+  vbarrier(0, std::move(done));
 }
 
 void DaemonRuntime::gather(
     Bytes contribution,
     std::function<void(std::vector<std::pair<std::uint32_t, Bytes>>)>
         at_master) {
-  const std::uint32_t tag = kUserGather + gather_count_++;
-  if (is_master()) gather_waiters_[tag] = std::move(at_master);
-  iccl_->contribute(tag, std::move(contribution));
+  vgather(0, std::move(contribution), std::move(at_master));
 }
 
 void DaemonRuntime::broadcast(Bytes data,
                               std::function<void(const Bytes&)> delivered) {
-  const std::uint32_t tag = kUserBcast + bcast_count_++;
-  bcast_waiters_[tag] = std::move(delivered);
-  if (is_master()) {
-    iccl_->broadcast(tag, std::move(data));
-    return;
-  }
-  // The payload may have raced ahead of this call (see pending_bcasts_).
-  auto it = pending_bcasts_.find(tag);
-  if (it != pending_bcasts_.end()) {
-    Bytes buffered = std::move(it->second);
-    pending_bcasts_.erase(it);
-    dispatch_bcast(tag, buffered);
-  }
+  vbroadcast(0, std::move(data), std::move(delivered));
 }
 
 void DaemonRuntime::scatter(std::vector<Bytes> parts,
                             std::function<void(const Bytes&)> delivered) {
-  const std::uint32_t tag = kUserScatter + scatter_count_++;
-  scatter_waiters_[tag] = std::move(delivered);
-  if (is_master()) {
-    assert(parts.size() == iccl_->size());
-    iccl_->scatter(tag, std::move(parts));
-    return;
-  }
-  auto it = pending_scatters_.find(tag);
-  if (it != pending_scatters_.end()) {
-    Bytes buffered = std::move(it->second);
-    pending_scatters_.erase(it);
-    dispatch_scatter(tag, buffered);
-  }
+  vscatter(0, std::move(parts), std::move(delivered));
 }
 
-void DaemonRuntime::dispatch_scatter(std::uint32_t tag, const Bytes& data) {
-  auto it = scatter_waiters_.find(tag);
-  if (it == scatter_waiters_.end()) {
-    pending_scatters_[tag] = data;  // arrived before the local call
-    self_.machine().count("daemon.early_scatter_buffered");
-    self_.machine().observe("daemon.early_arrival_depth",
-                            static_cast<double>(pending_bcasts_.size() +
-                                                pending_scatters_.size()));
+// --- virtual sessions (persistent multiplexed service) ---------------------
+
+std::uint32_t DaemonRuntime::max_virtual_sessions() const {
+  const std::uint32_t configured = iccl_->params().max_sessions;
+  return configured != 0 ? configured : kDefaultMaxVSessions;
+}
+
+std::vector<std::uint32_t> DaemonRuntime::virtual_sessions() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(sessions_.size());
+  for (const auto& [vsid, vs] : sessions_) {
+    if (vsid != 0) out.push_back(vsid);
+  }
+  return out;
+}
+
+DaemonRuntime::VSession* DaemonRuntime::vsession(std::uint32_t vsid) {
+  auto it = sessions_.find(vsid);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void DaemonRuntime::handle_virtual_attach(std::uint32_t vsid) {
+  if (vsid == 0 || sessions_.count(vsid) != 0) {
+    send_virtual_ready(vsid, false, "virtual session id in use", 0);
+    return;
+  }
+  // Admission control: the tree accepts a bounded number of concurrent
+  // virtual sessions; beyond the bound the attach is rejected cleanly and
+  // the FE surfaces it as a Status, never a hang.
+  if (sessions_.size() - 1 >= max_virtual_sessions()) {
+    self_.machine().count("daemon.vattach_rejected");
+    self_.machine().flight_record(
+        self_.pid(), "daemon",
+        "vattach " + std::to_string(vsid) + " rejected: session table full");
+    send_virtual_ready(vsid, false, "virtual session table full", 0);
+    return;
+  }
+  ByteWriter w;
+  w.u32(vsid);
+  iccl_->broadcast(kTagVAttach, std::move(w).take());
+}
+
+void DaemonRuntime::vsession_open(std::uint32_t vsid) {
+  if (sessions_.count(vsid) != 0) return;
+  sessions_[vsid];
+  Iccl::SessionHandlers handlers;
+  handlers.on_bcast = [this, vsid](std::uint32_t tag, const Bytes& data) {
+    dispatch_vs_bcast(vsid, tag, data);
+  };
+  handlers.on_gather =
+      [this, vsid](std::uint32_t tag,
+                   std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+        on_vs_gather(vsid, tag, std::move(entries));
+      };
+  handlers.on_scatter = [this, vsid](std::uint32_t tag, const Bytes& data) {
+    dispatch_vs_scatter(vsid, tag, data);
+  };
+  iccl_->bind_session(vsid, std::move(handlers));
+  self_.machine().count("daemon.vsessions_opened");
+  self_.machine().flight_record(self_.pid(), "daemon",
+                                "vsession " + std::to_string(vsid) +
+                                    " attached");
+  if (cbs_.on_vsession_attach) cbs_.on_vsession_attach(vsid);
+  // Attach ack rides the new session's own namespace; the master answers
+  // the FE once every daemon's ack arrived.
+  iccl_->contribute(StreamKey{vsid, kTagReadyAck}, {});
+}
+
+void DaemonRuntime::vsession_close(std::uint32_t vsid) {
+  auto it = sessions_.find(vsid);
+  if (it == sessions_.end() || vsid == 0) return;
+  iccl_->unbind_session(vsid);
+  sessions_.erase(it);
+  self_.machine().count("daemon.vsessions_closed");
+  self_.machine().flight_record(self_.pid(), "daemon",
+                                "vsession " + std::to_string(vsid) +
+                                    " detached");
+  if (cbs_.on_vsession_detach) cbs_.on_vsession_detach(vsid);
+}
+
+void DaemonRuntime::send_virtual_ready(std::uint32_t vsid, bool ok,
+                                       std::string error,
+                                       std::uint32_t ndaemons) {
+  if (fe_channel_ == nullptr) return;
+  payload::VirtualReady ready;
+  ready.vsid = vsid;
+  ready.ok = ok;
+  ready.error = std::move(error);
+  ready.ndaemons = ndaemons;
+  self_.send(fe_channel_,
+             LmonpMessage::fe_daemon(cls_, FeDaemonMsg::VirtualReady,
+                                     ready.encode())
+                 .encode());
+}
+
+Status DaemonRuntime::vbarrier(std::uint32_t vsid,
+                               std::function<void()> done) {
+  VSession* vs = vsession(vsid);
+  if (vs == nullptr) return Status(Rc::Einval, "unknown virtual session");
+  const std::uint32_t tag = kUserBarrier + vs->barrier_count++;
+  // Barrier = gather(empty) at master + broadcast(release).
+  vs->bcast_waiters[tag] = [done = std::move(done)](const Bytes&) {
+    if (done) done();
+  };
+  if (is_master()) {
+    vs->gather_waiters[tag] = [this, vsid, tag](auto) {
+      iccl_->broadcast(StreamKey{vsid, tag}, {});
+    };
+  }
+  iccl_->contribute(StreamKey{vsid, tag}, {});
+  return Status::ok();
+}
+
+Status DaemonRuntime::vgather(
+    std::uint32_t vsid, Bytes contribution,
+    std::function<void(std::vector<std::pair<std::uint32_t, Bytes>>)>
+        at_master) {
+  VSession* vs = vsession(vsid);
+  if (vs == nullptr) return Status(Rc::Einval, "unknown virtual session");
+  const std::uint32_t tag = kUserGather + vs->gather_count++;
+  if (is_master()) vs->gather_waiters[tag] = std::move(at_master);
+  iccl_->contribute(StreamKey{vsid, tag}, std::move(contribution));
+  return Status::ok();
+}
+
+Status DaemonRuntime::vbroadcast(std::uint32_t vsid, Bytes data,
+                                 std::function<void(const Bytes&)> delivered) {
+  VSession* vs = vsession(vsid);
+  if (vs == nullptr) return Status(Rc::Einval, "unknown virtual session");
+  const std::uint32_t tag = kUserBcast + vs->bcast_count++;
+  vs->bcast_waiters[tag] = std::move(delivered);
+  if (is_master()) {
+    iccl_->broadcast(StreamKey{vsid, tag}, std::move(data));
+    return Status::ok();
+  }
+  // The payload may have raced ahead of this call (see VSession pending
+  // buffers).
+  auto it = vs->pending_bcasts.find(tag);
+  if (it != vs->pending_bcasts.end()) {
+    Bytes buffered = std::move(it->second);
+    vs->pending_bcasts.erase(it);
+    dispatch_vs_bcast(vsid, tag, buffered);
+  }
+  return Status::ok();
+}
+
+Status DaemonRuntime::vscatter(std::uint32_t vsid, std::vector<Bytes> parts,
+                               std::function<void(const Bytes&)> delivered) {
+  VSession* vs = vsession(vsid);
+  if (vs == nullptr) return Status(Rc::Einval, "unknown virtual session");
+  const std::uint32_t tag = kUserScatter + vs->scatter_count++;
+  vs->scatter_waiters[tag] = std::move(delivered);
+  if (is_master()) {
+    assert(parts.size() == iccl_->size());
+    iccl_->scatter(StreamKey{vsid, tag}, std::move(parts));
+    return Status::ok();
+  }
+  auto it = vs->pending_scatters.find(tag);
+  if (it != vs->pending_scatters.end()) {
+    Bytes buffered = std::move(it->second);
+    vs->pending_scatters.erase(it);
+    dispatch_vs_scatter(vsid, tag, buffered);
+  }
+  return Status::ok();
+}
+
+void DaemonRuntime::dispatch_vs_bcast(std::uint32_t vsid, std::uint32_t tag,
+                                      const Bytes& data) {
+  VSession* vs = vsession(vsid);
+  if (vs == nullptr) return;
+  auto it = vs->bcast_waiters.find(tag);
+  if (it == vs->bcast_waiters.end()) {
+    vs->pending_bcasts[tag] = data;  // arrived before the local call
+    self_.machine().count("daemon.early_bcast_buffered");
+    self_.machine().observe(
+        "daemon.early_arrival_depth",
+        static_cast<double>(vs->pending_bcasts.size() +
+                            vs->pending_scatters.size()));
     return;
   }
   auto fn = std::move(it->second);
-  scatter_waiters_.erase(it);
+  vs->bcast_waiters.erase(it);
   if (fn) fn(data);
+}
+
+void DaemonRuntime::dispatch_vs_scatter(std::uint32_t vsid, std::uint32_t tag,
+                                        const Bytes& data) {
+  VSession* vs = vsession(vsid);
+  if (vs == nullptr) return;
+  auto it = vs->scatter_waiters.find(tag);
+  if (it == vs->scatter_waiters.end()) {
+    vs->pending_scatters[tag] = data;  // arrived before the local call
+    self_.machine().count("daemon.early_scatter_buffered");
+    self_.machine().observe(
+        "daemon.early_arrival_depth",
+        static_cast<double>(vs->pending_bcasts.size() +
+                            vs->pending_scatters.size()));
+    return;
+  }
+  auto fn = std::move(it->second);
+  vs->scatter_waiters.erase(it);
+  if (fn) fn(data);
+}
+
+void DaemonRuntime::on_vs_gather(
+    std::uint32_t vsid, std::uint32_t tag,
+    std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+  VSession* vs = vsession(vsid);
+  if (vs == nullptr) return;
+  if (vsid != 0 && tag == kTagReadyAck) {
+    // Every daemon acked the attach on the session's own stream.
+    send_virtual_ready(vsid, entries.size() == iccl_->size(), "",
+                       static_cast<std::uint32_t>(entries.size()));
+    return;
+  }
+  auto it = vs->gather_waiters.find(tag);
+  if (it == vs->gather_waiters.end()) return;
+  auto fn = std::move(it->second);
+  vs->gather_waiters.erase(it);
+  if (fn) fn(std::move(entries));
+}
+
+void DaemonRuntime::dispatch_scatter(std::uint32_t tag, const Bytes& data) {
+  dispatch_vs_scatter(0, tag, data);
 }
 
 void DaemonRuntime::fail(Status st) {

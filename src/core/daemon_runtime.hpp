@@ -44,6 +44,10 @@ class DaemonRuntime {
     std::function<void(const Bytes&)> on_command;
     /// FE asked the session to shut down (default: exit(0)).
     std::function<void()> on_shutdown;
+    /// Persistent multiplexed service: a virtual session attached to (or
+    /// detached from) this tree. Fires on every daemon. Optional.
+    std::function<void(std::uint32_t vsid)> on_vsession_attach;
+    std::function<void(std::uint32_t vsid)> on_vsession_detach;
   };
 
   /// `cls` selects the LMONP pair: FeBe for back ends, FeMw for middleware.
@@ -95,6 +99,24 @@ class DaemonRuntime {
   void scatter(std::vector<Bytes> parts,
                std::function<void(const Bytes&)> delivered);
 
+  // --- virtual sessions (persistent multiplexed service) ------------------
+  // The same collective surface, namespaced to one virtual session that the
+  // FE attached over this tree. Rounds of different sessions never collide:
+  // they are keyed (vsid, tag) all the way through the fabric.
+  /// Per-tree admission bound (bootstrap --lmon-max-sessions; default 64).
+  [[nodiscard]] std::uint32_t max_virtual_sessions() const;
+  /// Currently attached virtual session ids (ascending).
+  [[nodiscard]] std::vector<std::uint32_t> virtual_sessions() const;
+  Status vbarrier(std::uint32_t vsid, std::function<void()> done);
+  Status vgather(std::uint32_t vsid, Bytes contribution,
+                 std::function<
+                     void(std::vector<std::pair<std::uint32_t, Bytes>>)>
+                     at_master);
+  Status vbroadcast(std::uint32_t vsid, Bytes data,
+                    std::function<void(const Bytes&)> delivered);
+  Status vscatter(std::uint32_t vsid, std::vector<Bytes> parts,
+                  std::function<void(const Bytes&)> delivered);
+
   [[nodiscard]] Iccl& iccl() { return *iccl_; }
 
  private:
@@ -102,6 +124,14 @@ class DaemonRuntime {
   static constexpr std::uint32_t kTagHandshake = 1;
   static constexpr std::uint32_t kTagReadyAck = 2;
   static constexpr std::uint32_t kTagShutdown = 3;
+  /// Virtual-session control plane, carried on the infrastructure session:
+  /// the master announces attaches/detaches tree-wide; every daemon binds
+  /// (or unbinds) the session's fabric handlers on receipt. The attach ack
+  /// is a gather on the *new* session's own (vsid, kTagReadyAck) stream.
+  static constexpr std::uint32_t kTagVAttach = 4;
+  static constexpr std::uint32_t kTagVDetach = 5;
+  /// Default admission bound when the bootstrap argv names none.
+  static constexpr std::uint32_t kDefaultMaxVSessions = 64;
   /// Commands take one tag per round from [kTagCommandBase, kUserBarrier):
   /// the ICCL's rendezvous state is keyed by tag, so two overlapping large
   /// commands must not share one. (Rendezvous rounds with distinct tags may
@@ -111,6 +141,24 @@ class DaemonRuntime {
   static constexpr std::uint32_t kUserGather = 0x2000'0000;
   static constexpr std::uint32_t kUserBcast = 0x3000'0000;
   static constexpr std::uint32_t kUserScatter = 0x4000'0000;
+
+  /// Per-session collective bookkeeping: waiters, early-arrival buffers and
+  /// the SPMD round counters. Session 0 (the infrastructure session) and
+  /// every attached virtual session each own one.
+  struct VSession {
+    std::map<std::uint32_t, std::function<void(const Bytes&)>> bcast_waiters;
+    std::map<std::uint32_t,
+             std::function<void(std::vector<std::pair<std::uint32_t, Bytes>>)>>
+        gather_waiters;
+    std::map<std::uint32_t, std::function<void(const Bytes&)>>
+        scatter_waiters;
+    std::map<std::uint32_t, Bytes> pending_bcasts;
+    std::map<std::uint32_t, Bytes> pending_scatters;
+    std::uint32_t barrier_count = 0;
+    std::uint32_t gather_count = 0;
+    std::uint32_t bcast_count = 0;
+    std::uint32_t scatter_count = 0;
+  };
 
   void on_fabric_ready(Status st);
   void connect_fe();
@@ -122,6 +170,22 @@ class DaemonRuntime {
       std::vector<std::pair<std::uint32_t, Bytes>> entries);
   void dispatch_bcast(std::uint32_t tag, const Bytes& data);
   void dispatch_scatter(std::uint32_t tag, const Bytes& data);
+  // --- virtual-session plumbing -------------------------------------------
+  /// Master: FE asked for a virtual attach; runs admission control and, on
+  /// accept, announces the session tree-wide.
+  void handle_virtual_attach(std::uint32_t vsid);
+  /// Every daemon: create + bind (or unbind + destroy) the session state.
+  void vsession_open(std::uint32_t vsid);
+  void vsession_close(std::uint32_t vsid);
+  void send_virtual_ready(std::uint32_t vsid, bool ok, std::string error,
+                          std::uint32_t ndaemons);
+  void dispatch_vs_bcast(std::uint32_t vsid, std::uint32_t tag,
+                         const Bytes& data);
+  void dispatch_vs_scatter(std::uint32_t vsid, std::uint32_t tag,
+                           const Bytes& data);
+  void on_vs_gather(std::uint32_t vsid, std::uint32_t tag,
+                    std::vector<std::pair<std::uint32_t, Bytes>> entries);
+  [[nodiscard]] VSession* vsession(std::uint32_t vsid);
   void fail(Status st);
   [[nodiscard]] std::string mark_prefix() const {
     return cls_ == MsgClass::FeBe ? "be_" : "mw_";
@@ -149,22 +213,14 @@ class DaemonRuntime {
   obs::SpanId span_ = obs::kNoSpan;
   obs::SpanId collective_span_ = obs::kNoSpan;
 
-  std::map<std::uint32_t, std::function<void(const Bytes&)>> bcast_waiters_;
-  std::map<std::uint32_t,
-           std::function<void(std::vector<std::pair<std::uint32_t, Bytes>>)>>
-      gather_waiters_;
-  std::map<std::uint32_t, std::function<void(const Bytes&)>> scatter_waiters_;
-  /// SPMD collectives are matched by per-primitive counters, but the fabric
-  /// may deliver a round's payload before this rank has issued the matching
-  /// call (the rendezvous chunk pipeline can overtake the eager staggered
-  /// barrier-release wave at high fan-out). Early arrivals park here and are
-  /// consumed when the call registers its waiter.
-  std::map<std::uint32_t, Bytes> pending_bcasts_;
-  std::map<std::uint32_t, Bytes> pending_scatters_;
-  std::uint32_t barrier_count_ = 0;
-  std::uint32_t gather_count_ = 0;
-  std::uint32_t bcast_count_ = 0;
-  std::uint32_t scatter_count_ = 0;
+  /// Per-session collective state: session 0 (always present after init)
+  /// plus one entry per attached virtual session. SPMD collectives are
+  /// matched by per-primitive counters, but the fabric may deliver a
+  /// round's payload before this rank has issued the matching call (the
+  /// rendezvous chunk pipeline can overtake the eager staggered
+  /// barrier-release wave at high fan-out); each session's early arrivals
+  /// park in its own pending buffers until the call registers its waiter.
+  std::map<std::uint32_t, VSession> sessions_;
   std::uint32_t command_count_ = 0;
 };
 

@@ -85,6 +85,8 @@ void EngineProgram::on_start(cluster::Process& self) {
   heal_ = arg_int(args, "--heal=").value_or(0) != 0;
   heal_grace_ms_ = static_cast<std::uint32_t>(
       arg_int(args, "--heal-grace-ms=").value_or(0));
+  max_tree_sessions_ = static_cast<std::uint32_t>(
+      arg_int(args, "--max-tree-sessions=").value_or(0));
 
   // Pre-tuning placeholders; tune_session() overwrites all four. The launch
   // protocol's fan-out is independent of the fabric family: binomial/flat
@@ -367,6 +369,7 @@ void EngineProgram::co_spawn_daemons(cluster::Process& self) {
   req.bootstrap.platform = platform_;
   req.bootstrap.heal = heal_;
   req.bootstrap.heal_grace_ms = heal_grace_ms_;
+  req.bootstrap.max_sessions = max_tree_sessions_;
   req.launch_fanout = launch_fanout_;
   req.jobid = jobid_;
   req.report_port = static_cast<cluster::Port>(
@@ -491,6 +494,7 @@ void EngineProgram::handle_launch_mw(cluster::Process& self,
   cfg.fabric.platform = platform_;
   cfg.fabric.heal = heal_;
   cfg.fabric.heal_grace_ms = heal_grace_ms_;
+  cfg.fabric.max_sessions = max_tree_sessions_;
   cfg.fabric.fe_host = fe_host_;
   cfg.fabric.fe_port = fe_port_;
   cfg.fabric.session = session_ + "-mw" + std::to_string(mw_sessions_);

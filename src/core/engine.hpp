@@ -145,6 +145,7 @@ class EngineProgram : public cluster::Program {
   std::string calibration_;
   bool heal_ = false;  ///< self-healing daemon trees for this session
   std::uint32_t heal_grace_ms_ = 0;  ///< orphan-reattach grace (0 = default)
+  std::uint32_t max_tree_sessions_ = 0;  ///< vsession admission bound (0 = default)
   TunedConfig tuned_;
   bool tuned_valid_ = false;
   EventManager event_manager_;

@@ -18,7 +18,10 @@ constexpr int kFePortSpan = 64;
 constexpr int kPortsPerSession = 8;
 }  // namespace
 
-FrontEnd::FrontEnd(cluster::Process& self) : self_(self) {}
+FrontEnd::FrontEnd(cluster::Process& self, int max_sessions)
+    : self_(self), max_sessions_(max_sessions > 0 ? max_sessions : 1) {
+  for (int i = 0; i < kPortSlots; ++i) free_port_slots_.insert(i);
+}
 
 FrontEnd::~FrontEnd() {
   if (owned_tracer_ != nullptr &&
@@ -43,24 +46,50 @@ Status FrontEnd::init() {
 
 cluster::Result<int> FrontEnd::create_session() {
   if (port_ == 0) return {Status(Rc::Einval, "FrontEnd::init not called"), -1};
-  if (static_cast<int>(sessions_.size()) >= kMaxSessions) {
+  if (static_cast<int>(sessions_.size()) >= max_sessions_) {
     return {Status(Rc::Enomem, "session table full"), -1};
   }
-  const int sid = next_session_++;
+  // Lowest released id first (LMON_fe_createSession semantics: descriptors
+  // are a reusable resource, not a monotonic counter).
+  int sid = -1;
+  if (!free_ids_.empty()) {
+    sid = *free_ids_.begin();
+    free_ids_.erase(free_ids_.begin());
+  } else {
+    sid = next_session_++;
+  }
   Session s;
   s.id = sid;
-  s.cookie = "s" + std::to_string(sid) + "p" + std::to_string(self_.pid());
-  // Each FE instance owns a disjoint block of fabric/report ports derived
-  // from its own LMONP port, so several tool front ends can share a login
-  // node without their engines or daemon fabrics colliding.
-  const int fe_index = static_cast<int>(port_) - kFePortBase;
-  s.fabric_port = static_cast<cluster::Port>(
-      cluster::kToolFabricBasePort +
-      fe_index * kMaxSessions * kPortsPerSession + sid * kPortsPerSession);
-  s.report_port = static_cast<cluster::Port>(s.fabric_port + 4);
-  s.mw_fabric_port = static_cast<cluster::Port>(s.fabric_port + 2);
   sessions_.emplace(sid, std::move(s));
   return {Status::ok(), sid};
+}
+
+Status FrontEnd::destroy_session(int sid) {
+  Session* s = find(sid);
+  if (s == nullptr) return Status(Rc::Enosession, "unknown session");
+  if (s->state != SessionState::Idle && s->state != SessionState::Failed &&
+      s->state != SessionState::Torn) {
+    return Status(Rc::Ebusy, "session still live (detach or kill first)");
+  }
+  if (s->done || s->mw_done || s->teardown_done) {
+    return Status(Rc::Ebusy, "operation in flight");
+  }
+  if (s->infra != nullptr) {
+    if (s->vsid != 0) {
+      s->infra->vsids.erase(s->vsid);
+    } else if (s->infra->owner_sid == sid) {
+      // The tree owner is going away: the tree (already torn down or
+      // failed) releases its port block for reuse.
+      tear_virtuals(*s->infra);
+      if (s->infra->port_slot >= 0) {
+        free_port_slots_.insert(s->infra->port_slot);
+      }
+      infra_.erase(sid);
+    }
+  }
+  sessions_.erase(sid);
+  free_ids_.insert(sid);
+  return Status::ok();
 }
 
 FrontEnd::Session* FrontEnd::find(int sid) {
@@ -78,6 +107,23 @@ FrontEnd::Session* FrontEnd::find_by_cookie(const std::string& cookie) {
     if (s.cookie == cookie) return &s;
   }
   return nullptr;
+}
+
+InfraHandle FrontEnd::infra_of(int sid) const {
+  const Session* s = find(sid);
+  if (s == nullptr || s->infra == nullptr) return InfraHandle{};
+  return InfraHandle{s->infra->owner_sid};
+}
+
+std::uint32_t FrontEnd::vsid_of(int sid) const {
+  const Session* s = find(sid);
+  return s == nullptr ? 0 : s->vsid;
+}
+
+std::size_t FrontEnd::tree_session_count(int sid) const {
+  const Session* s = find(sid);
+  if (s == nullptr || s->infra == nullptr) return 0;
+  return 1 + s->infra->vsids.size();
 }
 
 void FrontEnd::launch_and_spawn(int sid, const rm::JobSpec& job,
@@ -104,6 +150,11 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
     if (done) done(Status(Rc::Ebusy, "session already used"));
     return;
   }
+  if (cfg.attach_to.valid()) {
+    s->cfg = std::move(cfg);
+    start_virtual_attach(*s, std::move(done));
+    return;
+  }
   // Trace wiring before e0 so the mark lands inside the capture. The FE
   // only owns a tracer when asked to export and none is attached already
   // (benches/tests attach their own through the machine hooks).
@@ -118,6 +169,32 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
     self_.machine().set_tracer(owned_tracer_.get());
     trace_out_path_ = trace_out;
   }
+
+  // Bind the session's infrastructure record: the tree bootstrap below is
+  // what makes it real. Each FE instance owns a disjoint block of fabric/
+  // report ports derived from its own LMONP port, so several tool front
+  // ends can share a login node without their engines or daemon fabrics
+  // colliding; each *tree* consumes one of the FE's 64 slots (virtual
+  // sessions consume none).
+  if (free_port_slots_.empty()) {
+    if (done) done(Status(Rc::Enomem, "no free port block for a new tree"));
+    return;
+  }
+  auto infra = std::make_shared<Infra>();
+  infra->owner_sid = sid;
+  infra->port_slot = *free_port_slots_.begin();
+  free_port_slots_.erase(free_port_slots_.begin());
+  const int fe_index = static_cast<int>(port_) - kFePortBase;
+  infra->fabric_port = static_cast<cluster::Port>(
+      cluster::kToolFabricBasePort + fe_index * kPortSlots * kPortsPerSession +
+      infra->port_slot * kPortsPerSession);
+  infra->report_port = static_cast<cluster::Port>(infra->fabric_port + 4);
+  infra->mw_fabric_port = static_cast<cluster::Port>(infra->fabric_port + 2);
+  s->cookie = "s" + std::to_string(sid) + "p" + std::to_string(self_.pid());
+  infra->cookie = s->cookie;
+  s->infra = infra;
+  s->vsid = 0;
+  infra_[sid] = infra;
 
   self_.machine().mark("e0_fe_call");
   s->state = SessionState::EngineStarting;
@@ -154,7 +231,8 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
   for (const auto& a : s->cfg.daemon_args) {
     opts.args.push_back("--daemon-arg=" + a);
   }
-  opts.args.push_back("--fabric-port=" + std::to_string(s->fabric_port));
+  opts.args.push_back("--fabric-port=" +
+                      std::to_string(infra->fabric_port));
   // Unset knobs travel as "auto": the engine resolves them against the
   // platform profile once the proctable pins the scale (core::auto_tune).
   if (s->cfg.topology) {
@@ -193,7 +271,12 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
                           std::to_string(s->cfg.heal_grace_ms));
     }
   }
-  opts.args.push_back("--report-port=" + std::to_string(s->report_port));
+  if (s->cfg.max_tree_sessions != 0) {
+    opts.args.push_back("--max-tree-sessions=" +
+                        std::to_string(s->cfg.max_tree_sessions));
+  }
+  opts.args.push_back("--report-port=" +
+                      std::to_string(infra->report_port));
 
   auto res = self_.spawn_child(std::make_unique<EngineProgram>(),
                                std::move(opts));
@@ -201,7 +284,44 @@ void FrontEnd::start_operation(int sid, bool attach, const rm::JobSpec* job,
     finish(*s, res.status);
     return;
   }
-  s->engine_pid = res.value;
+  infra->engine_pid = res.value;
+}
+
+void FrontEnd::start_virtual_attach(Session& s, Done done) {
+  Session* owner = find(s.cfg.attach_to.owner_sid);
+  if (owner == nullptr || owner->infra == nullptr ||
+      owner->infra->owner_sid != owner->id) {
+    s.state = SessionState::Failed;
+    if (done) done(Status(Rc::Enosession, "attach_to names no tree"));
+    return;
+  }
+  InfraPtr infra = owner->infra;
+  if (owner->state != SessionState::Ready || infra->be_ch == nullptr) {
+    s.state = SessionState::Failed;
+    if (done) done(Status(Rc::Esubcom, "tree not ready for attach"));
+    return;
+  }
+  const std::uint32_t vsid = infra->next_vsid++;
+  s.infra = infra;
+  s.vsid = vsid;
+  s.state = SessionState::Handshaking;
+  s.done = std::move(done);
+  infra->vsids[vsid] = s.id;
+
+  self_.machine().mark("mux_attach_begin");
+  self_.machine().count("fe.vattach");
+  if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
+    s.span = tracer->begin_span(
+        "vsession", "fe", static_cast<int>(self_.node().id()), self_.pid(),
+        tracer->anchor("session:" + infra->cookie),
+        "cookie=" + infra->cookie + " vsid=" + std::to_string(vsid));
+  }
+  payload::VirtualAttach req;
+  req.vsid = vsid;
+  self_.send(infra->be_ch,
+             LmonpMessage::fe_daemon(MsgClass::FeBe,
+                                     FeDaemonMsg::VirtualAttach, req.encode())
+                 .encode());
 }
 
 void FrontEnd::on_accept(cluster::ChannelPtr ch) {
@@ -237,7 +357,7 @@ void FrontEnd::on_accept(cluster::ChannelPtr ch) {
 }
 
 void FrontEnd::bind_engine_channel(Session& s, const cluster::ChannelPtr& ch) {
-  s.engine_ch = ch;
+  s.infra->engine_ch = ch;
   const int sid = s.id;
   self_.set_channel_handler(
       ch,
@@ -250,9 +370,10 @@ void FrontEnd::bind_engine_channel(Session& s, const cluster::ChannelPtr& ch) {
       [this, sid](const cluster::ChannelPtr&) {
         Session* sp = find(sid);
         if (sp == nullptr) return;
-        sp->engine_ch = nullptr;
+        if (sp->infra != nullptr) sp->infra->engine_ch = nullptr;
         if (sp->teardown_done) {
           sp->state = SessionState::Torn;
+          if (sp->infra != nullptr) tear_virtuals(*sp->infra);
           auto cb = std::move(sp->teardown_done);
           sp->teardown_done = nullptr;
           cb(Status::ok());
@@ -268,10 +389,10 @@ void FrontEnd::bind_daemon_channel(Session& s, const cluster::ChannelPtr& ch,
                                    MsgClass cls) {
   const int sid = s.id;
   if (cls == MsgClass::FeBe) {
-    s.be_ch = ch;
+    s.infra->be_ch = ch;
     self_.machine().mark("e7_handshake_begin");
   } else {
-    s.mw_ch = ch;
+    s.infra->mw_ch = ch;
   }
   self_.set_channel_handler(
       ch,
@@ -283,18 +404,19 @@ void FrontEnd::bind_daemon_channel(Session& s, const cluster::ChannelPtr& ch,
       },
       [this, sid, cls](const cluster::ChannelPtr&) {
         Session* sp = find(sid);
-        if (sp == nullptr) return;
+        if (sp == nullptr || sp->infra == nullptr) return;
         if (cls == MsgClass::FeBe) {
-          sp->be_ch = nullptr;
+          sp->infra->be_ch = nullptr;
+          tear_virtuals(*sp->infra);
         } else {
-          sp->mw_ch = nullptr;
+          sp->infra->mw_ch = nullptr;
         }
       });
 
   // Kick off the handshake: RPDTAB plus (optionally piggybacked) tool data.
   const SpawnConfig& cfg = cls == MsgClass::FeBe ? s.cfg : s.mw_cfg;
   payload::HandshakeInit init;
-  init.rpdtab = s.proctable.pack();
+  init.rpdtab = s.infra->proctable.pack();
   Bytes usr;
   if (cfg.piggyback) {
     usr = cfg.fe_data_provider ? cfg.fe_data_provider() : cfg.fe_to_be_data;
@@ -314,8 +436,8 @@ void FrontEnd::on_engine_message(Session& s, const LmonpMessage& msg) {
     case FeEngineMsg::ProctableData: {
       auto table = Rpdtab::unpack(msg.lmon_payload);
       if (table) {
-        s.proctable = std::move(*table);
-        s.have_proctable = true;
+        s.infra->proctable = std::move(*table);
+        s.infra->have_proctable = true;
         s.state = SessionState::Spawning;
         self_.machine().mark("fe_proctable_received");
       }
@@ -329,14 +451,14 @@ void FrontEnd::on_engine_message(Session& s, const LmonpMessage& msg) {
         break;
       }
       auto table = Rpdtab::unpack(spawned->daemon_table);
-      if (table) s.daemon_table = std::move(*table);
+      if (table) s.infra->daemon_table = std::move(*table);
       if (!spawned->tuned.empty()) {
         if (auto tuned = TunedConfig::decode(spawned->tuned)) {
-          s.tuned = std::move(*tuned);
-          s.have_tuned = true;
+          s.infra->tuned = std::move(*tuned);
+          s.infra->have_tuned = true;
         }
       }
-      s.daemons_spawned = true;
+      s.infra->daemons_spawned = true;
       break;
     }
     case FeEngineMsg::MwSpawned: {
@@ -347,7 +469,7 @@ void FrontEnd::on_engine_message(Session& s, const LmonpMessage& msg) {
         break;
       }
       auto table = Rpdtab::unpack(spawned->daemon_table);
-      if (table) s.mw_table = std::move(*table);
+      if (table) s.infra->mw_table = std::move(*table);
       break;
     }
     case FeEngineMsg::EngineError: {
@@ -382,7 +504,7 @@ void FrontEnd::on_daemon_message(Session& s, MsgClass cls,
         }
         // Non-piggybacked tool data goes out as a separate round trip now.
         if (!s.cfg.piggyback && !s.cfg.fe_to_be_data.empty()) {
-          self_.send(s.be_ch,
+          self_.send(s.infra->be_ch,
                      LmonpMessage::fe_daemon(cls, FeDaemonMsg::UsrData, {},
                                              s.cfg.fe_to_be_data)
                          .encode());
@@ -394,12 +516,18 @@ void FrontEnd::on_daemon_message(Session& s, MsgClass cls,
           break;
         }
         if (!s.mw_cfg.piggyback && !s.mw_cfg.fe_to_be_data.empty()) {
-          self_.send(s.mw_ch,
+          self_.send(s.infra->mw_ch,
                      LmonpMessage::fe_daemon(cls, FeDaemonMsg::UsrData, {},
                                              s.mw_cfg.fe_to_be_data)
                          .encode());
         }
         finish_mw(s, Status::ok());
+      }
+      break;
+    }
+    case FeDaemonMsg::VirtualReady: {
+      if (cls == MsgClass::FeBe && s.infra != nullptr) {
+        on_virtual_ready(*s.infra, msg.lmon_payload);
       }
       break;
     }
@@ -414,6 +542,39 @@ void FrontEnd::on_daemon_message(Session& s, MsgClass cls,
   }
 }
 
+void FrontEnd::on_virtual_ready(Infra& infra, const Bytes& payload) {
+  auto ready = payload::VirtualReady::decode(payload);
+  if (!ready) return;
+  auto it = infra.vsids.find(ready->vsid);
+  if (it == infra.vsids.end()) return;
+  Session* vs = find(it->second);
+  if (vs == nullptr) return;
+  if (ready->ok) {
+    self_.machine().mark("mux_attach_ready");
+    finish(*vs, Status::ok());
+    return;
+  }
+  // Clean admission reject (or bind failure): the descriptor is reusable,
+  // the tree unaffected.
+  infra.vsids.erase(it);
+  vs->infra = nullptr;
+  vs->vsid = 0;
+  finish(*vs, Status(Rc::Enomem, "virtual attach rejected: " + ready->error));
+}
+
+void FrontEnd::tear_virtuals(Infra& infra) {
+  for (auto& [vsid, sid] : infra.vsids) {
+    Session* vs = find(sid);
+    if (vs == nullptr) continue;
+    if (vs->done) {
+      // Attach still in flight when the tree died.
+      finish(*vs, Status(Rc::Edead, "tree torn down during attach"));
+    }
+    vs->state = SessionState::Torn;
+  }
+  infra.vsids.clear();
+}
+
 void FrontEnd::finish(Session& s, Status st) {
   if (st.is_ok()) {
     s.state = SessionState::Ready;
@@ -425,9 +586,12 @@ void FrontEnd::finish(Session& s, Status st) {
   }
   if (obs::Tracer* tracer = self_.machine().tracer();
       tracer != nullptr && s.span != obs::kNoSpan) {
-    tracer->end_span(s.span, st.is_ok() ? "cookie=" + s.cookie + " ok"
-                                        : "cookie=" + s.cookie + " failed: " +
-                                              st.to_string());
+    std::string label =
+        "cookie=" + (s.infra != nullptr ? s.infra->cookie : s.cookie);
+    if (s.vsid != 0) label += " vsid=" + std::to_string(s.vsid);
+    tracer->end_span(s.span, st.is_ok()
+                                 ? label + " ok"
+                                 : label + " failed: " + st.to_string());
   }
   if (owned_tracer_ != nullptr && !trace_out_path_.empty()) {
     Status wr = obs::write_chrome_trace(*owned_tracer_, trace_out_path_);
@@ -458,7 +622,8 @@ void FrontEnd::launch_mw_daemons(int sid, std::uint32_t nnodes,
     if (done) done(Status(Rc::Enosession, "unknown session"));
     return;
   }
-  if (s->engine_ch == nullptr) {
+  if (s->infra == nullptr || s->infra->engine_ch == nullptr ||
+      s->vsid != 0) {
     if (done) done(Status(Rc::Einval, "no engine for session"));
     return;
   }
@@ -473,7 +638,7 @@ void FrontEnd::launch_mw_daemons(int sid, std::uint32_t nnodes,
   req.nnodes = nnodes;
   req.daemon_exe = s->mw_cfg.daemon_exe;
   req.daemon_args = s->mw_cfg.daemon_args;
-  req.fabric_port = s->mw_fabric_port;
+  req.fabric_port = s->infra->mw_fabric_port;
   // MW fabrics have no tuner pass (they ride the RM's co-spawn); an unset
   // topology falls back to the platform's k-ary RM fan-out directly.
   const comm::TopologySpec mw_topo = s->mw_cfg.topology.value_or(
@@ -483,7 +648,7 @@ void FrontEnd::launch_mw_daemons(int sid, std::uint32_t nnodes,
                          : static_cast<std::uint32_t>(
                                self_.machine().costs().rm_launch_fanout);
   req.fabric_topo = mw_topo.kind;
-  self_.send(s->engine_ch,
+  self_.send(s->infra->engine_ch,
              LmonpMessage::fe_engine(FeEngineMsg::LaunchMwReq, req.encode())
                  .encode());
 }
@@ -495,17 +660,20 @@ FrontEnd::SessionState FrontEnd::state(int sid) const {
 
 const Rpdtab* FrontEnd::proctable(int sid) const {
   const Session* s = find(sid);
-  return (s != nullptr && s->have_proctable) ? &s->proctable : nullptr;
+  if (s == nullptr || s->infra == nullptr) return nullptr;
+  return s->infra->have_proctable ? &s->infra->proctable : nullptr;
 }
 
 const Rpdtab* FrontEnd::daemon_table(int sid) const {
   const Session* s = find(sid);
-  return (s != nullptr && s->daemons_spawned) ? &s->daemon_table : nullptr;
+  if (s == nullptr || s->infra == nullptr) return nullptr;
+  return s->infra->daemons_spawned ? &s->infra->daemon_table : nullptr;
 }
 
 const Rpdtab* FrontEnd::mw_table(int sid) const {
   const Session* s = find(sid);
-  return s != nullptr ? &s->mw_table : nullptr;
+  if (s == nullptr || s->infra == nullptr) return nullptr;
+  return &s->infra->mw_table;
 }
 
 const Bytes* FrontEnd::ready_usrdata(int sid) const {
@@ -515,14 +683,17 @@ const Bytes* FrontEnd::ready_usrdata(int sid) const {
 
 const TunedConfig* FrontEnd::tuned_config(int sid) const {
   const Session* s = find(sid);
-  return (s != nullptr && s->have_tuned) ? &s->tuned : nullptr;
+  if (s == nullptr || s->infra == nullptr) return nullptr;
+  return s->infra->have_tuned ? &s->infra->tuned : nullptr;
 }
 
 Status FrontEnd::send_usrdata_be(int sid, Bytes data) {
   Session* s = find(sid);
   if (s == nullptr) return Status(Rc::Enosession, "unknown session");
-  if (s->be_ch == nullptr) return Status(Rc::Esubcom, "no BE master link");
-  self_.send(s->be_ch,
+  if (s->infra == nullptr || s->infra->be_ch == nullptr) {
+    return Status(Rc::Esubcom, "no BE master link");
+  }
+  self_.send(s->infra->be_ch,
              LmonpMessage::fe_daemon(MsgClass::FeBe, FeDaemonMsg::UsrData, {},
                                      std::move(data))
                  .encode());
@@ -532,8 +703,10 @@ Status FrontEnd::send_usrdata_be(int sid, Bytes data) {
 Status FrontEnd::send_usrdata_mw(int sid, Bytes data) {
   Session* s = find(sid);
   if (s == nullptr) return Status(Rc::Enosession, "unknown session");
-  if (s->mw_ch == nullptr) return Status(Rc::Esubcom, "no MW master link");
-  self_.send(s->mw_ch,
+  if (s->infra == nullptr || s->infra->mw_ch == nullptr) {
+    return Status(Rc::Esubcom, "no MW master link");
+  }
+  self_.send(s->infra->mw_ch,
              LmonpMessage::fe_daemon(MsgClass::FeMw, FeDaemonMsg::UsrData, {},
                                      std::move(data))
                  .encode());
@@ -556,13 +729,33 @@ void FrontEnd::detach(int sid, Done done) {
     if (done) done(Status(Rc::Enosession, "unknown session"));
     return;
   }
-  if (s->engine_ch == nullptr) {
+  if (s->vsid != 0) {
+    // Virtual session: close only this stream; the tree stays up for the
+    // owner and its other sessions. The detach is fire-and-forget, like
+    // the engine-side DetachReq.
+    if (s->infra != nullptr && s->infra->be_ch != nullptr &&
+        s->state == SessionState::Ready) {
+      payload::VirtualDetach req;
+      req.vsid = s->vsid;
+      self_.send(s->infra->be_ch,
+                 LmonpMessage::fe_daemon(MsgClass::FeBe,
+                                         FeDaemonMsg::VirtualDetach,
+                                         req.encode())
+                     .encode());
+      self_.machine().count("fe.vdetach");
+    }
+    if (s->infra != nullptr) s->infra->vsids.erase(s->vsid);
+    s->state = SessionState::Torn;
+    if (done) self_.post(sim::ms(0), [done] { done(Status::ok()); });
+    return;
+  }
+  if (s->infra == nullptr || s->infra->engine_ch == nullptr) {
     s->state = SessionState::Torn;
     if (done) done(Status::ok());
     return;
   }
   s->teardown_done = std::move(done);
-  self_.send(s->engine_ch,
+  self_.send(s->infra->engine_ch,
              LmonpMessage::fe_engine(FeEngineMsg::DetachReq).encode());
 }
 
@@ -572,19 +765,25 @@ void FrontEnd::kill(int sid, Done done) {
     if (done) done(Status(Rc::Enosession, "unknown session"));
     return;
   }
-  if (s->engine_ch == nullptr) {
+  if (s->vsid != 0) {
+    // Killing a virtual session cannot kill the shared job; it degrades to
+    // a stream detach.
+    detach(sid, std::move(done));
+    return;
+  }
+  if (s->infra == nullptr || s->infra->engine_ch == nullptr) {
     s->state = SessionState::Torn;
     if (done) done(Status::ok());
     return;
   }
   s->teardown_done = std::move(done);
-  self_.send(s->engine_ch,
+  self_.send(s->infra->engine_ch,
              LmonpMessage::fe_engine(FeEngineMsg::KillReq).encode());
 }
 
 cluster::Port FrontEnd::fabric_port_of(int sid) const {
   const Session* s = find(sid);
-  return s == nullptr ? 0 : s->fabric_port;
+  return (s == nullptr || s->infra == nullptr) ? 0 : s->infra->fabric_port;
 }
 
 }  // namespace lmon::core

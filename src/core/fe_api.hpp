@@ -16,6 +16,15 @@
 //   7. bind commands to a job/daemon group      -> the session handle every
 //                                                  call takes
 //
+// Persistent multiplexed service: a session is split into two halves. The
+// *infrastructure* half (engine, daemon tree, fabric channels, cached
+// RPDTAB/TunedConfig, port block) is a persistent resource created by one
+// bootstrapping session; the *virtual* half (tag namespace, completion
+// callbacks, trace span, tool binding) is cheap per-session state. Further
+// sessions can attach to an existing tree through SpawnConfig::attach_to
+// (an InfraHandle) in O(1) — one LMONP round trip plus one tree broadcast/
+// gather — instead of re-launching engine + daemons.
+//
 // All operations are asynchronous (completion callbacks) because the tool
 // front end is an event-driven simulated process; the real library's
 // blocking calls map 1:1 onto these.
@@ -25,6 +34,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "cluster/process.hpp"
@@ -37,6 +47,15 @@
 #include "rm/types.hpp"
 
 namespace lmon::core {
+
+/// Opaque handle naming a persistent daemon tree: the infrastructure half
+/// of a Ready session. Obtain one with FrontEnd::infra_of() and pass it in
+/// SpawnConfig::attach_to to multiplex a new virtual session onto that tree
+/// instead of bootstrapping a fresh one.
+struct InfraHandle {
+  int owner_sid = -1;  ///< session that bootstrapped (and owns) the tree
+  [[nodiscard]] bool valid() const noexcept { return owner_sid >= 0; }
+};
 
 class FrontEnd {
  public:
@@ -80,6 +99,15 @@ class FrontEnd {
     /// suspends a dead child's collective stake waiting for its orphans);
     /// 0 = the ICCL default.
     std::uint32_t heal_grace_ms = 0;
+    /// Persistent multiplexed service: when valid, this operation attaches
+    /// a *virtual* session to the named tree (O(1): no engine, no RM, no
+    /// daemon spawn) instead of bootstrapping. The daemon master enforces
+    /// the tree's admission bound and rejects cleanly beyond it. Every
+    /// other spawn knob above is ignored on this path.
+    InfraHandle attach_to;
+    /// Virtual-session admission bound advertised to the daemon tree this
+    /// session bootstraps (--lmon-max-sessions); 0 = the daemons' default.
+    std::uint32_t max_tree_sessions = 0;
     /// Tool data piggybacked on the FE->master handshake (paper §3.2:
     /// "enables piggybacking of the tool's data with the LaunchMON front
     /// end's handshaking exchanges").
@@ -112,7 +140,15 @@ class FrontEnd {
     Torn,
   };
 
-  explicit FrontEnd(cluster::Process& self);
+  /// Default bound on concurrently existing session descriptors.
+  static constexpr int kDefaultMaxSessions = 64;
+
+  /// `max_sessions` bounds the session table (create_session rejects with
+  /// Enomem beyond it). Virtual sessions count against it too, but only
+  /// bootstrapping sessions consume one of the 64 per-FE port blocks, so a
+  /// bound above 64 is usable when the surplus multiplexes existing trees.
+  explicit FrontEnd(cluster::Process& self,
+                    int max_sessions = kDefaultMaxSessions);
   ~FrontEnd();
 
   FrontEnd(const FrontEnd&) = delete;
@@ -122,8 +158,15 @@ class FrontEnd {
   Status init();
   [[nodiscard]] cluster::Port port() const noexcept { return port_; }
 
-  /// Creates a session descriptor (LMON_fe_createSession).
+  /// Creates a session descriptor (LMON_fe_createSession). Ids are reused:
+  /// the lowest id freed by destroy_session() is handed out first.
   cluster::Result<int> create_session();
+
+  /// Frees a session descriptor (LMON_fe_destroySession). The session must
+  /// be Idle, Failed or Torn - tear a live session down with detach()/
+  /// kill() first. Destroying a tree owner releases its port block and
+  /// unregisters the infrastructure.
+  Status destroy_session(int sid);
 
   /// Launches a new job under tool control and co-locates daemons with it
   /// (LMON_fe_launchAndSpawnDaemons).
@@ -140,6 +183,15 @@ class FrontEnd {
   void launch_mw_daemons(int sid, std::uint32_t nnodes, SpawnConfig cfg,
                          Done done);
 
+  // --- persistent multiplexed service ----------------------------------------
+  /// Handle of the daemon tree `sid` is bound to (invalid if none). Pass to
+  /// SpawnConfig::attach_to on another session to share the tree.
+  [[nodiscard]] InfraHandle infra_of(int sid) const;
+  /// Virtual-session id of `sid` on its tree (0 = bootstrapping owner).
+  [[nodiscard]] std::uint32_t vsid_of(int sid) const;
+  /// Number of sessions (owner + virtual) currently bound to `sid`'s tree.
+  [[nodiscard]] std::size_t tree_session_count(int sid) const;
+
   // --- session data -----------------------------------------------------------
   [[nodiscard]] SessionState state(int sid) const;
   [[nodiscard]] const Rpdtab* proctable(int sid) const;
@@ -149,7 +201,8 @@ class FrontEnd {
   [[nodiscard]] const Bytes* ready_usrdata(int sid) const;
   /// The configuration the engine's auto-tuner resolved for this session
   /// (strategy/topology/threshold plus the model evidence), or nullptr
-  /// before DaemonsSpawned arrives.
+  /// before DaemonsSpawned arrives. Virtual sessions see the shared tree's
+  /// cached record - the tuner does not run again on attach.
   [[nodiscard]] const TunedConfig* tuned_config(int sid) const;
 
   // --- tool data transfer ---------------------------------------------------------
@@ -159,21 +212,24 @@ class FrontEnd {
   void set_mw_usrdata_handler(int sid, UsrDataHandler h);
 
   // --- control ---------------------------------------------------------------------
-  /// Detach: daemons torn down, job left running (LMON_fe_detach).
+  /// Detach: daemons torn down, job left running (LMON_fe_detach). For a
+  /// virtual session this closes only the virtual stream; the tree stays.
   void detach(int sid, Done done);
   /// Kill: daemons and job torn down (LMON_fe_kill).
   void kill(int sid, Done done);
 
-  /// Ports used by a session (exposed for tests).
+  /// Ports used by a session (exposed for tests). Virtual sessions report
+  /// their tree's fabric port.
   [[nodiscard]] cluster::Port fabric_port_of(int sid) const;
 
  private:
-  struct Session {
-    int id = -1;
+  /// The persistent half of a session: one bootstrapped engine + daemon
+  /// tree, shared (via shared_ptr) by the owning session and every virtual
+  /// session attached to it. Cached RPDTAB / daemon table / TunedConfig
+  /// live here so attaching sessions reuse them without refetching.
+  struct Infra {
+    int owner_sid = -1;
     std::string cookie;
-    SessionState state = SessionState::Idle;
-    SpawnConfig cfg;
-    SpawnConfig mw_cfg;
     cluster::Pid engine_pid = cluster::kInvalidPid;
     cluster::ChannelPtr engine_ch;
     cluster::ChannelPtr be_ch;
@@ -181,19 +237,36 @@ class FrontEnd {
     Rpdtab proctable;
     Rpdtab daemon_table;
     Rpdtab mw_table;
-    Bytes ready_usr;
     TunedConfig tuned;
     bool have_tuned = false;
     bool have_proctable = false;
     bool daemons_spawned = false;
+    cluster::Port fabric_port = 0;
+    cluster::Port report_port = 0;
+    cluster::Port mw_fabric_port = 0;
+    int port_slot = -1;  ///< index into the FE's 64-slot port block
+    std::uint32_t next_vsid = 1;
+    /// Attached virtual sessions: vsid -> FE session id (for routing
+    /// VirtualReady and for teardown fan-out).
+    std::map<std::uint32_t, int> vsids;
+  };
+  using InfraPtr = std::shared_ptr<Infra>;
+
+  /// The virtual half: callbacks, tool binding and trace identity.
+  struct Session {
+    int id = -1;
+    std::string cookie;  ///< set on bootstrapping sessions only
+    SessionState state = SessionState::Idle;
+    SpawnConfig cfg;
+    SpawnConfig mw_cfg;
+    InfraPtr infra;          ///< null until an operation binds a tree
+    std::uint32_t vsid = 0;  ///< 0 = bootstrapping owner of `infra`
+    Bytes ready_usr;
     Done done;
     Done mw_done;
     Done teardown_done;
     UsrDataHandler be_usr_handler;
     UsrDataHandler mw_usr_handler;
-    cluster::Port fabric_port = 0;
-    cluster::Port report_port = 0;
-    cluster::Port mw_fabric_port = 0;
     /// Root span of the whole operation (e0..e11); anchored under
     /// "session:<cookie>" so the engine and daemons can parent onto it.
     obs::SpanId span = obs::kNoSpan;
@@ -201,12 +274,17 @@ class FrontEnd {
 
   void start_operation(int sid, bool attach, const rm::JobSpec* job,
                        cluster::Pid target, SpawnConfig cfg, Done done);
+  /// O(1) attach of a virtual session onto an existing tree.
+  void start_virtual_attach(Session& s, Done done);
   void on_accept(cluster::ChannelPtr ch);
   void bind_engine_channel(Session& s, const cluster::ChannelPtr& ch);
   void bind_daemon_channel(Session& s, const cluster::ChannelPtr& ch,
                            MsgClass cls);
   void on_engine_message(Session& s, const LmonpMessage& msg);
   void on_daemon_message(Session& s, MsgClass cls, const LmonpMessage& msg);
+  void on_virtual_ready(Infra& infra, const Bytes& payload);
+  /// Marks every virtual session of `infra` Torn (tree going away).
+  void tear_virtuals(Infra& infra);
   void finish(Session& s, Status st);
   void finish_mw(Session& s, Status st);
   Session* find(int sid);
@@ -217,12 +295,19 @@ class FrontEnd {
   cluster::Port port_ = 0;
   std::map<int, Session> sessions_;
   int next_session_ = 0;
+  std::set<int> free_ids_;  ///< ids released by destroy_session
+  int max_sessions_ = kDefaultMaxSessions;
+  std::set<int> free_port_slots_;  ///< unassigned per-FE port-block slots
+  /// Registry of persistent trees by owner session id (InfraHandle lookup).
+  std::map<int, InfraPtr> infra_;
   /// Tracer owned by this FE when SpawnConfig::trace_out / LMON_TRACE_OUT
   /// asked for an export and no external tracer was already attached.
   std::unique_ptr<obs::Tracer> owned_tracer_;
   std::unique_ptr<obs::LogBridge> log_bridge_;
   std::string trace_out_path_;
-  static constexpr int kMaxSessions = 64;
+  /// Fixed per-FE port-block geometry: 64 slots regardless of the session
+  /// bound, so several FEs' blocks never overlap (see create_session).
+  static constexpr int kPortSlots = 64;
 };
 
 }  // namespace lmon::core

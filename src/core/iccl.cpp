@@ -12,11 +12,12 @@ namespace lmon::core {
 namespace {
 
 cluster::Message encode_frame(
-    std::uint8_t kind, std::uint32_t tag, std::uint32_t src,
+    std::uint8_t kind, StreamKey tag, std::uint32_t src,
     const std::vector<std::pair<std::uint32_t, Bytes>>& entries) {
   ByteWriter w;
   w.u8(kind);
-  w.u32(tag);
+  w.u32(tag.session);
+  w.u32(tag.tag);
   w.u32(src);
   w.u32(static_cast<std::uint32_t>(entries.size()));
   for (const auto& [rank, data] : entries) {
@@ -28,7 +29,7 @@ cluster::Message encode_frame(
 
 struct Frame {
   std::uint8_t kind;
-  std::uint32_t tag;
+  StreamKey tag;
   std::uint32_t src;
   std::vector<std::pair<std::uint32_t, Bytes>> entries;
 };
@@ -37,12 +38,13 @@ std::optional<Frame> decode_frame(const cluster::Message& m) {
   ByteReader r(m.bytes);
   Frame f;
   auto kind = r.u8();
+  auto session = r.u32();
   auto tag = r.u32();
   auto src = r.u32();
   auto count = r.u32();
-  if (!kind || !tag || !src || !count) return std::nullopt;
+  if (!kind || !session || !tag || !src || !count) return std::nullopt;
   f.kind = *kind;
-  f.tag = *tag;
+  f.tag = StreamKey{*session, *tag};
   f.src = *src;
   f.entries.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {
@@ -219,9 +221,15 @@ void Iccl::on_fabric_message(const cluster::ChannelPtr& ch,
                              cluster::Message m) {
   auto frame = decode_frame(m);
   if (!frame) return;
+  const std::size_t tap_bytes =
+      frame->entries.empty() ? 0 : frame->entries.front().second.size();
   if (frame_tap_) {
-    frame_tap_(static_cast<Kind>(frame->kind), frame->tag, frame->src,
-               frame->entries.empty() ? 0 : frame->entries.front().second.size());
+    frame_tap_(static_cast<Kind>(frame->kind), frame->tag.tag, frame->src,
+               tap_bytes);
+  }
+  if (keyed_frame_tap_) {
+    keyed_frame_tap_(static_cast<Kind>(frame->kind), frame->tag, frame->src,
+                     tap_bytes);
   }
   // Per-message handling cost inside the daemon's collective layer. Eager
   // payload frames (broadcast, scatter and whole-subtree gather-up alike)
@@ -343,7 +351,7 @@ sim::Time Iccl::eager_copy_cost(std::size_t bytes) const {
                                 static_cast<double>(bytes) / 1024.0);
 }
 
-void Iccl::eager_fanout(std::uint32_t tag,
+void Iccl::eager_fanout(StreamKey tag,
                         const std::shared_ptr<const Bytes>& payload) {
   // Fan-out sends serialize on this daemon's CPU: the k-th child's copy
   // leaves after k quanta, and each quantum stretches with the payload
@@ -352,13 +360,12 @@ void Iccl::eager_fanout(std::uint32_t tag,
   // (swept in bench_ablation_iccl; rendezvous exists to beat it).
   const sim::Time quantum = self_.machine().costs().iccl_msg_handle +
                             eager_copy_cost(payload->size());
-  self_.machine().count("iccl.eager_frames",
-                        static_cast<double>(children_.size()));
+  count_mux(tag, "eager_frames", static_cast<double>(children_.size()));
   if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
     tracer->instant("iccl.eager_fanout", "iccl",
                     static_cast<int>(self_.node().id()), self_.pid(),
                     trace_parent(*tracer),
-                    "tag=" + std::to_string(tag) +
+                    "tag=" + tag.str() +
                         " children=" + std::to_string(children_.size()) +
                         " bytes=" + std::to_string(payload->size()));
   }
@@ -373,7 +380,7 @@ void Iccl::eager_fanout(std::uint32_t tag,
   }
 }
 
-void Iccl::handle_bcast(std::uint32_t tag, Bytes data) {
+void Iccl::handle_bcast(StreamKey tag, Bytes data) {
   // Heal replay duplicate: this round was already delivered here (and fanned
   // out); drop it entirely so neither the handler nor the subtree sees it
   // twice. Tags are unique per round, so the ring is an exact guard.
@@ -405,17 +412,17 @@ void Iccl::handle_bcast(std::uint32_t tag, Bytes data) {
     }
   }
   if (heal_) heal_record_bcast(tag, payload);
-  if (on_bcast_) on_bcast_(tag, *payload);
+  deliver_bcast(tag, *payload);
 }
 
-void Iccl::broadcast(std::uint32_t tag, Bytes data) {
+void Iccl::broadcast(StreamKey tag, Bytes data) {
   assert(is_root() && "broadcast must originate at the ICCL root");
   handle_bcast(tag, std::move(data));
 }
 
 // --- rendezvous (RTS/CTS + pipelined chunks) -----------------------------
 
-Iccl::RndvSend& Iccl::rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
+Iccl::RndvSend& Iccl::rndv_open_send(StreamKey tag, std::uint32_t nchunks,
                                      std::uint32_t total) {
   RndvSend& st = rndv_sends_[tag] = RndvSend{};
   st.nchunks = nchunks;
@@ -424,7 +431,7 @@ Iccl::RndvSend& Iccl::rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
     st.span = tracer->begin_span(
         "iccl.rndv_send", "iccl", static_cast<int>(self_.node().id()),
         self_.pid(), trace_parent(*tracer),
-        "tag=" + std::to_string(tag) + " chunks=" + std::to_string(nchunks) +
+        "tag=" + tag.str() + " chunks=" + std::to_string(nchunks) +
             " bytes=" + std::to_string(total));
   }
   // RTS frames fan out serialized like eager sends (they are ordinary
@@ -434,7 +441,7 @@ Iccl::RndvSend& Iccl::rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
   for (auto& [rank, ch] : children_) {
     st.cts_pending.insert(rank);
     cluster::ChannelPtr child = ch;
-    self_.machine().count("iccl.rts_sent");
+    count_mux(tag, "rts_sent");
     self_.post(static_cast<sim::Time>(k++) * quantum,
                [this, child, tag, nchunks, total] {
                  ByteWriter w;
@@ -448,7 +455,7 @@ Iccl::RndvSend& Iccl::rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
   return st;
 }
 
-void Iccl::handle_rndv_rts(std::uint32_t tag, std::uint32_t nchunks,
+void Iccl::handle_rndv_rts(StreamKey tag, std::uint32_t nchunks,
                            std::uint32_t total) {
   // Heal replay of a round this node already delivered: ignore it rather
   // than re-opening receive/relay state the subtree already consumed.
@@ -456,7 +463,7 @@ void Iccl::handle_rndv_rts(std::uint32_t tag, std::uint32_t nchunks,
   if (nchunks == 0) {
     // Degenerate empty rendezvous: deliver immediately.
     if (heal_) heal_record_bcast(tag, std::make_shared<const Bytes>());
-    if (on_bcast_) on_bcast_(tag, Bytes{});
+    deliver_bcast(tag, Bytes{});
     return;
   }
   RndvRecv& rc = rndv_recvs_[tag];
@@ -466,18 +473,18 @@ void Iccl::handle_rndv_rts(std::uint32_t tag, std::uint32_t nchunks,
     rc.span = tracer->begin_span(
         "iccl.rndv_recv", "iccl", static_cast<int>(self_.node().id()),
         self_.pid(), trace_parent(*tracer),
-        "tag=" + std::to_string(tag) + " chunks=" + std::to_string(nchunks));
+        "tag=" + tag.str() + " chunks=" + std::to_string(nchunks));
   }
   // Cut-through: open the downstream round now so grandchild CTS exchanges
   // overlap the payload still streaming toward this node.
   if (!children_.empty()) rndv_open_send(tag, nchunks, total);
   // Clear the parent to stream.
-  self_.machine().count("iccl.cts_sent");
+  count_mux(tag, "cts_sent");
   send_up(encode_frame(static_cast<std::uint8_t>(Kind::RndvCts), tag,
                        params_.rank, {}));
 }
 
-void Iccl::handle_rndv_cts(std::uint32_t tag, std::uint32_t src) {
+void Iccl::handle_rndv_cts(StreamKey tag, std::uint32_t src) {
   auto it = rndv_sends_.find(tag);
   if (it == rndv_sends_.end()) return;
   it->second.cts_pending.erase(src);
@@ -485,7 +492,7 @@ void Iccl::handle_rndv_cts(std::uint32_t tag, std::uint32_t src) {
     tracer->instant("iccl.cts_received", "iccl",
                     static_cast<int>(self_.node().id()), self_.pid(),
                     it->second.span,
-                    "tag=" + std::to_string(tag) +
+                    "tag=" + tag.str() +
                         " from=" + std::to_string(src) + " pending=" +
                         std::to_string(it->second.cts_pending.size()));
   }
@@ -495,7 +502,7 @@ void Iccl::handle_rndv_cts(std::uint32_t tag, std::uint32_t src) {
   }
 }
 
-void Iccl::rndv_flush(std::uint32_t tag, RndvSend& st) {
+void Iccl::rndv_flush(StreamKey tag, RndvSend& st) {
   if (!st.streaming) return;
   // Serialized chunk posts: each (chunk, child) send occupies the CPU for
   // one chunk-handle quantum, but unlike eager there is no per-byte copy -
@@ -525,7 +532,7 @@ void Iccl::rndv_flush(std::uint32_t tag, RndvSend& st) {
   }
 }
 
-void Iccl::handle_rndv_chunk(std::uint32_t tag, std::uint32_t seq,
+void Iccl::handle_rndv_chunk(StreamKey tag, std::uint32_t seq,
                              Bytes data) {
   auto it = rndv_recvs_.find(tag);
   if (it == rndv_recvs_.end()) return;
@@ -533,16 +540,16 @@ void Iccl::handle_rndv_chunk(std::uint32_t tag, std::uint32_t seq,
   if (seq != rc.received) return;  // FIFO channels make this unreachable
   rc.received += 1;
   rc.assembled.insert(rc.assembled.end(), data.begin(), data.end());
-  self_.machine().count("iccl.chunks_received");
+  count_mux(tag, "chunks_received");
   // Relay toward this node's own children (cut-through forwarding).
   auto sit = rndv_sends_.find(tag);
   if (sit != rndv_sends_.end()) {
-    self_.machine().count("iccl.chunks_relayed");
+    count_mux(tag, "chunks_relayed");
     if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
       tracer->instant("iccl.chunk_relay", "iccl",
                       static_cast<int>(self_.node().id()), self_.pid(),
                       sit->second.span,
-                      "tag=" + std::to_string(tag) +
+                      "tag=" + tag.str() +
                           " seq=" + std::to_string(seq));
     }
     sit->second.ready.push_back(
@@ -559,10 +566,10 @@ void Iccl::handle_rndv_chunk(std::uint32_t tag, std::uint32_t seq,
     if (heal_) {
       auto payload = std::make_shared<const Bytes>(std::move(assembled));
       heal_record_bcast(tag, payload);
-      if (on_bcast_) on_bcast_(tag, *payload);
+      deliver_bcast(tag, *payload);
       return;
     }
-    if (on_bcast_) on_bcast_(tag, assembled);
+    deliver_bcast(tag, assembled);
   }
 }
 
@@ -587,7 +594,7 @@ void Iccl::on_child_lost(const cluster::ChannelPtr& ch) {
     st.cts_pending.erase(*lost);
     if (!st.streaming && st.cts_pending.empty()) {
       st.streaming = true;
-      const std::uint32_t tag = it->first;
+      const StreamKey tag = it->first;
       rndv_flush(tag, st);
       // rndv_flush may erase the state; restart iteration defensively.
       it = rndv_sends_.upper_bound(tag);
@@ -606,7 +613,7 @@ void Iccl::on_child_lost(const cluster::ChannelPtr& ch) {
   // announced origins whose payload did not finish arriving - surviving
   // contributions must still be delivered.
   for (auto it = gathers_.begin(); it != gathers_.end();) {
-    const std::uint32_t tag = it->first;
+    const StreamKey tag = it->first;
     GatherState& st = it->second;
     if (gather_forget_child(tag, st, *lost)) {
       // May announce, forward an eager frame, deliver at the root, or
@@ -620,7 +627,7 @@ void Iccl::on_child_lost(const cluster::ChannelPtr& ch) {
   }
 }
 
-Iccl::GatherState& Iccl::gather_state(std::uint32_t tag) {
+Iccl::GatherState& Iccl::gather_state(StreamKey tag) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end()) {
     GatherState st;
@@ -635,21 +642,22 @@ Iccl::GatherState& Iccl::gather_state(std::uint32_t tag) {
   return it->second;
 }
 
-void Iccl::contribute(std::uint32_t tag, Bytes data) {
+void Iccl::contribute(StreamKey tag, Bytes data) {
   GatherState& st = gather_state(tag);
   assert(!st.own_done && "one contribution per rank per gather round");
   st.own_done = true;
   // Injected-once accounting: gather payload enters the fabric exactly here
   // (relay hops count iccl.gather_bytes_relayed instead; see metrics.hpp).
-  self_.machine().count("iccl.gather_bytes_contributed",
-                        static_cast<double>(data.size()));
+  count_mux(tag, "gather_contributions");
+  count_mux(tag, "gather_bytes_contributed",
+            static_cast<double>(data.size()));
   st.acc.emplace_back(params_.rank, std::move(data));
   if (heal_) st.retained[params_.rank] = st.acc.back().second;
   flush_gather(tag);
 }
 
 void Iccl::handle_gather_up(
-    std::uint32_t tag, std::uint32_t src,
+    StreamKey tag, std::uint32_t src,
     std::vector<std::pair<std::uint32_t, Bytes>> entries) {
   GatherState& st = gather_state(tag);
   st.children_pending.erase(src);
@@ -684,7 +692,7 @@ std::size_t Iccl::gather_subtree_bytes(const GatherState& st) const {
   return total;
 }
 
-void Iccl::flush_gather(std::uint32_t tag) {
+void Iccl::flush_gather(StreamKey tag) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end()) return;
   GatherState& st = it->second;
@@ -718,7 +726,7 @@ void Iccl::flush_gather(std::uint32_t tag) {
 
 // --- rendezvous gather (upstream RTS/CTS + cut-through chunk relay) ------
 
-void Iccl::gather_announce(std::uint32_t tag, GatherState& st) {
+void Iccl::gather_announce(StreamKey tag, GatherState& st) {
   st.announced = true;
   std::sort(st.acc.begin(), st.acc.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -738,12 +746,12 @@ void Iccl::gather_announce(std::uint32_t tag, GatherState& st) {
   }
   std::sort(origins.begin(), origins.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  self_.machine().count("iccl.gather_rts_sent");
+  count_mux(tag, "gather_rts_sent");
   if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
     st.span = tracer->begin_span(
         "iccl.gather_stream", "iccl", static_cast<int>(self_.node().id()),
         self_.pid(), trace_parent(*tracer),
-        "tag=" + std::to_string(tag) +
+        "tag=" + tag.str() +
             " origins=" + std::to_string(origins.size()) + " bytes=" +
             std::to_string(gather_subtree_bytes(st)));
   }
@@ -752,7 +760,7 @@ void Iccl::gather_announce(std::uint32_t tag, GatherState& st) {
 }
 
 void Iccl::handle_gather_rts(
-    std::uint32_t tag, std::uint32_t src,
+    StreamKey tag, std::uint32_t src,
     std::vector<std::pair<std::uint32_t, Bytes>> entries) {
   GatherState& st = gather_state(tag);
   st.children_pending.erase(src);
@@ -839,20 +847,32 @@ void Iccl::handle_gather_rts(
     // processed (no upstream clearance to wait for). Interior nodes instead
     // defer their children's CTS until their own arrives - that chain is
     // the back-pressure that keeps a slow parent from being buried.
-    self_.machine().count("iccl.gather_cts_sent");
+    //
+    // On a multiplexed tree the clearance is also the fairness gate: with
+    // several sessions contending, at most one session's rounds stream at a
+    // time and the root hands the clearance round-robin across sessions on
+    // round delivery. A single active session always clears immediately.
     if (obs::Tracer* tracer = self_.machine().tracer();
         tracer != nullptr && st.span == obs::kNoSpan) {
       st.span = tracer->begin_span(
           "iccl.gather_assemble", "iccl", static_cast<int>(self_.node().id()),
-          self_.pid(), trace_parent(*tracer), "tag=" + std::to_string(tag));
+          self_.pid(), trace_parent(*tracer), "tag=" + tag.str());
     }
-    send_to_child(src, encode_frame(static_cast<std::uint8_t>(Kind::GatherCts),
-                                    tag, params_.rank, {}));
+    if (st.cleared || mux_can_clear(tag.session)) {
+      mux_mark_cleared(tag, st);
+      count_mux(tag, "gather_cts_sent");
+      send_to_child(src,
+                    encode_frame(static_cast<std::uint8_t>(Kind::GatherCts),
+                                 tag, params_.rank, {}));
+    } else {
+      st.grant_waiters.push_back(src);
+      count_mux(tag, "mux.cts_deferred");
+    }
   }
   flush_gather(tag);
 }
 
-void Iccl::handle_gather_cts(std::uint32_t tag) {
+void Iccl::handle_gather_cts(StreamKey tag) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end()) return;
   GatherState& st = it->second;
@@ -862,7 +882,7 @@ void Iccl::handle_gather_cts(std::uint32_t tag) {
   gather_relay_maybe_done(tag);
 }
 
-void Iccl::gather_begin_streaming(std::uint32_t tag, GatherState& st) {
+void Iccl::gather_begin_streaming(StreamKey tag, GatherState& st) {
   st.streaming = true;
   // Clear own rendezvous children (ascending rank; CTS frames are ordinary
   // staggered sends). All children announced before this node did, so the
@@ -870,7 +890,7 @@ void Iccl::gather_begin_streaming(std::uint32_t tag, GatherState& st) {
   const sim::Time quantum = self_.machine().costs().iccl_msg_handle;
   int k = 0;
   for (std::uint32_t child : st.rndv_children) {
-    self_.machine().count("iccl.gather_cts_sent");
+    count_mux(tag, "gather_cts_sent");
     self_.post(static_cast<sim::Time>(k++) * quantum, [this, child, tag] {
       send_to_child(child,
                     encode_frame(static_cast<std::uint8_t>(Kind::GatherCts),
@@ -893,7 +913,7 @@ void Iccl::gather_begin_streaming(std::uint32_t tag, GatherState& st) {
   st.acc.clear();
 }
 
-void Iccl::gather_flush(std::uint32_t tag, GatherState& st) {
+void Iccl::gather_flush(StreamKey tag, GatherState& st) {
   if (!st.streaming || st.heal_hold) return;
   // Serialized chunk posts, same cursor discipline as the downstream
   // rendezvous: each send occupies the CPU for one chunk-handle quantum and
@@ -930,13 +950,13 @@ void Iccl::gather_flush(std::uint32_t tag, GatherState& st) {
   }
 }
 
-void Iccl::handle_gather_chunk(std::uint32_t tag, std::uint32_t origin,
+void Iccl::handle_gather_chunk(StreamKey tag, std::uint32_t origin,
                                Bytes data) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end()) return;  // round retired (late chunk after drop)
   GatherState& st = it->second;
   if (st.dropped.count(origin) != 0) return;
-  self_.machine().count("iccl.gather_chunks_received");
+  count_mux(tag, "gather_chunks_received");
   if (is_root()) {
     Bytes& buf = st.assembling[origin];
     buf.insert(buf.end(), data.begin(), data.end());
@@ -946,13 +966,12 @@ void Iccl::handle_gather_chunk(std::uint32_t tag, std::uint32_t origin,
   // Cut-through relay: forward the chunk as-is instead of assembling the
   // child's contribution. These bytes were already counted as contributed
   // at their origin; here they count only as relay traffic.
-  self_.machine().count("iccl.gather_chunks_relayed");
-  self_.machine().count("iccl.gather_bytes_relayed",
-                        static_cast<double>(data.size()));
+  count_mux(tag, "gather_chunks_relayed");
+  count_mux(tag, "gather_bytes_relayed", static_cast<double>(data.size()));
   if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
     tracer->instant("iccl.gather_chunk_relay", "iccl",
                     static_cast<int>(self_.node().id()), self_.pid(), st.span,
-                    "tag=" + std::to_string(tag) +
+                    "tag=" + tag.str() +
                         " origin=" + std::to_string(origin) +
                         " bytes=" + std::to_string(data.size()));
   }
@@ -973,7 +992,7 @@ void Iccl::handle_gather_chunk(std::uint32_t tag, std::uint32_t origin,
   gather_relay_maybe_done(tag);
 }
 
-void Iccl::gather_check_complete(std::uint32_t tag) {
+void Iccl::gather_check_complete(StreamKey tag) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end() || !is_root()) return;
   GatherState& st = it->second;
@@ -1003,6 +1022,7 @@ void Iccl::gather_check_complete(std::uint32_t tag) {
     tracer->end_span(st.span, "entries=" + std::to_string(out.size()));
     st.span = obs::kNoSpan;
   }
+  mux_release(tag);
   if (heal_) {
     // Tell the tree the round is over so retired replay copies can be freed
     // and a late-reattaching orphan does not re-announce a delivered round.
@@ -1014,10 +1034,10 @@ void Iccl::gather_check_complete(std::uint32_t tag) {
   } else {
     gathers_.erase(it);  // round complete; allow reuse of the tag
   }
-  if (on_gather_) on_gather_(tag, std::move(out));
+  deliver_gather(tag, std::move(out));
 }
 
-void Iccl::gather_relay_maybe_done(std::uint32_t tag) {
+void Iccl::gather_relay_maybe_done(StreamKey tag) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end() || is_root()) return;
   GatherState& st = it->second;
@@ -1040,7 +1060,7 @@ void Iccl::gather_relay_maybe_done(std::uint32_t tag) {
   }
 }
 
-bool Iccl::gather_forget_child(std::uint32_t tag, GatherState& st,
+bool Iccl::gather_forget_child(StreamKey tag, GatherState& st,
                                std::uint32_t child) {
   bool touched = st.children_pending.erase(child) > 0;
   if (st.rndv_children.erase(child) > 0) {
@@ -1066,12 +1086,12 @@ bool Iccl::gather_forget_child(std::uint32_t tag, GatherState& st,
   return touched;
 }
 
-void Iccl::gather_drop_origin(std::uint32_t tag, GatherState& st,
+void Iccl::gather_drop_origin(StreamKey tag, GatherState& st,
                               std::uint32_t origin) {
   if (!st.dropped.insert(origin).second) return;
-  self_.machine().count("iccl.gather_drops");
+  count_mux(tag, "gather_drops");
   self_.machine().flight_record(self_.pid(), "iccl",
-                                "gather tag " + std::to_string(tag) +
+                                "gather tag " + tag.str() +
                                     " dropped origin " +
                                     std::to_string(origin));
   if (is_root()) {
@@ -1095,7 +1115,7 @@ void Iccl::gather_drop_origin(std::uint32_t tag, GatherState& st,
 }
 
 void Iccl::handle_gather_drop(
-    std::uint32_t tag,
+    StreamKey tag,
     const std::vector<std::pair<std::uint32_t, Bytes>>& entries) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end()) return;
@@ -1110,7 +1130,7 @@ void Iccl::handle_gather_drop(
   }
 }
 
-void Iccl::scatter(std::uint32_t tag, std::vector<Bytes> parts) {
+void Iccl::scatter(StreamKey tag, std::vector<Bytes> parts) {
   assert(is_root());
   std::vector<std::pair<std::uint32_t, Bytes>> entries;
   entries.reserve(parts.size());
@@ -1121,7 +1141,7 @@ void Iccl::scatter(std::uint32_t tag, std::vector<Bytes> parts) {
 }
 
 void Iccl::handle_scatter(
-    std::uint32_t tag, std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+    StreamKey tag, std::vector<std::pair<std::uint32_t, Bytes>> entries) {
   // Partition by child subtree; deliver own part locally. Child sends go
   // through the same serialized-send path as broadcast so that collectives
   // issued in one event preserve their issue order on the wire. The
@@ -1150,13 +1170,13 @@ void Iccl::handle_scatter(
     }
   }
   for (auto& [rank, data] : entries) {
-    if (rank == params_.rank && on_scatter_) on_scatter_(tag, data);
+    if (rank == params_.rank) deliver_scatter(tag, data);
   }
 }
 
 // --- self-healing recovery (heal mode only) -------------------------------
 
-void Iccl::heal_record_bcast(std::uint32_t tag,
+void Iccl::heal_record_bcast(StreamKey tag,
                              const std::shared_ptr<const Bytes>& payload) {
   if (!bcast_history_.emplace(tag, payload).second) return;
   bcast_history_order_.push_back(tag);
@@ -1166,7 +1186,7 @@ void Iccl::heal_record_bcast(std::uint32_t tag,
   }
 }
 
-void Iccl::heal_retire_gather(std::uint32_t tag, GatherState& st,
+void Iccl::heal_retire_gather(StreamKey tag, GatherState& st,
                               bool eager) {
   if (st.retired) return;
   st.retired = true;
@@ -1180,7 +1200,7 @@ void Iccl::heal_retire_gather(std::uint32_t tag, GatherState& st,
     retired_gather_order_.push_back(tag);
   }
   while (retired_gather_order_.size() > kHealHistory) {
-    const std::uint32_t old = retired_gather_order_.front();
+    const StreamKey old = retired_gather_order_.front();
     retired_gather_order_.erase(retired_gather_order_.begin());
     auto it = gathers_.find(old);
     if (it != gathers_.end() && it->second.retired) gathers_.erase(it);
@@ -1199,7 +1219,7 @@ void Iccl::heal_child_lost(std::uint32_t lost) {
     st.cts_pending.erase(lost);
     if (!st.streaming && st.cts_pending.empty()) {
       st.streaming = true;
-      const std::uint32_t tag = it->first;
+      const StreamKey tag = it->first;
       rndv_flush(tag, st);
       it = rndv_sends_.upper_bound(tag);
     } else {
@@ -1263,7 +1283,7 @@ void Iccl::heal_resolve_slot(std::uint32_t dead, bool expired) {
   // Whatever stake of the dead child's subtree was not claimed by a
   // reattached orphan is now retracted, exactly like the non-heal path.
   for (auto it = gathers_.begin(); it != gathers_.end();) {
-    const std::uint32_t tag = it->first;
+    const StreamKey tag = it->first;
     GatherState& st = it->second;
     const bool touched =
         st.healing.erase(dead) != 0 || st.rndv_children.count(dead) != 0;
@@ -1384,10 +1404,14 @@ void Iccl::adopt_parent(std::uint32_t target, cluster::ChannelPtr ch) {
   w.u32(static_cast<std::uint32_t>(heal_via_.size()));
   for (std::uint32_t r : heal_via_) w.u32(r);
   w.u32(static_cast<std::uint32_t>(bcast_history_order_.size()));
-  for (std::uint32_t t : bcast_history_order_) w.u32(t);
+  for (const StreamKey& t : bcast_history_order_) {
+    w.u32(t.session);
+    w.u32(t.tag);
+  }
   w.u32(static_cast<std::uint32_t>(rndv_recvs_.size()));
   for (const auto& [tag, rc] : rndv_recvs_) {
-    w.u32(tag);
+    w.u32(tag.session);
+    w.u32(tag.tag);
     w.u32(rc.received);
     w.u32(rc.nchunks);
   }
@@ -1449,18 +1473,21 @@ void Iccl::handle_reattach(const cluster::ChannelPtr& ch, std::uint32_t src,
   std::set<std::uint32_t> via;
   const std::uint32_t nvia = r.u32().value_or(0);
   for (std::uint32_t i = 0; i < nvia; ++i) via.insert(r.u32().value_or(0));
-  std::set<std::uint32_t> delivered;
+  std::set<StreamKey> delivered;
   const std::uint32_t ndel = r.u32().value_or(0);
   for (std::uint32_t i = 0; i < ndel; ++i) {
-    delivered.insert(r.u32().value_or(0));
+    const std::uint32_t session = r.u32().value_or(0);
+    const std::uint32_t t = r.u32().value_or(0);
+    delivered.insert(StreamKey{session, t});
   }
-  std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>> open;
+  std::map<StreamKey, std::pair<std::uint32_t, std::uint32_t>> open;
   const std::uint32_t nrecv = r.u32().value_or(0);
   for (std::uint32_t i = 0; i < nrecv; ++i) {
-    const std::uint32_t tag = r.u32().value_or(0);
+    const std::uint32_t session = r.u32().value_or(0);
+    const std::uint32_t t = r.u32().value_or(0);
     const std::uint32_t received = r.u32().value_or(0);
     const std::uint32_t nchunks = r.u32().value_or(0);
-    open[tag] = {received, nchunks};
+    open[StreamKey{session, t}] = {received, nchunks};
   }
   children_[src] = ch;
   self_.machine().count("iccl.heal.adoptions");
@@ -1520,9 +1547,9 @@ void Iccl::handle_reattach(const cluster::ChannelPtr& ch, std::uint32_t src,
 
 void Iccl::heal_replay_bcasts(
     std::uint32_t orphan,
-    const std::map<std::uint32_t,
+    const std::map<StreamKey,
                    std::pair<std::uint32_t, std::uint32_t>>& open_recvs,
-    const std::set<std::uint32_t>& delivered) {
+    const std::set<StreamKey>& delivered) {
   const std::uint32_t chunk = self_.machine().costs().iccl_rndv_chunk_bytes;
   // Live rendezvous rounds first: the orphan catches up to this node's
   // scheduled sequence from its own receive offset and rides the ongoing
@@ -1553,7 +1580,7 @@ void Iccl::heal_replay_bcasts(
   // Delivered history: rounds the orphan missed entirely, or was mid-
   // receive on when the live send state already retired here. The orphan's
   // own history guard makes a replay of an already-delivered round inert.
-  for (std::uint32_t tag : bcast_history_order_) {
+  for (StreamKey tag : bcast_history_order_) {
     if (delivered.count(tag) != 0) continue;
     if (rndv_sends_.count(tag) != 0) continue;  // caught up above
     const std::shared_ptr<const Bytes>& payload = bcast_history_.at(tag);
@@ -1614,13 +1641,13 @@ void Iccl::heal_replay_bcasts(
     }
     self_.machine().flight_record(
         self_.pid(), "iccl",
-        "heal: cannot replay bcast tag " + std::to_string(tag) +
+        "heal: cannot replay bcast tag " + tag.str() +
             " for orphan " + std::to_string(orphan) + " (history evicted)");
   }
 }
 
 void Iccl::handle_gather_resume(
-    std::uint32_t tag,
+    StreamKey tag,
     const std::vector<std::pair<std::uint32_t, Bytes>>& entries) {
   auto it = gathers_.find(tag);
   if (it == gathers_.end()) return;
@@ -1660,7 +1687,7 @@ void Iccl::handle_gather_resume(
   gather_relay_maybe_done(tag);
 }
 
-void Iccl::handle_gather_done(std::uint32_t tag) {
+void Iccl::handle_gather_done(StreamKey tag) {
   // Propagate: every descendant can free its replay copy of the round.
   for (auto& [rank, ch] : children_) {
     self_.send(ch, encode_frame(static_cast<std::uint8_t>(Kind::GatherDone),
@@ -1705,6 +1732,102 @@ void Iccl::handle_leave(std::uint32_t src) {
   // Run the lost-child bookkeeping now; the close callback that follows
   // finds the rank already erased and no-ops.
   on_child_lost(it->second);
+}
+
+// --- multiplexed delivery / fairness --------------------------------------
+
+void Iccl::deliver_bcast(StreamKey tag, const Bytes& data) {
+  if (tag.session == 0) {
+    if (on_bcast_) on_bcast_(tag.tag, data);
+    return;
+  }
+  auto it = session_handlers_.find(tag.session);
+  if (it == session_handlers_.end() || !it->second.on_bcast) {
+    self_.machine().count("iccl.mux.unbound_drops");
+    return;
+  }
+  it->second.on_bcast(tag.tag, data);
+}
+
+void Iccl::deliver_gather(
+    StreamKey tag, std::vector<std::pair<std::uint32_t, Bytes>> entries) {
+  if (tag.session == 0) {
+    if (on_gather_) on_gather_(tag.tag, std::move(entries));
+    return;
+  }
+  auto it = session_handlers_.find(tag.session);
+  if (it == session_handlers_.end() || !it->second.on_gather) {
+    self_.machine().count("iccl.mux.unbound_drops");
+    return;
+  }
+  it->second.on_gather(tag.tag, std::move(entries));
+}
+
+void Iccl::deliver_scatter(StreamKey tag, const Bytes& data) {
+  if (tag.session == 0) {
+    if (on_scatter_) on_scatter_(tag.tag, data);
+    return;
+  }
+  auto it = session_handlers_.find(tag.session);
+  if (it == session_handlers_.end() || !it->second.on_scatter) {
+    self_.machine().count("iccl.mux.unbound_drops");
+    return;
+  }
+  it->second.on_scatter(tag.tag, data);
+}
+
+void Iccl::count_mux(StreamKey tag, const char* name, double v) {
+  self_.machine().count(std::string("iccl.") + name, v);
+  if (tag.session != 0) {
+    self_.machine().count(
+        "iccl.s" + std::to_string(tag.session) + "." + name, v);
+  }
+}
+
+bool Iccl::mux_can_clear(std::uint32_t session) const {
+  for (const auto& [s, open] : mux_active_) {
+    if (open > 0 && s != session) return false;
+  }
+  return true;
+}
+
+void Iccl::mux_mark_cleared(StreamKey tag, GatherState& st) {
+  if (st.cleared) return;
+  st.cleared = true;
+  mux_active_[tag.session] += 1;
+  mux_rr_last_ = tag.session;
+  // Announces that queued while another session held the clearance get
+  // their CTS now.
+  for (std::uint32_t child : st.grant_waiters) {
+    count_mux(tag, "gather_cts_sent");
+    send_to_child(child,
+                  encode_frame(static_cast<std::uint8_t>(Kind::GatherCts),
+                               tag, params_.rank, {}));
+  }
+  st.grant_waiters.clear();
+}
+
+void Iccl::mux_release(StreamKey tag) {
+  auto it = gathers_.find(tag);
+  if (it == gathers_.end() || !it->second.cleared) return;
+  auto act = mux_active_.find(tag.session);
+  if (act != mux_active_.end() && --act->second <= 0) mux_active_.erase(act);
+  if (!mux_active_.empty()) return;  // the holder still has open rounds
+  // Clearance is free: grant the next session with deferred announces,
+  // scanning session ids round-robin from the last holder.
+  std::map<std::uint32_t, std::vector<StreamKey>> waiting;
+  for (const auto& [key, st] : gathers_) {
+    if (!st.cleared && !st.grant_waiters.empty()) {
+      waiting[key.session].push_back(key);
+    }
+  }
+  if (waiting.empty()) return;
+  auto next = waiting.upper_bound(mux_rr_last_);
+  if (next == waiting.end()) next = waiting.begin();
+  self_.machine().count("iccl.mux.rr_grants");
+  for (const StreamKey& key : next->second) {
+    mux_mark_cleared(key, gathers_.at(key));
+  }
 }
 
 void Iccl::send_up(cluster::Message m) {

@@ -28,6 +28,7 @@
 #include "comm/topology.hpp"
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "core/stream_key.hpp"
 #include "obs/trace.hpp"
 
 namespace lmon::core {
@@ -75,11 +76,21 @@ class Iccl {
   static std::optional<Params> params_from_args(
       const std::vector<std::string>& args, std::string_view self_host = {});
 
+  /// Handlers receive the *within-session* tag; the session id is implied
+  /// by which handler set fired (the legacy set_*_handler trio observes the
+  /// infrastructure session 0, bind_session() observes one virtual session).
   using BcastHandler = std::function<void(std::uint32_t tag, const Bytes&)>;
   /// Root-side gather completion: contributions sorted by rank.
   using GatherHandler = std::function<void(
       std::uint32_t tag, std::vector<std::pair<std::uint32_t, Bytes>>)>;
   using ScatterHandler = std::function<void(std::uint32_t tag, const Bytes&)>;
+
+  /// Handler set for one virtual session multiplexed over this fabric.
+  struct SessionHandlers {
+    BcastHandler on_bcast;
+    GatherHandler on_gather;
+    ScatterHandler on_scatter;
+  };
 
   Iccl(cluster::Process& self, Params params);
 
@@ -99,16 +110,22 @@ class Iccl {
   void start(std::function<void(Status)> subtree_ready);
 
   // --- collectives -------------------------------------------------------
-  /// Root only: delivers (tag, data) to every daemon's bcast handler,
+  // Every round is keyed by a (session, tag) StreamKey; a bare u32 tag
+  // converts implicitly to session 0 (the infrastructure session), so the
+  // entire pre-multiplex call surface is unchanged. Rounds in different
+  // sessions share the fabric but never share state: maps, rendezvous
+  // chunk streams and heal replay rings are all StreamKey-keyed.
+
+  /// Root only: delivers (key, data) to every daemon's bcast handler,
   /// including the root's own.
-  void broadcast(std::uint32_t tag, Bytes data);
+  void broadcast(StreamKey key, Bytes data);
 
   /// Gather contribution; every rank must call once per round. The root's
   /// gather handler fires when all `size` contributions arrived.
-  void contribute(std::uint32_t tag, Bytes data);
+  void contribute(StreamKey key, Bytes data);
 
   /// Root only: parts[i] goes to rank i's scatter handler.
-  void scatter(std::uint32_t tag, std::vector<Bytes> parts);
+  void scatter(StreamKey key, std::vector<Bytes> parts);
 
   /// Elastic shrink (heal mode): announces a graceful departure to the
   /// parent (so it is accounted as a leave, not a death) and exits shortly
@@ -121,11 +138,29 @@ class Iccl {
   void set_gather_handler(GatherHandler h) { on_gather_ = std::move(h); }
   void set_scatter_handler(ScatterHandler h) { on_scatter_ = std::move(h); }
 
+  /// Routes rounds keyed to a nonzero `session` to this handler set
+  /// (handlers see the within-session tag). Rebinding replaces; rounds for
+  /// an unbound session are dropped at delivery, never cross-delivered.
+  void bind_session(std::uint32_t session, SessionHandlers handlers) {
+    session_handlers_[session] = std::move(handlers);
+  }
+  void unbind_session(std::uint32_t session) {
+    session_handlers_.erase(session);
+  }
+
   /// Test-only tap: observes every decoded inbound fabric frame (before the
   /// handling cost is charged). `bytes` is the first entry's payload size.
+  /// The legacy tap sees the within-session tag only; the keyed tap sees
+  /// the full StreamKey (cross-session isolation tests use it).
   using FrameTap = std::function<void(Kind kind, std::uint32_t tag,
                                       std::uint32_t src, std::size_t bytes)>;
   void set_frame_tap(FrameTap tap) { frame_tap_ = std::move(tap); }
+  using KeyedFrameTap = std::function<void(Kind kind, StreamKey key,
+                                           std::uint32_t src,
+                                           std::size_t bytes)>;
+  void set_keyed_frame_tap(KeyedFrameTap tap) {
+    keyed_frame_tap_ = std::move(tap);
+  }
 
   /// Effective eager->rendezvous switch threshold (payload bytes): the
   /// session option when set, else the platform default.
@@ -222,6 +257,14 @@ class Iccl {
     /// Dead children whose subtree stake is suspended pending orphan
     /// reattach (or the grace expiry). Non-empty blocks flush/delivery.
     std::set<std::uint32_t> healing;
+    // --- multiplex fairness (root only) ----------------------------------
+    /// Root clearance granted: this round's CTS chain may flow. Always true
+    /// immediately when only one session is active; under contention at
+    /// most one session holds cleared rounds at a time.
+    bool cleared = false;
+    /// Child ranks whose GatherRts arrived while another session held the
+    /// clearance; flushed with a CTS when this round is cleared.
+    std::vector<std::uint32_t> grant_waiters;
   };
 
   /// Sender side of one rendezvous broadcast round: RTS is out, chunks
@@ -252,48 +295,67 @@ class Iccl {
   void on_fabric_message(const cluster::ChannelPtr& ch, cluster::Message m);
   void handle_register(const cluster::ChannelPtr& ch, std::uint32_t rank);
   void handle_setup_up();
-  void handle_bcast(std::uint32_t tag, Bytes data);
-  void handle_gather_up(std::uint32_t tag, std::uint32_t src,
+  void handle_bcast(StreamKey tag, Bytes data);
+  void handle_gather_up(StreamKey tag, std::uint32_t src,
                         std::vector<std::pair<std::uint32_t, Bytes>> entries);
-  void handle_scatter(std::uint32_t tag,
+  void handle_scatter(StreamKey tag,
                       std::vector<std::pair<std::uint32_t, Bytes>> entries);
   void maybe_subtree_ready();
-  void flush_gather(std::uint32_t tag);
+  void flush_gather(StreamKey tag);
   // --- rendezvous gather (upstream data plane) ----------------------------
   /// Sum of all payload bytes this node's subtree contributes this round.
   [[nodiscard]] std::size_t gather_subtree_bytes(const GatherState& st) const;
   /// Announce per-origin sizes upward (GatherRts); the round then waits for
   /// the parent's GatherCts before any payload moves.
-  void gather_announce(std::uint32_t tag, GatherState& st);
-  void handle_gather_rts(std::uint32_t tag, std::uint32_t src,
+  void gather_announce(StreamKey tag, GatherState& st);
+  void handle_gather_rts(StreamKey tag, std::uint32_t src,
                          std::vector<std::pair<std::uint32_t, Bytes>> entries);
-  void handle_gather_cts(std::uint32_t tag);
+  void handle_gather_cts(StreamKey tag);
   /// The CTS body (clear children, queue held entries): shared by the
   /// normal clearance and the heal resume path.
-  void gather_begin_streaming(std::uint32_t tag, GatherState& st);
-  void handle_gather_chunk(std::uint32_t tag, std::uint32_t origin,
+  void gather_begin_streaming(StreamKey tag, GatherState& st);
+  void handle_gather_chunk(StreamKey tag, std::uint32_t origin,
                            Bytes data);
-  void handle_gather_drop(std::uint32_t tag,
+  void handle_gather_drop(StreamKey tag,
                           const std::vector<std::pair<std::uint32_t, Bytes>>&
                               entries);
   /// Streams every queued-but-unsent gather chunk through the cursor.
-  void gather_flush(std::uint32_t tag, GatherState& st);
+  void gather_flush(StreamKey tag, GatherState& st);
   /// Root: delivers the round once every announced origin is complete or
   /// dropped. No-op elsewhere or while contributions are outstanding.
-  void gather_check_complete(std::uint32_t tag);
+  void gather_check_complete(StreamKey tag);
   /// Relay: retires the round once all announced bytes were forwarded.
-  void gather_relay_maybe_done(std::uint32_t tag);
+  void gather_relay_maybe_done(StreamKey tag);
   /// Marks an origin as lost mid-round (propagates GatherDrop upward).
-  void gather_drop_origin(std::uint32_t tag, GatherState& st,
+  void gather_drop_origin(StreamKey tag, GatherState& st,
                           std::uint32_t origin);
   /// Forgets a dead child's stake in one gather round: stops waiting for its
   /// announce and drops every announced origin whose payload never finished.
   /// Returns true if the round referenced the child at all.
-  bool gather_forget_child(std::uint32_t tag, GatherState& st,
+  bool gather_forget_child(StreamKey tag, GatherState& st,
                            std::uint32_t child);
   void send_up(cluster::Message m);
   void send_to_child(std::uint32_t child_rank, cluster::Message m);
-  GatherState& gather_state(std::uint32_t tag);
+  GatherState& gather_state(StreamKey tag);
+
+  // --- multiplexed delivery / fairness ------------------------------------
+  /// Route a completed round to the owning session's handler set (session 0
+  /// -> the legacy trio). Rounds for an unbound session are dropped.
+  void deliver_bcast(StreamKey tag, const Bytes& data);
+  void deliver_gather(StreamKey tag,
+                      std::vector<std::pair<std::uint32_t, Bytes>> entries);
+  void deliver_scatter(StreamKey tag, const Bytes& data);
+  /// Bumps `iccl.<name>` and, for nonzero sessions, the per-session twin
+  /// `iccl.s<session>.<name>` so shared-tree metrics stay attributable.
+  void count_mux(StreamKey tag, const char* name, double v = 1.0);
+  /// Root: may a new round for `session` enter the cleared set? True unless
+  /// some *other* session currently holds cleared open rounds.
+  [[nodiscard]] bool mux_can_clear(std::uint32_t session) const;
+  /// Root: marks the round cleared and accounts the session as active.
+  void mux_mark_cleared(StreamKey tag, GatherState& st);
+  /// Root delivery of a cleared round: release the session's hold and
+  /// round-robin the clearance to the next session with deferred waiters.
+  void mux_release(StreamKey tag);
 
   // --- self-healing (heal mode only) --------------------------------------
   /// Parent link died post-ready: climb the ancestor chain for a survivor.
@@ -312,9 +374,9 @@ class Iccl {
   void handle_reattach(const cluster::ChannelPtr& ch, std::uint32_t src,
                        const Bytes& blob);
   void handle_gather_resume(
-      std::uint32_t tag,
+      StreamKey tag,
       const std::vector<std::pair<std::uint32_t, Bytes>>& entries);
-  void handle_gather_done(std::uint32_t tag);
+  void handle_gather_done(StreamKey tag);
   void handle_leave(std::uint32_t src);
   /// Adopter side: open a heal slot for a dead child and suspend its stake
   /// in every open gather round until orphans claim it or the grace expires.
@@ -323,19 +385,19 @@ class Iccl {
   /// claimed by a reattached orphan (or reported dead on a climb path).
   void heal_check_slot(std::uint32_t dead);
   void heal_resolve_slot(std::uint32_t dead, bool expired);
-  void heal_record_bcast(std::uint32_t tag,
+  void heal_record_bcast(StreamKey tag,
                          const std::shared_ptr<const Bytes>& payload);
   /// Replays broadcast state a reattached orphan missed: catch-up chunks
   /// for rounds it was mid-assembly on, full replays for rounds it never
   /// saw (it re-fans-out to its own subtree natively).
   void heal_replay_bcasts(
       std::uint32_t orphan,
-      const std::map<std::uint32_t,
+      const std::map<StreamKey,
                      std::pair<std::uint32_t, std::uint32_t>>& open_recvs,
-      const std::set<std::uint32_t>& delivered);
+      const std::set<StreamKey>& delivered);
   /// Retires a finished round instead of erasing it (replay may need it
   /// until the root's GatherDone); bounded by the retired-round ring.
-  void heal_retire_gather(std::uint32_t tag, GatherState& st, bool eager);
+  void heal_retire_gather(StreamKey tag, GatherState& st, bool eager);
 
   /// This daemon's bootstrap span (the "daemon:<session>:<rank>" anchor),
   /// so collective spans nest under the right parent in exports.
@@ -347,17 +409,17 @@ class Iccl {
   [[nodiscard]] sim::Time eager_copy_cost(std::size_t bytes) const;
   /// Eager fan-out: one full-payload frame per child, serialized by
   /// (msg-handle + payload-copy) quanta in rank order.
-  void eager_fanout(std::uint32_t tag,
+  void eager_fanout(StreamKey tag,
                     const std::shared_ptr<const Bytes>& payload);
   /// Opens a rendezvous round toward this node's children (RTS fan-out).
-  RndvSend& rndv_open_send(std::uint32_t tag, std::uint32_t nchunks,
+  RndvSend& rndv_open_send(StreamKey tag, std::uint32_t nchunks,
                            std::uint32_t total);
-  void handle_rndv_rts(std::uint32_t tag, std::uint32_t nchunks,
+  void handle_rndv_rts(StreamKey tag, std::uint32_t nchunks,
                        std::uint32_t total);
-  void handle_rndv_cts(std::uint32_t tag, std::uint32_t src);
-  void handle_rndv_chunk(std::uint32_t tag, std::uint32_t seq, Bytes data);
+  void handle_rndv_cts(StreamKey tag, std::uint32_t src);
+  void handle_rndv_chunk(StreamKey tag, std::uint32_t seq, Bytes data);
   /// Streams every ready-but-unsent chunk through the serialized cursor.
-  void rndv_flush(std::uint32_t tag, RndvSend& st);
+  void rndv_flush(StreamKey tag, RndvSend& st);
   /// A child link died: drop it from the fan-out and unblock any rendezvous
   /// round still waiting on its CTS.
   void on_child_lost(const cluster::ChannelPtr& ch);
@@ -376,10 +438,14 @@ class Iccl {
   BcastHandler on_bcast_;
   GatherHandler on_gather_;
   ScatterHandler on_scatter_;
+  /// Nonzero-session handler sets (bind_session); session 0 uses the legacy
+  /// trio above.
+  std::map<std::uint32_t, SessionHandlers> session_handlers_;
   FrameTap frame_tap_;
-  std::map<std::uint32_t, GatherState> gathers_;
-  std::map<std::uint32_t, RndvSend> rndv_sends_;  ///< by tag
-  std::map<std::uint32_t, RndvRecv> rndv_recvs_;  ///< by tag
+  KeyedFrameTap keyed_frame_tap_;
+  std::map<StreamKey, GatherState> gathers_;
+  std::map<StreamKey, RndvSend> rndv_sends_;  ///< by stream key
+  std::map<StreamKey, RndvRecv> rndv_recvs_;  ///< by stream key
 
   // --- self-heal state -----------------------------------------------------
   bool heal_ = false;
@@ -396,10 +462,10 @@ class Iccl {
   /// every node: a descendant's delivery order is a FIFO subsequence of
   /// every ancestor's, so an orphan can never have evicted a tag its
   /// adopter still holds.
-  std::map<std::uint32_t, std::shared_ptr<const Bytes>> bcast_history_;
-  std::vector<std::uint32_t> bcast_history_order_;
+  std::map<StreamKey, std::shared_ptr<const Bytes>> bcast_history_;
+  std::vector<StreamKey> bcast_history_order_;
   /// Retired gather rounds kept for replay, oldest-first (evicted FIFO).
-  std::vector<std::uint32_t> retired_gather_order_;
+  std::vector<StreamKey> retired_gather_order_;
   /// One adoption slot per dead child: which orphan ranks reattached here
   /// and which ranks were reported dead on their climb paths.
   struct HealSlot {
@@ -407,6 +473,12 @@ class Iccl {
     std::set<std::uint32_t> reported_dead;
   };
   std::map<std::uint32_t, HealSlot> heal_slots_;  ///< dead child -> slot
+
+  // --- multiplex fairness state (root only) --------------------------------
+  /// Session -> count of cleared-but-undelivered rendezvous gather rounds.
+  std::map<std::uint32_t, int> mux_active_;
+  /// Last session granted clearance from the waiter scan (round-robin seed).
+  std::uint32_t mux_rr_last_ = 0;
 
   static constexpr int kConnectRetries = 80;
   static constexpr sim::Time kRetryDelay = sim::ms(3);

@@ -61,6 +61,11 @@ enum class FeDaemonMsg : std::uint8_t {
   Ready,          ///< master -> FE: all daemons initialized (+ tool data)
   UsrData,        ///< either direction: tool payload outside startup
   Detach,         ///< FE -> master: tear down daemon-side session
+  // Persistent multiplexed service: virtual sessions attach to (and detach
+  // from) an already-bootstrapped tree instead of launching their own.
+  VirtualAttach,  ///< FE -> master: open virtual session {vsid}
+  VirtualReady,   ///< master -> FE: attach outcome {vsid, ok, error}
+  VirtualDetach,  ///< FE -> master: close virtual session {vsid}
 };
 
 /// A decoded LMONP message. Encoding produces the 16-byte header followed by

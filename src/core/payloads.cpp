@@ -133,6 +133,51 @@ std::optional<LaunchMwReq> LaunchMwReq::decode(const Bytes& b) {
   return out;
 }
 
+Bytes VirtualAttach::encode() const {
+  ByteWriter w;
+  w.u32(vsid);
+  return std::move(w).take();
+}
+
+std::optional<VirtualAttach> VirtualAttach::decode(const Bytes& b) {
+  ByteReader r(b);
+  auto vsid = r.u32();
+  if (!vsid) return std::nullopt;
+  return VirtualAttach{*vsid};
+}
+
+Bytes VirtualReady::encode() const {
+  ByteWriter w;
+  w.u32(vsid);
+  w.boolean(ok);
+  w.str(error);
+  w.u32(ndaemons);
+  return std::move(w).take();
+}
+
+std::optional<VirtualReady> VirtualReady::decode(const Bytes& b) {
+  ByteReader r(b);
+  auto vsid = r.u32();
+  auto ok_f = r.boolean();
+  auto err = r.str();
+  auto n = r.u32();
+  if (!vsid || !ok_f || !err || !n) return std::nullopt;
+  return VirtualReady{*vsid, *ok_f, std::move(*err), *n};
+}
+
+Bytes VirtualDetach::encode() const {
+  ByteWriter w;
+  w.u32(vsid);
+  return std::move(w).take();
+}
+
+std::optional<VirtualDetach> VirtualDetach::decode(const Bytes& b) {
+  ByteReader r(b);
+  auto vsid = r.u32();
+  if (!vsid) return std::nullopt;
+  return VirtualDetach{*vsid};
+}
+
 Bytes StatusEvent::encode() const {
   ByteWriter w;
   w.u8(kind);

@@ -81,6 +81,33 @@ struct LaunchMwReq {
   static std::optional<LaunchMwReq> decode(const Bytes& b);
 };
 
+/// FE -> BE master: open a virtual session on an already-running tree.
+struct VirtualAttach {
+  std::uint32_t vsid = 0;  ///< virtual session id (nonzero)
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<VirtualAttach> decode(const Bytes& b);
+};
+
+/// BE master -> FE: outcome of a VirtualAttach (admission + tree binding).
+struct VirtualReady {
+  std::uint32_t vsid = 0;
+  bool ok = false;
+  std::string error;
+  std::uint32_t ndaemons = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<VirtualReady> decode(const Bytes& b);
+};
+
+/// FE -> BE master: close a virtual session (tree stays up).
+struct VirtualDetach {
+  std::uint32_t vsid = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<VirtualDetach> decode(const Bytes& b);
+};
+
 /// engine -> FE: job status transition (exit/abort), for tool awareness.
 struct StatusEvent {
   enum Kind : std::uint8_t { JobExited = 0, JobAborted = 1 };

@@ -121,6 +121,7 @@ Status SlurmAdapter::co_spawn(cluster::Process& engine,
   req.bootstrap.rndv_threshold = cfg.fabric.rndv_threshold;
   req.bootstrap.heal = cfg.fabric.heal;
   req.bootstrap.heal_grace_ms = cfg.fabric.heal_grace_ms;
+  req.bootstrap.max_sessions = cfg.fabric.max_sessions;
   req.launch_fanout = cfg.fabric.fanout;
   req.jobid = cfg.jobid;
   req.alloc_nodes = cfg.alloc_nodes;

@@ -1,0 +1,54 @@
+// stream_key.hpp - the namespaced (session, tag) collective stream key.
+//
+// PR 5 keyed every ICCL round by a bare std::uint32_t tag, which is enough
+// when one tool session owns the whole daemon tree. A persistent
+// multiplexed tree (docs/ARCHITECTURE.md "Persistent multiplexed service")
+// carries many concurrent virtual sessions over one fabric, so every
+// round - broadcast, gather, scatter, rendezvous chunk stream, heal replay
+// entry - is keyed by (session, tag) instead. Session 0 is the
+// *infrastructure session*: the bootstrap handshake, shutdown and command
+// fan-outs, and every legacy single-session tool. Virtual sessions get
+// nonzero ids allocated by the front end per tree.
+//
+// The key is deliberately implicit-constructible from a bare tag so the
+// entire pre-multiplex API surface (tools, tests, benches that speak
+// `broadcast(tag, ...)`) keeps compiling unchanged, pinned to session 0.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace lmon::core {
+
+struct StreamKey {
+  std::uint32_t session = 0;
+  std::uint32_t tag = 0;
+
+  constexpr StreamKey() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): legacy tags are session 0.
+  constexpr StreamKey(std::uint32_t t) : session(0), tag(t) {}
+  constexpr StreamKey(std::uint32_t s, std::uint32_t t)
+      : session(s), tag(t) {}
+
+  auto operator<=>(const StreamKey&) const = default;
+
+  /// Single-integer form used where a scalar key is required (TBON round
+  /// maps, hashes). Lossless: session in the high half.
+  [[nodiscard]] constexpr std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(session) << 32) | tag;
+  }
+  static constexpr StreamKey unpack(std::uint64_t v) {
+    return {static_cast<std::uint32_t>(v >> 32),
+            static_cast<std::uint32_t>(v)};
+  }
+
+  /// "tag" for the infrastructure session, "session/tag" otherwise - the
+  /// spelling trace span details and metric labels use.
+  [[nodiscard]] std::string str() const {
+    return session == 0 ? std::to_string(tag)
+                        : std::to_string(session) + "/" + std::to_string(tag);
+  }
+};
+
+}  // namespace lmon::core

@@ -91,6 +91,8 @@ void Launcher::start_cospawn(cluster::Process& self) {
   fabric_.heal = arg_int(args, "--heal=").value_or(0) != 0;
   fabric_.heal_grace_ms = static_cast<std::uint32_t>(
       arg_int(args, "--heal-grace-ms=").value_or(0));
+  fabric_.max_sessions = static_cast<std::uint32_t>(
+      arg_int(args, "--max-tree-sessions=").value_or(0));
   phase_ = Phase::Allocating;
 
   // Either co-locate with an existing job (--jobid) or request additional
@@ -440,6 +442,10 @@ void RmBulkStrategy::launch(cluster::Process& self, comm::LaunchRequest req,
       opts.args.push_back("--heal-grace-ms=" +
                           std::to_string(req.bootstrap.heal_grace_ms));
     }
+  }
+  if (req.bootstrap.max_sessions != 0) {
+    opts.args.push_back("--max-tree-sessions=" +
+                        std::to_string(req.bootstrap.max_sessions));
   }
   opts.args.push_back("--fe-host=" + req.bootstrap.fe_host);
   opts.args.push_back("--fe-port=" + std::to_string(req.bootstrap.fe_port));

@@ -179,6 +179,7 @@ void NodeDaemon::handle_launch(cluster::Process& self,
       boot.platform = req.fabric.platform;
       boot.heal = req.fabric.heal;
       boot.heal_grace_ms = req.fabric.heal_grace_ms;
+      boot.max_sessions = req.fabric.max_sessions;
       opts.args = comm::bootstrap_args(boot,
                                        static_cast<std::uint32_t>(rank));
     } else {

@@ -202,6 +202,7 @@ cluster::Message TreeLaunchReq::encode() const {
   w.str(fabric.platform);
   w.boolean(fabric.heal);
   w.u32(fabric.heal_grace_ms);
+  w.u32(fabric.max_sessions);
   return finish(std::move(w));
 }
 
@@ -252,8 +253,9 @@ std::optional<TreeLaunchReq> TreeLaunchReq::decode(const cluster::Message& m) {
   auto fplatform = r->str();
   auto fheal = r->boolean();
   auto fheal_grace = r->u32();
+  auto fmax_sessions = r->u32();
   if (!fport || !ffan || !ftotal || !fhost || !ffeport || !fsess || !ftopo ||
-      !frndv || !fplatform || !fheal || !fheal_grace) {
+      !frndv || !fplatform || !fheal || !fheal_grace || !fmax_sessions) {
     return std::nullopt;
   }
   const auto kind = comm::topology_kind_from_u8(*ftopo);
@@ -261,7 +263,7 @@ std::optional<TreeLaunchReq> TreeLaunchReq::decode(const cluster::Message& m) {
   out.fabric = FabricSpec{*fport,   *ffan,    *ftotal,
                           std::move(*fhost), *ffeport, std::move(*fsess),
                           *kind,    *frndv,   std::move(*fplatform),
-                          *fheal,   *fheal_grace};
+                          *fheal,   *fheal_grace, *fmax_sessions};
   return out;
 }
 

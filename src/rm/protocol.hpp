@@ -102,6 +102,8 @@ struct FabricSpec {
   bool heal = false;
   /// Orphan-reattach grace window (ms); 0 = the ICCL default.
   std::uint32_t heal_grace_ms = 0;
+  /// Virtual-session admission bound for the daemon tree; 0 = default.
+  std::uint32_t max_sessions = 0;
 
   [[nodiscard]] comm::TopologySpec topology() const {
     return comm::TopologySpec{topo_kind, fanout};

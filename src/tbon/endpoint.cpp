@@ -140,6 +140,10 @@ void TbonEndpoint::on_packet(const cluster::ChannelPtr& ch,
   self_.machine().count("tbon.packets");
   self_.machine().count(std::string("tbon.packets.") +
                         packet_kind_name(packet->kind));
+  if (packet->session != 0) {
+    self_.machine().count("tbon.s" + std::to_string(packet->session) +
+                          ".packets");
+  }
   if (obs::Tracer* tracer = self_.machine().tracer(); tracer != nullptr) {
     tracer->instant("tbon.packet", "tbon",
                     static_cast<int>(self_.node().id()), self_.pid(), span_,
@@ -205,6 +209,7 @@ void TbonEndpoint::handle_hello(const cluster::ChannelPtr& ch,
       for (const auto& [stream, filter] : stream_filters_) {
         Packet ann;
         ann.kind = PacketKind::NewStream;
+        ann.session = session_of(stream);
         ann.stream = stream;
         ann.filter = filter;
         self_.send(ch, ann.encode());
@@ -333,16 +338,35 @@ void TbonEndpoint::maybe_tree_ready() {
   if (cbs_.on_tree_ready) cbs_.on_tree_ready(Status::ok());
 }
 
-std::uint32_t TbonEndpoint::new_stream(std::uint32_t filter_id) {
+std::uint32_t TbonEndpoint::new_stream(std::uint32_t filter_id,
+                                       std::uint32_t session) {
   assert(is_root());
   const std::uint32_t stream = next_stream_++;
   stream_filters_[stream] = filter_id;
+  stream_sessions_[stream] = session;
+  if (session != 0) count_stream(stream, "session_streams");
   Packet p;
   p.kind = PacketKind::NewStream;
+  p.session = session;
   p.stream = stream;
   p.filter = filter_id;
   handle_down(p);
   return stream;
+}
+
+std::uint32_t TbonEndpoint::session_of(std::uint32_t stream) const {
+  auto it = stream_sessions_.find(stream);
+  return it == stream_sessions_.end() ? 0 : it->second;
+}
+
+void TbonEndpoint::count_stream(std::uint32_t stream, const char* name,
+                                double v) {
+  self_.machine().count(std::string("tbon.") + name, v);
+  const std::uint32_t session = session_of(stream);
+  if (session != 0) {
+    self_.machine().count(
+        "tbon.s" + std::to_string(session) + "." + name, v);
+  }
 }
 
 std::uint32_t TbonEndpoint::filter_of(std::uint32_t stream) const {
@@ -353,8 +377,10 @@ std::uint32_t TbonEndpoint::filter_of(std::uint32_t stream) const {
 void TbonEndpoint::send_down(std::uint32_t stream, std::uint32_t tag,
                              Bytes data) {
   assert(is_root());
+  count_stream(stream, "downs");
   Packet p;
   p.kind = PacketKind::Down;
+  p.session = session_of(stream);
   p.stream = stream;
   p.tag = tag;
   p.data = std::move(data);
@@ -364,6 +390,7 @@ void TbonEndpoint::send_down(std::uint32_t stream, std::uint32_t tag,
 void TbonEndpoint::handle_down(const Packet& p) {
   if (p.kind == PacketKind::NewStream) {
     stream_filters_[p.stream] = p.filter;
+    stream_sessions_[p.stream] = p.session;
   }
   if (!children_.empty()) {
     self_.machine().count("tbon.down_forwards",
@@ -381,8 +408,10 @@ void TbonEndpoint::handle_down(const Packet& p) {
 void TbonEndpoint::send_up(std::uint32_t stream, std::uint32_t tag,
                            Bytes data) {
   const TopoNode& me = topo_.nodes()[static_cast<std::size_t>(my_index_)];
+  count_stream(stream, "ups");
   Packet p;
   p.kind = PacketKind::Up;
+  p.session = session_of(stream);
   p.stream = stream;
   p.tag = tag;
   p.node_index = my_index_;
@@ -420,6 +449,7 @@ void TbonEndpoint::send_up_part(std::uint32_t stream, std::uint32_t tag,
   const TopoNode& me = topo_.nodes()[static_cast<std::size_t>(my_index_)];
   Packet p;
   p.kind = PacketKind::UpPart;
+  p.session = session_of(stream);
   p.stream = stream;
   p.tag = tag;
   p.node_index = my_index_;
@@ -477,9 +507,10 @@ void TbonEndpoint::maybe_flush_part(Round& round, std::uint32_t stream,
   if (is_root() || parent_ == nullptr || !round.acc_valid) return;
   const std::size_t chunk = self_.machine().costs().iccl_rndv_chunk_bytes;
   if (round.acc.size() < chunk) return;
-  self_.machine().count("tbon.part_flushes");
+  count_stream(stream, "part_flushes");
   Packet part;
   part.kind = PacketKind::UpPart;
+  part.session = session_of(stream);
   part.stream = stream;
   part.tag = tag;
   part.node_index = my_index_;
@@ -494,9 +525,9 @@ void TbonEndpoint::handle_up_part(int child_index, Packet p) {
       (static_cast<std::uint64_t>(p.stream) << 32) | p.tag;
   Round& round = round_for(key);
   (void)child_index;  // sender stays pending until its final Up
-  self_.machine().count("tbon.up_parts");
-  self_.machine().count("tbon.up_part_bytes",
-                        static_cast<double>(p.data.size()));
+  count_stream(p.stream, "up_parts");
+  count_stream(p.stream, "up_part_bytes",
+               static_cast<double>(p.data.size()));
   fold_into_round(round, p.stream, std::move(p.data));
   maybe_flush_part(round, p.stream, p.tag);
 }
@@ -523,7 +554,7 @@ void TbonEndpoint::maybe_complete_round(std::uint64_t key) {
 
   // All (surviving) child subtrees contributed: the accumulator IS the
   // reduction.
-  self_.machine().count("tbon.rounds_reduced");
+  count_stream(stream, "rounds_reduced");
   const Bytes reduced = std::move(it->second.acc);
   std::vector<std::uint32_t> ranks = std::move(it->second.ranks);
   std::sort(ranks.begin(), ranks.end());

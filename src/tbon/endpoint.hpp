@@ -71,7 +71,13 @@ class TbonEndpoint {
 
   // --- root API -------------------------------------------------------------
   /// Creates a stream bound to an upstream filter; announced down-tree.
-  std::uint32_t new_stream(std::uint32_t filter_id);
+  /// `session` namespaces the stream on a multiplexed overlay (0 = the
+  /// infrastructure session): every node attributes the stream's traffic
+  /// to `tbon.s<session>.*` counters alongside the aggregate `tbon.*`.
+  std::uint32_t new_stream(std::uint32_t filter_id,
+                           std::uint32_t session = 0);
+  /// Session a stream was announced under (0 if unknown/infrastructure).
+  [[nodiscard]] std::uint32_t session_of(std::uint32_t stream) const;
   /// Broadcasts (stream, tag, data) to every back end.
   void send_down(std::uint32_t stream, std::uint32_t tag, Bytes data);
 
@@ -127,6 +133,9 @@ class TbonEndpoint {
   void maybe_tree_ready();
   void fail(Status st);
   [[nodiscard]] std::uint32_t filter_of(std::uint32_t stream) const;
+  /// Counts `tbon.<name>` plus `tbon.s<session>.<name>` when the stream
+  /// belongs to a nonzero (virtual) session.
+  void count_stream(std::uint32_t stream, const char* name, double v = 1.0);
 
   cluster::Process& self_;
   Topology topo_;
@@ -146,6 +155,8 @@ class TbonEndpoint {
   bool parent_linked_ = false;
   bool ready_fired_ = false;
   std::map<std::uint32_t, std::uint32_t> stream_filters_;
+  /// Session each stream was announced under (multiplexed overlays).
+  std::map<std::uint32_t, std::uint32_t> stream_sessions_;
   std::uint32_t next_stream_ = 1;
   std::map<std::uint64_t, Round> rounds_;  ///< (stream<<32|tag) -> round
   sim::Time register_busy_until_ = 0;      ///< serialized child registration

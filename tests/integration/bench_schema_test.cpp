@@ -20,6 +20,7 @@
 #include "bench/ablation_autotune_lib.hpp"
 #include "bench/ablation_heal_lib.hpp"
 #include "bench/ablation_iccl_lib.hpp"
+#include "bench/ablation_mux_lib.hpp"
 #include "bench/ablation_rsh_lib.hpp"
 #include "bench/fig5_jobsnap_lib.hpp"
 #include "bench/fig6_stat_lib.hpp"
@@ -270,6 +271,45 @@ TEST(BenchSchema, HealReportIsWellFormedAtToyScale) {
     EXPECT_EQ(p.reattaches, p.adoptions)
         << p.topology << " fraction=" << p.kill_fraction;
   }
+}
+
+TEST(BenchSchema, AblationMuxJsonShapeMatchesGolden) {
+  const bench::MuxAblationReport report =
+      bench::run_mux_ablation(bench::MuxAblationOptions::smoke());
+  const std::string json = bench::to_json(report);
+  const std::string live_shape = bench::json_shape(json);
+
+  const std::string golden = read_golden("bench_ablation_mux.schema.txt");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file tests/golden/bench_ablation_mux.schema.txt";
+  EXPECT_EQ(live_shape, golden)
+      << "bench_ablation_mux --json schema drifted.\nlive skeleton:\n"
+      << live_shape << "\nif intentional, update the golden file.";
+}
+
+TEST(BenchSchema, MuxReportIsWellFormedAtToyScale) {
+  const bench::MuxAblationOptions opts = bench::MuxAblationOptions::smoke();
+  const bench::MuxAblationReport report = bench::run_mux_ablation(opts);
+
+  // One point per (session count, arrival interval), every arrival attached
+  // (admission never fires at toy scale), and the bench's own gate holds:
+  // a virtual attach onto the shared tree beats per-session bootstrap p99
+  // by at least the configured factor.
+  ASSERT_EQ(report.points.size(),
+            opts.session_counts.size() * opts.arrival_intervals_ms.size());
+  EXPECT_EQ(report.baseline.measured, opts.baseline_samples);
+  EXPECT_GT(report.baseline.p99_ms, 0.0);
+  for (const auto& p : report.points) {
+    EXPECT_EQ(p.attached, p.sessions)
+        << "sessions=" << p.sessions << " dt=" << p.arrival_interval_ms;
+    EXPECT_EQ(p.rejected, 0);
+    EXPECT_GT(p.attach_p99_ms, 0.0);
+    EXPECT_GT(p.throughput_sps, 0.0);
+    EXPECT_GE(p.speedup_p99, opts.speedup_gate);
+  }
+  EXPECT_EQ(report.total_rejected, 0);
+  EXPECT_GE(report.min_speedup_at_scale, opts.speedup_gate);
+  EXPECT_TRUE(report.gate_met);
 }
 
 /// The skeleton reducer itself: malformed/ragged rows must be visible.

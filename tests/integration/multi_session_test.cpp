@@ -131,8 +131,81 @@ TEST(MultiSession, SessionTableCapacityEnforced) {
     }
   });
   tc.simulator.run(tc.simulator.now() + sim::ms(10));
-  EXPECT_EQ(created, 64);  // kMaxSessions
+  EXPECT_EQ(created, core::FrontEnd::kDefaultMaxSessions);
   EXPECT_EQ(last.rc(), Rc::Enomem);
+}
+
+TEST(MultiSession, SessionBoundIsAConstructorKnob) {
+  // The 64-descriptor default is a knob, not a hard cap: a mux-heavy tool
+  // can raise it (virtual sessions need no port block) and a constrained
+  // one can lower it. Exhaustion keeps the clean Enomem reject either way.
+  TestCluster tc(2);
+  int small_created = 0;
+  int large_created = 0;
+  Status small_last;
+  tc.spawn_fe([&](cluster::Process& self) {
+    auto fe = std::make_shared<core::FrontEnd>(self, /*max_sessions=*/3);
+    ASSERT_TRUE(fe->init().is_ok());
+    for (int i = 0; i < 10; ++i) {
+      auto res = fe->create_session();
+      small_last = res.status;
+      if (!res.is_ok()) break;
+      ++small_created;
+    }
+    auto big = std::make_shared<core::FrontEnd>(self, /*max_sessions=*/200);
+    ASSERT_TRUE(big->init().is_ok());
+    for (int i = 0; i < 200; ++i) {
+      if (!big->create_session().is_ok()) break;
+      ++large_created;
+    }
+  });
+  tc.simulator.run(tc.simulator.now() + sim::ms(10));
+  EXPECT_EQ(small_created, 3);
+  EXPECT_EQ(small_last.rc(), Rc::Enomem);
+  // Descriptors beyond 64 exist; only bootstrapping ones consume a port
+  // block, so a >64 bound serves trees-plus-virtual-session workloads.
+  EXPECT_EQ(large_created, 200);
+}
+
+TEST(MultiSession, DestroyedSessionIdsAreReused) {
+  TestCluster tc(2);
+  tc.spawn_fe([&](cluster::Process& self) {
+    auto fe = std::make_shared<core::FrontEnd>(self);
+    ASSERT_TRUE(fe->init().is_ok());
+    int s0 = fe->create_session().value;
+    int s1 = fe->create_session().value;
+    int s2 = fe->create_session().value;
+    ASSERT_EQ(s0, 0);
+    ASSERT_EQ(s1, 1);
+    ASSERT_EQ(s2, 2);
+
+    // Unknown and live-but-Idle handling.
+    EXPECT_EQ(fe->destroy_session(99).rc(), Rc::Enosession);
+    ASSERT_TRUE(fe->destroy_session(s1).is_ok());
+    EXPECT_EQ(fe->destroy_session(s1).rc(), Rc::Enosession);
+
+    // The lowest freed id is handed out first, then fresh ids resume.
+    ASSERT_TRUE(fe->destroy_session(s0).is_ok());
+    EXPECT_EQ(fe->create_session().value, 0);
+    EXPECT_EQ(fe->create_session().value, 1);
+    EXPECT_EQ(fe->create_session().value, 3);
+
+    // Destroy-then-recreate cycles never leak descriptors: a full
+    // churn of the table stays under the bound.
+    auto churn = std::make_shared<core::FrontEnd>(self, /*max_sessions=*/4);
+    ASSERT_TRUE(churn->init().is_ok());
+    for (int round = 0; round < 10; ++round) {
+      std::vector<int> ids;
+      for (int i = 0; i < 4; ++i) {
+        auto res = churn->create_session();
+        ASSERT_TRUE(res.is_ok()) << "round " << round;
+        ids.push_back(res.value);
+      }
+      EXPECT_EQ(churn->create_session().status.rc(), Rc::Enomem);
+      for (int id : ids) ASSERT_TRUE(churn->destroy_session(id).is_ok());
+    }
+  });
+  tc.simulator.run(tc.simulator.now() + sim::ms(10));
 }
 
 TEST(MultiSession, TwoFrontEndProcessesCoexist) {

@@ -1,0 +1,309 @@
+// Integration tests for the persistent multiplexed service: virtual
+// sessions attaching to an existing daemon tree (SpawnConfig::attach_to),
+// per-session collective isolation, admission control, and detach leaving
+// the shared tree up. See docs/ARCHITECTURE.md "Persistent multiplexed
+// service".
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/be_api.hpp"
+#include "core/fe_api.hpp"
+#include "obs/metrics.hpp"
+#include "tests/test_util.hpp"
+
+namespace lmon {
+namespace {
+
+using testing::TestCluster;
+
+/// Shared observation state for one multiplexed scenario (owned by test).
+struct MuxState {
+  int ready_count = 0;
+  std::map<std::uint32_t, int> attached;       // vsid -> daemons that saw it
+  std::map<std::uint32_t, int> detached;       // vsid -> daemons that saw it
+  std::map<std::uint32_t, int> vbarrier_done;  // vsid -> ranks released
+  /// Master-side gather result per virtual session.
+  std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, Bytes>>>
+      vgathered;
+};
+
+/// BE daemon that runs a per-virtual-session collective script on attach:
+/// vbarrier, then vgather of a session-tagged payload. Any cross-session
+/// frame leak shows up as a wrong payload or entry count in `vgathered`.
+class MuxDaemon : public cluster::Program {
+ public:
+  explicit MuxDaemon(MuxState* state) : state_(state) {}
+
+  [[nodiscard]] std::string_view name() const override { return "mux_be"; }
+
+  void on_start(cluster::Process& self) override {
+    be_ = std::make_unique<core::BackEnd>(self);
+    core::BackEnd::Callbacks cbs;
+    cbs.on_init = [](const core::Rpdtab&, const Bytes&,
+                     std::function<void(Status)> done) { done(Status::ok()); };
+    cbs.on_ready = [this, &self](Status st) {
+      if (!st.is_ok()) {
+        self.exit(1);
+        return;
+      }
+      state_->ready_count += 1;
+    };
+    cbs.on_vsession_attach = [this](std::uint32_t vsid) {
+      state_->attached[vsid] += 1;
+      run_session_script(vsid);
+    };
+    cbs.on_vsession_detach = [this](std::uint32_t vsid) {
+      state_->detached[vsid] += 1;
+    };
+    ASSERT_TRUE(be_->init(std::move(cbs)).is_ok());
+  }
+
+  static void install(cluster::Machine& machine, MuxState* state) {
+    cluster::ProgramImage image;
+    image.image_mb = 2.0;
+    image.factory = [state](const std::vector<std::string>&) {
+      return std::make_unique<MuxDaemon>(state);
+    };
+    machine.install_program("mux_be", std::move(image));
+  }
+
+ private:
+  void run_session_script(std::uint32_t vsid) {
+    // SPMD per session: barrier, then gather a payload that encodes the
+    // session id so a frame delivered to the wrong session is detectable.
+    auto st = be_->vbarrier(vsid, [this, vsid] {
+      state_->vbarrier_done[vsid] += 1;
+      ByteWriter w;
+      w.u32(vsid * 1000 + be_->rank());
+      auto gst = be_->vgather(vsid, std::move(w).take(),
+                              [this, vsid](auto entries) {
+                                state_->vgathered[vsid] = std::move(entries);
+                              });
+      ASSERT_TRUE(gst.is_ok()) << gst.to_string();
+    });
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+  }
+
+  MuxState* state_;
+  std::unique_ptr<core::BackEnd> be_;
+};
+
+/// Boots a cluster + owner session running MuxDaemon; returns when Ready.
+struct MuxFixture {
+  explicit MuxFixture(int nodes, std::uint32_t max_tree_sessions = 0)
+      : tc(nodes), nodes(nodes) {
+    MuxDaemon::install(tc.machine, &state);
+    const sim::Time boot_begin = tc.simulator.now();
+    bool done = false;
+    Status status;
+    tc.spawn_fe([&, this](cluster::Process& self) {
+      fe = std::make_shared<core::FrontEnd>(self);
+      ASSERT_TRUE(fe->init().is_ok());
+      auto sid = fe->create_session();
+      ASSERT_TRUE(sid.is_ok());
+      owner = sid.value;
+      core::FrontEnd::SpawnConfig cfg;
+      cfg.daemon_exe = "mux_be";
+      cfg.topology = comm::TopologySpec{comm::TopologyKind::KAry, 2};
+      cfg.max_tree_sessions = max_tree_sessions;
+      rm::JobSpec job{nodes, 2, "mpi_app", {}};
+      fe->launch_and_spawn(owner, job, cfg, [&](Status st) {
+        status = st;
+        done = true;
+      });
+    });
+    if (!tc.run_until([&] { return done; })) {
+      throw std::runtime_error("owner bootstrap timed out");
+    }
+    if (!status.is_ok()) {
+      throw std::runtime_error("owner bootstrap: " + status.to_string());
+    }
+    bootstrap_time = tc.simulator.now() - boot_begin;
+  }
+
+  /// Attaches a fresh virtual session to the owner's tree; returns
+  /// {sid, status} once the attach completes.
+  std::pair<int, Status> attach() {
+    auto sid = fe->create_session();
+    if (!sid.is_ok()) return {-1, sid.status};
+    bool done = false;
+    Status status;
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.attach_to = fe->infra_of(owner);
+    rm::JobSpec job{nodes, 2, "mpi_app", {}};
+    fe->launch_and_spawn(sid.value, job, cfg, [&](Status st) {
+      status = st;
+      done = true;
+    });
+    if (!tc.run_until([&] { return done; })) {
+      return {sid.value, Status(Rc::Etout, "attach timed out")};
+    }
+    return {sid.value, status};
+  }
+
+  TestCluster tc;
+  int nodes;
+  MuxState state;
+  std::shared_ptr<core::FrontEnd> fe;
+  int owner = -1;
+  sim::Time bootstrap_time = 0;
+};
+
+TEST(MuxSessionTest, VirtualAttachSharesTreeInOneRoundTrip) {
+  MuxFixture fx(16);
+
+  const sim::Time attach_begin = fx.tc.simulator.now();
+  auto [sid, st] = fx.attach();
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  const sim::Time attach_time = fx.tc.simulator.now() - attach_begin;
+
+  // The virtual session is Ready and bound to the owner's tree under a
+  // fresh vsid; the owner keeps vsid 0.
+  EXPECT_EQ(fx.fe->state(sid), core::FrontEnd::SessionState::Ready);
+  EXPECT_EQ(fx.fe->vsid_of(sid), 1u);
+  EXPECT_EQ(fx.fe->vsid_of(fx.owner), 0u);
+  EXPECT_EQ(fx.fe->infra_of(sid).owner_sid, fx.owner);
+  EXPECT_EQ(fx.fe->tree_session_count(fx.owner), 2u);
+  EXPECT_EQ(fx.fe->tree_session_count(sid), 2u);
+
+  // Cached infrastructure state is shared, not refetched: identical
+  // pointers into the one Infra record.
+  EXPECT_EQ(fx.fe->proctable(sid), fx.fe->proctable(fx.owner));
+  EXPECT_EQ(fx.fe->daemon_table(sid), fx.fe->daemon_table(fx.owner));
+  EXPECT_EQ(fx.fe->tuned_config(sid), fx.fe->tuned_config(fx.owner));
+  EXPECT_EQ(fx.fe->fabric_port_of(sid), fx.fe->fabric_port_of(fx.owner));
+
+  // O(1) attach: no engine start, no RM round, no daemon spawn. One LMONP
+  // round trip plus a tree broadcast/gather is at least an order of
+  // magnitude below the full bootstrap.
+  EXPECT_LT(attach_time * 10, fx.bootstrap_time)
+      << "attach took " << attach_time << " vs bootstrap "
+      << fx.bootstrap_time;
+
+  // Every daemon observed the attach and ran the session script.
+  ASSERT_TRUE(fx.tc.run_until([&] {
+    return fx.state.vgathered.count(1) != 0;
+  }));
+  EXPECT_EQ(fx.state.attached[1], fx.nodes);
+  EXPECT_EQ(fx.state.vbarrier_done[1], fx.nodes);
+}
+
+TEST(MuxSessionTest, ConcurrentSessionCollectivesStayIsolated) {
+  MuxFixture fx(8);
+  obs::Metrics metrics;
+  fx.tc.machine.set_metrics(&metrics);
+
+  // Launch two virtual attaches back to back so their per-session
+  // collective scripts overlap on the shared fabric.
+  std::map<std::uint32_t, Status> results;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    auto sid = fx.fe->create_session();
+    ASSERT_TRUE(sid.is_ok());
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.attach_to = fx.fe->infra_of(fx.owner);
+    rm::JobSpec job{fx.nodes, 2, "mpi_app", {}};
+    fx.fe->launch_and_spawn(sid.value, job, cfg,
+                            [&results, i](Status st) { results[i] = st; });
+  }
+  ASSERT_TRUE(fx.tc.run_until([&] { return results.size() == 2; }));
+  for (const auto& [i, st] : results) {
+    EXPECT_TRUE(st.is_ok()) << "attach " << i << ": " << st.to_string();
+  }
+  ASSERT_TRUE(fx.tc.run_until([&] {
+    return fx.state.vgathered.count(1) != 0 &&
+           fx.state.vgathered.count(2) != 0;
+  }));
+
+  // Each session's master-side gather holds exactly its own ranks with
+  // the session-tagged payloads - any cross-session frame leak would
+  // corrupt count or contents.
+  for (std::uint32_t vsid : {1u, 2u}) {
+    const auto& got = fx.state.vgathered[vsid];
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(fx.nodes))
+        << "vsid " << vsid;
+    for (int r = 0; r < fx.nodes; ++r) {
+      const auto& [rank, data] = got[static_cast<std::size_t>(r)];
+      EXPECT_EQ(rank, static_cast<std::uint32_t>(r));
+      ByteReader rd(data);
+      EXPECT_EQ(rd.u32(), vsid * 1000 + static_cast<std::uint32_t>(r))
+          << "vsid " << vsid << " rank " << r;
+    }
+  }
+
+  // Attribution: traffic landed under both per-session counter prefixes,
+  // and no frame ever arrived for an unbound session.
+  EXPECT_GT(metrics.counter("iccl.s1.gather_bytes_contributed"), 0.0);
+  EXPECT_GT(metrics.counter("iccl.s2.gather_bytes_contributed"), 0.0);
+  EXPECT_EQ(metrics.counter("iccl.mux.unbound_drops"), 0.0);
+
+  fx.tc.machine.set_metrics(nullptr);
+}
+
+TEST(MuxSessionTest, AdmissionBoundRejectsCleanly) {
+  MuxFixture fx(4, /*max_tree_sessions=*/2);
+
+  auto [s1, st1] = fx.attach();
+  auto [s2, st2] = fx.attach();
+  ASSERT_TRUE(st1.is_ok()) << st1.to_string();
+  ASSERT_TRUE(st2.is_ok()) << st2.to_string();
+
+  // Third attach exceeds the advertised bound: clean Enomem, no partial
+  // binding left behind.
+  auto [s3, st3] = fx.attach();
+  EXPECT_EQ(st3.rc(), Rc::Enomem) << st3.to_string();
+  EXPECT_NE(st3.to_string().find("full"), std::string::npos)
+      << st3.to_string();
+  EXPECT_EQ(fx.fe->vsid_of(s3), 0u);
+  EXPECT_FALSE(fx.fe->infra_of(s3).valid());
+
+  // The tree and its admitted sessions are unharmed.
+  EXPECT_EQ(fx.fe->state(fx.owner), core::FrontEnd::SessionState::Ready);
+  EXPECT_EQ(fx.fe->state(s1), core::FrontEnd::SessionState::Ready);
+  EXPECT_EQ(fx.fe->state(s2), core::FrontEnd::SessionState::Ready);
+  EXPECT_EQ(fx.fe->tree_session_count(fx.owner), 3u);
+  ASSERT_TRUE(fx.tc.run_until([&] {
+    return fx.state.vgathered.count(1) != 0 &&
+           fx.state.vgathered.count(2) != 0;
+  }));
+  EXPECT_EQ(fx.state.vgathered.count(3), 0u);
+}
+
+TEST(MuxSessionTest, VirtualDetachLeavesTreeUpAndSlotsRecycle) {
+  MuxFixture fx(8);
+
+  auto [sid, st] = fx.attach();
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  ASSERT_TRUE(
+      fx.tc.run_until([&] { return fx.state.vgathered.count(1) != 0; }));
+
+  bool detached = false;
+  Status dst;
+  fx.fe->detach(sid, [&](Status s) {
+    dst = s;
+    detached = true;
+  });
+  ASSERT_TRUE(fx.tc.run_until([&] { return detached; }));
+  EXPECT_TRUE(dst.is_ok()) << dst.to_string();
+  EXPECT_EQ(fx.fe->state(sid), core::FrontEnd::SessionState::Torn);
+
+  // Every daemon closed the virtual session; the tree and owner survive.
+  ASSERT_TRUE(fx.tc.run_until(
+      [&] { return fx.state.detached[1] == fx.nodes; }));
+  EXPECT_EQ(fx.fe->state(fx.owner), core::FrontEnd::SessionState::Ready);
+  EXPECT_EQ(fx.fe->tree_session_count(fx.owner), 1u);
+
+  // The freed descriptor is reusable and a fresh attach lands on a new
+  // vsid with working collectives.
+  ASSERT_TRUE(fx.fe->destroy_session(sid).is_ok());
+  auto [sid2, st2] = fx.attach();
+  ASSERT_TRUE(st2.is_ok()) << st2.to_string();
+  EXPECT_EQ(sid2, sid);  // lowest freed id handed out first
+  EXPECT_EQ(fx.fe->vsid_of(sid2), 2u);
+  ASSERT_TRUE(
+      fx.tc.run_until([&] { return fx.state.vgathered.count(2) != 0; }));
+  EXPECT_EQ(fx.state.attached[2], fx.nodes);
+}
+
+}  // namespace
+}  // namespace lmon

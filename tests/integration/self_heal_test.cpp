@@ -403,6 +403,124 @@ TEST(SelfHeal, MidGatherKillRecoversSurvivorPayloads) {
   check_collectives_whole(tc, sh, alive, 81, patterned(512, 0x66));
 }
 
+TEST(SelfHeal, MidRoundKillWithTwoActiveSessionsReplaysPerSessionOnce) {
+  // Persistent multiplexed service under failure: two virtual sessions run
+  // rendezvous collectives over one healing fabric, a comm daemon dies
+  // mid-relay of both chunk trains, and each session's replay must be
+  // exactly-once with zero cross-session frame leaks. Both sessions use
+  // the *same* within-session tag so a mis-keyed frame would surface as a
+  // wrong-payload delivery, not just a count skew.
+  const int n = 7;
+  Shared sh;
+  TestCluster tc(n);
+  lmon::testing::FlightRecorderOnFailure flight(tc.machine);
+  obs::Metrics metrics;
+  tc.machine.set_metrics(&metrics);
+  const auto pids = wire_heal_fabric(tc, sh, {comm::TopologyKind::KAry, 2},
+                                     n, kRndvAlways);
+  ASSERT_TRUE(tc.run_until([&] { return sh.ready == n; }));
+
+  // Per-session observation state, keyed by virtual session id.
+  struct VsObs {
+    std::map<std::uint32_t, std::map<std::uint32_t, int>> bcast_count;
+    std::map<std::uint32_t, std::map<std::uint32_t, Bytes>> bcast_by_tag;
+    std::map<std::uint32_t, int> gather_fired;
+    std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, Bytes>>>
+        gather_by_tag;
+  };
+  std::map<std::uint32_t, VsObs> vs;
+  int stray_session_frames = 0;  // data frame keyed outside {0, 1, 2}
+  for (auto& [rank, iccl] : sh.iccls) {
+    for (const std::uint32_t vsid : {1u, 2u}) {
+      Iccl::SessionHandlers h;
+      const std::uint32_t r = rank;
+      h.on_bcast = [&vs, vsid, r](std::uint32_t tag, const Bytes& d) {
+        vs[vsid].bcast_count[r][tag] += 1;
+        vs[vsid].bcast_by_tag[r][tag] = d;
+      };
+      h.on_gather = [&vs, vsid](
+                        std::uint32_t tag,
+                        std::vector<std::pair<std::uint32_t, Bytes>> e) {
+        vs[vsid].gather_fired[tag] += 1;
+        vs[vsid].gather_by_tag[tag] = std::move(e);
+      };
+      iccl->bind_session(vsid, std::move(h));
+    }
+    iccl->set_keyed_frame_tap(
+        [&stray_session_frames](Iccl::Kind, StreamKey key, std::uint32_t,
+                                std::size_t) {
+          if (key.session > 2) ++stray_session_frames;
+        });
+  }
+
+  // Same tag, different per-session payloads; chunk trains long enough
+  // that rank 1 dies mid-relay with both sessions' streams open.
+  const std::uint32_t tag = 120;
+  const Bytes pay1 = patterned(5 * kChunk + 777, 0xA1);
+  const Bytes pay2 = patterned(5 * kChunk + 333, 0xB2);
+  sh.iccls[0]->broadcast(StreamKey{1, tag}, pay1);
+  sh.iccls[0]->broadcast(StreamKey{2, tag}, pay2);
+  const std::uint32_t gtag = 121;
+  std::map<std::uint32_t, std::map<std::uint32_t, Bytes>> contrib;
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(n); ++r) {
+    for (const std::uint32_t vsid : {1u, 2u}) {
+      contrib[vsid][r] = patterned(
+          kChunk / 2 + 64 * r, static_cast<std::uint8_t>(0x10 * vsid + r));
+      sh.iccls[r]->contribute(StreamKey{vsid, gtag}, contrib[vsid][r]);
+    }
+  }
+
+  const FaultPlan plan =
+      FaultPlan::single(tc.simulator.now() + sim::ms(2), 1);
+  plan.arm(tc.machine, pids);
+  const auto alive = survivors_of(n, plan);
+
+  ASSERT_TRUE(tc.run_until([&] {
+    if (!settled(tc, sh, plan, alive)) return false;
+    for (const std::uint32_t vsid : {1u, 2u}) {
+      if (vs[vsid].gather_fired[gtag] == 0) return false;
+      for (const std::uint32_t r : alive) {
+        if (vs[vsid].bcast_by_tag[r].count(tag) == 0) return false;
+      }
+    }
+    return true;
+  })) << "multiplexed collectives never recovered across the kill";
+  check_reparented_tree(sh, alive);
+
+  for (const std::uint32_t vsid : {1u, 2u}) {
+    const Bytes& want = vsid == 1 ? pay1 : pay2;
+    for (const std::uint32_t r : alive) {
+      EXPECT_EQ(vs[vsid].bcast_by_tag[r][tag], want)
+          << "session " << vsid << " rank " << r;
+      EXPECT_EQ(vs[vsid].bcast_count[r][tag], 1)
+          << "duplicate session-" << vsid << " delivery at rank " << r;
+    }
+    EXPECT_EQ(vs[vsid].gather_fired[gtag], 1) << "session " << vsid;
+    std::map<std::uint32_t, Bytes> got;
+    for (const auto& [origin, data] : vs[vsid].gather_by_tag[gtag]) {
+      EXPECT_TRUE(got.emplace(origin, data).second)
+          << "session " << vsid << " dup origin " << origin;
+    }
+    for (const std::uint32_t r : alive) {
+      ASSERT_TRUE(got.count(r) != 0)
+          << "session " << vsid << " lost survivor payload " << r;
+      EXPECT_EQ(got.at(r), contrib[vsid].at(r))
+          << "session " << vsid << " origin " << r;
+    }
+    if (got.count(1) != 0) {
+      EXPECT_EQ(got.at(1), contrib[vsid].at(1));
+    }
+  }
+
+  // No frame was ever keyed outside the bound sessions and none was
+  // dropped for want of a handler: the namespaces stayed watertight.
+  EXPECT_EQ(stray_session_frames, 0);
+  EXPECT_EQ(metrics.counter("iccl.mux.unbound_drops"), 0.0);
+
+  // The infrastructure session is untouched by the multiplexed traffic.
+  check_collectives_whole(tc, sh, alive, 130, patterned(1024, 0xCC));
+}
+
 // ---------------------------------------------------------------------------
 // Correlated and cascading failures.
 

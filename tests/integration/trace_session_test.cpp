@@ -318,6 +318,69 @@ TEST(TraceSession, MetricsAndFlightRecorderCaptureTheRun) {
   EXPECT_NE(dump.find("init rank="), std::string::npos);
 }
 
+TEST(TraceSession, ConcurrentVirtualSessionsCarryPerSessionLabels) {
+  // Persistent multiplexed service attribution: two virtual sessions on
+  // one tree each get a closed "vsession" span (parented on the owner's
+  // session span, labeled with its vsid) and their fabric traffic lands
+  // under iccl.s<vsid>.* counters alongside the aggregate.
+  TestCluster tc(8);
+  obs::Tracer tracer(tc.simulator);
+  obs::Metrics metrics;
+  tc.machine.set_tracer(&tracer);
+  tc.machine.set_metrics(&metrics);
+
+  int vready = 0;
+  std::shared_ptr<core::FrontEnd> fe;
+  tc.spawn_fe([&](cluster::Process& self) {
+    fe = std::make_shared<core::FrontEnd>(self);
+    (void)fe->init();
+    const int owner = fe->create_session().value;
+    core::FrontEnd::SpawnConfig cfg;
+    cfg.daemon_exe = "hello_be";
+    rm::JobSpec job{8, 2, "mpi_app", {}};
+    fe->launch_and_spawn(owner, job, cfg, [&, owner](Status st) {
+      ASSERT_TRUE(st.is_ok()) << st.to_string();
+      // Two concurrent virtual attaches onto the owner's tree.
+      for (int i = 0; i < 2; ++i) {
+        const int vsid = fe->create_session().value;
+        core::FrontEnd::SpawnConfig vcfg;
+        vcfg.attach_to = fe->infra_of(owner);
+        fe->launch_and_spawn(vsid, rm::JobSpec{}, vcfg, [&](Status vst) {
+          EXPECT_TRUE(vst.is_ok()) << vst.to_string();
+          ++vready;
+        });
+      }
+    });
+  });
+  ASSERT_TRUE(tc.run_until([&] { return vready == 2; }));
+
+  const obs::SpanRecord* session = tracer.find_span("session");
+  ASSERT_NE(session, nullptr);
+  const auto vspans = spans_named(tracer, "vsession");
+  ASSERT_EQ(vspans.size(), 2u);
+  bool saw1 = false;
+  bool saw2 = false;
+  for (const obs::SpanRecord* v : vspans) {
+    EXPECT_FALSE(v->open());
+    EXPECT_EQ(v->parent, session->id);
+    saw1 = saw1 || v->detail.find("vsid=1") != std::string::npos;
+    saw2 = saw2 || v->detail.find("vsid=2") != std::string::npos;
+  }
+  EXPECT_TRUE(saw1) << "no vsession span labeled vsid=1";
+  EXPECT_TRUE(saw2) << "no vsession span labeled vsid=2";
+
+  // Per-session fabric attribution (the attach-ack gather rides the
+  // virtual session's stream key) plus the FE-side attach counter; no
+  // frame was ever dropped for want of a session binding.
+  EXPECT_EQ(metrics.counter("fe.vattach"), 2.0);
+  EXPECT_EQ(metrics.counter("iccl.s1.gather_contributions"), 8.0);
+  EXPECT_EQ(metrics.counter("iccl.s2.gather_contributions"), 8.0);
+  EXPECT_EQ(metrics.counter("iccl.mux.unbound_drops"), 0.0);
+
+  tc.machine.set_tracer(nullptr);
+  tc.machine.set_metrics(nullptr);
+}
+
 TEST(TraceSession, PerfettoExportMatchesGoldenSchema) {
   SessionRun run = run_session(8, /*traced=*/true);
   ASSERT_TRUE(run.ok);
